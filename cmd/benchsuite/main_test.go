@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestFig2aOutput(t *testing.T) {
+	s := runExp(t, "-exp", "fig2a")
+	for _, want := range []string{
+		"Figure 2a", "Int32 Vector ADD Peak", "L3->C", "V1", "V4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig2a output missing %q", want)
+		}
+	}
+}
+
+func TestFig2bOutput(t *testing.T) {
+	s := runExp(t, "-exp", "fig2b")
+	for _, want := range []string{"Figure 2b", "POPCNT Peak", "transactions"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("fig2b output missing %q", want)
+		}
+	}
+}
+
+func TestFig3Fig4Output(t *testing.T) {
+	s3 := runExp(t, "-exp", "fig3")
+	for _, want := range []string{"CI3 AVX512", "CA1 AVX", "(a)", "(b)", "(c)"} {
+		if !strings.Contains(s3, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+	s4 := runExp(t, "-exp", "fig4")
+	for _, want := range []string{"GN1 Pascal", "GA3 RDNA2", "stream core"} {
+		if !strings.Contains(s4, want) {
+			t.Errorf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	s := runExp(t, "-exp", "table3", "-host-snps", "32", "-host-samples", "512")
+	for _, want := range []string{
+		"Table III", "MPI3SNP", "Nobre et al. [29]", "Campos et al. [30]",
+		"host-measured cross-check", "this work V4",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestOverallOutput(t *testing.T) {
+	s := runExp(t, "-exp", "overall")
+	for _, want := range []string{"Section V-D", "heterogeneous CI3+GN1", "G elem/J"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("overall output missing %q", want)
+		}
+	}
+}
+
+func TestHostOutput(t *testing.T) {
+	s := runExp(t, "-exp", "host", "-host-snps", "24", "-host-samples", "256")
+	for _, want := range []string{"Host-measured", "V1", "V4", "speedup vs V1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("host output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-exp", "fig9"}, &out, &errBuf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errBuf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestEnergyOutput(t *testing.T) {
+	s := runExp(t, "-exp", "energy")
+	for _, want := range []string{"DVFS energy study", "optimal GHz", "GI2 DVFS sweep"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("energy output missing %q", want)
+		}
+	}
+}

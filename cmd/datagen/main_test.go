@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trigene"
+)
+
+func TestRunTextToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-snps", "10", "-samples", "40", "-seed", "3"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := trigene.ReadText(&out)
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if mx.SNPs() != 10 || mx.Samples() != 40 {
+		t.Errorf("dims %dx%d", mx.SNPs(), mx.Samples())
+	}
+	if !strings.Contains(errBuf.String(), "wrote 10 SNPs x 40 samples") {
+		t.Errorf("summary missing: %q", errBuf.String())
+	}
+}
+
+func TestRunBinaryToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.tgb")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-snps", "8", "-samples", "30", "-seed", "4",
+		"-format", "binary", "-out", path}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	mx, err := trigene.ReadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.SNPs() != 8 || mx.Samples() != 30 {
+		t.Errorf("dims %dx%d", mx.SNPs(), mx.Samples())
+	}
+}
+
+func TestRunPlantedInteraction(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-snps", "20", "-samples", "800", "-seed", "5",
+		"-interact", "2,9,15", "-model", "threshold", "-maf-min", "0.3", "-maf-max", "0.5"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := trigene.ReadText(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trigene.Search(mx, trigene.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Triple != (trigene.Triple{I: 2, J: 9, K: 15}) {
+		t.Errorf("planted triple not recovered: %v", res.Best.Triple)
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, model := range []string{"threshold", "xor", "multiplicative"} {
+		var out, errBuf bytes.Buffer
+		err := run([]string{"-snps", "6", "-samples", "50", "-seed", "6",
+			"-interact", "0,2,4", "-model", model}, &out, &errBuf)
+		if err != nil {
+			t.Errorf("model %s: %v", model, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-snps", "2"},                            // too few SNPs
+		{"-interact", "1,2"},                      // malformed triple
+		{"-interact", "1,x,3"},                    // bad index
+		{"-interact", "1,2,99", "-snps", "10"},    // out of range
+		{"-model", "bogus", "-interact", "1,2,3"}, // unknown model
+		{"-format", "bogus"},                      // unknown format
+		{"-out", "/nonexistent-dir/xx/data.tg"},   // unwritable path
+		{"-maf-min", "0.4", "-maf-max", "0.2"},    // bad MAF range
+		{"-badflag"},                              // flag error
+	}
+	for i, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestMultiplicativeTable(t *testing.T) {
+	tab := multiplicative(0.1, 0.9)
+	if tab[0] != 0.1 {
+		t.Errorf("base = %g", tab[0])
+	}
+	// Index 26 = six minor alleles: low * (high/low) = high.
+	if d := tab[26] - 0.9; d > 1e-9 || d < -1e-9 {
+		t.Errorf("top = %g, want 0.9", tab[26])
+	}
+	// Degenerate low=0 stays flat at zero.
+	flat := multiplicative(0, 0.5)
+	if flat[13] != 0 {
+		t.Errorf("flat table broken: %g", flat[13])
+	}
+}

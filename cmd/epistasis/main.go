@@ -1,0 +1,298 @@
+// epistasis runs an exhaustive third-order epistasis search on a
+// dataset file (trigene text or binary format; the binary magic is
+// auto-detected).
+//
+// Usage:
+//
+//	epistasis -in data.tg                        # defaults: V4, K2, all cores
+//	epistasis -in data.tgb -approach V2 -topk 10 -objective mi
+//	epistasis -in data.tg -gpu GN1               # run on the simulated GPU instead
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"trigene"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("epistasis: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable tool body.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("epistasis", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input dataset path (required; '-' for stdin)")
+	informat := fs.String("informat", "auto", "input format: auto (trigene text/binary or VCF), ped, vcf")
+	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample, whitespace separated)")
+	approach := fs.String("approach", "V4", "CPU approach: V1, V2, V3 or V4")
+	workers := fs.Int("workers", 0, "worker count (0 = all cores)")
+	topK := fs.Int("topk", 5, "number of candidates to report")
+	objective := fs.String("objective", "k2", "objective: k2, mi or gini")
+	pairs := fs.Bool("pairs", false, "run a 2-way (pairwise) search instead of 3-way")
+	order := fs.Int("order", 0, "interaction order 4..7 for the generic k-way search (0 = specialized 3-way)")
+	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1) instead of the CPU engine")
+	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -in")
+	}
+	mx, err := readDataset(*in, *informat, *phenPath)
+	if err != nil {
+		return err
+	}
+	controls, cases := mx.ClassCounts()
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "dataset: %d SNPs x %d samples (%d controls / %d cases)\n",
+			mx.SNPs(), mx.Samples(), controls, cases)
+	}
+
+	obj, err := trigene.NewObjective(*objective, mx.Samples())
+	if err != nil {
+		return err
+	}
+
+	if *gpuID != "" {
+		return runGPU(stdout, *gpuID, mx, obj)
+	}
+
+	if *order != 0 {
+		return runKWay(stdout, mx, obj, *order, *workers, *topK, *jsonOut)
+	}
+
+	summary := jsonSummary{
+		SNPs: mx.SNPs(), Samples: mx.Samples(),
+		Controls: controls, Cases: cases, Objective: obj.Name(),
+	}
+	if *pairs {
+		res, err := trigene.SearchPairs(mx, trigene.Options{
+			Workers: *workers, Objective: obj, TopK: *topK,
+		})
+		if err != nil {
+			return err
+		}
+		summary.Mode = "2-way"
+		summary.Combinations = res.Stats.Combinations
+		summary.GElemPerSec = res.Stats.ElementsPerSec / 1e9
+		for _, c := range res.TopK {
+			summary.Candidates = append(summary.Candidates, jsonCandidate{
+				SNPs: []int{c.Pair.I, c.Pair.J}, Score: c.Score,
+			})
+		}
+		if *permute > 0 {
+			sig, err := trigene.PermutationTestPair(mx, res.Best.Pair,
+				trigene.PermConfig{Permutations: *permute, Workers: *workers, Objective: obj})
+			if err != nil {
+				return err
+			}
+			summary.PValue = &sig.PValue
+		}
+		if *jsonOut {
+			return writeJSON(stdout, summary)
+		}
+		fmt.Fprintf(stdout, "2-way: %d combinations in %v (%.2f G elements/s)\n",
+			res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
+			res.Stats.ElementsPerSec/1e9)
+		for i, c := range res.TopK {
+			fmt.Fprintf(stdout, "%2d. (%d,%d)  %s = %.4f\n", i+1, c.Pair.I, c.Pair.J, obj.Name(), c.Score)
+		}
+		printPValue(stdout, summary.PValue, *permute)
+		return nil
+	}
+
+	ap, err := trigene.ParseApproach(*approach)
+	if err != nil {
+		return err
+	}
+	res, err := trigene.Search(mx, trigene.Options{
+		Approach:  ap,
+		Workers:   *workers,
+		Objective: obj,
+		TopK:      *topK,
+	})
+	if err != nil {
+		return err
+	}
+	summary.Mode = "3-way " + ap.String()
+	summary.Combinations = res.Stats.Combinations
+	summary.GElemPerSec = res.Stats.ElementsPerSec / 1e9
+	for _, c := range res.TopK {
+		summary.Candidates = append(summary.Candidates, jsonCandidate{
+			SNPs: []int{c.Triple.I, c.Triple.J, c.Triple.K}, Score: c.Score,
+		})
+	}
+	if *permute > 0 {
+		sig, err := trigene.PermutationTest(mx, res.Best.Triple,
+			trigene.PermConfig{Permutations: *permute, Workers: *workers, Objective: obj})
+		if err != nil {
+			return err
+		}
+		summary.PValue = &sig.PValue
+	}
+	if *jsonOut {
+		return writeJSON(stdout, summary)
+	}
+	fmt.Fprintf(stdout, "approach %v: %d combinations in %v (%.2f G elements/s)\n",
+		ap, res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
+		res.Stats.ElementsPerSec/1e9)
+	for i, c := range res.TopK {
+		fmt.Fprintf(stdout, "%2d. %v  %s = %.4f\n", i+1, c.Triple, obj.Name(), c.Score)
+	}
+	printPValue(stdout, summary.PValue, *permute)
+	return nil
+}
+
+// jsonSummary is the machine-readable output of a search run.
+type jsonSummary struct {
+	Mode         string          `json:"mode"`
+	SNPs         int             `json:"snps"`
+	Samples      int             `json:"samples"`
+	Controls     int             `json:"controls"`
+	Cases        int             `json:"cases"`
+	Objective    string          `json:"objective"`
+	Combinations int64           `json:"combinations"`
+	GElemPerSec  float64         `json:"gigaElementsPerSec"`
+	Candidates   []jsonCandidate `json:"candidates"`
+	PValue       *float64        `json:"pValue,omitempty"`
+}
+
+type jsonCandidate struct {
+	SNPs  []int   `json:"snps"`
+	Score float64 `json:"score"`
+}
+
+func writeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func printPValue(w io.Writer, p *float64, permutations int) {
+	if p != nil {
+		fmt.Fprintf(w, "permutation test (%d relabelings): p = %.4f\n", permutations, *p)
+	}
+}
+
+func runGPU(stdout io.Writer, id string, mx *trigene.Matrix, obj trigene.Objective) error {
+	dev, err := trigene.GPUByID(id)
+	if err != nil {
+		return err
+	}
+	res, err := trigene.SimulateGPU(dev, mx, trigene.GPUOptions{Objective: obj})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "simulated %s (%s): modeled %.3f ms, %.2f G elements/s\n",
+		dev.ID, dev.Name, res.Stats.ModelSeconds*1e3, res.Stats.ElementsPerSec/1e9)
+	fmt.Fprintf(stdout, "best: (%d,%d,%d)  %s = %.4f\n",
+		res.Best.I, res.Best.J, res.Best.K, obj.Name(), res.Best.Score)
+	return nil
+}
+
+func readDataset(path, format, phenPath string) (*trigene.Matrix, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	switch format {
+	case "ped":
+		return trigene.ReadPED(br)
+	case "vcf":
+		return readVCFWithPhen(br, phenPath)
+	case "auto":
+		magic, err := br.Peek(4)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		switch {
+		case bytes.Equal(magic, []byte("TGB1")):
+			return trigene.ReadBinary(br)
+		case magic[0] == '#' && magic[1] == '#', bytes.Equal(magic, []byte("#CHR")):
+			return readVCFWithPhen(br, phenPath)
+		default:
+			return trigene.ReadText(br)
+		}
+	default:
+		return nil, fmt.Errorf("unknown input format %q (want auto, ped or vcf)", format)
+	}
+}
+
+// readVCFWithPhen pairs a VCF genotype stream with a phenotype file.
+func readVCFWithPhen(r io.Reader, phenPath string) (*trigene.Matrix, error) {
+	if phenPath == "" {
+		return nil, fmt.Errorf("VCF input requires -phen (VCF carries no case-control status)")
+	}
+	raw, err := os.ReadFile(phenPath)
+	if err != nil {
+		return nil, err
+	}
+	var phen []uint8
+	for _, tok := range strings.Fields(string(raw)) {
+		switch tok {
+		case "0":
+			phen = append(phen, 0)
+		case "1":
+			phen = append(phen, 1)
+		default:
+			return nil, fmt.Errorf("phenotype file: invalid value %q (want 0 or 1)", tok)
+		}
+	}
+	return trigene.ReadVCF(r, phen)
+}
+
+// runKWay handles the generic arbitrary-order search mode.
+func runKWay(stdout io.Writer, mx *trigene.Matrix, obj trigene.Objective, order, workers, topK int, jsonOut bool) error {
+	res, err := trigene.SearchK(mx, order, trigene.Options{
+		Workers: workers, Objective: obj, TopK: topK,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		controls, cases := mx.ClassCounts()
+		summary := jsonSummary{
+			Mode: fmt.Sprintf("%d-way", order),
+			SNPs: mx.SNPs(), Samples: mx.Samples(),
+			Controls: controls, Cases: cases, Objective: obj.Name(),
+			Combinations: res.Stats.Combinations,
+			GElemPerSec:  res.Stats.ElementsPerSec / 1e9,
+		}
+		for _, c := range res.TopK {
+			summary.Candidates = append(summary.Candidates, jsonCandidate{SNPs: c.SNPs, Score: c.Score})
+		}
+		return writeJSON(stdout, summary)
+	}
+	fmt.Fprintf(stdout, "%d-way: %d combinations in %v (%.2f G elements/s)\n",
+		order, res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
+		res.Stats.ElementsPerSec/1e9)
+	for i, c := range res.TopK {
+		fmt.Fprintf(stdout, "%2d. %v  %s = %.4f\n", i+1, c.SNPs, obj.Name(), c.Score)
+	}
+	return nil
+}

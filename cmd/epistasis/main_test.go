@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trigene"
+)
+
+// writeDataset materializes a small planted dataset in both formats.
+func writeDataset(t *testing.T, binary bool) string {
+	t.Helper()
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 16, Samples: 400, Seed: 60, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{1, 7, 12},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "data.tg"
+	if binary {
+		name = "data.tgb"
+	}
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if binary {
+		err = trigene.WriteBinary(f, mx)
+	} else {
+		err = trigene.WriteText(f, mx)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTextDataset(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-topk", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "dataset: 16 SNPs x 400 samples") {
+		t.Errorf("missing dataset line:\n%s", s)
+	}
+	if !strings.Contains(s, "(1,7,12)") {
+		t.Errorf("planted triple not in output:\n%s", s)
+	}
+}
+
+func TestRunBinaryAutodetect(t *testing.T) {
+	path := writeDataset(t, true)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-approach", "V2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "approach V2") {
+		t.Errorf("approach line missing:\n%s", out.String())
+	}
+}
+
+func TestRunGPUSimulated(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-gpu", "GN1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "simulated GN1") || !strings.Contains(s, "best: (1,7,12)") {
+		t.Errorf("GPU output wrong:\n%s", s)
+	}
+}
+
+func TestRunPairsMode(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-pairs", "-topk", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2-way:") {
+		t.Errorf("pairs output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunObjectives(t *testing.T) {
+	path := writeDataset(t, false)
+	for _, obj := range []string{"k2", "mi", "gini"} {
+		var out, errBuf bytes.Buffer
+		if err := run([]string{"-in", path, "-objective", obj, "-topk", "1"}, &out, &errBuf); err != nil {
+			t.Errorf("objective %s: %v", obj, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDataset(t, false)
+	cases := [][]string{
+		{},                                   // missing -in
+		{"-in", "/nonexistent/file"},         // unreadable
+		{"-in", path, "-approach", "V9"},     // bad approach
+		{"-in", path, "-objective", "bogus"}, // bad objective
+		{"-in", path, "-gpu", "GX9"},         // unknown device
+		{"-badflag"},                         // flag error
+	}
+	for i, args := range cases {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+	// A file that is neither format.
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not a dataset at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", junk}, &out, &errBuf); err == nil {
+		t.Error("junk input accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-json", "-topk", "2", "-permute", "50"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Mode         string `json:"mode"`
+		SNPs         int    `json:"snps"`
+		Combinations int64  `json:"combinations"`
+		Candidates   []struct {
+			SNPs  []int   `json:"snps"`
+			Score float64 `json:"score"`
+		} `json:"candidates"`
+		PValue *float64 `json:"pValue"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if summary.SNPs != 16 || len(summary.Candidates) != 2 {
+		t.Errorf("summary wrong: %+v", summary)
+	}
+	if summary.Candidates[0].SNPs[0] != 1 || summary.Candidates[0].SNPs[1] != 7 || summary.Candidates[0].SNPs[2] != 12 {
+		t.Errorf("best candidate %v, want planted (1,7,12)", summary.Candidates[0].SNPs)
+	}
+	if summary.PValue == nil || *summary.PValue > 0.1 {
+		t.Errorf("pValue missing or large: %v", summary.PValue)
+	}
+}
+
+func TestRunPermuteTextMode(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-permute", "30"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "permutation test (30 relabelings)") {
+		t.Errorf("permutation line missing:\n%s", out.String())
+	}
+}
+
+func TestRunPairsJSON(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-pairs", "-json", "-permute", "20"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Mode       string `json:"mode"`
+		Candidates []struct {
+			SNPs []int `json:"snps"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Mode != "2-way" || len(summary.Candidates) == 0 || len(summary.Candidates[0].SNPs) != 2 {
+		t.Errorf("pairs JSON wrong: %+v", summary)
+	}
+}
+
+func TestRunOrderFour(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-order", "4", "-topk", "2"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4-way:") {
+		t.Errorf("4-way output wrong:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-in", path, "-order", "4", "-json"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Mode       string `json:"mode"`
+		Candidates []struct {
+			SNPs []int `json:"snps"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Mode != "4-way" || len(summary.Candidates[0].SNPs) != 4 {
+		t.Errorf("4-way JSON wrong: %+v", summary)
+	}
+	if err := run([]string{"-in", path, "-order", "99"}, &out, &errBuf); err == nil {
+		t.Error("order 99 accepted")
+	}
+}
+
+func TestRunPEDInput(t *testing.T) {
+	dir := t.TempDir()
+	ped := filepath.Join(dir, "tiny.ped")
+	content := "F S1 0 0 1 1 A A C C G G\nF S2 0 0 1 2 A G C T G T\nF S3 0 0 1 1 G G T T T T\nF S4 0 0 1 2 A A C C G G\n"
+	if err := os.WriteFile(ped, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", ped, "-informat", "ped", "-topk", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset: 3 SNPs x 4 samples") {
+		t.Errorf("PED run wrong:\n%s", out.String())
+	}
+}
+
+func TestRunVCFInput(t *testing.T) {
+	dir := t.TempDir()
+	vcf := filepath.Join(dir, "tiny.vcf")
+	content := "##fileformat=VCFv4.2\n" +
+		"#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\tS3\tS4\n" +
+		"1\t10\trs1\tA\tG\t.\tPASS\t.\tGT\t0/0\t0/1\t1/1\t0/0\n" +
+		"1\t20\trs2\tC\tT\t.\tPASS\t.\tGT\t0/1\t1/1\t0/0\t0/1\n" +
+		"1\t30\trs3\tG\tT\t.\tPASS\t.\tGT\t1/1\t0/0\t0/1\t1/1\n"
+	if err := os.WriteFile(vcf, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	phen := filepath.Join(dir, "phen.txt")
+	if err := os.WriteFile(phen, []byte("0 1 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	// Auto-detection path (leading ##).
+	if err := run([]string{"-in", vcf, "-phen", phen}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dataset: 3 SNPs x 4 samples") {
+		t.Errorf("VCF run wrong:\n%s", out.String())
+	}
+	// Missing -phen is an error.
+	if err := run([]string{"-in", vcf, "-informat", "vcf"}, &out, &errBuf); err == nil {
+		t.Error("VCF without -phen accepted")
+	}
+	// Bad phenotype file.
+	badPhen := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badPhen, []byte("0 1 2 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", vcf, "-phen", badPhen}, &out, &errBuf); err == nil {
+		t.Error("bad phenotype file accepted")
+	}
+	// Unknown format name.
+	if err := run([]string{"-in", vcf, "-informat", "bogus"}, &out, &errBuf); err == nil {
+		t.Error("bogus informat accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// device_survey: the paper's cross-device study (Figures 3 and 4 plus
+// the Section V-D comparison) evaluated with the analytical performance
+// models over the Table I / Table II catalogs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"trigene/internal/device"
+	"trigene/internal/perfmodel"
+	"trigene/internal/report"
+)
+
+var snpSizes = []int{2048, 4096, 8192}
+
+const samples = 16384
+
+func main() {
+	figure3()
+	figure4()
+	overall()
+}
+
+func figure3() {
+	fmt.Println("=== Figure 3: CPU performance (modeled), 16384 samples ===")
+	type variant struct {
+		cpu    device.CPU
+		avx512 bool
+		label  string
+	}
+	var variants []variant
+	for _, c := range device.AllCPUs() {
+		if c.HasAVX512 {
+			variants = append(variants, variant{c, true, c.ID + " AVX512"})
+		}
+		variants = append(variants, variant{c, false, c.ID + " AVX"})
+	}
+	tables := []struct {
+		title string
+		f     func(device.CPU, bool, int, int) float64
+	}{
+		{"(a) G elements/s/core", perfmodel.CPUPerCoreGElemPerSec},
+		{"(b) elements/cycle/core", perfmodel.CPUPerCyclePerCore},
+		{"(c) elements/cycle/(core x vector width)", perfmodel.CPUPerCyclePerCoreVec},
+	}
+	for _, spec := range tables {
+		t := report.NewTable(spec.title, "device", "2048", "4096", "8192")
+		for _, v := range variants {
+			row := []interface{}{v.label}
+			for _, m := range snpSizes {
+				row = append(row, spec.f(v.cpu, v.avx512, m, samples))
+			}
+			t.AddRowf(row...)
+		}
+		render(t)
+	}
+}
+
+func figure4() {
+	fmt.Println("=== Figure 4: GPU performance (modeled), 16384 samples ===")
+	tables := []struct {
+		title string
+		f     func(device.GPU, int, int) float64
+	}{
+		{"(a) G elements/s/CU", perfmodel.GPUPerCUGElemPerSec},
+		{"(b) elements/cycle/CU", perfmodel.GPUPerCyclePerCU},
+		{"(c) elements/cycle/stream core", perfmodel.GPUPerCyclePerStreamCore},
+	}
+	for _, spec := range tables {
+		t := report.NewTable(spec.title, "device", "2048", "4096", "8192")
+		for _, g := range device.AllGPUs() {
+			row := []interface{}{g.ID + " " + g.Arch}
+			for _, m := range snpSizes {
+				row = append(row, spec.f(g, m, samples))
+			}
+			t.AddRowf(row...)
+		}
+		render(t)
+	}
+}
+
+func overall() {
+	fmt.Println("=== Section V-D: whole-device comparison, 8192 SNPs x 16384 samples ===")
+	t := report.NewTable("", "device", "name", "G elem/s", "TDP W", "G elem/J")
+	for _, r := range perfmodel.Overall(8192, samples) {
+		t.AddRowf(r.DeviceID, r.Name, r.GElems, r.TDP, r.GElemsPerJoule)
+	}
+	render(t)
+
+	ci3, _ := device.CPUByID("CI3")
+	gn1, _ := device.GPUByID("GN1")
+	hetero := perfmodel.CPUOverallGElemPerSec(ci3, true, 8192, samples) +
+		perfmodel.GPUOverallGElemPerSec(gn1, 8192, samples)
+	fmt.Printf("heterogeneous CI3+GN1 estimate: %.0f G elements/s (paper: ~3300)\n\n", hetero)
+}
+
+func render(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,61 @@
+// gpusim_demo: runs the four GPU kernels on two simulated devices (a
+// high-POPCNT NVIDIA Titan Xp and an Intel Iris Xe MAX), validates the
+// results bit-exactly against the CPU engine, and shows how the memory
+// layouts change coalescing behaviour — the core of the paper's GPU
+// optimization story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"trigene"
+	"trigene/internal/report"
+)
+
+func main() {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 48, Samples: 2048, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := trigene.Search(mx, trigene.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPU reference: best %v  K2 = %.4f\n\n", cpu.Best.Triple, cpu.Best.Score)
+
+	for _, id := range []string{"GN1", "GI2"} {
+		dev, err := trigene.GPUByID(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (%s): %d CUs, %.0f POPCNT/CU/cycle, %.2f GHz ===\n",
+			dev.ID, dev.Name, dev.CUs, dev.PopcntPerCU, dev.BoostGHz)
+		t := report.NewTable("", "kernel", "layout", "txns", "L2 miss", "model ms", "G elem/s", "valid")
+		layouts := map[trigene.GPUKernel]string{
+			trigene.GPUNaive:      "row-major +phen",
+			trigene.GPUSplit:      "row-major split",
+			trigene.GPUTransposed: "transposed",
+			trigene.GPUTiled:      "tiled",
+		}
+		for k := trigene.GPUNaive; k <= trigene.GPUTiled; k++ {
+			res, err := trigene.SimulateGPU(dev, mx, trigene.GPUOptions{Kernel: k})
+			if err != nil {
+				log.Fatal(err)
+			}
+			valid := "ok"
+			if res.Best.Score != cpu.Best.Score {
+				valid = "MISMATCH"
+			}
+			t.AddRowf(k.String(), layouts[k], res.Stats.Transactions, res.Stats.L2Misses,
+				res.Stats.ModelSeconds*1e3, res.Stats.ElementsPerSec/1e9, valid)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: transposed/tiled layouts coalesce warp loads into far fewer")
+	fmt.Println("transactions than the row-major layouts, which is the paper's V3/V4 gain.")
+}

@@ -1,0 +1,53 @@
+// Quickstart: generate a small synthetic case-control dataset with a
+// planted three-way interaction and recover it with the default search
+// (approach V4, all cores, Bayesian K2 score).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trigene"
+)
+
+func main() {
+	// Plant a third-order signal at SNPs (7, 19, 31): genotype triples
+	// carrying at least three minor alleles are cases with probability
+	// 0.9, everything else with probability 0.1.
+	interaction := &trigene.Interaction{
+		SNPs:       [3]int{7, 19, 31},
+		Penetrance: trigene.ThresholdPenetrance(3, 0.1, 0.9),
+	}
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs:        64,
+		Samples:     2000,
+		Seed:        42,
+		MAFMin:      0.25,
+		MAFMax:      0.5,
+		Interaction: interaction,
+	})
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	controls, cases := mx.ClassCounts()
+	fmt.Printf("dataset: %d SNPs x %d samples (%d controls / %d cases)\n",
+		mx.SNPs(), mx.Samples(), controls, cases)
+
+	res, err := trigene.Search(mx, trigene.Options{TopK: 3})
+	if err != nil {
+		log.Fatalf("search: %v", err)
+	}
+
+	fmt.Printf("evaluated %d combinations in %v (%.2f G elements/s)\n",
+		res.Stats.Combinations, res.Stats.Duration.Round(1000000),
+		res.Stats.ElementsPerSec/1e9)
+	fmt.Printf("best triple: %v  K2 = %.3f\n", res.Best.Triple, res.Best.Score)
+	for i, c := range res.TopK {
+		fmt.Printf("  top-%d: %v  K2 = %.3f\n", i+1, c.Triple, c.Score)
+	}
+	if res.Best.Triple == (trigene.Triple{I: 7, J: 19, K: 31}) {
+		fmt.Println("planted interaction recovered")
+	} else {
+		fmt.Println("planted interaction NOT recovered (unexpected for this seed)")
+	}
+}

@@ -1,0 +1,101 @@
+// roofline: the paper's Figure 2 — Cache-Aware Roofline Model
+// characterization of the four approaches on the flagship devices
+// (Ice Lake SP CPU, Iris Xe MAX GPU). CPU points come from the
+// analytical approach models; GPU points from actually executing the
+// kernels in the GPU simulator on a scaled-down dataset.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"trigene"
+	"trigene/internal/carm"
+	"trigene/internal/device"
+	"trigene/internal/gpusim"
+	"trigene/internal/report"
+)
+
+func main() {
+	cpuSide()
+	gpuSide()
+}
+
+func cpuSide() {
+	ci3, err := device.CPUByID("CI3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := carm.CPUModel(ci3, true)
+	fmt.Printf("=== Figure 2a: CARM of %s (AVX-512 build) ===\n", model.Device)
+	rt := report.NewTable("roofs", "name", "kind", "value")
+	for _, r := range model.Roofs {
+		kind := "GINTOPS"
+		if r.Kind == carm.Memory {
+			kind = "GB/s"
+		}
+		rt.AddRowf(r.Name, kind, r.Value)
+	}
+	render(rt)
+
+	points, err := carm.CPUPoints(ci3, true, 2048, 16384)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pt := report.NewTable("approaches (2048 SNPs x 16384 samples)", "point", "AI intop/B", "GINTOPS", "ceiling", "bound")
+	for _, p := range points {
+		ceiling := model.Attainable(p.AI)
+		bound := "memory"
+		if ceiling >= model.Roofs[0].Value || p.GIntops > 0.5*ceiling {
+			bound = "compute"
+		}
+		pt.AddRowf(p.Name, p.AI, p.GIntops, ceiling, bound)
+	}
+	render(pt)
+}
+
+func gpuSide() {
+	gi2, err := device.GPUByID("GI2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := carm.GPUModel(gi2)
+	fmt.Printf("=== Figure 2b: CARM of %s ===\n", model.Device)
+	rt := report.NewTable("roofs", "name", "kind", "value")
+	for _, r := range model.Roofs {
+		kind := "GINTOPS"
+		if r.Kind == carm.Memory {
+			kind = "GB/s"
+		}
+		rt.AddRowf(r.Name, kind, r.Value)
+	}
+	render(rt)
+
+	// Execute the four kernels in the simulator on a scaled-down
+	// dataset (the characterization is size-independent in AI and
+	// near-independent in per-element rate).
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 64, Samples: 2048, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner := gpusim.New(gi2)
+	pt := report.NewTable("kernels (simulated, 64 SNPs x 2048 samples)", "point", "AI intop/B", "GINTOPS", "G elem/s", "coalesced txn")
+	for k := gpusim.K1Naive; k <= gpusim.K4Tiled; k++ {
+		res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := carm.PointFromGPUStats(k.String(), res.Stats)
+		pt.AddRowf(p.Name, p.AI, p.GIntops, res.Stats.ElementsPerSec/1e9, res.Stats.Transactions)
+	}
+	render(pt)
+}
+
+func render(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

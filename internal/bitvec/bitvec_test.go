@@ -1,0 +1,244 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTailMask(t *testing.T) {
+	if TailMask(0) != ^uint64(0) {
+		t.Errorf("TailMask(0) = %x, want all ones", TailMask(0))
+	}
+	if TailMask(64) != ^uint64(0) {
+		t.Errorf("TailMask(64) = %x, want all ones", TailMask(64))
+	}
+	if TailMask(1) != 1 {
+		t.Errorf("TailMask(1) = %x, want 1", TailMask(1))
+	}
+	if TailMask(65) != 1 {
+		t.Errorf("TailMask(65) = %x, want 1", TailMask(65))
+	}
+	if TailMask(10) != (1<<10)-1 {
+		t.Errorf("TailMask(10) = %x, want %x", TailMask(10), uint64(1<<10)-1)
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.OnesCount() != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", v.OnesCount(), len(idx))
+	}
+	for _, i := range idx {
+		v.Clear(i)
+	}
+	if v.OnesCount() != 0 {
+		t.Errorf("OnesCount after clear = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	if !v.Get(3) {
+		t.Error("SetTo(3,true) did not set")
+	}
+	v.SetTo(3, false)
+	if v.Get(3) {
+		t.Error("SetTo(3,false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10) },
+		func() { v.Clear(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestFromWords(t *testing.T) {
+	w := []uint64{0xff, 0x1}
+	v := FromWords(65, w)
+	if v.OnesCount() != 9 {
+		t.Errorf("OnesCount = %d, want 9", v.OnesCount())
+	}
+	// Mutating the shared slice is visible through the vector.
+	w[0] = 0
+	if v.OnesCount() != 1 {
+		t.Errorf("OnesCount after mutation = %d, want 1", v.OnesCount())
+	}
+}
+
+func TestFromWordsBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong word count")
+		}
+	}()
+	FromWords(65, []uint64{0})
+}
+
+func TestFromWordsDirtyTailPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for dirty tail bits")
+		}
+	}()
+	FromWords(10, []uint64{1 << 11})
+}
+
+func randVec(r *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestBooleanOpsAgainstBitLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 63, 64, 65, 200, 1024} {
+		a, b := randVec(r, n), randVec(r, n)
+		and, or, xor, andnot, nor, not := New(n), New(n), New(n), New(n), New(n), New(n)
+		and.And(a, b)
+		or.Or(a, b)
+		xor.Xor(a, b)
+		andnot.AndNot(a, b)
+		nor.Nor(a, b)
+		not.Not(a)
+		for i := 0; i < n; i++ {
+			ab, bb := a.Get(i), b.Get(i)
+			if and.Get(i) != (ab && bb) {
+				t.Fatalf("n=%d And bit %d wrong", n, i)
+			}
+			if or.Get(i) != (ab || bb) {
+				t.Fatalf("n=%d Or bit %d wrong", n, i)
+			}
+			if xor.Get(i) != (ab != bb) {
+				t.Fatalf("n=%d Xor bit %d wrong", n, i)
+			}
+			if andnot.Get(i) != (ab && !bb) {
+				t.Fatalf("n=%d AndNot bit %d wrong", n, i)
+			}
+			if nor.Get(i) != (!ab && !bb) {
+				t.Fatalf("n=%d Nor bit %d wrong", n, i)
+			}
+			if not.Get(i) != !ab {
+				t.Fatalf("n=%d Not bit %d wrong", n, i)
+			}
+		}
+		// Tail invariant must hold for the complementing ops.
+		for _, v := range []*Vector{nor, not} {
+			if len(v.w) > 0 && v.w[len(v.w)-1]&^TailMask(n) != 0 {
+				t.Fatalf("n=%d tail bits leaked", n)
+			}
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b, dst := New(10), New(11), New(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for length mismatch")
+		}
+	}()
+	dst.And(a, b)
+}
+
+func TestCloneEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randVec(r, 100)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(0)
+	c.Clear(1)
+	if a.Equal(c) && (a.Get(0) != c.Get(0) || a.Get(1) != c.Get(1)) {
+		t.Fatal("mutating clone affected original comparison")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("vectors of different length compared equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(5)
+	v.Set(1)
+	v.Set(4)
+	if got := v.String(); got != "01001" {
+		t.Errorf("String = %q, want 01001", got)
+	}
+}
+
+// Property: NOR-derived plane equals direct complement of union, and
+// the three planes of a partition always popcount to n.
+func TestNorPartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		r := rand.New(rand.NewSource(seed))
+		// Build two disjoint planes as a genotype encoding would.
+		p0, p1 := New(n), New(n)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				p0.Set(i)
+			case 1:
+				p1.Set(i)
+			}
+		}
+		p2 := New(n)
+		p2.Nor(p0, p1)
+		return p0.OnesCount()+p1.OnesCount()+p2.OnesCount() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

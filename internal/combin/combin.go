@@ -1,0 +1,239 @@
+// Package combin provides combination counting, enumeration and
+// colexicographic ranking for the exhaustive k-way interaction search.
+//
+// The search space of third-order epistasis detection over M SNPs is the
+// set of C(M,3) strictly increasing triples (i, j, k). The engine splits
+// that space into contiguous rank ranges for dynamic scheduling, which
+// requires a rank/unrank bijection; the colexicographic order
+//
+//	rank(i<j<k) = C(k,3) + C(j,2) + C(i,1)
+//
+// is used because unranking is a sequence of inverse-binomial searches.
+package combin
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial returns C(n, k) as an int64. It panics if the result would
+// overflow int64 or if the arguments are negative.
+func Binomial(n, k int) int64 {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("combin: negative argument C(%d,%d)", n, k))
+	}
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var r int64 = 1
+	for i := 1; i <= k; i++ {
+		// r * (n-k+i) / i is exact at every step because r holds C(n-k+i-1, i-1)
+		// times earlier exact divisions; guard the multiply.
+		f := int64(n - k + i)
+		if r > math.MaxInt64/f {
+			panic(fmt.Sprintf("combin: C(%d,%d) overflows int64", n, k))
+		}
+		r = r * f / int64(i)
+	}
+	return r
+}
+
+// Triples returns C(m, 3): the number of 3-way combinations of m items.
+func Triples(m int) int64 { return Binomial(m, 3) }
+
+// Pairs returns C(m, 2).
+func Pairs(m int) int64 { return Binomial(m, 2) }
+
+// Elements returns the paper's work metric for a dataset of m SNPs and
+// n samples at interaction order k: nCr(m, k) * n.
+func Elements(m, n, k int) float64 {
+	return float64(Binomial(m, k)) * float64(n)
+}
+
+// RankTriple returns the colexicographic rank of the triple i < j < k.
+func RankTriple(i, j, k int) int64 {
+	if !(0 <= i && i < j && j < k) {
+		panic(fmt.Sprintf("combin: invalid triple (%d,%d,%d)", i, j, k))
+	}
+	return Binomial(k, 3) + Binomial(j, 2) + int64(i)
+}
+
+// UnrankTriple inverts RankTriple: it returns the triple i < j < k with
+// the given colexicographic rank. m bounds the search (the rank must be
+// < C(m,3)).
+func UnrankTriple(rank int64, m int) (i, j, k int) {
+	if rank < 0 || rank >= Triples(m) {
+		panic(fmt.Sprintf("combin: rank %d out of range for m=%d", rank, m))
+	}
+	k = invBinomial(rank, 3, m)
+	rank -= Binomial(k, 3)
+	j = invBinomial(rank, 2, k)
+	rank -= Binomial(j, 2)
+	i = int(rank)
+	return i, j, k
+}
+
+// invBinomial returns the largest v < bound with C(v, k) <= target.
+func invBinomial(target int64, k, bound int) int {
+	lo, hi := k-1, bound-1 // C(k-1, k) == 0 <= target always holds
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if Binomial(mid, k) <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// NextTriple advances (i, j, k) to the next triple in colexicographic
+// order over m items. It reports false when the input is the last triple.
+func NextTriple(i, j, k, m int) (ni, nj, nk int, ok bool) {
+	switch {
+	case i+1 < j:
+		return i + 1, j, k, true
+	case j+1 < k:
+		return 0, j + 1, k, true
+	case k+1 < m:
+		return 0, 1, k + 1, true
+	default:
+		return 0, 0, 0, false
+	}
+}
+
+// ForEachTriple calls fn for every triple 0 <= i < j < k < m in
+// colexicographic order.
+func ForEachTriple(m int, fn func(i, j, k int)) {
+	for k := 2; k < m; k++ {
+		for j := 1; j < k; j++ {
+			for i := 0; i < j; i++ {
+				fn(i, j, k)
+			}
+		}
+	}
+}
+
+// ForEachPair calls fn for every pair 0 <= i < j < m in colexicographic
+// order (used by the 2-way search extension).
+func ForEachPair(m int, fn func(i, j int)) {
+	for j := 1; j < m; j++ {
+		for i := 0; i < j; i++ {
+			fn(i, j)
+		}
+	}
+}
+
+// RankPair returns the colexicographic rank of the pair i < j.
+func RankPair(i, j int) int64 {
+	if !(0 <= i && i < j) {
+		panic(fmt.Sprintf("combin: invalid pair (%d,%d)", i, j))
+	}
+	return Binomial(j, 2) + int64(i)
+}
+
+// UnrankPair inverts RankPair for pairs over m items.
+func UnrankPair(rank int64, m int) (i, j int) {
+	if rank < 0 || rank >= Pairs(m) {
+		panic(fmt.Sprintf("combin: pair rank %d out of range for m=%d", rank, m))
+	}
+	j = invBinomial(rank, 2, m)
+	i = int(rank - Binomial(j, 2))
+	return i, j
+}
+
+// Range is a half-open interval [Lo, Hi) of combination ranks.
+type Range struct {
+	Lo, Hi int64
+}
+
+// Len returns the number of ranks in the range.
+func (r Range) Len() int64 { return r.Hi - r.Lo }
+
+// Split partitions [0, total) into at most parts contiguous ranges of
+// near-equal size (sizes differ by at most one). Empty ranges are
+// omitted, so fewer than parts ranges may be returned.
+func Split(total int64, parts int) []Range {
+	if parts <= 0 {
+		panic(fmt.Sprintf("combin: parts must be positive, got %d", parts))
+	}
+	if total < 0 {
+		panic(fmt.Sprintf("combin: negative total %d", total))
+	}
+	n := int64(parts)
+	out := make([]Range, 0, parts)
+	base, rem := total/n, total%n
+	var lo int64
+	for p := int64(0); p < n && lo < total; p++ {
+		size := base
+		if p < rem {
+			size++
+		}
+		if size == 0 {
+			continue
+		}
+		out = append(out, Range{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// TripleBlocks returns the number of blocks of size bs needed to cover m
+// items: ceil(m/bs).
+func TripleBlocks(m, bs int) int { return (m + bs - 1) / bs }
+
+// Generic k-combination support (the engine's arbitrary-order search
+// mode). Combinations are strictly increasing index slices.
+
+// RankK returns the colexicographic rank of the combination comb
+// (strictly increasing).
+func RankK(comb []int) int64 {
+	var r int64
+	for i, v := range comb {
+		if i > 0 && comb[i-1] >= v {
+			panic(fmt.Sprintf("combin: combination %v not strictly increasing", comb))
+		}
+		r += Binomial(v, i+1)
+	}
+	return r
+}
+
+// UnrankK writes the combination with the given colexicographic rank
+// over m items into dst (whose length fixes k) and returns dst.
+func UnrankK(rank int64, m int, dst []int) []int {
+	k := len(dst)
+	if rank < 0 || rank >= Binomial(m, k) {
+		panic(fmt.Sprintf("combin: rank %d out of range for C(%d,%d)", rank, m, k))
+	}
+	bound := m
+	for i := k - 1; i >= 0; i-- {
+		v := invBinomial(rank, i+1, bound)
+		dst[i] = v
+		rank -= Binomial(v, i+1)
+		bound = v
+	}
+	return dst
+}
+
+// NextK advances comb to the next combination over m items in
+// colexicographic order, in place. It reports false at the last one.
+func NextK(comb []int, m int) bool {
+	k := len(comb)
+	for i := 0; i < k; i++ {
+		limit := m
+		if i+1 < k {
+			limit = comb[i+1]
+		}
+		if comb[i]+1 < limit {
+			comb[i]++
+			for j := 0; j < i; j++ {
+				comb[j] = j
+			}
+			return true
+		}
+	}
+	return false
+}

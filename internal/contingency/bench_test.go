@@ -1,0 +1,67 @@
+package contingency
+
+import (
+	"math/rand"
+	"testing"
+
+	"trigene/internal/dataset"
+)
+
+func benchPlanes(words int) [6][]uint64 {
+	r := rand.New(rand.NewSource(2))
+	var p [6][]uint64
+	for i := range p {
+		p[i] = make([]uint64, words)
+		for j := range p[i] {
+			p[i][j] = r.Uint64()
+		}
+	}
+	return p
+}
+
+// One 16384-sample class pass per iteration, matching the paper's
+// figure workloads.
+const benchWords = 256
+
+func BenchmarkAccumulateSplitScalar(b *testing.B) {
+	p := benchPlanes(benchWords)
+	b.SetBytes(benchWords * 8 * 6)
+	var ft [Cells]int32
+	for i := 0; i < b.N; i++ {
+		AccumulateSplit(&ft, p[0], p[1], p[2], p[3], p[4], p[5])
+	}
+}
+
+func BenchmarkAccumulateSplitLanes4(b *testing.B) {
+	p := benchPlanes(benchWords)
+	b.SetBytes(benchWords * 8 * 6)
+	var ft [Cells]int32
+	for i := 0; i < b.N; i++ {
+		AccumulateSplitLanes4(&ft, p[0], p[1], p[2], p[3], p[4], p[5])
+	}
+}
+
+func BenchmarkAccumulateSplitLanes8(b *testing.B) {
+	p := benchPlanes(benchWords)
+	b.SetBytes(benchWords * 8 * 6)
+	var ft [Cells]int32
+	for i := 0; i < b.N; i++ {
+		AccumulateSplitLanes8(&ft, p[0], p[1], p[2], p[3], p[4], p[5])
+	}
+}
+
+func BenchmarkBuildNaiveVsSplit(b *testing.B) {
+	mx := randomMatrix(3, 8, 16384)
+	bin := dataset.Binarize(mx)
+	spl := dataset.SplitBinarize(mx)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = BuildNaive(bin, 1, 4, 7)
+		}
+	})
+	b.Run("split", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = BuildSplit(spl, 1, 4, 7)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package contingency
+
+import (
+	"math/bits"
+
+	"trigene/internal/dataset"
+)
+
+// Pairwise (second-order) tables. Two-way epistasis detection — the
+// problem GBOOST, episNP and GWISFI target, and MPI3SNP's order-2 mode
+// — needs 3^2 = 9 genotype-combination counts per class. To reuse the
+// third-order objectives unchanged, pair counts are embedded in a
+// Table at cells gx*3 + gy (all other cells stay zero; empty cells
+// contribute exactly nothing to K2, MI and Gini).
+
+// PairCells is the number of genotype combinations for a SNP pair.
+const PairCells = 9
+
+// PairComboIndex returns the embedded table row for (gx, gy).
+func PairComboIndex(gx, gy int) int { return gx*3 + gy }
+
+// AccumulateSplitPair adds the pair-combination counts contributed by a
+// word range of the four stored planes. As with the triple kernel, the
+// genotype-2 planes are derived by NOR without tail masking; if the
+// range covers the padded final word the caller must subtract the
+// padding from cell (2,2) = PairComboIndex(2,2).
+func AccumulateSplitPair(ft *[Cells]int32, x0s, x1s, y0s, y1s []uint64) {
+	n := len(x0s)
+	if n == 0 {
+		return
+	}
+	_ = x1s[n-1]
+	_ = y0s[n-1]
+	_ = y1s[n-1]
+	for w := 0; w < n; w++ {
+		x0, x1 := x0s[w], x1s[w]
+		y0, y1 := y0s[w], y1s[w]
+		xs := [3]uint64{x0, x1, ^(x0 | x1)}
+		ys := [3]uint64{y0, y1, ^(y0 | y1)}
+		for gx := 0; gx < 3; gx++ {
+			x := xs[gx]
+			ft[gx*3] += int32(bits.OnesCount64(x & ys[0]))
+			ft[gx*3+1] += int32(bits.OnesCount64(x & ys[1]))
+			ft[gx*3+2] += int32(bits.OnesCount64(x & ys[2]))
+		}
+	}
+}
+
+// BuildSplitPair constructs the embedded pair table for SNPs (i, j)
+// from the phenotype-split dataset, applying the padding correction.
+func BuildSplitPair(s *dataset.Split, i, j int) Table {
+	var t Table
+	for class := 0; class < 2; class++ {
+		AccumulateSplitPair(&t.Counts[class],
+			s.Plane(class, i, 0), s.Plane(class, i, 1),
+			s.Plane(class, j, 0), s.Plane(class, j, 1))
+		t.Counts[class][PairComboIndex(2, 2)] -= int32(s.Pad[class])
+	}
+	return t
+}
+
+// BuildReferencePair computes the embedded pair table directly from
+// the genotype matrix, one sample at a time (the test oracle).
+func BuildReferencePair(mx *dataset.Matrix, i, j int) Table {
+	var t Table
+	for s := 0; s < mx.Samples(); s++ {
+		combo := PairComboIndex(int(mx.Geno(i, s)), int(mx.Geno(j, s)))
+		t.Counts[mx.Phen(s)][combo]++
+	}
+	return t
+}

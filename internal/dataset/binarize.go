@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"fmt"
+
+	"trigene/internal/bitvec"
+)
+
+// Binarized is the paper's Figure 1 representation (approach V1): for
+// every SNP, three bit planes over all N samples (one per genotype
+// value) plus one phenotype bit vector. Plane g of SNP i has bit j set
+// iff sample j carries genotype g at SNP i.
+type Binarized struct {
+	M, N   int
+	Words  int // 64-bit words per plane
+	planes []uint64
+	Phen   *bitvec.Vector
+}
+
+// Binarize converts a genotype matrix into the three-plane form.
+func Binarize(mx *Matrix) *Binarized {
+	m, n := mx.SNPs(), mx.Samples()
+	w := bitvec.WordsFor(n)
+	b := &Binarized{
+		M:      m,
+		N:      n,
+		Words:  w,
+		planes: make([]uint64, m*3*w),
+		Phen:   bitvec.New(n),
+	}
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j, g := range row {
+			b.planeWords(i, int(g))[j/bitvec.WordBits] |= 1 << (uint(j) % bitvec.WordBits)
+		}
+	}
+	for j := 0; j < n; j++ {
+		if mx.Phen(j) == Case {
+			b.Phen.Set(j)
+		}
+	}
+	return b
+}
+
+func (b *Binarized) planeWords(snp, g int) []uint64 {
+	off := (snp*3 + g) * b.Words
+	return b.planes[off : off+b.Words]
+}
+
+// Plane returns the words of genotype plane g (0, 1 or 2) of the given
+// SNP. The slice aliases internal storage.
+func (b *Binarized) Plane(snp, g int) []uint64 {
+	if snp < 0 || snp >= b.M || g < 0 || g > 2 {
+		panic(fmt.Sprintf("dataset: plane (%d,%d) out of range", snp, g))
+	}
+	return b.planeWords(snp, g)
+}
+
+// Split is the phenotype-split two-plane representation used by
+// approaches V2 and later: samples are partitioned into controls and
+// cases, each SNP stores only genotype planes 0 and 1 per class, and
+// the genotype-2 plane is inferred with NOR at kernel time.
+//
+// Padding: each class vector is padded to a whole number of 64-bit
+// words with zero bits. A NOR over zero padding yields ones, which
+// inflates exactly the (2,2,2) frequency cell by Pad[class]; the
+// contingency builders subtract that known correction.
+type Split struct {
+	M      int
+	N      [2]int // samples per class
+	Words  [2]int // 64-bit words per class plane
+	Pad    [2]int // padding bits per class (= Words*64 - N)
+	planes [2][]uint64
+}
+
+// SplitBinarize converts a genotype matrix into the phenotype-split
+// two-plane form. Sample order within each class follows the original
+// sample order.
+func SplitBinarize(mx *Matrix) *Split {
+	m := mx.SNPs()
+	controls, cases := mx.ClassCounts()
+	s := &Split{M: m}
+	s.N[Control], s.N[Case] = controls, cases
+	for c := 0; c < 2; c++ {
+		s.Words[c] = bitvec.WordsFor(s.N[c])
+		s.Pad[c] = s.Words[c]*bitvec.WordBits - s.N[c]
+		s.planes[c] = make([]uint64, m*2*s.Words[c])
+	}
+	// Position of each sample within its class.
+	pos := make([]int, mx.Samples())
+	var nc [2]int
+	for j := 0; j < mx.Samples(); j++ {
+		c := int(mx.Phen(j))
+		pos[j] = nc[c]
+		nc[c]++
+	}
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j, g := range row {
+			if g > 1 {
+				continue // genotype 2 is implicit
+			}
+			c := int(mx.Phen(j))
+			p := pos[j]
+			s.plane(c, i, int(g))[p/bitvec.WordBits] |= 1 << (uint(p) % bitvec.WordBits)
+		}
+	}
+	return s
+}
+
+func (s *Split) plane(class, snp, g int) []uint64 {
+	w := s.Words[class]
+	off := (snp*2 + g) * w
+	return s.planes[class][off : off+w]
+}
+
+// Plane returns the words of genotype plane g (0 or 1) of the given SNP
+// for the given class. The slice aliases internal storage.
+func (s *Split) Plane(class, snp, g int) []uint64 {
+	if class < 0 || class > 1 || snp < 0 || snp >= s.M || g < 0 || g > 1 {
+		panic(fmt.Sprintf("dataset: split plane (%d,%d,%d) out of range", class, snp, g))
+	}
+	return s.plane(class, snp, g)
+}
+
+// PlaneRange returns words [w0, w1) of plane g of the given SNP/class.
+// The blocked kernels use it to walk sample tiles.
+func (s *Split) PlaneRange(class, snp, g, w0, w1 int) []uint64 {
+	p := s.Plane(class, snp, g)
+	return p[w0:w1]
+}
+
+// BytesPerCombination returns how many bytes of plane data one
+// combination evaluation streams for this dataset (both classes, both
+// stored planes, three SNPs). Used for arithmetic-intensity accounting.
+func (s *Split) BytesPerCombination() int {
+	return (s.Words[Control] + s.Words[Case]) * 2 * 3 * 8
+}

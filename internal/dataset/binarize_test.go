@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trigene/internal/bitvec"
+)
+
+func randomMatrix(seed int64, m, n int) *Matrix {
+	r := rand.New(rand.NewSource(seed))
+	mx := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j := range row {
+			row[j] = uint8(r.Intn(3))
+		}
+	}
+	for j := 0; j < n; j++ {
+		mx.SetPhen(j, uint8(r.Intn(2)))
+	}
+	return mx
+}
+
+func TestBinarizePlanesPartition(t *testing.T) {
+	mx := randomMatrix(10, 5, 130)
+	b := Binarize(mx)
+	if b.M != 5 || b.N != 130 {
+		t.Fatalf("dims = %dx%d", b.M, b.N)
+	}
+	for i := 0; i < b.M; i++ {
+		for j := 0; j < b.N; j++ {
+			g := mx.Geno(i, j)
+			for plane := 0; plane < 3; plane++ {
+				bit := b.Plane(i, plane)[j/64]>>(uint(j)%64)&1 != 0
+				if bit != (int(g) == plane) {
+					t.Fatalf("SNP %d sample %d plane %d: bit %v, genotype %d", i, j, plane, bit, g)
+				}
+			}
+		}
+		// Planes partition the samples.
+		total := 0
+		for plane := 0; plane < 3; plane++ {
+			total += bitvec.PopCount(b.Plane(i, plane))
+		}
+		if total != b.N {
+			t.Fatalf("SNP %d planes sum to %d, want %d", i, total, b.N)
+		}
+	}
+	// Phenotype vector matches.
+	for j := 0; j < b.N; j++ {
+		if b.Phen.Get(j) != (mx.Phen(j) == Case) {
+			t.Fatalf("phenotype bit %d mismatch", j)
+		}
+	}
+}
+
+func TestBinarizePlaneRangePanics(t *testing.T) {
+	b := Binarize(randomMatrix(1, 3, 10))
+	for _, f := range []func(){
+		func() { b.Plane(3, 0) },
+		func() { b.Plane(0, 3) },
+		func() { b.Plane(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSplitBinarizeCountsAndPlanes(t *testing.T) {
+	mx := randomMatrix(11, 6, 200)
+	s := SplitBinarize(mx)
+	controls, cases := mx.ClassCounts()
+	if s.N[Control] != controls || s.N[Case] != cases {
+		t.Fatalf("split sizes (%d,%d), want (%d,%d)", s.N[Control], s.N[Case], controls, cases)
+	}
+	for c := 0; c < 2; c++ {
+		if s.Words[c] != bitvec.WordsFor(s.N[c]) {
+			t.Errorf("class %d words = %d", c, s.Words[c])
+		}
+		if s.Pad[c] != s.Words[c]*64-s.N[c] {
+			t.Errorf("class %d pad = %d", c, s.Pad[c])
+		}
+	}
+	// Reconstruct genotype counts per class from planes; compare with the
+	// matrix. Plane 0 and 1 are stored, genotype 2 count is the remainder.
+	for i := 0; i < s.M; i++ {
+		var want [2][3]int
+		for j := 0; j < mx.Samples(); j++ {
+			want[mx.Phen(j)][mx.Geno(i, j)]++
+		}
+		for c := 0; c < 2; c++ {
+			n0 := bitvec.PopCount(s.Plane(c, i, 0))
+			n1 := bitvec.PopCount(s.Plane(c, i, 1))
+			if n0 != want[c][0] || n1 != want[c][1] {
+				t.Fatalf("SNP %d class %d: planes (%d,%d), want (%d,%d)", i, c, n0, n1, want[c][0], want[c][1])
+			}
+			if s.N[c]-n0-n1 != want[c][2] {
+				t.Fatalf("SNP %d class %d: inferred g2 %d, want %d", i, c, s.N[c]-n0-n1, want[c][2])
+			}
+		}
+	}
+}
+
+// Property: for any matrix, the NOR-derived genotype-2 plane (with the
+// pad correction) counts exactly the genotype-2 samples.
+func TestSplitNorInferenceProperty(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%5) + 3
+		n := int(nRaw%150) + 2
+		mx := randomMatrix(seed, m, n)
+		s := SplitBinarize(mx)
+		for c := 0; c < 2; c++ {
+			for i := 0; i < m; i++ {
+				g2 := make([]uint64, s.Words[c])
+				bitvec.Nor(g2, s.Plane(c, i, 0), s.Plane(c, i, 1))
+				got := bitvec.PopCount(g2) - s.Pad[c] // pad bits come out as ones
+				want := 0
+				for j := 0; j < n; j++ {
+					if int(mx.Phen(j)) == c && mx.Geno(i, j) == 2 {
+						want++
+					}
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitPlaneRange(t *testing.T) {
+	mx := randomMatrix(12, 3, 300)
+	s := SplitBinarize(mx)
+	full := s.Plane(Control, 1, 0)
+	part := s.PlaneRange(Control, 1, 0, 1, 3)
+	if len(part) != 2 || &part[0] != &full[1] {
+		t.Error("PlaneRange should alias the plane storage")
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	s := SplitBinarize(randomMatrix(1, 3, 10))
+	for _, f := range []func(){
+		func() { s.Plane(2, 0, 0) },
+		func() { s.Plane(0, 3, 0) },
+		func() { s.Plane(0, 0, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBytesPerCombination(t *testing.T) {
+	mx := randomMatrix(13, 3, 128)
+	s := SplitBinarize(mx)
+	want := (s.Words[0] + s.Words[1]) * 2 * 3 * 8
+	if got := s.BytesPerCombination(); got != want {
+		t.Errorf("BytesPerCombination = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	mx, err := Generate(GenConfig{SNPs: 50, Samples: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.SNPs() != 50 || mx.Samples() != 400 {
+		t.Fatalf("dims %dx%d", mx.SNPs(), mx.Samples())
+	}
+	if err := mx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Default prevalence 0.5 should give roughly balanced classes.
+	controls, cases := mx.ClassCounts()
+	if controls < 120 || cases < 120 {
+		t.Errorf("classes too imbalanced: %d/%d", controls, cases)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{SNPs: 20, Samples: 100, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 100; j++ {
+			if a.Geno(i, j) != b.Geno(i, j) {
+				t.Fatal("same seed produced different genotypes")
+			}
+		}
+	}
+	for j := 0; j < 100; j++ {
+		if a.Phen(j) != b.Phen(j) {
+			t.Fatal("same seed produced different phenotypes")
+		}
+	}
+	c, err := Generate(GenConfig{SNPs: 20, Samples: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 20 && same; i++ {
+		for j := 0; j < 100; j++ {
+			if a.Geno(i, j) != c.Geno(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical genotypes")
+	}
+}
+
+func TestGenerateMAFBounds(t *testing.T) {
+	// With a high fixed MAF range, genotype 2 should be common; with a
+	// low range, rare.
+	hi, err := Generate(GenConfig{SNPs: 10, Samples: 2000, Seed: 7, MAFMin: 0.45, MAFMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Generate(GenConfig{SNPs: 10, Samples: 2000, Seed: 7, MAFMin: 0.01, MAFMax: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hi2, lo2 int
+	for i := 0; i < 10; i++ {
+		hi2 += hi.GenotypeCounts(i)[2]
+		lo2 += lo.GenotypeCounts(i)[2]
+	}
+	if hi2 <= lo2*5 {
+		t.Errorf("high-MAF g2 count %d not clearly above low-MAF %d", hi2, lo2)
+	}
+	// Hardy-Weinberg rough check at MAF ~ 0.475: P(g2) ~ 0.226.
+	p2 := float64(hi2) / (10 * 2000)
+	if math.Abs(p2-0.226) > 0.05 {
+		t.Errorf("high-MAF P(g2) = %.3f, want ~0.226", p2)
+	}
+}
+
+func TestGeneratePrevalence(t *testing.T) {
+	mx, err := Generate(GenConfig{SNPs: 5, Samples: 4000, Seed: 3, Prevalence: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cases := mx.ClassCounts()
+	frac := float64(cases) / 4000
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Errorf("case fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestGeneratePlantedInteractionShiftsPhenotype(t *testing.T) {
+	it := &Interaction{SNPs: [3]int{1, 4, 7}, Penetrance: ThresholdPenetrance(3, 0.1, 0.9)}
+	mx, err := Generate(GenConfig{SNPs: 10, Samples: 3000, Seed: 9, Interaction: it})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Among samples whose triple-genotype sum >= 3, cases dominate.
+	var highCase, highTotal, lowCase, lowTotal int
+	for j := 0; j < 3000; j++ {
+		sum := int(mx.Geno(1, j)) + int(mx.Geno(4, j)) + int(mx.Geno(7, j))
+		if sum >= 3 {
+			highTotal++
+			if mx.Phen(j) == Case {
+				highCase++
+			}
+		} else {
+			lowTotal++
+			if mx.Phen(j) == Case {
+				lowCase++
+			}
+		}
+	}
+	if highTotal == 0 || lowTotal == 0 {
+		t.Skip("degenerate drawing")
+	}
+	if float64(highCase)/float64(highTotal) < 0.7 {
+		t.Errorf("penetrant group case rate %.2f, want > 0.7", float64(highCase)/float64(highTotal))
+	}
+	if float64(lowCase)/float64(lowTotal) > 0.3 {
+		t.Errorf("non-penetrant group case rate %.2f, want < 0.3", float64(lowCase)/float64(lowTotal))
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []GenConfig{
+		{SNPs: 2, Samples: 10},
+		{SNPs: 10, Samples: 1},
+		{SNPs: 10, Samples: 10, MAFMin: 0.4, MAFMax: 0.2},
+		{SNPs: 10, Samples: 10, MAFMin: -0.1, MAFMax: 0.3},
+		{SNPs: 10, Samples: 10, MAFMax: 0.7},
+		{SNPs: 10, Samples: 10, Prevalence: 1.5},
+		{SNPs: 10, Samples: 10, Interaction: &Interaction{SNPs: [3]int{0, 0, 1}}},
+		{SNPs: 10, Samples: 10, Interaction: &Interaction{SNPs: [3]int{0, 1, 99}}},
+		{SNPs: 10, Samples: 10, Interaction: &Interaction{SNPs: [3]int{0, 1, 2}, Penetrance: [27]float64{0: 2.0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestPenetranceTables(t *testing.T) {
+	th := ThresholdPenetrance(3, 0.1, 0.9)
+	// combo (0,0,0) = index 0: sum 0 -> low; combo (2,2,2) = 26: sum 6 -> high.
+	if th[0] != 0.1 || th[26] != 0.9 {
+		t.Errorf("threshold table corners wrong: %v %v", th[0], th[26])
+	}
+	// combo (1,1,1) = 13: sum 3 -> high.
+	if th[13] != 0.9 {
+		t.Errorf("threshold table midpoint wrong: %v", th[13])
+	}
+
+	xor := XorPenetrance(0.1, 0.9)
+	// (0,0,0): 0 nonzero -> low. (1,0,0) = index 9: 1 nonzero -> high.
+	// (1,1,0) = index 12: 2 nonzero -> low. (1,1,1) = 13 -> high.
+	if xor[0] != 0.1 || xor[9] != 0.9 || xor[12] != 0.1 || xor[13] != 0.9 {
+		t.Error("xor table wrong")
+	}
+
+	mult := MultiplicativePenetrance(0.05, 2)
+	if mult[0] != 0.05 {
+		t.Errorf("mult base wrong: %v", mult[0])
+	}
+	if mult[26] != 1.0 { // 0.05 * 2^6 = 3.2 -> capped
+		t.Errorf("mult cap wrong: %v", mult[26])
+	}
+	if math.Abs(mult[13]-0.4) > 1e-12 { // 0.05 * 2^3
+		t.Errorf("mult midpoint wrong: %v", mult[13])
+	}
+}
+
+func TestGenerateDegenerateFails(t *testing.T) {
+	// Prevalence ~0 with enough samples will never draw a case.
+	if _, err := Generate(GenConfig{SNPs: 3, Samples: 50, Seed: 5, Prevalence: 1e-12}); err == nil {
+		t.Error("expected failure for degenerate prevalence")
+	}
+}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format:
+//
+//	#trigene v1 <M> <N>
+//	<M lines of N genotype digits (0/1/2), no separators>
+//	<1 line of N phenotype digits (0/1)>
+//
+// Binary format (little endian):
+//
+//	magic "TGB1", uint32 M, uint32 N,
+//	M*N genotypes packed 2 bits each (4 per byte, row-major),
+//	N phenotypes packed 1 bit each (8 per byte).
+
+const textMagic = "#trigene v1"
+
+// WriteText serializes the matrix in the line-oriented text format.
+func WriteText(w io.Writer, mx *Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d %d\n", textMagic, mx.SNPs(), mx.Samples()); err != nil {
+		return err
+	}
+	line := make([]byte, mx.Samples()+1)
+	line[mx.Samples()] = '\n'
+	for i := 0; i < mx.SNPs(); i++ {
+		row := mx.Row(i)
+		for j, g := range row {
+			line[j] = '0' + g
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < mx.Samples(); j++ {
+		line[j] = '0' + mx.Phen(j)
+	}
+	if _, err := bw.Write(line); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format produced by WriteText.
+func ReadText(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: empty input: %w", orEOF(sc.Err()))
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, textMagic) {
+		return nil, fmt.Errorf("dataset: bad header %q", truncate(header, 40))
+	}
+	fields := strings.Fields(strings.TrimPrefix(header, textMagic))
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("dataset: header needs M and N, got %q", truncate(header, 40))
+	}
+	m, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad M: %w", err)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad N: %w", err)
+	}
+	if m <= 0 || n <= 0 || m > 1<<24 || n > 1<<24 {
+		return nil, fmt.Errorf("dataset: unreasonable dimensions %dx%d", m, n)
+	}
+	mx := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("dataset: truncated at SNP row %d: %w", i, orEOF(sc.Err()))
+		}
+		row := sc.Bytes()
+		if len(row) != n {
+			return nil, fmt.Errorf("dataset: SNP row %d has %d values, want %d", i, len(row), n)
+		}
+		dst := mx.Row(i)
+		for j, ch := range row {
+			if ch < '0' || ch > '2' {
+				return nil, fmt.Errorf("dataset: SNP row %d sample %d: invalid genotype %q", i, j, ch)
+			}
+			dst[j] = ch - '0'
+		}
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("dataset: missing phenotype row: %w", orEOF(sc.Err()))
+	}
+	prow := sc.Bytes()
+	if len(prow) != n {
+		return nil, fmt.Errorf("dataset: phenotype row has %d values, want %d", len(prow), n)
+	}
+	for j, ch := range prow {
+		if ch != '0' && ch != '1' {
+			return nil, fmt.Errorf("dataset: sample %d: invalid phenotype %q", j, ch)
+		}
+		mx.SetPhen(j, ch-'0')
+	}
+	return mx, nil
+}
+
+var binMagic = [4]byte{'T', 'G', 'B', '1'}
+
+// WriteBinary serializes the matrix in the compact binary format.
+func WriteBinary(w io.Writer, mx *Matrix) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(mx.SNPs()))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(mx.Samples()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Genotypes, 2 bits each.
+	var acc byte
+	var nacc int
+	flush := func() error {
+		if nacc > 0 {
+			if err := bw.WriteByte(acc); err != nil {
+				return err
+			}
+			acc, nacc = 0, 0
+		}
+		return nil
+	}
+	for i := 0; i < mx.SNPs(); i++ {
+		for _, g := range mx.Row(i) {
+			acc |= g << (uint(nacc) * 2)
+			nacc++
+			if nacc == 4 {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// Phenotypes, 1 bit each.
+	acc, nacc = 0, 0
+	for j := 0; j < mx.Samples(); j++ {
+		acc |= mx.Phen(j) << uint(nacc)
+		nacc++
+		if nacc == 8 {
+			if err := bw.WriteByte(acc); err != nil {
+				return err
+			}
+			acc, nacc = 0, 0
+		}
+	}
+	if nacc > 0 {
+		if err := bw.WriteByte(acc); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("dataset: bad magic %q", magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[0:]))
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if m <= 0 || n <= 0 || m > 1<<24 || n > 1<<24 {
+		return nil, fmt.Errorf("dataset: unreasonable dimensions %dx%d", m, n)
+	}
+	mx := NewMatrix(m, n)
+	genoBytes := (m*n + 3) / 4
+	buf := make([]byte, genoBytes)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("dataset: reading genotypes: %w", err)
+	}
+	for idx := 0; idx < m*n; idx++ {
+		g := buf[idx/4] >> (uint(idx%4) * 2) & 3
+		if g > 2 {
+			return nil, fmt.Errorf("dataset: invalid packed genotype 3 at index %d", idx)
+		}
+		mx.geno[idx] = g
+	}
+	phenBytes := (n + 7) / 8
+	pbuf := make([]byte, phenBytes)
+	if _, err := io.ReadFull(br, pbuf); err != nil {
+		return nil, fmt.Errorf("dataset: reading phenotypes: %w", err)
+	}
+	for j := 0; j < n; j++ {
+		mx.phen[j] = pbuf[j/8] >> (uint(j) % 8) & 1
+	}
+	return mx, nil
+}
+
+func orEOF(err error) error {
+	if err == nil {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

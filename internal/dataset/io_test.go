@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.SNPs() != b.SNPs() || a.Samples() != b.Samples() {
+		return false
+	}
+	for i := 0; i < a.SNPs(); i++ {
+		for j := 0; j < a.Samples(); j++ {
+			if a.Geno(i, j) != b.Geno(i, j) {
+				return false
+			}
+		}
+	}
+	for j := 0; j < a.Samples(); j++ {
+		if a.Phen(j) != b.Phen(j) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	mx := randomMatrix(30, 7, 53)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, mx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(mx, back) {
+		t.Error("text round trip changed data")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	mx := randomMatrix(31, 9, 101)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, mx); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(mx, back) {
+		t.Error("binary round trip changed data")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	mx := randomMatrix(32, 50, 400)
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, mx); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, mx); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len()/2 {
+		t.Errorf("binary %d bytes, text %d bytes: binary should be <= 1/2", bb.Len(), tb.Len())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw uint8) bool {
+		m := int(mRaw%8) + 1
+		n := int(nRaw%80) + 1
+		mx := randomMatrix(seed, m, n)
+		var tb, bb bytes.Buffer
+		if WriteText(&tb, mx) != nil || WriteBinary(&bb, mx) != nil {
+			return false
+		}
+		t1, err1 := ReadText(&tb)
+		t2, err2 := ReadBinary(&bb)
+		return err1 == nil && err2 == nil && matricesEqual(mx, t1) && matricesEqual(mx, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad magic":        "#other v1 2 2\n00\n00\n00\n",
+		"missing dims":     "#trigene v1 2\n",
+		"bad M":            "#trigene v1 x 2\n00\n00\n00\n",
+		"bad N":            "#trigene v1 2 y\n00\n00\n00\n",
+		"zero dims":        "#trigene v1 0 2\n",
+		"huge dims":        "#trigene v1 99999999 2\n",
+		"short row":        "#trigene v1 2 3\n000\n00\n000\n",
+		"bad genotype":     "#trigene v1 1 3\n003\n000\n",
+		"missing phen":     "#trigene v1 1 3\n000\n",
+		"short phen":       "#trigene v1 1 3\n000\n00\n",
+		"bad phen":         "#trigene v1 1 3\n000\n002\n",
+		"truncated matrix": "#trigene v1 3 3\n000\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	mx := randomMatrix(33, 2, 10)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, mx); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty: expected error")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic: expected error")
+	}
+	if _, err := ReadBinary(bytes.NewReader(full[:6])); err == nil {
+		t.Error("short header: expected error")
+	}
+	if _, err := ReadBinary(bytes.NewReader(full[:len(full)-1])); err == nil {
+		t.Error("truncated body: expected error")
+	}
+	// Corrupt dimensions.
+	bad := append([]byte(nil), full...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("huge dims: expected error")
+	}
+	// Corrupt a genotype to the invalid packed value 3. Find a byte in
+	// the genotype area and set two bits.
+	bad = append([]byte(nil), full...)
+	bad[12] |= 0x03
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("invalid genotype: expected error")
+	}
+}

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// bitAt32 extracts sample bit j for (class, plane, snp) from a Words32.
+func bitAt32(w *Words32, class, g, snp, j int) bool {
+	word := j / WordBits32
+	return w.Word(class, g, snp, word)>>(uint(j)%WordBits32)&1 != 0
+}
+
+func TestWords32AllLayoutsPreserveBits(t *testing.T) {
+	mx := randomMatrix(20, 7, 97) // odd sample count exercises padding
+	s := SplitBinarize(mx)
+	for _, layout := range []Layout{LayoutRowMajor, LayoutTransposed, LayoutTiled} {
+		bs := 0
+		if layout == LayoutTiled {
+			bs = 4 // 7 SNPs -> padded to 8
+		}
+		w := BuildWords32(s, layout, bs)
+		if layout == LayoutTiled && w.MPadded != 8 {
+			t.Fatalf("%v: MPadded = %d, want 8", layout, w.MPadded)
+		}
+		// Track class-local sample positions as SplitBinarize assigns them.
+		var pos [2]int
+		for j := 0; j < mx.Samples(); j++ {
+			c := int(mx.Phen(j))
+			p := pos[c]
+			pos[c]++
+			for g := 0; g < 2; g++ {
+				want := mx.Geno(0, j) == uint8(g) // checked per SNP below
+				_ = want
+				for snp := 0; snp < s.M; snp++ {
+					wantBit := mx.Geno(snp, j) == uint8(g)
+					if got := bitAt32(w, c, g, snp, p); got != wantBit {
+						t.Fatalf("%v: class %d plane %d snp %d sample %d: bit %v, want %v",
+							layout, c, g, snp, j, got, wantBit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWords32IndexDistinct(t *testing.T) {
+	mx := randomMatrix(21, 6, 70)
+	s := SplitBinarize(mx)
+	for _, layout := range []Layout{LayoutRowMajor, LayoutTransposed, LayoutTiled} {
+		bs := 0
+		if layout == LayoutTiled {
+			bs = 3
+		}
+		w := BuildWords32(s, layout, bs)
+		for c := 0; c < 2; c++ {
+			seen := map[int]bool{}
+			for snp := 0; snp < s.M; snp++ {
+				for k := 0; k < w.W[c]; k++ {
+					idx := w.Index(snp, k, c)
+					if idx < 0 || idx >= len(w.Data(c, 0)) {
+						t.Fatalf("%v: index %d out of bounds", layout, idx)
+					}
+					if seen[idx] {
+						t.Fatalf("%v: duplicate index %d", layout, idx)
+					}
+					seen[idx] = true
+				}
+			}
+		}
+	}
+}
+
+func TestWords32TransposedCoalescing(t *testing.T) {
+	// The defining property of the transposed layout: for a fixed word,
+	// consecutive SNPs occupy consecutive addresses.
+	mx := randomMatrix(22, 9, 64)
+	s := SplitBinarize(mx)
+	w := BuildWords32(s, LayoutTransposed, 0)
+	for snp := 0; snp+1 < s.M; snp++ {
+		if w.Index(snp+1, 0, Control)-w.Index(snp, 0, Control) != 1 {
+			t.Fatal("transposed layout should place consecutive SNPs adjacently")
+		}
+	}
+	// Row-major does not (unless W == 1).
+	rm := BuildWords32(s, LayoutRowMajor, 0)
+	if rm.W[Control] > 1 {
+		if rm.Index(1, 0, Control)-rm.Index(0, 0, Control) == 1 {
+			t.Fatal("row-major layout should stride by W between SNPs")
+		}
+	}
+}
+
+func TestWords32TiledAdjacency(t *testing.T) {
+	// Within a tile, consecutive SNPs at the same word are adjacent.
+	mx := randomMatrix(23, 8, 96)
+	s := SplitBinarize(mx)
+	w := BuildWords32(s, LayoutTiled, 4)
+	if w.Index(1, 0, Control)-w.Index(0, 0, Control) != 1 {
+		t.Fatal("tiled layout should place tile-mates adjacently")
+	}
+	// Across a tile boundary the distance is the whole tile extent.
+	d := w.Index(4, 0, Control) - w.Index(3, 0, Control)
+	if d != 4*w.W[Control]-3 {
+		t.Fatalf("tile boundary stride = %d, want %d", d, 4*w.W[Control]-3)
+	}
+}
+
+func TestBuildWords32TiledNeedsBS(t *testing.T) {
+	mx := randomMatrix(24, 4, 32)
+	s := SplitBinarize(mx)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bs=0 tiled")
+		}
+	}()
+	BuildWords32(s, LayoutTiled, 0)
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutRowMajor.String() != "row-major" ||
+		LayoutTransposed.String() != "transposed" ||
+		LayoutTiled.String() != "tiled" {
+		t.Error("layout names wrong")
+	}
+	if Layout(99).String() == "" {
+		t.Error("unknown layout should still render")
+	}
+}
+
+func TestBuildNaive32MatchesBinarized(t *testing.T) {
+	mx := randomMatrix(25, 5, 77)
+	b := Binarize(mx)
+	n32 := BuildNaive32(b)
+	if n32.Pad != n32.W*32-77 {
+		t.Fatalf("pad = %d", n32.Pad)
+	}
+	for i := 0; i < b.M; i++ {
+		for g := 0; g < 3; g++ {
+			for j := 0; j < b.N; j++ {
+				want := mx.Geno(i, j) == uint8(g)
+				got := n32.Word(g, i, j/32)>>(uint(j)%32)&1 != 0
+				if got != want {
+					t.Fatalf("naive32 plane %d snp %d sample %d mismatch", g, i, j)
+				}
+			}
+		}
+	}
+	for j := 0; j < b.N; j++ {
+		got := n32.Phen[j/32]>>(uint(j)%32)&1 != 0
+		if got != (mx.Phen(j) == Case) {
+			t.Fatalf("naive32 phenotype bit %d mismatch", j)
+		}
+	}
+}

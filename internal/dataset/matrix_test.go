@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestNewMatrixAndAccessors(t *testing.T) {
+	mx := NewMatrix(4, 10)
+	if mx.SNPs() != 4 || mx.Samples() != 10 {
+		t.Fatalf("dims = %dx%d, want 4x10", mx.SNPs(), mx.Samples())
+	}
+	mx.SetGeno(2, 5, 2)
+	mx.SetGeno(0, 0, 1)
+	if mx.Geno(2, 5) != 2 || mx.Geno(0, 0) != 1 || mx.Geno(3, 9) != 0 {
+		t.Error("genotype round trip failed")
+	}
+	mx.SetPhen(7, Case)
+	if mx.Phen(7) != Case || mx.Phen(0) != Control {
+		t.Error("phenotype round trip failed")
+	}
+	controls, cases := mx.ClassCounts()
+	if controls != 9 || cases != 1 {
+		t.Errorf("ClassCounts = (%d,%d), want (9,1)", controls, cases)
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mx := NewMatrix(2, 3)
+	for name, f := range map[string]func(){
+		"bad dims":       func() { NewMatrix(0, 5) },
+		"geno range":     func() { mx.Geno(2, 0) },
+		"geno value":     func() { mx.SetGeno(0, 0, 3) },
+		"phen range":     func() { mx.Phen(3) },
+		"phen value":     func() { mx.SetPhen(0, 2) },
+		"neg sample":     func() { mx.Phen(-1) },
+		"neg snp":        func() { mx.Geno(-1, 0) },
+		"set geno range": func() { mx.SetGeno(0, 3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGenotypeCounts(t *testing.T) {
+	mx := NewMatrix(1, 6)
+	for j, g := range []uint8{0, 1, 2, 2, 1, 2} {
+		mx.SetGeno(0, j, g)
+	}
+	counts := mx.GenotypeCounts(0)
+	if counts != [3]int{1, 2, 3} {
+		t.Errorf("GenotypeCounts = %v, want [1 2 3]", counts)
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	mx := NewMatrix(2, 4)
+	row := mx.Row(1)
+	row[2] = 2
+	if mx.Geno(1, 2) != 2 {
+		t.Error("Row should alias matrix storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	mx := NewMatrix(2, 4)
+	mx.SetPhen(0, Case)
+	if err := mx.Validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+
+	// Corrupt through the aliasing Row accessor.
+	mx.Row(0)[1] = 7
+	if err := mx.Validate(); err == nil {
+		t.Error("invalid genotype not caught")
+	}
+	mx.Row(0)[1] = 0
+
+	mx.Phenotypes()[0] = 9
+	if err := mx.Validate(); err == nil {
+		t.Error("invalid phenotype not caught")
+	}
+	mx.Phenotypes()[0] = 0
+
+	// Single class is degenerate.
+	if err := mx.Validate(); err == nil {
+		t.Error("single-class dataset not caught")
+	}
+}

@@ -1,0 +1,206 @@
+// Package device catalogs the 13 CPU and GPU devices of the paper's
+// experimental evaluation (Tables I and II), extended with the
+// microarchitectural parameters the roofline model, the GPU simulator
+// and the analytical performance models need.
+//
+// Fields lifted verbatim from the paper's tables are marked "Table I"
+// or "Table II" in the comments; the remaining parameters (cache sizes,
+// bandwidths, TDP) come from vendor specification sheets and are only
+// used to shape modeled results, never presented as measurements.
+package device
+
+import "fmt"
+
+// CPU describes one CPU system from Table I.
+type CPU struct {
+	ID   string // paper's system label, e.g. "CI3"
+	Name string
+	Arch string
+
+	Sockets        int     // number of packages in the system
+	CoresPerSocket int     // physical cores per package
+	BaseGHz        float64 // Table I base frequency
+	VectorBits     int     // Table I vector width (AVX=256, AVX512=512; CA1 executes AVX as 2x128)
+
+	// HasAVX512 marks CI2/CI3; such systems are also evaluated with the
+	// 256-bit AVX build for fair cross-vendor comparison (Figure 3).
+	HasAVX512 bool
+	// HasVectorPopcnt marks Ice Lake SP's AVX512-VPOPCNTDQ: the single
+	// feature the paper identifies as decisive for CPU performance.
+	HasVectorPopcnt bool
+	// ExtractsPerPopcnt is how many vector-extract instructions each
+	// scalar POPCNT costs when vector POPCNT is missing (2 on Skylake
+	// SP with 512-bit registers, 1 elsewhere).
+	ExtractsPerPopcnt int
+	// Pipes128 is the number of 128-bit vector execution halves: Zen 1
+	// executes 256-bit AVX as two 128-bit uops (Table I lists CA1 at
+	// 128-bit).
+	Pipes128 bool
+	// VectorDownclock is the frequency derating applied when running
+	// the widest vector ISA (AVX-512 license downclocking on Skylake
+	// SP).
+	VectorDownclock float64
+
+	L1dBytes int
+	L1dWays  int
+	L2Bytes  int
+	L3Bytes  int // per socket
+
+	DRAMGBs  float64 // peak memory bandwidth per socket
+	L3GBs    float64 // sustained L3 bandwidth per socket (model parameter)
+	TDPWatts float64 // per socket
+}
+
+// TotalCores returns cores across all sockets.
+func (c CPU) TotalCores() int { return c.Sockets * c.CoresPerSocket }
+
+// VectorInt32Lanes returns how many 32-bit elements one vector register
+// holds at the given ISA width.
+func (c CPU) VectorInt32Lanes(avx512 bool) int {
+	if avx512 && c.HasAVX512 {
+		return 16
+	}
+	return 8
+}
+
+// GPU describes one GPU from Table II.
+type GPU struct {
+	ID   string // paper's system label, e.g. "GN1"
+	Name string
+	Arch string
+
+	BoostGHz    float64 // Table II boost frequency
+	CUs         int     // Table II compute units
+	StreamCores int     // Table II stream cores (total)
+	PopcntPerCU float64 // Table II POPCNT per cycle per CU
+
+	WarpSize        int // scheduling granularity (32, or 64 on GCN/CDNA)
+	L2Bytes         int
+	L2BytesPerCycle float64 // aggregate L2 -> CU bandwidth
+	DRAMGBs         float64
+	TDPWatts        float64
+
+	// SharedPopcntPipe marks devices where POPCNT executes on the same
+	// execution units as the other ALU work (Intel Gen9.5/Gen12 EUs),
+	// so the two cannot overlap. NVIDIA and AMD expose dedicated
+	// integer paths that the paper's throughput numbers reflect.
+	SharedPopcntPipe bool
+}
+
+// StreamCoresPerCU returns stream cores per compute unit.
+func (g GPU) StreamCoresPerCU() int { return g.StreamCores / g.CUs }
+
+// cpus lists Table I. Cache geometry and bandwidth from vendor specs.
+var cpus = []CPU{
+	{
+		ID: "CI1", Name: "Intel Core i7-8700K", Arch: "SKL",
+		Sockets: 1, CoresPerSocket: 6, BaseGHz: 3.7, VectorBits: 256,
+		ExtractsPerPopcnt: 1, VectorDownclock: 1.0,
+		L1dBytes: 32 << 10, L1dWays: 8, L2Bytes: 256 << 10, L3Bytes: 12 << 20,
+		DRAMGBs: 41.6, L3GBs: 200, TDPWatts: 95,
+	},
+	{
+		ID: "CI2", Name: "Intel Xeon Gold 6140 (x2)", Arch: "SKX",
+		Sockets: 2, CoresPerSocket: 18, BaseGHz: 2.3, VectorBits: 512,
+		HasAVX512: true, ExtractsPerPopcnt: 2, VectorDownclock: 0.80,
+		L1dBytes: 32 << 10, L1dWays: 8, L2Bytes: 1 << 20, L3Bytes: 24750 << 10,
+		DRAMGBs: 119.2, L3GBs: 350, TDPWatts: 140,
+	},
+	{
+		ID: "CI3", Name: "Intel Xeon Platinum 8360Y (x2)", Arch: "ICX",
+		Sockets: 2, CoresPerSocket: 36, BaseGHz: 2.4, VectorBits: 512,
+		HasAVX512: true, HasVectorPopcnt: true, ExtractsPerPopcnt: 0, VectorDownclock: 0.95,
+		L1dBytes: 48 << 10, L1dWays: 12, L2Bytes: 1280 << 10, L3Bytes: 54 << 20,
+		DRAMGBs: 204.8, L3GBs: 500, TDPWatts: 250,
+	},
+	{
+		ID: "CA1", Name: "AMD EPYC 7601", Arch: "Zen",
+		Sockets: 2, CoresPerSocket: 32, BaseGHz: 2.2, VectorBits: 256,
+		Pipes128: true, ExtractsPerPopcnt: 1, VectorDownclock: 1.0,
+		L1dBytes: 32 << 10, L1dWays: 8, L2Bytes: 512 << 10, L3Bytes: 64 << 20,
+		DRAMGBs: 170.7, L3GBs: 400, TDPWatts: 180,
+	},
+	{
+		ID: "CA2", Name: "AMD EPYC 7302P", Arch: "Zen2",
+		Sockets: 1, CoresPerSocket: 16, BaseGHz: 3.0, VectorBits: 256,
+		ExtractsPerPopcnt: 1, VectorDownclock: 1.0,
+		L1dBytes: 32 << 10, L1dWays: 8, L2Bytes: 512 << 10, L3Bytes: 128 << 20,
+		DRAMGBs: 204.8, L3GBs: 450, TDPWatts: 155,
+	},
+}
+
+// gpus lists Table II. The paper marks Intel and AMD POPCNT rates as
+// obtained experimentally (4, ~12, ~10).
+var gpus = []GPU{
+	{
+		ID: "GI1", Name: "Intel Graphics UHD P630", Arch: "Gen9.5",
+		BoostGHz: 1.200, CUs: 24, StreamCores: 192, PopcntPerCU: 4,
+		WarpSize: 32, L2Bytes: 768 << 10, L2BytesPerCycle: 64, DRAMGBs: 41.6, TDPWatts: 45, SharedPopcntPipe: true,
+	},
+	{
+		ID: "GI2", Name: "Intel Iris Xe MAX", Arch: "Gen12",
+		BoostGHz: 1.650, CUs: 96, StreamCores: 768, PopcntPerCU: 4,
+		WarpSize: 32, L2Bytes: 16 << 20, L2BytesPerCycle: 128, DRAMGBs: 68, TDPWatts: 25, SharedPopcntPipe: true,
+	},
+	{
+		ID: "GN1", Name: "NVIDIA Titan Xp", Arch: "Pascal",
+		BoostGHz: 1.582, CUs: 30, StreamCores: 3840, PopcntPerCU: 32,
+		WarpSize: 32, L2Bytes: 3 << 20, L2BytesPerCycle: 1024, DRAMGBs: 547.6, TDPWatts: 250,
+	},
+	{
+		ID: "GN2", Name: "NVIDIA Titan V", Arch: "Volta",
+		BoostGHz: 1.455, CUs: 80, StreamCores: 5120, PopcntPerCU: 16,
+		WarpSize: 32, L2Bytes: 4608 << 10, L2BytesPerCycle: 2048, DRAMGBs: 652.8, TDPWatts: 250,
+	},
+	{
+		ID: "GN3", Name: "NVIDIA Titan RTX", Arch: "Turing",
+		BoostGHz: 1.770, CUs: 72, StreamCores: 4608, PopcntPerCU: 16,
+		WarpSize: 32, L2Bytes: 6 << 20, L2BytesPerCycle: 2048, DRAMGBs: 672, TDPWatts: 280,
+	},
+	{
+		ID: "GN4", Name: "NVIDIA A100 (250W)", Arch: "Ampere",
+		BoostGHz: 1.410, CUs: 108, StreamCores: 6912, PopcntPerCU: 16,
+		WarpSize: 32, L2Bytes: 40 << 20, L2BytesPerCycle: 4096, DRAMGBs: 1555, TDPWatts: 250,
+	},
+	{
+		ID: "GA1", Name: "AMD Radeon Pro VII", Arch: "Vega20",
+		BoostGHz: 1.700, CUs: 60, StreamCores: 3840, PopcntPerCU: 12,
+		WarpSize: 64, L2Bytes: 4 << 20, L2BytesPerCycle: 1024, DRAMGBs: 1024, TDPWatts: 250,
+	},
+	{
+		ID: "GA2", Name: "AMD Instinct MI100", Arch: "CDNA",
+		BoostGHz: 1.502, CUs: 120, StreamCores: 7680, PopcntPerCU: 12,
+		WarpSize: 64, L2Bytes: 8 << 20, L2BytesPerCycle: 2048, DRAMGBs: 1228.8, TDPWatts: 300,
+	},
+	{
+		ID: "GA3", Name: "AMD Radeon RX 6900 XT", Arch: "RDNA2",
+		BoostGHz: 2.250, CUs: 80, StreamCores: 5120, PopcntPerCU: 10,
+		WarpSize: 32, L2Bytes: 4 << 20, L2BytesPerCycle: 1024, DRAMGBs: 512, TDPWatts: 300,
+	},
+}
+
+// AllCPUs returns the Table I systems in paper order.
+func AllCPUs() []CPU { return append([]CPU(nil), cpus...) }
+
+// AllGPUs returns the Table II systems in paper order.
+func AllGPUs() []GPU { return append([]GPU(nil), gpus...) }
+
+// CPUByID looks a CPU up by its paper label (e.g. "CI3").
+func CPUByID(id string) (CPU, error) {
+	for _, c := range cpus {
+		if c.ID == id {
+			return c, nil
+		}
+	}
+	return CPU{}, fmt.Errorf("device: unknown CPU %q", id)
+}
+
+// GPUByID looks a GPU up by its paper label (e.g. "GN1").
+func GPUByID(id string) (GPU, error) {
+	for _, g := range gpus {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return GPU{}, fmt.Errorf("device: unknown GPU %q", id)
+}

@@ -1,0 +1,142 @@
+package device
+
+import "testing"
+
+// These tests pin the catalog to the paper's Tables I and II.
+
+func TestTableICatalog(t *testing.T) {
+	want := []struct {
+		id         string
+		arch       string
+		ghz        float64
+		cores      int
+		vectorBits int
+		avx512     bool
+	}{
+		{"CI1", "SKL", 3.7, 6, 256, false},
+		{"CI2", "SKX", 2.3, 36, 512, true},
+		{"CI3", "ICX", 2.4, 72, 512, true},
+		{"CA1", "Zen", 2.2, 64, 256, false},
+		{"CA2", "Zen2", 3.0, 16, 256, false},
+	}
+	all := AllCPUs()
+	if len(all) != len(want) {
+		t.Fatalf("catalog has %d CPUs, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		c := all[i]
+		if c.ID != w.id || c.Arch != w.arch || c.BaseGHz != w.ghz ||
+			c.TotalCores() != w.cores || c.VectorBits != w.vectorBits || c.HasAVX512 != w.avx512 {
+			t.Errorf("CPU %d = %+v, want %+v", i, c, w)
+		}
+	}
+}
+
+func TestTableIICatalog(t *testing.T) {
+	want := []struct {
+		id          string
+		arch        string
+		ghz         float64
+		cus         int
+		streamCores int
+		popcnt      float64
+	}{
+		{"GI1", "Gen9.5", 1.200, 24, 192, 4},
+		{"GI2", "Gen12", 1.650, 96, 768, 4},
+		{"GN1", "Pascal", 1.582, 30, 3840, 32},
+		{"GN2", "Volta", 1.455, 80, 5120, 16},
+		{"GN3", "Turing", 1.770, 72, 4608, 16},
+		{"GN4", "Ampere", 1.410, 108, 6912, 16},
+		{"GA1", "Vega20", 1.700, 60, 3840, 12},
+		{"GA2", "CDNA", 1.502, 120, 7680, 12},
+		{"GA3", "RDNA2", 2.250, 80, 5120, 10},
+	}
+	all := AllGPUs()
+	if len(all) != len(want) {
+		t.Fatalf("catalog has %d GPUs, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		g := all[i]
+		if g.ID != w.id || g.Arch != w.arch || g.BoostGHz != w.ghz ||
+			g.CUs != w.cus || g.StreamCores != w.streamCores || g.PopcntPerCU != w.popcnt {
+			t.Errorf("GPU %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestOnlyICXHasVectorPopcnt(t *testing.T) {
+	for _, c := range AllCPUs() {
+		if c.HasVectorPopcnt != (c.ID == "CI3") {
+			t.Errorf("%s: HasVectorPopcnt = %v", c.ID, c.HasVectorPopcnt)
+		}
+	}
+}
+
+func TestSKXExtractOverhead(t *testing.T) {
+	c, err := CPUByID("CI2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExtractsPerPopcnt != 2 {
+		t.Errorf("SKX extracts per popcnt = %d, want 2", c.ExtractsPerPopcnt)
+	}
+	if c.VectorDownclock >= 1.0 {
+		t.Error("SKX should downclock under AVX-512")
+	}
+}
+
+func TestVectorLanes(t *testing.T) {
+	ci3, _ := CPUByID("CI3")
+	if ci3.VectorInt32Lanes(true) != 16 || ci3.VectorInt32Lanes(false) != 8 {
+		t.Error("ICX lanes wrong")
+	}
+	ca2, _ := CPUByID("CA2")
+	if ca2.VectorInt32Lanes(true) != 8 { // no AVX-512: request is ignored
+		t.Error("Zen2 lanes wrong")
+	}
+}
+
+func TestStreamCoresPerCU(t *testing.T) {
+	gn1, _ := GPUByID("GN1")
+	if gn1.StreamCoresPerCU() != 128 {
+		t.Errorf("Titan Xp stream cores per CU = %d, want 128", gn1.StreamCoresPerCU())
+	}
+	gi2, _ := GPUByID("GI2")
+	if gi2.StreamCoresPerCU() != 8 {
+		t.Errorf("Iris Xe MAX stream cores per CU = %d, want 8", gi2.StreamCoresPerCU())
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := CPUByID("CX9"); err == nil {
+		t.Error("unknown CPU accepted")
+	}
+	if _, err := GPUByID("GX9"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+}
+
+func TestCatalogCopiesAreIndependent(t *testing.T) {
+	a := AllCPUs()
+	a[0].BaseGHz = 99
+	b := AllCPUs()
+	if b[0].BaseGHz == 99 {
+		t.Error("AllCPUs should return a copy")
+	}
+}
+
+func TestPlausibleModelParameters(t *testing.T) {
+	for _, c := range AllCPUs() {
+		if c.L1dBytes <= 0 || c.L2Bytes <= 0 || c.L3Bytes <= 0 || c.DRAMGBs <= 0 || c.TDPWatts <= 0 {
+			t.Errorf("%s has missing model parameters: %+v", c.ID, c)
+		}
+	}
+	for _, g := range AllGPUs() {
+		if g.L2Bytes <= 0 || g.DRAMGBs <= 0 || g.TDPWatts <= 0 || g.WarpSize <= 0 || g.L2BytesPerCycle <= 0 {
+			t.Errorf("%s has missing model parameters: %+v", g.ID, g)
+		}
+		if g.StreamCores%g.CUs != 0 {
+			t.Errorf("%s stream cores %d not divisible by CUs %d", g.ID, g.StreamCores, g.CUs)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"trigene/internal/device"
+	"trigene/internal/perfmodel"
+)
+
+func gi2Model(t *testing.T) DVFSModel {
+	t.Helper()
+	g, err := device.GPUByID("GI2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ForGPU(g, 8192, 16384)
+}
+
+func TestNominalPowerIsTDP(t *testing.T) {
+	m := gi2Model(t)
+	if math.Abs(m.PowerAt(m.NominalGHz)-25) > 1e-9 {
+		t.Errorf("GI2 power at nominal = %.2f W, want TDP 25", m.PowerAt(m.NominalGHz))
+	}
+	ci3, err := device.CPUByID("CI3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := ForCPU(ci3, 8192, 16384)
+	if math.Abs(cm.PowerAt(cm.NominalGHz)-500) > 1e-9 {
+		t.Errorf("CI3 power at nominal = %.2f W, want 2x250", cm.PowerAt(cm.NominalGHz))
+	}
+}
+
+func TestEfficiencyAtNominalMatchesSectionVD(t *testing.T) {
+	m := gi2Model(t)
+	g, _ := device.GPUByID("GI2")
+	want := perfmodel.GElemPerJoule(perfmodel.GPUOverallGElemPerSec(g, 8192, 16384), g.TDPWatts)
+	if math.Abs(m.EfficiencyAt(m.NominalGHz)-want) > 1e-9 {
+		t.Errorf("nominal efficiency %.3f != Section V-D %.3f", m.EfficiencyAt(m.NominalGHz), want)
+	}
+}
+
+func TestCubicPowerScaling(t *testing.T) {
+	m := gi2Model(t)
+	half := m.PowerAt(m.NominalGHz / 2)
+	want := m.StaticWatts + m.DynamicWatts/8
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("power at f0/2 = %.3f, want %.3f", half, want)
+	}
+	// Rate is linear.
+	if math.Abs(m.RateAt(m.NominalGHz/2)-m.RateAtNominal/2) > 1e-9 {
+		t.Error("rate should halve at half clock")
+	}
+}
+
+func TestOptimalGHzClosedForm(t *testing.T) {
+	m := gi2Model(t)
+	opt := m.OptimalGHz()
+	if opt < m.MinGHz || opt > m.MaxGHz {
+		t.Fatalf("optimum %.3f outside range [%.3f, %.3f]", opt, m.MinGHz, m.MaxGHz)
+	}
+	// The closed form must beat nearby clocks (when interior).
+	interior := opt > m.MinGHz && opt < m.MaxGHz
+	if interior {
+		for _, d := range []float64{-0.05, 0.05} {
+			if m.EfficiencyAt(opt+d) > m.EfficiencyAt(opt)+1e-12 {
+				t.Errorf("efficiency at %.3f beats the claimed optimum %.3f", opt+d, opt)
+			}
+		}
+	}
+	// Downclocking a 30%-static device always helps efficiency vs
+	// nominal: cbrt(0.3/1.4) ~ 0.6 < 1.
+	if m.EfficiencyAt(opt) < m.EfficiencyAt(m.MaxGHz) {
+		t.Error("optimal efficiency below max-clock efficiency")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	m := gi2Model(t)
+	pts, err := m.Sweep(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if math.Abs(pts[0].GHz-m.MinGHz) > 1e-12 || math.Abs(pts[10].GHz-m.MaxGHz) > 1e-12 {
+		t.Error("sweep endpoints wrong")
+	}
+	// Throughput increases monotonically with frequency; the sweep's
+	// best efficiency is near the closed-form optimum.
+	bestEff, bestGHz := 0.0, 0.0
+	for i, p := range pts {
+		if i > 0 && p.GElems <= pts[i-1].GElems {
+			t.Error("rate not monotone in frequency")
+		}
+		if p.Efficiency > bestEff {
+			bestEff, bestGHz = p.Efficiency, p.GHz
+		}
+	}
+	if math.Abs(bestGHz-m.OptimalGHz()) > (m.MaxGHz-m.MinGHz)/10+1e-9 {
+		t.Errorf("sweep optimum %.3f far from closed form %.3f", bestGHz, m.OptimalGHz())
+	}
+	if _, err := m.Sweep(1); err == nil {
+		t.Error("1-step sweep accepted")
+	}
+}
+
+func TestDeviceEfficiencyOrderingPreserved(t *testing.T) {
+	// GI2 stays the efficiency leader under DVFS at its optimum too.
+	var bestID string
+	bestEff := 0.0
+	for _, g := range device.AllGPUs() {
+		m := ForGPU(g, 8192, 16384)
+		if e := m.EfficiencyAt(m.OptimalGHz()); e > bestEff {
+			bestEff, bestID = e, g.ID
+		}
+	}
+	if bestID != "GI2" {
+		t.Errorf("most efficient GPU under DVFS = %s, want GI2", bestID)
+	}
+}

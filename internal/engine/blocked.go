@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+)
+
+// runBlocked executes approaches V3 and V4 (Algorithm 1): SNPs are
+// grouped into blocks of BS, the sample dimension is walked in tiles of
+// BlockWords 64-bit words, and each worker holds BS^3 private frequency
+// tables so the tile data and the tables stay L1-resident across the
+// intra-block combination loops.
+//
+// One work unit is one block triple (b0 <= b1 <= b2). Block triples are
+// claimed from an atomic cursor via the bijection between multisets of
+// size 3 over nb blocks and strict triples over nb+2 items.
+func (s *Searcher) runBlocked(o Options) (*Result, error) {
+	m := s.mx.SNPs()
+	bs := o.BlockSNPs
+	if bs > m {
+		bs = m
+	}
+	nb := combin.TripleBlocks(m, bs)
+	totalBlocks := combin.Triples(nb + 2) // multiset triples over nb blocks
+
+	kernel := contingency.AccumulateSplit
+	if o.Approach == V4Vector {
+		switch o.Lanes {
+		case 4:
+			kernel = contingency.AccumulateSplitLanes4
+		case 8:
+			kernel = contingency.AccumulateSplitLanes8
+		}
+	}
+
+	var cursor, done atomic.Int64
+	totalCombos := combin.Triples(m)
+	var firstErr errOnce
+	tops := make([]*topK, o.Workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < o.Workers; wk++ {
+		top := newTopK(o.Objective, o.TopK)
+		tops[wk] = top
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &blockWorker{
+				s:      s,
+				o:      o,
+				bs:     bs,
+				tables: make([]contingency.Table, bs*bs*bs),
+				top:    top,
+				kernel: kernel,
+			}
+			for {
+				if err := o.Context.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				rank := cursor.Add(1) - 1
+				if rank >= totalBlocks {
+					return
+				}
+				// Unrank the multiset triple: strict triple over nb+2
+				// minus the staircase offsets.
+				a, b, c := combin.UnrankTriple(rank, nb+2)
+				n := w.processBlockTriple(a, b-1, c-2)
+				if o.Progress != nil && n > 0 {
+					o.Progress(done.Add(n), totalCombos)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+	return assemble(tops, o), nil
+}
+
+// blockWorker holds one worker's reusable state for the blocked paths.
+type blockWorker struct {
+	s      *Searcher
+	o      Options
+	bs     int
+	tables []contingency.Table
+	top    *topK
+	kernel func(*[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64, []uint64)
+}
+
+// processBlockTriple evaluates every valid combination (i0 < i1 < i2)
+// with i0 in block b0, i1 in block b1, i2 in block b2, and returns how
+// many combinations it scored.
+func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
+	m := w.s.mx.SNPs()
+	bs := w.bs
+	base0, base1, base2 := b0*bs, b1*bs, b2*bs
+	lim0, lim1, lim2 := blockLim(base0, bs, m), blockLim(base1, bs, m), blockLim(base2, bs, m)
+
+	for i := range w.tables {
+		w.tables[i] = contingency.Table{}
+	}
+
+	split := w.s.split
+	bw := w.o.BlockWords
+	for class := 0; class < 2; class++ {
+		words := split.Words[class]
+		for w0 := 0; w0 < words; w0 += bw {
+			w1 := w0 + bw
+			if w1 > words {
+				w1 = words
+			}
+			for ii2 := 0; ii2 < lim2; ii2++ {
+				gi2 := base2 + ii2
+				z0 := split.PlaneRange(class, gi2, 0, w0, w1)
+				z1 := split.PlaneRange(class, gi2, 1, w0, w1)
+				for ii1 := 0; ii1 < lim1; ii1++ {
+					gi1 := base1 + ii1
+					if gi1 >= gi2 {
+						break
+					}
+					y0 := split.PlaneRange(class, gi1, 0, w0, w1)
+					y1 := split.PlaneRange(class, gi1, 1, w0, w1)
+					for ii0 := 0; ii0 < lim0; ii0++ {
+						gi0 := base0 + ii0
+						if gi0 >= gi1 {
+							break
+						}
+						x0 := split.PlaneRange(class, gi0, 0, w0, w1)
+						x1 := split.PlaneRange(class, gi0, 1, w0, w1)
+						idx := (ii0*bs+ii1)*bs + ii2
+						w.kernel(&w.tables[idx].Counts[class], x0, x1, y0, y1, z0, z1)
+					}
+				}
+			}
+		}
+	}
+
+	// Pad correction and scoring for every valid combination.
+	var scored int64
+	for ii0 := 0; ii0 < lim0; ii0++ {
+		gi0 := base0 + ii0
+		for ii1 := 0; ii1 < lim1; ii1++ {
+			gi1 := base1 + ii1
+			if gi1 <= gi0 {
+				continue
+			}
+			for ii2 := 0; ii2 < lim2; ii2++ {
+				gi2 := base2 + ii2
+				if gi2 <= gi1 {
+					continue
+				}
+				idx := (ii0*bs+ii1)*bs + ii2
+				tab := &w.tables[idx]
+				tab.Counts[dataset.Control][contingency.Cells-1] -= int32(split.Pad[dataset.Control])
+				tab.Counts[dataset.Case][contingency.Cells-1] -= int32(split.Pad[dataset.Case])
+				w.top.offer(Candidate{
+					Triple: Triple{I: gi0, J: gi1, K: gi2},
+					Score:  w.o.Objective.Score(tab),
+				})
+				scored++
+			}
+		}
+	}
+	return scored
+}
+
+// blockLim returns how many SNPs of a block starting at base exist in a
+// dataset of m SNPs.
+func blockLim(base, bs, m int) int {
+	if base >= m {
+		return 0
+	}
+	if base+bs > m {
+		return m - base
+	}
+	return bs
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/gpusim"
+
+	"trigene/internal/device"
+)
+
+// Edge-case hardening: degenerate genotype distributions, minimal
+// dimensions, and extreme class imbalance must not break any pipeline.
+
+func TestMonomorphicSNPs(t *testing.T) {
+	// Every sample carries genotype 0 at every SNP: all counts land in
+	// cell (0,0,0), split by class.
+	mx := dataset.NewMatrix(6, 100)
+	for j := 0; j < 100; j++ {
+		mx.SetPhen(j, uint8(j%2))
+	}
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := contingency.BuildSplit(s.Split(), 0, 1, 2)
+	if tab.Cell(dataset.Control, 0, 0, 0) != 50 || tab.Cell(dataset.Case, 0, 0, 0) != 50 {
+		t.Fatalf("monomorphic table wrong:\n%s", tab.String())
+	}
+	for a := V1Naive; a <= V4Vector; a++ {
+		res, err := s.Run(Options{Approach: a})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		// All triples tie; the lexicographic tie-break picks (0,1,2).
+		if res.Best.Triple != (Triple{0, 1, 2}) {
+			t.Errorf("%v: best %v, want (0,1,2)", a, res.Best.Triple)
+		}
+	}
+}
+
+func TestAllGenotypeTwoSNPs(t *testing.T) {
+	// All genotype 2 exercises the NOR-inferred plane plus the padding
+	// correction maximally: the derived plane is all ones.
+	mx := dataset.NewMatrix(5, 77) // odd N: padded last word
+	for i := 0; i < 5; i++ {
+		row := mx.Row(i)
+		for j := range row {
+			row[j] = 2
+		}
+	}
+	for j := 0; j < 77; j++ {
+		mx.SetPhen(j, uint8(j%2))
+	}
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := contingency.BuildSplit(s.Split(), 0, 2, 4)
+	want := contingency.BuildReference(mx, 0, 2, 4)
+	if !tab.Equal(&want) {
+		t.Fatalf("all-g2 table differs:\n%s", tab.String())
+	}
+	if _, err := s.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtremeClassImbalance(t *testing.T) {
+	// One case, everyone else control.
+	mx := randomMatrix(150, 10, 200)
+	for j := 0; j < 200; j++ {
+		mx.SetPhen(j, dataset.Control)
+	}
+	mx.SetPhen(137, dataset.Case)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Run(Options{Approach: V2Split})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4, err := s.Run(Options{Approach: V4Vector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Best != v4.Best {
+		t.Error("imbalanced dataset breaks approach equivalence")
+	}
+	// GPU simulator handles the 1-sample class (single padded word).
+	gn1, err := device.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gpusim.New(gn1).Search(mx, gpusim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Best.Score != v2.Best.Score {
+		t.Errorf("gpusim score %.9f != engine %.9f", g.Best.Score, v2.Best.Score)
+	}
+}
+
+func TestMinimalDimensions(t *testing.T) {
+	// M = 3 has exactly one combination; N = 2 is the smallest
+	// two-class sample set.
+	mx := dataset.NewMatrix(3, 2)
+	mx.SetGeno(0, 0, 1)
+	mx.SetGeno(1, 1, 2)
+	mx.SetPhen(1, dataset.Case)
+	res, err := Search(mx, Options{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Combinations != 1 || len(res.TopK) != 1 {
+		t.Fatalf("M=3: combos %d, topK %d", res.Stats.Combinations, len(res.TopK))
+	}
+	if res.Best.Triple != (Triple{0, 1, 2}) {
+		t.Errorf("best %v", res.Best.Triple)
+	}
+}
+
+func TestSampleCountOfOneWordBoundary(t *testing.T) {
+	// Class sizes of exactly 64 and 65 straddle the word boundary.
+	for _, n := range []int{128, 129, 130} {
+		mx := randomMatrix(151, 8, n)
+		s, err := New(mx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := s.Run(Options{Approach: V2Split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v4, err := s.Run(Options{Approach: V4Vector})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v2.Best != v4.Best {
+			t.Errorf("n=%d: V2/V4 disagree", n)
+		}
+	}
+}
+
+func TestWorkersExceedWork(t *testing.T) {
+	mx := randomMatrix(152, 4, 50) // 4 combinations, 64 workers
+	res, err := Search(mx, Options{Workers: 64, TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 4 {
+		t.Errorf("TopK = %d, want 4", len(res.TopK))
+	}
+}

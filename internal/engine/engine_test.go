@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+func randomMatrix(seed int64, m, n int) *dataset.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	mx := dataset.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j := range row {
+			row[j] = uint8(r.Intn(3))
+		}
+	}
+	// Guarantee both classes.
+	for j := 0; j < n; j++ {
+		mx.SetPhen(j, uint8(j%2))
+	}
+	return mx
+}
+
+func TestApproachParseAndString(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Approach
+	}{
+		{"V1", V1Naive}, {"v2", V2Split}, {"3", V3Blocked}, {"V4", V4Vector},
+	} {
+		got, err := ParseApproach(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseApproach(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseApproach("V9"); err == nil {
+		t.Error("expected error for V9")
+	}
+	if V1Naive.String() != "V1" || V4Vector.String() != "V4" {
+		t.Error("approach names wrong")
+	}
+	if Approach(9).String() == "" {
+		t.Error("unknown approach should render")
+	}
+}
+
+func TestTileParams(t *testing.T) {
+	// Paper example: 48 KiB L1d (Ice Lake SP) with 7 ways for the table
+	// gives BS <= 5.1 -> 5.
+	bs, bw := TileParams(48 << 10)
+	if bs != 5 {
+		t.Errorf("BS for 48 KiB = %d, want 5", bs)
+	}
+	if bw < 1 {
+		t.Errorf("BP words = %d", bw)
+	}
+	// 32 KiB: sizeFT = 18658 -> cbrt(86.4) = 4.4 -> 4.
+	bs32, _ := TileParams(32 << 10)
+	if bs32 < 4 || bs32 > 5 {
+		t.Errorf("BS for 32 KiB = %d, want 4-5", bs32)
+	}
+	// Tiny cache still yields usable parameters.
+	bsT, bwT := TileParams(1024)
+	if bsT < 2 || bwT < 1 {
+		t.Errorf("tiny cache params %d/%d", bsT, bwT)
+	}
+}
+
+func TestAllApproachesAgree(t *testing.T) {
+	mx := randomMatrix(60, 24, 333)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results [4]*Result
+	for a := V1Naive; a <= V4Vector; a++ {
+		res, err := s.Run(Options{Approach: a, Workers: 3, TopK: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		results[a-1] = res
+	}
+	for a := V2Split; a <= V4Vector; a++ {
+		got, want := results[a-1], results[0]
+		if got.Best != want.Best {
+			t.Errorf("%v best %v (%.6f) != V1 best %v (%.6f)",
+				a, got.Best.Triple, got.Best.Score, want.Best.Triple, want.Best.Score)
+		}
+		if len(got.TopK) != len(want.TopK) {
+			t.Fatalf("%v TopK length %d != %d", a, len(got.TopK), len(want.TopK))
+		}
+		for i := range got.TopK {
+			if got.TopK[i] != want.TopK[i] {
+				t.Errorf("%v TopK[%d] = %+v, want %+v", a, i, got.TopK[i], want.TopK[i])
+			}
+		}
+	}
+	if results[0].Stats.Combinations != combin.Triples(24) {
+		t.Errorf("combinations = %d", results[0].Stats.Combinations)
+	}
+}
+
+func TestBestMatchesBruteForce(t *testing.T) {
+	mx := randomMatrix(61, 12, 100)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := score.NewK2(mx.Samples())
+	best := Candidate{Score: obj.Worst()}
+	combin.ForEachTriple(12, func(i, j, k int) {
+		tab := contingency.BuildReference(mx, i, j, k)
+		sc := obj.Score(&tab)
+		c := Candidate{Triple: Triple{i, j, k}, Score: sc}
+		if sc != best.Score && obj.Better(sc, best.Score) || sc == best.Score && c.Triple.Less(best.Triple) {
+			best = c
+		}
+	})
+	for a := V1Naive; a <= V4Vector; a++ {
+		res, err := s.Run(Options{Approach: a, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != best {
+			t.Errorf("%v best = %+v, want %+v", a, res.Best, best)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	mx := randomMatrix(62, 20, 200)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Run(Options{Approach: V4Vector, Workers: 1, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		res, err := s.Run(Options{Approach: V4Vector, Workers: workers, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != base.Best {
+			t.Errorf("workers=%d best %+v != %+v", workers, res.Best, base.Best)
+		}
+		for i := range res.TopK {
+			if res.TopK[i] != base.TopK[i] {
+				t.Errorf("workers=%d TopK[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestPlantedInteractionRecovered(t *testing.T) {
+	it := &dataset.Interaction{SNPs: [3]int{5, 11, 17}, Penetrance: dataset.ThresholdPenetrance(3, 0.05, 0.95)}
+	mx, err := dataset.Generate(dataset.GenConfig{
+		SNPs: 30, Samples: 1200, Seed: 8, MAFMin: 0.3, MAFMax: 0.5, Interaction: it,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(mx, Options{Approach: V4Vector})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Triple{I: 5, J: 11, K: 17}
+	if res.Best.Triple != want {
+		t.Errorf("best = %v, want planted %v", res.Best.Triple, want)
+	}
+}
+
+func TestObjectiveVariants(t *testing.T) {
+	it := &dataset.Interaction{SNPs: [3]int{2, 7, 12}, Penetrance: dataset.ThresholdPenetrance(2, 0.05, 0.95)}
+	mx, err := dataset.Generate(dataset.GenConfig{
+		SNPs: 16, Samples: 1500, Seed: 21, MAFMin: 0.3, MAFMax: 0.5, Interaction: it,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Triple{I: 2, J: 7, K: 12}
+	for _, name := range []string{"k2", "mi", "gini"} {
+		obj, err := score.New(name, mx.Samples())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Search(mx, Options{Objective: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Triple != want {
+			t.Errorf("%s: best %v, want %v", name, res.Best.Triple, want)
+		}
+	}
+}
+
+func TestTopKOrderingAndSize(t *testing.T) {
+	mx := randomMatrix(63, 15, 150)
+	res, err := Search(mx, Options{TopK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 10 {
+		t.Fatalf("TopK size %d, want 10", len(res.TopK))
+	}
+	obj := score.NewK2(mx.Samples())
+	for i := 1; i < len(res.TopK); i++ {
+		a, b := res.TopK[i-1], res.TopK[i]
+		if a.Score != b.Score && !obj.Better(a.Score, b.Score) {
+			t.Errorf("TopK not sorted at %d: %g vs %g", i, a.Score, b.Score)
+		}
+	}
+	// TopK larger than the space returns everything.
+	small := randomMatrix(64, 4, 40)
+	resAll, err := Search(small, Options{TopK: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(resAll.TopK)) != combin.Triples(4) {
+		t.Errorf("TopK = %d, want %d", len(resAll.TopK), combin.Triples(4))
+	}
+}
+
+func TestBlockParameterRobustness(t *testing.T) {
+	mx := randomMatrix(65, 23, 170) // M not a multiple of BS
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(Options{Approach: V2Split})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 2, 3, 5, 7, 23, 64} {
+		for _, bw := range []int{1, 2, 5} {
+			res, err := s.Run(Options{Approach: V3Blocked, BlockSNPs: bs, BlockWords: bw})
+			if err != nil {
+				t.Fatalf("bs=%d bw=%d: %v", bs, bw, err)
+			}
+			if res.Best != want.Best {
+				t.Errorf("bs=%d bw=%d: best %+v, want %+v", bs, bw, res.Best, want.Best)
+			}
+		}
+	}
+}
+
+func TestLaneVariants(t *testing.T) {
+	mx := randomMatrix(66, 18, 260)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(Options{Approach: V3Blocked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lanes := range []int{1, 4, 8} {
+		res, err := s.Run(Options{Approach: V4Vector, Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != want.Best {
+			t.Errorf("lanes=%d best differs", lanes)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	mx := randomMatrix(67, 6, 50)
+	bad := []Options{
+		{Approach: Approach(9)},
+		{Workers: -1},
+		{TopK: -2},
+		{Lanes: 3},
+		{L1DataBytes: 10},
+		{Approach: V3Blocked, BlockSNPs: -1, BlockWords: 2},
+	}
+	for i, o := range bad {
+		if _, err := Search(mx, o); err == nil {
+			t.Errorf("options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestNewRejectsBadDatasets(t *testing.T) {
+	if _, err := New(randomMatrix(68, 2, 10)); err == nil {
+		t.Error("2 SNPs accepted")
+	}
+	oneClass := dataset.NewMatrix(5, 10) // all controls
+	if _, err := New(oneClass); err == nil {
+		t.Error("single-class dataset accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	mx := randomMatrix(69, 64, 512)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, a := range []Approach{V2Split, V4Vector} {
+		if _, err := s.Run(Options{Approach: a, Context: ctx}); err == nil {
+			t.Errorf("%v: cancelled run returned no error", a)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	mx := randomMatrix(70, 10, 128)
+	res, err := Search(mx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Combinations != combin.Triples(10) {
+		t.Errorf("combinations %d", res.Stats.Combinations)
+	}
+	if res.Stats.Elements != float64(combin.Triples(10))*128 {
+		t.Errorf("elements %g", res.Stats.Elements)
+	}
+	if res.Stats.Duration <= 0 || res.Stats.ElementsPerSec <= 0 {
+		t.Errorf("timing not populated: %+v", res.Stats)
+	}
+}
+
+// Property: V2 and V4 agree on arbitrary random datasets, including
+// awkward shapes (class imbalance, tiny N, N not a word multiple).
+func TestApproachEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, mRaw uint8, nRaw uint16, imbalance bool) bool {
+		m := int(mRaw%12) + 5
+		n := int(nRaw%300) + 10
+		r := rand.New(rand.NewSource(seed))
+		mx := dataset.NewMatrix(m, n)
+		for i := 0; i < m; i++ {
+			row := mx.Row(i)
+			for j := range row {
+				row[j] = uint8(r.Intn(3))
+			}
+		}
+		caseEvery := 2
+		if imbalance {
+			caseEvery = 7
+		}
+		for j := 0; j < n; j++ {
+			if j%caseEvery == 0 {
+				mx.SetPhen(j, dataset.Case)
+			}
+		}
+		s, err := New(mx)
+		if err != nil {
+			return false
+		}
+		r2, err2 := s.Run(Options{Approach: V2Split, Workers: 2})
+		r4, err4 := s.Run(Options{Approach: V4Vector, Workers: 2})
+		return err2 == nil && err4 == nil && r2.Best == r4.Best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleLessAndString(t *testing.T) {
+	a := Triple{1, 2, 3}
+	b := Triple{1, 2, 4}
+	c := Triple{1, 3, 3}
+	d := Triple{2, 2, 3}
+	if !a.Less(b) || !a.Less(c) || !a.Less(d) || b.Less(a) {
+		t.Error("Less ordering wrong")
+	}
+	if a.String() != "(1,2,3)" {
+		t.Errorf("String = %q", a.String())
+	}
+}

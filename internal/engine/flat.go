@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+)
+
+// runFlat executes approaches V1 and V2: one full-length frequency
+// table per combination, no tiling. Workers claim contiguous rank
+// chunks of the combination space from an atomic cursor.
+func (s *Searcher) runFlat(o Options) (*Result, error) {
+	m := s.mx.SNPs()
+	base, total := int64(0), combin.Triples(m)
+	if r := o.RankRange; r != nil {
+		base = r.Lo
+		if r.Hi < total {
+			total = r.Hi
+		}
+		if base >= total {
+			return assemble(nil, o), nil
+		}
+	}
+	chunk := flatChunkSize(total-base, o.Workers)
+
+	var cursor, done atomic.Int64
+	var firstErr errOnce
+	tops := make([]*topK, o.Workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < o.Workers; wk++ {
+		top := newTopK(o.Objective, o.TopK)
+		tops[wk] = top
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One reusable table per worker: taking its address for the
+			// objective would otherwise heap-allocate per combination.
+			var tab contingency.Table
+			for {
+				if err := o.Context.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				lo := base + cursor.Add(chunk) - chunk
+				if lo >= total {
+					return
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				i, j, k := combin.UnrankTriple(lo, m)
+				for r := lo; r < hi; r++ {
+					if o.Approach == V1Naive {
+						tab = contingency.BuildNaive(s.bin, i, j, k)
+					} else {
+						tab = contingency.BuildSplit(s.split, i, j, k)
+					}
+					top.offer(Candidate{
+						Triple: Triple{I: i, J: j, K: k},
+						Score:  o.Objective.Score(&tab),
+					})
+					i, j, k, _ = combin.NextTriple(i, j, k, m)
+				}
+				if o.Progress != nil {
+					o.Progress(done.Add(hi-lo), total-base)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+	return assemble(tops, o), nil
+}
+
+// errOnce records the first error reported by any worker.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// flatChunkSize balances scheduling overhead against load balance:
+// aim for ~64 chunks per worker, clamped to [256, 1<<20] triples.
+func flatChunkSize(total int64, workers int) int64 {
+	chunk := total / (int64(workers) * 64)
+	if chunk < 256 {
+		chunk = 256
+	}
+	if chunk > 1<<20 {
+		chunk = 1 << 20
+	}
+	return chunk
+}
+
+// assemble merges per-worker accumulators into a Result.
+func assemble(tops []*topK, o Options) *Result {
+	merged := newTopK(o.Objective, o.TopK)
+	for _, t := range tops {
+		merged.merge(t)
+	}
+	res := &Result{TopK: merged.list()}
+	if len(res.TopK) > 0 {
+		res.Best = res.TopK[0]
+	}
+	return res
+}

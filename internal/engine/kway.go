@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/score"
+)
+
+// Arbitrary-order exhaustive search. The paper's introduction motivates
+// interactions "of three or more SNPs"; RunK generalizes the split
+// kernel to any order in [2, contingency.MaxOrder], using the generic
+// 3^k-cell builder and the objectives' cell-scoring interface.
+// Orders 2 and 3 have specialized fast paths (RunPairs, Run); RunK is
+// the correctness-first generalization.
+
+// KCandidate is a scored SNP combination of arbitrary order.
+type KCandidate struct {
+	SNPs  []int
+	Score float64
+}
+
+// KResult is the outcome of an exhaustive k-way search.
+type KResult struct {
+	Order int
+	Best  KCandidate
+	TopK  []KCandidate
+	Stats Stats
+}
+
+// RunK executes an exhaustive search of the given interaction order.
+// Options are interpreted as for Run; the Objective must implement
+// score.CellScorer (all built-in objectives do).
+func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
+	o, err := opts.withDefaults(s.mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	if order < 2 || order > contingency.MaxOrder {
+		return nil, fmt.Errorf("engine: order %d out of [2,%d]", order, contingency.MaxOrder)
+	}
+	if order > s.mx.SNPs() {
+		return nil, fmt.Errorf("engine: order %d exceeds %d SNPs", order, s.mx.SNPs())
+	}
+	scorer, ok := o.Objective.(score.CellScorer)
+	if !ok {
+		return nil, fmt.Errorf("engine: objective %q cannot score %d-way tables", o.Objective.Name(), order)
+	}
+
+	m := s.mx.SNPs()
+	total := combin.Binomial(m, order)
+	chunk := flatChunkSize(total, o.Workers)
+	cells := contingency.CellsK(order)
+
+	var cursor atomic.Int64
+	var firstErr errOnce
+	tops := make([]*kTopK, o.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < o.Workers; wk++ {
+		top := &kTopK{obj: o.Objective, k: o.TopK}
+		tops[wk] = top
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comb := make([]int, order)
+			ctrl := make([]int32, cells)
+			cases := make([]int32, cells)
+			for {
+				if err := o.Context.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				lo := cursor.Add(chunk) - chunk
+				if lo >= total {
+					return
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				combin.UnrankK(lo, m, comb)
+				for r := lo; r < hi; r++ {
+					for i := range ctrl {
+						ctrl[i], cases[i] = 0, 0
+					}
+					if err := contingency.BuildSplitK(s.split, comb, ctrl, cases); err != nil {
+						firstErr.set(err)
+						return
+					}
+					top.offer(comb, scorer.ScoreCells(ctrl, cases))
+					combin.NextK(comb, m)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+
+	merged := &kTopK{obj: o.Objective, k: o.TopK}
+	for _, t := range tops {
+		for _, c := range t.items {
+			merged.offer(c.SNPs, c.Score)
+		}
+	}
+	res := &KResult{Order: order, TopK: merged.items}
+	if len(merged.items) > 0 {
+		res.Best = merged.items[0]
+	}
+	res.Stats.Combinations = total
+	res.Stats.Elements = float64(total) * float64(s.mx.Samples())
+	res.Stats.Duration = time.Since(start)
+	if secs := res.Stats.Duration.Seconds(); secs > 0 {
+		res.Stats.ElementsPerSec = res.Stats.Elements / secs
+	}
+	return res, nil
+}
+
+// kTopK accumulates the k best arbitrary-order candidates.
+type kTopK struct {
+	obj   score.Objective
+	k     int
+	items []KCandidate
+}
+
+func (t *kTopK) better(aScore float64, aSNPs []int, b KCandidate) bool {
+	if aScore != b.Score {
+		return t.obj.Better(aScore, b.Score)
+	}
+	for i := range aSNPs {
+		if aSNPs[i] != b.SNPs[i] {
+			return aSNPs[i] < b.SNPs[i]
+		}
+	}
+	return false
+}
+
+// offer copies snps if the candidate ranks among the k best.
+func (t *kTopK) offer(snps []int, sc float64) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.items) == t.k && !t.better(sc, snps, t.items[len(t.items)-1]) {
+		return
+	}
+	pos := len(t.items)
+	for pos > 0 && t.better(sc, snps, t.items[pos-1]) {
+		pos--
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, KCandidate{})
+	} else if pos == len(t.items) {
+		return
+	}
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = KCandidate{SNPs: append([]int(nil), snps...), Score: sc}
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"testing"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+func TestBuildSplitKMatchesReference(t *testing.T) {
+	mx := randomMatrix(140, 9, 201) // odd N exercises pad correction
+	s := dataset.SplitBinarize(mx)
+	for _, snps := range [][]int{
+		{0, 1}, {2, 7}, {0, 3, 6}, {1, 4, 8}, {0, 2, 4, 6}, {1, 3, 5, 7, 8},
+	} {
+		cells := contingency.CellsK(len(snps))
+		gotC, gotK := make([]int32, cells), make([]int32, cells)
+		wantC, wantK := make([]int32, cells), make([]int32, cells)
+		if err := contingency.BuildSplitK(s, snps, gotC, gotK); err != nil {
+			t.Fatal(err)
+		}
+		if err := contingency.BuildReferenceK(mx, snps, wantC, wantK); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cells; i++ {
+			if gotC[i] != wantC[i] || gotK[i] != wantK[i] {
+				t.Fatalf("snps %v cell %d: (%d,%d), want (%d,%d)",
+					snps, i, gotC[i], gotK[i], wantC[i], wantK[i])
+			}
+		}
+	}
+}
+
+func TestBuildSplitKOrder3MatchesTableBuilder(t *testing.T) {
+	mx := randomMatrix(141, 7, 130)
+	s := dataset.SplitBinarize(mx)
+	tab := contingency.BuildSplit(s, 1, 3, 6)
+	ctrl, cases := make([]int32, 27), make([]int32, 27)
+	if err := contingency.BuildSplitK(s, []int{1, 3, 6}, ctrl, cases); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 27; i++ {
+		if ctrl[i] != tab.Counts[dataset.Control][i] || cases[i] != tab.Counts[dataset.Case][i] {
+			t.Fatalf("cell %d differs from specialized builder", i)
+		}
+	}
+}
+
+func TestRunKOrder3MatchesRun(t *testing.T) {
+	mx := randomMatrix(142, 14, 160)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunK(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Score != want.Best.Score ||
+		got.Best.SNPs[0] != want.Best.Triple.I ||
+		got.Best.SNPs[1] != want.Best.Triple.J ||
+		got.Best.SNPs[2] != want.Best.Triple.K {
+		t.Errorf("RunK(3) best %v %.6f, Run best %v %.6f",
+			got.Best.SNPs, got.Best.Score, want.Best.Triple, want.Best.Score)
+	}
+}
+
+func TestRunKOrder2MatchesRunPairs(t *testing.T) {
+	mx := randomMatrix(143, 16, 140)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.RunPairs(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.RunK(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.SNPs[0] != want.Best.Pair.I || got.Best.SNPs[1] != want.Best.Pair.J {
+		t.Errorf("RunK(2) best %v, RunPairs best %+v", got.Best.SNPs, want.Best.Pair)
+	}
+	// Scores use different cell widths (9 embedded in 27 vs pure 9)
+	// but must be numerically identical: empty cells contribute zero.
+	if got.Best.Score != want.Best.Score {
+		t.Errorf("RunK(2) score %.9f != RunPairs %.9f", got.Best.Score, want.Best.Score)
+	}
+}
+
+func TestRunKOrder4BruteForce(t *testing.T) {
+	mx := randomMatrix(144, 9, 90)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := score.NewK2(mx.Samples())
+	// Brute force via the reference builder.
+	bestScore := obj.Worst()
+	var bestSNPs []int
+	comb := []int{0, 1, 2, 3}
+	for {
+		ctrl, cases := make([]int32, 81), make([]int32, 81)
+		if err := contingency.BuildReferenceK(mx, comb, ctrl, cases); err != nil {
+			t.Fatal(err)
+		}
+		sc := score.K2Cells(ctrl, cases, score.NewLnFact(mx.Samples()+1))
+		if obj.Better(sc, bestScore) {
+			bestScore = sc
+			bestSNPs = append([]int(nil), comb...)
+		}
+		if !combin.NextK(comb, 9) {
+			break
+		}
+	}
+	got, err := s.RunK(4, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.Score != bestScore {
+		t.Errorf("RunK(4) score %.9f, brute force %.9f", got.Best.Score, bestScore)
+	}
+	for i := range bestSNPs {
+		if got.Best.SNPs[i] != bestSNPs[i] {
+			t.Errorf("RunK(4) best %v, brute force %v", got.Best.SNPs, bestSNPs)
+			break
+		}
+	}
+	if got.Stats.Combinations != combin.Binomial(9, 4) {
+		t.Errorf("combinations %d", got.Stats.Combinations)
+	}
+}
+
+func TestRunKWorkerInvariance(t *testing.T) {
+	mx := randomMatrix(145, 12, 100)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.RunK(4, Options{Workers: 1, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		res, err := s.RunK(4, Options{Workers: workers, TopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.TopK {
+			if res.TopK[i].Score != base.TopK[i].Score {
+				t.Errorf("workers=%d TopK[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunKValidation(t *testing.T) {
+	mx := randomMatrix(146, 8, 50)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunK(1, Options{}); err == nil {
+		t.Error("order 1 accepted")
+	}
+	if _, err := s.RunK(contingency.MaxOrder+1, Options{}); err == nil {
+		t.Error("excessive order accepted")
+	}
+	if _, err := s.RunK(9, Options{}); err == nil {
+		t.Error("order beyond SNP count accepted")
+	}
+}
+
+func TestCellsKBounds(t *testing.T) {
+	if contingency.CellsK(2) != 9 || contingency.CellsK(3) != 27 || contingency.CellsK(4) != 81 {
+		t.Error("CellsK wrong")
+	}
+	for _, bad := range []int{0, contingency.MaxOrder + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CellsK(%d) should panic", bad)
+				}
+			}()
+			contingency.CellsK(bad)
+		}()
+	}
+	// Builder argument validation.
+	mx := randomMatrix(147, 5, 40)
+	s := dataset.SplitBinarize(mx)
+	if err := contingency.BuildSplitK(s, []int{0}, make([]int32, 3), make([]int32, 3)); err == nil {
+		t.Error("order 1 accepted by builder")
+	}
+	if err := contingency.BuildSplitK(s, []int{0, 1}, make([]int32, 5), make([]int32, 9)); err == nil {
+		t.Error("wrong cell slice length accepted")
+	}
+	if err := contingency.BuildReferenceK(mx, []int{0, 1}, make([]int32, 5), make([]int32, 9)); err == nil {
+		t.Error("reference builder accepted bad lengths")
+	}
+}

@@ -1,0 +1,165 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+)
+
+// Second-order (2-way) search: the interaction order targeted by
+// GBOOST, episNP and GWISFI and supported by MPI3SNP. It shares the
+// phenotype-split data, the NOR inference, the dynamic scheduling and
+// the objectives with the 3-way engine; only the table kernel differs
+// (9 cells embedded in a Table).
+
+// Pair identifies a SNP combination i < j.
+type Pair struct {
+	I, J int
+}
+
+// Less orders pairs lexicographically (the deterministic tie-break).
+func (p Pair) Less(o Pair) bool {
+	if p.I != o.I {
+		return p.I < o.I
+	}
+	return p.J < o.J
+}
+
+// PairCandidate is a scored SNP pair.
+type PairCandidate struct {
+	Pair  Pair
+	Score float64
+}
+
+// PairResult is the outcome of an exhaustive 2-way search.
+type PairResult struct {
+	Best  PairCandidate
+	TopK  []PairCandidate
+	Stats Stats
+}
+
+// RunPairs executes an exhaustive second-order search. Options are
+// interpreted as for Run; Approach is ignored (the split kernel is
+// always used — the pair table is too small for tiling to matter).
+func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
+	o, err := opts.withDefaults(s.mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	m := s.mx.SNPs()
+	total := combin.Pairs(m)
+	chunk := flatChunkSize(total, o.Workers)
+
+	var cursor atomic.Int64
+	var firstErr errOnce
+	tops := make([]*pairTopK, o.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < o.Workers; wk++ {
+		top := &pairTopK{topK: newTopK(o.Objective, o.TopK)}
+		tops[wk] = top
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Reused per worker so the interface call does not force a
+			// heap allocation per combination.
+			var tab contingency.Table
+			for {
+				if err := o.Context.Err(); err != nil {
+					firstErr.set(err)
+					return
+				}
+				lo := cursor.Add(chunk) - chunk
+				if lo >= total {
+					return
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				i, j := combin.UnrankPair(lo, m)
+				for r := lo; r < hi; r++ {
+					tab = contingency.BuildSplitPair(s.split, i, j)
+					top.offer(PairCandidate{
+						Pair:  Pair{I: i, J: j},
+						Score: o.Objective.Score(&tab),
+					})
+					if i+1 < j {
+						i++
+					} else {
+						i, j = 0, j+1
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, err
+	}
+
+	merged := &pairTopK{topK: newTopK(o.Objective, o.TopK)}
+	for _, t := range tops {
+		for _, c := range t.items {
+			merged.offer(c)
+		}
+	}
+	res := &PairResult{TopK: merged.items}
+	if len(merged.items) > 0 {
+		res.Best = merged.items[0]
+	}
+	res.Stats.Combinations = total
+	res.Stats.Elements = combin.Elements(m, s.mx.Samples(), 2)
+	res.Stats.Duration = time.Since(start)
+	if secs := res.Stats.Duration.Seconds(); secs > 0 {
+		res.Stats.ElementsPerSec = res.Stats.Elements / secs
+	}
+	return res, nil
+}
+
+// SearchPairs is a convenience wrapper: build a Searcher and run one
+// 2-way search.
+func SearchPairs(mx *dataset.Matrix, opts Options) (*PairResult, error) {
+	s, err := New(mx)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunPairs(opts)
+}
+
+// pairTopK adapts the candidate accumulator to pairs: it reuses the
+// ordering logic of topK through an embedded comparator.
+type pairTopK struct {
+	*topK
+	items []PairCandidate
+}
+
+func (t *pairTopK) offer(c PairCandidate) {
+	if t.k == 0 {
+		return
+	}
+	betterThan := func(a, b PairCandidate) bool {
+		if a.Score != b.Score {
+			return t.obj.Better(a.Score, b.Score)
+		}
+		return a.Pair.Less(b.Pair)
+	}
+	if len(t.items) == t.k && !betterThan(c, t.items[len(t.items)-1]) {
+		return
+	}
+	pos := len(t.items)
+	for pos > 0 && betterThan(c, t.items[pos-1]) {
+		pos--
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, PairCandidate{})
+	} else if pos == len(t.items) {
+		return
+	}
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = c
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+func TestPairSearchMatchesBruteForce(t *testing.T) {
+	mx := randomMatrix(110, 20, 150)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := score.NewK2(mx.Samples())
+	best := PairCandidate{Score: obj.Worst()}
+	combin.ForEachPair(20, func(i, j int) {
+		tab := contingency.BuildReferencePair(mx, i, j)
+		sc := obj.Score(&tab)
+		c := PairCandidate{Pair: Pair{i, j}, Score: sc}
+		if sc != best.Score && obj.Better(sc, best.Score) || sc == best.Score && c.Pair.Less(best.Pair) {
+			best = c
+		}
+	})
+	res, err := s.RunPairs(Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != best {
+		t.Errorf("best = %+v, want %+v", res.Best, best)
+	}
+	if res.Stats.Combinations != combin.Pairs(20) {
+		t.Errorf("combinations = %d", res.Stats.Combinations)
+	}
+}
+
+func TestPairSplitKernelMatchesReference(t *testing.T) {
+	mx := randomMatrix(111, 10, 173) // odd N exercises the pad correction
+	s := dataset.SplitBinarize(mx)
+	combin.ForEachPair(10, func(i, j int) {
+		got := contingency.BuildSplitPair(s, i, j)
+		want := contingency.BuildReferencePair(mx, i, j)
+		if !got.Equal(&want) {
+			t.Fatalf("pair (%d,%d): split table differs from reference", i, j)
+		}
+	})
+}
+
+func TestPairEmbeddedTableScoresLikeNineCells(t *testing.T) {
+	// The embedded representation must leave the unused 18 cells at
+	// zero so K2/MI/Gini see pure pair semantics.
+	mx := randomMatrix(112, 5, 80)
+	tab := contingency.BuildReferencePair(mx, 1, 3)
+	used := map[int]bool{}
+	for gx := 0; gx < 3; gx++ {
+		for gy := 0; gy < 3; gy++ {
+			used[contingency.PairComboIndex(gx, gy)] = true
+		}
+	}
+	for class := 0; class < 2; class++ {
+		for cell, v := range tab.Counts[class] {
+			if !used[cell] && v != 0 {
+				t.Fatalf("unused cell %d has count %d", cell, v)
+			}
+		}
+	}
+	controls, cases := mx.ClassCounts()
+	if err := tab.Validate(controls, cases); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairPlantedInteractionRecovered(t *testing.T) {
+	// A pair penetrance rewarding double-minor carriers.
+	var pen [9]float64
+	for c := range pen {
+		if c/3+c%3 >= 2 {
+			pen[c] = 0.9
+		} else {
+			pen[c] = 0.1
+		}
+	}
+	mx, err := dataset.Generate(dataset.GenConfig{
+		SNPs: 40, Samples: 1500, Seed: 13, MAFMin: 0.3, MAFMax: 0.5,
+		PairInteraction: &dataset.PairInteraction{SNPs: [2]int{8, 23}, Penetrance: pen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SearchPairs(mx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Pair != (Pair{I: 8, J: 23}) {
+		t.Errorf("best pair %v, want planted (8,23)", res.Best.Pair)
+	}
+}
+
+func TestPairWorkerInvarianceAndTopK(t *testing.T) {
+	mx := randomMatrix(113, 30, 200)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.RunPairs(Options{Workers: 1, TopK: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.TopK) != 7 {
+		t.Fatalf("TopK = %d", len(base.TopK))
+	}
+	obj := score.NewK2(mx.Samples())
+	for i := 1; i < len(base.TopK); i++ {
+		a, b := base.TopK[i-1], base.TopK[i]
+		if a.Score != b.Score && !obj.Better(a.Score, b.Score) {
+			t.Errorf("TopK not sorted at %d", i)
+		}
+	}
+	for _, workers := range []int{2, 6} {
+		res, err := s.RunPairs(Options{Workers: workers, TopK: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.TopK {
+			if res.TopK[i] != base.TopK[i] {
+				t.Errorf("workers=%d TopK[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestPairGeneratorValidation(t *testing.T) {
+	_, err := dataset.Generate(dataset.GenConfig{
+		SNPs: 10, Samples: 50, Seed: 1,
+		Interaction:     &dataset.Interaction{SNPs: [3]int{0, 1, 2}},
+		PairInteraction: &dataset.PairInteraction{SNPs: [2]int{3, 4}},
+	})
+	if err == nil {
+		t.Error("both interactions accepted")
+	}
+	_, err = dataset.Generate(dataset.GenConfig{
+		SNPs: 10, Samples: 50, Seed: 1,
+		PairInteraction: &dataset.PairInteraction{SNPs: [2]int{3, 3}},
+	})
+	if err == nil {
+		t.Error("duplicate pair SNPs accepted")
+	}
+}
+
+func TestPairCancellation(t *testing.T) {
+	mx := randomMatrix(114, 200, 256)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunPairs(Options{Context: ctx}); err == nil {
+		t.Error("cancelled pair run returned no error")
+	}
+}
+
+// Property: pair iteration used inside the worker (the inlined
+// next-pair step) matches colex enumeration.
+func TestPairIterationProperty(t *testing.T) {
+	f := func(mRaw uint8) bool {
+		m := int(mRaw%40) + 2
+		i, j := 0, 1
+		ok := true
+		combin.ForEachPair(m, func(ei, ej int) {
+			if ei != i || ej != j {
+				ok = false
+			}
+			if i+1 < j {
+				i++
+			} else {
+				i, j = 0, j+1
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairLessAndTypes(t *testing.T) {
+	if !(Pair{1, 2}).Less(Pair{1, 3}) || !(Pair{1, 2}).Less(Pair{2, 0}) || (Pair{1, 3}).Less(Pair{1, 2}) {
+		t.Error("Pair.Less ordering wrong")
+	}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"trigene/internal/combin"
+)
+
+func TestProgressReportingFlatAndBlocked(t *testing.T) {
+	mx := randomMatrix(130, 32, 200)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Approach{V2Split, V4Vector} {
+		var mu sync.Mutex
+		var last, calls, reportedTotal int64
+		res, err := s.Run(Options{
+			Approach: a,
+			Workers:  3,
+			Progress: func(done, total int64) {
+				mu.Lock()
+				defer mu.Unlock()
+				calls++
+				if done > last {
+					last = done
+				}
+				reportedTotal = total
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls == 0 {
+			t.Fatalf("%v: no progress calls", a)
+		}
+		want := combin.Triples(32)
+		if last != want {
+			t.Errorf("%v: final progress %d, want %d", a, last, want)
+		}
+		if reportedTotal != want {
+			t.Errorf("%v: reported total %d, want %d", a, reportedTotal, want)
+		}
+		if res.Stats.Combinations != want {
+			t.Errorf("%v: stats combos %d", a, res.Stats.Combinations)
+		}
+	}
+}
+
+func TestProgressWithRankRange(t *testing.T) {
+	mx := randomMatrix(131, 20, 100)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := &combin.Range{Lo: 100, Hi: 600}
+	var mu sync.Mutex
+	var last int64
+	_, err = s.Run(Options{
+		Approach:  V2Split,
+		RankRange: rg,
+		Progress: func(done, total int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done > last {
+				last = done
+			}
+			if total != rg.Len() {
+				t.Errorf("total %d, want range length %d", total, rg.Len())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != rg.Len() {
+		t.Errorf("final progress %d, want %d", last, rg.Len())
+	}
+}
+
+func TestRankRangeResultsMatchSubEnumeration(t *testing.T) {
+	mx := randomMatrix(132, 15, 120)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Run(Options{Approach: V2Split, TopK: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split the space in three and merge manually: the union must
+	// reproduce the full result.
+	total := combin.Triples(15)
+	var all []Candidate
+	for _, rg := range combin.Split(total, 3) {
+		rg := rg
+		res, err := s.Run(Options{Approach: V2Split, TopK: 1000, RankRange: &rg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Combinations != rg.Len() {
+			t.Errorf("range %+v: combos %d", rg, res.Stats.Combinations)
+		}
+		all = append(all, res.TopK...)
+	}
+	if int64(len(all)) != total {
+		t.Fatalf("union has %d candidates, want %d", len(all), total)
+	}
+	seen := map[Triple]float64{}
+	for _, c := range all {
+		seen[c.Triple] = c.Score
+	}
+	for _, c := range full.TopK {
+		if got, ok := seen[c.Triple]; !ok || got != c.Score {
+			t.Errorf("triple %v missing or rescored in union", c.Triple)
+		}
+	}
+}
+
+func TestRankRangeRejectedForBlocked(t *testing.T) {
+	mx := randomMatrix(133, 10, 60)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Options{Approach: V4Vector, RankRange: &combin.Range{Lo: 0, Hi: 10}}); err == nil {
+		t.Error("RankRange accepted for blocked approach")
+	}
+	if _, err := s.Run(Options{Approach: V2Split, RankRange: &combin.Range{Lo: 5, Hi: 2}}); err == nil {
+		t.Error("inverted range accepted")
+	}
+}

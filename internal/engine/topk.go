@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"sort"
+
+	"trigene/internal/score"
+)
+
+// topK accumulates the k best candidates for one worker. The slice is
+// kept sorted best-first; k is small (typically 1-100), so insertion
+// sort beats a heap in practice and keeps the output ordering trivially
+// deterministic.
+type topK struct {
+	obj   score.Objective
+	k     int
+	items []Candidate
+}
+
+func newTopK(obj score.Objective, k int) *topK {
+	return &topK{obj: obj, k: k, items: make([]Candidate, 0, k)}
+}
+
+// better orders candidates: objective score first, lexicographic triple
+// as the deterministic tie-break.
+func (t *topK) better(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return t.obj.Better(a.Score, b.Score)
+	}
+	return a.Triple.Less(b.Triple)
+}
+
+// offer inserts the candidate if it ranks among the k best seen.
+func (t *topK) offer(c Candidate) {
+	if t.k == 0 {
+		return
+	}
+	if len(t.items) == t.k && !t.better(c, t.items[len(t.items)-1]) {
+		return
+	}
+	pos := sort.Search(len(t.items), func(i int) bool { return t.better(c, t.items[i]) })
+	if len(t.items) < t.k {
+		t.items = append(t.items, Candidate{})
+	}
+	copy(t.items[pos+1:], t.items[pos:])
+	t.items[pos] = c
+}
+
+// merge folds another accumulator's candidates into t.
+func (t *topK) merge(o *topK) {
+	for _, c := range o.items {
+		t.offer(c)
+	}
+}
+
+// list returns the accumulated candidates, best first.
+func (t *topK) list() []Candidate { return t.items }

@@ -1,0 +1,90 @@
+// Package gpusim is a functional-plus-timing simulator for the paper's
+// GPU epistasis kernels (Algorithm 2). It executes the kernels at warp
+// granularity over the real dataset — producing bit-exact frequency
+// tables and scores that are validated against the CPU engine — while
+// recording the memory transactions each warp issues (with the
+// coalescing rules that distinguish approaches V2, V3 and V4) and the
+// compute operations executed. A roofline-style timing model converts
+// those counts into cycles for a configured device from Table II.
+//
+// The simulator replaces the physical GPUs the paper measures: the GPU
+// study hinges on (a) memory coalescing, which is decided by the data
+// layout, and (b) POPCNT throughput per compute unit, and the simulator
+// models exactly those two mechanisms.
+package gpusim
+
+import "fmt"
+
+// cacheLine is the L2 line size in bytes (128 B, the common value
+// across the modeled architectures).
+const cacheLine = 128
+
+// lruCache is a set-associative cache with LRU replacement, used to
+// model the device-level L2. Addresses are synthetic byte addresses.
+type lruCache struct {
+	sets [][]uint64 // per set: line tags, most recently used first
+	ways int
+	mask uint64
+
+	hits, misses int64
+}
+
+// newLRUCache builds a cache of the given total size. Size is rounded
+// down to a power-of-two set count; ways is clamped to at least 1.
+func newLRUCache(sizeBytes, ways int) *lruCache {
+	if ways < 1 {
+		ways = 1
+	}
+	nsets := sizeBytes / (cacheLine * ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	c := &lruCache{
+		sets: make([][]uint64, nsets),
+		ways: ways,
+		mask: uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]uint64, 0, ways)
+	}
+	return c
+}
+
+// access touches the line containing addr and reports whether it hit.
+func (c *lruCache) access(addr uint64) bool {
+	tag := addr / cacheLine
+	set := c.sets[tag&c.mask]
+	for i, t := range set {
+		if t == tag {
+			// Move to front.
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[tag&c.mask] = set
+	return false
+}
+
+// reset clears contents and counters.
+func (c *lruCache) reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.hits, c.misses = 0, 0
+}
+
+func (c *lruCache) String() string {
+	return fmt.Sprintf("lruCache{sets:%d ways:%d hits:%d misses:%d}", len(c.sets), c.ways, c.hits, c.misses)
+}

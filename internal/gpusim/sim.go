@@ -1,0 +1,497 @@
+package gpusim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/device"
+	"trigene/internal/score"
+)
+
+// Kernel selects one of the paper's four GPU approaches.
+type Kernel int
+
+const (
+	// K1Naive: three stored planes plus phenotype, SNP-major layout.
+	K1Naive Kernel = iota + 1
+	// K2Split: phenotype-split data, NOR-inferred genotype 2,
+	// SNP-major layout (uncoalesced warp loads).
+	K2Split
+	// K3Transposed: K2 on the transposed layout, coalescing loads of
+	// consecutive-combination threads.
+	K3Transposed
+	// K4Tiled: K2 on the SNP-tiled layout with workgroup-sized tiles.
+	K4Tiled
+)
+
+// String returns the kernel name used in reports.
+func (k Kernel) String() string {
+	switch k {
+	case K1Naive:
+		return "V1"
+	case K2Split:
+		return "V2"
+	case K3Transposed:
+		return "V3"
+	case K4Tiled:
+		return "V4"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// maxWarp is the largest warp width across modeled devices (GCN/CDNA
+// wavefronts are 64 wide).
+const maxWarp = 64
+
+// Per-thread, per-32-bit-word operation counts for the kernels, per
+// class pass. The naive kernel evaluates 27 cells at 6 instructions
+// each (paper: 27x6 = 162, of which 2 are POPCNT); the split kernels
+// spend 3 NOR + 9 XY-AND + 27 Z-AND + 27 table adds and 27 POPCNT
+// (paper's "57" counts the NORs once and one AND+POPCNT per cell).
+const (
+	naiveALUPerWord  = 108 // 27 * (2 plane AND + phenotype AND + ANDNOT)
+	naiveAddPerWord  = 54
+	naivePopPerWord  = 54
+	naiveLoadPerWord = 10 // 9 plane words + 1 phenotype word
+
+	splitALUPerWord  = 39 // 3 NOR + 9 XY AND + 27 Z AND
+	splitAddPerWord  = 27
+	splitPopPerWord  = 27
+	splitLoadPerWord = 6
+)
+
+// Options configures a simulated search.
+type Options struct {
+	// Kernel selects the approach (default K4Tiled).
+	Kernel Kernel
+	// BS is the SNP tile width for K4Tiled; the paper sets it to a
+	// multiple of the warp width (default: the device warp size).
+	BS int
+	// Objective ranks candidates (default Bayesian K2).
+	Objective score.Objective
+	// CoalesceBytes is the memory transaction segment size (default 32).
+	CoalesceBytes int
+	// L2Ways is the modeled L2 associativity (default 16).
+	L2Ways int
+	// RankLo and RankHi restrict the search to combination ranks
+	// [RankLo, RankHi) in colexicographic order; both zero means the
+	// full space. Heterogeneous deployments partition on this.
+	RankLo, RankHi int64
+	// BSched is the per-dimension scheduling block: each kernel
+	// enqueue covers BSched^3 thread slots indexed by (i0, i1, i2), and
+	// slots violating the i0 < i1 < i2 guard idle (Algorithm 2). The
+	// default is the paper's 256. Only the utilization accounting
+	// depends on it.
+	BSched int
+	// ModelGuardWaste, when set, charges the idle guard slots to the
+	// compute time (cycles scale by Scheduled/Active threads). Off by
+	// default: the paper's throughputs are reported per useful
+	// combination.
+	ModelGuardWaste bool
+}
+
+// Stats aggregates the executed operations, the memory behaviour and
+// the modeled timing of one simulated search.
+type Stats struct {
+	Combinations int64
+	Elements     float64
+
+	ALUOps    int64 // bitwise ops + table adds, on stream cores
+	PopcntOps int64 // on the POPCNT-capable units
+	Loads     int64 // per-thread 32-bit loads issued
+
+	RequestedBytes int64 // Loads * 4
+	Transactions   int64 // coalesced memory transactions
+	L2Hits         int64
+	L2Misses       int64
+	L2Bytes        int64 // Transactions * CoalesceBytes
+	DRAMBytes      int64 // L2Misses * cacheLine
+
+	// Thread-scheduling accounting (Algorithm 2): every enqueue spawns
+	// BSched^3 thread slots over an (i0, i1, i2) block; only slots with
+	// i0 < i1 < i2 do work. Utilization = Active / Scheduled.
+	ScheduledThreads int64
+	ActiveThreads    int64
+	Utilization      float64
+
+	ComputeCycles float64
+	MemoryCycles  float64
+	Cycles        float64
+	ModelSeconds  float64
+
+	ElementsPerSec      float64 // modeled, whole device
+	ElementsPerCyclePer struct {
+		CU         float64
+		StreamCore float64
+	}
+}
+
+// Candidate is a scored SNP triple (i < j < k).
+type Candidate struct {
+	I, J, K int
+	Score   float64
+}
+
+// Result is the outcome of a simulated search.
+type Result struct {
+	Best  Candidate
+	Stats Stats
+}
+
+// Runner simulates GPU searches on one device.
+type Runner struct {
+	dev device.GPU
+}
+
+// New returns a Runner for the given Table II device.
+func New(dev device.GPU) *Runner { return &Runner{dev: dev} }
+
+// Device returns the modeled device.
+func (r *Runner) Device() device.GPU { return r.dev }
+
+// Search runs the exhaustive 3-way search on the simulated device and
+// returns the (bit-exact) best candidate together with the modeled
+// execution statistics.
+func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
+	if mx.SNPs() < 3 {
+		return nil, fmt.Errorf("gpusim: need at least 3 SNPs, have %d", mx.SNPs())
+	}
+	if err := mx.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Kernel == 0 {
+		opts.Kernel = K4Tiled
+	}
+	if opts.Kernel < K1Naive || opts.Kernel > K4Tiled {
+		return nil, fmt.Errorf("gpusim: invalid kernel %d", int(opts.Kernel))
+	}
+	if opts.BS == 0 {
+		opts.BS = r.dev.WarpSize
+	}
+	if opts.BS < 1 {
+		return nil, fmt.Errorf("gpusim: invalid tile width %d", opts.BS)
+	}
+	if opts.Objective == nil {
+		opts.Objective = score.NewK2(mx.Samples())
+	}
+	if opts.CoalesceBytes == 0 {
+		opts.CoalesceBytes = 32
+	}
+	if opts.CoalesceBytes < 4 || opts.CoalesceBytes&(opts.CoalesceBytes-1) != 0 {
+		return nil, fmt.Errorf("gpusim: coalesce segment must be a power of two >= 4, got %d", opts.CoalesceBytes)
+	}
+	if opts.L2Ways == 0 {
+		opts.L2Ways = 16
+	}
+	if opts.BSched == 0 {
+		opts.BSched = 256
+	}
+	if opts.BSched < 1 {
+		return nil, fmt.Errorf("gpusim: invalid BSched %d", opts.BSched)
+	}
+
+	st := &simState{
+		dev:  r.dev,
+		opts: opts,
+		l2:   newLRUCache(r.dev.L2Bytes, opts.L2Ways),
+		best: Candidate{Score: opts.Objective.Worst()},
+	}
+	switch opts.Kernel {
+	case K1Naive:
+		st.naive = dataset.BuildNaive32(dataset.Binarize(mx))
+	case K2Split:
+		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutRowMajor, 0)
+	case K3Transposed:
+		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutTransposed, 0)
+	case K4Tiled:
+		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutTiled, opts.BS)
+	}
+
+	m := mx.SNPs()
+	base, total := int64(0), combin.Triples(m)
+	if opts.RankLo != 0 || opts.RankHi != 0 {
+		if opts.RankLo < 0 || opts.RankHi < opts.RankLo || opts.RankHi > total {
+			return nil, fmt.Errorf("gpusim: invalid rank range [%d,%d) of %d", opts.RankLo, opts.RankHi, total)
+		}
+		base, total = opts.RankLo, opts.RankHi
+	}
+	warp := r.dev.WarpSize
+	for lo := base; lo < total; lo += int64(warp) {
+		hi := lo + int64(warp)
+		if hi > total {
+			hi = total
+		}
+		st.runWarp(m, lo, hi)
+	}
+
+	st.stats.Combinations = total - base
+	st.stats.Elements = float64(total-base) * float64(mx.Samples())
+	st.accountScheduling(m)
+	st.finishTiming()
+	return &Result{Best: st.best, Stats: st.stats}, nil
+}
+
+// accountScheduling computes the Algorithm 2 thread-slot utilization:
+// kernel enqueues cover block triples (b0 <= b1 <= b2) of BSched-wide
+// index blocks, so the scheduled slots are C(nb+2,3) * BSched^3 scaled
+// to the evaluated rank share.
+func (s *simState) accountScheduling(m int) {
+	bs := int64(s.opts.BSched)
+	nb := int64(combin.TripleBlocks(m, s.opts.BSched))
+	scheduledFull := combin.Triples(int(nb)+2) * bs * bs * bs
+	totalFull := combin.Triples(m)
+	share := 1.0
+	if totalFull > 0 {
+		share = float64(s.stats.Combinations) / float64(totalFull)
+	}
+	s.stats.ActiveThreads = s.stats.Combinations
+	s.stats.ScheduledThreads = int64(float64(scheduledFull) * share)
+	if s.stats.ScheduledThreads > 0 {
+		s.stats.Utilization = float64(s.stats.ActiveThreads) / float64(s.stats.ScheduledThreads)
+	}
+}
+
+// simState carries the per-search mutable state.
+type simState struct {
+	dev  device.GPU
+	opts Options
+	l2   *lruCache
+
+	naive *dataset.Naive32
+	words *dataset.Words32
+
+	stats Stats
+	best  Candidate
+
+	// Reused warp-sized buffers.
+	ti, tj, tk [maxWarp]int
+	regs       [3][3][maxWarp]uint32 // [snp role][plane][thread]
+	phenRegs   [maxWarp]uint32
+	ft         [maxWarp][2][contingency.Cells]int32
+	addrs      [maxWarp]uint64
+}
+
+// runWarp executes threads for combination ranks [lo, hi).
+func (s *simState) runWarp(m int, lo, hi int64) {
+	tc := int(hi - lo)
+	i, j, k := combin.UnrankTriple(lo, m)
+	for t := 0; t < tc; t++ {
+		s.ti[t], s.tj[t], s.tk[t] = i, j, k
+		i, j, k, _ = combin.NextTriple(i, j, k, m)
+	}
+	for t := 0; t < tc; t++ {
+		s.ft[t] = [2][contingency.Cells]int32{}
+	}
+	if s.opts.Kernel == K1Naive {
+		s.runWarpNaive(tc)
+	} else {
+		s.runWarpSplit(tc)
+	}
+	// Score each thread's table; the host-side reduction keeps the
+	// deterministic lexicographic tie-break used by the CPU engine.
+	for t := 0; t < tc; t++ {
+		var tab contingency.Table
+		tab.Counts = s.ft[t]
+		sc := s.opts.Objective.Score(&tab)
+		c := Candidate{I: s.ti[t], J: s.tj[t], K: s.tk[t], Score: sc}
+		if s.betterCandidate(c) {
+			s.best = c
+		}
+	}
+}
+
+func (s *simState) betterCandidate(c Candidate) bool {
+	if c.Score != s.best.Score {
+		return s.opts.Objective.Better(c.Score, s.best.Score)
+	}
+	if c.I != s.best.I {
+		return c.I < s.best.I
+	}
+	if c.J != s.best.J {
+		return c.J < s.best.J
+	}
+	return c.K < s.best.K
+}
+
+// runWarpSplit executes one warp of the V2/V3/V4 kernel body.
+func (s *simState) runWarpSplit(tc int) {
+	w32 := s.words
+	snps := [3]*[maxWarp]int{&s.ti, &s.tj, &s.tk}
+	for class := 0; class < 2; class++ {
+		words := w32.W[class]
+		for w := 0; w < words; w++ {
+			for role := 0; role < 3; role++ {
+				for g := 0; g < 2; g++ {
+					data := w32.Data(class, g)
+					base := uint64(class*2+g) << 40
+					for t := 0; t < tc; t++ {
+						idx := w32.Index(snps[role][t], w, class)
+						s.regs[role][g][t] = data[idx]
+						s.addrs[t] = base + uint64(idx)*4
+					}
+					s.coalesce(tc)
+				}
+			}
+			for t := 0; t < tc; t++ {
+				x0, x1 := s.regs[0][0][t], s.regs[0][1][t]
+				y0, y1 := s.regs[1][0][t], s.regs[1][1][t]
+				z0, z1 := s.regs[2][0][t], s.regs[2][1][t]
+				xs := [3]uint32{x0, x1, ^(x0 | x1)}
+				ys := [3]uint32{y0, y1, ^(y0 | y1)}
+				zs := [3]uint32{z0, z1, ^(z0 | z1)}
+				ft := &s.ft[t][class]
+				idx := 0
+				for gx := 0; gx < 3; gx++ {
+					for gy := 0; gy < 3; gy++ {
+						xy := xs[gx] & ys[gy]
+						ft[idx] += int32(bits.OnesCount32(xy & zs[0]))
+						ft[idx+1] += int32(bits.OnesCount32(xy & zs[1]))
+						ft[idx+2] += int32(bits.OnesCount32(xy & zs[2]))
+						idx += 3
+					}
+				}
+			}
+		}
+		wt := int64(words) * int64(tc)
+		s.stats.ALUOps += (splitALUPerWord + splitAddPerWord) * wt
+		s.stats.PopcntOps += splitPopPerWord * wt
+		s.stats.Loads += splitLoadPerWord * wt
+		// NOR padding correction, as on the CPU side.
+		for t := 0; t < tc; t++ {
+			s.ft[t][class][contingency.Cells-1] -= int32(w32.Pad[class])
+		}
+	}
+}
+
+// runWarpNaive executes one warp of the V1 kernel body.
+func (s *simState) runWarpNaive(tc int) {
+	n32 := s.naive
+	snps := [3]*[maxWarp]int{&s.ti, &s.tj, &s.tk}
+	for w := 0; w < n32.W; w++ {
+		for role := 0; role < 3; role++ {
+			for g := 0; g < 3; g++ {
+				data := n32.Data(g)
+				base := uint64(g) << 40
+				for t := 0; t < tc; t++ {
+					idx := snps[role][t]*n32.W + w
+					s.regs[role][g][t] = data[idx]
+					s.addrs[t] = base + uint64(idx)*4
+				}
+				s.coalesce(tc)
+			}
+		}
+		phenBase := uint64(3) << 40
+		for t := 0; t < tc; t++ {
+			s.phenRegs[t] = n32.Phen[w]
+			s.addrs[t] = phenBase + uint64(w)*4
+		}
+		s.coalesce(tc)
+		for t := 0; t < tc; t++ {
+			phen := s.phenRegs[t]
+			idx := 0
+			for gx := 0; gx < 3; gx++ {
+				x := s.regs[0][gx][t]
+				for gy := 0; gy < 3; gy++ {
+					xy := x & s.regs[1][gy][t]
+					for gz := 0; gz < 3; gz++ {
+						v := xy & s.regs[2][gz][t]
+						s.ft[t][dataset.Case][idx] += int32(bits.OnesCount32(v & phen))
+						s.ft[t][dataset.Control][idx] += int32(bits.OnesCount32(v &^ phen))
+						idx++
+					}
+				}
+			}
+		}
+	}
+	wt := int64(n32.W) * int64(tc)
+	s.stats.ALUOps += (naiveALUPerWord + naiveAddPerWord) * wt
+	s.stats.PopcntOps += naivePopPerWord * wt
+	s.stats.Loads += naiveLoadPerWord * wt
+}
+
+// coalesce groups the warp's addresses into transaction segments,
+// counts them, and touches the L2 once per distinct cache line.
+func (s *simState) coalesce(tc int) {
+	a := s.addrs[:tc]
+	// Insertion sort: address streams are nearly sorted because thread
+	// rank orders mostly follow SNP order.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+	seg := uint64(s.opts.CoalesceBytes)
+	lastSeg := ^uint64(0)
+	lastLine := ^uint64(0)
+	for _, addr := range a {
+		if sid := addr / seg; sid != lastSeg {
+			lastSeg = sid
+			s.stats.Transactions++
+		}
+		if lid := addr / cacheLine; lid != lastLine {
+			lastLine = lid
+			s.l2.access(addr)
+		}
+	}
+}
+
+// finishTiming converts the operation and transaction counts into the
+// roofline timing model:
+//
+//	compute cycles = max(ALU / (CUs * streamCores/CU),
+//	                     POPCNT / (CUs * popcnt/CU))
+//	memory  cycles = max(L2 bytes / L2 bytes-per-cycle,
+//	                     DRAM bytes / (DRAM GB/s / boost GHz))
+//	total          = max(compute, memory)        [perfect overlap]
+func (s *simState) finishTiming() {
+	st := &s.stats
+	st.RequestedBytes = st.Loads * 4
+	st.L2Bytes = st.Transactions * int64(s.opts.CoalesceBytes)
+	st.L2Hits = s.l2.hits
+	st.L2Misses = s.l2.misses
+	st.DRAMBytes = st.L2Misses * cacheLine
+
+	d := s.dev
+	aluCyc := float64(st.ALUOps) / (float64(d.CUs) * float64(d.StreamCoresPerCU()))
+	popCyc := float64(st.PopcntOps) / (float64(d.CUs) * d.PopcntPerCU)
+	if d.SharedPopcntPipe {
+		// Intel EUs execute POPCNT on the same pipes as the rest of the
+		// ALU work, so the two serialize instead of overlapping.
+		st.ComputeCycles = aluCyc + popCyc
+	} else {
+		st.ComputeCycles = maxf(aluCyc, popCyc)
+	}
+	if s.opts.ModelGuardWaste && st.Utilization > 0 {
+		st.ComputeCycles /= st.Utilization
+	}
+
+	l2Cyc := float64(st.L2Bytes) / d.L2BytesPerCycle
+	dramBytesPerCycle := d.DRAMGBs / d.BoostGHz
+	dramCyc := float64(st.DRAMBytes) / dramBytesPerCycle
+	st.MemoryCycles = maxf(l2Cyc, dramCyc)
+
+	st.Cycles = maxf(st.ComputeCycles, st.MemoryCycles)
+	st.ModelSeconds = st.Cycles / (d.BoostGHz * 1e9)
+	if st.ModelSeconds > 0 {
+		st.ElementsPerSec = st.Elements / st.ModelSeconds
+	}
+	if st.Cycles > 0 {
+		st.ElementsPerCyclePer.CU = st.Elements / st.Cycles / float64(d.CUs)
+		st.ElementsPerCyclePer.StreamCore = st.Elements / st.Cycles / float64(d.StreamCores)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

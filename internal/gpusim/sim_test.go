@@ -1,0 +1,333 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"trigene/internal/dataset"
+	"trigene/internal/device"
+	"trigene/internal/engine"
+)
+
+func randomMatrix(seed int64, m, n int) *dataset.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	mx := dataset.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j := range row {
+			row[j] = uint8(r.Intn(3))
+		}
+	}
+	for j := 0; j < n; j++ {
+		mx.SetPhen(j, uint8(j%2))
+	}
+	return mx
+}
+
+func titan() device.GPU {
+	g, err := device.GPUByID("GN1")
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestAllKernelsMatchCPUEngine(t *testing.T) {
+	mx := randomMatrix(80, 20, 300)
+	cpu, err := engine.Search(mx, engine.Options{Approach: engine.V2Split})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(titan())
+	for k := K1Naive; k <= K4Tiled; k++ {
+		res, err := r.Search(mx, Options{Kernel: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Best.I != cpu.Best.Triple.I || res.Best.J != cpu.Best.Triple.J ||
+			res.Best.K != cpu.Best.Triple.K || res.Best.Score != cpu.Best.Score {
+			t.Errorf("%v: best (%d,%d,%d)=%.6f, CPU (%d,%d,%d)=%.6f",
+				k, res.Best.I, res.Best.J, res.Best.K, res.Best.Score,
+				cpu.Best.Triple.I, cpu.Best.Triple.J, cpu.Best.Triple.K, cpu.Best.Score)
+		}
+	}
+}
+
+func TestOddSampleCountsMatchCPU(t *testing.T) {
+	// Non-multiple-of-32 class sizes exercise the 32-bit pad correction.
+	for _, n := range []int{33, 97, 131} {
+		mx := randomMatrix(81, 10, n)
+		cpu, err := engine.Search(mx, engine.Options{Approach: engine.V2Split})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := New(titan())
+		for _, k := range []Kernel{K2Split, K3Transposed, K4Tiled} {
+			res, err := r.Search(mx, Options{Kernel: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best.Score != cpu.Best.Score {
+				t.Errorf("n=%d %v: score %.9f != CPU %.9f", n, k, res.Best.Score, cpu.Best.Score)
+			}
+		}
+	}
+}
+
+func TestTransposedCoalescesBetterThanRowMajor(t *testing.T) {
+	mx := randomMatrix(82, 24, 512)
+	r := New(titan())
+	rm, err := r.Search(mx, Options{Kernel: K2Split})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := r.Search(mx, Options{Kernel: K3Transposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Transactions*2 > rm.Stats.Transactions {
+		t.Errorf("transposed %d transactions, row-major %d: want at least 2x fewer",
+			tr.Stats.Transactions, rm.Stats.Transactions)
+	}
+	// Same loads and ops: the layouts only change memory behaviour.
+	if tr.Stats.Loads != rm.Stats.Loads || tr.Stats.PopcntOps != rm.Stats.PopcntOps {
+		t.Error("layout change altered executed operations")
+	}
+}
+
+func TestSplitReducesOpsAndBytesVsNaive(t *testing.T) {
+	mx := randomMatrix(83, 16, 256)
+	r := New(titan())
+	naive, err := r.Search(mx, Options{Kernel: K1Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := r.Search(mx, Options{Kernel: K2Split})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~2.1x fewer operations, ~47.5% fewer requested bytes.
+	opsRatio := float64(naive.Stats.ALUOps+naive.Stats.PopcntOps) /
+		float64(split.Stats.ALUOps+split.Stats.PopcntOps)
+	if opsRatio < 1.8 || opsRatio > 2.6 {
+		t.Errorf("naive/split ops ratio = %.2f, want ~2.1", opsRatio)
+	}
+	byteRatio := float64(naive.Stats.RequestedBytes) / float64(split.Stats.RequestedBytes)
+	if byteRatio < 1.4 || byteRatio > 2.0 {
+		t.Errorf("naive/split requested-byte ratio = %.2f, want ~1.67", byteRatio)
+	}
+}
+
+func TestModeledPerformanceOrderingV1toV4(t *testing.T) {
+	// On the simulated device the paper's headline must hold:
+	// V3 (coalesced) is much faster than V2; V4 is at least V3-class;
+	// V1 is the slowest of all.
+	mx := randomMatrix(84, 32, 1024)
+	r := New(titan())
+	var secs [5]float64
+	for k := K1Naive; k <= K4Tiled; k++ {
+		res, err := r.Search(mx, Options{Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs[k] = res.Stats.ModelSeconds
+		if res.Stats.ModelSeconds <= 0 || res.Stats.ElementsPerSec <= 0 {
+			t.Fatalf("%v: timing not populated", k)
+		}
+	}
+	if !(secs[K3Transposed] < secs[K2Split]) {
+		t.Errorf("V3 (%.3g s) should beat V2 (%.3g s)", secs[K3Transposed], secs[K2Split])
+	}
+	if !(secs[K2Split] < secs[K1Naive]) {
+		t.Errorf("V2 (%.3g s) should beat V1 (%.3g s)", secs[K2Split], secs[K1Naive])
+	}
+	if secs[K4Tiled] > secs[K3Transposed]*1.1 {
+		t.Errorf("V4 (%.3g s) should be within 10%% of V3 (%.3g s) or better", secs[K4Tiled], secs[K3Transposed])
+	}
+}
+
+func TestPopcntThroughputDrivesComputeBound(t *testing.T) {
+	// With coalesced layouts the kernel is compute bound, so a device
+	// with double the POPCNT rate should model ~2x faster per CU.
+	mx := randomMatrix(85, 24, 512)
+	gn1 := titan() // 32 popcnt/CU
+	gn2, err := device.GPUByID("GN2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(gn1).Search(mx, Options{Kernel: K4Tiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(gn2).Search(mx, Options{Kernel: K4Tiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := a.Stats.ElementsPerCyclePer.CU / b.Stats.ElementsPerCyclePer.CU
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("GN1/GN2 per-CU per-cycle ratio = %.2f, want ~2 (32 vs 16 popcnt/CU)", ratio)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	mx := randomMatrix(86, 8, 128)
+	r := New(titan())
+	res, err := r.Search(mx, Options{Kernel: K3Transposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.RequestedBytes != st.Loads*4 {
+		t.Error("requested bytes != loads*4")
+	}
+	if st.L2Bytes != st.Transactions*32 {
+		t.Error("L2 bytes != transactions*segment")
+	}
+	if st.DRAMBytes != st.L2Misses*cacheLine {
+		t.Error("DRAM bytes != misses*line")
+	}
+	if st.L2Hits+st.L2Misses == 0 {
+		t.Error("no cache accesses recorded")
+	}
+	if st.Transactions > st.Loads {
+		t.Error("coalescing cannot create more transactions than loads")
+	}
+	if st.Cycles < st.ComputeCycles || st.Cycles < st.MemoryCycles {
+		t.Error("total cycles must cover both components")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	mx := randomMatrix(87, 6, 64)
+	r := New(titan())
+	bad := []Options{
+		{Kernel: Kernel(9)},
+		{Kernel: K4Tiled, BS: -1},
+		{Kernel: K2Split, CoalesceBytes: 33},
+		{Kernel: K2Split, CoalesceBytes: 2},
+	}
+	for i, o := range bad {
+		if _, err := r.Search(mx, o); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+	if _, err := r.Search(randomMatrix(88, 2, 10), Options{}); err == nil {
+		t.Error("2-SNP dataset accepted")
+	}
+	oneClass := dataset.NewMatrix(5, 10)
+	if _, err := r.Search(oneClass, Options{}); err == nil {
+		t.Error("single-class dataset accepted")
+	}
+}
+
+func TestWarp64DeviceMatchesCPU(t *testing.T) {
+	// AMD wavefront width 64 exercises the wide-warp path.
+	ga2, err := device.GPUByID("GA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := randomMatrix(89, 14, 200)
+	cpu, err := engine.Search(mx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(ga2).Search(mx, Options{Kernel: K4Tiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Score != cpu.Best.Score {
+		t.Errorf("GA2 score %.9f != CPU %.9f", res.Best.Score, cpu.Best.Score)
+	}
+}
+
+func TestKernelString(t *testing.T) {
+	if K1Naive.String() != "V1" || K4Tiled.String() != "V4" {
+		t.Error("kernel names wrong")
+	}
+	if Kernel(7).String() == "" {
+		t.Error("unknown kernel should render")
+	}
+}
+
+func TestCacheModel(t *testing.T) {
+	c := newLRUCache(4096, 2) // 16 sets x 2 ways x 128B
+	if !c.access(0) == false && c.access(0) {
+		t.Fatal("first access should miss, second hit")
+	}
+	c.reset()
+	if c.hits != 0 || c.misses != 0 {
+		t.Error("reset did not clear counters")
+	}
+	// Fill one set beyond associativity: addresses mapping to set 0.
+	c.access(0)
+	c.access(16 * 128) // same set, way 2
+	c.access(32 * 128) // evicts addr 0
+	if c.access(0) {
+		t.Error("evicted line reported as hit")
+	}
+	if got := c.String(); got == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestCacheDegenerateSizes(t *testing.T) {
+	c := newLRUCache(64, 0) // smaller than a line, zero ways
+	c.access(0)
+	c.access(128)
+	if c.misses == 0 {
+		t.Error("tiny cache should miss")
+	}
+}
+
+func TestSchedulingUtilization(t *testing.T) {
+	mx := randomMatrix(90, 40, 128)
+	r := New(titan())
+	// With BSched equal to M there is a single block triple and the
+	// cube holds M^3 slots: utilization = C(M,3)/M^3 ~ 1/6.
+	res, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.ActiveThreads != st.Combinations {
+		t.Errorf("active threads %d != combinations %d", st.ActiveThreads, st.Combinations)
+	}
+	if st.ScheduledThreads != 40*40*40 {
+		t.Errorf("scheduled threads %d, want 64000", st.ScheduledThreads)
+	}
+	if st.Utilization < 0.12 || st.Utilization > 0.20 {
+		t.Errorf("utilization %.3f, want ~1/6", st.Utilization)
+	}
+	// Smaller scheduling blocks waste fewer guard slots.
+	fine, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Stats.Utilization <= st.Utilization {
+		t.Errorf("BSched=8 utilization %.3f should beat BSched=40's %.3f",
+			fine.Stats.Utilization, st.Utilization)
+	}
+}
+
+func TestModelGuardWasteInflatesCycles(t *testing.T) {
+	mx := randomMatrix(91, 24, 256)
+	r := New(titan())
+	plain, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wasted, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 24, ModelGuardWaste: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wasted.Stats.ComputeCycles <= plain.Stats.ComputeCycles {
+		t.Error("guard-waste modeling should inflate compute cycles")
+	}
+	// Functional results are unaffected.
+	if wasted.Best != plain.Best {
+		t.Error("guard-waste modeling changed results")
+	}
+	if _, err := r.Search(mx, Options{BSched: -2}); err == nil {
+		t.Error("negative BSched accepted")
+	}
+}

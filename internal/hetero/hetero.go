@@ -1,0 +1,177 @@
+// Package hetero implements the heterogeneous CPU+GPU execution mode
+// the paper discusses in Section V-D (and that reference [30] builds):
+// the combination space is partitioned by rank between the CPU engine
+// and the (simulated) GPU, both halves run concurrently, and the
+// results are merged.
+//
+// The split fraction defaults to the analytical models' throughput
+// ratio for the chosen device pair — the paper's CI3+GN1 estimate sums
+// the two devices' throughputs, which is exactly what a
+// throughput-proportional static split achieves.
+package hetero
+
+import (
+	"fmt"
+	"time"
+
+	"trigene/internal/combin"
+	"trigene/internal/dataset"
+	"trigene/internal/device"
+	"trigene/internal/engine"
+	"trigene/internal/gpusim"
+	"trigene/internal/perfmodel"
+	"trigene/internal/score"
+)
+
+// Options configures a heterogeneous search.
+type Options struct {
+	// CPUDevice and GPUDevice select the modeled device pair for the
+	// split ratio and the combined-throughput projection. Defaults:
+	// CI3 and GN1 (the paper's Section V-D pairing).
+	CPUDevice device.CPU
+	GPUDevice device.GPU
+
+	// CPUFraction fixes the fraction of combination ranks evaluated on
+	// the CPU engine. Zero means automatic: the modeled CPU share of
+	// the pair's combined throughput. Use a negative value to force an
+	// all-GPU run and 1 for an all-CPU run.
+	CPUFraction float64
+
+	// Workers is the CPU engine pool size (0 = all cores).
+	Workers int
+	// Objective ranks candidates (default Bayesian K2).
+	Objective score.Objective
+}
+
+// Result is the outcome of a heterogeneous search.
+type Result struct {
+	Best engine.Candidate
+
+	// CPUFraction is the fraction of ranks that ran on the CPU side.
+	CPUFraction float64
+	// CPUStats/GPUStats describe the two halves. The CPU half is a real
+	// host measurement; the GPU half carries the simulator's modeled
+	// timing.
+	CPUStats engine.Stats
+	GPUStats gpusim.Stats
+
+	// ModeledCombinedGElems is the device pair's projected joint
+	// throughput (G elements/s) at this workload, the Section V-D
+	// estimate.
+	ModeledCombinedGElems float64
+
+	// Duration is the wall time of the heterogeneous run.
+	Duration time.Duration
+}
+
+// Search partitions the 3-way combination space between the CPU engine
+// and the GPU simulator and merges the results. The merged best is
+// bit-exact: both halves compute the same tables and scores.
+func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
+	if opts.CPUDevice.ID == "" {
+		c, err := device.CPUByID("CI3")
+		if err != nil {
+			return nil, err
+		}
+		opts.CPUDevice = c
+	}
+	if opts.GPUDevice.ID == "" {
+		g, err := device.GPUByID("GN1")
+		if err != nil {
+			return nil, err
+		}
+		opts.GPUDevice = g
+	}
+	if opts.Objective == nil {
+		opts.Objective = score.NewK2(mx.Samples())
+	}
+	m, n := mx.SNPs(), mx.Samples()
+
+	cpuRate := perfmodel.CPUOverallGElemPerSec(opts.CPUDevice, true, m, n)
+	gpuRate := perfmodel.GPUOverallGElemPerSec(opts.GPUDevice, m, n)
+	frac := opts.CPUFraction
+	switch {
+	case frac == 0:
+		frac = cpuRate / (cpuRate + gpuRate)
+	case frac < 0:
+		frac = 0
+	case frac > 1:
+		return nil, fmt.Errorf("hetero: CPUFraction %g out of range", opts.CPUFraction)
+	}
+
+	total := combin.Triples(m)
+	cut := int64(frac * float64(total))
+	if cut > total {
+		cut = total
+	}
+
+	start := time.Now()
+	type cpuOut struct {
+		res *engine.Result
+		err error
+	}
+	cpuCh := make(chan cpuOut, 1)
+	go func() {
+		if cut == 0 {
+			cpuCh <- cpuOut{res: &engine.Result{}}
+			return
+		}
+		res, err := engine.Search(mx, engine.Options{
+			Approach:  engine.V2Split, // rank-partitionable approach
+			Workers:   opts.Workers,
+			Objective: opts.Objective,
+			RankRange: &combin.Range{Lo: 0, Hi: cut},
+		})
+		cpuCh <- cpuOut{res: res, err: err}
+	}()
+
+	var gpuRes *gpusim.Result
+	var gpuErr error
+	if cut < total {
+		gpuRes, gpuErr = gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
+			Kernel:    gpusim.K4Tiled,
+			Objective: opts.Objective,
+			RankLo:    cut,
+			RankHi:    total,
+		})
+	}
+	cpu := <-cpuCh
+	if cpu.err != nil {
+		return nil, fmt.Errorf("hetero: CPU half: %w", cpu.err)
+	}
+	if gpuErr != nil {
+		return nil, fmt.Errorf("hetero: GPU half: %w", gpuErr)
+	}
+
+	out := &Result{
+		CPUFraction:           frac,
+		ModeledCombinedGElems: cpuRate + gpuRate,
+		Duration:              time.Since(start),
+	}
+	best := engine.Candidate{Score: opts.Objective.Worst()}
+	haveBest := false
+	if cut > 0 {
+		out.CPUStats = cpu.res.Stats
+		best = cpu.res.Best
+		haveBest = true
+	}
+	if gpuRes != nil {
+		out.GPUStats = gpuRes.Stats
+		g := engine.Candidate{
+			Triple: engine.Triple{I: gpuRes.Best.I, J: gpuRes.Best.J, K: gpuRes.Best.K},
+			Score:  gpuRes.Best.Score,
+		}
+		if !haveBest || betterCandidate(opts.Objective, g, best) {
+			best = g
+		}
+	}
+	out.Best = best
+	return out, nil
+}
+
+func betterCandidate(obj score.Objective, a, b engine.Candidate) bool {
+	if a.Score != b.Score {
+		return obj.Better(a.Score, b.Score)
+	}
+	return a.Triple.Less(b.Triple)
+}

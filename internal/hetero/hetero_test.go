@@ -1,0 +1,126 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+
+	"trigene/internal/dataset"
+	"trigene/internal/device"
+	"trigene/internal/engine"
+)
+
+func randomMatrix(seed int64, m, n int) *dataset.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	mx := dataset.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		row := mx.Row(i)
+		for j := range row {
+			row[j] = uint8(r.Intn(3))
+		}
+	}
+	for j := 0; j < n; j++ {
+		mx.SetPhen(j, uint8(j%2))
+	}
+	return mx
+}
+
+func TestHeterogeneousMatchesFullSearch(t *testing.T) {
+	mx := randomMatrix(120, 18, 200)
+	want, err := engine.Search(mx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.001, 0.3, 0.5, 0.9, 0.999} {
+		res, err := Search(mx, Options{CPUFraction: frac})
+		if err != nil {
+			t.Fatalf("frac %g: %v", frac, err)
+		}
+		if res.Best != want.Best {
+			t.Errorf("frac %g: best %+v, want %+v", frac, res.Best, want.Best)
+		}
+		// Both halves must have evaluated their share.
+		sum := res.CPUStats.Combinations + res.GPUStats.Combinations
+		if sum != want.Stats.Combinations {
+			t.Errorf("frac %g: halves cover %d of %d combinations", frac, sum, want.Stats.Combinations)
+		}
+	}
+}
+
+func TestHeterogeneousEdgesAllCPUAllGPU(t *testing.T) {
+	mx := randomMatrix(121, 12, 130)
+	want, err := engine.Search(mx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allCPU, err := Search(mx, Options{CPUFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allCPU.Best != want.Best || allCPU.GPUStats.Combinations != 0 {
+		t.Errorf("all-CPU run wrong: %+v", allCPU.Best)
+	}
+	allGPU, err := Search(mx, Options{CPUFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allGPU.Best != want.Best || allGPU.CPUStats.Combinations != 0 {
+		t.Errorf("all-GPU run wrong: %+v", allGPU.Best)
+	}
+}
+
+func TestHeterogeneousAutoFraction(t *testing.T) {
+	mx := randomMatrix(122, 14, 150)
+	res, err := Search(mx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default pairing CI3+GN1: the paper says CI3 delivers roughly half
+	// a GN1-class GPU, so the CPU share should be meaningful but
+	// minority.
+	if res.CPUFraction <= 0.05 || res.CPUFraction >= 0.6 {
+		t.Errorf("auto CPU fraction = %.3f, want in (0.05, 0.6)", res.CPUFraction)
+	}
+	// Section V-D estimate: CI3+GN1 combined throughput beats GN1 alone.
+	gn1, err := device.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gn1
+	if res.ModeledCombinedGElems <= 0 {
+		t.Error("combined throughput not populated")
+	}
+}
+
+func TestHeterogeneousCustomDevices(t *testing.T) {
+	mx := randomMatrix(123, 10, 100)
+	ca2, err := device.CPUByID("CA2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi2, err := device.GPUByID("GI2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(mx, Options{CPUDevice: ca2, GPUDevice: gi2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Search(mx, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != want.Best {
+		t.Errorf("best %+v, want %+v", res.Best, want.Best)
+	}
+	// CA2 vs the tiny GI2: CPU fraction should be sizeable.
+	if res.CPUFraction < 0.1 {
+		t.Errorf("CA2/GI2 CPU fraction = %.3f, expected >= 0.1", res.CPUFraction)
+	}
+}
+
+func TestHeterogeneousBadFraction(t *testing.T) {
+	mx := randomMatrix(124, 8, 60)
+	if _, err := Search(mx, Options{CPUFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}

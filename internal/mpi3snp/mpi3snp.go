@@ -1,0 +1,215 @@
+// Package mpi3snp reimplements the kernel strategy of MPI3SNP
+// (Ponte-Fernández et al., IJHPCA 2020), the reference third-order
+// exhaustive epistasis tool the paper compares against in Table III.
+//
+// Faithful strategy, single host: the dataset is split by phenotype
+// class and binarized, but — unlike this work's engine — all three
+// genotype planes are stored and loaded (no NOR inference), there is no
+// cache tiling, combinations are distributed statically across ranks
+// (MPI-style) rather than through a dynamic pool, and candidates are
+// ranked by mutual information. Running this baseline and the engine's
+// V4 under the same Go runtime isolates the algorithmic differences the
+// paper credits for its speedups.
+package mpi3snp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"trigene/internal/bitvec"
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+// Options configures a baseline search.
+type Options struct {
+	// Ranks is the number of static workers ("MPI processes");
+	// default runtime.GOMAXPROCS(0).
+	Ranks int
+	// TopK is how many candidates to return (default 1; MPI3SNP itself
+	// reports a ranked list).
+	TopK int
+}
+
+// Candidate is a scored SNP triple.
+type Candidate struct {
+	I, J, K int
+	MI      float64
+}
+
+// Stats reports the volume and speed of a completed search.
+type Stats struct {
+	Combinations   int64
+	Elements       float64
+	Duration       time.Duration
+	ElementsPerSec float64
+}
+
+// Result is the outcome of a baseline search.
+type Result struct {
+	Best  Candidate
+	TopK  []Candidate
+	Stats Stats
+}
+
+// classPlanes is the MPI3SNP data layout: per class, three full genotype
+// bit planes per SNP.
+type classPlanes struct {
+	words  [2]int
+	planes [2][]uint64 // [class] -> (snp*3+g)*words
+}
+
+func buildPlanes(mx *dataset.Matrix) *classPlanes {
+	m := mx.SNPs()
+	controls, cases := mx.ClassCounts()
+	cp := &classPlanes{}
+	sizes := [2]int{controls, cases}
+	for c := 0; c < 2; c++ {
+		cp.words[c] = bitvec.WordsFor(sizes[c])
+		cp.planes[c] = make([]uint64, m*3*cp.words[c])
+	}
+	var pos [2]int
+	for j := 0; j < mx.Samples(); j++ {
+		c := int(mx.Phen(j))
+		p := pos[c]
+		pos[c]++
+		for i := 0; i < m; i++ {
+			g := int(mx.Geno(i, j))
+			w := cp.words[c]
+			cp.planes[c][(i*3+g)*w+p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	return cp
+}
+
+func (cp *classPlanes) plane(class, snp, g int) []uint64 {
+	w := cp.words[class]
+	off := (snp*3 + g) * w
+	return cp.planes[class][off : off+w]
+}
+
+// Search runs the exhaustive baseline search.
+func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
+	if mx.SNPs() < 3 {
+		return nil, fmt.Errorf("mpi3snp: need at least 3 SNPs, have %d", mx.SNPs())
+	}
+	if err := mx.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Ranks == 0 {
+		opts.Ranks = runtime.GOMAXPROCS(0)
+	}
+	if opts.Ranks < 1 {
+		return nil, fmt.Errorf("mpi3snp: invalid rank count %d", opts.Ranks)
+	}
+	if opts.TopK == 0 {
+		opts.TopK = 1
+	}
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("mpi3snp: invalid TopK %d", opts.TopK)
+	}
+
+	start := time.Now()
+	cp := buildPlanes(mx)
+	m := mx.SNPs()
+	total := combin.Triples(m)
+
+	// Static block distribution over combination ranks, as an MPI code
+	// would partition up front.
+	ranges := combin.Split(total, opts.Ranks)
+	tops := make([][]Candidate, len(ranges))
+	var wg sync.WaitGroup
+	for rk, rg := range ranges {
+		wg.Add(1)
+		go func(rk int, rg combin.Range) {
+			defer wg.Done()
+			tops[rk] = searchRange(cp, m, rg, opts.TopK)
+		}(rk, rg)
+	}
+	wg.Wait()
+
+	merged := mergeTopK(tops, opts.TopK)
+	res := &Result{TopK: merged}
+	if len(merged) > 0 {
+		res.Best = merged[0]
+	}
+	res.Stats.Combinations = total
+	res.Stats.Elements = combin.Elements(m, mx.Samples(), 3)
+	res.Stats.Duration = time.Since(start)
+	if s := res.Stats.Duration.Seconds(); s > 0 {
+		res.Stats.ElementsPerSec = res.Stats.Elements / s
+	}
+	return res, nil
+}
+
+func searchRange(cp *classPlanes, m int, rg combin.Range, topK int) []Candidate {
+	var top []Candidate
+	var tab contingency.Table // reused across combinations
+	i, j, k := combin.UnrankTriple(rg.Lo, m)
+	for r := rg.Lo; r < rg.Hi; r++ {
+		for class := 0; class < 2; class++ {
+			for gx := 0; gx < 3; gx++ {
+				x := cp.plane(class, i, gx)
+				for gy := 0; gy < 3; gy++ {
+					y := cp.plane(class, j, gy)
+					for gz := 0; gz < 3; gz++ {
+						z := cp.plane(class, k, gz)
+						tab.Counts[class][contingency.ComboIndex(gx, gy, gz)] =
+							int32(bitvec.PopCountAnd3(x, y, z))
+					}
+				}
+			}
+		}
+		top = insertTopK(top, Candidate{I: i, J: j, K: k, MI: score.MutualInformation(&tab)}, topK)
+		i, j, k, _ = combin.NextTriple(i, j, k, m)
+	}
+	return top
+}
+
+// insertTopK keeps the list sorted by MI descending (ties: smaller
+// triple first) and capped at k entries.
+func insertTopK(top []Candidate, c Candidate, k int) []Candidate {
+	if k == 0 {
+		return top
+	}
+	pos := len(top)
+	for pos > 0 && better(c, top[pos-1]) {
+		pos--
+	}
+	if pos == len(top) && len(top) >= k {
+		return top
+	}
+	if len(top) < k {
+		top = append(top, Candidate{})
+	}
+	copy(top[pos+1:], top[pos:])
+	top[pos] = c
+	return top
+}
+
+func better(a, b Candidate) bool {
+	if a.MI != b.MI {
+		return a.MI > b.MI
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.K < b.K
+}
+
+func mergeTopK(tops [][]Candidate, k int) []Candidate {
+	var merged []Candidate
+	for _, t := range tops {
+		for _, c := range t {
+			merged = insertTopK(merged, c, k)
+		}
+	}
+	return merged
+}

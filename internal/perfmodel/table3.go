@@ -1,0 +1,105 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"trigene/internal/device"
+)
+
+// Table3Row is one line of the paper's Table III: the state-of-the-art
+// work's throughput on a device (as the paper measured it) against this
+// work's modeled throughput on the same device.
+type Table3Row struct {
+	Work     string // baseline label
+	SNPs     int
+	Samples  int
+	DeviceID string
+	IsGPU    bool
+	AVX512   bool // CPU rows: whether the AVX-512 build applies
+
+	SoAGElems    float64 // paper-measured baseline throughput (G elements/s); 0 = N/A
+	OursGElems   float64 // this reproduction's modeled throughput
+	Speedup      float64 // OursGElems / SoAGElems (0 when SoA is N/A)
+	PaperSpeedup float64 // the speedup the paper reports, for comparison
+}
+
+// table3Baselines pins the baseline throughputs the paper measured
+// (Table III, "Performance of SoA Work"). The starred CPU rows of the
+// 40000x6400 dataset reuse the small-dataset throughput, exactly as the
+// paper extrapolates them.
+var table3Baselines = []Table3Row{
+	{Work: "MPI3SNP", SNPs: 10000, Samples: 1600, DeviceID: "GN2", IsGPU: true, SoAGElems: 663.4, PaperSpeedup: 1.64},
+	{Work: "MPI3SNP", SNPs: 10000, Samples: 1600, DeviceID: "GN3", IsGPU: true, SoAGElems: 716.9, PaperSpeedup: 1.49},
+	{Work: "MPI3SNP", SNPs: 10000, Samples: 1600, DeviceID: "CI3", AVX512: true, SoAGElems: 38.8, PaperSpeedup: 5.78},
+	{Work: "MPI3SNP", SNPs: 10000, Samples: 1600, DeviceID: "CA2", SoAGElems: 11.7, PaperSpeedup: 5.74},
+	{Work: "MPI3SNP", SNPs: 40000, Samples: 6400, DeviceID: "GN2", IsGPU: true, SoAGElems: 570.7, PaperSpeedup: 3.31},
+	{Work: "MPI3SNP", SNPs: 40000, Samples: 6400, DeviceID: "GN3", IsGPU: true, SoAGElems: 573.6, PaperSpeedup: 3.78},
+	{Work: "MPI3SNP", SNPs: 40000, Samples: 6400, DeviceID: "CI3", AVX512: true, SoAGElems: 38.8, PaperSpeedup: 21.09},
+	{Work: "MPI3SNP", SNPs: 40000, Samples: 6400, DeviceID: "CA2", SoAGElems: 11.7, PaperSpeedup: 6.70},
+	{Work: "Nobre et al. [29]", SNPs: 8000, Samples: 8000, DeviceID: "GN1", IsGPU: true, SoAGElems: 1443, PaperSpeedup: 0.89},
+	{Work: "Nobre et al. [29]", SNPs: 8000, Samples: 8000, DeviceID: "GN2", IsGPU: true, SoAGElems: 1876, PaperSpeedup: 1.03},
+	{Work: "Nobre et al. [29]", SNPs: 8000, Samples: 8000, DeviceID: "GN3", IsGPU: true, SoAGElems: 2140, PaperSpeedup: 1.05},
+	{Work: "Nobre et al. [29]", SNPs: 8000, Samples: 8000, DeviceID: "GN4", IsGPU: true, SoAGElems: 2694, PaperSpeedup: 1.01},
+	{Work: "Nobre et al. [29]", SNPs: 8000, Samples: 8000, DeviceID: "GA2", IsGPU: true, SoAGElems: 0, PaperSpeedup: 0}, // [29] cannot run on AMD
+	{Work: "Campos et al. [30]", SNPs: 1000, Samples: 4000, DeviceID: "GI1", IsGPU: true, SoAGElems: 5.9, PaperSpeedup: 10.56},
+	{Work: "Campos et al. [30]", SNPs: 1000, Samples: 4000, DeviceID: "CI1", SoAGElems: 2.9, PaperSpeedup: 10.45},
+}
+
+// Table3 evaluates this work's model on every Table III row and returns
+// the populated comparison.
+func Table3() ([]Table3Row, error) {
+	rows := make([]Table3Row, len(table3Baselines))
+	for i, r := range table3Baselines {
+		if r.IsGPU {
+			g, err := device.GPUByID(r.DeviceID)
+			if err != nil {
+				return nil, fmt.Errorf("perfmodel: table III row %d: %w", i, err)
+			}
+			r.OursGElems = GPUOverallGElemPerSec(g, r.SNPs, r.Samples)
+		} else {
+			c, err := device.CPUByID(r.DeviceID)
+			if err != nil {
+				return nil, fmt.Errorf("perfmodel: table III row %d: %w", i, err)
+			}
+			r.OursGElems = CPUOverallGElemPerSec(c, r.AVX512, r.SNPs, r.Samples)
+		}
+		if r.SoAGElems > 0 {
+			r.Speedup = r.OursGElems / r.SoAGElems
+		}
+		rows[i] = r
+	}
+	return rows, nil
+}
+
+// OverallRow is one device's whole-system throughput and energy
+// efficiency for the Section V-D comparison.
+type OverallRow struct {
+	DeviceID       string
+	Name           string
+	IsGPU          bool
+	GElems         float64 // G elements/s
+	TDP            float64
+	GElemsPerJoule float64
+}
+
+// Overall returns the Section V-D device comparison (best approach per
+// device) at the given workload, CPUs first then GPUs, in catalog order.
+func Overall(snps, samples int) []OverallRow {
+	var rows []OverallRow
+	for _, c := range device.AllCPUs() {
+		perf := CPUOverallGElemPerSec(c, true, snps, samples)
+		tdp := c.TDPWatts * float64(c.Sockets)
+		rows = append(rows, OverallRow{
+			DeviceID: c.ID, Name: c.Name, GElems: perf,
+			TDP: tdp, GElemsPerJoule: GElemPerJoule(perf, tdp),
+		})
+	}
+	for _, g := range device.AllGPUs() {
+		perf := GPUOverallGElemPerSec(g, snps, samples)
+		rows = append(rows, OverallRow{
+			DeviceID: g.ID, Name: g.Name, IsGPU: true, GElems: perf,
+			TDP: g.TDPWatts, GElemsPerJoule: GElemPerJoule(perf, g.TDPWatts),
+		})
+	}
+	return rows
+}

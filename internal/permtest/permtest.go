@@ -1,0 +1,165 @@
+// Package permtest estimates the statistical significance of candidate
+// interactions by phenotype permutation — the standard GWAS follow-up
+// once an exhaustive scan has produced its best combinations. Under the
+// null hypothesis the phenotype labels carry no information about the
+// genotypes, so re-scoring a candidate under random relabelings draws
+// from its null score distribution; the p-value is the (add-one
+// smoothed) fraction of permutations scoring at least as well as the
+// observed data.
+package permtest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+// Config parameterizes a permutation test.
+type Config struct {
+	// Permutations is the number of phenotype relabelings (default
+	// 1000; the p-value resolution is 1/(Permutations+1)).
+	Permutations int
+	// Seed makes the test reproducible. Results are deterministic for
+	// a given seed regardless of Workers.
+	Seed int64
+	// Workers is the parallelism (default all cores).
+	Workers int
+	// Objective must match the objective used by the scan that
+	// produced the candidate (default Bayesian K2).
+	Objective score.Objective
+}
+
+// Result summarizes a permutation test.
+type Result struct {
+	// Observed is the candidate's score on the real phenotypes.
+	Observed float64
+	// AsGoodOrBetter counts permutations whose score ties or beats
+	// Observed.
+	AsGoodOrBetter int
+	// Permutations is the number of relabelings evaluated.
+	Permutations int
+	// PValue is (AsGoodOrBetter + 1) / (Permutations + 1).
+	PValue float64
+}
+
+func (c Config) withDefaults(maxSamples int) (Config, error) {
+	if c.Permutations == 0 {
+		c.Permutations = 1000
+	}
+	if c.Permutations < 1 {
+		return c, fmt.Errorf("permtest: invalid permutation count %d", c.Permutations)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("permtest: invalid worker count %d", c.Workers)
+	}
+	if c.Objective == nil {
+		c.Objective = score.NewK2(maxSamples)
+	}
+	return c, nil
+}
+
+// Triple tests the significance of the 3-way candidate (i, j, k).
+func Triple(mx *dataset.Matrix, i, j, k int, cfg Config) (*Result, error) {
+	if !(0 <= i && i < j && j < k && k < mx.SNPs()) {
+		return nil, fmt.Errorf("permtest: invalid triple (%d,%d,%d)", i, j, k)
+	}
+	combos := comboRow3(mx, i, j, k)
+	obs := contingency.BuildReference(mx, i, j, k)
+	return run(mx, combos, &obs, cfg)
+}
+
+// Pair tests the significance of the 2-way candidate (i, j).
+func Pair(mx *dataset.Matrix, i, j int, cfg Config) (*Result, error) {
+	if !(0 <= i && i < j && j < mx.SNPs()) {
+		return nil, fmt.Errorf("permtest: invalid pair (%d,%d)", i, j)
+	}
+	combos := comboRow2(mx, i, j)
+	obs := contingency.BuildReferencePair(mx, i, j)
+	return run(mx, combos, &obs, cfg)
+}
+
+// comboRow3 precomputes each sample's genotype-combination cell for the
+// triple, so each permutation only pays one table fill.
+func comboRow3(mx *dataset.Matrix, i, j, k int) []uint8 {
+	n := mx.Samples()
+	out := make([]uint8, n)
+	ri, rj, rk := mx.Row(i), mx.Row(j), mx.Row(k)
+	for s := 0; s < n; s++ {
+		out[s] = uint8(contingency.ComboIndex(int(ri[s]), int(rj[s]), int(rk[s])))
+	}
+	return out
+}
+
+func comboRow2(mx *dataset.Matrix, i, j int) []uint8 {
+	n := mx.Samples()
+	out := make([]uint8, n)
+	ri, rj := mx.Row(i), mx.Row(j)
+	for s := 0; s < n; s++ {
+		out[s] = uint8(contingency.PairComboIndex(int(ri[s]), int(rj[s])))
+	}
+	return out
+}
+
+func run(mx *dataset.Matrix, combos []uint8, observed *contingency.Table, cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults(mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	obsScore := c.Objective.Score(observed)
+
+	// The permuted tables only depend on how many cases land in each
+	// combo cell; shuffle a copy of the phenotype vector and recount.
+	phen := append([]uint8(nil), mx.Phenotypes()...)
+	n := len(phen)
+
+	counts := make([]int, c.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := append([]uint8(nil), phen...)
+			hits := 0
+			for p := w; p < c.Permutations; p += c.Workers {
+				// Per-permutation RNG and a fresh copy of the labels:
+				// deterministic under any worker count.
+				copy(local, phen)
+				rng := rand.New(rand.NewSource(c.Seed + int64(p)*7919))
+				for s := n - 1; s > 0; s-- {
+					t := rng.Intn(s + 1)
+					local[s], local[t] = local[t], local[s]
+				}
+				var tab contingency.Table
+				for s := 0; s < n; s++ {
+					tab.Counts[local[s]][combos[s]]++
+				}
+				sc := c.Objective.Score(&tab)
+				if sc == obsScore || c.Objective.Better(sc, obsScore) {
+					hits++
+				}
+			}
+			counts[w] = hits
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, h := range counts {
+		total += h
+	}
+	return &Result{
+		Observed:       obsScore,
+		AsGoodOrBetter: total,
+		Permutations:   c.Permutations,
+		PValue:         float64(total+1) / float64(c.Permutations+1),
+	}, nil
+}

@@ -1,0 +1,134 @@
+// Package report renders the aligned ASCII tables and series the
+// benchmark harness and the CLI tools print when regenerating the
+// paper's figures and tables.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled table with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered
+// with %v for strings/ints and 4 significant digits for floats.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = FormatFloat(x)
+		case float32:
+			cells[i] = FormatFloat(float64(x))
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var out strings.Builder
+	if t.Title != "" {
+		out.WriteString(t.Title)
+		out.WriteByte('\n')
+	}
+	line := func(cells []string) string {
+		var lb strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				lb.WriteString("  ")
+			}
+			lb.WriteString(cell)
+			if i < len(cells)-1 {
+				lb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return strings.TrimRight(lb.String(), " ")
+	}
+	out.WriteString(line(t.Columns))
+	out.WriteByte('\n')
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	out.WriteString(line(sep))
+	out.WriteByte('\n')
+	for _, row := range t.rows {
+		out.WriteString(line(row))
+		out.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// String renders the table to a string, ignoring write errors.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// FormatFloat renders a float with sensible precision for report cells:
+// large values get one decimal, small values four significant digits.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Speedup renders a ratio as "N.NNx", or "N/A" for unavailable
+// baselines.
+func Speedup(v float64) string {
+	if v == 0 {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.2fx", v)
+}

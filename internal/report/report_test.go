@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Devices", "ID", "Name", "Perf")
+	tab.AddRow("GN1", "Titan Xp", "43.3")
+	tab.AddRow("GI2", "Iris Xe MAX", "4.6")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if lines[0] != "Devices" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ID   Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "Titan Xp" and "Iris Xe MAX" start at same offset.
+	if strings.Index(lines[3], "Titan") != strings.Index(lines[4], "Iris") {
+		t.Error("columns misaligned")
+	}
+	if strings.Contains(s, " \n") {
+		t.Error("trailing spaces in output")
+	}
+	if tab.Rows() != 2 {
+		t.Errorf("Rows = %d", tab.Rows())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "A")
+	tab.AddRow("x")
+	lines := strings.Split(strings.TrimRight(tab.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestAddRowShortAndPanic(t *testing.T) {
+	tab := NewTable("t", "A", "B")
+	tab.AddRow("only") // short rows allowed
+	if tab.Rows() != 1 {
+		t.Error("short row rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many cells")
+		}
+	}()
+	tab.AddRow("1", "2", "3")
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("t", "A", "B", "C", "D")
+	tab.AddRowf("dev", 1234.5678, 3.14159, 0.001234)
+	s := tab.String()
+	for _, want := range []string{"dev", "1235", "3.14", "0.0012"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234.56: "1235",
+		12.345:  "12.35",
+		0.1234:  "0.1234",
+		-500.4:  "-500",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(0) != "N/A" {
+		t.Error("zero speedup should be N/A")
+	}
+	if Speedup(1.637) != "1.64x" {
+		t.Errorf("Speedup = %q", Speedup(1.637))
+	}
+}

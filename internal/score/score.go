@@ -1,0 +1,291 @@
+// Package score implements the objective functions that rank SNP
+// combinations from their contingency tables.
+//
+// The paper uses the Bayesian K2 score (equation 1): for each genotype
+// combination i with class counts r_i0 (controls) and r_i1 (cases) and
+// row total r_i = r_i0 + r_i1,
+//
+//	K2 = Σ_i [ Σ_{b=1}^{r_i+1} log b  −  Σ_j Σ_{d=1}^{r_ij} log d ]
+//	   = Σ_i [ lnFact(r_i + 1) − lnFact(r_i0) − lnFact(r_i1) ]
+//
+// The combination with the LOWEST K2 score is the best candidate.
+// Mutual information (the MPI3SNP objective, higher is better) and Gini
+// impurity (lower is better) are provided as alternatives.
+package score
+
+import (
+	"fmt"
+	"math"
+
+	"trigene/internal/contingency"
+)
+
+// LnFact caches ln(n!) for n in [0, max].
+type LnFact struct {
+	table []float64
+}
+
+// NewLnFact builds a table of ln(n!) up to and including maxN.
+func NewLnFact(maxN int) *LnFact {
+	if maxN < 0 {
+		panic(fmt.Sprintf("score: negative table size %d", maxN))
+	}
+	t := make([]float64, maxN+1)
+	for i := 2; i <= maxN; i++ {
+		t[i] = t[i-1] + math.Log(float64(i))
+	}
+	return &LnFact{table: t}
+}
+
+// Max returns the largest argument the table covers.
+func (l *LnFact) Max() int { return len(l.table) - 1 }
+
+// At returns ln(n!).
+func (l *LnFact) At(n int) float64 {
+	return l.table[n]
+}
+
+// K2 computes the Bayesian K2 score of a contingency table.
+// Lower is better. The LnFact table must cover N+1 where N is the
+// total sample count.
+func K2(t *contingency.Table, lf *LnFact) float64 {
+	score := 0.0
+	for combo := 0; combo < contingency.Cells; combo++ {
+		r0 := int(t.Counts[0][combo])
+		r1 := int(t.Counts[1][combo])
+		score += lf.At(r0+r1+1) - lf.At(r0) - lf.At(r1)
+	}
+	return score
+}
+
+// MutualInformation computes I(combo; class) in nats from the table.
+// Higher is better. It is the objective used by the MPI3SNP baseline.
+func MutualInformation(t *contingency.Table) float64 {
+	n := float64(t.ClassTotal(0) + t.ClassTotal(1))
+	if n == 0 {
+		return 0
+	}
+	// I(X;Y) = H(class) + H(combo) - H(combo, class)
+	hClass := 0.0
+	for class := 0; class < 2; class++ {
+		p := float64(t.ClassTotal(class)) / n
+		hClass += entropyTerm(p)
+	}
+	hCombo, hJoint := 0.0, 0.0
+	for combo := 0; combo < contingency.Cells; combo++ {
+		row := float64(t.Counts[0][combo]) + float64(t.Counts[1][combo])
+		hCombo += entropyTerm(row / n)
+		for class := 0; class < 2; class++ {
+			hJoint += entropyTerm(float64(t.Counts[class][combo]) / n)
+		}
+	}
+	mi := hClass + hCombo - hJoint
+	if mi < 0 { // guard tiny negative rounding residue
+		mi = 0
+	}
+	return mi
+}
+
+func entropyTerm(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return -p * math.Log(p)
+}
+
+// Gini computes the count-weighted Gini impurity of the class split
+// across genotype combinations. Lower is better.
+func Gini(t *contingency.Table) float64 {
+	n := float64(t.ClassTotal(0) + t.ClassTotal(1))
+	if n == 0 {
+		return 0
+	}
+	g := 0.0
+	for combo := 0; combo < contingency.Cells; combo++ {
+		r0 := float64(t.Counts[0][combo])
+		r1 := float64(t.Counts[1][combo])
+		row := r0 + r1
+		if row == 0 {
+			continue
+		}
+		p := r0 / row
+		g += row / n * 2 * p * (1 - p)
+	}
+	return g
+}
+
+// Objective ranks contingency tables. Implementations must be safe for
+// concurrent use.
+type Objective interface {
+	// Name identifies the objective in reports and CLIs.
+	Name() string
+	// Score evaluates a table.
+	Score(t *contingency.Table) float64
+	// Better reports whether score a beats score b.
+	Better(a, b float64) bool
+	// Worst is a sentinel no real table can beat.
+	Worst() float64
+}
+
+// K2Objective scores with the Bayesian K2 criterion (lower is better).
+type K2Objective struct {
+	lf *LnFact
+}
+
+// NewK2 returns a K2 objective able to score tables over at most
+// maxSamples samples.
+func NewK2(maxSamples int) *K2Objective {
+	return &K2Objective{lf: NewLnFact(maxSamples + 1)}
+}
+
+// Name implements Objective.
+func (o *K2Objective) Name() string { return "k2" }
+
+// Score implements Objective.
+func (o *K2Objective) Score(t *contingency.Table) float64 { return K2(t, o.lf) }
+
+// Better implements Objective: lower K2 wins.
+func (o *K2Objective) Better(a, b float64) bool { return a < b }
+
+// Worst implements Objective.
+func (o *K2Objective) Worst() float64 { return math.Inf(1) }
+
+// MIObjective scores with mutual information (higher is better).
+type MIObjective struct{}
+
+// Name implements Objective.
+func (MIObjective) Name() string { return "mi" }
+
+// Score implements Objective.
+func (MIObjective) Score(t *contingency.Table) float64 { return MutualInformation(t) }
+
+// Better implements Objective: higher MI wins.
+func (MIObjective) Better(a, b float64) bool { return a > b }
+
+// Worst implements Objective.
+func (MIObjective) Worst() float64 { return math.Inf(-1) }
+
+// GiniObjective scores with Gini impurity (lower is better).
+type GiniObjective struct{}
+
+// Name implements Objective.
+func (GiniObjective) Name() string { return "gini" }
+
+// Score implements Objective.
+func (GiniObjective) Score(t *contingency.Table) float64 { return Gini(t) }
+
+// Better implements Objective: lower impurity wins.
+func (GiniObjective) Better(a, b float64) bool { return a < b }
+
+// Worst implements Objective.
+func (GiniObjective) Worst() float64 { return math.Inf(1) }
+
+// New returns the named objective ("k2", "mi" or "gini") sized for
+// datasets of at most maxSamples samples.
+func New(name string, maxSamples int) (Objective, error) {
+	switch name {
+	case "k2":
+		return NewK2(maxSamples), nil
+	case "mi":
+		return MIObjective{}, nil
+	case "gini":
+		return GiniObjective{}, nil
+	default:
+		return nil, fmt.Errorf("score: unknown objective %q (want k2, mi or gini)", name)
+	}
+}
+
+// Generic cell-slice scoring: the arbitrary-order (k-way) search mode
+// produces 3^k-cell tables as paired slices; the three objectives share
+// their math with the fixed 27-cell Table forms above.
+
+// K2Cells computes the Bayesian K2 score over paired per-class cell
+// slices (lower is better). Both slices must have the same length.
+func K2Cells(controls, cases []int32, lf *LnFact) float64 {
+	if len(controls) != len(cases) {
+		panic(fmt.Sprintf("score: cell count mismatch %d/%d", len(controls), len(cases)))
+	}
+	s := 0.0
+	for i := range controls {
+		r0, r1 := int(controls[i]), int(cases[i])
+		s += lf.At(r0+r1+1) - lf.At(r0) - lf.At(r1)
+	}
+	return s
+}
+
+// MICells computes mutual information over paired cell slices (higher
+// is better).
+func MICells(controls, cases []int32) float64 {
+	if len(controls) != len(cases) {
+		panic(fmt.Sprintf("score: cell count mismatch %d/%d", len(controls), len(cases)))
+	}
+	var n0, n1 float64
+	for i := range controls {
+		n0 += float64(controls[i])
+		n1 += float64(cases[i])
+	}
+	n := n0 + n1
+	if n == 0 {
+		return 0
+	}
+	h := entropyTerm(n0/n) + entropyTerm(n1/n)
+	var hCombo, hJoint float64
+	for i := range controls {
+		c0, c1 := float64(controls[i]), float64(cases[i])
+		hCombo += entropyTerm((c0 + c1) / n)
+		hJoint += entropyTerm(c0/n) + entropyTerm(c1/n)
+	}
+	mi := h + hCombo - hJoint
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// GiniCells computes count-weighted Gini impurity over paired cell
+// slices (lower is better).
+func GiniCells(controls, cases []int32) float64 {
+	if len(controls) != len(cases) {
+		panic(fmt.Sprintf("score: cell count mismatch %d/%d", len(controls), len(cases)))
+	}
+	var n float64
+	for i := range controls {
+		n += float64(controls[i]) + float64(cases[i])
+	}
+	if n == 0 {
+		return 0
+	}
+	g := 0.0
+	for i := range controls {
+		c0, c1 := float64(controls[i]), float64(cases[i])
+		row := c0 + c1
+		if row == 0 {
+			continue
+		}
+		p := c0 / row
+		g += row / n * 2 * p * (1 - p)
+	}
+	return g
+}
+
+// CellScorer is implemented by objectives that can score arbitrary
+// cell-slice tables (all built-in objectives do). The k-way engine
+// requires it.
+type CellScorer interface {
+	ScoreCells(controls, cases []int32) float64
+}
+
+// ScoreCells implements CellScorer.
+func (o *K2Objective) ScoreCells(controls, cases []int32) float64 {
+	return K2Cells(controls, cases, o.lf)
+}
+
+// ScoreCells implements CellScorer.
+func (MIObjective) ScoreCells(controls, cases []int32) float64 {
+	return MICells(controls, cases)
+}
+
+// ScoreCells implements CellScorer.
+func (GiniObjective) ScoreCells(controls, cases []int32) float64 {
+	return GiniCells(controls, cases)
+}

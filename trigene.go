@@ -1,0 +1,267 @@
+// Package trigene is a pure-Go library for exhaustive third-order
+// (3-way) epistasis detection in case-control GWAS datasets, together
+// with the device-evaluation toolkit of the paper it reproduces:
+//
+//	"Unlocking Personalized Healthcare on Modern CPUs/GPUs:
+//	 Three-way Gene Interaction Study" (Marques et al., IPDPS 2022)
+//
+// The package is a facade over the implementation packages:
+//
+//   - dataset handling: genotype matrices, binarized forms, synthetic
+//     generation with planted interactions, text/binary codecs;
+//   - the search engine with the paper's four CPU approaches (naive,
+//     phenotype-split, cache-blocked, lane-vectorized) and K2/MI/Gini
+//     objectives;
+//   - a GPU simulator executing the paper's four GPU kernels with a
+//     coalescing-aware memory model over the Table II device catalog;
+//   - the Cache-Aware Roofline Model and analytical device performance
+//     models that regenerate the paper's figures and tables.
+//
+// Quick start:
+//
+//	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 1000, Samples: 4000, Seed: 1})
+//	if err != nil { ... }
+//	res, err := trigene.Search(mx, trigene.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Best.Triple, res.Best.Score)
+package trigene
+
+import (
+	"io"
+
+	"trigene/internal/dataset"
+	"trigene/internal/device"
+	"trigene/internal/engine"
+	"trigene/internal/gpusim"
+	"trigene/internal/hetero"
+	"trigene/internal/mpi3snp"
+	"trigene/internal/permtest"
+	"trigene/internal/score"
+)
+
+// Matrix is a case-control genotype matrix: M SNPs by N samples with
+// genotypes in {0,1,2} and phenotypes in {0 control, 1 case}.
+type Matrix = dataset.Matrix
+
+// GenConfig parameterizes the synthetic dataset generator.
+type GenConfig = dataset.GenConfig
+
+// Interaction plants a third-order epistatic signal in generated data.
+type Interaction = dataset.Interaction
+
+// NewMatrix returns a zeroed M-by-N genotype matrix.
+func NewMatrix(m, n int) *Matrix { return dataset.NewMatrix(m, n) }
+
+// Generate builds a synthetic case-control dataset.
+func Generate(cfg GenConfig) (*Matrix, error) { return dataset.Generate(cfg) }
+
+// ThresholdPenetrance builds a penetrance table where genotype triples
+// carrying at least minMinor minor alleles have case probability high,
+// the rest low.
+func ThresholdPenetrance(minMinor int, low, high float64) [27]float64 {
+	return dataset.ThresholdPenetrance(minMinor, low, high)
+}
+
+// XorPenetrance builds a marginal-effect-free parity penetrance table.
+func XorPenetrance(low, high float64) [27]float64 {
+	return dataset.XorPenetrance(low, high)
+}
+
+// ReadText parses the line-oriented dataset text format.
+func ReadText(r io.Reader) (*Matrix, error) { return dataset.ReadText(r) }
+
+// WriteText serializes a dataset in the text format.
+func WriteText(w io.Writer, mx *Matrix) error { return dataset.WriteText(w, mx) }
+
+// ReadBinary parses the compact binary dataset format.
+func ReadBinary(r io.Reader) (*Matrix, error) { return dataset.ReadBinary(r) }
+
+// WriteBinary serializes a dataset in the binary format.
+func WriteBinary(w io.Writer, mx *Matrix) error { return dataset.WriteBinary(w, mx) }
+
+// Approach selects one of the paper's four CPU pipelines (V1Naive,
+// V2Split, V3Blocked, V4Vector).
+type Approach = engine.Approach
+
+// The four CPU approaches, in the paper's optimization order.
+const (
+	V1Naive   = engine.V1Naive
+	V2Split   = engine.V2Split
+	V3Blocked = engine.V3Blocked
+	V4Vector  = engine.V4Vector
+)
+
+// ParseApproach accepts "V1".."V4" or "1".."4".
+func ParseApproach(s string) (Approach, error) { return engine.ParseApproach(s) }
+
+// Options configures a CPU search; the zero value uses the best
+// approach (V4) on all cores with the K2 objective.
+type Options = engine.Options
+
+// Result is the outcome of a search: the best candidate, the top-K
+// list and throughput statistics.
+type Result = engine.Result
+
+// Candidate is a scored SNP triple.
+type Candidate = engine.Candidate
+
+// Triple identifies a SNP combination i < j < k.
+type Triple = engine.Triple
+
+// Searcher runs repeated searches over one dataset, reusing the
+// binarized forms.
+type Searcher = engine.Searcher
+
+// NewSearcher validates the dataset and precomputes its binarized
+// forms.
+func NewSearcher(mx *Matrix) (*Searcher, error) { return engine.New(mx) }
+
+// Search runs one exhaustive 3-way search.
+func Search(mx *Matrix, opts Options) (*Result, error) { return engine.Search(mx, opts) }
+
+// Objective ranks contingency tables; see NewObjective.
+type Objective = score.Objective
+
+// NewObjective returns the named objective: "k2" (Bayesian K2, the
+// paper's criterion), "mi" (mutual information) or "gini".
+func NewObjective(name string, maxSamples int) (Objective, error) {
+	return score.New(name, maxSamples)
+}
+
+// GPUDevice describes one GPU from the paper's Table II.
+type GPUDevice = device.GPU
+
+// CPUDevice describes one CPU system from the paper's Table I.
+type CPUDevice = device.CPU
+
+// GPUs returns the Table II catalog in paper order.
+func GPUs() []GPUDevice { return device.AllGPUs() }
+
+// CPUs returns the Table I catalog in paper order.
+func CPUs() []CPUDevice { return device.AllCPUs() }
+
+// GPUByID looks up a Table II device by its paper label (e.g. "GN1").
+func GPUByID(id string) (GPUDevice, error) { return device.GPUByID(id) }
+
+// CPUByID looks up a Table I device by its paper label (e.g. "CI3").
+func CPUByID(id string) (CPUDevice, error) { return device.CPUByID(id) }
+
+// GPUKernel selects one of the paper's four GPU approaches
+// (GPUNaive, GPUSplit, GPUTransposed, GPUTiled).
+type GPUKernel = gpusim.Kernel
+
+// The four GPU kernels, in the paper's optimization order.
+const (
+	GPUNaive      = gpusim.K1Naive
+	GPUSplit      = gpusim.K2Split
+	GPUTransposed = gpusim.K3Transposed
+	GPUTiled      = gpusim.K4Tiled
+)
+
+// GPUOptions configures a simulated GPU search.
+type GPUOptions = gpusim.Options
+
+// GPUResult is the outcome of a simulated GPU search: the bit-exact
+// best candidate plus modeled execution statistics.
+type GPUResult = gpusim.Result
+
+// GPUStats aggregates the executed operations, memory behaviour and
+// modeled timing of a simulated search.
+type GPUStats = gpusim.Stats
+
+// GPURunner simulates searches on one Table II device.
+type GPURunner = gpusim.Runner
+
+// NewGPURunner returns a simulator for the given device.
+func NewGPURunner(dev GPUDevice) *GPURunner { return gpusim.New(dev) }
+
+// SimulateGPU runs an exhaustive search on a simulated GPU device.
+func SimulateGPU(dev GPUDevice, mx *Matrix, opts GPUOptions) (*GPUResult, error) {
+	return gpusim.New(dev).Search(mx, opts)
+}
+
+// BaselineOptions configures the MPI3SNP-style baseline search.
+type BaselineOptions = mpi3snp.Options
+
+// BaselineResult is the outcome of a baseline search.
+type BaselineResult = mpi3snp.Result
+
+// BaselineSearch runs the MPI3SNP-style reference implementation
+// (three stored planes, no tiling, static scheduling, mutual
+// information), the Table III comparator.
+func BaselineSearch(mx *Matrix, opts BaselineOptions) (*BaselineResult, error) {
+	return mpi3snp.Search(mx, opts)
+}
+
+// PairInteraction plants a second-order signal in generated data.
+type PairInteraction = dataset.PairInteraction
+
+// Pair identifies a SNP combination i < j.
+type Pair = engine.Pair
+
+// PairCandidate is a scored SNP pair.
+type PairCandidate = engine.PairCandidate
+
+// PairResult is the outcome of an exhaustive 2-way search.
+type PairResult = engine.PairResult
+
+// SearchPairs runs an exhaustive second-order (2-way) search — the
+// interaction order targeted by GBOOST-class tools.
+func SearchPairs(mx *Matrix, opts Options) (*PairResult, error) {
+	return engine.SearchPairs(mx, opts)
+}
+
+// PermConfig parameterizes a phenotype-permutation significance test.
+type PermConfig = permtest.Config
+
+// PermResult summarizes a permutation test.
+type PermResult = permtest.Result
+
+// PermutationTest estimates the p-value of a 3-way candidate by
+// phenotype permutation.
+func PermutationTest(mx *Matrix, t Triple, cfg PermConfig) (*PermResult, error) {
+	return permtest.Triple(mx, t.I, t.J, t.K, cfg)
+}
+
+// PermutationTestPair is the 2-way analogue of PermutationTest.
+func PermutationTestPair(mx *Matrix, p Pair, cfg PermConfig) (*PermResult, error) {
+	return permtest.Pair(mx, p.I, p.J, cfg)
+}
+
+// HeteroOptions configures a heterogeneous CPU+GPU search.
+type HeteroOptions = hetero.Options
+
+// HeteroResult is the outcome of a heterogeneous search.
+type HeteroResult = hetero.Result
+
+// SearchHeterogeneous partitions the combination space between the CPU
+// engine and the simulated GPU (Section V-D's collaborative mode) and
+// merges the results bit-exactly.
+func SearchHeterogeneous(mx *Matrix, opts HeteroOptions) (*HeteroResult, error) {
+	return hetero.Search(mx, opts)
+}
+
+// KCandidate is a scored SNP combination of arbitrary order.
+type KCandidate = engine.KCandidate
+
+// KResult is the outcome of an exhaustive k-way search.
+type KResult = engine.KResult
+
+// SearchK runs an exhaustive search of arbitrary interaction order
+// (2..7). Orders 2 and 3 have specialized fast paths in SearchPairs and
+// Search; SearchK is the generalization for higher orders.
+func SearchK(mx *Matrix, order int, opts Options) (*KResult, error) {
+	s, err := engine.New(mx)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunK(order, opts)
+}
+
+// ReadPED parses a PLINK .ped file (samples in rows, two allele
+// columns per SNP, phenotype 1=control / 2=case).
+func ReadPED(r io.Reader) (*Matrix, error) { return dataset.ReadPED(r) }
+
+// ReadVCF parses a bi-allelic VCF subset; phen supplies per-sample
+// phenotypes in header order.
+func ReadVCF(r io.Reader, phen []uint8) (*Matrix, error) { return dataset.ReadVCF(r, phen) }

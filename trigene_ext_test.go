@@ -1,0 +1,111 @@
+package trigene_test
+
+import (
+	"strings"
+	"testing"
+
+	"trigene"
+)
+
+// Facade coverage for the extension APIs: 2-way search, permutation
+// testing, heterogeneous execution, and the PLINK/VCF importers.
+
+func TestPublicAPIPairWorkflow(t *testing.T) {
+	var pen [9]float64
+	for c := range pen {
+		if c/3+c%3 >= 2 {
+			pen[c] = 0.9
+		} else {
+			pen[c] = 0.1
+		}
+	}
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 30, Samples: 1000, Seed: 70, MAFMin: 0.3, MAFMax: 0.5,
+		PairInteraction: &trigene.PairInteraction{SNPs: [2]int{4, 19}, Penetrance: pen},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trigene.SearchPairs(mx, trigene.Options{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trigene.Pair{I: 4, J: 19}
+	if res.Best.Pair != want {
+		t.Fatalf("best pair %+v, want %+v", res.Best.Pair, want)
+	}
+	sig, err := trigene.PermutationTestPair(mx, res.Best.Pair, trigene.PermConfig{Permutations: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.PValue > 0.02 {
+		t.Errorf("planted pair p = %.4f, want tiny", sig.PValue)
+	}
+	if sig.Observed != res.Best.Score {
+		t.Errorf("observed %.6f != scan score %.6f", sig.Observed, res.Best.Score)
+	}
+}
+
+func TestPublicAPIHeterogeneous(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 20, Samples: 300, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := trigene.Search(mx, trigene.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := trigene.SearchHeterogeneous(mx, trigene.HeteroOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.Best != want.Best {
+		t.Errorf("heterogeneous best %+v != %+v", het.Best, want.Best)
+	}
+	if het.CPUFraction <= 0 || het.CPUFraction >= 1 {
+		t.Errorf("auto fraction %.3f", het.CPUFraction)
+	}
+}
+
+func TestPublicAPIPermutationTest(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 15, Samples: 600, Seed: 72, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{2, 7, 11},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trigene.PermutationTest(mx, trigene.Triple{I: 2, J: 7, K: 11},
+		trigene.PermConfig{Permutations: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.02 {
+		t.Errorf("planted triple p = %.4f", res.PValue)
+	}
+}
+
+func TestPublicAPIImporters(t *testing.T) {
+	ped := "F S1 0 0 1 1 A A C C\nF S2 0 0 1 2 A G C T\nF S3 0 0 1 1 G G T T\n"
+	mx, err := trigene.ReadPED(strings.NewReader(ped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.SNPs() != 2 || mx.Samples() != 3 {
+		t.Errorf("PED dims %dx%d", mx.SNPs(), mx.Samples())
+	}
+
+	vcf := "##fileformat=VCFv4.2\n" +
+		"#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\n" +
+		"1\t10\trs1\tA\tG\t.\tPASS\t.\tGT\t0/1\t1/1\n"
+	vmx, err := trigene.ReadVCF(strings.NewReader(vcf), []uint8{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmx.SNPs() != 1 || vmx.Samples() != 2 || vmx.Geno(0, 1) != 2 {
+		t.Error("VCF parse wrong")
+	}
+}

@@ -1,0 +1,137 @@
+package trigene_test
+
+import (
+	"bytes"
+	"testing"
+
+	"trigene"
+)
+
+// The facade tests exercise the public API end to end, the way a
+// downstream user would.
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	it := &trigene.Interaction{
+		SNPs:       [3]int{3, 9, 15},
+		Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+	}
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 24, Samples: 900, Seed: 11, MAFMin: 0.3, MAFMax: 0.5, Interaction: it,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CPU search with defaults.
+	res, err := trigene.Search(mx, trigene.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trigene.Triple{I: 3, J: 9, K: 15}
+	if res.Best.Triple != want {
+		t.Errorf("CPU best %v, want %v", res.Best.Triple, want)
+	}
+
+	// GPU simulation on a Table II device agrees bit-exactly.
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := trigene.SimulateGPU(gn1, mx, trigene.GPUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Best.I != want.I || gres.Best.J != want.J || gres.Best.K != want.K {
+		t.Errorf("GPU best (%d,%d,%d), want %v", gres.Best.I, gres.Best.J, gres.Best.K, want)
+	}
+	if gres.Best.Score != res.Best.Score {
+		t.Errorf("GPU score %.9f != CPU %.9f", gres.Best.Score, res.Best.Score)
+	}
+
+	// Baseline finds the same planted triple under MI.
+	bres, err := trigene.BaselineSearch(mx, trigene.BaselineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Best.I != want.I || bres.Best.J != want.J || bres.Best.K != want.K {
+		t.Errorf("baseline best (%d,%d,%d), want %v", bres.Best.I, bres.Best.J, bres.Best.K, want)
+	}
+}
+
+func TestPublicAPICodecsRoundTrip(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 10, Samples: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, bb bytes.Buffer
+	if err := trigene.WriteText(&tb, mx); err != nil {
+		t.Fatal(err)
+	}
+	if err := trigene.WriteBinary(&bb, mx); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := trigene.ReadText(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := trigene.ReadBinary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mx.SNPs(); i++ {
+		for j := 0; j < mx.Samples(); j++ {
+			if fromText.Geno(i, j) != mx.Geno(i, j) || fromBin.Geno(i, j) != mx.Geno(i, j) {
+				t.Fatal("codec round trip mismatch")
+			}
+		}
+	}
+}
+
+func TestPublicAPIApproachesAndObjectives(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 15, Samples: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trigene.NewSearcher(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trigene.ParseApproach("V2")
+	if err != nil || a != trigene.V2Split {
+		t.Fatalf("ParseApproach: %v %v", a, err)
+	}
+	var first *trigene.Result
+	for _, ap := range []trigene.Approach{trigene.V1Naive, trigene.V2Split, trigene.V3Blocked, trigene.V4Vector} {
+		res, err := s.Run(trigene.Options{Approach: ap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+		} else if res.Best != first.Best {
+			t.Errorf("approach %v disagrees", ap)
+		}
+	}
+	obj, err := trigene.NewObjective("mi", mx.Samples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(trigene.Options{Objective: obj}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trigene.NewObjective("bogus", 10); err == nil {
+		t.Error("bogus objective accepted")
+	}
+}
+
+func TestPublicAPICatalogs(t *testing.T) {
+	if len(trigene.CPUs()) != 5 || len(trigene.GPUs()) != 9 {
+		t.Errorf("catalog sizes: %d CPUs, %d GPUs", len(trigene.CPUs()), len(trigene.GPUs()))
+	}
+	if _, err := trigene.CPUByID("CI3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := trigene.GPUByID("nope"); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+}
