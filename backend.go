@@ -1,0 +1,369 @@
+package trigene
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"trigene/internal/combin"
+	"trigene/internal/engine"
+	"trigene/internal/gpusim"
+	"trigene/internal/hetero"
+	"trigene/internal/mpi3snp"
+)
+
+// Backend is a pluggable execution engine behind Session.Search. The
+// four implementations — CPU, GPUSim, Baseline and Hetero — accept the
+// same request contract and produce the same Report shape; backends
+// that cannot honor a requested feature (sharding, top-K depth,
+// approach selection) fail loudly instead of silently degrading.
+//
+// Backends are provided by this package; the interface is sealed.
+type Backend interface {
+	// Name identifies the backend in Reports ("cpu", "gpusim:GN1",
+	// "baseline", "hetero").
+	Name() string
+	// search runs one configured search over a session's dataset.
+	search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error)
+}
+
+// shardRange maps shard index of count onto the combination-rank space
+// [0, total): contiguous slices whose sizes differ by at most one.
+func shardRange(total int64, index, count int) combin.Range {
+	n, i := int64(count), int64(index)
+	base, rem := total/n, total%n
+	lo := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return combin.Range{Lo: lo, Hi: lo + size}
+}
+
+// shardInfo materializes the Report record for a shard.
+func shardInfo(sp *shardSpec, rg combin.Range) *ShardInfo {
+	return &ShardInfo{Index: sp.index, Count: sp.count, Lo: rg.Lo, Hi: rg.Hi}
+}
+
+// ---------------------------------------------------------------------
+// CPU backend
+
+type cpuBackend struct{}
+
+// CPU returns the host CPU backend: the paper's four approaches across
+// a dynamically scheduled worker pool. It supports every interaction
+// order, top-K ranking, and — at order 3 on the rank-partitionable
+// approaches V1/V2 — sharding.
+func CPU() Backend { return cpuBackend{} }
+
+// Name implements Backend.
+func (cpuBackend) Name() string { return "cpu" }
+
+func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
+	obj, objName, err := cfg.objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	eopts := engine.Options{
+		Workers:   cfg.workers,
+		Objective: obj,
+		TopK:      cfg.topK,
+		Context:   ctx,
+		Progress:  cfg.progress,
+	}
+	rep := &Report{
+		Backend:   "cpu",
+		Objective: objName,
+		Order:     cfg.order,
+		obj:       obj,
+		topK:      cfg.topK,
+	}
+
+	switch cfg.order {
+	case 2:
+		if cfg.shard != nil {
+			return nil, fmt.Errorf("trigene: cpu backend shards order-3 searches only (order %d requested)", cfg.order)
+		}
+		if cfg.approachSet {
+			return nil, fmt.Errorf("trigene: order-%d searches use the fixed split kernel; WithApproach applies to order 3 only", cfg.order)
+		}
+		res, err := s.searcher.RunPairs(eopts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Approach = "V2"
+		for _, c := range res.TopK {
+			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.Pair.I, c.Pair.J}, Score: c.Score})
+		}
+		fillStats(rep, res.Stats)
+
+	case 3:
+		ap := cfg.approach
+		if cfg.shard != nil {
+			// Sharding delegates to rank-range partitioning, which the
+			// flat approaches support. Unless the caller pinned an
+			// approach, use V2 (the fastest partitionable one).
+			if !cfg.approachSet {
+				ap = V2Split
+			} else if ap != V1Naive && ap != V2Split {
+				return nil, fmt.Errorf("trigene: approach %v cannot shard; use V1 or V2 (or leave the approach unset)", ap)
+			}
+			rg := shardRange(combin.Triples(s.SNPs()), cfg.shard.index, cfg.shard.count)
+			eopts.RankRange = &rg
+			rep.Shard = shardInfo(cfg.shard, rg)
+		} else if ap == 0 {
+			ap = V4Vector
+		}
+		eopts.Approach = ap
+		res, err := s.searcher.Run(eopts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Approach = ap.String()
+		for _, c := range res.TopK {
+			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.Triple.I, c.Triple.J, c.Triple.K}, Score: c.Score})
+		}
+		fillStats(rep, res.Stats)
+
+	default:
+		if cfg.shard != nil {
+			return nil, fmt.Errorf("trigene: cpu backend shards order-3 searches only (order %d requested)", cfg.order)
+		}
+		if cfg.approachSet {
+			return nil, fmt.Errorf("trigene: order-%d searches use the fixed split kernel; WithApproach applies to order 3 only", cfg.order)
+		}
+		res, err := s.searcher.RunK(cfg.order, eopts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Approach = "V2"
+		for _, c := range res.TopK {
+			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: c.SNPs, Score: c.Score})
+		}
+		fillStats(rep, res.Stats)
+	}
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	}
+	return rep, nil
+}
+
+// fillStats copies the engine's throughput accounting into a Report.
+func fillStats(rep *Report, st engine.Stats) {
+	rep.Combinations = st.Combinations
+	rep.Elements = st.Elements
+	rep.Duration = st.Duration
+	rep.ElementsPerSec = st.ElementsPerSec
+}
+
+// ---------------------------------------------------------------------
+// Simulated-GPU backend
+
+type gpuBackend struct {
+	dev GPUDevice
+}
+
+// GPUSim returns a backend that executes searches bit-exactly on a
+// simulated Table II device with the paper's four GPU kernels and a
+// coalescing-aware memory model. It supports order 3 only, reports the
+// single best candidate, and shards via kernel rank ranges.
+func GPUSim(dev GPUDevice) Backend { return gpuBackend{dev: dev} }
+
+// Name implements Backend.
+func (b gpuBackend) Name() string { return "gpusim:" + b.dev.ID }
+
+func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
+	if cfg.order != 3 {
+		return nil, fmt.Errorf("trigene: %s backend supports order 3 only (order %d requested)", b.Name(), cfg.order)
+	}
+	if cfg.topK > 1 {
+		return nil, fmt.Errorf("trigene: %s backend reports the single best candidate (TopK %d requested)", b.Name(), cfg.topK)
+	}
+	obj, objName, err := cfg.objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	kernel := gpusim.K4Tiled
+	if cfg.approachSet {
+		kernel = gpusim.Kernel(cfg.approach)
+	}
+	gopts := gpusim.Options{
+		Kernel:    kernel,
+		Objective: obj,
+		Context:   ctx,
+	}
+	rep := &Report{
+		Backend:   b.Name(),
+		Approach:  kernel.String(),
+		Objective: objName,
+		Order:     3,
+		obj:       obj,
+		topK:      cfg.topK,
+	}
+	if cfg.shard != nil {
+		rg := shardRange(combin.Triples(s.SNPs()), cfg.shard.index, cfg.shard.count)
+		rep.Shard = shardInfo(cfg.shard, rg)
+		if rg.Len() == 0 {
+			// An empty shard has no candidates. Returning early also
+			// avoids RankLo == RankHi == 0, which the simulator reads
+			// as "full space".
+			return rep, nil
+		}
+		gopts.RankLo, gopts.RankHi = rg.Lo, rg.Hi
+	}
+	start := time.Now()
+	res, err := gpusim.New(b.dev).Search(s.Matrix(), gopts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Best = SearchCandidate{SNPs: []int{res.Best.I, res.Best.J, res.Best.K}, Score: res.Best.Score}
+	rep.TopK = []SearchCandidate{rep.Best}
+	rep.Combinations = res.Stats.Combinations
+	rep.Elements = res.Stats.Elements
+	rep.Duration = time.Since(start)
+	rep.ElementsPerSec = res.Stats.ElementsPerSec // modeled device throughput
+	stats := res.Stats
+	rep.GPU = &stats
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// Baseline backend
+
+type baselineBackend struct{}
+
+// Baseline returns the MPI3SNP-style reference backend (three stored
+// planes, no tiling, static scheduling, mutual information) — the
+// Table III comparator. It supports order 3 and top-K ranking; it
+// ranks by mutual information only and cannot shard.
+func Baseline() Backend { return baselineBackend{} }
+
+// Name implements Backend.
+func (baselineBackend) Name() string { return "baseline" }
+
+func (baselineBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
+	if cfg.order != 3 {
+		return nil, fmt.Errorf("trigene: baseline backend supports order 3 only (order %d requested)", cfg.order)
+	}
+	if cfg.shard != nil {
+		return nil, fmt.Errorf("trigene: baseline backend cannot shard (its MPI-style distribution is internal and static)")
+	}
+	if cfg.approachSet {
+		return nil, fmt.Errorf("trigene: baseline backend has a fixed pipeline; WithApproach does not apply")
+	}
+	if cfg.objName != "" && cfg.objName != "mi" {
+		return nil, fmt.Errorf("trigene: baseline backend ranks by mutual information only (objective %q requested)", cfg.objName)
+	}
+	obj, _, err := (&searchConfig{objName: "mi"}).objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	res, err := mpi3snp.Search(s.Matrix(), mpi3snp.Options{
+		Ranks:   cfg.workers,
+		TopK:    cfg.topK,
+		Context: ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Backend:   "baseline",
+		Approach:  "mpi3snp",
+		Objective: "mi",
+		Order:     3,
+		obj:       obj,
+		topK:      cfg.topK,
+	}
+	for _, c := range res.TopK {
+		rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.I, c.J, c.K}, Score: c.MI})
+	}
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	}
+	rep.Combinations = res.Stats.Combinations
+	rep.Elements = res.Stats.Elements
+	rep.Duration = res.Stats.Duration
+	rep.ElementsPerSec = res.Stats.ElementsPerSec
+	return rep, nil
+}
+
+// ---------------------------------------------------------------------
+// Heterogeneous backend
+
+type heteroBackend struct {
+	opts hetero.Options
+}
+
+// Hetero returns the collaborative CPU+GPU backend of the paper's
+// Section V-D with the default device pairing (CI3 + GN1) and a
+// throughput-proportional automatic split. It supports order 3 and the
+// single best candidate; it cannot shard (it partitions the space
+// internally between its two halves).
+func Hetero() Backend { return heteroBackend{} }
+
+// HeteroOn is Hetero with an explicit device pair and CPU fraction.
+// cpuFraction 0 selects the modeled throughput-proportional split; use
+// a negative value for an all-GPU run and 1 for an all-CPU run.
+func HeteroOn(cpu CPUDevice, gpu GPUDevice, cpuFraction float64) Backend {
+	return heteroBackend{opts: hetero.Options{
+		CPUDevice:   cpu,
+		GPUDevice:   gpu,
+		CPUFraction: cpuFraction,
+	}}
+}
+
+// Name implements Backend.
+func (heteroBackend) Name() string { return "hetero" }
+
+func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
+	if cfg.order != 3 {
+		return nil, fmt.Errorf("trigene: hetero backend supports order 3 only (order %d requested)", cfg.order)
+	}
+	if cfg.shard != nil {
+		return nil, fmt.Errorf("trigene: hetero backend cannot shard (it already partitions the space between CPU and GPU)")
+	}
+	if cfg.topK > 1 {
+		return nil, fmt.Errorf("trigene: hetero backend reports the single best candidate (TopK %d requested)", cfg.topK)
+	}
+	if cfg.approachSet {
+		return nil, fmt.Errorf("trigene: hetero backend runs V2 (CPU half) + V4 (GPU half); WithApproach does not apply")
+	}
+	obj, objName, err := cfg.objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	hopts := b.opts
+	hopts.Workers = cfg.workers
+	hopts.Objective = obj
+	hopts.Context = ctx
+	res, err := hetero.Search(s.Matrix(), hopts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Backend:   "hetero",
+		Approach:  "V2+V4",
+		Objective: objName,
+		Order:     3,
+		obj:       obj,
+		topK:      cfg.topK,
+	}
+	rep.Best = SearchCandidate{
+		SNPs:  []int{res.Best.Triple.I, res.Best.Triple.J, res.Best.Triple.K},
+		Score: res.Best.Score,
+	}
+	rep.TopK = []SearchCandidate{rep.Best}
+	rep.Combinations = combin.Triples(s.SNPs())
+	rep.Elements = float64(rep.Combinations) * float64(s.Samples())
+	rep.Duration = res.Duration
+	if secs := res.Duration.Seconds(); secs > 0 {
+		rep.ElementsPerSec = rep.Elements / secs
+	}
+	gpuStats := res.GPUStats
+	rep.GPU = &gpuStats
+	rep.Hetero = &HeteroInfo{
+		CPUFraction:           res.CPUFraction,
+		ModeledCombinedGElems: res.ModeledCombinedGElems,
+	}
+	return rep, nil
+}

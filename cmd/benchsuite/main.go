@@ -8,7 +8,8 @@
 //	benchsuite -exp table3   # state-of-the-art comparison (modeled + host-measured)
 //	benchsuite -exp overall  # Section V-D whole-device and efficiency comparison
 //	benchsuite -exp host     # measured V1-V4 + baseline run on this machine
-//	benchsuite -exp all      # everything
+//	benchsuite -exp snapshot # machine-readable perf snapshot (BENCH_PR1.json)
+//	benchsuite -exp all      # everything except snapshot
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -16,20 +17,21 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"trigene"
 	"trigene/internal/carm"
 	"trigene/internal/device"
 	"trigene/internal/energy"
-	"trigene/internal/engine"
 	"trigene/internal/gpusim"
-	"trigene/internal/mpi3snp"
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
 )
@@ -54,23 +56,25 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
+	snapOut := fs.String("out", "BENCH_PR1.json", "output path of the -exp snapshot JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	out = stdout
 
 	experiments := map[string]func() error{
-		"fig2a":   fig2a,
-		"fig2b":   fig2b,
-		"fig3":    fig3,
-		"fig4":    fig4,
-		"table3":  func() error { return table3(*hostSNPs, *hostSamples) },
-		"overall": overall,
-		"energy":  energyExp,
-		"host":    func() error { return host(*hostSNPs, *hostSamples) },
+		"fig2a":    fig2a,
+		"fig2b":    fig2b,
+		"fig3":     fig3,
+		"fig4":     fig4,
+		"table3":   func() error { return table3(*hostSNPs, *hostSamples) },
+		"overall":  overall,
+		"energy":   energyExp,
+		"host":     func() error { return host(*hostSNPs, *hostSamples) },
+		"snapshot": func() error { return snapshot(*snapOut) },
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
 	if *exp == "all" {
@@ -257,20 +261,25 @@ func table3(hostSNPs, hostSamples int) error {
 	if err != nil {
 		return err
 	}
-	base, err := mpi3snp.Search(mx, mpi3snp.Options{})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		return err
 	}
-	ours, err := engine.Search(mx, engine.Options{Approach: engine.V4Vector})
+	ctx := context.Background()
+	base, err := sess.Search(ctx, trigene.WithBackend(trigene.Baseline()))
+	if err != nil {
+		return err
+	}
+	ours, err := sess.Search(ctx)
 	if err != nil {
 		return err
 	}
 	ht := report.NewTable("", "implementation", "G elem/s", "duration", "speedup")
-	ht.AddRowf("MPI3SNP-style baseline", base.Stats.ElementsPerSec/1e9,
-		base.Stats.Duration.Round(time.Millisecond).String(), report.Speedup(1))
-	ht.AddRowf("this work V4", ours.Stats.ElementsPerSec/1e9,
-		ours.Stats.Duration.Round(time.Millisecond).String(),
-		report.Speedup(ours.Stats.ElementsPerSec/base.Stats.ElementsPerSec))
+	ht.AddRowf("MPI3SNP-style baseline", base.ElementsPerSec/1e9,
+		base.Duration.Round(time.Millisecond).String(), report.Speedup(1))
+	ht.AddRowf("this work V4", ours.ElementsPerSec/1e9,
+		ours.Duration.Round(time.Millisecond).String(),
+		report.Speedup(ours.ElementsPerSec/base.ElementsPerSec))
 	return render(ht)
 }
 
@@ -303,22 +312,111 @@ func host(snps, samples int) error {
 	if err != nil {
 		return err
 	}
-	s, err := engine.New(mx)
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	t := report.NewTable("", "approach", "duration", "G elem/s", "speedup vs V1")
 	var v1 float64
-	for a := engine.V1Naive; a <= engine.V4Vector; a++ {
-		res, err := s.Run(engine.Options{Approach: a})
+	for a := trigene.V1Naive; a <= trigene.V4Vector; a++ {
+		rep, err := sess.Search(ctx, trigene.WithApproach(a))
 		if err != nil {
 			return err
 		}
-		if a == engine.V1Naive {
-			v1 = res.Stats.ElementsPerSec
+		if a == trigene.V1Naive {
+			v1 = rep.ElementsPerSec
 		}
-		t.AddRowf(a.String(), res.Stats.Duration.Round(time.Millisecond).String(),
-			res.Stats.ElementsPerSec/1e9, report.Speedup(res.Stats.ElementsPerSec/v1))
+		t.AddRowf(rep.Approach, rep.Duration.Round(time.Millisecond).String(),
+			rep.ElementsPerSec/1e9, report.Speedup(rep.ElementsPerSec/v1))
+	}
+	return render(t)
+}
+
+// Snapshot parameters are fixed so successive BENCH_PR*.json files are
+// comparable across PRs: same synthetic dataset, every approach.
+const (
+	snapSNPs    = 64
+	snapSamples = 2048
+	snapSeed    = 17
+)
+
+// benchPoint is one measured configuration in the snapshot.
+type benchPoint struct {
+	Backend      string  `json:"backend"`
+	Approach     string  `json:"approach"`
+	Combinations int64   `json:"combinations"`
+	DurationMs   float64 `json:"durationMs"`
+	CombosPerSec float64 `json:"combosPerSec"`
+	GElemsPerSec float64 `json:"gigaElementsPerSec"`
+}
+
+// benchSnapshot is the machine-readable perf trajectory record.
+type benchSnapshot struct {
+	Schema     string       `json:"schema"`
+	SNPs       int          `json:"snps"`
+	Samples    int          `json:"samples"`
+	Seed       int64        `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Points     []benchPoint `json:"points"`
+}
+
+// snapshot measures combos/sec for every CPU approach plus the
+// baseline on the fixed dataset and writes the JSON record.
+func snapshot(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	snap := benchSnapshot{
+		Schema:     "trigene-bench/1",
+		SNPs:       snapSNPs,
+		Samples:    snapSamples,
+		Seed:       snapSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	add := func(rep *trigene.Report) {
+		p := benchPoint{
+			Backend:      rep.Backend,
+			Approach:     rep.Approach,
+			Combinations: rep.Combinations,
+			DurationMs:   float64(rep.Duration) / float64(time.Millisecond),
+			GElemsPerSec: rep.ElementsPerSec / 1e9,
+		}
+		if secs := rep.Duration.Seconds(); secs > 0 {
+			p.CombosPerSec = float64(rep.Combinations) / secs
+		}
+		snap.Points = append(snap.Points, p)
+	}
+	for a := trigene.V1Naive; a <= trigene.V4Vector; a++ {
+		rep, err := sess.Search(ctx, trigene.WithApproach(a))
+		if err != nil {
+			return err
+		}
+		add(rep)
+	}
+	base, err := sess.Search(ctx, trigene.WithBackend(trigene.Baseline()))
+	if err != nil {
+		return err
+	}
+	add(base)
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Perf snapshot (%d SNPs x %d samples) -> %s ==\n", snapSNPs, snapSamples, outPath)
+	t := report.NewTable("", "backend", "approach", "combos/s", "G elem/s")
+	for _, p := range snap.Points {
+		t.AddRowf(p.Backend, p.Approach, p.CombosPerSec, p.GElemsPerSec)
 	}
 	return render(t)
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,6 +98,37 @@ func TestEnergyOutput(t *testing.T) {
 	for _, want := range []string{"DVFS energy study", "optimal GHz", "GI2 DVFS sweep"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("energy output missing %q", want)
+		}
+	}
+}
+
+func TestSnapshotOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	s := runExp(t, "-exp", "snapshot", "-out", path)
+	if !strings.Contains(s, "Perf snapshot") {
+		t.Errorf("snapshot table missing:\n%s", s)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.Schema != "trigene-bench/1" || snap.SNPs != snapSNPs || snap.Samples != snapSamples {
+		t.Errorf("snapshot header wrong: %+v", snap)
+	}
+	want := map[string]bool{"V1": false, "V2": false, "V3": false, "V4": false, "mpi3snp": false}
+	for _, p := range snap.Points {
+		want[p.Approach] = true
+		if p.CombosPerSec <= 0 || p.Combinations <= 0 {
+			t.Errorf("point %+v has empty throughput", p)
+		}
+	}
+	for ap, seen := range want {
+		if !seen {
+			t.Errorf("approach %s missing from snapshot", ap)
 		}
 	}
 }

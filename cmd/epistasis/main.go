@@ -1,23 +1,28 @@
-// epistasis runs an exhaustive third-order epistasis search on a
-// dataset file (trigene text or binary format; the binary magic is
-// auto-detected).
+// epistasis runs an exhaustive epistasis search on a dataset file
+// (trigene text or binary format, PLINK .ped or VCF; the binary magic
+// is auto-detected) through the unified Session/Backend API.
 //
 // Usage:
 //
-//	epistasis -in data.tg                        # defaults: V4, K2, all cores
+//	epistasis -in data.tg                        # defaults: CPU V4, K2, all cores
 //	epistasis -in data.tgb -approach V2 -topk 10 -objective mi
-//	epistasis -in data.tg -gpu GN1               # run on the simulated GPU instead
+//	epistasis -in data.tg -gpu GN1               # run on a simulated GPU instead
+//	epistasis -in data.tg -backend baseline      # MPI3SNP-style comparator (MI)
+//	epistasis -in data.tg -backend hetero        # collaborative CPU+GPU split
+//	epistasis -in data.tg -shard 0/4             # evaluate one shard of the space
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,13 +44,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	in := fs.String("in", "", "input dataset path (required; '-' for stdin)")
 	informat := fs.String("informat", "auto", "input format: auto (trigene text/binary or VCF), ped, vcf")
 	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample, whitespace separated)")
-	approach := fs.String("approach", "V4", "CPU approach: V1, V2, V3 or V4")
+	backend := fs.String("backend", "cpu", "execution backend: cpu, baseline or hetero")
+	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1); overrides -backend")
+	approach := fs.String("approach", "", "pipeline V1..V4 (or naive/split/blocked/vector; on -gpu: naive/split/transposed/tiled); default: the backend's best")
 	workers := fs.Int("workers", 0, "worker count (0 = all cores)")
-	topK := fs.Int("topk", 5, "number of candidates to report")
-	objective := fs.String("objective", "k2", "objective: k2, mi or gini")
+	topK := fs.Int("topk", 5, "number of candidates to report (backends reporting a single best ignore it)")
+	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native objective)")
 	pairs := fs.Bool("pairs", false, "run a 2-way (pairwise) search instead of 3-way")
 	order := fs.Int("order", 0, "interaction order 4..7 for the generic k-way search (0 = specialized 3-way)")
-	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1) instead of the CPU engine")
+	shard := fs.String("shard", "", "evaluate shard \"i/n\" of the combination space (e.g. 0/4)")
 	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
@@ -65,104 +72,161 @@ func run(args []string, stdout, stderr io.Writer) error {
 			mx.SNPs(), mx.Samples(), controls, cases)
 	}
 
-	obj, err := trigene.NewObjective(*objective, mx.Samples())
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		return err
 	}
 
-	if *gpuID != "" {
-		return runGPU(stdout, *gpuID, mx, obj)
-	}
-
-	if *order != 0 {
-		return runKWay(stdout, mx, obj, *order, *workers, *topK, *jsonOut)
-	}
-
-	summary := jsonSummary{
-		SNPs: mx.SNPs(), Samples: mx.Samples(),
-		Controls: controls, Cases: cases, Objective: obj.Name(),
-	}
-	if *pairs {
-		res, err := trigene.SearchPairs(mx, trigene.Options{
-			Workers: *workers, Objective: obj, TopK: *topK,
-		})
+	onGPU := *gpuID != ""
+	var be trigene.Backend
+	switch {
+	case onGPU:
+		dev, err := trigene.GPUByID(*gpuID)
 		if err != nil {
 			return err
 		}
-		summary.Mode = "2-way"
-		summary.Combinations = res.Stats.Combinations
-		summary.GElemPerSec = res.Stats.ElementsPerSec / 1e9
-		for _, c := range res.TopK {
-			summary.Candidates = append(summary.Candidates, jsonCandidate{
-				SNPs: []int{c.Pair.I, c.Pair.J}, Score: c.Score,
-			})
-		}
-		if *permute > 0 {
-			sig, err := trigene.PermutationTestPair(mx, res.Best.Pair,
-				trigene.PermConfig{Permutations: *permute, Workers: *workers, Objective: obj})
+		be = trigene.GPUSim(dev)
+	case *backend == "cpu":
+		be = trigene.CPU()
+	case *backend == "baseline":
+		be = trigene.Baseline()
+	case *backend == "hetero":
+		be = trigene.Hetero()
+	default:
+		return fmt.Errorf("unknown backend %q (want cpu, baseline or hetero)", *backend)
+	}
+	singleBest := onGPU || *backend == "hetero"
+
+	searchOrder := 3
+	switch {
+	case *pairs && *order != 0:
+		return fmt.Errorf("-pairs and -order are mutually exclusive")
+	case *pairs:
+		searchOrder = 2
+	case *order != 0:
+		searchOrder = *order
+	}
+
+	opts := []trigene.Option{trigene.WithBackend(be), trigene.WithOrder(searchOrder)}
+	if !singleBest {
+		opts = append(opts, trigene.WithTopK(*topK))
+	}
+	if *workers > 0 {
+		opts = append(opts, trigene.WithWorkers(*workers))
+	}
+	if *objective != "" {
+		opts = append(opts, trigene.WithObjective(*objective))
+	}
+	if *approach != "" {
+		var ap trigene.Approach
+		if onGPU {
+			k, err := trigene.ParseGPUKernel(*approach)
 			if err != nil {
 				return err
 			}
-			summary.PValue = &sig.PValue
+			ap = trigene.Approach(int(k))
+		} else if ap, err = trigene.ParseApproach(*approach); err != nil {
+			return err
 		}
-		if *jsonOut {
-			return writeJSON(stdout, summary)
-		}
-		fmt.Fprintf(stdout, "2-way: %d combinations in %v (%.2f G elements/s)\n",
-			res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
-			res.Stats.ElementsPerSec/1e9)
-		for i, c := range res.TopK {
-			fmt.Fprintf(stdout, "%2d. (%d,%d)  %s = %.4f\n", i+1, c.Pair.I, c.Pair.J, obj.Name(), c.Score)
-		}
-		printPValue(stdout, summary.PValue, *permute)
-		return nil
+		opts = append(opts, trigene.WithApproach(ap))
 	}
-
-	ap, err := trigene.ParseApproach(*approach)
-	if err != nil {
-		return err
-	}
-	res, err := trigene.Search(mx, trigene.Options{
-		Approach:  ap,
-		Workers:   *workers,
-		Objective: obj,
-		TopK:      *topK,
-	})
-	if err != nil {
-		return err
-	}
-	summary.Mode = "3-way " + ap.String()
-	summary.Combinations = res.Stats.Combinations
-	summary.GElemPerSec = res.Stats.ElementsPerSec / 1e9
-	for _, c := range res.TopK {
-		summary.Candidates = append(summary.Candidates, jsonCandidate{
-			SNPs: []int{c.Triple.I, c.Triple.J, c.Triple.K}, Score: c.Score,
-		})
-	}
-	if *permute > 0 {
-		sig, err := trigene.PermutationTest(mx, res.Best.Triple,
-			trigene.PermConfig{Permutations: *permute, Workers: *workers, Objective: obj})
+	if *shard != "" {
+		idx, cnt, err := parseShard(*shard)
 		if err != nil {
 			return err
 		}
-		summary.PValue = &sig.PValue
+		opts = append(opts, trigene.WithShard(idx, cnt))
 	}
+
+	ctx := context.Background()
+	rep, err := sess.Search(ctx, opts...)
+	if err != nil {
+		return err
+	}
+
+	var pValue *float64
+	if *permute > 0 {
+		permOpts := []trigene.Option{
+			trigene.WithPermutations(*permute),
+			trigene.WithObjective(rep.Objective),
+		}
+		if *workers > 0 {
+			permOpts = append(permOpts, trigene.WithWorkers(*workers))
+		}
+		sig, err := sess.PermutationTest(ctx, rep.Best.SNPs, permOpts...)
+		if err != nil {
+			return err
+		}
+		pValue = &sig.PValue
+	}
+
 	if *jsonOut {
-		return writeJSON(stdout, summary)
+		return writeJSON(stdout, summarize(mx, rep, pValue))
 	}
-	fmt.Fprintf(stdout, "approach %v: %d combinations in %v (%.2f G elements/s)\n",
-		ap, res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
-		res.Stats.ElementsPerSec/1e9)
-	for i, c := range res.TopK {
-		fmt.Fprintf(stdout, "%2d. %v  %s = %.4f\n", i+1, c.Triple, obj.Name(), c.Score)
-	}
-	printPValue(stdout, summary.PValue, *permute)
+	printReport(stdout, rep)
+	printPValue(stdout, pValue, *permute)
 	return nil
+}
+
+// printReport renders the unified Report in the tool's text format.
+func printReport(w io.Writer, rep *trigene.Report) {
+	switch {
+	case rep.GPU != nil && rep.Hetero == nil:
+		dev := strings.TrimPrefix(rep.Backend, "gpusim:")
+		fmt.Fprintf(w, "simulated %s (kernel %s): modeled %.3f ms, %.2f G elements/s\n",
+			dev, rep.Approach, rep.GPU.ModelSeconds*1e3, rep.ElementsPerSec/1e9)
+		fmt.Fprintf(w, "best: %s  %s = %.4f\n", snpsString(rep.Best.SNPs), rep.Objective, rep.Best.Score)
+		return
+	case rep.Hetero != nil:
+		fmt.Fprintf(w, "heterogeneous (CPU fraction %.2f): %d combinations in %v (%.2f G elements/s)\n",
+			rep.Hetero.CPUFraction, rep.Combinations,
+			rep.Duration.Round(time.Millisecond), rep.ElementsPerSec/1e9)
+	case rep.Order == 3:
+		fmt.Fprintf(w, "approach %s: %d combinations in %v (%.2f G elements/s)\n",
+			rep.Approach, rep.Combinations, rep.Duration.Round(time.Millisecond),
+			rep.ElementsPerSec/1e9)
+	default:
+		fmt.Fprintf(w, "%d-way: %d combinations in %v (%.2f G elements/s)\n",
+			rep.Order, rep.Combinations, rep.Duration.Round(time.Millisecond),
+			rep.ElementsPerSec/1e9)
+	}
+	if rep.Shard != nil {
+		fmt.Fprintf(w, "shard %d/%d: ranks [%d,%d)\n",
+			rep.Shard.Index, rep.Shard.Count, rep.Shard.Lo, rep.Shard.Hi)
+	}
+	for i, c := range rep.TopK {
+		fmt.Fprintf(w, "%2d. %s  %s = %.4f\n", i+1, snpsString(c.SNPs), rep.Objective, c.Score)
+	}
+}
+
+// snpsString renders a candidate as "(i,j,k)" for any order.
+func snpsString(snps []int) string {
+	parts := make([]string, len(snps))
+	for i, s := range snps {
+		parts[i] = strconv.Itoa(s)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// parseShard parses "i/n".
+func parseShard(s string) (index, count int, err error) {
+	lo, hi, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard %q: want \"index/count\", e.g. 0/4", s)
+	}
+	if index, err = strconv.Atoi(lo); err != nil {
+		return 0, 0, fmt.Errorf("shard index %q: %v", lo, err)
+	}
+	if count, err = strconv.Atoi(hi); err != nil {
+		return 0, 0, fmt.Errorf("shard count %q: %v", hi, err)
+	}
+	return index, count, nil
 }
 
 // jsonSummary is the machine-readable output of a search run.
 type jsonSummary struct {
 	Mode         string          `json:"mode"`
+	Backend      string          `json:"backend"`
 	SNPs         int             `json:"snps"`
 	Samples      int             `json:"samples"`
 	Controls     int             `json:"controls"`
@@ -179,6 +243,30 @@ type jsonCandidate struct {
 	Score float64 `json:"score"`
 }
 
+func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSummary {
+	controls, cases := mx.ClassCounts()
+	mode := fmt.Sprintf("%d-way", rep.Order)
+	if rep.Order == 3 {
+		mode += " " + rep.Approach
+	}
+	s := jsonSummary{
+		Mode:         mode,
+		Backend:      rep.Backend,
+		SNPs:         mx.SNPs(),
+		Samples:      mx.Samples(),
+		Controls:     controls,
+		Cases:        cases,
+		Objective:    rep.Objective,
+		Combinations: rep.Combinations,
+		GElemPerSec:  rep.ElementsPerSec / 1e9,
+		PValue:       pValue,
+	}
+	for _, c := range rep.TopK {
+		s.Candidates = append(s.Candidates, jsonCandidate{SNPs: c.SNPs, Score: c.Score})
+	}
+	return s
+}
+
 func writeJSON(w io.Writer, v interface{}) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -189,22 +277,6 @@ func printPValue(w io.Writer, p *float64, permutations int) {
 	if p != nil {
 		fmt.Fprintf(w, "permutation test (%d relabelings): p = %.4f\n", permutations, *p)
 	}
-}
-
-func runGPU(stdout io.Writer, id string, mx *trigene.Matrix, obj trigene.Objective) error {
-	dev, err := trigene.GPUByID(id)
-	if err != nil {
-		return err
-	}
-	res, err := trigene.SimulateGPU(dev, mx, trigene.GPUOptions{Objective: obj})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "simulated %s (%s): modeled %.3f ms, %.2f G elements/s\n",
-		dev.ID, dev.Name, res.Stats.ModelSeconds*1e3, res.Stats.ElementsPerSec/1e9)
-	fmt.Fprintf(stdout, "best: (%d,%d,%d)  %s = %.4f\n",
-		res.Best.I, res.Best.J, res.Best.K, obj.Name(), res.Best.Score)
-	return nil
 }
 
 func readDataset(path, format, phenPath string) (*trigene.Matrix, error) {
@@ -264,35 +336,4 @@ func readVCFWithPhen(r io.Reader, phenPath string) (*trigene.Matrix, error) {
 		}
 	}
 	return trigene.ReadVCF(r, phen)
-}
-
-// runKWay handles the generic arbitrary-order search mode.
-func runKWay(stdout io.Writer, mx *trigene.Matrix, obj trigene.Objective, order, workers, topK int, jsonOut bool) error {
-	res, err := trigene.SearchK(mx, order, trigene.Options{
-		Workers: workers, Objective: obj, TopK: topK,
-	})
-	if err != nil {
-		return err
-	}
-	if jsonOut {
-		controls, cases := mx.ClassCounts()
-		summary := jsonSummary{
-			Mode: fmt.Sprintf("%d-way", order),
-			SNPs: mx.SNPs(), Samples: mx.Samples(),
-			Controls: controls, Cases: cases, Objective: obj.Name(),
-			Combinations: res.Stats.Combinations,
-			GElemPerSec:  res.Stats.ElementsPerSec / 1e9,
-		}
-		for _, c := range res.TopK {
-			summary.Candidates = append(summary.Candidates, jsonCandidate{SNPs: c.SNPs, Score: c.Score})
-		}
-		return writeJSON(stdout, summary)
-	}
-	fmt.Fprintf(stdout, "%d-way: %d combinations in %v (%.2f G elements/s)\n",
-		order, res.Stats.Combinations, res.Stats.Duration.Round(time.Millisecond),
-		res.Stats.ElementsPerSec/1e9)
-	for i, c := range res.TopK {
-		fmt.Fprintf(stdout, "%2d. %v  %s = %.4f\n", i+1, c.SNPs, obj.Name(), c.Score)
-	}
-	return nil
 }

@@ -1,0 +1,168 @@
+package trigene_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"trigene"
+)
+
+// ExampleSession_Search is the quickstart: plant a third-order signal,
+// open a session, and recover the interaction with the default CPU
+// search (approach V4, all cores, Bayesian K2).
+func ExampleSession_Search() {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 32, Samples: 1200, Seed: 42, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{7, 19, 28},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.1, 0.9),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sess.Search(context.Background(), trigene.WithTopK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("backend:", rep.Backend, rep.Approach)
+	fmt.Println("best:", rep.Best.SNPs)
+	fmt.Println("candidates:", len(rep.TopK))
+	// Output:
+	// backend: cpu V4
+	// best: [7 19 28]
+	// candidates: 3
+}
+
+// ExampleSession_Search_gpuSimulation runs the same search bit-exactly
+// on a simulated Table II device by swapping the backend component.
+func ExampleSession_Search_gpuSimulation() {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 32, Samples: 1200, Seed: 42, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{7, 19, 28},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.1, 0.9),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	cpu, err := sess.Search(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu, err := sess.Search(ctx, trigene.WithBackend(trigene.GPUSim(gn1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("backend:", gpu.Backend, gpu.Approach)
+	fmt.Println("best:", gpu.Best.SNPs)
+	fmt.Println("bit-exact vs CPU:", gpu.Best.Score == cpu.Best.Score)
+	// Output:
+	// backend: gpusim:GN1 V4
+	// best: [7 19 28]
+	// bit-exact vs CPU: true
+}
+
+// ExampleSession_PermutationTest estimates the significance of a
+// scan's winning candidate by phenotype permutation.
+func ExampleSession_PermutationTest() {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 24, Samples: 900, Seed: 11, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{3, 9, 15},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	rep, err := sess.Search(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, err := sess.PermutationTest(ctx, rep.Best.SNPs,
+		trigene.WithPermutations(199), trigene.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("best:", rep.Best.SNPs)
+	fmt.Printf("p-value: %.3f (%d/%d permutations as good)\n",
+		sig.PValue, sig.AsGoodOrBetter, sig.Permutations)
+	// Output:
+	// best: [3 9 15]
+	// p-value: 0.005 (0/199 permutations as good)
+}
+
+// ExampleMergeReports partitions a search across shards — the
+// primitive distributed deployments use — and merges the per-shard
+// Reports into the bit-exact full-space result.
+func ExampleMergeReports() {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 32, Samples: 1200, Seed: 42, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{7, 19, 28},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.1, 0.9),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Each shard could run on a different machine; here they run in
+	// sequence over one session.
+	const shards = 4
+	var parts []*trigene.Report
+	for i := 0; i < shards; i++ {
+		rep, err := sess.Search(ctx, trigene.WithTopK(5), trigene.WithShard(i, shards))
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts = append(parts, rep)
+	}
+	merged, err := trigene.MergeReports(parts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := sess.Search(ctx, trigene.WithTopK(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	match := len(merged.TopK) == len(full.TopK)
+	for i := range full.TopK {
+		if merged.TopK[i].Score != full.TopK[i].Score {
+			match = false
+		}
+	}
+	fmt.Println("shards:", shards)
+	fmt.Println("best:", merged.Best.SNPs)
+	fmt.Println("matches unsharded top-K:", match)
+	// Output:
+	// shards: 4
+	// best: [7 19 28]
+	// matches unsharded top-K: true
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 
+	"trigene"
 	"trigene/internal/device"
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
@@ -30,7 +31,7 @@ func figure3() {
 		label  string
 	}
 	var variants []variant
-	for _, c := range device.AllCPUs() {
+	for _, c := range trigene.CPUs() {
 		if c.HasAVX512 {
 			variants = append(variants, variant{c, true, c.ID + " AVX512"})
 		}
@@ -69,7 +70,7 @@ func figure4() {
 	}
 	for _, spec := range tables {
 		t := report.NewTable(spec.title, "device", "2048", "4096", "8192")
-		for _, g := range device.AllGPUs() {
+		for _, g := range trigene.GPUs() {
 			row := []interface{}{g.ID + " " + g.Arch}
 			for _, m := range snpSizes {
 				row = append(row, spec.f(g, m, samples))
@@ -88,8 +89,8 @@ func overall() {
 	}
 	render(t)
 
-	ci3, _ := device.CPUByID("CI3")
-	gn1, _ := device.GPUByID("GN1")
+	ci3, _ := trigene.CPUByID("CI3")
+	gn1, _ := trigene.GPUByID("GN1")
 	hetero := perfmodel.CPUOverallGElemPerSec(ci3, true, 8192, samples) +
 		perfmodel.GPUOverallGElemPerSec(gn1, 8192, samples)
 	fmt.Printf("heterogeneous CI3+GN1 estimate: %.0f G elements/s (paper: ~3300)\n\n", hetero)

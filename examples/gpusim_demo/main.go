@@ -1,11 +1,12 @@
-// gpusim_demo: runs the four GPU kernels on two simulated devices (a
-// high-POPCNT NVIDIA Titan Xp and an Intel Iris Xe MAX), validates the
-// results bit-exactly against the CPU engine, and shows how the memory
-// layouts change coalescing behaviour — the core of the paper's GPU
-// optimization story.
+// gpusim_demo: swaps the Session's backend to two simulated devices (a
+// high-POPCNT NVIDIA Titan Xp and an Intel Iris Xe MAX), runs the four
+// GPU kernels, validates the results bit-exactly against the CPU
+// backend, and shows how the memory layouts change coalescing
+// behaviour — the core of the paper's GPU optimization story.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -19,12 +20,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cpu, err := trigene.Search(mx, trigene.Options{})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("CPU reference: best %v  K2 = %.4f\n\n", cpu.Best.Triple, cpu.Best.Score)
+	ctx := context.Background()
+	cpu, err := sess.Search(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CPU reference: best %v  K2 = %.4f\n\n", cpu.Best.SNPs, cpu.Best.Score)
 
+	// The GPU kernels share the V1..V4 numbering; the memory layout is
+	// what changes stage to stage.
+	layouts := map[trigene.Approach]string{
+		trigene.V1Naive:   "row-major +phen",
+		trigene.V2Split:   "row-major split",
+		trigene.V3Blocked: "transposed",
+		trigene.V4Vector:  "tiled",
+	}
 	for _, id := range []string{"GN1", "GI2"} {
 		dev, err := trigene.GPUByID(id)
 		if err != nil {
@@ -32,24 +46,19 @@ func main() {
 		}
 		fmt.Printf("=== %s (%s): %d CUs, %.0f POPCNT/CU/cycle, %.2f GHz ===\n",
 			dev.ID, dev.Name, dev.CUs, dev.PopcntPerCU, dev.BoostGHz)
+		backend := trigene.GPUSim(dev)
 		t := report.NewTable("", "kernel", "layout", "txns", "L2 miss", "model ms", "G elem/s", "valid")
-		layouts := map[trigene.GPUKernel]string{
-			trigene.GPUNaive:      "row-major +phen",
-			trigene.GPUSplit:      "row-major split",
-			trigene.GPUTransposed: "transposed",
-			trigene.GPUTiled:      "tiled",
-		}
-		for k := trigene.GPUNaive; k <= trigene.GPUTiled; k++ {
-			res, err := trigene.SimulateGPU(dev, mx, trigene.GPUOptions{Kernel: k})
+		for v := trigene.V1Naive; v <= trigene.V4Vector; v++ {
+			rep, err := sess.Search(ctx, trigene.WithBackend(backend), trigene.WithApproach(v))
 			if err != nil {
 				log.Fatal(err)
 			}
 			valid := "ok"
-			if res.Best.Score != cpu.Best.Score {
+			if rep.Best.Score != cpu.Best.Score {
 				valid = "MISMATCH"
 			}
-			t.AddRowf(k.String(), layouts[k], res.Stats.Transactions, res.Stats.L2Misses,
-				res.Stats.ModelSeconds*1e3, res.Stats.ElementsPerSec/1e9, valid)
+			t.AddRowf(rep.Approach, layouts[v], rep.GPU.Transactions, rep.GPU.L2Misses,
+				rep.GPU.ModelSeconds*1e3, rep.ElementsPerSec/1e9, valid)
 		}
 		if err := t.Render(os.Stdout); err != nil {
 			log.Fatal(err)

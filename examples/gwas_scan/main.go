@@ -1,8 +1,8 @@
 // gwas_scan: a realistic exploratory scan. Generates a GWAS-scale
 // synthetic dataset with a marginal-effect-free parity interaction (the
 // workload that motivates exhaustive search: no single SNP shows a
-// signal), scans it with every approach, and reports per-approach
-// throughput alongside the recovered interaction.
+// signal), scans it with every approach through one Session, and
+// reports per-approach throughput alongside the recovered interaction.
 //
 // Flags allow scaling the workload up or down:
 //
@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"runtime"
+	"slices"
 
 	"trigene"
 )
@@ -25,9 +27,9 @@ func main() {
 	topK := flag.Int("topk", 5, "candidates to report")
 	flag.Parse()
 
-	target := [3]int{*snps / 5, *snps / 2, *snps - 3}
+	target := []int{*snps / 5, *snps / 2, *snps - 3}
 	interaction := &trigene.Interaction{
-		SNPs:       target,
+		SNPs:       [3]int{target[0], target[1], target[2]},
 		Penetrance: trigene.XorPenetrance(0.15, 0.85),
 	}
 	mx, err := trigene.Generate(trigene.GenConfig{
@@ -43,37 +45,39 @@ func main() {
 	fmt.Printf("planted parity interaction at (%d,%d,%d) - no marginal effects\n\n",
 		target[0], target[1], target[2])
 
-	searcher, err := trigene.NewSearcher(mx)
+	// One Session serves all four approach runs: the dataset is
+	// validated and binarized exactly once.
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
-		log.Fatalf("searcher: %v", err)
+		log.Fatalf("session: %v", err)
 	}
+	ctx := context.Background()
 
-	approaches := []trigene.Approach{trigene.V1Naive, trigene.V2Split, trigene.V3Blocked, trigene.V4Vector}
 	var baseline float64
-	for _, a := range approaches {
-		res, err := searcher.Run(trigene.Options{Approach: a, TopK: *topK})
+	for a := trigene.V1Naive; a <= trigene.V4Vector; a++ {
+		rep, err := sess.Search(ctx, trigene.WithApproach(a), trigene.WithTopK(*topK))
 		if err != nil {
 			log.Fatalf("%v: %v", a, err)
 		}
 		speedup := 1.0
 		if baseline == 0 {
-			baseline = res.Stats.Duration.Seconds()
+			baseline = rep.Duration.Seconds()
 		} else {
-			speedup = baseline / res.Stats.Duration.Seconds()
+			speedup = baseline / rep.Duration.Seconds()
 		}
-		fmt.Printf("%v: %8v  %6.2f G elements/s  (%.2fx vs V1)  best %v K2=%.2f\n",
-			a, res.Stats.Duration.Round(1000000), res.Stats.ElementsPerSec/1e9,
-			speedup, res.Best.Triple, res.Best.Score)
+		fmt.Printf("%s: %8v  %6.2f G elements/s  (%.2fx vs V1)  best %v K2=%.2f\n",
+			rep.Approach, rep.Duration.Round(1000000), rep.ElementsPerSec/1e9,
+			speedup, rep.Best.SNPs, rep.Best.Score)
 		if a == trigene.V4Vector {
 			fmt.Println("\ntop candidates (V4):")
-			for i, c := range res.TopK {
+			for i, c := range rep.TopK {
 				marker := ""
-				if c.Triple == (trigene.Triple{I: target[0], J: target[1], K: target[2]}) {
+				if slices.Equal(c.SNPs, target) {
 					marker = "  <- planted"
 				}
-				fmt.Printf("  %d. %v  K2 = %.3f%s\n", i+1, c.Triple, c.Score, marker)
+				fmt.Printf("  %d. %v  K2 = %.3f%s\n", i+1, c.SNPs, c.Score, marker)
 			}
-			if res.Best.Triple == (trigene.Triple{I: target[0], J: target[1], K: target[2]}) {
+			if slices.Equal(rep.Best.SNPs, target) {
 				fmt.Println("\nplanted interaction recovered by exhaustive search")
 			}
 		}

@@ -1,11 +1,14 @@
 // Quickstart: generate a small synthetic case-control dataset with a
-// planted three-way interaction and recover it with the default search
-// (approach V4, all cores, Bayesian K2 score).
+// planted three-way interaction and recover it through the unified
+// Session API with the default search (CPU backend, approach V4, all
+// cores, Bayesian K2 score).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"slices"
 
 	"trigene"
 )
@@ -33,19 +36,25 @@ func main() {
 	fmt.Printf("dataset: %d SNPs x %d samples (%d controls / %d cases)\n",
 		mx.SNPs(), mx.Samples(), controls, cases)
 
-	res, err := trigene.Search(mx, trigene.Options{TopK: 3})
+	// A Session validates the dataset once and serves any number of
+	// concurrent searches; it is the object a server holds per loaded
+	// dataset.
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatalf("session: %v", err)
+	}
+	rep, err := sess.Search(context.Background(), trigene.WithTopK(3))
 	if err != nil {
 		log.Fatalf("search: %v", err)
 	}
 
 	fmt.Printf("evaluated %d combinations in %v (%.2f G elements/s)\n",
-		res.Stats.Combinations, res.Stats.Duration.Round(1000000),
-		res.Stats.ElementsPerSec/1e9)
-	fmt.Printf("best triple: %v  K2 = %.3f\n", res.Best.Triple, res.Best.Score)
-	for i, c := range res.TopK {
-		fmt.Printf("  top-%d: %v  K2 = %.3f\n", i+1, c.Triple, c.Score)
+		rep.Combinations, rep.Duration.Round(1000000), rep.ElementsPerSec/1e9)
+	fmt.Printf("best triple: %v  K2 = %.3f\n", rep.Best.SNPs, rep.Best.Score)
+	for i, c := range rep.TopK {
+		fmt.Printf("  top-%d: %v  K2 = %.3f\n", i+1, c.SNPs, c.Score)
 	}
-	if res.Best.Triple == (trigene.Triple{I: 7, J: 19, K: 31}) {
+	if slices.Equal(rep.Best.SNPs, []int{7, 19, 31}) {
 		fmt.Println("planted interaction recovered")
 	} else {
 		fmt.Println("planted interaction NOT recovered (unexpected for this seed)")

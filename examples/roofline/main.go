@@ -2,10 +2,12 @@
 // characterization of the four approaches on the flagship devices
 // (Ice Lake SP CPU, Iris Xe MAX GPU). CPU points come from the
 // analytical approach models; GPU points from actually executing the
-// kernels in the GPU simulator on a scaled-down dataset.
+// kernels through the Session API's simulated-GPU backend on a
+// scaled-down dataset.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,7 +15,6 @@ import (
 	"trigene"
 	"trigene/internal/carm"
 	"trigene/internal/device"
-	"trigene/internal/gpusim"
 	"trigene/internal/report"
 )
 
@@ -56,7 +57,7 @@ func cpuSide() {
 }
 
 func gpuSide() {
-	gi2, err := device.GPUByID("GI2")
+	gi2, err := trigene.GPUByID("GI2")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,22 +73,27 @@ func gpuSide() {
 	}
 	render(rt)
 
-	// Execute the four kernels in the simulator on a scaled-down
-	// dataset (the characterization is size-independent in AI and
-	// near-independent in per-element rate).
+	// Execute the four kernels through the simulated-GPU backend on a
+	// scaled-down dataset (the characterization is size-independent in
+	// AI and near-independent in per-element rate).
 	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 64, Samples: 2048, Seed: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	runner := gpusim.New(gi2)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	backend := trigene.GPUSim(gi2)
 	pt := report.NewTable("kernels (simulated, 64 SNPs x 2048 samples)", "point", "AI intop/B", "GINTOPS", "G elem/s", "coalesced txn")
-	for k := gpusim.K1Naive; k <= gpusim.K4Tiled; k++ {
-		res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+	for v := trigene.V1Naive; v <= trigene.V4Vector; v++ {
+		rep, err := sess.Search(ctx, trigene.WithBackend(backend), trigene.WithApproach(v))
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := carm.PointFromGPUStats(k.String(), res.Stats)
-		pt.AddRowf(p.Name, p.AI, p.GIntops, res.Stats.ElementsPerSec/1e9, res.Stats.Transactions)
+		p := carm.PointFromGPUStats(rep.Approach, *rep.GPU)
+		pt.AddRowf(p.Name, p.AI, p.GIntops, rep.ElementsPerSec/1e9, rep.GPU.Transactions)
 	}
 	render(pt)
 }

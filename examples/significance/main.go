@@ -1,12 +1,14 @@
 // significance: the full analysis workflow a study would run — a 2-way
-// scan, a 3-way scan, and phenotype-permutation significance testing of
-// the winners, including a heterogeneous CPU+GPU execution of the 3-way
-// scan.
+// scan, a 3-way scan on the heterogeneous CPU+GPU backend, and
+// phenotype-permutation significance testing of the winners — all
+// through one Session and its unified Search/PermutationTest surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"slices"
 
 	"trigene"
 )
@@ -15,11 +17,11 @@ func main() {
 	// Plant a 3-way parity interaction. Its pairwise shadows are weak
 	// (subsets of the triple), so only the exhaustive triple scan
 	// pinpoints the full interaction.
-	target := trigene.Triple{I: 11, J: 29, K: 47}
+	target := []int{11, 29, 47}
 	mx, err := trigene.Generate(trigene.GenConfig{
 		SNPs: 56, Samples: 1600, Seed: 77, MAFMin: 0.3, MAFMax: 0.5,
 		Interaction: &trigene.Interaction{
-			SNPs:       [3]int{target.I, target.J, target.K},
+			SNPs:       [3]int{target[0], target[1], target[2]},
 			Penetrance: trigene.XorPenetrance(0.2, 0.8),
 		},
 	})
@@ -29,14 +31,21 @@ func main() {
 	controls, cases := mx.ClassCounts()
 	fmt.Printf("dataset: %d SNPs x %d samples (%d/%d)\n\n", mx.SNPs(), mx.Samples(), controls, cases)
 
-	// Stage 1: pairwise scan. At best it finds a two-SNP shadow of the
-	// planted triple, never the full interaction.
-	pairs, err := trigene.SearchPairs(mx, trigene.Options{TopK: 3})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("2-way scan: best pair %+v  K2 = %.2f\n", pairs.Best.Pair, pairs.Best.Score)
-	pp, err := trigene.PermutationTestPair(mx, pairs.Best.Pair, trigene.PermConfig{Permutations: 200, Seed: 1})
+	ctx := context.Background()
+
+	// Stage 1: pairwise scan. At best it finds a two-SNP shadow of the
+	// planted triple, never the full interaction.
+	pairs, err := sess.Search(ctx, trigene.WithOrder(2), trigene.WithTopK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-way scan: best pair %v  K2 = %.2f\n", pairs.Best.SNPs, pairs.Best.Score)
+	pp, err := sess.PermutationTest(ctx, pairs.Best.SNPs,
+		trigene.WithPermutations(200), trigene.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,30 +53,33 @@ func main() {
 		pp.PValue, pp.AsGoodOrBetter, pp.Permutations)
 
 	// Stage 2: exhaustive 3-way scan, split between the CPU engine and
-	// a simulated GPU as in the paper's Section V-D.
-	het, err := trigene.SearchHeterogeneous(mx, trigene.HeteroOptions{})
+	// a simulated GPU as in the paper's Section V-D — just a backend
+	// swap on the same Session.
+	het, err := sess.Search(ctx, trigene.WithBackend(trigene.Hetero()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("3-way heterogeneous scan (CPU fraction %.2f): best %v  K2 = %.2f\n",
-		het.CPUFraction, het.Best.Triple, het.Best.Score)
-	fmt.Printf("  CPU half: %d combos  GPU half: %d combos (modeled pair throughput %.0f G elem/s)\n",
-		het.CPUStats.Combinations, het.GPUStats.Combinations, het.ModeledCombinedGElems)
+		het.Hetero.CPUFraction, het.Best.SNPs, het.Best.Score)
+	fmt.Printf("  %d combinations; GPU half modeled stats available; modeled pair throughput %.0f G elem/s\n",
+		het.Combinations, het.Hetero.ModeledCombinedGElems)
 
 	// Stage 3: significance of the 3-way winner.
-	pt, err := trigene.PermutationTest(mx, het.Best.Triple, trigene.PermConfig{Permutations: 500, Seed: 2})
+	pt, err := sess.PermutationTest(ctx, het.Best.SNPs,
+		trigene.WithPermutations(500), trigene.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  permutation test: p = %.4f (%d/%d permutations as good)\n\n",
 		pt.PValue, pt.AsGoodOrBetter, pt.Permutations)
 
+	recovered := slices.Equal(het.Best.SNPs, target)
 	switch {
-	case het.Best.Triple == target && pt.PValue <= 0.01:
+	case recovered && pt.PValue <= 0.01:
 		fmt.Println("verdict: planted 3-way interaction recovered and significant")
-	case het.Best.Triple == target:
+	case recovered:
 		fmt.Println("verdict: planted triple recovered but not significant at 0.01")
 	default:
-		fmt.Printf("verdict: best triple %v differs from planted %v\n", het.Best.Triple, target)
+		fmt.Printf("verdict: best triple %v differs from planted %v\n", het.Best.SNPs, target)
 	}
 }

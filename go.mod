@@ -1,0 +1,3 @@
+module trigene
+
+go 1.22

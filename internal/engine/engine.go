@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"time"
 
 	"trigene/internal/combin"
@@ -64,19 +65,20 @@ func (a Approach) String() string {
 	}
 }
 
-// ParseApproach accepts "V1".."V4" (case-insensitive) or "1".."4".
+// ParseApproach accepts "V1".."V4", "1".."4" or the descriptive names
+// "naive", "split", "blocked" and "vector", all case-insensitively.
 func ParseApproach(s string) (Approach, error) {
-	switch s {
-	case "V1", "v1", "1":
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "v1", "1", "naive":
 		return V1Naive, nil
-	case "V2", "v2", "2":
+	case "v2", "2", "split":
 		return V2Split, nil
-	case "V3", "v3", "3":
+	case "v3", "3", "blocked":
 		return V3Blocked, nil
-	case "V4", "v4", "4":
+	case "v4", "4", "vector", "vectorized":
 		return V4Vector, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown approach %q (want V1..V4)", s)
+		return 0, fmt.Errorf("engine: unknown approach %q (want V1..V4 or naive/split/blocked/vector)", s)
 	}
 }
 

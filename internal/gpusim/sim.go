@@ -1,8 +1,10 @@
 package gpusim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"strings"
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
@@ -40,6 +42,23 @@ func (k Kernel) String() string {
 		return "V4"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel accepts "V1".."V4", "1".."4" or the descriptive names
+// "naive", "split", "transposed" and "tiled", all case-insensitively.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "v1", "1", "naive":
+		return K1Naive, nil
+	case "v2", "2", "split":
+		return K2Split, nil
+	case "v3", "3", "transposed":
+		return K3Transposed, nil
+	case "v4", "4", "tiled":
+		return K4Tiled, nil
+	default:
+		return 0, fmt.Errorf("gpusim: unknown kernel %q (want V1..V4 or naive/split/transposed/tiled)", s)
 	}
 }
 
@@ -92,6 +111,10 @@ type Options struct {
 	// default: the paper's throughputs are reported per useful
 	// combination.
 	ModelGuardWaste bool
+	// Context optionally allows cancellation; nil means
+	// context.Background(). Cancellation is observed between warp
+	// batches and returns the context error.
+	Context context.Context
 }
 
 // Stats aggregates the executed operations, the memory behaviour and
@@ -219,8 +242,17 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		}
 		base, total = opts.RankLo, opts.RankHi
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	warp := r.dev.WarpSize
-	for lo := base; lo < total; lo += int64(warp) {
+	for lo, batch := base, 0; lo < total; lo, batch = lo+int64(warp), batch+1 {
+		if batch%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		hi := lo + int64(warp)
 		if hi > total {
 			hi = total

@@ -11,6 +11,7 @@
 package hetero
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -41,6 +42,9 @@ type Options struct {
 	Workers int
 	// Objective ranks candidates (default Bayesian K2).
 	Objective score.Objective
+	// Context optionally allows cancellation of both halves; nil means
+	// context.Background().
+	Context context.Context
 }
 
 // Result is the outcome of a heterogeneous search.
@@ -120,6 +124,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			Approach:  engine.V2Split, // rank-partitionable approach
 			Workers:   opts.Workers,
 			Objective: opts.Objective,
+			Context:   opts.Context,
 			RankRange: &combin.Range{Lo: 0, Hi: cut},
 		})
 		cpuCh <- cpuOut{res: res, err: err}
@@ -131,6 +136,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		gpuRes, gpuErr = gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
 			Kernel:    gpusim.K4Tiled,
 			Objective: opts.Objective,
+			Context:   opts.Context,
 			RankLo:    cut,
 			RankHi:    total,
 		})

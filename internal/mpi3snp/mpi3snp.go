@@ -13,6 +13,7 @@
 package mpi3snp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,6 +34,10 @@ type Options struct {
 	// TopK is how many candidates to return (default 1; MPI3SNP itself
 	// reports a ranked list).
 	TopK int
+	// Context optionally allows cancellation; nil means
+	// context.Background(). Cancellation is observed periodically
+	// inside each rank's static block and returns the context error.
+	Context context.Context
 }
 
 // Candidate is a scored SNP triple.
@@ -113,6 +118,10 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("mpi3snp: invalid TopK %d", opts.TopK)
 	}
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	cp := buildPlanes(mx)
 	m := mx.SNPs()
@@ -127,10 +136,13 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(rk int, rg combin.Range) {
 			defer wg.Done()
-			tops[rk] = searchRange(cp, m, rg, opts.TopK)
+			tops[rk] = searchRange(ctx, cp, m, rg, opts.TopK)
 		}(rk, rg)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	merged := mergeTopK(tops, opts.TopK)
 	res := &Result{TopK: merged}
@@ -146,11 +158,14 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func searchRange(cp *classPlanes, m int, rg combin.Range, topK int) []Candidate {
+func searchRange(ctx context.Context, cp *classPlanes, m int, rg combin.Range, topK int) []Candidate {
 	var top []Candidate
 	var tab contingency.Table // reused across combinations
 	i, j, k := combin.UnrankTriple(rg.Lo, m)
 	for r := rg.Lo; r < rg.Hi; r++ {
+		if (r-rg.Lo)%8192 == 0 && ctx.Err() != nil {
+			return nil
+		}
 		for class := 0; class < 2; class++ {
 			for gx := 0; gx < 3; gx++ {
 				x := cp.plane(class, i, gx)

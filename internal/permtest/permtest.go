@@ -9,6 +9,7 @@
 package permtest
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -32,6 +33,10 @@ type Config struct {
 	// Objective must match the objective used by the scan that
 	// produced the candidate (default Bayesian K2).
 	Objective score.Objective
+	// Context optionally allows cancellation; nil means
+	// context.Background(). Cancellation is observed between
+	// permutations and returns the context error.
+	Context context.Context
 }
 
 // Result summarizes a permutation test.
@@ -63,6 +68,9 @@ func (c Config) withDefaults(maxSamples int) (Config, error) {
 	if c.Objective == nil {
 		c.Objective = score.NewK2(maxSamples)
 	}
+	if c.Context == nil {
+		c.Context = context.Background()
+	}
 	return c, nil
 }
 
@@ -84,6 +92,44 @@ func Pair(mx *dataset.Matrix, i, j int, cfg Config) (*Result, error) {
 	combos := comboRow2(mx, i, j)
 	obs := contingency.BuildReferencePair(mx, i, j)
 	return run(mx, combos, &obs, cfg)
+}
+
+// K tests the significance of an arbitrary-order candidate; the order
+// is len(snps), in [2, contingency.MaxOrder], and snps must be strictly
+// increasing. Orders 2 and 3 take the specialized table paths; higher
+// orders require an Objective implementing score.CellScorer (all
+// built-in objectives do).
+func K(mx *dataset.Matrix, snps []int, cfg Config) (*Result, error) {
+	k := len(snps)
+	if k < 2 || k > contingency.MaxOrder {
+		return nil, fmt.Errorf("permtest: order %d out of [2,%d]", k, contingency.MaxOrder)
+	}
+	for i, v := range snps {
+		if v < 0 || v >= mx.SNPs() || (i > 0 && snps[i-1] >= v) {
+			return nil, fmt.Errorf("permtest: invalid combination %v", snps)
+		}
+	}
+	switch k {
+	case 2:
+		return Pair(mx, snps[0], snps[1], cfg)
+	case 3:
+		return Triple(mx, snps[0], snps[1], snps[2], cfg)
+	}
+	c, err := cfg.withDefaults(mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	scorer, ok := c.Objective.(score.CellScorer)
+	if !ok {
+		return nil, fmt.Errorf("permtest: objective %q cannot score %d-way tables", c.Objective.Name(), k)
+	}
+	cells := contingency.CellsK(k)
+	obsCtrl, obsCases := make([]int32, cells), make([]int32, cells)
+	if err := contingency.BuildReferenceK(mx, snps, obsCtrl, obsCases); err != nil {
+		return nil, err
+	}
+	combos := comboRowK(mx, snps)
+	return runCells(mx, combos, cells, scorer.ScoreCells(obsCtrl, obsCases), c)
 }
 
 // comboRow3 precomputes each sample's genotype-combination cell for the
@@ -108,6 +154,83 @@ func comboRow2(mx *dataset.Matrix, i, j int) []uint8 {
 	return out
 }
 
+// comboRowK is the arbitrary-order analogue; 3^k cells exceed a uint8
+// beyond order 5, hence the wider element type.
+func comboRowK(mx *dataset.Matrix, snps []int) []uint16 {
+	n := mx.Samples()
+	out := make([]uint16, n)
+	for s := 0; s < n; s++ {
+		cell := 0
+		for _, snp := range snps {
+			cell = cell*3 + int(mx.Geno(snp, s))
+		}
+		out[s] = uint16(cell)
+	}
+	return out
+}
+
+// runCells is the generic-order permutation loop over 3^k cell slices.
+func runCells(mx *dataset.Matrix, combos []uint16, cells int, obsScore float64, c Config) (*Result, error) {
+	scorer := c.Objective.(score.CellScorer)
+	phen := append([]uint8(nil), mx.Phenotypes()...)
+	n := len(phen)
+
+	counts := make([]int, c.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := append([]uint8(nil), phen...)
+			ctrl := make([]int32, cells)
+			cases := make([]int32, cells)
+			hits := 0
+			for p := w; p < c.Permutations; p += c.Workers {
+				if c.Context.Err() != nil {
+					return
+				}
+				copy(local, phen)
+				rng := rand.New(rand.NewSource(c.Seed + int64(p)*7919))
+				for s := n - 1; s > 0; s-- {
+					t := rng.Intn(s + 1)
+					local[s], local[t] = local[t], local[s]
+				}
+				for i := range ctrl {
+					ctrl[i], cases[i] = 0, 0
+				}
+				for s := 0; s < n; s++ {
+					if local[s] == dataset.Case {
+						cases[combos[s]]++
+					} else {
+						ctrl[combos[s]]++
+					}
+				}
+				sc := scorer.ScoreCells(ctrl, cases)
+				if sc == obsScore || c.Objective.Better(sc, obsScore) {
+					hits++
+				}
+			}
+			counts[w] = hits
+		}()
+	}
+	wg.Wait()
+	if err := c.Context.Err(); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, h := range counts {
+		total += h
+	}
+	return &Result{
+		Observed:       obsScore,
+		AsGoodOrBetter: total,
+		Permutations:   c.Permutations,
+		PValue:         float64(total+1) / float64(c.Permutations+1),
+	}, nil
+}
+
 func run(mx *dataset.Matrix, combos []uint8, observed *contingency.Table, cfg Config) (*Result, error) {
 	c, err := cfg.withDefaults(mx.Samples())
 	if err != nil {
@@ -130,6 +253,9 @@ func run(mx *dataset.Matrix, combos []uint8, observed *contingency.Table, cfg Co
 			local := append([]uint8(nil), phen...)
 			hits := 0
 			for p := w; p < c.Permutations; p += c.Workers {
+				if c.Context.Err() != nil {
+					return
+				}
 				// Per-permutation RNG and a fresh copy of the labels:
 				// deterministic under any worker count.
 				copy(local, phen)
@@ -151,6 +277,9 @@ func run(mx *dataset.Matrix, combos []uint8, observed *contingency.Table, cfg Co
 		}()
 	}
 	wg.Wait()
+	if err := c.Context.Err(); err != nil {
+		return nil, err
+	}
 
 	total := 0
 	for _, h := range counts {

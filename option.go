@@ -1,0 +1,195 @@
+package trigene
+
+import (
+	"fmt"
+
+	"trigene/internal/contingency"
+	"trigene/internal/score"
+)
+
+// Option configures a Session.Search or Session.PermutationTest call.
+// Options are applied in order; a later option overrides an earlier
+// one. Invalid combinations are reported by the call itself, so every
+// configuration error surfaces through one code path.
+type Option func(*searchConfig) error
+
+// searchConfig is the resolved configuration of one call.
+type searchConfig struct {
+	order       int
+	orderSet    bool
+	topK        int
+	objName     string
+	backend     Backend
+	approach    Approach
+	approachSet bool
+	workers     int
+	shard       *shardSpec
+	progress    func(done, total int64)
+
+	// Permutation-test knobs (ignored by Search).
+	permutations int
+	seed         int64
+}
+
+// shardSpec selects shard index of count equal slices of the
+// combination-rank space.
+type shardSpec struct {
+	index, count int
+}
+
+func newSearchConfig(opts []Option) (*searchConfig, error) {
+	cfg := &searchConfig{order: 3, topK: 1}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("trigene: nil Option")
+		}
+		if err := opt(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.backend == nil {
+		cfg.backend = CPU()
+	}
+	return cfg, nil
+}
+
+// objective builds the configured objective for a dataset of n samples
+// (default: the paper's Bayesian K2). The returned name is the one
+// recorded in Reports.
+func (c *searchConfig) objective(n int) (score.Objective, string, error) {
+	name := c.objName
+	if name == "" {
+		name = "k2"
+	}
+	obj, err := score.New(name, n)
+	if err != nil {
+		return nil, "", err
+	}
+	return obj, name, nil
+}
+
+// WithOrder sets the interaction order (default 3). Orders 2 and 3 use
+// the specialized kernels; 4 and above use the generic k-way engine.
+func WithOrder(k int) Option {
+	return func(c *searchConfig) error {
+		if k < 2 || k > contingency.MaxOrder {
+			return fmt.Errorf("trigene: order %d out of [2,%d]", k, contingency.MaxOrder)
+		}
+		c.order = k
+		c.orderSet = true
+		return nil
+	}
+}
+
+// WithTopK sets how many ranked candidates the Report carries
+// (default 1).
+func WithTopK(n int) Option {
+	return func(c *searchConfig) error {
+		if n < 1 {
+			return fmt.Errorf("trigene: TopK must be positive, got %d", n)
+		}
+		c.topK = n
+		return nil
+	}
+}
+
+// WithObjective selects the ranking objective by name: "k2" (the
+// paper's Bayesian criterion, the default), "mi" (mutual information)
+// or "gini".
+func WithObjective(name string) Option {
+	return func(c *searchConfig) error {
+		if _, err := score.New(name, 1); err != nil {
+			return err
+		}
+		c.objName = name
+		return nil
+	}
+}
+
+// WithBackend selects the execution engine (default CPU()).
+func WithBackend(b Backend) Option {
+	return func(c *searchConfig) error {
+		if b == nil {
+			return fmt.Errorf("trigene: nil Backend")
+		}
+		c.backend = b
+		return nil
+	}
+}
+
+// WithApproach selects the paper's optimization stage V1..V4 on
+// backends with selectable pipelines: the CPU approaches
+// (naive/split/blocked/vector) or the simulated GPU kernels
+// (naive/split/transposed/tiled). The default is each backend's best
+// (V4). Use ParseApproach or ParseGPUKernel to obtain the value from a
+// string.
+func WithApproach(v Approach) Option {
+	return func(c *searchConfig) error {
+		if v < V1Naive || v > V4Vector {
+			return fmt.Errorf("trigene: invalid approach %d", int(v))
+		}
+		c.approach = v
+		c.approachSet = true
+		return nil
+	}
+}
+
+// WithShard restricts the search to shard index of count near-equal
+// contiguous slices of the combination-rank space — the primitive that
+// distributed deployments partition on. Running every shard and
+// merging the Reports (MergeReports) reproduces the unsharded search
+// bit-exactly. Backends that cannot shard fail loudly.
+func WithShard(index, count int) Option {
+	return func(c *searchConfig) error {
+		if count < 1 || index < 0 || index >= count {
+			return fmt.Errorf("trigene: invalid shard %d of %d", index, count)
+		}
+		c.shard = &shardSpec{index: index, count: count}
+		return nil
+	}
+}
+
+// WithProgress installs a progress callback invoked with the
+// cumulative number of evaluated combinations and the total. It must
+// be safe for concurrent use and return quickly. Progress is reported
+// by the CPU backend's order-3 approaches; other paths complete
+// without intermediate callbacks.
+func WithProgress(fn func(done, total int64)) Option {
+	return func(c *searchConfig) error {
+		c.progress = fn
+		return nil
+	}
+}
+
+// WithWorkers sets the host parallelism (default: all cores). On the
+// baseline backend this is the number of static "MPI ranks".
+func WithWorkers(n int) Option {
+	return func(c *searchConfig) error {
+		if n < 1 {
+			return fmt.Errorf("trigene: workers must be positive, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithPermutations sets the relabeling count of a PermutationTest
+// (default 1000). Search ignores it.
+func WithPermutations(n int) Option {
+	return func(c *searchConfig) error {
+		if n < 1 {
+			return fmt.Errorf("trigene: permutations must be positive, got %d", n)
+		}
+		c.permutations = n
+		return nil
+	}
+}
+
+// WithSeed fixes the RNG seed of a PermutationTest, making it
+// reproducible. Search ignores it.
+func WithSeed(seed int64) Option {
+	return func(c *searchConfig) error {
+		c.seed = seed
+		return nil
+	}
+}

@@ -1,0 +1,206 @@
+package trigene
+
+import (
+	"fmt"
+	"time"
+
+	"trigene/internal/score"
+)
+
+// SearchCandidate is a scored SNP combination of any interaction
+// order, the order-generic currency of the Report type.
+type SearchCandidate struct {
+	// SNPs holds the strictly increasing SNP indices of the
+	// combination (length = Report.Order).
+	SNPs []int
+	// Score is the candidate's value under the Report's objective.
+	Score float64
+}
+
+// ShardInfo records which slice of the combination space a sharded
+// Report covers.
+type ShardInfo struct {
+	// Index and Count identify the shard: slice Index of Count.
+	Index, Count int
+	// Lo and Hi are the covered colexicographic combination ranks
+	// [Lo, Hi).
+	Lo, Hi int64
+}
+
+// HeteroInfo carries the heterogeneous backend's split accounting.
+type HeteroInfo struct {
+	// CPUFraction is the fraction of combination ranks evaluated on
+	// the CPU engine; the rest ran on the simulated GPU.
+	CPUFraction float64
+	// ModeledCombinedGElems is the device pair's projected joint
+	// throughput in G elements/s (the paper's Section V-D estimate).
+	ModeledCombinedGElems float64
+}
+
+// Report is the unified outcome of Session.Search: every backend and
+// every interaction order produces this one shape.
+type Report struct {
+	// Backend names the engine that ran the search ("cpu",
+	// "gpusim:GN1", "baseline", "hetero").
+	Backend string
+	// Approach is the pipeline variant within the backend ("V1".."V4",
+	// "mpi3snp", "V2+V4").
+	Approach string
+	// Objective is the ranking criterion ("k2", "mi" or "gini").
+	Objective string
+	// Order is the interaction order searched.
+	Order int
+
+	// Best is the winning candidate; ties are broken by lexicographic
+	// SNP order, so results are deterministic on every backend.
+	Best SearchCandidate
+	// TopK holds up to WithTopK candidates in best-first order.
+	TopK []SearchCandidate
+
+	// Combinations is the number of SNP combinations evaluated (the
+	// shard's share when sharded).
+	Combinations int64
+	// Elements is the paper's work metric: Combinations x samples.
+	Elements float64
+	// Duration is the host wall time of the search phase.
+	Duration time.Duration
+	// ElementsPerSec is the backend's characteristic throughput:
+	// host-measured for cpu/baseline/hetero, modeled for gpusim.
+	ElementsPerSec float64
+
+	// Shard is set when the search covered one shard of the space.
+	Shard *ShardInfo
+	// GPU carries the simulator's modeled execution statistics when a
+	// simulated device participated (gpusim and hetero backends).
+	GPU *GPUStats
+	// Hetero is set by the heterogeneous backend.
+	Hetero *HeteroInfo
+
+	// obj preserves the objective's ordering for MergeReports.
+	obj score.Objective
+	// topK is the requested candidate cap.
+	topK int
+}
+
+// betterCandidate is the deterministic candidate order shared by every
+// backend: objective first, then lexicographic SNPs.
+func betterCandidate(obj score.Objective, a, b SearchCandidate) bool {
+	if a.Score != b.Score {
+		return obj.Better(a.Score, b.Score)
+	}
+	for i := range a.SNPs {
+		if i >= len(b.SNPs) {
+			return false
+		}
+		if a.SNPs[i] != b.SNPs[i] {
+			return a.SNPs[i] < b.SNPs[i]
+		}
+	}
+	return false
+}
+
+// insertCandidate keeps list sorted best-first and capped at k.
+func insertCandidate(list []SearchCandidate, c SearchCandidate, k int, obj score.Objective) []SearchCandidate {
+	if len(list) == k && !betterCandidate(obj, c, list[len(list)-1]) {
+		return list
+	}
+	pos := len(list)
+	for pos > 0 && betterCandidate(obj, c, list[pos-1]) {
+		pos--
+	}
+	if len(list) < k {
+		list = append(list, SearchCandidate{})
+	} else if pos == len(list) {
+		return list
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}
+
+// MergeReports combines the Reports of a sharded search (one per
+// shard, any backend mix) into one Report equivalent to the unsharded
+// run: top-K candidates are re-ranked under the shared objective and
+// the work statistics are summed. All inputs must come from
+// Session.Search calls with the same order and objective. Reports
+// that crossed a serialization boundary (a coordinator collecting
+// JSON from shard machines) merge too: the candidate ordering is
+// rebuilt from the Objective name.
+func MergeReports(reports ...*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("trigene: MergeReports needs at least one report")
+	}
+	base := reports[0]
+	if base == nil {
+		return nil, fmt.Errorf("trigene: MergeReports got a nil report")
+	}
+	obj := base.obj
+	if obj == nil {
+		// Deserialized report: only the objective's ordering is
+		// needed, so any table size works.
+		o, err := score.New(base.Objective, 1)
+		if err != nil {
+			return nil, fmt.Errorf("trigene: MergeReports: report carries no usable objective: %w", err)
+		}
+		obj = o
+	}
+	k := 0
+	for _, r := range reports {
+		if r == nil {
+			return nil, fmt.Errorf("trigene: MergeReports got a nil report")
+		}
+		if r.Order != base.Order || r.Objective != base.Objective {
+			return nil, fmt.Errorf("trigene: cannot merge order-%d %s report with order-%d %s",
+				r.Order, r.Objective, base.Order, base.Objective)
+		}
+		if r.topK > k {
+			k = r.topK
+		}
+	}
+	if k == 0 {
+		// Serialization drops the requested cap; the deepest candidate
+		// list present is the best available stand-in.
+		for _, r := range reports {
+			if len(r.TopK) > k {
+				k = len(r.TopK)
+			}
+		}
+	}
+	out := &Report{
+		Backend:   base.Backend,
+		Approach:  base.Approach,
+		Objective: base.Objective,
+		Order:     base.Order,
+		obj:       obj,
+		topK:      k,
+	}
+	for _, r := range reports {
+		for _, c := range r.TopK {
+			out.TopK = insertCandidate(out.TopK, c, k, obj)
+		}
+		out.Combinations += r.Combinations
+		out.Elements += r.Elements
+		out.Duration += r.Duration
+	}
+	if len(out.TopK) > 0 {
+		out.Best = out.TopK[0]
+	}
+	// Keep the throughput semantics of the inputs: gpusim shards carry
+	// modeled device time (host wall time would be the simulator's own
+	// cost), everything else is host-measured.
+	modeled, allModeled := 0.0, true
+	for _, r := range reports {
+		if r.GPU == nil {
+			allModeled = false
+			break
+		}
+		modeled += r.GPU.ModelSeconds
+	}
+	switch {
+	case allModeled && modeled > 0:
+		out.ElementsPerSec = out.Elements / modeled
+	case !allModeled && out.Duration > 0:
+		out.ElementsPerSec = out.Elements / out.Duration.Seconds()
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package trigene
+
+import (
+	"context"
+	"fmt"
+
+	"trigene/internal/engine"
+	"trigene/internal/permtest"
+)
+
+// Session is the unit of work a server holds per loaded dataset: it
+// validates the dataset once, precomputes both binarized forms, and is
+// safe for many concurrent Search and PermutationTest calls (each call
+// is itself internally parallel).
+type Session struct {
+	searcher *engine.Searcher
+}
+
+// NewSession validates the dataset and precomputes its binarized
+// forms.
+func NewSession(mx *Matrix) (*Session, error) {
+	s, err := engine.New(mx)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{searcher: s}, nil
+}
+
+// Matrix returns the dataset the session was built from.
+func (s *Session) Matrix() *Matrix { return s.searcher.Matrix() }
+
+// SNPs returns the dataset's SNP count M.
+func (s *Session) SNPs() int { return s.searcher.Matrix().SNPs() }
+
+// Samples returns the dataset's sample count N.
+func (s *Session) Samples() int { return s.searcher.Matrix().Samples() }
+
+// Search runs one exhaustive interaction search. The zero
+// configuration searches order 3 on the CPU backend with approach V4,
+// the Bayesian K2 objective and all cores, returning the single best
+// candidate; functional options select the order, backend, approach,
+// objective, top-K depth, shard and parallelism. Cancellation of ctx
+// is observed between work chunks on every backend and returns the
+// context error.
+func (s *Session) Search(ctx context.Context, opts ...Option) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := newSearchConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.backend.search(ctx, s, cfg)
+}
+
+// PermutationTest estimates the p-value of a candidate combination
+// (any order in [2, 7], strictly increasing SNP indices — typically a
+// Report's Best.SNPs) by phenotype permutation. Relevant options:
+// WithPermutations, WithSeed, WithObjective (which must match the scan
+// that produced the candidate) and WithWorkers.
+func (s *Session) PermutationTest(ctx context.Context, snps []int, opts ...Option) (*PermResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := newSearchConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.shard != nil {
+		return nil, fmt.Errorf("trigene: permutation tests cannot shard")
+	}
+	if _, isCPU := cfg.backend.(cpuBackend); !isCPU {
+		return nil, fmt.Errorf("trigene: permutation tests run on the host; WithBackend does not apply")
+	}
+	if cfg.approachSet {
+		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithApproach does not apply")
+	}
+	if cfg.topK != 1 {
+		return nil, fmt.Errorf("trigene: permutation tests score one candidate; WithTopK does not apply")
+	}
+	if cfg.orderSet && cfg.order != len(snps) {
+		return nil, fmt.Errorf("trigene: order %d conflicts with the %d-SNP candidate (the order is inferred from snps)", cfg.order, len(snps))
+	}
+	obj, _, err := cfg.objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	return permtest.K(s.Matrix(), snps, permtest.Config{
+		Permutations: cfg.permutations,
+		Seed:         cfg.seed,
+		Workers:      cfg.workers,
+		Objective:    obj,
+		Context:      ctx,
+	})
+}

@@ -1,0 +1,504 @@
+package trigene_test
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"trigene"
+)
+
+// plantedSession builds a session over a dataset with a strong 3-way
+// signal at (3, 9, 15).
+func plantedSession(t *testing.T) *trigene.Session {
+	t.Helper()
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 24, Samples: 900, Seed: 11, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{3, 9, 15},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantSNPs(t *testing.T, got []int, want ...int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("candidate %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSessionBackendsAgree drives all four backends through the one
+// Search entry point and checks they find the same planted triple.
+func TestSessionBackendsAgree(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+
+	cpu, err := s.Search(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, cpu.Best.SNPs, 3, 9, 15)
+	if cpu.Backend != "cpu" || cpu.Approach != "V4" || cpu.Objective != "k2" || cpu.Order != 3 {
+		t.Errorf("cpu report metadata: %+v", cpu)
+	}
+
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := s.Search(ctx, trigene.WithBackend(trigene.GPUSim(gn1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, gpu.Best.SNPs, 3, 9, 15)
+	if gpu.Best.Score != cpu.Best.Score {
+		t.Errorf("gpu score %.9f != cpu %.9f", gpu.Best.Score, cpu.Best.Score)
+	}
+	if gpu.GPU == nil || gpu.GPU.Transactions == 0 {
+		t.Error("gpu report missing modeled stats")
+	}
+	if gpu.Backend != "gpusim:GN1" {
+		t.Errorf("gpu backend name %q", gpu.Backend)
+	}
+
+	base, err := s.Search(ctx, trigene.WithBackend(trigene.Baseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, base.Best.SNPs, 3, 9, 15)
+	if base.Objective != "mi" || base.Approach != "mpi3snp" {
+		t.Errorf("baseline report metadata: %+v", base)
+	}
+
+	het, err := s.Search(ctx, trigene.WithBackend(trigene.Hetero()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, het.Best.SNPs, 3, 9, 15)
+	if het.Best.Score != cpu.Best.Score {
+		t.Errorf("hetero score %.9f != cpu %.9f", het.Best.Score, cpu.Best.Score)
+	}
+	if het.Hetero == nil || het.Hetero.CPUFraction <= 0 || het.Hetero.CPUFraction >= 1 {
+		t.Errorf("hetero split info: %+v", het.Hetero)
+	}
+}
+
+// TestSessionOrdersShareReportType checks orders 2, 3 and k flow
+// through the same entry point and Report shape.
+func TestSessionOrdersShareReportType(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	for _, order := range []int{2, 3, 4} {
+		rep, err := s.Search(ctx, trigene.WithOrder(order), trigene.WithTopK(3))
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if rep.Order != order || len(rep.Best.SNPs) != order || len(rep.TopK) != 3 {
+			t.Errorf("order %d report: order=%d best=%v topk=%d",
+				order, rep.Order, rep.Best.SNPs, len(rep.TopK))
+		}
+		if rep.Combinations <= 0 || rep.ElementsPerSec <= 0 {
+			t.Errorf("order %d stats missing: %+v", order, rep)
+		}
+	}
+}
+
+// TestSessionShardBitExact runs every shard of a CPU search and checks
+// the merged top-K is bit-exact against the unsharded run — the
+// distributed-partitioning acceptance criterion.
+func TestSessionShardBitExact(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+
+	full, err := s.Search(ctx, trigene.WithTopK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 5
+	var parts []*trigene.Report
+	var combos int64
+	for i := 0; i < shards; i++ {
+		rep, err := s.Search(ctx, trigene.WithTopK(10), trigene.WithShard(i, shards))
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if rep.Shard == nil || rep.Shard.Index != i || rep.Shard.Count != shards {
+			t.Fatalf("shard %d info: %+v", i, rep.Shard)
+		}
+		if rep.Approach != "V2" {
+			t.Errorf("shard %d approach %q, want rank-partitionable V2", i, rep.Approach)
+		}
+		combos += rep.Combinations
+		parts = append(parts, rep)
+	}
+	if combos != full.Combinations {
+		t.Errorf("shards cover %d combinations, full search %d", combos, full.Combinations)
+	}
+
+	merged, err := trigene.MergeReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.TopK) != len(full.TopK) {
+		t.Fatalf("merged top-K %d entries, full %d", len(merged.TopK), len(full.TopK))
+	}
+	for i := range full.TopK {
+		wantSNPs(t, merged.TopK[i].SNPs, full.TopK[i].SNPs...)
+		if merged.TopK[i].Score != full.TopK[i].Score {
+			t.Errorf("top-%d score %.12f != %.12f", i+1, merged.TopK[i].Score, full.TopK[i].Score)
+		}
+	}
+}
+
+// TestSessionShardGPU checks the shard primitive is backend-agnostic:
+// sharded simulated-GPU runs merge to the full-space best.
+func TestSessionShardGPU(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	gi2, err := trigene.GPUByID("GI2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Search(ctx, trigene.WithBackend(trigene.GPUSim(gi2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*trigene.Report
+	for i := 0; i < 3; i++ {
+		rep, err := s.Search(ctx, trigene.WithBackend(trigene.GPUSim(gi2)), trigene.WithShard(i, 3))
+		if err != nil {
+			t.Fatalf("gpu shard %d: %v", i, err)
+		}
+		parts = append(parts, rep)
+	}
+	merged, err := trigene.MergeReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, merged.Best.SNPs, full.Best.SNPs...)
+	if merged.Best.Score != full.Best.Score {
+		t.Errorf("merged gpu best %.12f != full %.12f", merged.Best.Score, full.Best.Score)
+	}
+}
+
+// TestSessionShardErrors checks backends that cannot shard fail loudly.
+func TestSessionShardErrors(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []trigene.Option
+	}{
+		{"baseline", []trigene.Option{trigene.WithBackend(trigene.Baseline()), trigene.WithShard(0, 2)}},
+		{"hetero", []trigene.Option{trigene.WithBackend(trigene.Hetero()), trigene.WithShard(0, 2)}},
+		{"cpu order 2", []trigene.Option{trigene.WithOrder(2), trigene.WithShard(0, 2)}},
+		{"cpu order 4", []trigene.Option{trigene.WithOrder(4), trigene.WithShard(0, 2)}},
+		{"cpu V4 pinned", []trigene.Option{trigene.WithApproach(trigene.V4Vector), trigene.WithShard(0, 2)}},
+		{"cpu order 2 approach", []trigene.Option{trigene.WithOrder(2), trigene.WithApproach(trigene.V1Naive)}},
+		{"cpu order 4 approach", []trigene.Option{trigene.WithOrder(4), trigene.WithApproach(trigene.V1Naive)}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Search(ctx, tc.opts...); err == nil {
+			t.Errorf("%s: sharded search accepted, want explicit error", tc.name)
+		}
+	}
+}
+
+// TestSessionOptionErrors covers the loud-failure surface of the
+// unified API.
+func TestSessionOptionErrors(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []trigene.Option
+	}{
+		{"order too low", []trigene.Option{trigene.WithOrder(1)}},
+		{"order too high", []trigene.Option{trigene.WithOrder(8)}},
+		{"topk zero", []trigene.Option{trigene.WithTopK(0)}},
+		{"bad objective", []trigene.Option{trigene.WithObjective("bogus")}},
+		{"nil backend", []trigene.Option{trigene.WithBackend(nil)}},
+		{"bad shard", []trigene.Option{trigene.WithShard(2, 2)}},
+		{"bad approach", []trigene.Option{trigene.WithApproach(trigene.Approach(9))}},
+		{"bad workers", []trigene.Option{trigene.WithWorkers(0)}},
+		{"gpu topk", []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1)), trigene.WithTopK(2)}},
+		{"gpu order", []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1)), trigene.WithOrder(4)}},
+		{"baseline objective", []trigene.Option{trigene.WithBackend(trigene.Baseline()), trigene.WithObjective("k2")}},
+		{"baseline approach", []trigene.Option{trigene.WithBackend(trigene.Baseline()), trigene.WithApproach(trigene.V2Split)}},
+		{"hetero topk", []trigene.Option{trigene.WithBackend(trigene.Hetero()), trigene.WithTopK(2)}},
+		{"hetero order", []trigene.Option{trigene.WithBackend(trigene.Hetero()), trigene.WithOrder(2)}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Search(ctx, tc.opts...); err == nil {
+			t.Errorf("%s: accepted, want error", tc.name)
+		}
+	}
+}
+
+// TestSessionContextCancel checks every backend observes cancellation.
+func TestSessionContextCancel(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 64, Samples: 512, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []trigene.Backend{trigene.CPU(), trigene.GPUSim(gn1), trigene.Baseline(), trigene.Hetero()}
+	for _, b := range backends {
+		if _, err := s.Search(ctx, trigene.WithBackend(b)); err == nil {
+			t.Errorf("%s: cancelled search returned no error", b.Name())
+		}
+	}
+	if _, err := s.PermutationTest(ctx, []int{0, 1, 2}); err == nil {
+		t.Error("cancelled permutation test returned no error")
+	}
+}
+
+// TestSessionProgress checks the progress callback fires and reaches
+// the total on a sharded CPU run.
+func TestSessionProgress(t *testing.T) {
+	s := plantedSession(t)
+	var calls, last atomic.Int64
+	rep, err := s.Search(context.Background(),
+		trigene.WithShard(0, 2),
+		trigene.WithProgress(func(done, total int64) {
+			calls.Add(1)
+			// Callbacks race across workers; keep the furthest point.
+			for {
+				cur := last.Load()
+				if done <= cur || last.CompareAndSwap(cur, done) {
+					break
+				}
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if last.Load() != rep.Combinations {
+		t.Errorf("final progress %d, want %d", last.Load(), rep.Combinations)
+	}
+}
+
+// TestSessionPermutationTest checks the unified significance entry
+// point across orders and its agreement with the scan objective.
+func TestSessionPermutationTest(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	rep, err := s.Search(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := s.PermutationTest(ctx, rep.Best.SNPs,
+		trigene.WithPermutations(100), trigene.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig.Observed != rep.Best.Score {
+		t.Errorf("observed %.6f != scan score %.6f", sig.Observed, rep.Best.Score)
+	}
+	if sig.PValue > 0.02 {
+		t.Errorf("planted triple p = %.4f, want tiny", sig.PValue)
+	}
+
+	// Order 4 flows through the generic path.
+	if _, err := s.PermutationTest(ctx, []int{1, 5, 9, 13},
+		trigene.WithPermutations(20), trigene.WithSeed(2)); err != nil {
+		t.Errorf("order-4 permutation test: %v", err)
+	}
+	// Loud failures.
+	if _, err := s.PermutationTest(ctx, []int{5, 5, 9}, trigene.WithPermutations(10)); err == nil {
+		t.Error("non-increasing combination accepted")
+	}
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithShard(0, 2)); err == nil {
+		t.Error("sharded permutation test accepted")
+	}
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithBackend(trigene.Baseline())); err == nil {
+		t.Error("non-cpu permutation test accepted")
+	}
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithTopK(5)); err == nil {
+		t.Error("WithTopK on a permutation test accepted")
+	}
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithApproach(trigene.V2Split)); err == nil {
+		t.Error("WithApproach on a permutation test accepted")
+	}
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithOrder(2)); err == nil {
+		t.Error("conflicting WithOrder on a permutation test accepted")
+	}
+	// A matching explicit order is fine.
+	if _, err := s.PermutationTest(ctx, rep.Best.SNPs, trigene.WithOrder(3),
+		trigene.WithPermutations(10)); err != nil {
+		t.Errorf("matching WithOrder rejected: %v", err)
+	}
+}
+
+// TestSessionEmptyShard checks shards beyond the combination space
+// report no candidates instead of a phantom (0,0,0) — and, on the GPU
+// backend, do not fall back to searching the full space.
+func TestSessionEmptyShard(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 6, Samples: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(6,3) = 20, so shard 20 of 21 is empty.
+	for _, b := range []trigene.Backend{trigene.CPU(), trigene.GPUSim(gn1)} {
+		rep, err := s.Search(ctx, trigene.WithBackend(b), trigene.WithShard(20, 21))
+		if err != nil {
+			t.Fatalf("%s empty shard: %v", b.Name(), err)
+		}
+		if len(rep.TopK) != 0 || rep.Best.SNPs != nil || rep.Combinations != 0 {
+			t.Errorf("%s empty shard not empty: topk=%d best=%v combos=%d",
+				b.Name(), len(rep.TopK), rep.Best.SNPs, rep.Combinations)
+		}
+		if rep.Shard == nil || rep.Shard.Lo != rep.Shard.Hi {
+			t.Errorf("%s empty shard info: %+v", b.Name(), rep.Shard)
+		}
+	}
+}
+
+// TestMergeReportsSerialized checks the distributed workflow: shard
+// Reports that crossed a JSON boundary still merge to the bit-exact
+// full-space top-K.
+func TestMergeReportsSerialized(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	full, err := s.Search(ctx, trigene.WithTopK(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []*trigene.Report
+	for i := 0; i < 3; i++ {
+		rep, err := s.Search(ctx, trigene.WithTopK(6), trigene.WithShard(i, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back trigene.Report
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		wire = append(wire, &back)
+	}
+	merged, err := trigene.MergeReports(wire...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.TopK) != len(full.TopK) {
+		t.Fatalf("merged %d candidates, want %d", len(merged.TopK), len(full.TopK))
+	}
+	for i := range full.TopK {
+		wantSNPs(t, merged.TopK[i].SNPs, full.TopK[i].SNPs...)
+		if merged.TopK[i].Score != full.TopK[i].Score {
+			t.Errorf("top-%d score %.12f != %.12f", i+1, merged.TopK[i].Score, full.TopK[i].Score)
+		}
+	}
+}
+
+// TestMergeReportsErrors covers the merge helper's validation.
+func TestMergeReportsErrors(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	if _, err := trigene.MergeReports(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := trigene.MergeReports(&trigene.Report{}); err == nil {
+		t.Error("hand-built report accepted")
+	}
+	r2, err := s.Search(ctx, trigene.WithOrder(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s.Search(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trigene.MergeReports(r2, r3); err == nil {
+		t.Error("cross-order merge accepted")
+	}
+}
+
+// TestParseRoundTrips checks the approach and kernel parsers accept
+// descriptive, case-insensitive names and round-trip their String()
+// forms.
+func TestParseRoundTrips(t *testing.T) {
+	for name, want := range map[string]trigene.Approach{
+		"naive": trigene.V1Naive, "SPLIT": trigene.V2Split,
+		"Blocked": trigene.V3Blocked, "vector": trigene.V4Vector,
+		"v1": trigene.V1Naive, " V4 ": trigene.V4Vector, "2": trigene.V2Split,
+	} {
+		got, err := trigene.ParseApproach(name)
+		if err != nil || got != want {
+			t.Errorf("ParseApproach(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for a := trigene.V1Naive; a <= trigene.V4Vector; a++ {
+		got, err := trigene.ParseApproach(a.String())
+		if err != nil || got != a {
+			t.Errorf("approach round trip %v: got %v, %v", a, got, err)
+		}
+	}
+	for name, want := range map[string]trigene.GPUKernel{
+		"naive": trigene.GPUNaive, "Split": trigene.GPUSplit,
+		"TRANSPOSED": trigene.GPUTransposed, "tiled": trigene.GPUTiled,
+		"v3": trigene.GPUTransposed, "4": trigene.GPUTiled,
+	} {
+		got, err := trigene.ParseGPUKernel(name)
+		if err != nil || got != want {
+			t.Errorf("ParseGPUKernel(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for k := trigene.GPUNaive; k <= trigene.GPUTiled; k++ {
+		got, err := trigene.ParseGPUKernel(k.String())
+		if err != nil || got != k {
+			t.Errorf("kernel round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := trigene.ParseApproach("blocky"); err == nil {
+		t.Error("bad approach accepted")
+	}
+	if _, err := trigene.ParseGPUKernel("blocked"); err == nil {
+		t.Error("GPU kernel parser accepted the CPU-only name \"blocked\"")
+	}
+}

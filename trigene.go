@@ -17,13 +17,25 @@
 //   - the Cache-Aware Roofline Model and analytical device performance
 //     models that regenerate the paper's figures and tables.
 //
-// Quick start:
+// The public search surface is the Session/Backend API: a Session
+// validates a dataset once and serves concurrent searches, a Backend
+// makes every execution engine (CPU, GPUSim, Baseline, Hetero) a
+// pluggable component, and the single context-first
+// Session.Search(ctx, ...Option) call returns one order-generic
+// Report on every path:
 //
 //	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 1000, Samples: 4000, Seed: 1})
 //	if err != nil { ... }
-//	res, err := trigene.Search(mx, trigene.Options{})
+//	sess, err := trigene.NewSession(mx)
 //	if err != nil { ... }
-//	fmt.Println(res.Best.Triple, res.Best.Score)
+//	rep, err := sess.Search(ctx, trigene.WithTopK(5))
+//	if err != nil { ... }
+//	fmt.Println(rep.Best.SNPs, rep.Best.Score)
+//
+// The pre-Session entry points (Search, SearchPairs, SearchK,
+// SimulateGPU, BaselineSearch, SearchHeterogeneous, PermutationTest*)
+// remain as thin deprecated shims for one release; see README.md for
+// the migration table.
 package trigene
 
 import (
@@ -91,15 +103,25 @@ const (
 	V4Vector  = engine.V4Vector
 )
 
-// ParseApproach accepts "V1".."V4" or "1".."4".
+// ParseApproach accepts "V1".."V4", "1".."4" or the descriptive names
+// "naive", "split", "blocked" and "vector", case-insensitively.
 func ParseApproach(s string) (Approach, error) { return engine.ParseApproach(s) }
+
+// ParseGPUKernel accepts "V1".."V4", "1".."4" or the descriptive names
+// "naive", "split", "transposed" and "tiled", case-insensitively.
+func ParseGPUKernel(s string) (GPUKernel, error) { return gpusim.ParseKernel(s) }
 
 // Options configures a CPU search; the zero value uses the best
 // approach (V4) on all cores with the K2 objective.
+//
+// Deprecated: Session.Search takes functional options (WithApproach,
+// WithTopK, WithObjective, WithWorkers, WithShard, WithProgress).
 type Options = engine.Options
 
 // Result is the outcome of a search: the best candidate, the top-K
 // list and throughput statistics.
+//
+// Deprecated: Session.Search returns the order-generic Report.
 type Result = engine.Result
 
 // Candidate is a scored SNP triple.
@@ -110,13 +132,21 @@ type Triple = engine.Triple
 
 // Searcher runs repeated searches over one dataset, reusing the
 // binarized forms.
+//
+// Deprecated: use Session, which adds backend selection, sharding and
+// context-first cancellation.
 type Searcher = engine.Searcher
 
 // NewSearcher validates the dataset and precomputes its binarized
 // forms.
+//
+// Deprecated: use NewSession.
 func NewSearcher(mx *Matrix) (*Searcher, error) { return engine.New(mx) }
 
 // Search runs one exhaustive 3-way search.
+//
+// Deprecated: use Session.Search, e.g.
+// NewSession(mx) then sess.Search(ctx, WithTopK(n)).
 func Search(mx *Matrix, opts Options) (*Result, error) { return engine.Search(mx, opts) }
 
 // Objective ranks contingency tables; see NewObjective.
@@ -176,6 +206,8 @@ type GPURunner = gpusim.Runner
 func NewGPURunner(dev GPUDevice) *GPURunner { return gpusim.New(dev) }
 
 // SimulateGPU runs an exhaustive search on a simulated GPU device.
+//
+// Deprecated: use Session.Search with WithBackend(GPUSim(dev)).
 func SimulateGPU(dev GPUDevice, mx *Matrix, opts GPUOptions) (*GPUResult, error) {
 	return gpusim.New(dev).Search(mx, opts)
 }
@@ -189,6 +221,8 @@ type BaselineResult = mpi3snp.Result
 // BaselineSearch runs the MPI3SNP-style reference implementation
 // (three stored planes, no tiling, static scheduling, mutual
 // information), the Table III comparator.
+//
+// Deprecated: use Session.Search with WithBackend(Baseline()).
 func BaselineSearch(mx *Matrix, opts BaselineOptions) (*BaselineResult, error) {
 	return mpi3snp.Search(mx, opts)
 }
@@ -207,6 +241,8 @@ type PairResult = engine.PairResult
 
 // SearchPairs runs an exhaustive second-order (2-way) search — the
 // interaction order targeted by GBOOST-class tools.
+//
+// Deprecated: use Session.Search with WithOrder(2).
 func SearchPairs(mx *Matrix, opts Options) (*PairResult, error) {
 	return engine.SearchPairs(mx, opts)
 }
@@ -219,11 +255,15 @@ type PermResult = permtest.Result
 
 // PermutationTest estimates the p-value of a 3-way candidate by
 // phenotype permutation.
+//
+// Deprecated: use Session.PermutationTest with the candidate's SNPs.
 func PermutationTest(mx *Matrix, t Triple, cfg PermConfig) (*PermResult, error) {
 	return permtest.Triple(mx, t.I, t.J, t.K, cfg)
 }
 
 // PermutationTestPair is the 2-way analogue of PermutationTest.
+//
+// Deprecated: use Session.PermutationTest with the candidate's SNPs.
 func PermutationTestPair(mx *Matrix, p Pair, cfg PermConfig) (*PermResult, error) {
 	return permtest.Pair(mx, p.I, p.J, cfg)
 }
@@ -237,6 +277,9 @@ type HeteroResult = hetero.Result
 // SearchHeterogeneous partitions the combination space between the CPU
 // engine and the simulated GPU (Section V-D's collaborative mode) and
 // merges the results bit-exactly.
+//
+// Deprecated: use Session.Search with WithBackend(Hetero()) or
+// WithBackend(HeteroOn(cpu, gpu, fraction)).
 func SearchHeterogeneous(mx *Matrix, opts HeteroOptions) (*HeteroResult, error) {
 	return hetero.Search(mx, opts)
 }
@@ -250,6 +293,8 @@ type KResult = engine.KResult
 // SearchK runs an exhaustive search of arbitrary interaction order
 // (2..7). Orders 2 and 3 have specialized fast paths in SearchPairs and
 // Search; SearchK is the generalization for higher orders.
+//
+// Deprecated: use Session.Search with WithOrder(k).
 func SearchK(mx *Matrix, order int, opts Options) (*KResult, error) {
 	s, err := engine.New(mx)
 	if err != nil {
