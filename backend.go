@@ -10,6 +10,7 @@ import (
 	"trigene/internal/gpusim"
 	"trigene/internal/hetero"
 	"trigene/internal/mpi3snp"
+	"trigene/internal/sched"
 )
 
 // Backend is a pluggable execution engine behind Session.Search. The
@@ -28,21 +29,28 @@ type Backend interface {
 }
 
 // shardRange maps shard index of count onto the combination-rank space
-// [0, total): contiguous slices whose sizes differ by at most one.
-func shardRange(total int64, index, count int) combin.Range {
-	n, i := int64(count), int64(index)
-	base, rem := total/n, total%n
-	lo := i*base + min(i, rem)
-	size := base
-	if i < rem {
-		size++
+// [0, total) through the scheduler's shard math: contiguous slices
+// whose sizes differ by at most one.
+func shardRange(total int64, sp *shardSpec) combin.Range {
+	sub, err := sched.NewSource(0, total, 1).Shard(sched.Shard{Index: sp.index, Count: sp.count})
+	if err != nil {
+		// Unreachable: WithShard validated the coordinates.
+		panic(err)
 	}
-	return combin.Range{Lo: lo, Hi: lo + size}
+	return sub.Bounds()
 }
 
-// shardInfo materializes the Report record for a shard.
-func shardInfo(sp *shardSpec, rg combin.Range) *ShardInfo {
-	return &ShardInfo{Index: sp.index, Count: sp.count, Lo: rg.Lo, Hi: rg.Hi}
+// shardInfo materializes the Report record for a shard from the
+// covered slice of the work space (nil space leaves Lo/Hi zero).
+func shardInfo(sp *shardSpec, space *sched.Tile, units string) *ShardInfo {
+	if sp == nil {
+		return nil
+	}
+	si := &ShardInfo{Index: sp.index, Count: sp.count, Space: units}
+	if space != nil {
+		si.Lo, si.Hi = space.Lo, space.Hi
+	}
+	return si
 }
 
 // ---------------------------------------------------------------------
@@ -51,9 +59,10 @@ func shardInfo(sp *shardSpec, rg combin.Range) *ShardInfo {
 type cpuBackend struct{}
 
 // CPU returns the host CPU backend: the paper's four approaches across
-// a dynamically scheduled worker pool. It supports every interaction
-// order, top-K ranking, and — at order 3 on the rank-partitionable
-// approaches V1/V2 — sharding.
+// a dynamically scheduled worker pool fed by the tile scheduler. It
+// supports every interaction order, top-K ranking, and sharding on
+// every order and approach (V1/V2 and orders 2/k slice the
+// combination-rank space; V3/V4 slice the block-triple space).
 func CPU() Backend { return cpuBackend{} }
 
 // Name implements Backend.
@@ -71,6 +80,9 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		Context:   ctx,
 		Progress:  cfg.progress,
 	}
+	if cfg.shard != nil {
+		eopts.Shard = &sched.Shard{Index: cfg.shard.index, Count: cfg.shard.count}
+	}
 	rep := &Report{
 		Backend:   "cpu",
 		Objective: objName,
@@ -81,9 +93,6 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 
 	switch cfg.order {
 	case 2:
-		if cfg.shard != nil {
-			return nil, fmt.Errorf("trigene: cpu backend shards order-3 searches only (order %d requested)", cfg.order)
-		}
 		if cfg.approachSet {
 			return nil, fmt.Errorf("trigene: order-%d searches use the fixed split kernel; WithApproach applies to order 3 only", cfg.order)
 		}
@@ -95,24 +104,20 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		for _, c := range res.TopK {
 			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.Pair.I, c.Pair.J}, Score: c.Score})
 		}
+		rep.Shard = shardInfo(cfg.shard, res.Space, ShardSpaceRanks)
 		fillStats(rep, res.Stats)
 
 	case 3:
 		ap := cfg.approach
-		if cfg.shard != nil {
-			// Sharding delegates to rank-range partitioning, which the
-			// flat approaches support. Unless the caller pinned an
-			// approach, use V2 (the fastest partitionable one).
-			if !cfg.approachSet {
+		if ap == 0 {
+			// Unless the caller pinned an approach, a sharded search uses
+			// V2, whose shards are exact near-equal rank slices; V4's
+			// shards slice the coarser block-triple space.
+			if cfg.shard != nil {
 				ap = V2Split
-			} else if ap != V1Naive && ap != V2Split {
-				return nil, fmt.Errorf("trigene: approach %v cannot shard; use V1 or V2 (or leave the approach unset)", ap)
+			} else {
+				ap = V4Vector
 			}
-			rg := shardRange(combin.Triples(s.SNPs()), cfg.shard.index, cfg.shard.count)
-			eopts.RankRange = &rg
-			rep.Shard = shardInfo(cfg.shard, rg)
-		} else if ap == 0 {
-			ap = V4Vector
 		}
 		eopts.Approach = ap
 		res, err := s.searcher.Run(eopts)
@@ -123,12 +128,14 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		for _, c := range res.TopK {
 			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.Triple.I, c.Triple.J, c.Triple.K}, Score: c.Score})
 		}
+		space := ShardSpaceRanks
+		if res.BlockSpace {
+			space = ShardSpaceBlocks
+		}
+		rep.Shard = shardInfo(cfg.shard, res.Space, space)
 		fillStats(rep, res.Stats)
 
 	default:
-		if cfg.shard != nil {
-			return nil, fmt.Errorf("trigene: cpu backend shards order-3 searches only (order %d requested)", cfg.order)
-		}
 		if cfg.approachSet {
 			return nil, fmt.Errorf("trigene: order-%d searches use the fixed split kernel; WithApproach applies to order 3 only", cfg.order)
 		}
@@ -140,6 +147,7 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		for _, c := range res.TopK {
 			rep.TopK = append(rep.TopK, SearchCandidate{SNPs: c.SNPs, Score: c.Score})
 		}
+		rep.Shard = shardInfo(cfg.shard, res.Space, ShardSpaceRanks)
 		fillStats(rep, res.Stats)
 	}
 	if len(rep.TopK) > 0 {
@@ -165,8 +173,8 @@ type gpuBackend struct {
 
 // GPUSim returns a backend that executes searches bit-exactly on a
 // simulated Table II device with the paper's four GPU kernels and a
-// coalescing-aware memory model. It supports order 3 only, reports the
-// single best candidate, and shards via kernel rank ranges.
+// coalescing-aware memory model. It supports order 3 only, with
+// top-K ranking and sharding via scheduler rank tiles.
 func GPUSim(dev GPUDevice) Backend { return gpuBackend{dev: dev} }
 
 // Name implements Backend.
@@ -175,9 +183,6 @@ func (b gpuBackend) Name() string { return "gpusim:" + b.dev.ID }
 func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
 	if cfg.order != 3 {
 		return nil, fmt.Errorf("trigene: %s backend supports order 3 only (order %d requested)", b.Name(), cfg.order)
-	}
-	if cfg.topK > 1 {
-		return nil, fmt.Errorf("trigene: %s backend reports the single best candidate (TopK %d requested)", b.Name(), cfg.topK)
 	}
 	obj, objName, err := cfg.objective(s.Samples())
 	if err != nil {
@@ -190,6 +195,7 @@ func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (
 	gopts := gpusim.Options{
 		Kernel:    kernel,
 		Objective: obj,
+		TopK:      cfg.topK,
 		Context:   ctx,
 	}
 	rep := &Report{
@@ -201,8 +207,8 @@ func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (
 		topK:      cfg.topK,
 	}
 	if cfg.shard != nil {
-		rg := shardRange(combin.Triples(s.SNPs()), cfg.shard.index, cfg.shard.count)
-		rep.Shard = shardInfo(cfg.shard, rg)
+		rg := shardRange(combin.Triples(s.SNPs()), cfg.shard)
+		rep.Shard = shardInfo(cfg.shard, &rg, ShardSpaceRanks)
 		if rg.Len() == 0 {
 			// An empty shard has no candidates. Returning early also
 			// avoids RankLo == RankHi == 0, which the simulator reads
@@ -216,8 +222,12 @@ func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (
 	if err != nil {
 		return nil, err
 	}
-	rep.Best = SearchCandidate{SNPs: []int{res.Best.I, res.Best.J, res.Best.K}, Score: res.Best.Score}
-	rep.TopK = []SearchCandidate{rep.Best}
+	for _, c := range res.TopK {
+		rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.I, c.J, c.K}, Score: c.Score})
+	}
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	}
 	rep.Combinations = res.Stats.Combinations
 	rep.Elements = res.Stats.Elements
 	rep.Duration = time.Since(start)
@@ -234,8 +244,9 @@ type baselineBackend struct{}
 
 // Baseline returns the MPI3SNP-style reference backend (three stored
 // planes, no tiling, static scheduling, mutual information) — the
-// Table III comparator. It supports order 3 and top-K ranking; it
-// ranks by mutual information only and cannot shard.
+// Table III comparator. It supports order 3, top-K ranking and
+// sharding (the static distribution then covers the shard's rank
+// slice); it ranks by mutual information only.
 func Baseline() Backend { return baselineBackend{} }
 
 // Name implements Backend.
@@ -244,9 +255,6 @@ func (baselineBackend) Name() string { return "baseline" }
 func (baselineBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*Report, error) {
 	if cfg.order != 3 {
 		return nil, fmt.Errorf("trigene: baseline backend supports order 3 only (order %d requested)", cfg.order)
-	}
-	if cfg.shard != nil {
-		return nil, fmt.Errorf("trigene: baseline backend cannot shard (its MPI-style distribution is internal and static)")
 	}
 	if cfg.approachSet {
 		return nil, fmt.Errorf("trigene: baseline backend has a fixed pipeline; WithApproach does not apply")
@@ -258,13 +266,10 @@ func (baselineBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 	if err != nil {
 		return nil, err
 	}
-	res, err := mpi3snp.Search(s.Matrix(), mpi3snp.Options{
+	bopts := mpi3snp.Options{
 		Ranks:   cfg.workers,
 		TopK:    cfg.topK,
 		Context: ctx,
-	})
-	if err != nil {
-		return nil, err
 	}
 	rep := &Report{
 		Backend:   "baseline",
@@ -273,6 +278,15 @@ func (baselineBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 		Order:     3,
 		obj:       obj,
 		topK:      cfg.topK,
+	}
+	if cfg.shard != nil {
+		rg := shardRange(combin.Triples(s.SNPs()), cfg.shard)
+		bopts.Range = &rg
+		rep.Shard = shardInfo(cfg.shard, &rg, ShardSpaceRanks)
+	}
+	res, err := mpi3snp.Search(s.Matrix(), bopts)
+	if err != nil {
+		return nil, err
 	}
 	for _, c := range res.TopK {
 		rep.TopK = append(rep.TopK, SearchCandidate{SNPs: []int{c.I, c.J, c.K}, Score: c.MI})
@@ -295,15 +309,18 @@ type heteroBackend struct {
 }
 
 // Hetero returns the collaborative CPU+GPU backend of the paper's
-// Section V-D with the default device pairing (CI3 + GN1) and a
-// throughput-proportional automatic split. It supports order 3 and the
-// single best candidate; it cannot shard (it partitions the space
-// internally between its two halves).
+// Section V-D with the default device pairing (CI3 + GN1): the CPU
+// engine's workers and the simulated GPU steal tiles from one shared
+// scheduler cursor, so a mis-modeled device ratio degrades into a
+// different realized split instead of idling one side. It supports
+// order 3, top-K ranking and sharding (each shard is itself
+// work-stolen across both halves).
 func Hetero() Backend { return heteroBackend{} }
 
 // HeteroOn is Hetero with an explicit device pair and CPU fraction.
-// cpuFraction 0 selects the modeled throughput-proportional split; use
-// a negative value for an all-GPU run and 1 for an all-CPU run.
+// cpuFraction 0 selects work-stealing from the shared cursor; a value
+// in (0, 1) forces a static split at that fraction; use a negative
+// value for an all-GPU run and 1 for an all-CPU run.
 func HeteroOn(cpu CPUDevice, gpu GPUDevice, cpuFraction float64) Backend {
 	return heteroBackend{opts: hetero.Options{
 		CPUDevice:   cpu,
@@ -319,12 +336,6 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 	if cfg.order != 3 {
 		return nil, fmt.Errorf("trigene: hetero backend supports order 3 only (order %d requested)", cfg.order)
 	}
-	if cfg.shard != nil {
-		return nil, fmt.Errorf("trigene: hetero backend cannot shard (it already partitions the space between CPU and GPU)")
-	}
-	if cfg.topK > 1 {
-		return nil, fmt.Errorf("trigene: hetero backend reports the single best candidate (TopK %d requested)", cfg.topK)
-	}
 	if cfg.approachSet {
 		return nil, fmt.Errorf("trigene: hetero backend runs V2 (CPU half) + V4 (GPU half); WithApproach does not apply")
 	}
@@ -333,13 +344,11 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 		return nil, err
 	}
 	hopts := b.opts
+	hopts.Searcher = s.searcher
 	hopts.Workers = cfg.workers
+	hopts.TopK = cfg.topK
 	hopts.Objective = obj
 	hopts.Context = ctx
-	res, err := hetero.Search(s.Matrix(), hopts)
-	if err != nil {
-		return nil, err
-	}
 	rep := &Report{
 		Backend:   "hetero",
 		Approach:  "V2+V4",
@@ -348,12 +357,28 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 		obj:       obj,
 		topK:      cfg.topK,
 	}
-	rep.Best = SearchCandidate{
-		SNPs:  []int{res.Best.Triple.I, res.Best.Triple.J, res.Best.Triple.K},
-		Score: res.Best.Score,
+	if cfg.shard != nil {
+		rg := shardRange(combin.Triples(s.SNPs()), cfg.shard)
+		hopts.Range = &rg
+		rep.Shard = shardInfo(cfg.shard, &rg, ShardSpaceRanks)
+		if rg.Len() == 0 {
+			return rep, nil
+		}
 	}
-	rep.TopK = []SearchCandidate{rep.Best}
-	rep.Combinations = combin.Triples(s.SNPs())
+	res, err := hetero.Search(s.Matrix(), hopts)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range res.TopK {
+		rep.TopK = append(rep.TopK, SearchCandidate{
+			SNPs:  []int{c.Triple.I, c.Triple.J, c.Triple.K},
+			Score: c.Score,
+		})
+	}
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	}
+	rep.Combinations = res.CPUStats.Combinations + res.GPUStats.Combinations
 	rep.Elements = float64(rep.Combinations) * float64(s.Samples())
 	rep.Duration = res.Duration
 	if secs := res.Duration.Seconds(); secs > 0 {

@@ -9,7 +9,9 @@
 //	benchsuite -exp overall  # Section V-D whole-device and efficiency comparison
 //	benchsuite -exp host     # measured V1-V4 + baseline run on this machine
 //	benchsuite -exp snapshot # machine-readable perf snapshot (BENCH_PR1.json)
-//	benchsuite -exp all      # everything except snapshot
+//	benchsuite -exp sched    # tile-scheduler hot-loop audit (BENCH_PR2.json);
+//	                         # exits nonzero if the claim→score loop allocates
+//	benchsuite -exp all      # everything except snapshot and sched
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -25,12 +27,14 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"trigene"
 	"trigene/internal/carm"
 	"trigene/internal/device"
 	"trigene/internal/energy"
+	"trigene/internal/engine"
 	"trigene/internal/gpusim"
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
@@ -56,25 +60,30 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
-	snapOut := fs.String("out", "BENCH_PR1.json", "output path of the -exp snapshot JSON")
+	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	out = stdout
 
 	experiments := map[string]func() error{
-		"fig2a":    fig2a,
-		"fig2b":    fig2b,
-		"fig3":     fig3,
-		"fig4":     fig4,
-		"table3":   func() error { return table3(*hostSNPs, *hostSamples) },
-		"overall":  overall,
-		"energy":   energyExp,
-		"host":     func() error { return host(*hostSNPs, *hostSamples) },
-		"snapshot": func() error { return snapshot(*snapOut) },
+		"fig2a":   fig2a,
+		"fig2b":   fig2b,
+		"fig3":    fig3,
+		"fig4":    fig4,
+		"table3":  func() error { return table3(*hostSNPs, *hostSamples) },
+		"overall": overall,
+		"energy":  energyExp,
+		"host":    func() error { return host(*hostSNPs, *hostSamples) },
+		"snapshot": func() error {
+			return snapshot(orDefault(*snapOut, "BENCH_PR1.json"))
+		},
+		"sched": func() error {
+			return schedExp(orDefault(*snapOut, "BENCH_PR2.json"))
+		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
 	if *exp == "all" {
@@ -419,6 +428,120 @@ func snapshot(outPath string) error {
 		t.AddRowf(p.Backend, p.Approach, p.CombosPerSec, p.GElemsPerSec)
 	}
 	return render(t)
+}
+
+// orDefault returns s, or def when s is empty.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// schedHotLoop is one measured hot-loop configuration of the sched
+// audit.
+type schedHotLoop struct {
+	Approach     string  `json:"approach"`
+	Tiles        int64   `json:"tiles"`
+	Combinations int64   `json:"combinations"`
+	DurationMs   float64 `json:"durationMs"`
+	TilesPerSec  float64 `json:"tilesPerSec"`
+	CombosPerSec float64 `json:"combosPerSec"`
+	AllocsPerOp  float64 `json:"allocsPerOp"`
+}
+
+// schedSnapshot is the machine-readable tile-scheduler audit record.
+type schedSnapshot struct {
+	Schema     string         `json:"schema"`
+	SNPs       int            `json:"snps"`
+	Samples    int            `json:"samples"`
+	Seed       int64          `json:"seed"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	HotLoops   []schedHotLoop `json:"hotLoops"`
+}
+
+// schedExp audits the tile scheduler's claim→score hot loop on the
+// fixed snapshot dataset: single-consumer tiles/sec for the V2 (flat)
+// and V4 (blocked) pipelines, and the steady-state allocations per
+// processed tile via testing.AllocsPerRun. Any nonzero allocation
+// count is a regression of the zero-allocation guarantee and fails
+// the run (and CI with it).
+func schedExp(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	searcher, err := engine.New(mx)
+	if err != nil {
+		return err
+	}
+	snap := schedSnapshot{
+		Schema:     "trigene-sched/1",
+		SNPs:       snapSNPs,
+		Samples:    snapSamples,
+		Seed:       snapSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, a := range []engine.Approach{engine.V2Split, engine.V4Vector} {
+		h, err := searcher.NewHotLoop(engine.Options{Approach: a, TopK: 4})
+		if err != nil {
+			return err
+		}
+		tiles := h.Tiles()
+		// Warm-up: grow the top-K heap and fault in the pooled scratch.
+		for i := int64(0); i < tiles && i < 32; i++ {
+			h.Process(h.Tile(i))
+		}
+		var idx int64
+		allocs := testing.AllocsPerRun(64, func() {
+			h.Process(h.Tile(idx % tiles))
+			idx++
+		})
+		before := h.Scored()
+		start := time.Now()
+		for i := int64(0); i < tiles; i++ {
+			h.Process(h.Tile(i))
+		}
+		dur := time.Since(start)
+		combos := h.Scored() - before
+		hl := schedHotLoop{
+			Approach:     a.String(),
+			Tiles:        tiles,
+			Combinations: combos,
+			DurationMs:   float64(dur) / float64(time.Millisecond),
+			AllocsPerOp:  allocs,
+		}
+		if secs := dur.Seconds(); secs > 0 {
+			hl.TilesPerSec = float64(tiles) / secs
+			hl.CombosPerSec = float64(combos) / secs
+		}
+		snap.HotLoops = append(snap.HotLoops, hl)
+		h.Close()
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Tile-scheduler hot-loop audit (%d SNPs x %d samples) -> %s ==\n",
+		snapSNPs, snapSamples, outPath)
+	t := report.NewTable("", "approach", "tiles", "tiles/s", "combos/s", "allocs/op")
+	for _, hl := range snap.HotLoops {
+		t.AddRowf(hl.Approach, hl.Tiles, hl.TilesPerSec, hl.CombosPerSec, hl.AllocsPerOp)
+	}
+	if err := render(t); err != nil {
+		return err
+	}
+	for _, hl := range snap.HotLoops {
+		if hl.AllocsPerOp > 0 {
+			return fmt.Errorf("hot-path allocation regression: %s allocates %.2f per tile (want 0)",
+				hl.Approach, hl.AllocsPerOp)
+		}
+	}
+	return nil
 }
 
 // energyExp models the paper's future-work direction: DVFS sweeps and

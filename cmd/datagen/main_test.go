@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -61,12 +62,20 @@ func TestRunPlantedInteraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trigene.Search(mx, trigene.Options{})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Best.Triple != (trigene.Triple{I: 2, J: 9, K: 15}) {
-		t.Errorf("planted triple not recovered: %v", res.Best.Triple)
+	rep, err := sess.Search(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 9, 15}
+	for i, s := range rep.Best.SNPs {
+		if s != want[i] {
+			t.Errorf("planted triple not recovered: %v", rep.Best.SNPs)
+			break
+		}
 	}
 }
 

@@ -48,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1); overrides -backend")
 	approach := fs.String("approach", "", "pipeline V1..V4 (or naive/split/blocked/vector; on -gpu: naive/split/transposed/tiled); default: the backend's best")
 	workers := fs.Int("workers", 0, "worker count (0 = all cores)")
-	topK := fs.Int("topk", 5, "number of candidates to report (backends reporting a single best ignore it)")
+	topK := fs.Int("topk", 5, "number of candidates to report")
 	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native objective)")
 	pairs := fs.Bool("pairs", false, "run a 2-way (pairwise) search instead of 3-way")
 	order := fs.Int("order", 0, "interaction order 4..7 for the generic k-way search (0 = specialized 3-way)")
@@ -95,8 +95,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown backend %q (want cpu, baseline or hetero)", *backend)
 	}
-	singleBest := onGPU || *backend == "hetero"
-
 	searchOrder := 3
 	switch {
 	case *pairs && *order != 0:
@@ -107,10 +105,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		searchOrder = *order
 	}
 
-	opts := []trigene.Option{trigene.WithBackend(be), trigene.WithOrder(searchOrder)}
-	if !singleBest {
-		opts = append(opts, trigene.WithTopK(*topK))
-	}
+	opts := []trigene.Option{trigene.WithBackend(be), trigene.WithOrder(searchOrder), trigene.WithTopK(*topK)}
 	if *workers > 0 {
 		opts = append(opts, trigene.WithWorkers(*workers))
 	}
@@ -175,8 +170,6 @@ func printReport(w io.Writer, rep *trigene.Report) {
 		dev := strings.TrimPrefix(rep.Backend, "gpusim:")
 		fmt.Fprintf(w, "simulated %s (kernel %s): modeled %.3f ms, %.2f G elements/s\n",
 			dev, rep.Approach, rep.GPU.ModelSeconds*1e3, rep.ElementsPerSec/1e9)
-		fmt.Fprintf(w, "best: %s  %s = %.4f\n", snpsString(rep.Best.SNPs), rep.Objective, rep.Best.Score)
-		return
 	case rep.Hetero != nil:
 		fmt.Fprintf(w, "heterogeneous (CPU fraction %.2f): %d combinations in %v (%.2f G elements/s)\n",
 			rep.Hetero.CPUFraction, rep.Combinations,
@@ -191,8 +184,8 @@ func printReport(w io.Writer, rep *trigene.Report) {
 			rep.ElementsPerSec/1e9)
 	}
 	if rep.Shard != nil {
-		fmt.Fprintf(w, "shard %d/%d: ranks [%d,%d)\n",
-			rep.Shard.Index, rep.Shard.Count, rep.Shard.Lo, rep.Shard.Hi)
+		fmt.Fprintf(w, "shard %d/%d: %s [%d,%d)\n",
+			rep.Shard.Index, rep.Shard.Count, rep.Shard.Space, rep.Shard.Lo, rep.Shard.Hi)
 	}
 	for i, c := range rep.TopK {
 		fmt.Fprintf(w, "%2d. %s  %s = %.4f\n", i+1, snpsString(c.SNPs), rep.Objective, c.Score)

@@ -78,7 +78,7 @@ func TestRunGPUSimulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.Contains(s, "simulated GN1") || !strings.Contains(s, "best: (1,7,12)") {
+	if !strings.Contains(s, "simulated GN1") || !strings.Contains(s, " 1. (1,7,12)") {
 		t.Errorf("GPU output wrong:\n%s", s)
 	}
 }

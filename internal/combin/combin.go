@@ -153,34 +153,6 @@ type Range struct {
 // Len returns the number of ranks in the range.
 func (r Range) Len() int64 { return r.Hi - r.Lo }
 
-// Split partitions [0, total) into at most parts contiguous ranges of
-// near-equal size (sizes differ by at most one). Empty ranges are
-// omitted, so fewer than parts ranges may be returned.
-func Split(total int64, parts int) []Range {
-	if parts <= 0 {
-		panic(fmt.Sprintf("combin: parts must be positive, got %d", parts))
-	}
-	if total < 0 {
-		panic(fmt.Sprintf("combin: negative total %d", total))
-	}
-	n := int64(parts)
-	out := make([]Range, 0, parts)
-	base, rem := total/n, total%n
-	var lo int64
-	for p := int64(0); p < n && lo < total; p++ {
-		size := base
-		if p < rem {
-			size++
-		}
-		if size == 0 {
-			continue
-		}
-		out = append(out, Range{Lo: lo, Hi: lo + size})
-		lo += size
-	}
-	return out
-}
-
 // TripleBlocks returns the number of blocks of size bs needed to cover m
 // items: ceil(m/bs).
 func TripleBlocks(m, bs int) int { return (m + bs - 1) / bs }

@@ -2,7 +2,6 @@ package combin
 
 import (
 	"testing"
-	"testing/quick"
 )
 
 func TestBinomialSmall(t *testing.T) {
@@ -136,55 +135,6 @@ func TestUnrankOutOfRangePanics(t *testing.T) {
 		func() { UnrankPair(Pairs(10), 10) },
 		func() { RankTriple(2, 1, 3) },
 		func() { RankPair(3, 3) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
-	}
-}
-
-func TestSplitCoversExactly(t *testing.T) {
-	f := func(totalRaw uint32, partsRaw uint8) bool {
-		total := int64(totalRaw % 100000)
-		parts := int(partsRaw%64) + 1
-		rs := Split(total, parts)
-		var sum, prev int64
-		for _, r := range rs {
-			if r.Lo != prev || r.Hi <= r.Lo {
-				return false
-			}
-			sum += r.Len()
-			prev = r.Hi
-		}
-		if total == 0 {
-			return len(rs) == 0
-		}
-		// Sizes differ by at most one.
-		minLen, maxLen := rs[0].Len(), rs[0].Len()
-		for _, r := range rs {
-			if r.Len() < minLen {
-				minLen = r.Len()
-			}
-			if r.Len() > maxLen {
-				maxLen = r.Len()
-			}
-		}
-		return sum == total && prev == total && maxLen-minLen <= 1 && len(rs) <= parts
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestSplitBadArgsPanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { Split(10, 0) },
-		func() { Split(-1, 3) },
 	} {
 		func() {
 			defer func() {

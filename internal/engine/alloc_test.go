@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+
+	"trigene/internal/sched"
+	"trigene/internal/score"
+)
+
+// TestHotPathAllocs proves the steady-state claim→score loop performs
+// zero heap allocations per scored combination on the two approaches
+// the paper's throughput story rests on: V2 (flat split kernel) and V4
+// (blocked lane-vectorized kernel). The per-consumer arenas (pooled
+// contingency tables, reused top-K heaps) are what make this hold.
+func TestHotPathAllocs(t *testing.T) {
+	mx := randomMatrix(200, 32, 320)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Approach{V2Split, V4Vector} {
+		h, err := s.NewHotLoop(Options{Approach: a, TopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiles := h.Tiles()
+		if tiles < 2 {
+			t.Fatalf("%v: space too small to probe (%d tiles)", a, tiles)
+		}
+		// Warm-up: grow the top-K heap to depth and fault in the scratch.
+		for i := int64(0); i < tiles; i++ {
+			h.Process(h.Tile(i))
+		}
+		var idx int64
+		allocs := testing.AllocsPerRun(32, func() {
+			h.Process(h.Tile(idx % tiles))
+			idx++
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %.1f allocs per tile in steady state, want 0", a, allocs)
+		}
+		h.Close()
+	}
+}
+
+// TestHotLoopMatchesRun checks the probe scores the same space as the
+// real worker pool.
+func TestHotLoopMatchesRun(t *testing.T) {
+	mx := randomMatrix(201, 18, 150)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Approach{V2Split, V4Vector} {
+		want, err := s.Run(Options{Approach: a, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.NewHotLoop(Options{Approach: a, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < h.Tiles(); i++ {
+			h.Process(h.Tile(i))
+		}
+		if h.Scored() != want.Stats.Combinations {
+			t.Errorf("%v: probe scored %d, run %d", a, h.Scored(), want.Stats.Combinations)
+		}
+		var top *topK
+		if h.flat != nil {
+			top = h.flat.a.top
+		} else {
+			top = h.blocked.a.top
+		}
+		if len(top.items) != len(want.TopK) {
+			t.Fatalf("%v: probe top-K %d entries, run %d", a, len(top.items), len(want.TopK))
+		}
+		for i := range top.items {
+			if top.items[i] != want.TopK[i] {
+				t.Errorf("%v: probe TopK[%d] = %+v, run %+v", a, i, top.items[i], want.TopK[i])
+			}
+		}
+		h.Close()
+	}
+}
+
+// TestShardedRunsMatchFull is the engine-level shard parity property:
+// every approach, sharded any way, merges back to the full result —
+// including V3/V4, whose shards slice the block-triple space.
+func TestShardedRunsMatchFull(t *testing.T) {
+	mx := randomMatrix(202, 26, 180)
+	s, err := New(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Approach{V1Naive, V2Split, V3Blocked, V4Vector} {
+		full, err := s.Run(Options{Approach: a, TopK: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := score.NewK2(mx.Samples())
+		for _, count := range []int{2, 3, 5} {
+			merged := newTopK(obj, 7)
+			var combos int64
+			for i := 0; i < count; i++ {
+				res, err := s.Run(Options{Approach: a, TopK: 7,
+					Shard: &sched.Shard{Index: i, Count: count}})
+				if err != nil {
+					t.Fatalf("%v shard %d/%d: %v", a, i, count, err)
+				}
+				if res.Space == nil {
+					t.Fatalf("%v shard %d/%d: no Space recorded", a, i, count)
+				}
+				blocked := a == V3Blocked || a == V4Vector
+				if res.BlockSpace != blocked {
+					t.Errorf("%v shard: BlockSpace = %v", a, res.BlockSpace)
+				}
+				combos += res.Stats.Combinations
+				for _, c := range res.TopK {
+					merged.offer(c)
+				}
+			}
+			if combos != full.Stats.Combinations {
+				t.Errorf("%v %d shards cover %d combinations, full %d", a, count, combos, full.Stats.Combinations)
+			}
+			got := merged.list()
+			if len(got) != len(full.TopK) {
+				t.Fatalf("%v %d shards merge to %d candidates, full %d", a, count, len(got), len(full.TopK))
+			}
+			for i := range got {
+				if got[i] != full.TopK[i] {
+					t.Errorf("%v %d shards: TopK[%d] = %+v, full %+v", a, count, i, got[i], full.TopK[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"sync"
+
+	"trigene/internal/contingency"
+	"trigene/internal/score"
+)
+
+// arena is one consumer's reusable scratch for the claim→score loop:
+// a contingency table (flat paths), a bank of block tables (blocked
+// paths), the generic k-way buffers, and the consumer's top-K heap.
+// Arenas are pooled across runs so a Session serving repeated
+// searches allocates nothing in the steady state beyond warm-up.
+type arena struct {
+	// tab is the flat paths' single reusable table; taking its address
+	// for the objective would otherwise heap-allocate per combination.
+	tab contingency.Table
+	// tables is the blocked paths' BS^3 table bank.
+	tables []contingency.Table
+	// comb/ctrl/cases are the generic k-way buffers.
+	comb        []int
+	ctrl, cases []int32
+	// top accumulates this consumer's best candidates.
+	top *topK
+	// scored counts the combinations this consumer evaluated.
+	scored int64
+}
+
+var arenaPool = sync.Pool{New: func() interface{} { return new(arena) }}
+
+// getArena returns a pooled arena reset for one consumer: a top-K of
+// depth k under obj and (for the blocked paths) a bank of tables
+// block tables.
+func getArena(obj score.Objective, k, tables int) *arena {
+	a := arenaPool.Get().(*arena)
+	a.scored = 0
+	if a.top == nil {
+		a.top = newTopK(obj, k)
+	} else {
+		a.top.reset(obj, k)
+	}
+	if cap(a.tables) < tables {
+		a.tables = make([]contingency.Table, tables)
+	}
+	a.tables = a.tables[:tables]
+	return a
+}
+
+// sizeK grows the arena's k-way buffers for the given order.
+func (a *arena) sizeK(order, cells int) {
+	if cap(a.comb) < order {
+		a.comb = make([]int, order)
+	}
+	a.comb = a.comb[:order]
+	if cap(a.ctrl) < cells {
+		a.ctrl = make([]int32, cells)
+		a.cases = make([]int32, cells)
+	}
+	a.ctrl, a.cases = a.ctrl[:cells], a.cases[:cells]
+}
+
+// release returns the arena to the pool. The caller must have copied
+// or merged everything it needs first (the top-K contents are reused
+// by the next consumer).
+func (a *arena) release() { arenaPool.Put(a) }

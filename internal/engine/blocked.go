@@ -1,12 +1,10 @@
 package engine
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
 	"trigene/internal/dataset"
+	"trigene/internal/sched"
 )
 
 // runBlocked executes approaches V3 and V4 (Algorithm 1): SNPs are
@@ -15,9 +13,12 @@ import (
 // tables so the tile data and the tables stay L1-resident across the
 // intra-block combination loops.
 //
-// One work unit is one block triple (b0 <= b1 <= b2). Block triples are
-// claimed from an atomic cursor via the bijection between multisets of
-// size 3 over nb blocks and strict triples over nb+2 items.
+// One scheduler rank is one block triple (b0 <= b1 <= b2), via the
+// bijection between multisets of size 3 over nb blocks and strict
+// triples over nb+2 items. Because block triples partition the
+// combination space, a Shard over block-triple ranks is a disjoint
+// sub-search whose results merge bit-exactly — the property that makes
+// V3/V4 shardable at all.
 func (s *Searcher) runBlocked(o Options) (*Result, error) {
 	m := s.mx.SNPs()
 	bs := o.BlockSNPs
@@ -27,6 +28,95 @@ func (s *Searcher) runBlocked(o Options) (*Result, error) {
 	nb := combin.TripleBlocks(m, bs)
 	totalBlocks := combin.Triples(nb + 2) // multiset triples over nb blocks
 
+	res := &Result{}
+	src := sched.NewSource(0, totalBlocks, 1)
+	if o.Shard != nil {
+		sub, err := src.Shard(*o.Shard)
+		if err != nil {
+			return nil, err
+		}
+		src = sub
+		b := src.Bounds()
+		res.Space = &b
+		res.BlockSpace = true
+	}
+	cur := sched.NewCursor(src)
+	if o.Progress != nil {
+		cur.OnProgress(s.blockSpaceCombos(src, bs, nb), o.Progress)
+	}
+
+	workers := make([]*blockWorker, o.Workers)
+	for w := range workers {
+		workers[w] = newBlockWorker(s, &o, bs, nb)
+	}
+	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	merged := newTopK(o.Objective, o.TopK)
+	for _, w := range workers {
+		merged.merge(w.a.top)
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
+	}
+	res.TopK = merged.list()
+	if len(res.TopK) > 0 {
+		res.Best = res.TopK[0]
+	}
+	return res, nil
+}
+
+// blockSpaceCombos counts the combinations covered by a range of
+// block-triple ranks — the progress denominator of a (possibly
+// sharded) blocked run. One O(1) count per block triple.
+func (s *Searcher) blockSpaceCombos(src sched.Source, bs, nb int) int64 {
+	b := src.Bounds()
+	if b.Lo == 0 && b.Hi == combin.Triples(nb+2) {
+		return combin.Triples(s.mx.SNPs())
+	}
+	var total int64
+	for rank := b.Lo; rank < b.Hi; rank++ {
+		a, bb, c := combin.UnrankTriple(rank, nb+2)
+		total += s.blockTripleCombos(a, bb-1, c-2, bs)
+	}
+	return total
+}
+
+// blockTripleCombos counts the strict combinations (i0 < i1 < i2) with
+// i0 in block b0, i1 in block b1, i2 in block b2 (b0 <= b1 <= b2).
+func (s *Searcher) blockTripleCombos(b0, b1, b2, bs int) int64 {
+	m := s.mx.SNPs()
+	l0 := int64(blockLim(b0*bs, bs, m))
+	l1 := int64(blockLim(b1*bs, bs, m))
+	l2 := int64(blockLim(b2*bs, bs, m))
+	switch {
+	case b0 == b1 && b1 == b2:
+		return l0 * (l0 - 1) * (l0 - 2) / 6
+	case b0 == b1:
+		return l0 * (l0 - 1) / 2 * l2
+	case b1 == b2:
+		return l0 * (l1 * (l1 - 1) / 2)
+	default:
+		return l0 * l1 * l2
+	}
+}
+
+// blockWorker holds one worker's reusable state for the blocked paths.
+type blockWorker struct {
+	s      *Searcher
+	o      *Options
+	bs     int
+	nb     int
+	a      *arena
+	kernel func(*[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64, []uint64)
+}
+
+// newBlockWorker builds a consumer with a pooled arena sized for the
+// BS^3 table bank.
+func newBlockWorker(s *Searcher, o *Options, bs, nb int) *blockWorker {
 	kernel := contingency.AccumulateSplit
 	if o.Approach == V4Vector {
 		switch o.Lanes {
@@ -36,60 +126,28 @@ func (s *Searcher) runBlocked(o Options) (*Result, error) {
 			kernel = contingency.AccumulateSplitLanes8
 		}
 	}
-
-	var cursor, done atomic.Int64
-	totalCombos := combin.Triples(m)
-	var firstErr errOnce
-	tops := make([]*topK, o.Workers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < o.Workers; wk++ {
-		top := newTopK(o.Objective, o.TopK)
-		tops[wk] = top
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w := &blockWorker{
-				s:      s,
-				o:      o,
-				bs:     bs,
-				tables: make([]contingency.Table, bs*bs*bs),
-				top:    top,
-				kernel: kernel,
-			}
-			for {
-				if err := o.Context.Err(); err != nil {
-					firstErr.set(err)
-					return
-				}
-				rank := cursor.Add(1) - 1
-				if rank >= totalBlocks {
-					return
-				}
-				// Unrank the multiset triple: strict triple over nb+2
-				// minus the staircase offsets.
-				a, b, c := combin.UnrankTriple(rank, nb+2)
-				n := w.processBlockTriple(a, b-1, c-2)
-				if o.Progress != nil && n > 0 {
-					o.Progress(done.Add(n), totalCombos)
-				}
-			}
-		}()
+	return &blockWorker{
+		s:      s,
+		o:      o,
+		bs:     bs,
+		nb:     nb,
+		a:      getArena(o.Objective, o.TopK, bs*bs*bs),
+		kernel: kernel,
 	}
-	wg.Wait()
-	if err := firstErr.get(); err != nil {
-		return nil, err
-	}
-	return assemble(tops, o), nil
 }
 
-// blockWorker holds one worker's reusable state for the blocked paths.
-type blockWorker struct {
-	s      *Searcher
-	o      Options
-	bs     int
-	tables []contingency.Table
-	top    *topK
-	kernel func(*[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64, []uint64)
+// tile evaluates the block triples with ranks in [t.Lo, t.Hi) and
+// returns how many combinations it scored.
+func (w *blockWorker) tile(t sched.Tile) int64 {
+	var scored int64
+	for rank := t.Lo; rank < t.Hi; rank++ {
+		// Unrank the multiset triple: strict triple over nb+2 minus the
+		// staircase offsets.
+		a, b, c := combin.UnrankTriple(rank, w.nb+2)
+		scored += w.processBlockTriple(a, b-1, c-2)
+	}
+	w.a.scored += scored
+	return scored
 }
 
 // processBlockTriple evaluates every valid combination (i0 < i1 < i2)
@@ -101,8 +159,9 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 	base0, base1, base2 := b0*bs, b1*bs, b2*bs
 	lim0, lim1, lim2 := blockLim(base0, bs, m), blockLim(base1, bs, m), blockLim(base2, bs, m)
 
-	for i := range w.tables {
-		w.tables[i] = contingency.Table{}
+	tables := w.a.tables
+	for i := range tables {
+		tables[i] = contingency.Table{}
 	}
 
 	split := w.s.split
@@ -133,7 +192,7 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 						x0 := split.PlaneRange(class, gi0, 0, w0, w1)
 						x1 := split.PlaneRange(class, gi0, 1, w0, w1)
 						idx := (ii0*bs+ii1)*bs + ii2
-						w.kernel(&w.tables[idx].Counts[class], x0, x1, y0, y1, z0, z1)
+						w.kernel(&tables[idx].Counts[class], x0, x1, y0, y1, z0, z1)
 					}
 				}
 			}
@@ -155,10 +214,10 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 					continue
 				}
 				idx := (ii0*bs+ii1)*bs + ii2
-				tab := &w.tables[idx]
+				tab := &tables[idx]
 				tab.Counts[dataset.Control][contingency.Cells-1] -= int32(split.Pad[dataset.Control])
 				tab.Counts[dataset.Case][contingency.Cells-1] -= int32(split.Pad[dataset.Case])
-				w.top.offer(Candidate{
+				w.a.top.offer(Candidate{
 					Triple: Triple{I: gi0, J: gi1, K: gi2},
 					Score:  w.o.Objective.Score(tab),
 				})

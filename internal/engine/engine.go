@@ -32,6 +32,7 @@ import (
 
 	"trigene/internal/combin"
 	"trigene/internal/dataset"
+	"trigene/internal/sched"
 	"trigene/internal/score"
 )
 
@@ -131,6 +132,14 @@ type Result struct {
 	TopK []Candidate
 	// Stats describes the completed run.
 	Stats Stats
+	// Space is the covered slice of the scheduler's work space when
+	// Shard or RankRange restricted the run; nil means the full space.
+	// For the flat approaches the ranks are colexicographic
+	// combination ranks; for the blocked approaches (BlockSpace true)
+	// they are block-triple ranks.
+	Space *sched.Tile
+	// BlockSpace reports whether Space ranks are block triples.
+	BlockSpace bool
 }
 
 // Options configures a search. The zero value means: V4, all CPUs,
@@ -159,10 +168,22 @@ type Options struct {
 	// chunks and returns the context error.
 	Context context.Context
 	// RankRange restricts the search to combination ranks [Lo, Hi) in
-	// colexicographic order — the primitive heterogeneous and
-	// distributed deployments partition on. Nil means the full space.
-	// Supported by the flat approaches (V1, V2) only.
+	// colexicographic order. Nil means the full space. Supported by
+	// the flat approaches (V1, V2) only; Shard is the backend-agnostic
+	// generalization.
 	RankRange *combin.Range
+	// Shard restricts the search to slice Index of Count of the
+	// scheduler's work space: combination ranks for the flat
+	// approaches and orders 2/k, block-triple ranks for V3/V4. Every
+	// approach and order supports it; mutually exclusive with
+	// RankRange.
+	Shard *sched.Shard
+	// Tiles optionally supplies an externally shared claiming cursor:
+	// the run's workers then steal work from the same space as any
+	// other consumer of that cursor (the heterogeneous backend's CPU
+	// half). Flat approaches only; RankRange, Shard and Progress are
+	// ignored when set (the cursor owns the space and its progress).
+	Tiles *sched.Cursor
 	// Progress, when non-nil, is invoked from worker goroutines as
 	// work chunks complete, with the cumulative number of evaluated
 	// combinations and the total. It must be safe for concurrent use
@@ -223,6 +244,17 @@ func (o Options) withDefaults(maxSamples int) (Options, error) {
 		if r.Lo < 0 || r.Hi < r.Lo {
 			return o, fmt.Errorf("engine: invalid rank range [%d,%d)", r.Lo, r.Hi)
 		}
+		if o.Shard != nil {
+			return o, fmt.Errorf("engine: RankRange and Shard are mutually exclusive")
+		}
+	}
+	if o.Shard != nil {
+		if err := o.Shard.Validate(); err != nil {
+			return o, err
+		}
+	}
+	if o.Tiles != nil && o.Approach != V1Naive && o.Approach != V2Split {
+		return o, fmt.Errorf("engine: a shared tile cursor requires approach V1 or V2, have %v", o.Approach)
 	}
 	return o, nil
 }
@@ -309,10 +341,8 @@ func (s *Searcher) Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.Combinations = combin.Triples(s.mx.SNPs())
-	if o.RankRange != nil {
-		res.Stats.Combinations = o.RankRange.Len()
-	}
+	// Combinations is the count the workers actually scored, which is
+	// the claimed share of the space on sharded and shared-cursor runs.
 	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {

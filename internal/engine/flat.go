@@ -1,124 +1,118 @@
 package engine
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
+	"trigene/internal/sched"
 )
 
 // runFlat executes approaches V1 and V2: one full-length frequency
-// table per combination, no tiling. Workers claim contiguous rank
-// chunks of the combination space from an atomic cursor.
+// table per combination, no tiling. Consumers claim tiles of
+// combination ranks from a sched.Cursor — the run's own, or a shared
+// one when another consumer (the simulated GPU of a heterogeneous
+// run) is stealing from the same space.
 func (s *Searcher) runFlat(o Options) (*Result, error) {
-	m := s.mx.SNPs()
-	base, total := int64(0), combin.Triples(m)
-	if r := o.RankRange; r != nil {
-		base = r.Lo
-		if r.Hi < total {
-			total = r.Hi
+	res := &Result{}
+	cur := o.Tiles
+	if cur == nil {
+		src, space, err := flatSpace(combin.Triples(s.mx.SNPs()), &o)
+		if err != nil {
+			return nil, err
 		}
-		if base >= total {
-			return assemble(nil, o), nil
+		res.Space = space
+		cur = sched.NewCursor(src)
+		if o.Progress != nil {
+			cur.OnProgress(src.Ranks(), o.Progress)
 		}
 	}
-	chunk := flatChunkSize(total-base, o.Workers)
 
-	var cursor, done atomic.Int64
-	var firstErr errOnce
-	tops := make([]*topK, o.Workers)
-	var wg sync.WaitGroup
-	for wk := 0; wk < o.Workers; wk++ {
-		top := newTopK(o.Objective, o.TopK)
-		tops[wk] = top
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One reusable table per worker: taking its address for the
-			// objective would otherwise heap-allocate per combination.
-			var tab contingency.Table
-			for {
-				if err := o.Context.Err(); err != nil {
-					firstErr.set(err)
-					return
-				}
-				lo := base + cursor.Add(chunk) - chunk
-				if lo >= total {
-					return
-				}
-				hi := lo + chunk
-				if hi > total {
-					hi = total
-				}
-				i, j, k := combin.UnrankTriple(lo, m)
-				for r := lo; r < hi; r++ {
-					if o.Approach == V1Naive {
-						tab = contingency.BuildNaive(s.bin, i, j, k)
-					} else {
-						tab = contingency.BuildSplit(s.split, i, j, k)
-					}
-					top.offer(Candidate{
-						Triple: Triple{I: i, J: j, K: k},
-						Score:  o.Objective.Score(&tab),
-					})
-					i, j, k, _ = combin.NextTriple(i, j, k, m)
-				}
-				if o.Progress != nil {
-					o.Progress(done.Add(hi-lo), total-base)
-				}
-			}
-		}()
+	workers := make([]*flatWorker, o.Workers)
+	for w := range workers {
+		workers[w] = &flatWorker{s: s, o: &o, m: s.mx.SNPs(), a: getArena(o.Objective, o.TopK, 0)}
 	}
-	wg.Wait()
-	if err := firstErr.get(); err != nil {
+	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t), nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	return assemble(tops, o), nil
+	assembleFlat(res, &o, workers)
+	return res, nil
 }
 
-// errOnce records the first error reported by any worker.
-type errOnce struct {
-	mu  sync.Mutex
-	err error
-}
-
-func (e *errOnce) set(err error) {
-	e.mu.Lock()
-	if e.err == nil {
-		e.err = err
+// flatSpace builds the claimable source of a flat-rank run from the
+// total space and the RankRange/Shard options, returning the covered
+// slice when the options restricted it. The claim grain is sized from
+// the restricted range, not the full space, so a small shard of a
+// huge space still spreads across every worker.
+func flatSpace(total int64, o *Options) (sched.Source, *sched.Tile, error) {
+	lo, hi := int64(0), total
+	var space *sched.Tile
+	if r := o.RankRange; r != nil {
+		if hi = r.Hi; hi > total {
+			hi = total
+		}
+		if lo = r.Lo; lo > hi {
+			lo = hi
+		}
+		space = &sched.Tile{Lo: lo, Hi: hi}
 	}
-	e.mu.Unlock()
-}
-
-func (e *errOnce) get() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.err
-}
-
-// flatChunkSize balances scheduling overhead against load balance:
-// aim for ~64 chunks per worker, clamped to [256, 1<<20] triples.
-func flatChunkSize(total int64, workers int) int64 {
-	chunk := total / (int64(workers) * 64)
-	if chunk < 256 {
-		chunk = 256
+	src := sched.NewSource(lo, hi, sched.AutoGrain(hi-lo, o.Workers))
+	if o.Shard != nil {
+		sub, err := src.Shard(*o.Shard)
+		if err != nil {
+			return src, nil, err
+		}
+		src = sub.WithGrain(sched.AutoGrain(sub.Ranks(), o.Workers))
+		b := src.Bounds()
+		space = &b
 	}
-	if chunk > 1<<20 {
-		chunk = 1 << 20
-	}
-	return chunk
+	return src, space, nil
 }
 
-// assemble merges per-worker accumulators into a Result.
-func assemble(tops []*topK, o Options) *Result {
+// flatWorker is one consumer of the flat tile stream. Its arena holds
+// the reusable table and top-K, so the steady-state tile loop
+// allocates nothing.
+type flatWorker struct {
+	s *Searcher
+	o *Options
+	m int
+	a *arena
+}
+
+// tile scores every combination rank in [t.Lo, t.Hi) and returns the
+// count.
+func (w *flatWorker) tile(t sched.Tile) int64 {
+	naive := w.o.Approach == V1Naive
+	obj := w.o.Objective
+	i, j, k := combin.UnrankTriple(t.Lo, w.m)
+	for r := t.Lo; r < t.Hi; r++ {
+		if naive {
+			w.a.tab = contingency.BuildNaive(w.s.bin, i, j, k)
+		} else {
+			w.a.tab = contingency.BuildSplit(w.s.split, i, j, k)
+		}
+		w.a.top.offer(Candidate{
+			Triple: Triple{I: i, J: j, K: k},
+			Score:  obj.Score(&w.a.tab),
+		})
+		i, j, k, _ = combin.NextTriple(i, j, k, w.m)
+	}
+	w.a.scored += t.Len()
+	return t.Len()
+}
+
+// assembleFlat merges the workers' accumulators into res and returns
+// their arenas to the pool.
+func assembleFlat(res *Result, o *Options, workers []*flatWorker) {
 	merged := newTopK(o.Objective, o.TopK)
-	for _, t := range tops {
-		merged.merge(t)
+	for _, w := range workers {
+		merged.merge(w.a.top)
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
 	}
-	res := &Result{TopK: merged.list()}
+	res.TopK = merged.list()
 	if len(res.TopK) > 0 {
 		res.Best = res.TopK[0]
 	}
-	return res
 }

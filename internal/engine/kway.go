@@ -2,13 +2,13 @@ package engine
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
+	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // Arbitrary-order exhaustive search. The paper's introduction motivates
@@ -30,11 +30,15 @@ type KResult struct {
 	Best  KCandidate
 	TopK  []KCandidate
 	Stats Stats
+	// Space is the covered slice of combination ranks when Shard
+	// restricted the run; nil means the full space.
+	Space *sched.Tile
 }
 
 // RunK executes an exhaustive search of the given interaction order.
 // Options are interpreted as for Run; the Objective must implement
-// score.CellScorer (all built-in objectives do).
+// score.CellScorer (all built-in objectives do). Shard slices the
+// colexicographic k-combination rank space.
 func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 	o, err := opts.withDefaults(s.mx.Samples())
 	if err != nil {
@@ -52,69 +56,46 @@ func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 	}
 
 	m := s.mx.SNPs()
-	total := combin.Binomial(m, order)
-	chunk := flatChunkSize(total, o.Workers)
+	res := &KResult{Order: order}
+	src, space, err := flatSpace(combin.Binomial(m, order), &o)
+	if err != nil {
+		return nil, err
+	}
+	res.Space = space
+	cur := sched.NewCursor(src)
+	if o.Progress != nil {
+		cur.OnProgress(src.Ranks(), o.Progress)
+	}
 	cells := contingency.CellsK(order)
 
-	var cursor atomic.Int64
-	var firstErr errOnce
-	tops := make([]*kTopK, o.Workers)
-	var wg sync.WaitGroup
 	start := time.Now()
-	for wk := 0; wk < o.Workers; wk++ {
-		top := &kTopK{obj: o.Objective, k: o.TopK}
-		tops[wk] = top
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			comb := make([]int, order)
-			ctrl := make([]int32, cells)
-			cases := make([]int32, cells)
-			for {
-				if err := o.Context.Err(); err != nil {
-					firstErr.set(err)
-					return
-				}
-				lo := cursor.Add(chunk) - chunk
-				if lo >= total {
-					return
-				}
-				hi := lo + chunk
-				if hi > total {
-					hi = total
-				}
-				combin.UnrankK(lo, m, comb)
-				for r := lo; r < hi; r++ {
-					for i := range ctrl {
-						ctrl[i], cases[i] = 0, 0
-					}
-					if err := contingency.BuildSplitK(s.split, comb, ctrl, cases); err != nil {
-						firstErr.set(err)
-						return
-					}
-					top.offer(comb, scorer.ScoreCells(ctrl, cases))
-					combin.NextK(comb, m)
-				}
-			}
-		}()
+	workers := make([]*kWorker, o.Workers)
+	for w := range workers {
+		a := getArena(o.Objective, 0, 0)
+		a.sizeK(order, cells)
+		workers[w] = &kWorker{s: s, m: m, a: a, scorer: scorer,
+			top: newKTopK(o.Objective, o.TopK)}
 	}
-	wg.Wait()
-	if err := firstErr.get(); err != nil {
+	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t)
+	})
+	if err != nil {
 		return nil, err
 	}
 
-	merged := &kTopK{obj: o.Objective, k: o.TopK}
-	for _, t := range tops {
-		for _, c := range t.items {
+	merged := newKTopK(o.Objective, o.TopK)
+	for _, w := range workers {
+		for _, c := range w.top.items {
 			merged.offer(c.SNPs, c.Score)
 		}
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
 	}
-	res := &KResult{Order: order, TopK: merged.items}
+	res.TopK = merged.items
 	if len(merged.items) > 0 {
 		res.Best = merged.items[0]
 	}
-	res.Stats.Combinations = total
-	res.Stats.Elements = float64(total) * float64(s.mx.Samples())
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / secs
@@ -122,42 +103,63 @@ func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 	return res, nil
 }
 
+// kWorker is one consumer of the k-combination tile stream.
+type kWorker struct {
+	s      *Searcher
+	m      int
+	a      *arena
+	scorer score.CellScorer
+	top    *kTopK
+}
+
+// tile scores every combination rank in [t.Lo, t.Hi).
+func (w *kWorker) tile(t sched.Tile) (int64, error) {
+	comb, ctrl, cases := w.a.comb, w.a.ctrl, w.a.cases
+	combin.UnrankK(t.Lo, w.m, comb)
+	for r := t.Lo; r < t.Hi; r++ {
+		for i := range ctrl {
+			ctrl[i], cases[i] = 0, 0
+		}
+		if err := contingency.BuildSplitK(w.s.split, comb, ctrl, cases); err != nil {
+			return 0, err
+		}
+		w.top.offer(comb, w.scorer.ScoreCells(ctrl, cases))
+		combin.NextK(comb, w.m)
+	}
+	w.a.scored += t.Len()
+	return t.Len(), nil
+}
+
 // kTopK accumulates the k best arbitrary-order candidates.
 type kTopK struct {
-	obj   score.Objective
 	k     int
 	items []KCandidate
+	cmp   func(a, b KCandidate) bool
 }
 
-func (t *kTopK) better(aScore float64, aSNPs []int, b KCandidate) bool {
-	if aScore != b.Score {
-		return t.obj.Better(aScore, b.Score)
-	}
-	for i := range aSNPs {
-		if aSNPs[i] != b.SNPs[i] {
-			return aSNPs[i] < b.SNPs[i]
+func newKTopK(obj score.Objective, k int) *kTopK {
+	return &kTopK{k: k, cmp: func(a, b KCandidate) bool {
+		if a.Score != b.Score {
+			return obj.Better(a.Score, b.Score)
 		}
-	}
-	return false
+		for i := range a.SNPs {
+			if a.SNPs[i] != b.SNPs[i] {
+				return a.SNPs[i] < b.SNPs[i]
+			}
+		}
+		return false
+	}}
 }
 
-// offer copies snps if the candidate ranks among the k best.
+// offer copies snps only if the candidate ranks among the k best (the
+// buffer is the worker's reused enumeration scratch).
 func (t *kTopK) offer(snps []int, sc float64) {
 	if t.k == 0 {
 		return
 	}
-	if len(t.items) == t.k && !t.better(sc, snps, t.items[len(t.items)-1]) {
+	probe := KCandidate{SNPs: snps, Score: sc}
+	if len(t.items) == t.k && !t.cmp(probe, t.items[len(t.items)-1]) {
 		return
 	}
-	pos := len(t.items)
-	for pos > 0 && t.better(sc, snps, t.items[pos-1]) {
-		pos--
-	}
-	if len(t.items) < t.k {
-		t.items = append(t.items, KCandidate{})
-	} else if pos == len(t.items) {
-		return
-	}
-	copy(t.items[pos+1:], t.items[pos:])
-	t.items[pos] = KCandidate{SNPs: append([]int(nil), snps...), Score: sc}
+	t.items = topk.Insert(t.items, KCandidate{SNPs: append([]int(nil), snps...), Score: sc}, t.k, t.cmp)
 }

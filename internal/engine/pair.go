@@ -1,19 +1,20 @@
 package engine
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
 	"trigene/internal/dataset"
+	"trigene/internal/sched"
+	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // Second-order (2-way) search: the interaction order targeted by
 // GBOOST, episNP and GWISFI and supported by MPI3SNP. It shares the
-// phenotype-split data, the NOR inference, the dynamic scheduling and
-// the objectives with the 3-way engine; only the table kernel differs
+// phenotype-split data, the NOR inference, the tile scheduler and the
+// objectives with the 3-way engine; only the table kernel differs
 // (9 cells embedded in a Table).
 
 // Pair identifies a SNP combination i < j.
@@ -40,85 +41,92 @@ type PairResult struct {
 	Best  PairCandidate
 	TopK  []PairCandidate
 	Stats Stats
+	// Space is the covered slice of pair ranks when Shard restricted
+	// the run; nil means the full space.
+	Space *sched.Tile
 }
 
 // RunPairs executes an exhaustive second-order search. Options are
 // interpreted as for Run; Approach is ignored (the split kernel is
 // always used — the pair table is too small for tiling to matter).
+// Shard slices the colexicographic pair-rank space.
 func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
 	o, err := opts.withDefaults(s.mx.Samples())
 	if err != nil {
 		return nil, err
 	}
 	m := s.mx.SNPs()
-	total := combin.Pairs(m)
-	chunk := flatChunkSize(total, o.Workers)
-
-	var cursor atomic.Int64
-	var firstErr errOnce
-	tops := make([]*pairTopK, o.Workers)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for wk := 0; wk < o.Workers; wk++ {
-		top := &pairTopK{topK: newTopK(o.Objective, o.TopK)}
-		tops[wk] = top
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Reused per worker so the interface call does not force a
-			// heap allocation per combination.
-			var tab contingency.Table
-			for {
-				if err := o.Context.Err(); err != nil {
-					firstErr.set(err)
-					return
-				}
-				lo := cursor.Add(chunk) - chunk
-				if lo >= total {
-					return
-				}
-				hi := lo + chunk
-				if hi > total {
-					hi = total
-				}
-				i, j := combin.UnrankPair(lo, m)
-				for r := lo; r < hi; r++ {
-					tab = contingency.BuildSplitPair(s.split, i, j)
-					top.offer(PairCandidate{
-						Pair:  Pair{I: i, J: j},
-						Score: o.Objective.Score(&tab),
-					})
-					if i+1 < j {
-						i++
-					} else {
-						i, j = 0, j+1
-					}
-				}
-			}
-		}()
+	res := &PairResult{}
+	src, space, err := flatSpace(combin.Pairs(m), &o)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if err := firstErr.get(); err != nil {
+	res.Space = space
+	cur := sched.NewCursor(src)
+	if o.Progress != nil {
+		cur.OnProgress(src.Ranks(), o.Progress)
+	}
+
+	start := time.Now()
+	workers := make([]*pairWorker, o.Workers)
+	for w := range workers {
+		workers[w] = &pairWorker{s: s, o: &o, m: m, a: getArena(o.Objective, 0, 0),
+			top: newPairTopK(o.Objective, o.TopK)}
+	}
+	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t), nil
+	})
+	if err != nil {
 		return nil, err
 	}
 
-	merged := &pairTopK{topK: newTopK(o.Objective, o.TopK)}
-	for _, t := range tops {
-		for _, c := range t.items {
+	merged := newPairTopK(o.Objective, o.TopK)
+	for _, w := range workers {
+		for _, c := range w.top.items {
 			merged.offer(c)
 		}
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
 	}
-	res := &PairResult{TopK: merged.items}
+	res.TopK = merged.items
 	if len(merged.items) > 0 {
 		res.Best = merged.items[0]
 	}
-	res.Stats.Combinations = total
-	res.Stats.Elements = combin.Elements(m, s.mx.Samples(), 2)
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / secs
 	}
 	return res, nil
+}
+
+// pairWorker is one consumer of the pair tile stream.
+type pairWorker struct {
+	s   *Searcher
+	o   *Options
+	m   int
+	a   *arena
+	top *pairTopK
+}
+
+// tile scores every pair rank in [t.Lo, t.Hi) and returns the count.
+func (w *pairWorker) tile(t sched.Tile) int64 {
+	obj := w.o.Objective
+	i, j := combin.UnrankPair(t.Lo, w.m)
+	for r := t.Lo; r < t.Hi; r++ {
+		w.a.tab = contingency.BuildSplitPair(w.s.split, i, j)
+		w.top.offer(PairCandidate{
+			Pair:  Pair{I: i, J: j},
+			Score: obj.Score(&w.a.tab),
+		})
+		if i+1 < j {
+			i++
+		} else {
+			i, j = 0, j+1
+		}
+	}
+	w.a.scored += t.Len()
+	return t.Len()
 }
 
 // SearchPairs is a convenience wrapper: build a Searcher and run one
@@ -131,35 +139,23 @@ func SearchPairs(mx *dataset.Matrix, opts Options) (*PairResult, error) {
 	return s.RunPairs(opts)
 }
 
-// pairTopK adapts the candidate accumulator to pairs: it reuses the
-// ordering logic of topK through an embedded comparator.
+// pairTopK adapts the candidate accumulator to pairs, keeping the
+// shared objective-then-lexicographic ordering.
 type pairTopK struct {
-	*topK
+	k     int
 	items []PairCandidate
+	cmp   func(a, b PairCandidate) bool
+}
+
+func newPairTopK(obj score.Objective, k int) *pairTopK {
+	return &pairTopK{k: k, cmp: func(a, b PairCandidate) bool {
+		if a.Score != b.Score {
+			return obj.Better(a.Score, b.Score)
+		}
+		return a.Pair.Less(b.Pair)
+	}}
 }
 
 func (t *pairTopK) offer(c PairCandidate) {
-	if t.k == 0 {
-		return
-	}
-	betterThan := func(a, b PairCandidate) bool {
-		if a.Score != b.Score {
-			return t.obj.Better(a.Score, b.Score)
-		}
-		return a.Pair.Less(b.Pair)
-	}
-	if len(t.items) == t.k && !betterThan(c, t.items[len(t.items)-1]) {
-		return
-	}
-	pos := len(t.items)
-	for pos > 0 && betterThan(c, t.items[pos-1]) {
-		pos--
-	}
-	if len(t.items) < t.k {
-		t.items = append(t.items, PairCandidate{})
-	} else if pos == len(t.items) {
-		return
-	}
-	copy(t.items[pos+1:], t.items[pos:])
-	t.items[pos] = c
+	t.items = topk.Insert(t.items, c, t.k, t.cmp)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"trigene/internal/combin"
+	"trigene/internal/sched"
 )
 
 func TestProgressReportingFlatAndBlocked(t *testing.T) {
@@ -93,7 +94,7 @@ func TestRankRangeResultsMatchSubEnumeration(t *testing.T) {
 	// reproduce the full result.
 	total := combin.Triples(15)
 	var all []Candidate
-	for _, rg := range combin.Split(total, 3) {
+	for _, rg := range sched.NewSource(0, total, 1).Partition(3) {
 		rg := rg
 		res, err := s.Run(Options{Approach: V2Split, TopK: 1000, RankRange: &rg})
 		if err != nil {

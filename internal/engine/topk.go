@@ -1,23 +1,36 @@
 package engine
 
 import (
-	"sort"
-
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
-// topK accumulates the k best candidates for one worker. The slice is
-// kept sorted best-first; k is small (typically 1-100), so insertion
-// sort beats a heap in practice and keeps the output ordering trivially
-// deterministic.
+// topK accumulates the k best candidates for one worker through the
+// shared bounded sorted-insert (internal/topk). The comparator is
+// built once per reset, so offer is allocation-free once the slice
+// has grown to k entries — the hot-path requirement the scheduler
+// arenas rely on.
 type topK struct {
 	obj   score.Objective
 	k     int
 	items []Candidate
+	cmp   func(a, b Candidate) bool
 }
 
 func newTopK(obj score.Objective, k int) *topK {
-	return &topK{obj: obj, k: k, items: make([]Candidate, 0, k)}
+	t := &topK{obj: obj, k: k, items: make([]Candidate, 0, k)}
+	t.cmp = t.better
+	return t
+}
+
+// reset prepares a pooled accumulator for a new consumer, keeping the
+// backing array.
+func (t *topK) reset(obj score.Objective, k int) {
+	t.obj, t.k = obj, k
+	t.items = t.items[:0]
+	if t.cmp == nil {
+		t.cmp = t.better
+	}
 }
 
 // better orders candidates: objective score first, lexicographic triple
@@ -31,18 +44,7 @@ func (t *topK) better(a, b Candidate) bool {
 
 // offer inserts the candidate if it ranks among the k best seen.
 func (t *topK) offer(c Candidate) {
-	if t.k == 0 {
-		return
-	}
-	if len(t.items) == t.k && !t.better(c, t.items[len(t.items)-1]) {
-		return
-	}
-	pos := sort.Search(len(t.items), func(i int) bool { return t.better(c, t.items[i]) })
-	if len(t.items) < t.k {
-		t.items = append(t.items, Candidate{})
-	}
-	copy(t.items[pos+1:], t.items[pos:])
-	t.items[pos] = c
+	t.items = topk.Insert(t.items, c, t.k, t.cmp)
 }
 
 // merge folds another accumulator's candidates into t.
@@ -52,5 +54,11 @@ func (t *topK) merge(o *topK) {
 	}
 }
 
-// list returns the accumulated candidates, best first.
-func (t *topK) list() []Candidate { return t.items }
+// list returns a copy of the accumulated candidates, best first. The
+// copy detaches the result from the pooled backing array.
+func (t *topK) list() []Candidate {
+	if len(t.items) == 0 {
+		return nil
+	}
+	return append([]Candidate(nil), t.items...)
+}

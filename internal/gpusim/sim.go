@@ -10,7 +10,9 @@ import (
 	"trigene/internal/contingency"
 	"trigene/internal/dataset"
 	"trigene/internal/device"
+	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // Kernel selects one of the paper's four GPU approaches.
@@ -92,14 +94,31 @@ type Options struct {
 	BS int
 	// Objective ranks candidates (default Bayesian K2).
 	Objective score.Objective
+	// TopK is how many ranked candidates to return (default 1). The
+	// simulated device keeps the list host-side, exactly as the CPU
+	// engine's workers do, so sharded and heterogeneous runs merge
+	// full per-side top-K lists instead of dropping to a single best.
+	TopK int
 	// CoalesceBytes is the memory transaction segment size (default 32).
 	CoalesceBytes int
 	// L2Ways is the modeled L2 associativity (default 16).
 	L2Ways int
 	// RankLo and RankHi restrict the search to combination ranks
 	// [RankLo, RankHi) in colexicographic order; both zero means the
-	// full space. Heterogeneous deployments partition on this.
+	// full space. Sharded deployments partition on this.
 	RankLo, RankHi int64
+	// Tiles optionally supplies an externally shared claiming cursor
+	// over the combination-rank space: the simulated device then
+	// steals tiles from the same space as the cursor's other consumers
+	// (the heterogeneous backend's CPU half). RankLo/RankHi are
+	// ignored when set — the cursor owns the space.
+	Tiles *sched.Cursor
+	// Started, when non-nil, is invoked exactly once, right after the
+	// device's first tile claim (successful or not). The heterogeneous
+	// backend sequences its CPU half on it, so the device is
+	// guaranteed a share of a shared space before faster consumers
+	// start draining it.
+	Started func()
 	// BSched is the per-dimension scheduling block: each kernel
 	// enqueue covers BSched^3 thread slots indexed by (i0, i1, i2), and
 	// slots violating the i0 < i1 < i2 guard idle (Algorithm 2). The
@@ -161,7 +180,11 @@ type Candidate struct {
 
 // Result is the outcome of a simulated search.
 type Result struct {
-	Best  Candidate
+	Best Candidate
+	// TopK holds up to Options.TopK candidates in best-first order
+	// (objective first, lexicographic triple tie-break — the ordering
+	// every backend shares).
+	TopK  []Candidate
 	Stats Stats
 }
 
@@ -201,6 +224,12 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if opts.Objective == nil {
 		opts.Objective = score.NewK2(mx.Samples())
 	}
+	if opts.TopK == 0 {
+		opts.TopK = 1
+	}
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("gpusim: invalid TopK %d", opts.TopK)
+	}
 	if opts.CoalesceBytes == 0 {
 		opts.CoalesceBytes = 32
 	}
@@ -221,7 +250,6 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		dev:  r.dev,
 		opts: opts,
 		l2:   newLRUCache(r.dev.L2Bytes, opts.L2Ways),
-		best: Candidate{Score: opts.Objective.Worst()},
 	}
 	switch opts.Kernel {
 	case K1Naive:
@@ -235,36 +263,72 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	}
 
 	m := mx.SNPs()
-	base, total := int64(0), combin.Triples(m)
-	if opts.RankLo != 0 || opts.RankHi != 0 {
-		if opts.RankLo < 0 || opts.RankHi < opts.RankLo || opts.RankHi > total {
-			return nil, fmt.Errorf("gpusim: invalid rank range [%d,%d) of %d", opts.RankLo, opts.RankHi, total)
-		}
-		base, total = opts.RankLo, opts.RankHi
-	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	warp := r.dev.WarpSize
-	for lo, batch := base, 0; lo < total; lo, batch = lo+int64(warp), batch+1 {
-		if batch%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+
+	// Work distribution goes through the tile scheduler: either the
+	// run's own cursor over [RankLo, RankHi), or a shared cursor other
+	// consumers are draining concurrently. One tile is one simulated
+	// kernel enqueue; warps iterate inside it, and cancellation is
+	// observed between tiles.
+	cur := opts.Tiles
+	claimGrains := int64(1)
+	if cur == nil {
+		base, total := int64(0), combin.Triples(m)
+		if opts.RankLo != 0 || opts.RankHi != 0 {
+			if opts.RankLo < 0 || opts.RankHi < opts.RankLo || opts.RankHi > total {
+				return nil, fmt.Errorf("gpusim: invalid rank range [%d,%d) of %d", opts.RankLo, opts.RankHi, total)
 			}
+			base, total = opts.RankLo, opts.RankHi
 		}
-		hi := lo + int64(warp)
-		if hi > total {
-			hi = total
+		cur = sched.NewCursor(sched.NewSource(base, total, int64(warp)*256))
+	} else {
+		// On a shared cursor the grain was sized for CPU workers; the
+		// device claims larger spans to amortize its launch overhead,
+		// the way real kernel enqueues batch the space.
+		claimGrains = 4
+	}
+	started := opts.Started
+	signalStarted := func() {
+		if started != nil {
+			started()
+			started = nil
 		}
-		st.runWarp(m, lo, hi)
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			signalStarted()
+			return nil, err
+		}
+		t, ok := cur.Claim(claimGrains)
+		signalStarted()
+		if !ok {
+			break
+		}
+		for lo := t.Lo; lo < t.Hi; lo += int64(warp) {
+			hi := lo + int64(warp)
+			if hi > t.Hi {
+				hi = t.Hi
+			}
+			st.runWarp(m, lo, hi)
+		}
+		st.stats.Combinations += t.Len()
+		cur.Finish(t.Len())
 	}
 
-	st.stats.Combinations = total - base
-	st.stats.Elements = float64(total-base) * float64(mx.Samples())
+	st.stats.Elements = float64(st.stats.Combinations) * float64(mx.Samples())
 	st.accountScheduling(m)
 	st.finishTiming()
-	return &Result{Best: st.best, Stats: st.stats}, nil
+	res := &Result{Stats: st.stats, TopK: st.top}
+	if len(st.top) > 0 {
+		res.Best = st.top[0]
+	} else {
+		res.Best = Candidate{Score: opts.Objective.Worst()}
+	}
+	return res, nil
 }
 
 // accountScheduling computes the Algorithm 2 thread-slot utilization:
@@ -297,7 +361,8 @@ type simState struct {
 	words *dataset.Words32
 
 	stats Stats
-	best  Candidate
+	top   []Candidate // best-first, capped at opts.TopK
+	cmp   func(a, b Candidate) bool
 
 	// Reused warp-sized buffers.
 	ti, tj, tk [maxWarp]int
@@ -329,24 +394,31 @@ func (s *simState) runWarp(m int, lo, hi int64) {
 		var tab contingency.Table
 		tab.Counts = s.ft[t]
 		sc := s.opts.Objective.Score(&tab)
-		c := Candidate{I: s.ti[t], J: s.tj[t], K: s.tk[t], Score: sc}
-		if s.betterCandidate(c) {
-			s.best = c
-		}
+		s.offer(Candidate{I: s.ti[t], J: s.tj[t], K: s.tk[t], Score: sc})
 	}
 }
 
-func (s *simState) betterCandidate(c Candidate) bool {
-	if c.Score != s.best.Score {
-		return s.opts.Objective.Better(c.Score, s.best.Score)
+// better orders candidates: objective score first, lexicographic
+// triple as the deterministic tie-break (shared with every backend).
+func (s *simState) better(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return s.opts.Objective.Better(a.Score, b.Score)
 	}
-	if c.I != s.best.I {
-		return c.I < s.best.I
+	if a.I != b.I {
+		return a.I < b.I
 	}
-	if c.J != s.best.J {
-		return c.J < s.best.J
+	if a.J != b.J {
+		return a.J < b.J
 	}
-	return c.K < s.best.K
+	return a.K < b.K
+}
+
+// offer inserts the candidate if it ranks among the TopK best seen.
+func (s *simState) offer(c Candidate) {
+	if s.cmp == nil {
+		s.cmp = s.better
+	}
+	s.top = topk.Insert(s.top, c, s.opts.TopK, s.cmp)
 }
 
 // runWarpSplit executes one warp of the V2/V3/V4 kernel body.

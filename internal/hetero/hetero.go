@@ -1,18 +1,21 @@
 // Package hetero implements the heterogeneous CPU+GPU execution mode
 // the paper discusses in Section V-D (and that reference [30] builds):
-// the combination space is partitioned by rank between the CPU engine
-// and the (simulated) GPU, both halves run concurrently, and the
-// results are merged.
+// the CPU engine's workers and the (simulated) GPU consume the 3-way
+// combination space concurrently and the results are merged.
 //
-// The split fraction defaults to the analytical models' throughput
-// ratio for the chosen device pair — the paper's CI3+GN1 estimate sums
-// the two devices' throughputs, which is exactly what a
-// throughput-proportional static split achieves.
+// By default the two sides share one claiming cursor of the tile
+// scheduler — true work-stealing: each side pulls the next tile when
+// it finishes its last one, so a mis-modeled device ratio degrades
+// into a slightly different split instead of idling half the machine.
+// A fixed CPUFraction instead splits the rank space statically at the
+// throughput-proportional cut, which is what the paper's analytical
+// Section V-D estimate describes.
 package hetero
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"trigene/internal/combin"
@@ -21,27 +24,41 @@ import (
 	"trigene/internal/engine"
 	"trigene/internal/gpusim"
 	"trigene/internal/perfmodel"
+	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // Options configures a heterogeneous search.
 type Options struct {
 	// CPUDevice and GPUDevice select the modeled device pair for the
-	// split ratio and the combined-throughput projection. Defaults:
-	// CI3 and GN1 (the paper's Section V-D pairing).
+	// combined-throughput projection (and, with a fixed CPUFraction,
+	// the static split ratio). Defaults: CI3 and GN1 (the paper's
+	// Section V-D pairing).
 	CPUDevice device.CPU
 	GPUDevice device.GPU
 
 	// CPUFraction fixes the fraction of combination ranks evaluated on
-	// the CPU engine. Zero means automatic: the modeled CPU share of
-	// the pair's combined throughput. Use a negative value to force an
-	// all-GPU run and 1 for an all-CPU run.
+	// the CPU engine with a static split. Zero means work-stealing:
+	// both sides pull tiles from one shared cursor and the realized
+	// fraction is whatever the hardware delivers. Use a negative value
+	// for an all-GPU run and 1 for an all-CPU run.
 	CPUFraction float64
 
+	// Searcher optionally supplies a prebuilt engine.Searcher over the
+	// same dataset, reusing its precomputed binarized forms (a Session
+	// holds one). Nil builds a fresh one.
+	Searcher *engine.Searcher
 	// Workers is the CPU engine pool size (0 = all cores).
 	Workers int
+	// TopK is how many ranked candidates to return (default 1). Both
+	// sides keep full top-K lists; the merge is bit-exact.
+	TopK int
 	// Objective ranks candidates (default Bayesian K2).
 	Objective score.Objective
+	// Range restricts the search to combination ranks [Lo, Hi) — the
+	// shard primitive. Nil means the full space.
+	Range *combin.Range
 	// Context optionally allows cancellation of both halves; nil means
 	// context.Background().
 	Context context.Context
@@ -50,8 +67,14 @@ type Options struct {
 // Result is the outcome of a heterogeneous search.
 type Result struct {
 	Best engine.Candidate
+	// TopK holds up to Options.TopK candidates in best-first order,
+	// merged from both sides under the shared objective-then-
+	// lexicographic ordering.
+	TopK []engine.Candidate
 
-	// CPUFraction is the fraction of ranks that ran on the CPU side.
+	// CPUFraction is the fraction of the evaluated ranks that ran on
+	// the CPU engine: the realized work-stealing split, or the
+	// configured one on a static run.
 	CPUFraction float64
 	// CPUStats/GPUStats describe the two halves. The CPU half is a real
 	// host measurement; the GPU half carries the simulator's modeled
@@ -68,9 +91,12 @@ type Result struct {
 	Duration time.Duration
 }
 
-// Search partitions the 3-way combination space between the CPU engine
-// and the GPU simulator and merges the results. The merged best is
-// bit-exact: both halves compute the same tables and scores.
+// Search runs the 3-way combination space across the CPU engine and
+// the GPU simulator — work-stealing from a shared tile cursor by
+// default, statically split on a fixed CPUFraction — and merges the
+// results. The merge is bit-exact: both halves compute the same
+// tables and scores, and the top-K ordering is the one every backend
+// shares.
 func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if opts.CPUDevice.ID == "" {
 		c, err := device.CPUByID("CI3")
@@ -89,95 +115,222 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if opts.Objective == nil {
 		opts.Objective = score.NewK2(mx.Samples())
 	}
+	if opts.TopK == 0 {
+		opts.TopK = 1
+	}
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("hetero: invalid TopK %d", opts.TopK)
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
+	if opts.CPUFraction > 1 {
+		return nil, fmt.Errorf("hetero: CPUFraction %g out of range", opts.CPUFraction)
+	}
 	m, n := mx.SNPs(), mx.Samples()
+
+	lo, hi := int64(0), combin.Triples(m)
+	if r := opts.Range; r != nil {
+		if r.Lo < 0 || r.Hi < r.Lo || r.Hi > hi {
+			return nil, fmt.Errorf("hetero: invalid rank range [%d,%d) of %d", r.Lo, r.Hi, hi)
+		}
+		lo, hi = r.Lo, r.Hi
+	}
+	total := hi - lo
 
 	cpuRate := perfmodel.CPUOverallGElemPerSec(opts.CPUDevice, true, m, n)
 	gpuRate := perfmodel.GPUOverallGElemPerSec(opts.GPUDevice, m, n)
-	frac := opts.CPUFraction
-	switch {
-	case frac == 0:
-		frac = cpuRate / (cpuRate + gpuRate)
-	case frac < 0:
-		frac = 0
-	case frac > 1:
-		return nil, fmt.Errorf("hetero: CPUFraction %g out of range", opts.CPUFraction)
+	out := &Result{ModeledCombinedGElems: cpuRate + gpuRate}
+	if total == 0 {
+		out.Best = engine.Candidate{Score: opts.Objective.Worst()}
+		return out, nil
 	}
 
-	total := combin.Triples(m)
-	cut := int64(frac * float64(total))
-	if cut > total {
-		cut = total
+	if opts.Searcher == nil {
+		s, err := engine.New(mx)
+		if err != nil {
+			return nil, err
+		}
+		opts.Searcher = s
 	}
 
 	start := time.Now()
+	var cpuRes *engine.Result
+	var gpuRes *gpusim.Result
+	var err error
+	if opts.CPUFraction == 0 {
+		cpuRes, gpuRes, err = runStealing(mx, &opts, lo, hi)
+	} else {
+		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Duration = time.Since(start)
+
+	merged := &topList{obj: opts.Objective, k: opts.TopK}
+	if cpuRes != nil {
+		out.CPUStats = cpuRes.Stats
+		for _, c := range cpuRes.TopK {
+			merged.offer(c)
+		}
+	}
+	if gpuRes != nil {
+		out.GPUStats = gpuRes.Stats
+		for _, c := range gpuRes.TopK {
+			merged.offer(engine.Candidate{
+				Triple: engine.Triple{I: c.I, J: c.J, K: c.K},
+				Score:  c.Score,
+			})
+		}
+	}
+	out.TopK = merged.items
+	if len(merged.items) > 0 {
+		out.Best = merged.items[0]
+	} else {
+		out.Best = engine.Candidate{Score: opts.Objective.Worst()}
+	}
+	out.CPUFraction = float64(out.CPUStats.Combinations) / float64(total)
+	if covered := out.CPUStats.Combinations + out.GPUStats.Combinations; covered != total {
+		return nil, fmt.Errorf("hetero: halves cover %d of %d ranks", covered, total)
+	}
+	return out, nil
+}
+
+// runStealing drains one shared tile cursor from both sides: the GPU
+// consumer claims first (Search waits for its opening claim before
+// unleashing the CPU pool), then each side pulls the next tile
+// whenever it finishes one.
+func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Result, *gpusim.Result, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	src := sched.NewSource(lo, hi, sched.AutoGrain(hi-lo, workers+1))
+	cur := sched.NewCursor(src)
+
+	type gpuOut struct {
+		res *gpusim.Result
+		err error
+	}
+	gpuCh := make(chan gpuOut, 1)
+	claimed := make(chan struct{})
+	go func() {
+		res, err := gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
+			Kernel:    gpusim.K4Tiled,
+			Objective: opts.Objective,
+			TopK:      opts.TopK,
+			Context:   opts.Context,
+			Tiles:     cur,
+			Started:   func() { close(claimed) },
+		})
+		gpuCh <- gpuOut{res: res, err: err}
+	}()
+
+	// Wait for the device's opening claim (or its early failure) so a
+	// fast CPU pool cannot drain the space before the device joins.
+	var gpu *gpuOut
+	select {
+	case <-claimed:
+	case g := <-gpuCh:
+		gpu = &g
+	}
+	if gpu != nil && gpu.err != nil {
+		return nil, nil, fmt.Errorf("hetero: GPU half: %w", gpu.err)
+	}
+
+	cpuRes, cpuErr := opts.Searcher.Run(engine.Options{
+		Approach:  engine.V2Split, // rank-partitionable approach
+		Workers:   opts.Workers,
+		Objective: opts.Objective,
+		TopK:      opts.TopK,
+		Context:   opts.Context,
+		Tiles:     cur,
+	})
+	if gpu == nil {
+		g := <-gpuCh
+		gpu = &g
+	}
+	if cpuErr != nil {
+		return nil, nil, fmt.Errorf("hetero: CPU half: %w", cpuErr)
+	}
+	if gpu.err != nil {
+		return nil, nil, fmt.Errorf("hetero: GPU half: %w", gpu.err)
+	}
+	return cpuRes, gpu.res, nil
+}
+
+// runStatic splits [lo, hi) at the configured fraction and runs the
+// halves concurrently — the paper's throughput-proportional static
+// split, kept for analytical comparisons and forced placements.
+func runStatic(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Result, *gpusim.Result, error) {
+	frac := opts.CPUFraction
+	if frac < 0 {
+		frac = 0
+	}
+	cut := lo + int64(frac*float64(hi-lo))
+	if cut > hi {
+		cut = hi
+	}
+
 	type cpuOut struct {
 		res *engine.Result
 		err error
 	}
 	cpuCh := make(chan cpuOut, 1)
 	go func() {
-		if cut == 0 {
+		if cut == lo {
 			cpuCh <- cpuOut{res: &engine.Result{}}
 			return
 		}
-		res, err := engine.Search(mx, engine.Options{
-			Approach:  engine.V2Split, // rank-partitionable approach
+		res, err := opts.Searcher.Run(engine.Options{
+			Approach:  engine.V2Split,
 			Workers:   opts.Workers,
 			Objective: opts.Objective,
+			TopK:      opts.TopK,
 			Context:   opts.Context,
-			RankRange: &combin.Range{Lo: 0, Hi: cut},
+			RankRange: &combin.Range{Lo: lo, Hi: cut},
 		})
 		cpuCh <- cpuOut{res: res, err: err}
 	}()
 
 	var gpuRes *gpusim.Result
 	var gpuErr error
-	if cut < total {
+	if cut < hi {
 		gpuRes, gpuErr = gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
 			Kernel:    gpusim.K4Tiled,
 			Objective: opts.Objective,
+			TopK:      opts.TopK,
 			Context:   opts.Context,
 			RankLo:    cut,
-			RankHi:    total,
+			RankHi:    hi,
 		})
 	}
 	cpu := <-cpuCh
 	if cpu.err != nil {
-		return nil, fmt.Errorf("hetero: CPU half: %w", cpu.err)
+		return nil, nil, fmt.Errorf("hetero: CPU half: %w", cpu.err)
 	}
 	if gpuErr != nil {
-		return nil, fmt.Errorf("hetero: GPU half: %w", gpuErr)
+		return nil, nil, fmt.Errorf("hetero: GPU half: %w", gpuErr)
 	}
-
-	out := &Result{
-		CPUFraction:           frac,
-		ModeledCombinedGElems: cpuRate + gpuRate,
-		Duration:              time.Since(start),
-	}
-	best := engine.Candidate{Score: opts.Objective.Worst()}
-	haveBest := false
-	if cut > 0 {
-		out.CPUStats = cpu.res.Stats
-		best = cpu.res.Best
-		haveBest = true
-	}
-	if gpuRes != nil {
-		out.GPUStats = gpuRes.Stats
-		g := engine.Candidate{
-			Triple: engine.Triple{I: gpuRes.Best.I, J: gpuRes.Best.J, K: gpuRes.Best.K},
-			Score:  gpuRes.Best.Score,
-		}
-		if !haveBest || betterCandidate(opts.Objective, g, best) {
-			best = g
-		}
-	}
-	out.Best = best
-	return out, nil
+	return cpu.res, gpuRes, nil
 }
 
-func betterCandidate(obj score.Objective, a, b engine.Candidate) bool {
+// topList accumulates the k best candidates under the shared
+// objective-then-lexicographic ordering.
+type topList struct {
+	obj   score.Objective
+	k     int
+	items []engine.Candidate
+}
+
+func (t *topList) better(a, b engine.Candidate) bool {
 	if a.Score != b.Score {
-		return obj.Better(a.Score, b.Score)
+		return t.obj.Better(a.Score, b.Score)
 	}
 	return a.Triple.Less(b.Triple)
+}
+
+func (t *topList) offer(c engine.Candidate) {
+	t.items = topk.Insert(t.items, c, t.k, t.better)
 }

@@ -23,7 +23,9 @@ import (
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
 	"trigene/internal/dataset"
+	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // Options configures a baseline search.
@@ -34,6 +36,12 @@ type Options struct {
 	// TopK is how many candidates to return (default 1; MPI3SNP itself
 	// reports a ranked list).
 	TopK int
+	// Range restricts the search to combination ranks [Lo, Hi) in
+	// colexicographic order — the shard primitive. Nil means the full
+	// space. The static MPI-style distribution then partitions the
+	// range instead of the whole space, so sharded runs merge
+	// bit-exactly with unsharded ones.
+	Range *combin.Range
 	// Context optionally allows cancellation; nil means
 	// context.Background(). Cancellation is observed periodically
 	// inside each rank's static block and returns the context error.
@@ -125,11 +133,19 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	start := time.Now()
 	cp := buildPlanes(mx)
 	m := mx.SNPs()
-	total := combin.Triples(m)
+	lo, hi := int64(0), combin.Triples(m)
+	if r := opts.Range; r != nil {
+		if r.Lo < 0 || r.Hi < r.Lo || r.Hi > hi {
+			return nil, fmt.Errorf("mpi3snp: invalid rank range [%d,%d) of %d", r.Lo, r.Hi, hi)
+		}
+		lo, hi = r.Lo, r.Hi
+	}
 
 	// Static block distribution over combination ranks, as an MPI code
-	// would partition up front.
-	ranges := combin.Split(total, opts.Ranks)
+	// would partition up front: the scheduler's Partition, not its
+	// claiming cursor, because static assignment is the point of this
+	// baseline.
+	ranges := sched.NewSource(lo, hi, 1).Partition(opts.Ranks)
 	tops := make([][]Candidate, len(ranges))
 	var wg sync.WaitGroup
 	for rk, rg := range ranges {
@@ -149,8 +165,8 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if len(merged) > 0 {
 		res.Best = merged[0]
 	}
-	res.Stats.Combinations = total
-	res.Stats.Elements = combin.Elements(m, mx.Samples(), 3)
+	res.Stats.Combinations = hi - lo
+	res.Stats.Elements = float64(hi-lo) * float64(mx.Samples())
 	res.Stats.Duration = time.Since(start)
 	if s := res.Stats.Duration.Seconds(); s > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / s
@@ -188,22 +204,7 @@ func searchRange(ctx context.Context, cp *classPlanes, m int, rg combin.Range, t
 // insertTopK keeps the list sorted by MI descending (ties: smaller
 // triple first) and capped at k entries.
 func insertTopK(top []Candidate, c Candidate, k int) []Candidate {
-	if k == 0 {
-		return top
-	}
-	pos := len(top)
-	for pos > 0 && better(c, top[pos-1]) {
-		pos--
-	}
-	if pos == len(top) && len(top) >= k {
-		return top
-	}
-	if len(top) < k {
-		top = append(top, Candidate{})
-	}
-	copy(top[pos+1:], top[pos:])
-	top[pos] = c
-	return top
+	return topk.Insert(top, c, k, better)
 }
 
 func better(a, b Candidate) bool {

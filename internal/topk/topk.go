@@ -1,0 +1,37 @@
+// Package topk holds the one bounded sorted-insert every backend's
+// candidate accumulator shares. Keeping the algorithm in a single
+// place is what guarantees the cross-backend bit-exact parity of
+// sharded and heterogeneous merges: each caller supplies its
+// objective-then-lexicographic comparator, and the insertion
+// semantics cannot drift between copies.
+package topk
+
+// Insert inserts c into list — kept sorted best-first under better —
+// capping it at k entries, and returns the updated slice. k is small
+// (typically 1-100), so insertion sort beats a heap in practice and
+// keeps the output ordering trivially deterministic. Insert allocates
+// only while the slice grows toward k: with a prebuilt comparator it
+// is allocation-free in the steady state, the hot-path requirement
+// the scheduler arenas rely on.
+func Insert[T any](list []T, c T, k int, better func(a, b T) bool) []T {
+	if k == 0 {
+		return list
+	}
+	n := len(list)
+	if n == k && !better(c, list[n-1]) {
+		return list
+	}
+	pos := n
+	for pos > 0 && better(c, list[pos-1]) {
+		pos--
+	}
+	if n < k {
+		var zero T
+		list = append(list, zero)
+	} else if pos == n {
+		return list
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = c
+	return list
+}

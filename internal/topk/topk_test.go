@@ -1,0 +1,54 @@
+package topk
+
+import (
+	"testing"
+)
+
+func asc(a, b int) bool { return a < b }
+
+func TestInsertKeepsSortedCapped(t *testing.T) {
+	var list []int
+	for _, v := range []int{5, 1, 9, 3, 7, 2, 8} {
+		list = Insert(list, v, 3, asc)
+	}
+	want := []int{1, 2, 3}
+	if len(list) != 3 {
+		t.Fatalf("len %d", len(list))
+	}
+	for i := range want {
+		if list[i] != want[i] {
+			t.Fatalf("list %v, want %v", list, want)
+		}
+	}
+}
+
+func TestInsertZeroK(t *testing.T) {
+	if got := Insert(nil, 1, 0, asc); got != nil {
+		t.Errorf("k=0 insert returned %v", got)
+	}
+}
+
+func TestInsertBelowCapKeepsAll(t *testing.T) {
+	var list []int
+	for v := 10; v > 0; v-- {
+		list = Insert(list, v, 100, asc)
+	}
+	if len(list) != 10 || list[0] != 1 || list[9] != 10 {
+		t.Errorf("list %v", list)
+	}
+}
+
+func TestInsertSteadyStateAllocFree(t *testing.T) {
+	list := make([]int, 0, 4)
+	for v := 0; v < 4; v++ {
+		list = Insert(list, v, 4, asc)
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(64, func() {
+		list = Insert(list, n%8, 4, asc)
+		n++
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per steady-state insert, want 0", allocs)
+	}
+}

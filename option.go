@@ -82,7 +82,8 @@ func WithOrder(k int) Option {
 }
 
 // WithTopK sets how many ranked candidates the Report carries
-// (default 1).
+// (default 1). Every backend honors it, including gpusim and hetero,
+// whose per-side lists merge bit-exactly.
 func WithTopK(n int) Option {
 	return func(c *searchConfig) error {
 		if n < 1 {
@@ -135,10 +136,13 @@ func WithApproach(v Approach) Option {
 }
 
 // WithShard restricts the search to shard index of count near-equal
-// contiguous slices of the combination-rank space — the primitive that
-// distributed deployments partition on. Running every shard and
-// merging the Reports (MergeReports) reproduces the unsharded search
-// bit-exactly. Backends that cannot shard fail loudly.
+// contiguous slices of the scheduler's work space — the primitive that
+// distributed deployments partition on. Every backend shards: the
+// flat CPU approaches, orders 2 and k, gpusim, baseline and hetero
+// slice the combination-rank space; the blocked approaches V3/V4
+// slice the block-triple space (see ShardInfo.Space). Running every
+// shard and merging the Reports (MergeReports) reproduces the
+// unsharded search bit-exactly.
 func WithShard(index, count int) Option {
 	return func(c *searchConfig) error {
 		if count < 1 || index < 0 || index >= count {
@@ -152,8 +156,8 @@ func WithShard(index, count int) Option {
 // WithProgress installs a progress callback invoked with the
 // cumulative number of evaluated combinations and the total. It must
 // be safe for concurrent use and return quickly. Progress is reported
-// by the CPU backend's order-3 approaches; other paths complete
-// without intermediate callbacks.
+// by the CPU backend on every order and approach; other backends
+// complete without intermediate callbacks.
 func WithProgress(fn func(done, total int64)) Option {
 	return func(c *searchConfig) error {
 		c.progress = fn

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"trigene/internal/score"
+	"trigene/internal/topk"
 )
 
 // SearchCandidate is a scored SNP combination of any interaction
@@ -17,20 +18,33 @@ type SearchCandidate struct {
 	Score float64
 }
 
-// ShardInfo records which slice of the combination space a sharded
-// Report covers.
+// Shard space units: what the ranks in ShardInfo.Lo/Hi count.
+const (
+	// ShardSpaceRanks: colexicographic combination ranks (flat CPU
+	// approaches, orders 2 and k, gpusim, baseline, hetero).
+	ShardSpaceRanks = "combination-ranks"
+	// ShardSpaceBlocks: block-triple ranks (the blocked CPU approaches
+	// V3/V4, whose cache tiles are the indivisible work unit).
+	ShardSpaceBlocks = "block-triples"
+)
+
+// ShardInfo records which slice of the scheduler's work space a
+// sharded Report covers.
 type ShardInfo struct {
 	// Index and Count identify the shard: slice Index of Count.
 	Index, Count int
-	// Lo and Hi are the covered colexicographic combination ranks
-	// [Lo, Hi).
+	// Lo and Hi are the covered ranks [Lo, Hi) in Space units.
 	Lo, Hi int64
+	// Space names the rank units: ShardSpaceRanks or ShardSpaceBlocks.
+	Space string
 }
 
 // HeteroInfo carries the heterogeneous backend's split accounting.
 type HeteroInfo struct {
-	// CPUFraction is the fraction of combination ranks evaluated on
-	// the CPU engine; the rest ran on the simulated GPU.
+	// CPUFraction is the fraction of the evaluated ranks the CPU
+	// engine scored; the rest ran on the simulated GPU. On the default
+	// work-stealing run it is the realized split, not a configured
+	// one.
 	CPUFraction float64
 	// ModeledCombinedGElems is the device pair's projected joint
 	// throughput in G elements/s (the paper's Section V-D estimate).
@@ -99,23 +113,9 @@ func betterCandidate(obj score.Objective, a, b SearchCandidate) bool {
 	return false
 }
 
-// insertCandidate keeps list sorted best-first and capped at k.
-func insertCandidate(list []SearchCandidate, c SearchCandidate, k int, obj score.Objective) []SearchCandidate {
-	if len(list) == k && !betterCandidate(obj, c, list[len(list)-1]) {
-		return list
-	}
-	pos := len(list)
-	for pos > 0 && betterCandidate(obj, c, list[pos-1]) {
-		pos--
-	}
-	if len(list) < k {
-		list = append(list, SearchCandidate{})
-	} else if pos == len(list) {
-		return list
-	}
-	copy(list[pos+1:], list[pos:])
-	list[pos] = c
-	return list
+// candidateCmp builds the bounded-insert comparator for one objective.
+func candidateCmp(obj score.Objective) func(a, b SearchCandidate) bool {
+	return func(a, b SearchCandidate) bool { return betterCandidate(obj, a, b) }
 }
 
 // MergeReports combines the Reports of a sharded search (one per
@@ -174,9 +174,10 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		obj:       obj,
 		topK:      k,
 	}
+	cmp := candidateCmp(obj)
 	for _, r := range reports {
 		for _, c := range r.TopK {
-			out.TopK = insertCandidate(out.TopK, c, k, obj)
+			out.TopK = topk.Insert(out.TopK, c, k, cmp)
 		}
 		out.Combinations += r.Combinations
 		out.Elements += r.Elements

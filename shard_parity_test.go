@@ -1,0 +1,144 @@
+package trigene_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"trigene"
+)
+
+// Shard/merge parity is the scheduler's core guarantee: a shard is a
+// sub-range of the tile space with bit-exact MergeReports semantics,
+// on every backend. For each backend and every order it supports,
+// three executions must produce identical Reports (candidates,
+// scores, tie-breaks):
+//
+//   - a full run,
+//   - a 2-shard run merged with MergeReports,
+//   - a work-stealing run (a different dynamic consumer count — and,
+//     on hetero, a different realized CPU/GPU split).
+func TestShardMergeParity(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		orders []int
+		opts   []trigene.Option
+	}{
+		{"cpu", []int{2, 3, 4}, nil},
+		{"cpu-V1", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V1Naive)}},
+		{"cpu-V2", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V2Split)}},
+		{"cpu-V3", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V3Blocked)}},
+		{"cpu-V4", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Vector)}},
+		{"gpusim", []int{3}, []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1))}},
+		{"baseline", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Baseline())}},
+		{"hetero", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Hetero())}},
+	}
+	for _, tc := range cases {
+		for _, order := range tc.orders {
+			t.Run(fmt.Sprintf("%s/order%d", tc.name, order), func(t *testing.T) {
+				base := append([]trigene.Option{trigene.WithOrder(order), trigene.WithTopK(6)}, tc.opts...)
+				full, err := s.Search(ctx, base...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(full.TopK) != 6 {
+					t.Fatalf("full run returned %d candidates", len(full.TopK))
+				}
+
+				// 2-shard run, merged.
+				var parts []*trigene.Report
+				var combos int64
+				for i := 0; i < 2; i++ {
+					rep, err := s.Search(ctx, append(base, trigene.WithShard(i, 2))...)
+					if err != nil {
+						t.Fatalf("shard %d: %v", i, err)
+					}
+					if rep.Shard == nil || rep.Shard.Index != i || rep.Shard.Count != 2 || rep.Shard.Space == "" {
+						t.Fatalf("shard %d info: %+v", i, rep.Shard)
+					}
+					combos += rep.Combinations
+					parts = append(parts, rep)
+				}
+				if combos != full.Combinations {
+					t.Errorf("shards cover %d combinations, full %d", combos, full.Combinations)
+				}
+				merged, err := trigene.MergeReports(parts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "2-shard merge", merged, full)
+
+				// Work-stealing run: a different dynamic consumer count
+				// claims tiles in a different interleaving; the result must
+				// not change.
+				ws, err := s.Search(ctx, append(base, trigene.WithWorkers(3))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "work-stealing", ws, full)
+			})
+		}
+	}
+}
+
+// reportsEqual asserts two Reports carry identical ranked candidates
+// and cover the same number of combinations.
+func reportsEqual(t *testing.T, label string, got, want *trigene.Report) {
+	t.Helper()
+	if got.Combinations != want.Combinations {
+		t.Errorf("%s: %d combinations, want %d", label, got.Combinations, want.Combinations)
+	}
+	if len(got.TopK) != len(want.TopK) {
+		t.Fatalf("%s: top-K %d entries, want %d", label, len(got.TopK), len(want.TopK))
+	}
+	for i := range want.TopK {
+		wantSNPs(t, got.TopK[i].SNPs, want.TopK[i].SNPs...)
+		if got.TopK[i].Score != want.TopK[i].Score {
+			t.Errorf("%s: top-%d score %.12f != %.12f", label, i+1, got.TopK[i].Score, want.TopK[i].Score)
+		}
+	}
+	wantSNPs(t, got.Best.SNPs, want.Best.SNPs...)
+	if got.Best.Score != want.Best.Score {
+		t.Errorf("%s: best score %.12f != %.12f", label, got.Best.Score, want.Best.Score)
+	}
+}
+
+// TestSessionShardEmptyEverywhere: shards beyond the space report no
+// candidates on every backend (the GPU simulator must not fall back
+// to the full space, and hetero must not spin up either half).
+func TestSessionShardEmptyEverywhere(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 6, Samples: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(6,3) = 20, so shard 20 of 21 is empty.
+	for _, b := range []trigene.Backend{trigene.CPU(), trigene.GPUSim(gn1), trigene.Baseline(), trigene.Hetero()} {
+		rep, err := s.Search(ctx, trigene.WithBackend(b), trigene.WithShard(20, 21))
+		if err != nil {
+			t.Fatalf("%s empty shard: %v", b.Name(), err)
+		}
+		if len(rep.TopK) != 0 || rep.Best.SNPs != nil || rep.Combinations != 0 {
+			t.Errorf("%s empty shard not empty: topk=%d best=%v combos=%d",
+				b.Name(), len(rep.TopK), rep.Best.SNPs, rep.Combinations)
+		}
+		if rep.Shard == nil || rep.Shard.Lo != rep.Shard.Hi {
+			t.Errorf("%s empty shard info: %+v", b.Name(), rep.Shard)
+		}
+	}
+}

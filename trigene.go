@@ -14,6 +14,9 @@
 //     objectives;
 //   - a GPU simulator executing the paper's four GPU kernels with a
 //     coalescing-aware memory model over the Table II device catalog;
+//   - the tile scheduler: one work-distribution core every backend
+//     consumes, which makes sharding and work-stealing heterogeneous
+//     execution backend-agnostic properties of the search space;
 //   - the Cache-Aware Roofline Model and analytical device performance
 //     models that regenerate the paper's figures and tables.
 //
@@ -34,8 +37,8 @@
 //
 // The pre-Session entry points (Search, SearchPairs, SearchK,
 // SimulateGPU, BaselineSearch, SearchHeterogeneous, PermutationTest*)
-// remain as thin deprecated shims for one release; see README.md for
-// the migration table.
+// were removed after one deprecation release; see README.md for the
+// migration table.
 package trigene
 
 import (
@@ -45,8 +48,6 @@ import (
 	"trigene/internal/device"
 	"trigene/internal/engine"
 	"trigene/internal/gpusim"
-	"trigene/internal/hetero"
-	"trigene/internal/mpi3snp"
 	"trigene/internal/permtest"
 	"trigene/internal/score"
 )
@@ -60,6 +61,9 @@ type GenConfig = dataset.GenConfig
 
 // Interaction plants a third-order epistatic signal in generated data.
 type Interaction = dataset.Interaction
+
+// PairInteraction plants a second-order signal in generated data.
+type PairInteraction = dataset.PairInteraction
 
 // NewMatrix returns a zeroed M-by-N genotype matrix.
 func NewMatrix(m, n int) *Matrix { return dataset.NewMatrix(m, n) }
@@ -91,6 +95,14 @@ func ReadBinary(r io.Reader) (*Matrix, error) { return dataset.ReadBinary(r) }
 // WriteBinary serializes a dataset in the binary format.
 func WriteBinary(w io.Writer, mx *Matrix) error { return dataset.WriteBinary(w, mx) }
 
+// ReadPED parses a PLINK .ped file (samples in rows, two allele
+// columns per SNP, phenotype 1=control / 2=case).
+func ReadPED(r io.Reader) (*Matrix, error) { return dataset.ReadPED(r) }
+
+// ReadVCF parses a bi-allelic VCF subset; phen supplies per-sample
+// phenotypes in header order.
+func ReadVCF(r io.Reader, phen []uint8) (*Matrix, error) { return dataset.ReadVCF(r, phen) }
+
 // Approach selects one of the paper's four CPU pipelines (V1Naive,
 // V2Split, V3Blocked, V4Vector).
 type Approach = engine.Approach
@@ -110,44 +122,6 @@ func ParseApproach(s string) (Approach, error) { return engine.ParseApproach(s) 
 // ParseGPUKernel accepts "V1".."V4", "1".."4" or the descriptive names
 // "naive", "split", "transposed" and "tiled", case-insensitively.
 func ParseGPUKernel(s string) (GPUKernel, error) { return gpusim.ParseKernel(s) }
-
-// Options configures a CPU search; the zero value uses the best
-// approach (V4) on all cores with the K2 objective.
-//
-// Deprecated: Session.Search takes functional options (WithApproach,
-// WithTopK, WithObjective, WithWorkers, WithShard, WithProgress).
-type Options = engine.Options
-
-// Result is the outcome of a search: the best candidate, the top-K
-// list and throughput statistics.
-//
-// Deprecated: Session.Search returns the order-generic Report.
-type Result = engine.Result
-
-// Candidate is a scored SNP triple.
-type Candidate = engine.Candidate
-
-// Triple identifies a SNP combination i < j < k.
-type Triple = engine.Triple
-
-// Searcher runs repeated searches over one dataset, reusing the
-// binarized forms.
-//
-// Deprecated: use Session, which adds backend selection, sharding and
-// context-first cancellation.
-type Searcher = engine.Searcher
-
-// NewSearcher validates the dataset and precomputes its binarized
-// forms.
-//
-// Deprecated: use NewSession.
-func NewSearcher(mx *Matrix) (*Searcher, error) { return engine.New(mx) }
-
-// Search runs one exhaustive 3-way search.
-//
-// Deprecated: use Session.Search, e.g.
-// NewSession(mx) then sess.Search(ctx, WithTopK(n)).
-func Search(mx *Matrix, opts Options) (*Result, error) { return engine.Search(mx, opts) }
 
 // Objective ranks contingency tables; see NewObjective.
 type Objective = score.Objective
@@ -188,125 +162,10 @@ const (
 	GPUTiled      = gpusim.K4Tiled
 )
 
-// GPUOptions configures a simulated GPU search.
-type GPUOptions = gpusim.Options
-
-// GPUResult is the outcome of a simulated GPU search: the bit-exact
-// best candidate plus modeled execution statistics.
-type GPUResult = gpusim.Result
-
 // GPUStats aggregates the executed operations, memory behaviour and
-// modeled timing of a simulated search.
+// modeled timing of a simulated search (Report.GPU).
 type GPUStats = gpusim.Stats
 
-// GPURunner simulates searches on one Table II device.
-type GPURunner = gpusim.Runner
-
-// NewGPURunner returns a simulator for the given device.
-func NewGPURunner(dev GPUDevice) *GPURunner { return gpusim.New(dev) }
-
-// SimulateGPU runs an exhaustive search on a simulated GPU device.
-//
-// Deprecated: use Session.Search with WithBackend(GPUSim(dev)).
-func SimulateGPU(dev GPUDevice, mx *Matrix, opts GPUOptions) (*GPUResult, error) {
-	return gpusim.New(dev).Search(mx, opts)
-}
-
-// BaselineOptions configures the MPI3SNP-style baseline search.
-type BaselineOptions = mpi3snp.Options
-
-// BaselineResult is the outcome of a baseline search.
-type BaselineResult = mpi3snp.Result
-
-// BaselineSearch runs the MPI3SNP-style reference implementation
-// (three stored planes, no tiling, static scheduling, mutual
-// information), the Table III comparator.
-//
-// Deprecated: use Session.Search with WithBackend(Baseline()).
-func BaselineSearch(mx *Matrix, opts BaselineOptions) (*BaselineResult, error) {
-	return mpi3snp.Search(mx, opts)
-}
-
-// PairInteraction plants a second-order signal in generated data.
-type PairInteraction = dataset.PairInteraction
-
-// Pair identifies a SNP combination i < j.
-type Pair = engine.Pair
-
-// PairCandidate is a scored SNP pair.
-type PairCandidate = engine.PairCandidate
-
-// PairResult is the outcome of an exhaustive 2-way search.
-type PairResult = engine.PairResult
-
-// SearchPairs runs an exhaustive second-order (2-way) search — the
-// interaction order targeted by GBOOST-class tools.
-//
-// Deprecated: use Session.Search with WithOrder(2).
-func SearchPairs(mx *Matrix, opts Options) (*PairResult, error) {
-	return engine.SearchPairs(mx, opts)
-}
-
-// PermConfig parameterizes a phenotype-permutation significance test.
-type PermConfig = permtest.Config
-
-// PermResult summarizes a permutation test.
+// PermResult summarizes a permutation test
+// (Session.PermutationTest).
 type PermResult = permtest.Result
-
-// PermutationTest estimates the p-value of a 3-way candidate by
-// phenotype permutation.
-//
-// Deprecated: use Session.PermutationTest with the candidate's SNPs.
-func PermutationTest(mx *Matrix, t Triple, cfg PermConfig) (*PermResult, error) {
-	return permtest.Triple(mx, t.I, t.J, t.K, cfg)
-}
-
-// PermutationTestPair is the 2-way analogue of PermutationTest.
-//
-// Deprecated: use Session.PermutationTest with the candidate's SNPs.
-func PermutationTestPair(mx *Matrix, p Pair, cfg PermConfig) (*PermResult, error) {
-	return permtest.Pair(mx, p.I, p.J, cfg)
-}
-
-// HeteroOptions configures a heterogeneous CPU+GPU search.
-type HeteroOptions = hetero.Options
-
-// HeteroResult is the outcome of a heterogeneous search.
-type HeteroResult = hetero.Result
-
-// SearchHeterogeneous partitions the combination space between the CPU
-// engine and the simulated GPU (Section V-D's collaborative mode) and
-// merges the results bit-exactly.
-//
-// Deprecated: use Session.Search with WithBackend(Hetero()) or
-// WithBackend(HeteroOn(cpu, gpu, fraction)).
-func SearchHeterogeneous(mx *Matrix, opts HeteroOptions) (*HeteroResult, error) {
-	return hetero.Search(mx, opts)
-}
-
-// KCandidate is a scored SNP combination of arbitrary order.
-type KCandidate = engine.KCandidate
-
-// KResult is the outcome of an exhaustive k-way search.
-type KResult = engine.KResult
-
-// SearchK runs an exhaustive search of arbitrary interaction order
-// (2..7). Orders 2 and 3 have specialized fast paths in SearchPairs and
-// Search; SearchK is the generalization for higher orders.
-//
-// Deprecated: use Session.Search with WithOrder(k).
-func SearchK(mx *Matrix, order int, opts Options) (*KResult, error) {
-	s, err := engine.New(mx)
-	if err != nil {
-		return nil, err
-	}
-	return s.RunK(order, opts)
-}
-
-// ReadPED parses a PLINK .ped file (samples in rows, two allele
-// columns per SNP, phenotype 1=control / 2=case).
-func ReadPED(r io.Reader) (*Matrix, error) { return dataset.ReadPED(r) }
-
-// ReadVCF parses a bi-allelic VCF subset; phen supplies per-sample
-// phenotypes in header order.
-func ReadVCF(r io.Reader, phen []uint8) (*Matrix, error) { return dataset.ReadVCF(r, phen) }

@@ -1,6 +1,7 @@
 package trigene_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,23 +27,26 @@ func TestPublicAPIPairWorkflow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trigene.SearchPairs(mx, trigene.Options{TopK: 3})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := trigene.Pair{I: 4, J: 19}
-	if res.Best.Pair != want {
-		t.Fatalf("best pair %+v, want %+v", res.Best.Pair, want)
+	ctx := context.Background()
+	rep, err := sess.Search(ctx, trigene.WithOrder(2), trigene.WithTopK(3))
+	if err != nil {
+		t.Fatal(err)
 	}
-	sig, err := trigene.PermutationTestPair(mx, res.Best.Pair, trigene.PermConfig{Permutations: 100, Seed: 1})
+	wantSNPs(t, rep.Best.SNPs, 4, 19)
+	sig, err := sess.PermutationTest(ctx, rep.Best.SNPs,
+		trigene.WithPermutations(100), trigene.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sig.PValue > 0.02 {
 		t.Errorf("planted pair p = %.4f, want tiny", sig.PValue)
 	}
-	if sig.Observed != res.Best.Score {
-		t.Errorf("observed %.6f != scan score %.6f", sig.Observed, res.Best.Score)
+	if sig.Observed != rep.Best.Score {
+		t.Errorf("observed %.6f != scan score %.6f", sig.Observed, rep.Best.Score)
 	}
 }
 
@@ -51,20 +55,41 @@ func TestPublicAPIHeterogeneous(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := trigene.Search(mx, trigene.Options{})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	het, err := trigene.SearchHeterogeneous(mx, trigene.HeteroOptions{})
+	ctx := context.Background()
+	want, err := sess.Search(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if het.Best != want.Best {
-		t.Errorf("heterogeneous best %+v != %+v", het.Best, want.Best)
+	het, err := sess.Search(ctx, trigene.WithBackend(trigene.Hetero()))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if het.CPUFraction <= 0 || het.CPUFraction >= 1 {
-		t.Errorf("auto fraction %.3f", het.CPUFraction)
+	wantSNPs(t, het.Best.SNPs, want.Best.SNPs...)
+	if het.Best.Score != want.Best.Score {
+		t.Errorf("heterogeneous best %.9f != %.9f", het.Best.Score, want.Best.Score)
 	}
+	if het.Hetero == nil || het.Hetero.CPUFraction < 0 || het.Hetero.CPUFraction > 1 {
+		t.Errorf("hetero split info: %+v", het.Hetero)
+	}
+	// An explicit device pair with a forced static split also merges
+	// bit-exactly.
+	ci3, err := trigene.CPUByID("CI3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := sess.Search(ctx, trigene.WithBackend(trigene.HeteroOn(ci3, gn1, 0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, forced.Best.SNPs, want.Best.SNPs...)
 }
 
 func TestPublicAPIPermutationTest(t *testing.T) {
@@ -78,8 +103,12 @@ func TestPublicAPIPermutationTest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trigene.PermutationTest(mx, trigene.Triple{I: 2, J: 7, K: 11},
-		trigene.PermConfig{Permutations: 100, Seed: 2})
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.PermutationTest(context.Background(), []int{2, 7, 11},
+		trigene.WithPermutations(100), trigene.WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}

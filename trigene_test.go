@@ -2,6 +2,7 @@ package trigene_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"trigene"
@@ -21,41 +22,39 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// CPU search with defaults.
-	res, err := trigene.Search(mx, trigene.Options{})
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := trigene.Triple{I: 3, J: 9, K: 15}
-	if res.Best.Triple != want {
-		t.Errorf("CPU best %v, want %v", res.Best.Triple, want)
+	ctx := context.Background()
+
+	// CPU search with defaults.
+	res, err := sess.Search(ctx)
+	if err != nil {
+		t.Fatal(err)
 	}
+	wantSNPs(t, res.Best.SNPs, 3, 9, 15)
 
 	// GPU simulation on a Table II device agrees bit-exactly.
 	gn1, err := trigene.GPUByID("GN1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gres, err := trigene.SimulateGPU(gn1, mx, trigene.GPUOptions{})
+	gres, err := sess.Search(ctx, trigene.WithBackend(trigene.GPUSim(gn1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gres.Best.I != want.I || gres.Best.J != want.J || gres.Best.K != want.K {
-		t.Errorf("GPU best (%d,%d,%d), want %v", gres.Best.I, gres.Best.J, gres.Best.K, want)
-	}
+	wantSNPs(t, gres.Best.SNPs, 3, 9, 15)
 	if gres.Best.Score != res.Best.Score {
 		t.Errorf("GPU score %.9f != CPU %.9f", gres.Best.Score, res.Best.Score)
 	}
 
 	// Baseline finds the same planted triple under MI.
-	bres, err := trigene.BaselineSearch(mx, trigene.BaselineOptions{})
+	bres, err := sess.Search(ctx, trigene.WithBackend(trigene.Baseline()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bres.Best.I != want.I || bres.Best.J != want.J || bres.Best.K != want.K {
-		t.Errorf("baseline best (%d,%d,%d), want %v", bres.Best.I, bres.Best.J, bres.Best.K, want)
-	}
+	wantSNPs(t, bres.Best.SNPs, 3, 9, 15)
 }
 
 func TestPublicAPICodecsRoundTrip(t *testing.T) {
@@ -92,31 +91,31 @@ func TestPublicAPIApproachesAndObjectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := trigene.NewSearcher(mx)
+	sess, err := trigene.NewSession(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	a, err := trigene.ParseApproach("V2")
 	if err != nil || a != trigene.V2Split {
 		t.Fatalf("ParseApproach: %v %v", a, err)
 	}
-	var first *trigene.Result
+	var first *trigene.Report
 	for _, ap := range []trigene.Approach{trigene.V1Naive, trigene.V2Split, trigene.V3Blocked, trigene.V4Vector} {
-		res, err := s.Run(trigene.Options{Approach: ap})
+		rep, err := sess.Search(ctx, trigene.WithApproach(ap))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if first == nil {
-			first = res
-		} else if res.Best != first.Best {
-			t.Errorf("approach %v disagrees", ap)
+			first = rep
+		} else {
+			wantSNPs(t, rep.Best.SNPs, first.Best.SNPs...)
+			if rep.Best.Score != first.Best.Score {
+				t.Errorf("approach %v disagrees", ap)
+			}
 		}
 	}
-	obj, err := trigene.NewObjective("mi", mx.Samples())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Run(trigene.Options{Objective: obj}); err != nil {
+	if _, err := sess.Search(ctx, trigene.WithObjective("mi")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := trigene.NewObjective("bogus", 10); err == nil {
