@@ -11,7 +11,9 @@
 //	benchsuite -exp snapshot # machine-readable perf snapshot (BENCH_PR1.json)
 //	benchsuite -exp sched    # tile-scheduler hot-loop audit (BENCH_PR2.json);
 //	                         # exits nonzero if the claim→score loop allocates
-//	benchsuite -exp all      # everything except snapshot and sched
+//	benchsuite -exp cluster  # loopback tile-leasing cluster scaling audit
+//	                         # (BENCH_PR3.json): tiles/sec at 1/2/4 workers
+//	benchsuite -exp all      # everything except snapshot, sched and cluster
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -25,13 +27,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"trigene"
 	"trigene/internal/carm"
+	"trigene/internal/cluster"
 	"trigene/internal/device"
 	"trigene/internal/energy"
 	"trigene/internal/engine"
@@ -60,7 +65,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -83,6 +88,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"sched": func() error {
 			return schedExp(orDefault(*snapOut, "BENCH_PR2.json"))
+		},
+		"cluster": func() error {
+			return clusterExp(orDefault(*snapOut, "BENCH_PR3.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -542,6 +550,137 @@ func schedExp(outPath string) error {
 		}
 	}
 	return nil
+}
+
+// clusterPoint is one loopback cluster configuration of the scaling
+// audit.
+type clusterPoint struct {
+	Workers      int     `json:"workers"`
+	Tiles        int     `json:"tiles"`
+	DurationMs   float64 `json:"durationMs"`
+	TilesPerSec  float64 `json:"tilesPerSec"`
+	CombosPerSec float64 `json:"combosPerSec"`
+	Speedup      float64 `json:"speedupVsSingleNode"`
+}
+
+// clusterSnapshot is the machine-readable cluster scaling record.
+type clusterSnapshot struct {
+	Schema     string `json:"schema"`
+	SNPs       int    `json:"snps"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	SingleNode struct {
+		DurationMs   float64 `json:"durationMs"`
+		CombosPerSec float64 `json:"combosPerSec"`
+	} `json:"singleNode"`
+	Points []clusterPoint `json:"points"`
+}
+
+// clusterExp audits the distributed tile-leasing subsystem on a
+// loopback cluster: an in-process coordinator and 1/2/4 single-core
+// workers run the fixed snapshot search end to end (submit → lease →
+// heartbeat → merge) and the record captures tiles/sec against a
+// single-core single-node run. All workers share this host, so the
+// numbers measure coordination overhead and scaling shape, not
+// multi-machine throughput; it also cross-checks that the merged
+// Report matches the single-node one bit-exactly.
+func clusterExp(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	spec := trigene.SearchSpec{TopK: 4, Workers: 1}
+	opts, err := spec.Options()
+	if err != nil {
+		return err
+	}
+	snap := clusterSnapshot{
+		Schema:     "trigene-cluster/1",
+		SNPs:       snapSNPs,
+		Samples:    snapSamples,
+		Seed:       snapSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	start := time.Now()
+	local, err := sess.Search(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	singleDur := time.Since(start)
+	snap.SingleNode.DurationMs = float64(singleDur) / float64(time.Millisecond)
+	if secs := singleDur.Seconds(); secs > 0 {
+		snap.SingleNode.CombosPerSec = float64(local.Combinations) / secs
+	}
+
+	co := cluster.NewCoordinator(cluster.Config{LeaseTTL: 10 * time.Second})
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	cl := cluster.NewClient(srv.URL)
+	cl.Poll = 5 * time.Millisecond
+
+	const tiles = 32
+	for _, n := range []int{1, 2, 4} {
+		wctx, cancel := context.WithCancel(ctx)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			w := &cluster.Worker{Client: cl, ID: fmt.Sprintf("bench-w%d", i), Poll: 5 * time.Millisecond}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.Run(wctx)
+			}()
+		}
+		start := time.Now()
+		id, err := cl.Submit(ctx, mx, spec, tiles, fmt.Sprintf("bench-%dw", n))
+		if err == nil {
+			var rep *trigene.Report
+			if rep, err = cl.Wait(ctx, id); err == nil &&
+				(rep.Combinations != local.Combinations || rep.Best.Score != local.Best.Score) {
+				err = fmt.Errorf("cluster report diverged from single-node (combos %d vs %d)",
+					rep.Combinations, local.Combinations)
+			}
+		}
+		dur := time.Since(start)
+		cancel()
+		wg.Wait()
+		if err != nil {
+			return fmt.Errorf("%d workers: %w", n, err)
+		}
+		p := clusterPoint{Workers: n, Tiles: tiles, DurationMs: float64(dur) / float64(time.Millisecond)}
+		if secs := dur.Seconds(); secs > 0 {
+			p.TilesPerSec = float64(tiles) / secs
+			p.CombosPerSec = float64(local.Combinations) / secs
+		}
+		if snap.SingleNode.DurationMs > 0 {
+			p.Speedup = snap.SingleNode.DurationMs / p.DurationMs
+		}
+		snap.Points = append(snap.Points, p)
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Loopback cluster scaling (%d SNPs x %d samples, %d tiles) -> %s ==\n",
+		snapSNPs, snapSamples, tiles, outPath)
+	t := report.NewTable("", "workers", "duration", "tiles/s", "combos/s", "speedup vs single")
+	t.AddRowf("single-node", fmt.Sprintf("%.1f ms", snap.SingleNode.DurationMs), "-",
+		snap.SingleNode.CombosPerSec, report.Speedup(1))
+	for _, p := range snap.Points {
+		t.AddRowf(p.Workers, fmt.Sprintf("%.1f ms", p.DurationMs), p.TilesPerSec,
+			p.CombosPerSec, report.Speedup(p.Speedup))
+	}
+	return render(t)
 }
 
 // energyExp models the paper's future-work direction: DVFS sweeps and

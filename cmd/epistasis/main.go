@@ -13,8 +13,6 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -27,6 +25,7 @@ import (
 	"time"
 
 	"trigene"
+	"trigene/internal/datafile"
 )
 
 func main() {
@@ -42,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("epistasis", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "input dataset path (required; '-' for stdin)")
-	informat := fs.String("informat", "auto", "input format: auto (trigene text/binary or VCF), ped, vcf")
+	informat := fs.String("informat", "auto", datafile.FormatsHelp)
 	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample, whitespace separated)")
 	backend := fs.String("backend", "cpu", "execution backend: cpu, baseline or hetero")
 	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1); overrides -backend")
@@ -216,24 +215,23 @@ func parseShard(s string) (index, count int, err error) {
 	return index, count, nil
 }
 
-// jsonSummary is the machine-readable output of a search run.
+// jsonSummary is the machine-readable output of a search run. The
+// candidate encoding and the embedded "report" use trigene's stable
+// wire format, so this output and `trigened result` carry identical
+// Report JSON.
 type jsonSummary struct {
-	Mode         string          `json:"mode"`
-	Backend      string          `json:"backend"`
-	SNPs         int             `json:"snps"`
-	Samples      int             `json:"samples"`
-	Controls     int             `json:"controls"`
-	Cases        int             `json:"cases"`
-	Objective    string          `json:"objective"`
-	Combinations int64           `json:"combinations"`
-	GElemPerSec  float64         `json:"gigaElementsPerSec"`
-	Candidates   []jsonCandidate `json:"candidates"`
-	PValue       *float64        `json:"pValue,omitempty"`
-}
-
-type jsonCandidate struct {
-	SNPs  []int   `json:"snps"`
-	Score float64 `json:"score"`
+	Mode         string                    `json:"mode"`
+	Backend      string                    `json:"backend"`
+	SNPs         int                       `json:"snps"`
+	Samples      int                       `json:"samples"`
+	Controls     int                       `json:"controls"`
+	Cases        int                       `json:"cases"`
+	Objective    string                    `json:"objective"`
+	Combinations int64                     `json:"combinations"`
+	GElemPerSec  float64                   `json:"gigaElementsPerSec"`
+	Candidates   []trigene.SearchCandidate `json:"candidates"`
+	PValue       *float64                  `json:"pValue,omitempty"`
+	Report       *trigene.Report           `json:"report"`
 }
 
 func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSummary {
@@ -242,7 +240,7 @@ func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSum
 	if rep.Order == 3 {
 		mode += " " + rep.Approach
 	}
-	s := jsonSummary{
+	return jsonSummary{
 		Mode:         mode,
 		Backend:      rep.Backend,
 		SNPs:         mx.SNPs(),
@@ -252,12 +250,10 @@ func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSum
 		Objective:    rep.Objective,
 		Combinations: rep.Combinations,
 		GElemPerSec:  rep.ElementsPerSec / 1e9,
+		Candidates:   rep.TopK,
 		PValue:       pValue,
+		Report:       rep,
 	}
-	for _, c := range rep.TopK {
-		s.Candidates = append(s.Candidates, jsonCandidate{SNPs: c.SNPs, Score: c.Score})
-	}
-	return s
 }
 
 func writeJSON(w io.Writer, v interface{}) error {
@@ -273,60 +269,5 @@ func printPValue(w io.Writer, p *float64, permutations int) {
 }
 
 func readDataset(path, format, phenPath string) (*trigene.Matrix, error) {
-	var r io.Reader
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
-	}
-	br := bufio.NewReader(r)
-	switch format {
-	case "ped":
-		return trigene.ReadPED(br)
-	case "vcf":
-		return readVCFWithPhen(br, phenPath)
-	case "auto":
-		magic, err := br.Peek(4)
-		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
-		}
-		switch {
-		case bytes.Equal(magic, []byte("TGB1")):
-			return trigene.ReadBinary(br)
-		case magic[0] == '#' && magic[1] == '#', bytes.Equal(magic, []byte("#CHR")):
-			return readVCFWithPhen(br, phenPath)
-		default:
-			return trigene.ReadText(br)
-		}
-	default:
-		return nil, fmt.Errorf("unknown input format %q (want auto, ped or vcf)", format)
-	}
-}
-
-// readVCFWithPhen pairs a VCF genotype stream with a phenotype file.
-func readVCFWithPhen(r io.Reader, phenPath string) (*trigene.Matrix, error) {
-	if phenPath == "" {
-		return nil, fmt.Errorf("VCF input requires -phen (VCF carries no case-control status)")
-	}
-	raw, err := os.ReadFile(phenPath)
-	if err != nil {
-		return nil, err
-	}
-	var phen []uint8
-	for _, tok := range strings.Fields(string(raw)) {
-		switch tok {
-		case "0":
-			phen = append(phen, 0)
-		case "1":
-			phen = append(phen, 1)
-		default:
-			return nil, fmt.Errorf("phenotype file: invalid value %q (want 0 or 1)", tok)
-		}
-	}
-	return trigene.ReadVCF(r, phen)
+	return datafile.Read(path, format, phenPath)
 }

@@ -161,6 +161,72 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunJSONEmbedsStableReport: `-json` carries the full Report in
+// trigene's stable wire format — the same encoding `trigened result`
+// prints — and its candidates agree with the summary's.
+func TestRunJSONEmbedsStableReport(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-json", "-topk", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Candidates []trigene.SearchCandidate `json:"candidates"`
+		Report     *trigene.Report           `json:"report"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	rep := summary.Report
+	if rep == nil {
+		t.Fatal("no embedded report")
+	}
+	if rep.Backend != "cpu" || rep.Order != 3 || rep.Objective != "k2" || rep.Duration <= 0 {
+		t.Errorf("embedded report metadata: %+v", rep)
+	}
+	if len(rep.TopK) != 3 || len(summary.Candidates) != 3 {
+		t.Fatalf("candidate depth: report %d, summary %d", len(rep.TopK), len(summary.Candidates))
+	}
+	for i := range rep.TopK {
+		if rep.TopK[i].Score != summary.Candidates[i].Score {
+			t.Errorf("top-%d: report %.12f != summary %.12f", i+1, rep.TopK[i].Score, summary.Candidates[i].Score)
+		}
+	}
+}
+
+// TestRunRAWInput: the PLINK .raw loader is reachable explicitly and
+// by auto-detection.
+func TestRunRAWInput(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "tiny.raw")
+	content := "FID IID PAT MAT SEX PHENOTYPE rs1_A rs2_C rs3_G\n" +
+		"F S1 0 0 1 1 0 0 0\nF S2 0 0 1 2 1 1 2\nF S3 0 0 1 1 2 2 1\nF S4 0 0 1 2 0 1 0\n"
+	if err := os.WriteFile(raw, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-in", raw, "-informat", "raw", "-topk", "1"},
+		{"-in", raw, "-topk", "1"}, // auto-detected by the FID header
+	} {
+		var out, errBuf bytes.Buffer
+		if err := run(args, &out, &errBuf); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "dataset: 3 SNPs x 4 samples") {
+			t.Errorf("%v wrong:\n%s", args, out.String())
+		}
+	}
+	// Malformed .raw input fails loudly through the CLI.
+	bad := filepath.Join(dir, "bad.raw")
+	if err := os.WriteFile(bad, []byte("FID IID PAT MAT SEX PHENOTYPE rs1_A\nF S1 0 0 1 1 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "non-biallelic") {
+		t.Errorf("bad .raw error = %v", err)
+	}
+}
+
 func TestRunPermuteTextMode(t *testing.T) {
 	path := writeDataset(t, false)
 	var out, errBuf bytes.Buffer

@@ -1,0 +1,346 @@
+// trigened is the cluster service daemon: one binary fronting every
+// role of the distributed tile-leasing deployment.
+//
+//	trigened serve  -addr :9321                 # run the coordinator
+//	trigened worker -coordinator http://c:9321  # contribute a worker
+//	trigened submit -coordinator http://c:9321 -in data.tg -tiles 64 -name scan1
+//	trigened submit -coordinator http://c:9321 -in data.tg -wait    # block, print the Report
+//	trigened status -coordinator http://c:9321 [-job j1]            # queue / one job
+//	trigened result -coordinator http://c:9321 -job j1              # merged Report JSON
+//	trigened cancel -coordinator http://c:9321 -job j1
+//
+// A job is one Session.Search configuration cut into tiles; workers
+// lease tiles under heartbeat-renewed deadlines and the coordinator
+// merges their Reports bit-exactly (see the README's "Cluster
+// architecture" section). `trigened result` emits the same stable
+// Report JSON as `epistasis -json`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trigene"
+	"trigene/internal/cluster"
+	"trigene/internal/datafile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trigened: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the testable tool body.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		usage(stderr)
+		return fmt.Errorf("missing mode")
+	}
+	mode, rest := args[0], args[1:]
+	switch mode {
+	case "serve":
+		return runServe(ctx, rest, stdout, stderr)
+	case "worker":
+		return runWorker(ctx, rest, stdout, stderr)
+	case "submit":
+		return runSubmit(ctx, rest, stdout, stderr)
+	case "status":
+		return runStatus(ctx, rest, stdout, stderr)
+	case "result":
+		return runResult(ctx, rest, stdout, stderr)
+	case "cancel":
+		return runCancel(ctx, rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return nil
+	default:
+		usage(stderr)
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: trigened <mode> [flags]
+
+modes:
+  serve    run the coordinator (job queue + tile leases)
+  worker   lease and execute tiles against a coordinator
+  submit   submit a dataset + search spec as a job
+  status   show the job queue, or one job
+  result   print a finished job's merged Report JSON
+  cancel   cancel a running job
+
+run "trigened <mode> -h" for that mode's flags.`)
+}
+
+// ---------------------------------------------------------------------
+// serve
+
+func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":9321", "listen address")
+	ttl := fs.Duration("lease-ttl", 15*time.Second, "tile lease duration; workers renew at a third of it")
+	attempts := fs.Int("max-attempts", 5, "lease re-issues per tile before the job fails")
+	retain := fs.Int("retain", 64, "finished jobs kept (with results) before eviction")
+	quiet := fs.Bool("quiet", false, "suppress per-event logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "trigened: "+format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	co := cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:    *ttl,
+		MaxAttempts: *attempts,
+		Retain:      *retain,
+		Logf:        logf,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable (tests and scripts
+	// bind to port 0 and scrape it).
+	fmt.Fprintf(stdout, "serving on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: co}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			// The graceful drain ran out of patience — typically a
+			// connection a client transport dialed but never used,
+			// which Shutdown only reaps after a long grace period.
+			// Force-close the stragglers; all real requests had their
+			// two seconds.
+			return srv.Close()
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// worker
+
+func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coord := fs.String("coordinator", "", "coordinator base URL (required)")
+	id := fs.String("id", "", "worker name in coordinator logs (default host:pid)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
+	quiet := fs.Bool("quiet", false, "suppress per-tile logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -coordinator")
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "trigened: "+format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	w := &cluster.Worker{
+		Client: cluster.NewClient(*coord),
+		ID:     *id,
+		Poll:   *poll,
+		Logf:   logf,
+	}
+	fmt.Fprintf(stdout, "worker polling %s\n", *coord)
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// submit
+
+func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coord := fs.String("coordinator", "", "coordinator base URL (required)")
+	in := fs.String("in", "", "input dataset path (required; '-' for stdin)")
+	informat := fs.String("informat", "auto", datafile.FormatsHelp)
+	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample)")
+	name := fs.String("name", "", "human-readable job label")
+	tiles := fs.Int("tiles", 16, "lease units the search space is cut into")
+	backend := fs.String("backend", "", "execution backend: cpu, baseline, hetero or gpusim:<ID>")
+	order := fs.Int("order", 0, "interaction order (0 = default 3)")
+	topK := fs.Int("topk", 5, "number of candidates to report")
+	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native)")
+	approach := fs.String("approach", "", "pin pipeline V1..V4 (default: the backend's best)")
+	workers := fs.Int("workers", 0, "per-worker host parallelism (0 = all cores)")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its Report JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" || *in == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -coordinator / -in")
+	}
+	mx, err := datafile.Read(*in, *informat, *phenPath)
+	if err != nil {
+		return err
+	}
+	spec := trigene.SearchSpec{
+		Order:     *order,
+		TopK:      *topK,
+		Objective: *objective,
+		Backend:   *backend,
+		Approach:  *approach,
+		Workers:   *workers,
+	}
+	cl := cluster.NewClient(*coord)
+	id, err := cl.Submit(ctx, mx, spec, *tiles, *name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "submitted %s (%d tiles)\n", id, *tiles)
+	if !*wait {
+		return nil
+	}
+	rep, err := cl.Wait(ctx, id)
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, rep)
+}
+
+// ---------------------------------------------------------------------
+// status / result / cancel
+
+func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coord := fs.String("coordinator", "", "coordinator base URL (required)")
+	job := fs.String("job", "", "job ID (default: list the whole queue)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -coordinator")
+	}
+	cl := cluster.NewClient(*coord)
+	if *job != "" {
+		st, err := cl.Status(ctx, *job)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return writeJSON(stdout, st)
+		}
+		printStatus(stdout, *st)
+		return nil
+	}
+	jobs, err := cl.Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeJSON(stdout, cluster.JobList{Jobs: jobs})
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(stdout, "no jobs")
+		return nil
+	}
+	for _, st := range jobs {
+		printStatus(stdout, st)
+	}
+	return nil
+}
+
+func printStatus(w io.Writer, st cluster.JobStatus) {
+	label := st.ID
+	if st.Name != "" {
+		label += " (" + st.Name + ")"
+	}
+	extra := ""
+	switch {
+	case st.State == cluster.StateRunning:
+		extra = fmt.Sprintf(", %d leased", st.Leased)
+	case st.Error != "":
+		extra = ": " + st.Error
+	case st.DurationMs > 0:
+		extra = fmt.Sprintf(" in %.0f ms", st.DurationMs)
+	}
+	fmt.Fprintf(w, "%-24s %-9s %d/%d tiles%s\n", label, st.State, st.Done, st.Tiles, extra)
+}
+
+func runResult(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened result", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coord := fs.String("coordinator", "", "coordinator base URL (required)")
+	job := fs.String("job", "", "job ID (required)")
+	wait := fs.Bool("wait", false, "block until the job finishes instead of failing while it runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" || *job == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -coordinator / -job")
+	}
+	cl := cluster.NewClient(*coord)
+	var rep *trigene.Report
+	var err error
+	if *wait {
+		rep, err = cl.Wait(ctx, *job)
+	} else {
+		rep, err = cl.Result(ctx, *job)
+	}
+	if err != nil {
+		return err
+	}
+	return writeJSON(stdout, rep)
+}
+
+func runCancel(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened cancel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	coord := fs.String("coordinator", "", "coordinator base URL (required)")
+	job := fs.String("job", "", "job ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" || *job == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -coordinator / -job")
+	}
+	if err := cluster.NewClient(*coord).Cancel(ctx, *job); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cancelled %s\n", *job)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// shared helpers
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

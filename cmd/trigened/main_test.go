@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"trigene"
+)
+
+// startDaemon runs `trigened serve` on an ephemeral port and returns
+// the scraped base URL.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", "127.0.0.1:0", "-quiet", "-lease-ttl", "5s"}, pw, io.Discard)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading serve banner: %v", err)
+	}
+	url, ok := strings.CutPrefix(strings.TrimSpace(line), "serving on ")
+	if !ok {
+		t.Fatalf("unexpected serve banner %q", line)
+	}
+	go io.Copy(io.Discard, pr)
+	return url
+}
+
+// startCLIWorkers runs n `trigened worker` loops against the daemon.
+func startCLIWorkers(t *testing.T, url string, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := run(ctx, []string{"worker", "-coordinator", url, "-poll", "5ms", "-quiet"},
+				io.Discard, io.Discard); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+}
+
+// writeDataset writes the planted test dataset to disk in the trigene
+// text format and returns its path and matrix.
+func writeDataset(t *testing.T) (string, *trigene.Matrix) {
+	t.Helper()
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: 24, Samples: 900, Seed: 11, MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{3, 9, 15},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.tg")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trigene.WriteText(f, mx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, mx
+}
+
+// TestTrigenedEndToEnd drives the full CLI surface against an
+// in-process daemon: submit -wait prints a Report bit-exact with the
+// local run, status sees the finished job, and result re-prints the
+// same JSON.
+func TestTrigenedEndToEnd(t *testing.T) {
+	url := startDaemon(t)
+	startCLIWorkers(t, url, 2)
+	path, mx := writeDataset(t)
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"submit", "-coordinator", url, "-in", path,
+		"-name", "e2e", "-tiles", "5", "-topk", "4", "-workers", "2", "-wait"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(out.String(), "\n", 2)
+	if !strings.HasPrefix(lines[0], "submitted j") {
+		t.Fatalf("submit banner %q", lines[0])
+	}
+	jobID := strings.Fields(lines[0])[1]
+	var rep trigene.Report
+	if err := json.Unmarshal([]byte(lines[1]), &rep); err != nil {
+		t.Fatalf("submit -wait output is not a Report: %v\n%s", err, lines[1])
+	}
+
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, trigene.WithTopK(4), trigene.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TopK) != 4 || rep.Best.Score != local.Best.Score || rep.Combinations != local.Combinations {
+		t.Errorf("cluster report %v/%d, local %v/%d",
+			rep.Best.SNPs, rep.Combinations, local.Best.SNPs, local.Combinations)
+	}
+	for i := range local.TopK {
+		if rep.TopK[i].Score != local.TopK[i].Score {
+			t.Errorf("top-%d score %.12f != %.12f", i+1, rep.TopK[i].Score, local.TopK[i].Score)
+		}
+	}
+
+	// status: the queue and the single job both show it done.
+	out.Reset()
+	if err := run(ctx, []string{"status", "-coordinator", url}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "e2e") || !strings.Contains(out.String(), "done") {
+		t.Errorf("status output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(ctx, []string{"status", "-coordinator", url, "-job", jobID, "-json"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		State string `json:"state"`
+		Done  int    `json:"done"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "done" || st.Done != 5 {
+		t.Errorf("status -json: %+v", st)
+	}
+
+	// result: byte-identical Report JSON to the submit -wait output.
+	out.Reset()
+	if err := run(ctx, []string{"result", "-coordinator", url, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != lines[1] {
+		t.Errorf("result output differs from submit -wait output:\n%s\n%s", out.String(), lines[1])
+	}
+}
+
+// TestTrigenedCancel: a job with no workers is cancelled and reports
+// it.
+func TestTrigenedCancel(t *testing.T) {
+	url := startDaemon(t)
+	path, _ := writeDataset(t)
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	if err := run(ctx, []string{"submit", "-coordinator", url, "-in", path, "-tiles", "2"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	jobID := strings.Fields(out.String())[1]
+	out.Reset()
+	if err := run(ctx, []string{"cancel", "-coordinator", url, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(ctx, []string{"status", "-coordinator", url, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cancelled") {
+		t.Errorf("status after cancel:\n%s", out.String())
+	}
+	if err := run(ctx, []string{"result", "-coordinator", url, "-job", jobID}, io.Discard, io.Discard); err == nil {
+		t.Error("result of a cancelled job succeeded")
+	}
+}
+
+// TestTrigenedErrors covers the CLI's loud failures.
+func TestTrigenedErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := [][]string{
+		{},
+		{"bogus-mode"},
+		{"worker"},                      // missing -coordinator
+		{"submit", "-in", "x"},          // missing -coordinator
+		{"submit", "-coordinator", "x"}, // missing -in
+		{"result", "-coordinator", "x"}, // missing -job
+		{"cancel", "-coordinator", "x"}, // missing -job
+		{"status"},                      // missing -coordinator
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	// help is not an error.
+	if err := run(ctx, []string{"help"}, io.Discard, io.Discard); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}

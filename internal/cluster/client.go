@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"trigene"
+)
+
+// Client talks to a Coordinator. It is safe for concurrent use and
+// implements trigene.RemoteExecutor, so
+//
+//	sess.Search(ctx, trigene.WithCluster(cluster.NewClient(url)))
+//
+// runs the search on the cluster.
+type Client struct {
+	// BaseURL is the coordinator's root, e.g. "http://host:9321".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Tiles is how many lease units ExecuteSearch cuts a submitted
+	// search into (default 16) — more tiles mean finer re-issue
+	// granularity and better balance across heterogeneous workers, at
+	// more wire round-trips.
+	Tiles int
+	// Poll is the job-status polling interval of Wait (default 150ms).
+	Poll time.Duration
+}
+
+// NewClient returns a Client for the coordinator at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Name implements trigene.RemoteExecutor.
+func (c *Client) Name() string { return "cluster(" + c.BaseURL + ")" }
+
+// ExecuteSearch implements trigene.RemoteExecutor: submit, wait,
+// fetch the merged Report.
+func (c *Client) ExecuteSearch(ctx context.Context, mx *trigene.Matrix, spec trigene.SearchSpec) (*trigene.Report, error) {
+	tiles := c.Tiles
+	if tiles <= 0 {
+		tiles = 16
+	}
+	id, err := c.Submit(ctx, mx, spec, tiles, "")
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id)
+}
+
+// Submit uploads a dataset and a search spec as a new job cut into the
+// given number of tiles, returning the job ID.
+func (c *Client) Submit(ctx context.Context, mx *trigene.Matrix, spec trigene.SearchSpec, tiles int, name string) (string, error) {
+	var data bytes.Buffer
+	if err := trigene.WriteBinary(&data, mx); err != nil {
+		return "", fmt.Errorf("serializing dataset: %w", err)
+	}
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", SubmitRequest{
+		Name:    name,
+		Spec:    spec,
+		Tiles:   tiles,
+		Dataset: data.Bytes(),
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Jobs lists every job the coordinator retains, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var list JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Jobs, nil
+}
+
+// Status returns one job's status.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result returns the merged Report of a finished job. It fails while
+// the job is still running; use Wait to block.
+func (c *Client) Result(ctx context.Context, id string) (*trigene.Report, error) {
+	var rep trigene.Report
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Cancel cancels a running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/v1/jobs/"+id+"/cancel", struct{}{}, nil)
+}
+
+// Wait polls the job until it finishes, then returns its merged
+// Report (or the job's failure as an error).
+func (c *Client) Wait(ctx context.Context, id string) (*trigene.Report, error) {
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 150 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case StateDone:
+			return c.Result(ctx, id)
+		case StateFailed, StateCancelled:
+			return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// dataset fetches a job's raw dataset bytes (workers verify them
+// against the lease grant's fingerprint before parsing).
+func (c *Client) dataset(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/dataset", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// lease asks for a tile; ok is false when the coordinator has no work.
+func (c *Client) lease(ctx context.Context, worker string) (LeaseGrant, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/lease", jsonBody(LeaseRequest{Worker: worker}))
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return LeaseGrant{}, false, nil
+	case http.StatusOK:
+		var grant LeaseGrant
+		if err := json.NewDecoder(resp.Body).Decode(&grant); err != nil {
+			return LeaseGrant{}, false, err
+		}
+		return grant, true, nil
+	default:
+		return LeaseGrant{}, false, decodeError(resp)
+	}
+}
+
+// renew heartbeats a lease. A coordinator answer of 410 Gone comes
+// back as errLeaseLost.
+func (c *Client) renew(ctx context.Context, token string) error {
+	err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/renew", struct{}{}, nil)
+	return leaseLostOr(err)
+}
+
+// complete posts a tile's Report; discarded reports the coordinator's
+// exactly-once accounting (false when this result was a duplicate).
+func (c *Client) complete(ctx context.Context, token string, rep *trigene.Report) (accepted bool, err error) {
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		return false, err
+	}
+	var resp CompleteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/done", CompleteRequest{Report: raw}, &resp); err != nil {
+		return false, leaseLostOr(err)
+	}
+	return resp.Accepted, nil
+}
+
+// fail reports a deterministic tile failure (fails the job).
+func (c *Client) fail(ctx context.Context, token, msg string) error {
+	err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/fail", FailRequest{Error: msg}, nil)
+	return leaseLostOr(err)
+}
+
+// statusError is a non-2xx coordinator answer.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("coordinator: %s (HTTP %d)", e.msg, e.code)
+}
+
+// errLeaseLost marks a lease the coordinator no longer honors: the
+// holder abandons the tile (someone else owns it now).
+var errLeaseLost = fmt.Errorf("cluster: lease lost")
+
+// leaseLostOr maps 410 Gone onto errLeaseLost.
+func leaseLostOr(err error) error {
+	var se *statusError
+	if errors.As(err, &se) && se.code == http.StatusGone {
+		return errLeaseLost
+	}
+	return err
+}
+
+// do performs one JSON request; a nil out discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		body = jsonBody(in)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// jsonBody marshals v for a request body (marshal errors surface as
+// request errors through the failed read).
+func jsonBody(v any) io.Reader {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return &failingReader{err: err}
+	}
+	return bytes.NewReader(raw)
+}
+
+type failingReader struct{ err error }
+
+func (f *failingReader) Read([]byte) (int, error) { return 0, f.err }
+
+// decodeError turns a non-2xx response into a *statusError, using the
+// uniform error body when present.
+func decodeError(resp *http.Response) error {
+	var eb errorBody
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		return &statusError{code: resp.StatusCode, msg: eb.Error}
+	}
+	return &statusError{code: resp.StatusCode, msg: strings.TrimSpace(string(raw))}
+}

@@ -1,0 +1,160 @@
+// Package cluster is the network-distributed execution subsystem: a
+// Coordinator owns a queue of named search jobs and leases their tiles
+// over HTTP/JSON to any number of Worker processes on other machines.
+//
+// The design splits the distribution concern along the same seam the
+// tile scheduler (internal/sched) cut for in-process execution: a job's
+// search space is the sched shard space — tile t of a T-tile job is
+// exactly Session.Search(WithShard(t, T)) — so a worker executes a tile
+// with the ordinary public API and the Coordinator reassembles the full
+// Report with MergeReports, whose bit-exact merge guarantee is already
+// enforced per backend and order by the repo's shard-parity tests.
+//
+// Fault tolerance is lease-based (sched.LeaseTable): every granted
+// tile carries a deadline, workers renew it by heartbeat while they
+// compute, and a tile whose lease expires — the worker died, hung, or
+// lost the network — is re-issued to the next worker that asks. The
+// table accepts exactly one completion per tile, so a resurrected
+// worker's late result is discarded and the merged Report is identical
+// to a single-node run no matter how many leases were lost on the way.
+//
+// Wire contract (all JSON unless noted), rooted at /v1:
+//
+//	POST /v1/jobs                  submit a job (spec + tiles + dataset)
+//	GET  /v1/jobs                  list job statuses
+//	GET  /v1/jobs/{id}             one job's status
+//	GET  /v1/jobs/{id}/dataset     the job's dataset (trigene binary format)
+//	GET  /v1/jobs/{id}/result      the merged Report (409 until done)
+//	POST /v1/jobs/{id}/cancel      cancel a running job
+//	POST /v1/lease                 acquire a tile lease (204 when none)
+//	POST /v1/lease/{token}/renew   heartbeat-extend the lease deadline
+//	POST /v1/lease/{token}/done    post the tile's Report
+//	POST /v1/lease/{token}/fail    report a deterministic execution error
+//
+// Client implements trigene.RemoteExecutor, so
+// Session.Search(ctx, trigene.WithCluster(client)) runs any search on
+// the cluster without changing the public API's shape. The trigened
+// binary fronts all three roles (serve / worker / submit-status-result).
+package cluster
+
+import (
+	"encoding/json"
+
+	"trigene"
+)
+
+// Job states reported in JobStatus.State.
+const (
+	// StateRunning: tiles are pending or leased.
+	StateRunning = "running"
+	// StateDone: every tile completed; the merged result is retained.
+	StateDone = "done"
+	// StateFailed: a worker reported a deterministic execution error,
+	// or a tile exhausted its re-issue attempts.
+	StateFailed = "failed"
+	// StateCancelled: cancelled by request; outstanding leases die.
+	StateCancelled = "cancelled"
+)
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// Name optionally labels the job for humans; it need not be unique.
+	Name string `json:"name,omitempty"`
+	// Spec is the search configuration every tile executes.
+	Spec trigene.SearchSpec `json:"spec"`
+	// Tiles is how many lease units the space is cut into (≥ 1).
+	Tiles int `json:"tiles"`
+	// Dataset is the dataset in the trigene binary format (base64 in
+	// JSON).
+	Dataset []byte `json:"dataset"`
+}
+
+// SubmitResponse is the body answering POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Tiles int    `json:"tiles"`
+}
+
+// JobStatus is one job's public state.
+type JobStatus struct {
+	ID    string             `json:"id"`
+	Name  string             `json:"name,omitempty"`
+	State string             `json:"state"`
+	Spec  trigene.SearchSpec `json:"spec"`
+	// SNPs and Samples describe the job's dataset.
+	SNPs    int `json:"snps"`
+	Samples int `json:"samples"`
+	// Tiles, Done and Leased count lease units: total, completed, and
+	// currently under an unexpired lease.
+	Tiles  int `json:"tiles"`
+	Done   int `json:"done"`
+	Leased int `json:"leased"`
+	// Error is set on failed jobs.
+	Error string `json:"error,omitempty"`
+	// SubmittedUnixMs and DurationMs time the job: submission instant
+	// and, once finished, submit-to-finish wall time.
+	SubmittedUnixMs int64   `json:"submittedUnixMs"`
+	DurationMs      float64 `json:"durationMs,omitempty"`
+}
+
+// JobList is the body answering GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// LeaseRequest is the body of POST /v1/lease.
+type LeaseRequest struct {
+	// Worker identifies the requester in statuses and logs.
+	Worker string `json:"worker"`
+}
+
+// LeaseGrant is the body answering POST /v1/lease: one tile of one
+// job, to be executed as Search(spec.Options()..., WithShard(Tile,
+// Tiles)) and completed — under heartbeat renewal every TTL/3 or so —
+// at /v1/lease/{token}/done.
+type LeaseGrant struct {
+	// Token names the lease in renew/done/fail calls. Opaque.
+	Token string `json:"token"`
+	// Job is the job the tile belongs to; its dataset is at
+	// /v1/jobs/{job}/dataset.
+	Job string `json:"job"`
+	// DatasetSHA256 is the hex SHA-256 of the job's dataset bytes.
+	// Workers key their per-job Session caches on it (job IDs restart
+	// from j1 with the coordinator, a fingerprint never aliases) and
+	// verify the fetched bytes against it.
+	DatasetSHA256 string `json:"datasetSha256"`
+	// Spec is the job's search configuration.
+	Spec trigene.SearchSpec `json:"spec"`
+	// Tile and Tiles are the shard coordinates to execute.
+	Tile  int `json:"tile"`
+	Tiles int `json:"tiles"`
+	// TTLMillis is the lease duration; renew well before it elapses.
+	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// CompleteRequest is the body of POST /v1/lease/{token}/done.
+type CompleteRequest struct {
+	// Report is the tile's Report in the stable wire format.
+	Report json.RawMessage `json:"report"`
+}
+
+// CompleteResponse is the body answering a completion.
+type CompleteResponse struct {
+	// Accepted is false when the result was discarded — the tile was
+	// already completed under a re-issued lease (exactly-once
+	// accounting keeps the first result).
+	Accepted bool `json:"accepted"`
+}
+
+// FailRequest is the body of POST /v1/lease/{token}/fail: a
+// deterministic execution error (bad spec for the dataset, order
+// unsupported by the backend, ...) that retrying on another worker
+// cannot fix, so it fails the whole job.
+type FailRequest struct {
+	Error string `json:"error"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,470 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"trigene"
+	"trigene/internal/sched"
+)
+
+// Config tunes a Coordinator. The zero value is usable.
+type Config struct {
+	// LeaseTTL is how long a granted tile stays covered without a
+	// heartbeat renewal (default 15s). Workers renew at TTL/3, so the
+	// TTL bounds how stale a dead worker's tile can get before
+	// re-issue.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one tile is granted before the
+	// job is declared failed — the brake against a tile that kills
+	// every worker that touches it (default 5).
+	MaxAttempts int
+	// Retain is how many finished jobs (done, failed or cancelled) keep
+	// their status and merged result before the oldest are evicted
+	// (default 64).
+	Retain int
+	// Logf receives coordinator events (default: discard).
+	Logf func(format string, args ...any)
+	// Now supplies the clock (default time.Now); tests inject it.
+	Now func() time.Time
+}
+
+// Coordinator owns the job queue and the lease book of a cluster. It
+// is an http.Handler serving the /v1 wire contract; all state is
+// in-memory.
+type Coordinator struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order; finished jobs stay until evicted
+	seq   int
+}
+
+// job is the coordinator-side state of one search.
+type job struct {
+	id, name string
+	spec     trigene.SearchSpec
+	tiles    int
+	state    string
+	err      string
+
+	dataset       []byte // released when the job leaves StateRunning
+	datasetSHA    string // hex SHA-256 of dataset
+	snps, samples int
+
+	leases  *sched.LeaseTable
+	reports []*trigene.Report // one slot per tile
+	result  *trigene.Report
+
+	submitted time.Time
+	finished  time.Time
+}
+
+// NewCoordinator returns a Coordinator serving the /v1 wire contract.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{cfg: cfg, jobs: make(map[string]*job), mux: http.NewServeMux()}
+	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/jobs", c.handleList)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/dataset", c.handleDataset)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	c.mux.HandleFunc("POST /v1/jobs/{id}/cancel", c.handleCancel)
+	c.mux.HandleFunc("POST /v1/lease", c.handleLease)
+	c.mux.HandleFunc("POST /v1/lease/{token}/renew", c.handleRenew)
+	c.mux.HandleFunc("POST /v1/lease/{token}/done", c.handleComplete)
+	c.mux.HandleFunc("POST /v1/lease/{token}/fail", c.handleFail)
+	return c
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// LeaseTTL returns the configured lease duration.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding submit request: %v", err)
+		return
+	}
+	if req.Tiles < 1 {
+		writeErr(w, http.StatusBadRequest, "tiles must be ≥ 1, got %d", req.Tiles)
+		return
+	}
+	// Fail configuration and dataset errors at the door, not on the
+	// first worker.
+	if _, err := req.Spec.Options(); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	mx, err := trigene.ReadBinary(bytes.NewReader(req.Dataset))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
+		return
+	}
+	if _, err := trigene.NewSession(mx); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
+		return
+	}
+
+	c.mu.Lock()
+	c.seq++
+	j := &job{
+		id:         "j" + strconv.Itoa(c.seq),
+		name:       req.Name,
+		spec:       req.Spec,
+		tiles:      req.Tiles,
+		state:      StateRunning,
+		dataset:    req.Dataset,
+		datasetSHA: fmt.Sprintf("%x", sha256.Sum256(req.Dataset)),
+		snps:       mx.SNPs(),
+		samples:    mx.Samples(),
+		leases:     sched.NewLeaseTable(req.Tiles),
+		reports:    make([]*trigene.Report, req.Tiles),
+		submitted:  c.cfg.Now(),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.mu.Unlock()
+	c.cfg.Logf("job %s (%q): %d tiles over %dx%d dataset, backend %q",
+		j.id, j.name, j.tiles, j.snps, j.samples, req.Spec.Backend)
+	writeJSON(w, http.StatusCreated, SubmitResponse{ID: j.id, Tiles: j.tiles})
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	list := JobList{Jobs: make([]JobStatus, 0, len(c.order))}
+	for _, id := range c.order {
+		list.Jobs = append(list.Jobs, c.jobs[id].status(now))
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if !ok {
+		c.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	st := j.status(c.cfg.Now())
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleDataset(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	var data []byte
+	if ok {
+		data = j.dataset
+	}
+	c.mu.Unlock()
+	switch {
+	case !ok:
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	case data == nil:
+		writeErr(w, http.StatusGone, "job %s is finished; its dataset is released", r.PathValue("id"))
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	var st JobStatus
+	if ok {
+		st = j.status(c.cfg.Now())
+	}
+	result := (*trigene.Report)(nil)
+	if ok {
+		result = j.result
+	}
+	c.mu.Unlock()
+	switch {
+	case !ok:
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	case st.State == StateRunning:
+		writeErr(w, http.StatusConflict, "job %s still running: %d/%d tiles done", st.ID, st.Done, st.Tiles)
+	case result == nil:
+		writeErr(w, http.StatusGone, "job %s %s: %s", st.ID, st.State, st.Error)
+	default:
+		writeJSON(w, http.StatusOK, result)
+	}
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	if ok && j.state == StateRunning {
+		c.finishLocked(j, StateCancelled, "cancelled by request")
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding lease request: %v", err)
+		return
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// First running job (submission order) with an available tile: a
+	// FIFO queue in which later jobs still progress once earlier ones
+	// are fully leased.
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != StateRunning {
+			continue
+		}
+		l, ok := j.leases.Acquire(now, c.cfg.LeaseTTL)
+		if !ok {
+			continue
+		}
+		if l.Attempt > c.cfg.MaxAttempts {
+			c.cfg.Logf("job %s: tile %d exhausted %d attempts; failing the job", j.id, l.Tile, c.cfg.MaxAttempts)
+			c.finishLocked(j, StateFailed,
+				fmt.Sprintf("tile %d of %d was re-issued %d times without completing", l.Tile, j.tiles, c.cfg.MaxAttempts))
+			continue
+		}
+		if l.Attempt > 1 {
+			c.cfg.Logf("job %s: re-issuing tile %d (attempt %d) to %q", j.id, l.Tile, l.Attempt, req.Worker)
+		}
+		writeJSON(w, http.StatusOK, LeaseGrant{
+			Token:         leaseToken(j.id, l),
+			Job:           j.id,
+			DatasetSHA256: j.datasetSHA,
+			Spec:          j.spec,
+			Tile:          l.Tile,
+			Tiles:         j.tiles,
+			TTLMillis:     c.cfg.LeaseTTL.Milliseconds(),
+		})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	jobID, tile, seq, err := parseLeaseToken(r.PathValue("token"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	now := c.cfg.Now()
+	c.mu.Lock()
+	j, ok := c.jobs[jobID]
+	renewed := ok && j.state == StateRunning && j.leases.Renew(tile, seq, now, c.cfg.LeaseTTL)
+	c.mu.Unlock()
+	if !renewed {
+		writeErr(w, http.StatusGone, "lease %s is no longer current", r.PathValue("token"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	jobID, tile, seq, err := parseLeaseToken(r.PathValue("token"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding completion: %v", err)
+		return
+	}
+	var rep trigene.Report
+	if err := json.Unmarshal(req.Report, &rep); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding tile report: %v", err)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok || j.state != StateRunning {
+		writeErr(w, http.StatusGone, "job %s is not running", jobID)
+		return
+	}
+	switch st := j.leases.Complete(tile, seq); st {
+	case sched.CompleteAccepted:
+		j.reports[tile] = &rep
+		if j.leases.Done() == j.tiles {
+			c.mergeLocked(j)
+		}
+		writeJSON(w, http.StatusOK, CompleteResponse{Accepted: true})
+	case sched.CompleteDuplicate, sched.CompleteStale:
+		// Exactly-once accounting: the tile's first result already
+		// counted (or a re-issued lease owns it); this one is discarded.
+		c.cfg.Logf("job %s: discarding %v completion of tile %d", jobID, st, tile)
+		writeJSON(w, http.StatusOK, CompleteResponse{Accepted: false})
+	default:
+		writeErr(w, http.StatusGone, "lease %s was never granted", r.PathValue("token"))
+	}
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	jobID, tile, seq, err := parseLeaseToken(r.PathValue("token"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding failure: %v", err)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok || j.state != StateRunning {
+		writeErr(w, http.StatusGone, "job %s is not running", jobID)
+		return
+	}
+	// Only the tile's live lease may fail the job: a superseded holder
+	// (its tile was re-issued, possibly to a worker that handles the
+	// spec fine) must not kill everyone else's work.
+	if !j.leases.Current(tile, seq) {
+		writeErr(w, http.StatusGone, "lease %s is no longer current", r.PathValue("token"))
+		return
+	}
+	c.cfg.Logf("job %s: tile %d failed deterministically: %s", jobID, tile, req.Error)
+	c.finishLocked(j, StateFailed, fmt.Sprintf("tile %d: %s", tile, req.Error))
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// mergeLocked assembles the final Report from the per-tile Reports (in
+// tile order — MergeReports' candidate ordering is order-independent,
+// but determinism is easier to audit this way).
+func (c *Coordinator) mergeLocked(j *job) {
+	merged, err := trigene.MergeReports(j.reports...)
+	if err != nil {
+		c.finishLocked(j, StateFailed, fmt.Sprintf("merging tile reports: %v", err))
+		return
+	}
+	j.result = merged
+	c.finishLocked(j, StateDone, "")
+	c.cfg.Logf("job %s done: %d combinations, best %v", j.id, merged.Combinations, merged.Best.SNPs)
+}
+
+// finishLocked moves a job out of StateRunning: records the outcome,
+// releases the dataset, kills future lease traffic (renew/complete on
+// a finished job answer 410 Gone) and evicts the oldest finished jobs
+// beyond the retention cap.
+func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
+	j.state = state
+	j.err = errMsg
+	j.dataset = nil
+	j.reports = nil
+	j.finished = c.cfg.Now()
+
+	finished := 0
+	for _, id := range c.order {
+		if c.jobs[id].state != StateRunning {
+			finished++
+		}
+	}
+	for i := 0; finished > c.cfg.Retain && i < len(c.order); {
+		id := c.order[i]
+		if c.jobs[id].state == StateRunning {
+			i++
+			continue
+		}
+		delete(c.jobs, id)
+		c.order = append(c.order[:i], c.order[i+1:]...)
+		finished--
+	}
+}
+
+// status snapshots a job (caller holds c.mu).
+func (j *job) status(now time.Time) JobStatus {
+	st := JobStatus{
+		ID:              j.id,
+		Name:            j.name,
+		State:           j.state,
+		Spec:            j.spec,
+		SNPs:            j.snps,
+		Samples:         j.samples,
+		Tiles:           j.tiles,
+		Done:            j.leases.Done(),
+		Leased:          j.leases.Outstanding(now),
+		Error:           j.err,
+		SubmittedUnixMs: j.submitted.UnixMilli(),
+	}
+	if !j.finished.IsZero() {
+		st.DurationMs = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// leaseToken encodes a granted lease as "job.tile.seq" — opaque to
+// workers, self-describing to the coordinator (no token table to leak).
+func leaseToken(jobID string, l sched.TileLease) string {
+	return jobID + "." + strconv.Itoa(l.Tile) + "." + strconv.FormatUint(l.Seq, 10)
+}
+
+// parseLeaseToken is the inverse of leaseToken.
+func parseLeaseToken(tok string) (jobID string, tile int, seq uint64, err error) {
+	parts := strings.Split(tok, ".")
+	if len(parts) != 3 {
+		return "", 0, 0, fmt.Errorf("malformed lease token %q", tok)
+	}
+	tile, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("malformed lease token %q", tok)
+	}
+	seq, err = strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("malformed lease token %q", tok)
+	}
+	return parts[0], tile, seq, nil
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the uniform JSON error body.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}

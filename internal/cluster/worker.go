@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"trigene"
+)
+
+// Worker executes leased tiles against one coordinator: it acquires a
+// lease, fetches (and caches) the job's dataset as a Session, runs the
+// tile as an ordinary sharded Session.Search, heartbeats the lease
+// while computing, and posts the tile Report back. One Worker runs one
+// tile at a time — the search itself is internally parallel — so a
+// machine contributes capacity by running one Worker, not many.
+type Worker struct {
+	// Client connects to the coordinator.
+	Client *Client
+	// ID names the worker in coordinator logs (default "host:pid").
+	ID string
+	// Poll is the idle wait between lease attempts when the
+	// coordinator has no work or is unreachable (default 500ms).
+	Poll time.Duration
+	// Logf receives worker events (default: discard).
+	Logf func(format string, args ...any)
+
+	// sessions caches Sessions by dataset fingerprint so a worker
+	// binarizes each dataset once, not once per tile. The key is the
+	// grant's DatasetSHA256, never the job ID: job IDs restart from j1
+	// with the coordinator, and a long-lived worker must not execute a
+	// new job against a stale cached dataset (identical datasets across
+	// jobs dedupe for free instead).
+	sessions sessionCache
+}
+
+// sessionCache is a small insertion-ordered cache of per-dataset
+// Sessions.
+type sessionCache struct {
+	keys []string
+	vals map[string]*trigene.Session
+}
+
+const sessionCacheCap = 4
+
+func (sc *sessionCache) get(id string) (*trigene.Session, bool) {
+	s, ok := sc.vals[id]
+	return s, ok
+}
+
+func (sc *sessionCache) put(id string, s *trigene.Session) {
+	if sc.vals == nil {
+		sc.vals = make(map[string]*trigene.Session)
+	}
+	if _, ok := sc.vals[id]; ok {
+		sc.vals[id] = s
+		return
+	}
+	if len(sc.keys) >= sessionCacheCap {
+		delete(sc.vals, sc.keys[0])
+		sc.keys = sc.keys[1:]
+	}
+	sc.keys = append(sc.keys, id)
+	sc.vals[id] = s
+}
+
+// Run leases and executes tiles until ctx is cancelled (its only
+// normal exit, returned as ctx's error). A Worker must not be shared
+// across goroutines; run several Workers for concurrent tiles.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.ID == "" {
+		host, _ := os.Hostname()
+		w.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if w.Poll <= 0 {
+		w.Poll = 500 * time.Millisecond
+	}
+	if w.Logf == nil {
+		w.Logf = func(string, ...any) {}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		grant, ok, err := w.Client.lease(ctx, w.ID)
+		switch {
+		case err != nil:
+			// Coordinator unreachable (restart, network blip): idle and
+			// retry rather than dying.
+			if ctx.Err() == nil {
+				w.Logf("lease: %v; retrying in %v", err, w.Poll)
+			}
+			w.idle(ctx)
+		case !ok:
+			w.idle(ctx)
+		default:
+			w.execute(ctx, grant)
+		}
+	}
+}
+
+// idle sleeps one poll interval or until cancellation.
+func (w *Worker) idle(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(w.Poll):
+	}
+}
+
+// execute runs one granted tile end to end.
+func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
+	sess, err := w.session(ctx, grant)
+	if err != nil {
+		// Dataset load failures are treated as transient (coordinator
+		// restarting, job finished meanwhile): abandon the lease and
+		// let expiry re-issue the tile — MaxAttempts brakes a
+		// persistent cause.
+		if ctx.Err() == nil {
+			w.Logf("tile %d of %s: loading dataset: %v; abandoning lease", grant.Tile, grant.Job, err)
+		}
+		return
+	}
+	opts, err := grant.Spec.Options()
+	if err != nil {
+		// The coordinator validated the spec at submit; a rebuild error
+		// here is deterministic (version skew), so fail the job loudly.
+		w.Logf("tile %d of %s: rebuilding spec: %v; failing the job", grant.Tile, grant.Job, err)
+		w.failJob(ctx, grant.Token, fmt.Sprintf("rebuilding spec: %v", err))
+		return
+	}
+	opts = append(opts, trigene.WithShard(grant.Tile, grant.Tiles))
+
+	// Heartbeat while the search runs: renew at TTL/3; a lost lease
+	// (expired and re-issued elsewhere) cancels the search so the
+	// worker stops burning cycles on a tile it no longer owns.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var leaseLost atomic.Bool
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := time.Duration(grant.TTLMillis) * time.Millisecond / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sctx.Done():
+				return
+			case <-ticker.C:
+				if err := w.renewOnce(sctx, grant.Token); err != nil {
+					leaseLost.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	w.Logf("tile %d/%d of job %s", grant.Tile, grant.Tiles, grant.Job)
+	rep, err := sess.Search(sctx, opts...)
+	cancel()
+	<-hbDone
+
+	switch {
+	case err == nil:
+		accepted, cerr := w.complete(ctx, grant.Token, rep)
+		switch {
+		case errors.Is(cerr, errLeaseLost):
+			w.Logf("tile %d of %s: completed after lease loss; result discarded", grant.Tile, grant.Job)
+		case cerr != nil:
+			// The result is lost; the lease expires and the tile is
+			// re-issued. Nothing to clean up.
+			w.Logf("tile %d of %s: posting result: %v", grant.Tile, grant.Job, cerr)
+		case !accepted:
+			w.Logf("tile %d of %s: duplicate result discarded by coordinator", grant.Tile, grant.Job)
+		}
+	case leaseLost.Load():
+		w.Logf("tile %d of %s: lease lost mid-search; abandoning", grant.Tile, grant.Job)
+	case ctx.Err() != nil:
+		// Shutdown: leave the lease to expire and be re-issued.
+	default:
+		// A deterministic execution error: retrying elsewhere cannot
+		// help, so fail the job loudly.
+		w.Logf("tile %d of %s: %v; failing the job", grant.Tile, grant.Job, err)
+		w.failJob(ctx, grant.Token, err.Error())
+	}
+}
+
+// session returns the cached Session for a grant's dataset, fetching,
+// verifying and binarizing it on first use.
+func (w *Worker) session(ctx context.Context, grant LeaseGrant) (*trigene.Session, error) {
+	if s, ok := w.sessions.get(grant.DatasetSHA256); ok {
+		return s, nil
+	}
+	raw, err := w.Client.dataset(ctx, grant.Job)
+	if err != nil {
+		return nil, err
+	}
+	if sum := fmt.Sprintf("%x", sha256.Sum256(raw)); sum != grant.DatasetSHA256 {
+		// The job behind this ID changed under us (coordinator restart
+		// between grant and fetch); abandon rather than compute on the
+		// wrong data.
+		return nil, fmt.Errorf("dataset fingerprint mismatch: fetched %.12s…, lease names %.12s…", sum, grant.DatasetSHA256)
+	}
+	mx, err := trigene.ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	s, err := trigene.NewSession(mx)
+	if err != nil {
+		return nil, err
+	}
+	w.sessions.put(grant.DatasetSHA256, s)
+	return s, nil
+}
+
+// renewOnce heartbeats the lease, tolerating transient transport
+// errors (only an authoritative "gone" loses the lease).
+func (w *Worker) renewOnce(ctx context.Context, token string) error {
+	err := w.Client.renew(ctx, token)
+	if errors.Is(err, errLeaseLost) {
+		return err
+	}
+	if err != nil && ctx.Err() == nil {
+		w.Logf("renew: %v (will retry)", err)
+	}
+	return nil
+}
+
+// complete posts the tile Report.
+func (w *Worker) complete(ctx context.Context, token string, rep *trigene.Report) (bool, error) {
+	return w.Client.complete(ctx, token, rep)
+}
+
+// failJob reports a deterministic failure.
+func (w *Worker) failJob(ctx context.Context, token, msg string) {
+	if err := w.Client.fail(ctx, token, msg); err != nil && !errors.Is(err, errLeaseLost) && ctx.Err() == nil {
+		w.Logf("reporting failure: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package datafile is the CLI tools' shared dataset loader: one place
+// for format dispatch and magic-byte auto-detection, so cmd/epistasis
+// and cmd/trigened cannot drift apart on which inputs they accept.
+//
+// Supported formats: the trigene text and binary formats, PLINK .ped,
+// PLINK additive-recode .raw, and the VCF subset (which needs a
+// phenotype sidecar file, since VCF carries no case-control status).
+package datafile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"trigene/internal/dataset"
+)
+
+// Read loads the dataset at path ("-" for stdin). format is "auto",
+// "ped", "raw" or "vcf"; auto-detection distinguishes the trigene
+// binary format (TGB1 magic), .raw (a FID header, space- or
+// tab-delimited), VCF (## meta lines or a #CHROM header) and falls
+// back to the trigene text format. phenPath names the VCF phenotype
+// sidecar (one 0/1 per sample, whitespace separated).
+func Read(path, format, phenPath string) (*dataset.Matrix, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	br := bufio.NewReader(r)
+	switch format {
+	case "ped":
+		return dataset.ReadPED(br)
+	case "raw":
+		return dataset.ReadRAW(br)
+	case "vcf":
+		return readVCFWithPhen(br, phenPath)
+	case "auto":
+		magic, err := br.Peek(4)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		switch {
+		case bytes.Equal(magic, []byte("TGB1")):
+			return dataset.ReadBinary(br)
+		case isRawHeader(magic):
+			return dataset.ReadRAW(br)
+		case magic[0] == '#' && magic[1] == '#', bytes.Equal(magic, []byte("#CHR")):
+			return readVCFWithPhen(br, phenPath)
+		default:
+			return dataset.ReadText(br)
+		}
+	default:
+		return nil, fmt.Errorf("unknown input format %q (want auto, ped, raw or vcf)", format)
+	}
+}
+
+// FormatsHelp is the shared -informat flag description.
+const FormatsHelp = "input format: auto (trigene text/binary, VCF or .raw), ped, raw, vcf"
+
+// isRawHeader detects a PLINK .raw header from the first four bytes:
+// "FID" followed by any field separator (plink emits spaces, plink2
+// --export A emits tabs).
+func isRawHeader(magic []byte) bool {
+	return len(magic) == 4 && bytes.Equal(magic[:3], []byte("FID")) &&
+		(magic[3] == ' ' || magic[3] == '\t')
+}
+
+// readVCFWithPhen pairs a VCF genotype stream with a phenotype file.
+func readVCFWithPhen(r io.Reader, phenPath string) (*dataset.Matrix, error) {
+	if phenPath == "" {
+		return nil, fmt.Errorf("VCF input requires -phen (VCF carries no case-control status)")
+	}
+	raw, err := os.ReadFile(phenPath)
+	if err != nil {
+		return nil, err
+	}
+	var phen []uint8
+	for _, tok := range strings.Fields(string(raw)) {
+		switch tok {
+		case "0":
+			phen = append(phen, 0)
+		case "1":
+			phen = append(phen, 1)
+		default:
+			return nil, fmt.Errorf("phenotype file: invalid value %q (want 0 or 1)", tok)
+		}
+	}
+	return dataset.ReadVCF(r, phen)
+}

@@ -1,0 +1,102 @@
+package datafile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trigene/internal/dataset"
+)
+
+// write materializes content as a file in a test dir.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAutoDetection routes every supported magic to the right parser,
+// including the tab-delimited .raw header plink2 emits.
+func TestAutoDetection(t *testing.T) {
+	rawSpaces := "FID IID PAT MAT SEX PHENOTYPE rs1_A rs2_C\n" +
+		"F S1 0 0 1 1 0 1\nF S2 0 0 1 2 2 0\n"
+	rawTabs := strings.ReplaceAll(rawSpaces, " ", "\t")
+
+	mx, err := dataset.Generate(dataset.GenConfig{SNPs: 4, Samples: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin strings.Builder
+	if err := dataset.WriteBinary(&bin, mx); err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	if err := dataset.WriteText(&text, mx); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name, content string
+		snps, samples int
+	}{
+		{"space.raw", rawSpaces, 2, 2},
+		{"tab.raw", rawTabs, 2, 2},
+		{"data.tgb", bin.String(), 4, 20},
+		{"data.tg", text.String(), 4, 20},
+	}
+	for _, tc := range cases {
+		got, err := Read(write(t, tc.name, tc.content), "auto", "")
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got.SNPs() != tc.snps || got.Samples() != tc.samples {
+			t.Errorf("%s: %dx%d, want %dx%d", tc.name, got.SNPs(), got.Samples(), tc.snps, tc.samples)
+		}
+	}
+}
+
+// TestVCFPaths: auto-detected VCF requires the phenotype sidecar, and
+// a valid pairing loads.
+func TestVCFPaths(t *testing.T) {
+	vcf := "##fileformat=VCFv4.2\n" +
+		"#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tS1\tS2\n" +
+		"1\t1\trs1\tA\tG\t.\t.\t.\tGT\t0/1\t1/1\n"
+	path := write(t, "x.vcf", vcf)
+	if _, err := Read(path, "auto", ""); err == nil || !strings.Contains(err.Error(), "-phen") {
+		t.Errorf("VCF without -phen: %v", err)
+	}
+	phen := write(t, "phen.txt", "0 1\n")
+	mx, err := Read(path, "vcf", phen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.SNPs() != 1 || mx.Samples() != 2 {
+		t.Errorf("VCF dims %dx%d", mx.SNPs(), mx.Samples())
+	}
+	if _, err := Read(path, "vcf", write(t, "bad.txt", "0 7\n")); err == nil {
+		t.Error("invalid phenotype value accepted")
+	}
+}
+
+// TestReadErrors: unknown formats, missing files and explicit-format
+// parse failures fail loudly.
+func TestReadErrors(t *testing.T) {
+	path := write(t, "junk", "junk\n")
+	if _, err := Read(path, "bogus", ""); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "absent"), "auto", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := Read(path, "ped", ""); err == nil {
+		t.Error("junk accepted as ped")
+	}
+	if _, err := Read(write(t, "short", "ab"), "auto", ""); err == nil {
+		t.Error("too-short input accepted")
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"strings"
 )
 
-// Importers for the two interchange formats GWAS toolchains actually
+// Importers for the interchange formats GWAS toolchains actually
 // emit: PLINK's classic .ped (samples in rows, two allele columns per
-// SNP, phenotype column 6) and a VCF subset (bi-allelic sites with a
-// leading GT field). Both are strict: missing genotypes and
-// multi-allelic sites are rejected rather than silently imputed, since
-// downstream counting assumes complete data.
+// SNP, phenotype column 6), PLINK's additive-recode .raw (samples in
+// rows, one 0/1/2 dosage column per SNP behind a header), and a VCF
+// subset (bi-allelic sites with a leading GT field). All are strict:
+// missing genotypes, truncated rows and non-biallelic codes are
+// rejected rather than silently imputed, since downstream counting
+// assumes complete data.
 
 // ReadPED parses a PLINK .ped file. Each line holds
 //
@@ -113,6 +115,90 @@ func minorAllele(rows [][]string, snp int) (string, error) {
 		}
 	}
 	return minor, nil
+}
+
+// ReadRAW parses a PLINK .raw file (`plink --recode A`): a header line
+//
+//	FID IID PAT MAT SEX PHENOTYPE snp1_A snp2_G ... snpM_T
+//
+// followed by one line per sample whose genotype columns are
+// minor-allele dosages. Phenotype is 1 = control / 2 = case. The
+// format is strict: every sample line must carry exactly one code per
+// header SNP (a truncated line is an error, not a short sample), codes
+// must be the biallelic dosages 0, 1 or 2, and the missing marker NA
+// is rejected.
+func ReadRAW(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	m := -1
+	line := 0
+	var rows [][]uint8
+	var phen []uint8
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if m == -1 {
+			// Header line.
+			if len(fields) < 7 || fields[0] != "FID" || fields[5] != "PHENOTYPE" {
+				return nil, fmt.Errorf("dataset: raw line %d: not a .raw header (want FID IID PAT MAT SEX PHENOTYPE snp...)", line)
+			}
+			m = len(fields) - 6
+			continue
+		}
+		if len(fields) != 6+m {
+			return nil, fmt.Errorf("dataset: raw line %d: truncated or ragged line: %d fields, want %d", line, len(fields), 6+m)
+		}
+		switch fields[5] {
+		case "1":
+			phen = append(phen, Control)
+		case "2":
+			phen = append(phen, Case)
+		default:
+			return nil, fmt.Errorf("dataset: raw line %d: unsupported phenotype %q (want 1 or 2)", line, fields[5])
+		}
+		row := make([]uint8, m)
+		for i, code := range fields[6:] {
+			switch code {
+			case "0":
+				row[i] = 0
+			case "1":
+				row[i] = 1
+			case "2":
+				row[i] = 2
+			case "NA":
+				return nil, fmt.Errorf("dataset: raw line %d: missing genotype (NA) at SNP %d", line, i)
+			default:
+				return nil, fmt.Errorf("dataset: raw line %d: non-biallelic dosage code %q at SNP %d (want 0, 1 or 2)", line, code, i)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading raw: %w", err)
+	}
+	if m == -1 {
+		return nil, fmt.Errorf("dataset: raw input has no header")
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: raw input has no samples")
+	}
+
+	mx := NewMatrix(m, len(rows))
+	for j, p := range phen {
+		mx.SetPhen(j, p)
+	}
+	for snp := 0; snp < m; snp++ {
+		dst := mx.Row(snp)
+		for j, row := range rows {
+			dst[j] = row[snp]
+		}
+	}
+	return mx, nil
 }
 
 // ReadVCF parses a bi-allelic VCF subset: meta lines (##...) are

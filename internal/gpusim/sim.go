@@ -137,39 +137,41 @@ type Options struct {
 }
 
 // Stats aggregates the executed operations, the memory behaviour and
-// the modeled timing of one simulated search.
+// the modeled timing of one simulated search. The JSON tags are part
+// of the Report wire format (trigene's stable Report JSON carries
+// these stats on the "gpu" key) and must stay stable.
 type Stats struct {
-	Combinations int64
-	Elements     float64
+	Combinations int64   `json:"combinations"`
+	Elements     float64 `json:"elements"`
 
-	ALUOps    int64 // bitwise ops + table adds, on stream cores
-	PopcntOps int64 // on the POPCNT-capable units
-	Loads     int64 // per-thread 32-bit loads issued
+	ALUOps    int64 `json:"aluOps"`    // bitwise ops + table adds, on stream cores
+	PopcntOps int64 `json:"popcntOps"` // on the POPCNT-capable units
+	Loads     int64 `json:"loads"`     // per-thread 32-bit loads issued
 
-	RequestedBytes int64 // Loads * 4
-	Transactions   int64 // coalesced memory transactions
-	L2Hits         int64
-	L2Misses       int64
-	L2Bytes        int64 // Transactions * CoalesceBytes
-	DRAMBytes      int64 // L2Misses * cacheLine
+	RequestedBytes int64 `json:"requestedBytes"` // Loads * 4
+	Transactions   int64 `json:"transactions"`   // coalesced memory transactions
+	L2Hits         int64 `json:"l2Hits"`
+	L2Misses       int64 `json:"l2Misses"`
+	L2Bytes        int64 `json:"l2Bytes"`   // Transactions * CoalesceBytes
+	DRAMBytes      int64 `json:"dramBytes"` // L2Misses * cacheLine
 
 	// Thread-scheduling accounting (Algorithm 2): every enqueue spawns
 	// BSched^3 thread slots over an (i0, i1, i2) block; only slots with
 	// i0 < i1 < i2 do work. Utilization = Active / Scheduled.
-	ScheduledThreads int64
-	ActiveThreads    int64
-	Utilization      float64
+	ScheduledThreads int64   `json:"scheduledThreads"`
+	ActiveThreads    int64   `json:"activeThreads"`
+	Utilization      float64 `json:"utilization"`
 
-	ComputeCycles float64
-	MemoryCycles  float64
-	Cycles        float64
-	ModelSeconds  float64
+	ComputeCycles float64 `json:"computeCycles"`
+	MemoryCycles  float64 `json:"memoryCycles"`
+	Cycles        float64 `json:"cycles"`
+	ModelSeconds  float64 `json:"modelSeconds"`
 
-	ElementsPerSec      float64 // modeled, whole device
+	ElementsPerSec      float64 `json:"elementsPerSec"` // modeled, whole device
 	ElementsPerCyclePer struct {
-		CU         float64
-		StreamCore float64
-	}
+		CU         float64 `json:"cu"`
+		StreamCore float64 `json:"streamCore"`
+	} `json:"elementsPerCyclePer"`
 }
 
 // Candidate is a scored SNP triple (i < j < k).
@@ -298,6 +300,10 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			started = nil
 		}
 	}
+	// Cancellation is observed between claims and again between warp
+	// batches inside a claimed tile, so a cancelled search returns
+	// within one warp even when the tile is large (a device claim on a
+	// shared heterogeneous cursor spans several CPU grains).
 	for {
 		if err := ctx.Err(); err != nil {
 			signalStarted()
@@ -309,6 +315,9 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			break
 		}
 		for lo := t.Lo; lo < t.Hi; lo += int64(warp) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			hi := lo + int64(warp)
 			if hi > t.Hi {
 				hi = t.Hi

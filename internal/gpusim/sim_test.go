@@ -1,12 +1,17 @@
 package gpusim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
+	"trigene/internal/combin"
 	"trigene/internal/dataset"
 	"trigene/internal/device"
 	"trigene/internal/engine"
+	"trigene/internal/sched"
 )
 
 func randomMatrix(seed int64, m, n int) *dataset.Matrix {
@@ -329,5 +334,43 @@ func TestModelGuardWasteInflatesCycles(t *testing.T) {
 	}
 	if _, err := r.Search(mx, Options{BSched: -2}); err == nil {
 		t.Error("negative BSched accepted")
+	}
+}
+
+// TestCancelObservedWithinOneTile: cancellation mid-tile is observed
+// between warp batches, so even a single tile covering the whole space
+// (a device claim on a shared cursor can be that large) returns
+// promptly and never reports the tile finished.
+func TestCancelObservedWithinOneTile(t *testing.T) {
+	mx := randomMatrix(7, 40, 256)
+	total := combin.Triples(40)
+	cur := sched.NewCursor(sched.NewSource(0, total, total)) // one tile = the space
+	var finished atomic.Int64
+	cur.OnProgress(total, func(done, _ int64) { finished.Store(done) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := New(titan()).Search(mx, Options{
+		Tiles:   cur,
+		Context: ctx,
+		// Started fires right after the first (whole-space) claim, so
+		// the cancellation lands strictly mid-tile.
+		Started: cancel,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if finished.Load() != 0 {
+		t.Errorf("cancelled search finished %d items of its tile", finished.Load())
+	}
+}
+
+// TestCancelBeforeStart: an already-cancelled context stops the search
+// before any tile is claimed.
+func TestCancelBeforeStart(t *testing.T) {
+	mx := randomMatrix(8, 16, 128)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(titan()).Search(mx, Options{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

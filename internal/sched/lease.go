@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// LeaseTable is the bookkeeping side of distributed tile execution: n
+// tiles, each of which is handed out under a deadline-bearing lease,
+// renewed by heartbeats, re-issued when its deadline passes, and
+// completed exactly once. It is the piece a network coordinator puts
+// between a Source's tiles and remote consumers that can die mid-tile:
+// whatever the interleaving of grants, expiries and late completions,
+// each tile contributes exactly one result, so a merged report stays
+// bit-exact with a single-node run.
+//
+// The clock is always passed in by the caller, which keeps expiry
+// deterministic under test.
+type LeaseTable struct {
+	mu    sync.Mutex
+	tiles []tileLease
+	seq   uint64
+	done  int
+}
+
+// tileLease is the per-tile lease state.
+type tileLease struct {
+	state    int // tileFree, tileLeased or tileDone
+	seq      uint64
+	deadline time.Time
+	attempts int
+}
+
+const (
+	tileFree = iota
+	tileLeased
+	tileDone
+)
+
+// TileLease identifies one granted lease: tile index, a grant sequence
+// number distinguishing re-issues of the same tile, and the attempt
+// count (1 on first grant).
+type TileLease struct {
+	Tile    int
+	Seq     uint64
+	Attempt int
+}
+
+// CompleteStatus is the outcome of LeaseTable.Complete.
+type CompleteStatus int
+
+const (
+	// CompleteAccepted: first completion of the tile; its result counts.
+	CompleteAccepted CompleteStatus = iota
+	// CompleteDuplicate: the tile was already completed (a re-issued
+	// worker and the original both finished); the result is discarded.
+	CompleteDuplicate
+	// CompleteStale: the lease was superseded by a re-issue that is
+	// still outstanding; the result is discarded.
+	CompleteStale
+	// CompleteUnknown: the coordinates identify no granted lease.
+	CompleteUnknown
+)
+
+// NewLeaseTable returns a table over n tiles, all unleased.
+func NewLeaseTable(n int) *LeaseTable {
+	if n < 0 {
+		n = 0
+	}
+	return &LeaseTable{tiles: make([]tileLease, n)}
+}
+
+// Acquire grants a lease on the next available tile — one never
+// granted, or one whose current lease deadline has passed — with a
+// deadline of now+ttl. It returns false when every tile is either done
+// or covered by an unexpired lease.
+func (lt *LeaseTable) Acquire(now time.Time, ttl time.Duration) (TileLease, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for i := range lt.tiles {
+		t := &lt.tiles[i]
+		if t.state == tileDone || (t.state == tileLeased && now.Before(t.deadline)) {
+			continue
+		}
+		lt.seq++
+		t.state = tileLeased
+		t.seq = lt.seq
+		t.deadline = now.Add(ttl)
+		t.attempts++
+		return TileLease{Tile: i, Seq: t.seq, Attempt: t.attempts}, true
+	}
+	return TileLease{}, false
+}
+
+// Renew extends the lease (tile, seq) to now+ttl. It reports false
+// when the lease is no longer current — the tile completed, or the
+// lease expired and was re-issued — telling the holder to abandon the
+// tile.
+func (lt *LeaseTable) Renew(tile int, seq uint64, now time.Time, ttl time.Duration) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return false
+	}
+	t := &lt.tiles[tile]
+	if t.state != tileLeased || t.seq != seq {
+		return false
+	}
+	t.deadline = now.Add(ttl)
+	return true
+}
+
+// Complete records the result of lease (tile, seq): the first
+// completion of a tile under its current grant is accepted, everything
+// else is classified for the caller to discard. A holder whose lease
+// expired but was not yet re-issued still completes successfully —
+// re-computation is only forced when a re-issue actually happened.
+func (lt *LeaseTable) Complete(tile int, seq uint64) CompleteStatus {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return CompleteUnknown
+	}
+	t := &lt.tiles[tile]
+	switch {
+	case t.state == tileDone:
+		return CompleteDuplicate
+	case t.state != tileLeased || seq == 0 || seq > t.seq:
+		return CompleteUnknown
+	case t.seq != seq:
+		return CompleteStale
+	}
+	t.state = tileDone
+	lt.done++
+	return CompleteAccepted
+}
+
+// Current reports whether (tile, seq) is the tile's live lease: still
+// leased and not superseded by a re-issue. Holders of non-current
+// leases must not be allowed to speak for the tile (complete it, fail
+// the job).
+func (lt *LeaseTable) Current(tile int, seq uint64) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return false
+	}
+	t := &lt.tiles[tile]
+	return t.state == tileLeased && t.seq == seq
+}
+
+// Tiles returns the table size.
+func (lt *LeaseTable) Tiles() int { return len(lt.tiles) }
+
+// Done returns how many tiles have completed.
+func (lt *LeaseTable) Done() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.done
+}
+
+// Outstanding returns how many tiles are covered by an unexpired lease
+// at the given instant.
+func (lt *LeaseTable) Outstanding(now time.Time) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	n := 0
+	for i := range lt.tiles {
+		t := &lt.tiles[i]
+		if t.state == tileLeased && now.Before(t.deadline) {
+			n++
+		}
+	}
+	return n
+}
+
+// Attempts returns how many times the tile has been granted.
+func (lt *LeaseTable) Attempts(tile int) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return 0
+	}
+	return lt.tiles[tile].attempts
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLeaseTableExactlyOnce(t *testing.T) {
+	now := time.Unix(0, 0)
+	ttl := time.Second
+	lt := NewLeaseTable(3)
+
+	// Drain the table: three distinct tiles, then nothing.
+	var leases []TileLease
+	for i := 0; i < 3; i++ {
+		l, ok := lt.Acquire(now, ttl)
+		if !ok {
+			t.Fatalf("acquire %d failed", i)
+		}
+		if l.Tile != i || l.Attempt != 1 {
+			t.Fatalf("acquire %d = %+v", i, l)
+		}
+		leases = append(leases, l)
+	}
+	if _, ok := lt.Acquire(now, ttl); ok {
+		t.Fatal("acquired a fourth lease from a 3-tile table")
+	}
+	if got := lt.Outstanding(now); got != 3 {
+		t.Fatalf("outstanding = %d, want 3", got)
+	}
+
+	// First completion accepted, second is a duplicate.
+	if st := lt.Complete(leases[0].Tile, leases[0].Seq); st != CompleteAccepted {
+		t.Fatalf("first complete = %v", st)
+	}
+	if st := lt.Complete(leases[0].Tile, leases[0].Seq); st != CompleteDuplicate {
+		t.Fatalf("second complete = %v", st)
+	}
+	if lt.Done() != 1 {
+		t.Fatalf("done = %d, want 1", lt.Done())
+	}
+
+	// Unknown coordinates are classified, not counted.
+	if st := lt.Complete(99, 1); st != CompleteUnknown {
+		t.Fatalf("out-of-range complete = %v", st)
+	}
+	if st := lt.Complete(leases[1].Tile, 9999); st != CompleteUnknown {
+		t.Fatalf("never-granted seq complete = %v", st)
+	}
+}
+
+func TestLeaseTableExpiryReissue(t *testing.T) {
+	now := time.Unix(0, 0)
+	ttl := time.Second
+	lt := NewLeaseTable(1)
+
+	first, ok := lt.Acquire(now, ttl)
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	// Before the deadline the tile is covered.
+	if _, ok := lt.Acquire(now.Add(ttl-1), ttl); ok {
+		t.Fatal("re-acquired an unexpired lease")
+	}
+	// At the deadline it is re-issued with a new seq and attempt.
+	second, ok := lt.Acquire(now.Add(ttl), ttl)
+	if !ok {
+		t.Fatal("expired tile not re-issued")
+	}
+	if second.Tile != first.Tile || second.Seq == first.Seq || second.Attempt != 2 {
+		t.Fatalf("re-issue = %+v (first %+v)", second, first)
+	}
+	if lt.Attempts(0) != 2 {
+		t.Fatalf("attempts = %d, want 2", lt.Attempts(0))
+	}
+
+	// The superseded holder's completion is stale; the new holder's
+	// counts; a later completion by anyone is a duplicate.
+	if st := lt.Complete(first.Tile, first.Seq); st != CompleteStale {
+		t.Fatalf("superseded complete = %v", st)
+	}
+	if st := lt.Complete(second.Tile, second.Seq); st != CompleteAccepted {
+		t.Fatalf("current complete = %v", st)
+	}
+	if st := lt.Complete(first.Tile, first.Seq); st != CompleteDuplicate {
+		t.Fatalf("late complete = %v", st)
+	}
+	if lt.Done() != 1 {
+		t.Fatalf("done = %d, want 1", lt.Done())
+	}
+}
+
+func TestLeaseTableExpiredHolderStillCompletes(t *testing.T) {
+	// A lease that expired but was NOT re-issued still completes: only
+	// an actual re-issue forces recomputation.
+	now := time.Unix(0, 0)
+	lt := NewLeaseTable(1)
+	l, _ := lt.Acquire(now, time.Second)
+	if st := lt.Complete(l.Tile, l.Seq); st != CompleteAccepted {
+		t.Fatalf("expired-but-current complete = %v", st)
+	}
+}
+
+func TestLeaseTableRenew(t *testing.T) {
+	now := time.Unix(0, 0)
+	ttl := time.Second
+	lt := NewLeaseTable(1)
+	l, _ := lt.Acquire(now, ttl)
+
+	// Renewal pushes the deadline forward, keeping the tile covered
+	// past its original expiry.
+	if !lt.Renew(l.Tile, l.Seq, now.Add(ttl/2), ttl) {
+		t.Fatal("renew of live lease failed")
+	}
+	if _, ok := lt.Acquire(now.Add(ttl), ttl); ok {
+		t.Fatal("renewed lease treated as expired")
+	}
+
+	// After expiry and re-issue, the old holder's renewal fails.
+	re, ok := lt.Acquire(now.Add(ttl/2+ttl), ttl)
+	if !ok {
+		t.Fatal("renewed-then-expired tile not re-issued")
+	}
+	if lt.Renew(l.Tile, l.Seq, now, ttl) {
+		t.Fatal("renew of superseded lease succeeded")
+	}
+	// Completion ends renewability.
+	if st := lt.Complete(re.Tile, re.Seq); st != CompleteAccepted {
+		t.Fatalf("complete = %v", st)
+	}
+	if lt.Renew(re.Tile, re.Seq, now, ttl) {
+		t.Fatal("renew of completed tile succeeded")
+	}
+}
+
+func TestLeaseTableEmpty(t *testing.T) {
+	lt := NewLeaseTable(0)
+	if lt.Tiles() != 0 || lt.Done() != 0 {
+		t.Fatalf("empty table: tiles=%d done=%d", lt.Tiles(), lt.Done())
+	}
+	if _, ok := lt.Acquire(time.Now(), time.Second); ok {
+		t.Fatal("acquired from an empty table")
+	}
+}

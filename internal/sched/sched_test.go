@@ -233,6 +233,47 @@ func TestConsumeContextCancelled(t *testing.T) {
 	}
 }
 
+// TestConsumeCancelWithinOneTile: cancellation mid-drain is observed
+// between claims, so a consumer finishes at most the tile it holds and
+// claims no further work.
+func TestConsumeCancelWithinOneTile(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cur := NewCursor(NewSource(0, 1000, 10)) // 100 tiles
+	var tiles int
+	err := cur.Consume(ctx, 1, func(tile Tile) (int64, error) {
+		tiles++
+		cancel() // cancelled while the first tile is in flight
+		return tile.Len(), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if tiles != 1 {
+		t.Errorf("consumer processed %d tiles after cancellation, want 1", tiles)
+	}
+}
+
+// TestDrainCancelWithinOneTilePerConsumer: each pool consumer finishes
+// at most its in-flight tile, so a cancelled search returns within one
+// tile per consumer instead of draining the space.
+func TestDrainCancelWithinOneTilePerConsumer(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const consumers = 4
+	cur := NewCursor(NewSource(0, 100000, 10)) // 10000 tiles
+	var tiles atomic.Int64
+	err := cur.Drain(ctx, consumers, func(w int, tile Tile) (int64, error) {
+		tiles.Add(1)
+		cancel()
+		return tile.Len(), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+	if n := tiles.Load(); n > consumers {
+		t.Errorf("pool processed %d tiles after cancellation, want at most %d (one in flight each)", n, consumers)
+	}
+}
+
 // TestWorkStealingImbalance: a fast and a slow consumer sharing one
 // cursor both finish when the space drains — the slow one cannot idle
 // the fast one, which is the heterogeneous backend's guarantee.

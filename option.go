@@ -25,6 +25,7 @@ type searchConfig struct {
 	workers     int
 	shard       *shardSpec
 	progress    func(done, total int64)
+	remote      RemoteExecutor
 
 	// Permutation-test knobs (ignored by Search).
 	permutations int
@@ -161,6 +162,26 @@ func WithShard(index, count int) Option {
 func WithProgress(fn func(done, total int64)) Option {
 	return func(c *searchConfig) error {
 		c.progress = fn
+		return nil
+	}
+}
+
+// WithCluster routes the search to a cluster through the given
+// executor (typically internal/cluster.Client pointed at a trigened
+// coordinator): the dataset and the serialized configuration
+// (SearchSpec) are submitted as a job, workers lease and execute
+// tiles, and the merged Report comes back bit-exact with a local run
+// of the same configuration. The other options keep their meaning —
+// WithBackend/WithOrder/WithApproach select what every worker runs,
+// WithWorkers the per-node parallelism. WithShard and WithProgress do
+// not combine with WithCluster: the cluster owns the partitioning, and
+// progress is observed by polling the job status.
+func WithCluster(exec RemoteExecutor) Option {
+	return func(c *searchConfig) error {
+		if exec == nil {
+			return fmt.Errorf("trigene: nil RemoteExecutor")
+		}
+		c.remote = exec
 		return nil
 	}
 }

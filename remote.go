@@ -1,0 +1,127 @@
+package trigene
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"trigene/internal/hetero"
+)
+
+// SearchSpec is the wire form of a search configuration: the subset of
+// a Session.Search call that serializes, carried verbatim between a
+// cluster client, its coordinator and the workers executing tiles.
+// Zero values mean "the call's default" (order 3, top-K 1, the
+// backend's native objective and approach, all cores), so a zero
+// SearchSpec is the zero Search call.
+type SearchSpec struct {
+	// Order is the interaction order (0 = default 3).
+	Order int `json:"order,omitempty"`
+	// TopK is the ranked candidate depth (0 = default 1).
+	TopK int `json:"topK,omitempty"`
+	// Objective names the ranking criterion ("" = backend default).
+	Objective string `json:"objective,omitempty"`
+	// Backend is the Backend.Name() of the execution engine: "cpu",
+	// "gpusim:<ID>", "baseline" or "hetero" ("" = cpu). ParseBackend
+	// rebuilds the Backend from it.
+	Backend string `json:"backend,omitempty"`
+	// Approach pins the pipeline variant "V1".."V4" ("" = backend
+	// default).
+	Approach string `json:"approach,omitempty"`
+	// Workers is the per-node host parallelism (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseBackend rebuilds a Backend from its Name(): "cpu" (or ""),
+// "baseline", "hetero", or "gpusim:<ID>" with a Table II device label.
+// Custom HeteroOn pairings do not round-trip through a name and are
+// not constructible here.
+func ParseBackend(name string) (Backend, error) {
+	switch {
+	case name == "" || name == "cpu":
+		return CPU(), nil
+	case name == "baseline":
+		return Baseline(), nil
+	case name == "hetero":
+		return Hetero(), nil
+	case strings.HasPrefix(name, "gpusim:"):
+		dev, err := GPUByID(strings.TrimPrefix(name, "gpusim:"))
+		if err != nil {
+			return nil, err
+		}
+		return GPUSim(dev), nil
+	default:
+		return nil, fmt.Errorf("trigene: unknown backend %q (want cpu, baseline, hetero or gpusim:<ID>)", name)
+	}
+}
+
+// Options rebuilds the Search options the spec describes. The caller
+// appends placement options (WithShard) that are not part of the wire
+// contract.
+func (sp SearchSpec) Options() ([]Option, error) {
+	be, err := ParseBackend(sp.Backend)
+	if err != nil {
+		return nil, err
+	}
+	opts := []Option{WithBackend(be)}
+	if sp.Order != 0 {
+		opts = append(opts, WithOrder(sp.Order))
+	}
+	if sp.TopK != 0 {
+		opts = append(opts, WithTopK(sp.TopK))
+	}
+	if sp.Objective != "" {
+		opts = append(opts, WithObjective(sp.Objective))
+	}
+	if sp.Approach != "" {
+		var ap Approach
+		if strings.HasPrefix(sp.Backend, "gpusim:") {
+			k, err := ParseGPUKernel(sp.Approach)
+			if err != nil {
+				return nil, err
+			}
+			ap = Approach(int(k))
+		} else if ap, err = ParseApproach(sp.Approach); err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithApproach(ap))
+	}
+	if sp.Workers != 0 {
+		opts = append(opts, WithWorkers(sp.Workers))
+	}
+	return opts, nil
+}
+
+// spec serializes the resolved configuration of a Search call. It
+// fails on configuration that cannot cross the wire.
+func (c *searchConfig) spec() (SearchSpec, error) {
+	sp := SearchSpec{
+		Order:     c.order,
+		TopK:      c.topK,
+		Objective: c.objName,
+		Backend:   c.backend.Name(),
+		Workers:   c.workers,
+	}
+	if hb, ok := c.backend.(heteroBackend); ok && hb.opts != (hetero.Options{}) {
+		return SearchSpec{}, fmt.Errorf("trigene: custom HeteroOn configurations do not serialize; remote execution supports the default Hetero() pairing")
+	}
+	if c.approachSet {
+		sp.Approach = fmt.Sprintf("V%d", int(c.approach))
+	}
+	return sp, nil
+}
+
+// RemoteExecutor submits one configured search for execution somewhere
+// else — WithCluster's contract. The cluster client
+// (internal/cluster.Client, fronted by the trigened daemon) implements
+// it by uploading the dataset, leasing tiles to workers and merging
+// their tile Reports bit-exactly; any transport satisfying this
+// interface plugs into Session.Search the same way.
+type RemoteExecutor interface {
+	// Name identifies the executor in errors and logs.
+	Name() string
+	// ExecuteSearch runs the spec against the given dataset and returns
+	// the merged Report. The Report must be bit-exact with a local
+	// Session.Search of the same spec.
+	ExecuteSearch(ctx context.Context, mx *Matrix, spec SearchSpec) (*Report, error)
+}

@@ -13,9 +13,9 @@ import (
 type SearchCandidate struct {
 	// SNPs holds the strictly increasing SNP indices of the
 	// combination (length = Report.Order).
-	SNPs []int
+	SNPs []int `json:"snps"`
 	// Score is the candidate's value under the Report's objective.
-	Score float64
+	Score float64 `json:"score"`
 }
 
 // Shard space units: what the ranks in ShardInfo.Lo/Hi count.
@@ -32,11 +32,13 @@ const (
 // sharded Report covers.
 type ShardInfo struct {
 	// Index and Count identify the shard: slice Index of Count.
-	Index, Count int
+	Index int `json:"index"`
+	Count int `json:"count"`
 	// Lo and Hi are the covered ranks [Lo, Hi) in Space units.
-	Lo, Hi int64
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
 	// Space names the rank units: ShardSpaceRanks or ShardSpaceBlocks.
-	Space string
+	Space string `json:"space"`
 }
 
 // HeteroInfo carries the heterogeneous backend's split accounting.
@@ -45,10 +47,10 @@ type HeteroInfo struct {
 	// engine scored; the rest ran on the simulated GPU. On the default
 	// work-stealing run it is the realized split, not a configured
 	// one.
-	CPUFraction float64
+	CPUFraction float64 `json:"cpuFraction"`
 	// ModeledCombinedGElems is the device pair's projected joint
 	// throughput in G elements/s (the paper's Section V-D estimate).
-	ModeledCombinedGElems float64
+	ModeledCombinedGElems float64 `json:"modeledCombinedGElems"`
 }
 
 // Report is the unified outcome of Session.Search: every backend and
@@ -158,8 +160,9 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		}
 	}
 	if k == 0 {
-		// Serialization drops the requested cap; the deepest candidate
-		// list present is the best available stand-in.
+		// Hand-built reports (or ones from a codec predating the
+		// "topKLimit" wire field) carry no requested cap; the deepest
+		// candidate list present is the best available stand-in.
 		for _, r := range reports {
 			if len(r.TopK) > k {
 				k = len(r.TopK)

@@ -50,7 +50,29 @@ func (s *Session) Search(ctx context.Context, opts ...Option) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.remote != nil {
+		return s.searchRemote(ctx, cfg)
+	}
 	return cfg.backend.search(ctx, s, cfg)
+}
+
+// searchRemote ships a configured search to a WithCluster executor.
+func (s *Session) searchRemote(ctx context.Context, cfg *searchConfig) (*Report, error) {
+	if cfg.shard != nil {
+		return nil, fmt.Errorf("trigene: WithShard does not combine with WithCluster (the cluster partitions the space itself)")
+	}
+	if cfg.progress != nil {
+		return nil, fmt.Errorf("trigene: WithProgress does not cross the wire; poll the cluster job status instead")
+	}
+	spec, err := cfg.spec()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cfg.remote.ExecuteSearch(ctx, s.Matrix(), spec)
+	if err != nil {
+		return nil, fmt.Errorf("trigene: cluster %s: %w", cfg.remote.Name(), err)
+	}
+	return rep, nil
 }
 
 // PermutationTest estimates the p-value of a candidate combination
@@ -68,6 +90,9 @@ func (s *Session) PermutationTest(ctx context.Context, snps []int, opts ...Optio
 	}
 	if cfg.shard != nil {
 		return nil, fmt.Errorf("trigene: permutation tests cannot shard")
+	}
+	if cfg.remote != nil {
+		return nil, fmt.Errorf("trigene: permutation tests run locally; WithCluster does not apply")
 	}
 	if _, isCPU := cfg.backend.(cpuBackend); !isCPU {
 		return nil, fmt.Errorf("trigene: permutation tests run on the host; WithBackend does not apply")

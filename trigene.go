@@ -17,6 +17,10 @@
 //   - the tile scheduler: one work-distribution core every backend
 //     consumes, which makes sharding and work-stealing heterogeneous
 //     execution backend-agnostic properties of the search space;
+//   - the distributed cluster: a coordinator leases tiles over
+//     HTTP/JSON to worker processes (the trigened daemon), with
+//     deadline-bearing heartbeat-renewed leases and exactly-once tile
+//     accounting, reachable from the public API through WithCluster;
 //   - the Cache-Aware Roofline Model and analytical device performance
 //     models that regenerate the paper's figures and tables.
 //
@@ -98,6 +102,10 @@ func WriteBinary(w io.Writer, mx *Matrix) error { return dataset.WriteBinary(w, 
 // ReadPED parses a PLINK .ped file (samples in rows, two allele
 // columns per SNP, phenotype 1=control / 2=case).
 func ReadPED(r io.Reader) (*Matrix, error) { return dataset.ReadPED(r) }
+
+// ReadRAW parses a PLINK additive-recode .raw file (samples in rows,
+// one 0/1/2 dosage column per SNP, phenotype 1=control / 2=case).
+func ReadRAW(r io.Reader) (*Matrix, error) { return dataset.ReadRAW(r) }
 
 // ReadVCF parses a bi-allelic VCF subset; phen supplies per-sample
 // phenotypes in header order.
