@@ -1,0 +1,111 @@
+package trigene
+
+import (
+	"fmt"
+	"runtime"
+
+	"trigene/internal/plan"
+)
+
+// applyPlan runs the model-driven planner for an autotuned search and
+// folds its decisions into the resolved configuration: the backend
+// when the caller left it open, the approach default, the scheduler
+// tile grain, and the heterogeneous split seeds. The resulting
+// decision trace is attached to the Report as Report.Plan.
+//
+// Plans steer execution only — which engine runs and how the space is
+// cut — never search semantics, so an autotuned Report is bit-exact
+// with an untuned one (enforced by the shard-parity tests).
+func (s *Session) applyPlan(cfg *searchConfig) error {
+	w := plan.Workload{
+		SNPs:      s.SNPs(),
+		Samples:   s.Samples(),
+		Order:     cfg.order,
+		Objective: cfg.objName,
+	}
+	cons := plan.Constraints{EnergyBudgetWatts: cfg.energyBudget}
+	if cfg.backendSet {
+		cons.Backend = cfg.backend.Name()
+	}
+	if cfg.approachSet {
+		if _, isCPU := cfg.backend.(cpuBackend); isCPU {
+			cons.Approach = fmt.Sprintf("V%d", int(cfg.approach))
+		}
+	}
+
+	// The host description: the modeled device pair when the caller
+	// chose the heterogeneous backend, the live machine otherwise (the
+	// planner only places work on hardware the session will actually
+	// drive; the simulated devices enter through an explicit backend).
+	var h plan.Host
+	if hb, ok := cfg.backend.(heteroBackend); ok && cfg.backendSet {
+		cpu := hb.opts.CPUDevice
+		if cpu.ID == "" {
+			c, err := CPUByID("CI3")
+			if err != nil {
+				return err
+			}
+			cpu = c
+		}
+		gpu := hb.opts.GPUDevice
+		if gpu.ID == "" {
+			g, err := GPUByID("GN1")
+			if err != nil {
+				return err
+			}
+			gpu = g
+		}
+		h = plan.Host{CPU: cpu, GPU: &gpu}
+	} else {
+		h = plan.LiveHost()
+	}
+	if cfg.workers > 0 {
+		h.Workers = cfg.workers
+	} else if h.Workers == 0 {
+		h.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	p, err := plan.Decide(w, h, cons)
+	if err != nil {
+		return fmt.Errorf("trigene: autotune: %w", err)
+	}
+	if !cfg.backendSet {
+		be, err := ParseBackend(p.Backend)
+		if err != nil {
+			return fmt.Errorf("trigene: autotune: %w", err)
+		}
+		cfg.backend = be
+	}
+	if !cfg.approachSet {
+		if a, err := ParseApproach(p.Approach); err == nil {
+			cfg.plannedApproach = a
+		}
+	}
+	cfg.planGrain = p.Grain
+	cfg.planGPUGrains = p.GPUGrains
+	cfg.planInfo = planInfoFrom(p)
+	return nil
+}
+
+// planInfoFrom copies a planner decision into the Report's wire shape.
+func planInfoFrom(p *plan.Plan) *PlanInfo {
+	return &PlanInfo{
+		Backend:               p.Backend,
+		Approach:              p.Approach,
+		Workers:               p.Workers,
+		Grain:                 p.Grain,
+		CPUFraction:           p.CPUFraction,
+		GPUGrains:             p.GPUGrains,
+		PredictedCPUGElems:    p.PredictedCPUGElems,
+		PredictedGPUGElems:    p.PredictedGPUGElems,
+		PredictedCombosPerSec: p.PredictedCombosPerSec,
+		PredictedTilesPerSec:  p.PredictedTilesPerSec,
+		EnergyBudgetWatts:     p.EnergyBudgetWatts,
+		TargetCPUGHz:          p.TargetCPUGHz,
+		TargetGPUGHz:          p.TargetGPUGHz,
+		PredictedWatts:        p.PredictedWatts,
+		CPUDevice:             p.CPUDevice,
+		GPUDevice:             p.GPUDevice,
+		Reason:                p.Reason,
+	}
+}

@@ -79,6 +79,7 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		TopK:      cfg.topK,
 		Context:   ctx,
 		Progress:  cfg.progress,
+		Grain:     cfg.planGrain,
 	}
 	if cfg.shard != nil {
 		eopts.Shard = &sched.Shard{Index: cfg.shard.index, Count: cfg.shard.count}
@@ -110,12 +111,17 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 	case 3:
 		ap := cfg.approach
 		if ap == 0 {
-			// Unless the caller pinned an approach, a sharded search uses
-			// V2, whose shards are exact near-equal rank slices; V4's
-			// shards slice the coarser block-triple space.
-			if cfg.shard != nil {
+			switch {
+			case cfg.plannedApproach != 0:
+				// An autotuned run defaults to the model's pick for the
+				// device.
+				ap = cfg.plannedApproach
+			case cfg.shard != nil:
+				// Unless the caller pinned an approach, a sharded search
+				// uses V2, whose shards are exact near-equal rank slices;
+				// V4's shards slice the coarser block-triple space.
 				ap = V2Split
-			} else {
+			default:
 				ap = V4Vector
 			}
 		}
@@ -319,14 +325,17 @@ func Hetero() Backend { return heteroBackend{} }
 
 // HeteroOn is Hetero with an explicit device pair and CPU fraction.
 // cpuFraction 0 selects work-stealing from the shared cursor; a value
-// in (0, 1) forces a static split at that fraction; use a negative
-// value for an all-GPU run and 1 for an all-CPU run.
+// in (0, 1] forces a static split at that fraction (1 = all-CPU). A
+// negative value is kept as a compatibility spelling of an all-GPU
+// run and maps to the heterogeneous engine's explicit all-GPU mode.
 func HeteroOn(cpu CPUDevice, gpu GPUDevice, cpuFraction float64) Backend {
-	return heteroBackend{opts: hetero.Options{
-		CPUDevice:   cpu,
-		GPUDevice:   gpu,
-		CPUFraction: cpuFraction,
-	}}
+	opts := hetero.Options{CPUDevice: cpu, GPUDevice: gpu}
+	if cpuFraction < 0 {
+		opts.Mode = hetero.ModeAllGPU
+	} else {
+		opts.CPUFraction = cpuFraction
+	}
+	return heteroBackend{opts: opts}
 }
 
 // Name implements Backend.
@@ -349,6 +358,10 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 	hopts.TopK = cfg.topK
 	hopts.Objective = obj
 	hopts.Context = ctx
+	// Plan seeds (autotuned runs): cursor grain and the device's claim
+	// multiplier; the run's throughput meter refines the latter.
+	hopts.Grain = cfg.planGrain
+	hopts.GPUGrains = cfg.planGPUGrains
 	rep := &Report{
 		Backend:   "hetero",
 		Approach:  "V2+V4",

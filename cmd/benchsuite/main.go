@@ -13,7 +13,12 @@
 //	                         # exits nonzero if the claim→score loop allocates
 //	benchsuite -exp cluster  # loopback tile-leasing cluster scaling audit
 //	                         # (BENCH_PR3.json): tiles/sec at 1/2/4 workers
-//	benchsuite -exp all      # everything except snapshot, sched and cluster
+//	benchsuite -exp plan     # autotuning prediction-sanity audit
+//	                         # (BENCH_PR4.json): planner-predicted vs measured
+//	                         # tiles/sec per backend, plus the chosen grain and
+//	                         # split; exits nonzero if a plan is malformed or an
+//	                         # autotuned run diverges from the untuned Report
+//	benchsuite -exp all      # everything except snapshot, sched, cluster and plan
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -43,6 +48,7 @@ import (
 	"trigene/internal/gpusim"
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
+	"trigene/internal/sched"
 )
 
 var (
@@ -91,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"cluster": func() error {
 			return clusterExp(orDefault(*snapOut, "BENCH_PR3.json"))
+		},
+		"plan": func() error {
+			return planExp(orDefault(*snapOut, "BENCH_PR4.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -679,6 +688,151 @@ func clusterExp(outPath string) error {
 	for _, p := range snap.Points {
 		t.AddRowf(p.Workers, fmt.Sprintf("%.1f ms", p.DurationMs), p.TilesPerSec,
 			p.CombosPerSec, report.Speedup(p.Speedup))
+	}
+	return render(t)
+}
+
+// planPoint is one backend's predicted-vs-measured record in the
+// autotuning audit.
+type planPoint struct {
+	Backend               string  `json:"backend"`
+	Approach              string  `json:"approach"`
+	Grain                 int64   `json:"grain"`
+	PlannedCPUFraction    float64 `json:"plannedCpuFraction,omitempty"`
+	RealizedCPUFraction   float64 `json:"realizedCpuFraction,omitempty"`
+	PredictedTilesPerSec  float64 `json:"predictedTilesPerSec"`
+	MeasuredTilesPerSec   float64 `json:"measuredTilesPerSec"`
+	PredictedGElemsPerSec float64 `json:"predictedGigaElementsPerSec"`
+	MeasuredGElemsPerSec  float64 `json:"measuredGigaElementsPerSec"`
+}
+
+// planSnapshot is the machine-readable autotuning audit record.
+type planSnapshot struct {
+	Schema     string      `json:"schema"`
+	SNPs       int         `json:"snps"`
+	Samples    int         `json:"samples"`
+	Seed       int64       `json:"seed"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Points     []planPoint `json:"points"`
+}
+
+// planExp is the prediction-sanity audit of the model-driven
+// autotuner: for each backend it runs the fixed snapshot search twice
+// — untuned and under WithAutoTune — and records the planner's
+// predicted tiles/sec next to the host-measured rate at the grain the
+// plan chose (measured tiles = combinations / plan grain, a uniform
+// currency across backends; on gpusim the wall time is the
+// simulator's own host cost). The gate is sanity, not accuracy: the
+// predictions come from the paper's device models, the measurements
+// from whatever container CI runs in. The run fails if a plan trace
+// is missing or malformed (grain outside the scheduler clamps,
+// non-positive predictions) or — the real teeth — if the autotuned
+// Report diverges from the untuned one.
+func planExp(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		return err
+	}
+	snap := planSnapshot{
+		Schema:     "trigene-plan/1",
+		SNPs:       snapSNPs,
+		Samples:    snapSamples,
+		Seed:       snapSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	cases := []struct {
+		name    string
+		backend trigene.Backend // nil = the planner chooses
+	}{
+		{"auto", nil},
+		{"hetero", trigene.Hetero()},
+		{"gpusim:GN1", trigene.GPUSim(gn1)},
+	}
+	for _, tc := range cases {
+		pin := []trigene.Option{trigene.WithTopK(4)}
+		if tc.backend != nil {
+			pin = append(pin, trigene.WithBackend(tc.backend))
+		}
+		tuned, err := sess.Search(ctx, append(pin, trigene.WithAutoTune())...)
+		if err != nil {
+			return fmt.Errorf("%s autotuned: %w", tc.name, err)
+		}
+		p := tuned.Plan
+		if p == nil {
+			return fmt.Errorf("%s: autotuned Report carries no plan", tc.name)
+		}
+		if p.Grain < sched.MinGrain || p.Grain > sched.MaxGrain {
+			return fmt.Errorf("%s: plan grain %d escapes the scheduler clamps [%d, %d]", tc.name, p.Grain, sched.MinGrain, sched.MaxGrain)
+		}
+		if p.PredictedCombosPerSec <= 0 || p.PredictedTilesPerSec <= 0 {
+			return fmt.Errorf("%s: plan predicts nothing: %+v", tc.name, p)
+		}
+		// Parity gate: the plan may only change execution, never results.
+		plainOpts := []trigene.Option{trigene.WithTopK(4)}
+		if tc.backend != nil {
+			plainOpts = append(plainOpts, trigene.WithBackend(tc.backend))
+		}
+		plain, err := sess.Search(ctx, plainOpts...)
+		if err != nil {
+			return fmt.Errorf("%s untuned: %w", tc.name, err)
+		}
+		if tuned.Combinations != plain.Combinations || len(tuned.TopK) != len(plain.TopK) {
+			return fmt.Errorf("%s: autotuned run diverged (%d combos vs %d)", tc.name, tuned.Combinations, plain.Combinations)
+		}
+		for i := range plain.TopK {
+			if tuned.TopK[i].Score != plain.TopK[i].Score {
+				return fmt.Errorf("%s: autotuned top-%d score %v != %v", tc.name, i+1, tuned.TopK[i].Score, plain.TopK[i].Score)
+			}
+		}
+
+		pt := planPoint{
+			Backend:               tuned.Backend,
+			Approach:              tuned.Approach,
+			Grain:                 p.Grain,
+			PredictedTilesPerSec:  p.PredictedTilesPerSec,
+			PredictedGElemsPerSec: p.PredictedCPUGElems + p.PredictedGPUGElems,
+			MeasuredGElemsPerSec:  tuned.ElementsPerSec / 1e9,
+		}
+		if secs := tuned.Duration.Seconds(); secs > 0 {
+			pt.MeasuredTilesPerSec = float64(tuned.Combinations) / float64(p.Grain) / secs
+		}
+		if pt.MeasuredTilesPerSec <= 0 {
+			return fmt.Errorf("%s: no measured throughput", tc.name)
+		}
+		if tuned.Hetero != nil {
+			pt.PlannedCPUFraction = p.CPUFraction
+			pt.RealizedCPUFraction = tuned.Hetero.CPUFraction
+		}
+		snap.Points = append(snap.Points, pt)
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "== Autotuning prediction audit (%d SNPs x %d samples) -> %s ==\n",
+		snapSNPs, snapSamples, outPath)
+	t := report.NewTable("", "backend", "approach", "grain", "pred tiles/s", "meas tiles/s", "planned split", "realized split")
+	for _, pt := range snap.Points {
+		planned, realized := "-", "-"
+		if pt.RealizedCPUFraction > 0 {
+			planned = fmt.Sprintf("%.2f", pt.PlannedCPUFraction)
+			realized = fmt.Sprintf("%.2f", pt.RealizedCPUFraction)
+		}
+		t.AddRowf(pt.Backend, pt.Approach, pt.Grain, pt.PredictedTilesPerSec, pt.MeasuredTilesPerSec, planned, realized)
 	}
 	return render(t)
 }

@@ -132,3 +132,29 @@ func TestSnapshotOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanOutput: the autotuning audit writes the snapshot and passes
+// its own sanity gate.
+func TestPlanOutput(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "plan.json")
+	s := runExp(t, "-exp", "plan", "-out", outPath)
+	if !strings.Contains(s, "Autotuning prediction audit") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap planSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "trigene-plan/1" || len(snap.Points) != 3 {
+		t.Errorf("snapshot: schema=%q points=%d", snap.Schema, len(snap.Points))
+	}
+	for _, p := range snap.Points {
+		if p.PredictedTilesPerSec <= 0 || p.MeasuredTilesPerSec <= 0 || p.Grain <= 0 {
+			t.Errorf("point %+v not populated", p)
+		}
+	}
+}

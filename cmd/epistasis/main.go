@@ -10,6 +10,8 @@
 //	epistasis -in data.tg -backend baseline      # MPI3SNP-style comparator (MI)
 //	epistasis -in data.tg -backend hetero        # collaborative CPU+GPU split
 //	epistasis -in data.tg -shard 0/4             # evaluate one shard of the space
+//	epistasis -in data.tg -auto                  # model-driven autotuning (prints the plan)
+//	epistasis -in data.tg -energy-budget 95      # autotune under a power cap
 package main
 
 import (
@@ -52,11 +54,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pairs := fs.Bool("pairs", false, "run a 2-way (pairwise) search instead of 3-way")
 	order := fs.Int("order", 0, "interaction order 4..7 for the generic k-way search (0 = specialized 3-way)")
 	shard := fs.String("shard", "", "evaluate shard \"i/n\" of the combination space (e.g. 0/4)")
+	auto := fs.Bool("auto", false, "model-driven autotuning: the planner picks backend/approach/grain/split from the paper's models and the chosen plan is printed")
+	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto; the plan records the DVFS operating point)")
 	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	backendSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "backend" || f.Name == "gpu" {
+			backendSet = true
+		}
+	})
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("missing required -in")
@@ -104,7 +114,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		searchOrder = *order
 	}
 
-	opts := []trigene.Option{trigene.WithBackend(be), trigene.WithOrder(searchOrder), trigene.WithTopK(*topK)}
+	if *energyBudget < 0 {
+		return fmt.Errorf("energy budget must be positive watts, got %g", *energyBudget)
+	}
+	opts := []trigene.Option{trigene.WithOrder(searchOrder), trigene.WithTopK(*topK)}
+	autotuned := *auto || *energyBudget > 0
+	if backendSet || !autotuned {
+		// Under -auto an unset backend is the planner's to choose.
+		opts = append(opts, trigene.WithBackend(be))
+	}
+	if *energyBudget > 0 {
+		opts = append(opts, trigene.WithEnergyBudget(*energyBudget))
+	} else if *auto {
+		opts = append(opts, trigene.WithAutoTune())
+	}
 	if *workers > 0 {
 		opts = append(opts, trigene.WithWorkers(*workers))
 	}
@@ -157,9 +180,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *jsonOut {
 		return writeJSON(stdout, summarize(mx, rep, pValue))
 	}
+	printPlan(stdout, rep)
 	printReport(stdout, rep)
 	printPValue(stdout, pValue, *permute)
 	return nil
+}
+
+// printPlan renders the autotuner's decision trace.
+func printPlan(w io.Writer, rep *trigene.Report) {
+	p := rep.Plan
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(w, "plan: backend=%s approach=%s workers=%d grain=%d", p.Backend, p.Approach, p.Workers, p.Grain)
+	if p.Backend == "hetero" {
+		fmt.Fprintf(w, " cpu-split=%.2f gpu-grains=%d", p.CPUFraction, p.GPUGrains)
+	}
+	realizedTiles := 0.0
+	if secs := rep.Duration.Seconds(); secs > 0 && p.Grain > 0 {
+		realizedTiles = float64(rep.Combinations) / float64(p.Grain) / secs
+	}
+	fmt.Fprintf(w, "\nplan: predicted %.2f G elem/s (%.0f combos/s, %.1f tiles/s); realized %.2f G elem/s (%.1f tiles/s)\n",
+		(p.PredictedCPUGElems + p.PredictedGPUGElems), p.PredictedCombosPerSec, p.PredictedTilesPerSec,
+		rep.ElementsPerSec/1e9, realizedTiles)
+	if p.EnergyBudgetWatts > 0 {
+		fmt.Fprintf(w, "plan: energy budget %.0f W -> %.2f GHz CPU", p.EnergyBudgetWatts, p.TargetCPUGHz)
+		if p.TargetGPUGHz > 0 {
+			fmt.Fprintf(w, " / %.2f GHz GPU", p.TargetGPUGHz)
+		}
+		fmt.Fprintf(w, ", modeled draw %.0f W\n", p.PredictedWatts)
+	}
+	if p.Reason != "" {
+		fmt.Fprintf(w, "plan: %s\n", p.Reason)
+	}
 }
 
 // printReport renders the unified Report in the tool's text format.
@@ -231,7 +284,10 @@ type jsonSummary struct {
 	GElemPerSec  float64                   `json:"gigaElementsPerSec"`
 	Candidates   []trigene.SearchCandidate `json:"candidates"`
 	PValue       *float64                  `json:"pValue,omitempty"`
-	Report       *trigene.Report           `json:"report"`
+	// Plan surfaces the autotuner's decision trace (also embedded in
+	// Report) for -auto / -energy-budget runs.
+	Plan   *trigene.PlanInfo `json:"plan,omitempty"`
+	Report *trigene.Report   `json:"report"`
 }
 
 func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSummary {
@@ -252,6 +308,7 @@ func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSum
 		GElemPerSec:  rep.ElementsPerSec / 1e9,
 		Candidates:   rep.TopK,
 		PValue:       pValue,
+		Plan:         rep.Plan,
 		Report:       rep,
 	}
 }

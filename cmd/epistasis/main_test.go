@@ -344,3 +344,59 @@ func TestRunVCFInput(t *testing.T) {
 		t.Error("bogus informat accepted")
 	}
 }
+
+// TestRunAutoTune: -auto prints the chosen plan in text mode, and the
+// JSON summary carries the same trace (top-level and inside the
+// embedded stable Report).
+func TestRunAutoTune(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-auto", "-topk", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "plan: backend=cpu") {
+		t.Errorf("plan line missing:\n%s", s)
+	}
+	if !strings.Contains(s, "grain=") || !strings.Contains(s, "predicted") {
+		t.Errorf("plan details missing:\n%s", s)
+	}
+	if !strings.Contains(s, "(1,7,12)") {
+		t.Errorf("planted triple not in autotuned output:\n%s", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", path, "-auto", "-json"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Plan   *trigene.PlanInfo `json:"plan"`
+		Report *trigene.Report   `json:"report"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatalf("decoding JSON output: %v", err)
+	}
+	if summary.Plan == nil || summary.Plan.Backend != "cpu" || summary.Plan.Grain <= 0 {
+		t.Errorf("JSON plan: %+v", summary.Plan)
+	}
+	if summary.Report == nil || summary.Report.Plan == nil {
+		t.Error("embedded Report lost the plan")
+	}
+}
+
+// TestRunEnergyBudget: -energy-budget implies autotuning and the text
+// output names the operating point; nonsense budgets fail.
+func TestRunEnergyBudget(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-energy-budget", "50"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "energy budget 50 W") || !strings.Contains(s, "GHz CPU") {
+		t.Errorf("energy plan line missing:\n%s", s)
+	}
+	if err := run([]string{"-in", path, "-energy-budget", "-3"}, &out, &errBuf); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

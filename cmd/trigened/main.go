@@ -3,9 +3,12 @@
 //
 //	trigened serve  -addr :9321                 # run the coordinator
 //	trigened worker -coordinator http://c:9321  # contribute a worker
+//	trigened worker -coordinator http://c:9321 -capacity 8          # weighted leasing
 //	trigened submit -coordinator http://c:9321 -in data.tg -tiles 64 -name scan1
+//	trigened submit -coordinator http://c:9321 -in data.tg -auto    # plan-aware job
 //	trigened submit -coordinator http://c:9321 -in data.tg -wait    # block, print the Report
 //	trigened status -coordinator http://c:9321 [-job j1]            # queue / one job
+//	trigened status -coordinator http://c:9321 -workers             # capability registry
 //	trigened result -coordinator http://c:9321 -job j1              # merged Report JSON
 //	trigened cancel -coordinator http://c:9321 -job j1
 //
@@ -27,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -148,6 +152,7 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	fs.SetOutput(stderr)
 	coord := fs.String("coordinator", "", "coordinator base URL (required)")
 	id := fs.String("id", "", "worker name in coordinator logs (default host:pid)")
+	capacity := fs.Float64("capacity", 0, "advertised relative capability for weighted leasing (0 = this host's core count); fast workers get proportionally bigger tile batches")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
 	quiet := fs.Bool("quiet", false, "suppress per-tile logging")
 	if err := fs.Parse(args); err != nil {
@@ -157,15 +162,22 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		fs.Usage()
 		return fmt.Errorf("missing required -coordinator")
 	}
+	if *capacity == 0 {
+		*capacity = float64(runtime.GOMAXPROCS(0))
+	}
+	if *capacity < 0 {
+		return fmt.Errorf("capacity must be positive, got %g", *capacity)
+	}
 	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "trigened: "+format+"\n", a...) }
 	if *quiet {
 		logf = nil
 	}
 	w := &cluster.Worker{
-		Client: cluster.NewClient(*coord),
-		ID:     *id,
-		Poll:   *poll,
-		Logf:   logf,
+		Client:   cluster.NewClient(*coord),
+		ID:       *id,
+		Capacity: *capacity,
+		Poll:     *poll,
+		Logf:     logf,
 	}
 	fmt.Fprintf(stdout, "worker polling %s\n", *coord)
 	if err := w.Run(ctx); err != nil && err != context.Canceled {
@@ -192,6 +204,8 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native)")
 	approach := fs.String("approach", "", "pin pipeline V1..V4 (default: the backend's best)")
 	workers := fs.Int("workers", 0, "per-worker host parallelism (0 = all cores)")
+	auto := fs.Bool("auto", false, "model-driven autotuning: every worker plans the tile for its own host; the merged Report records the plan")
+	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its Report JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,12 +219,14 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return err
 	}
 	spec := trigene.SearchSpec{
-		Order:     *order,
-		TopK:      *topK,
-		Objective: *objective,
-		Backend:   *backend,
-		Approach:  *approach,
-		Workers:   *workers,
+		Order:             *order,
+		TopK:              *topK,
+		Objective:         *objective,
+		Backend:           *backend,
+		Approach:          *approach,
+		Workers:           *workers,
+		AutoTune:          *auto || *energyBudget > 0,
+		EnergyBudgetWatts: *energyBudget,
 	}
 	cl := cluster.NewClient(*coord)
 	id, err := cl.Submit(ctx, mx, spec, *tiles, *name)
@@ -236,6 +252,7 @@ func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	fs.SetOutput(stderr)
 	coord := fs.String("coordinator", "", "coordinator base URL (required)")
 	job := fs.String("job", "", "job ID (default: list the whole queue)")
+	workers := fs.Bool("workers", false, "list the per-worker capability registry instead of jobs")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -245,6 +262,28 @@ func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return fmt.Errorf("missing required -coordinator")
 	}
 	cl := cluster.NewClient(*coord)
+	if *workers {
+		ws, err := cl.Workers(ctx)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return writeJSON(stdout, cluster.WorkerList{Workers: ws})
+		}
+		if len(ws) == 0 {
+			fmt.Fprintln(stdout, "no workers")
+			return nil
+		}
+		for _, w := range ws {
+			rate := "-"
+			if w.TilesPerSec > 0 {
+				rate = fmt.Sprintf("%.2f tiles/s", w.TilesPerSec)
+			}
+			fmt.Fprintf(stdout, "%-24s cap %-6.4g %-14s %d/%d tiles done\n",
+				w.ID, w.Capacity, rate, w.Completed, w.Granted)
+		}
+		return nil
+	}
 	if *job != "" {
 		st, err := cl.Status(ctx, *job)
 		if err != nil {

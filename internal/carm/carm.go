@@ -126,6 +126,21 @@ func (m Model) RoofByName(name string) (Roof, error) {
 	return Roof{}, fmt.Errorf("carm: no roof %q on %s", name, m.Device)
 }
 
+// CapElemRate caps a modeled element rate (G elements/s) by the
+// roofline ceiling at the approach's arithmetic intensity — the
+// planner's sanity bound: an analytical throughput projection may not
+// exceed what the device's roofs admit.
+func CapElemRate(m Model, cost perfmodel.ApproachCost, gElemPerSec float64) float64 {
+	ops := cost.OpsPerElement()
+	if ops <= 0 {
+		return gElemPerSec
+	}
+	if ceiling := m.Attainable(cost.AI()) / ops; gElemPerSec > ceiling {
+		return ceiling
+	}
+	return gElemPerSec
+}
+
 // CPUPoints characterizes the four CPU approaches on a device: the
 // element rates come from the analytical models, converted to GINTOPS
 // with the paper's per-approach operation counts, at the paper's

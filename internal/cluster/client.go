@@ -137,6 +137,16 @@ func (c *Client) Wait(ctx context.Context, id string) (*trigene.Report, error) {
 	}
 }
 
+// Workers lists the coordinator's per-worker capability registry
+// (advertised capacity, reported throughput, grant/completion counts).
+func (c *Client) Workers(ctx context.Context) ([]WorkerStatus, error) {
+	var list WorkerList
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Workers, nil
+}
+
 // dataset fetches a job's raw dataset bytes (workers verify them
 // against the lease grant's fingerprint before parsing).
 func (c *Client) dataset(ctx context.Context, id string) ([]byte, error) {
@@ -155,9 +165,10 @@ func (c *Client) dataset(ctx context.Context, id string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// lease asks for a tile; ok is false when the coordinator has no work.
-func (c *Client) lease(ctx context.Context, worker string) (LeaseGrant, bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/lease", jsonBody(LeaseRequest{Worker: worker}))
+// lease asks for a tile batch, advertising the worker's capability;
+// ok is false when the coordinator has no work.
+func (c *Client) lease(ctx context.Context, lr LeaseRequest) (LeaseGrant, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/lease", jsonBody(lr))
 	if err != nil {
 		return LeaseGrant{}, false, err
 	}
@@ -181,10 +192,10 @@ func (c *Client) lease(ctx context.Context, worker string) (LeaseGrant, bool, er
 	}
 }
 
-// renew heartbeats a lease. A coordinator answer of 410 Gone comes
-// back as errLeaseLost.
-func (c *Client) renew(ctx context.Context, token string) error {
-	err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/renew", struct{}{}, nil)
+// renew heartbeats a lease, carrying the worker's current capability
+// report. A coordinator answer of 410 Gone comes back as errLeaseLost.
+func (c *Client) renew(ctx context.Context, token string, rr RenewRequest) error {
+	err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/renew", rr, nil)
 	return leaseLostOr(err)
 }
 

@@ -106,6 +106,14 @@ type JobList struct {
 type LeaseRequest struct {
 	// Worker identifies the requester in statuses and logs.
 	Worker string `json:"worker"`
+	// Capacity is the worker's advertised relative capability (cores,
+	// an operator-assigned weight, ...; 0 = 1). The coordinator sizes
+	// lease batches by it until measured throughput takes over.
+	Capacity float64 `json:"capacity,omitempty"`
+	// TilesPerSec is the worker's own measured recent tile throughput
+	// (0 = none yet). Once every registered worker reports one, the
+	// measured rates replace advertised capacities as lease weights.
+	TilesPerSec float64 `json:"tilesPerSec,omitempty"`
 }
 
 // LeaseGrant is the body answering POST /v1/lease: one tile of one
@@ -128,8 +136,49 @@ type LeaseGrant struct {
 	// Tile and Tiles are the shard coordinates to execute.
 	Tile  int `json:"tile"`
 	Tiles int `json:"tiles"`
+	// Granted lists every tile of this grant (weighted leasing hands
+	// fast workers several tiles per round trip); Granted[0] always
+	// mirrors Token/Tile. Empty means the single Token/Tile lease.
+	// Each tile is executed, heartbeat-renewed and completed under its
+	// own token, so exactly-once accounting is untouched.
+	Granted []TileGrant `json:"granted,omitempty"`
 	// TTLMillis is the lease duration; renew well before it elapses.
 	TTLMillis int64 `json:"ttlMillis"`
+}
+
+// TileGrant is one tile of a (possibly batched) lease grant.
+type TileGrant struct {
+	Token string `json:"token"`
+	Tile  int    `json:"tile"`
+}
+
+// RenewRequest is the optional body of POST /v1/lease/{token}/renew:
+// heartbeats double as capability reports, so the coordinator's view
+// of a worker's throughput stays fresh while it computes. An empty
+// body is accepted (older workers).
+type RenewRequest struct {
+	Worker      string  `json:"worker,omitempty"`
+	TilesPerSec float64 `json:"tilesPerSec,omitempty"`
+}
+
+// WorkerStatus is one worker's entry in the coordinator's capability
+// registry, built from lease requests and heartbeats.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// Capacity is the advertised relative weight; TilesPerSec the
+	// worker's last reported measured throughput (0 = none yet).
+	Capacity    float64 `json:"capacity"`
+	TilesPerSec float64 `json:"tilesPerSec,omitempty"`
+	// Granted and Completed count tiles over the worker's lifetime.
+	Granted   int `json:"granted"`
+	Completed int `json:"completed"`
+	// LastSeenUnixMs is the instant of the worker's last request.
+	LastSeenUnixMs int64 `json:"lastSeenUnixMs"`
+}
+
+// WorkerList is the body answering GET /v1/workers.
+type WorkerList struct {
+	Workers []WorkerStatus `json:"workers"`
 }
 
 // CompleteRequest is the body of POST /v1/lease/{token}/done.

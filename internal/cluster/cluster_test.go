@@ -277,12 +277,12 @@ func TestClusterExactlyOnce(t *testing.T) {
 	}
 
 	// Tile 0 leased, expires, re-issued.
-	g1, ok, err := cl.lease(ctx, "zombie")
+	g1, ok, err := cl.lease(ctx, LeaseRequest{Worker: "zombie"})
 	if err != nil || !ok {
 		t.Fatalf("first lease: ok=%v err=%v", ok, err)
 	}
 	advance(ttl + time.Second)
-	g2, ok, err := cl.lease(ctx, "healthy")
+	g2, ok, err := cl.lease(ctx, LeaseRequest{Worker: "healthy"})
 	if err != nil || !ok {
 		t.Fatalf("re-lease: ok=%v err=%v", ok, err)
 	}
@@ -313,14 +313,14 @@ func TestClusterExactlyOnce(t *testing.T) {
 
 	// Renewal of the dead lease fails; the live lease renews until the
 	// tile completes.
-	g3, ok, err := cl.lease(ctx, "healthy")
+	g3, ok, err := cl.lease(ctx, LeaseRequest{Worker: "healthy"})
 	if err != nil || !ok {
 		t.Fatalf("tile 1 lease: ok=%v err=%v", ok, err)
 	}
-	if err := cl.renew(ctx, g1.Token); !errors.Is(err, errLeaseLost) {
+	if err := cl.renew(ctx, g1.Token, RenewRequest{}); !errors.Is(err, errLeaseLost) {
 		t.Fatalf("renew of superseded lease = %v, want lease lost", err)
 	}
-	if err := cl.renew(ctx, g3.Token); err != nil {
+	if err := cl.renew(ctx, g3.Token, RenewRequest{}); err != nil {
 		t.Fatalf("renew of live lease: %v", err)
 	}
 
@@ -353,7 +353,7 @@ func TestClusterExactlyOnce(t *testing.T) {
 	reportsEqual(t, "exactly-once", remote, local)
 
 	// Lease traffic for a finished job answers "gone".
-	if err := cl.renew(ctx, g3.Token); !errors.Is(err, errLeaseLost) {
+	if err := cl.renew(ctx, g3.Token, RenewRequest{}); !errors.Is(err, errLeaseLost) {
 		t.Fatalf("renew after job done = %v, want lease lost", err)
 	}
 	if _, err := cl.complete(ctx, g3.Token, rep1); !errors.Is(err, errLeaseLost) {
@@ -434,7 +434,7 @@ func TestClusterCancelAndRetention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, ok, err := cl.lease(ctx, "w")
+	g, ok, err := cl.lease(ctx, LeaseRequest{Worker: "w"})
 	if err != nil || !ok {
 		t.Fatalf("lease: ok=%v err=%v", ok, err)
 	}
@@ -448,7 +448,7 @@ func TestClusterCancelAndRetention(t *testing.T) {
 	if st.State != StateCancelled {
 		t.Fatalf("state after cancel = %q", st.State)
 	}
-	if err := cl.renew(ctx, g.Token); !errors.Is(err, errLeaseLost) {
+	if err := cl.renew(ctx, g.Token, RenewRequest{}); !errors.Is(err, errLeaseLost) {
 		t.Fatalf("renew after cancel = %v, want lease lost", err)
 	}
 	if _, err := cl.Result(ctx, cancelled); err == nil {
@@ -500,7 +500,7 @@ func TestClusterSubmitValidation(t *testing.T) {
 		t.Error("bogus approach accepted")
 	}
 	// A lease against an empty queue answers no-content, not an error.
-	if _, ok, err := cl.lease(ctx, "w"); err != nil || ok {
+	if _, ok, err := cl.lease(ctx, LeaseRequest{Worker: "w"}); err != nil || ok {
 		t.Errorf("lease on empty queue: ok=%v err=%v", ok, err)
 	}
 	// Unknown job IDs answer not-found.
@@ -557,5 +557,192 @@ func TestClusterResultWhileRunning(t *testing.T) {
 	}
 	if st.State != StateRunning || st.Done != 0 || st.Tiles != 2 {
 		t.Errorf("fresh job status: %+v", st)
+	}
+}
+
+// TestWeightedLeaseBatches pins the capability-weighted grant sizing:
+// a worker advertising 4x the capacity of the slowest registered
+// worker receives 4 tiles per grant (each under its own token), and
+// the coordinator's worker registry records the traffic.
+func TestWeightedLeaseBatches(t *testing.T) {
+	mx := plantedMatrix(t)
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	ctx := context.Background()
+	if _, err := cl.Submit(ctx, mx, trigene.SearchSpec{TopK: 2}, 8, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	slow, ok, err := cl.lease(ctx, LeaseRequest{Worker: "slow", Capacity: 1})
+	if err != nil || !ok {
+		t.Fatalf("slow lease: ok=%v err=%v", ok, err)
+	}
+	if len(slow.Granted) != 1 || slow.Granted[0].Token != slow.Token || slow.Granted[0].Tile != slow.Tile {
+		t.Fatalf("slow grant = %+v, want a single self-consistent tile", slow)
+	}
+
+	fast, ok, err := cl.lease(ctx, LeaseRequest{Worker: "fast", Capacity: 4})
+	if err != nil || !ok {
+		t.Fatalf("fast lease: ok=%v err=%v", ok, err)
+	}
+	if len(fast.Granted) != 4 {
+		t.Fatalf("fast grant carries %d tiles, want 4: %+v", len(fast.Granted), fast.Granted)
+	}
+	seen := map[int]bool{slow.Tile: true}
+	for _, tg := range fast.Granted {
+		if seen[tg.Tile] {
+			t.Fatalf("tile %d granted twice", tg.Tile)
+		}
+		seen[tg.Tile] = true
+		if tg.Token == "" {
+			t.Fatalf("tile %d has no token", tg.Tile)
+		}
+	}
+	if fast.Granted[0].Token != fast.Token || fast.Granted[0].Tile != fast.Tile {
+		t.Errorf("batch head does not mirror Token/Tile: %+v", fast)
+	}
+
+	// The batch cap holds no matter the advertised ratio.
+	huge, ok, err := cl.lease(ctx, LeaseRequest{Worker: "huge", Capacity: 1000})
+	if err != nil || !ok {
+		t.Fatalf("huge lease: ok=%v err=%v", ok, err)
+	}
+	if len(huge.Granted) != 3 { // 8 tiles - 1 - 4 = 3 left, under the cap of 4
+		t.Fatalf("huge grant carries %d tiles, want the 3 remaining", len(huge.Granted))
+	}
+
+	ws, err := cl.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]WorkerStatus{}
+	for _, w := range ws {
+		byID[w.ID] = w
+	}
+	if byID["slow"].Granted != 1 || byID["fast"].Granted != 4 || byID["huge"].Granted != 3 {
+		t.Errorf("registry grants: %+v", byID)
+	}
+	if byID["fast"].Capacity != 4 {
+		t.Errorf("fast capacity = %g", byID["fast"].Capacity)
+	}
+}
+
+// TestWeightedLeaseMeasuredRates: once every registered worker reports
+// a measured tiles/sec, the measured currency replaces advertised
+// capacity for batch sizing.
+func TestWeightedLeaseMeasuredRates(t *testing.T) {
+	mx := plantedMatrix(t)
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	ctx := context.Background()
+	if _, err := cl.Submit(ctx, mx, trigene.SearchSpec{TopK: 2}, 12, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Advertised capacities say "equal"; measured rates say 3x.
+	g, ok, err := cl.lease(ctx, LeaseRequest{Worker: "a", Capacity: 1, TilesPerSec: 2})
+	if err != nil || !ok || len(g.Granted) != 1 {
+		t.Fatalf("a: ok=%v err=%v grant=%+v", ok, err, g)
+	}
+	g, ok, err = cl.lease(ctx, LeaseRequest{Worker: "b", Capacity: 1, TilesPerSec: 6})
+	if err != nil || !ok {
+		t.Fatalf("b: ok=%v err=%v", ok, err)
+	}
+	if len(g.Granted) != 3 {
+		t.Fatalf("b grant carries %d tiles, want 3 (measured 6 vs 2)", len(g.Granted))
+	}
+}
+
+// TestWeightedLeaseConvergence is the acceptance check: workers
+// advertising unequal capabilities converge a job to the same merged
+// Report as a single-node run, with every tile accounted exactly once.
+func TestWeightedLeaseConvergence(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	ctx := context.Background()
+
+	wctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for i, capacity := range []float64{1, 4, 2} {
+		w := &Worker{Client: cl, ID: fmt.Sprintf("cap%d", i), Capacity: capacity, Poll: 5 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+	t.Cleanup(func() { cancel(); wg.Wait() })
+
+	spec := trigene.SearchSpec{TopK: 6, Workers: 1}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tiles = 16
+	id, err := cl.Submit(ctx, mx, spec, tiles, "weighted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := cl.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "weighted cluster", remote, local)
+
+	ws, err := cl.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range ws {
+		total += w.Completed
+		if w.Completed > w.Granted {
+			t.Errorf("worker %s completed %d of %d granted", w.ID, w.Completed, w.Granted)
+		}
+	}
+	if total != tiles {
+		t.Errorf("registry accounts %d completed tiles, want %d", total, tiles)
+	}
+}
+
+// TestClusterAutotunedParity: AutoTune crosses the wire — each worker
+// plans per tile, the tile Reports carry the trace, and the merged
+// Report stays bit-exact with local autotuned and untuned runs.
+func TestClusterAutotunedParity(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	cl.Tiles = 7
+	startWorkers(t, cl, 4)
+	ctx := context.Background()
+
+	plain, err := sess.Search(ctx, trigene.WithTopK(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localTuned, err := sess.Search(ctx, trigene.WithTopK(5), trigene.WithAutoTune())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "local autotuned", localTuned, plain)
+
+	remote, err := sess.Search(ctx, trigene.WithCluster(cl), trigene.WithTopK(5), trigene.WithAutoTune())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "cluster autotuned", remote, plain)
+	if remote.Plan == nil {
+		t.Fatal("cluster-autotuned Report lost the plan trace on the wire")
+	}
+	if remote.Plan.Backend != "cpu" || remote.Plan.Grain <= 0 {
+		t.Errorf("cluster plan trace: %+v", remote.Plan)
 	}
 }

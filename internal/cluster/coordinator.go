@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -43,10 +44,47 @@ type Coordinator struct {
 	cfg Config
 	mux *http.ServeMux
 
-	mu    sync.Mutex
-	jobs  map[string]*job
-	order []string // submission order; finished jobs stay until evicted
-	seq   int
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order; finished jobs stay until evicted
+	seq     int
+	workers map[string]*workerInfo
+}
+
+// workerInfo is one worker's capability record, built from its lease
+// requests (registration) and heartbeats.
+type workerInfo struct {
+	id          string
+	capacity    float64 // advertised relative weight (default 1)
+	tilesPerSec float64 // worker-measured throughput (0 = none yet)
+	granted     int
+	completed   int
+	lastSeen    time.Time
+}
+
+// maxLeaseBatch caps how many tiles one grant bundles: enough for a
+// fast worker to stay busy between round trips, small enough that a
+// dead worker's batch re-issues quickly.
+const maxLeaseBatch = 4
+
+// workerRetention bounds the capability registry: a worker unseen
+// this long is deleted (worker IDs default to host:pid, so restarts
+// mint new entries; without eviction a long-lived coordinator leaks).
+const workerRetention = time.Hour
+
+// staleAfter is how long a silent worker keeps influencing weighted
+// lease sizing. A live worker is never silent this long: it polls
+// every Poll while idle and heartbeats at TTL/3 while computing.
+func (c *Coordinator) staleAfter() time.Duration {
+	return 4 * c.cfg.LeaseTTL
+}
+
+// weight returns the worker's lease weight in the given currency.
+func (w *workerInfo) weight(measured bool) float64 {
+	if measured {
+		return w.tilesPerSec
+	}
+	return w.capacity
 }
 
 // job is the coordinator-side state of one search.
@@ -63,6 +101,7 @@ type job struct {
 
 	leases  *sched.LeaseTable
 	reports []*trigene.Report // one slot per tile
+	grantee map[int]string    // tile -> worker holding its current lease
 	result  *trigene.Report
 
 	submitted time.Time
@@ -86,7 +125,13 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	c := &Coordinator{cfg: cfg, jobs: make(map[string]*job), mux: http.NewServeMux()}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		workers: make(map[string]*workerInfo),
+		mux:     http.NewServeMux(),
+	}
+	c.mux.HandleFunc("GET /v1/workers", c.handleWorkers)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleList)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
@@ -146,6 +191,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		samples:    mx.Samples(),
 		leases:     sched.NewLeaseTable(req.Tiles),
 		reports:    make([]*trigene.Report, req.Tiles),
+		grantee:    make(map[int]string),
 		submitted:  c.cfg.Now(),
 	}
 	c.jobs[j.id] = j
@@ -246,39 +292,149 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	wi := c.touchWorkerLocked(req.Worker, now)
+	if req.Capacity > 0 {
+		wi.capacity = req.Capacity
+	}
+	if req.TilesPerSec > 0 {
+		wi.tilesPerSec = req.TilesPerSec
+	}
+	batch := c.leaseBatchLocked(wi, now)
 	// First running job (submission order) with an available tile: a
 	// FIFO queue in which later jobs still progress once earlier ones
-	// are fully leased.
+	// are fully leased. A batch never spans jobs.
 	for _, id := range c.order {
 		j := c.jobs[id]
 		if j.state != StateRunning {
 			continue
 		}
-		l, ok := j.leases.Acquire(now, c.cfg.LeaseTTL)
-		if !ok {
+		var grants []sched.TileLease
+		failed := false
+		for len(grants) < batch {
+			l, ok := j.leases.Acquire(now, c.cfg.LeaseTTL)
+			if !ok {
+				break
+			}
+			if l.Attempt > c.cfg.MaxAttempts {
+				c.cfg.Logf("job %s: tile %d exhausted %d attempts; failing the job", j.id, l.Tile, c.cfg.MaxAttempts)
+				c.finishLocked(j, StateFailed,
+					fmt.Sprintf("tile %d of %d was re-issued %d times without completing", l.Tile, j.tiles, c.cfg.MaxAttempts))
+				failed = true
+				break
+			}
+			if l.Attempt > 1 {
+				c.cfg.Logf("job %s: re-issuing tile %d (attempt %d) to %q", j.id, l.Tile, l.Attempt, req.Worker)
+			}
+			grants = append(grants, l)
+		}
+		if failed || len(grants) == 0 {
 			continue
 		}
-		if l.Attempt > c.cfg.MaxAttempts {
-			c.cfg.Logf("job %s: tile %d exhausted %d attempts; failing the job", j.id, l.Tile, c.cfg.MaxAttempts)
-			c.finishLocked(j, StateFailed,
-				fmt.Sprintf("tile %d of %d was re-issued %d times without completing", l.Tile, j.tiles, c.cfg.MaxAttempts))
-			continue
+		granted := make([]TileGrant, len(grants))
+		for i, l := range grants {
+			granted[i] = TileGrant{Token: leaseToken(j.id, l), Tile: l.Tile}
+			j.grantee[l.Tile] = req.Worker
 		}
-		if l.Attempt > 1 {
-			c.cfg.Logf("job %s: re-issuing tile %d (attempt %d) to %q", j.id, l.Tile, l.Attempt, req.Worker)
+		wi.granted += len(grants)
+		if len(grants) > 1 {
+			c.cfg.Logf("job %s: weighted batch of %d tiles to %q", j.id, len(grants), req.Worker)
 		}
 		writeJSON(w, http.StatusOK, LeaseGrant{
-			Token:         leaseToken(j.id, l),
+			Token:         granted[0].Token,
 			Job:           j.id,
 			DatasetSHA256: j.datasetSHA,
 			Spec:          j.spec,
-			Tile:          l.Tile,
+			Tile:          granted[0].Tile,
 			Tiles:         j.tiles,
+			Granted:       granted,
 			TTLMillis:     c.cfg.LeaseTTL.Milliseconds(),
 		})
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// touchWorkerLocked returns (creating if needed) the worker's
+// capability record, stamps its last-seen instant, and evicts
+// registry entries past retention.
+func (c *Coordinator) touchWorkerLocked(id string, now time.Time) *workerInfo {
+	for oid, o := range c.workers {
+		if now.Sub(o.lastSeen) > workerRetention {
+			delete(c.workers, oid)
+		}
+	}
+	wi := c.workers[id]
+	if wi == nil {
+		wi = &workerInfo{id: id, capacity: 1}
+		c.workers[id] = wi
+	}
+	wi.lastSeen = now
+	return wi
+}
+
+// leaseBatchLocked sizes this worker's next grant: its weight over the
+// slowest live worker's, so fast workers get proportionally bigger
+// batches. Weights compare measured tiles/sec once every live worker
+// has reported one, and advertised capacities until then — never a
+// mix of the two currencies. Workers silent past the staleness window
+// neither anchor the base nor block the measured currency: a dead
+// slow worker must not leave the survivors over-batched forever.
+func (c *Coordinator) leaseBatchLocked(wi *workerInfo, now time.Time) int {
+	stale := c.staleAfter()
+	measured := true
+	for _, o := range c.workers {
+		if now.Sub(o.lastSeen) > stale {
+			continue
+		}
+		if o.tilesPerSec <= 0 {
+			measured = false
+			break
+		}
+	}
+	weight := wi.weight(measured)
+	base := weight
+	for _, o := range c.workers {
+		if now.Sub(o.lastSeen) > stale {
+			continue
+		}
+		if ow := o.weight(measured); ow > 0 && ow < base {
+			base = ow
+		}
+	}
+	if weight <= 0 || base <= 0 {
+		return 1
+	}
+	n := int(weight/base + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLeaseBatch {
+		n = maxLeaseBatch
+	}
+	return n
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	list := WorkerList{Workers: make([]WorkerStatus, 0, len(ids))}
+	for _, id := range ids {
+		wi := c.workers[id]
+		list.Workers = append(list.Workers, WorkerStatus{
+			ID:             wi.id,
+			Capacity:       wi.capacity,
+			TilesPerSec:    wi.tilesPerSec,
+			Granted:        wi.granted,
+			Completed:      wi.completed,
+			LastSeenUnixMs: wi.lastSeen.UnixMilli(),
+		})
+	}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -287,8 +443,17 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Heartbeats double as capability reports; the body is optional.
+	var req RenewRequest
+	json.NewDecoder(r.Body).Decode(&req)
 	now := c.cfg.Now()
 	c.mu.Lock()
+	if req.Worker != "" {
+		wi := c.touchWorkerLocked(req.Worker, now)
+		if req.TilesPerSec > 0 {
+			wi.tilesPerSec = req.TilesPerSec
+		}
+	}
 	j, ok := c.jobs[jobID]
 	renewed := ok && j.state == StateRunning && j.leases.Renew(tile, seq, now, c.cfg.LeaseTTL)
 	c.mu.Unlock()
@@ -326,6 +491,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	switch st := j.leases.Complete(tile, seq); st {
 	case sched.CompleteAccepted:
 		j.reports[tile] = &rep
+		if wi := c.workers[j.grantee[tile]]; wi != nil {
+			wi.completed++
+		}
 		if j.leases.Done() == j.tiles {
 			c.mergeLocked(j)
 		}
@@ -393,6 +561,7 @@ func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
 	j.err = errMsg
 	j.dataset = nil
 	j.reports = nil
+	j.grantee = nil
 	j.finished = c.cfg.Now()
 
 	finished := 0

@@ -6,7 +6,9 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,11 +26,21 @@ type Worker struct {
 	Client *Client
 	// ID names the worker in coordinator logs (default "host:pid").
 	ID string
+	// Capacity is the worker's advertised relative capability (an
+	// operator-assigned weight: cores, machine class, ...; default 1).
+	// The coordinator sizes lease batches by it until this worker's
+	// measured throughput — reported on every lease request and
+	// heartbeat — takes over.
+	Capacity float64
 	// Poll is the idle wait between lease attempts when the
 	// coordinator has no work or is unreachable (default 500ms).
 	Poll time.Duration
 	// Logf receives worker events (default: discard).
 	Logf func(format string, args ...any)
+
+	// rate is the EWMA of measured tiles/sec, stored as float64 bits
+	// (the heartbeat goroutine reads it while the search loop writes).
+	rate atomic.Uint64
 
 	// sessions caches Sessions by dataset fingerprint so a worker
 	// binarizes each dataset once, not once per tile. The key is the
@@ -37,6 +49,25 @@ type Worker struct {
 	// new job against a stale cached dataset (identical datasets across
 	// jobs dedupe for free instead).
 	sessions sessionCache
+}
+
+// tilesPerSec returns the current measured-throughput report.
+func (w *Worker) tilesPerSec() float64 { return math.Float64frombits(w.rate.Load()) }
+
+// observe folds one tile's wall time into the throughput EWMA.
+func (w *Worker) observe(d time.Duration) {
+	secs := d.Seconds()
+	if secs <= 0 {
+		return
+	}
+	inst := 1 / secs
+	cur := w.tilesPerSec()
+	next := inst
+	if cur > 0 {
+		const alpha = 0.3
+		next = alpha*inst + (1-alpha)*cur
+	}
+	w.rate.Store(math.Float64bits(next))
 }
 
 // sessionCache is a small insertion-ordered cache of per-dataset
@@ -83,11 +114,18 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Logf == nil {
 		w.Logf = func(string, ...any) {}
 	}
+	if w.Capacity <= 0 {
+		w.Capacity = 1
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		grant, ok, err := w.Client.lease(ctx, w.ID)
+		grant, ok, err := w.Client.lease(ctx, LeaseRequest{
+			Worker:      w.ID,
+			Capacity:    w.Capacity,
+			TilesPerSec: w.tilesPerSec(),
+		})
 		switch {
 		case err != nil:
 			// Coordinator unreachable (restart, network blip): idle and
@@ -112,16 +150,24 @@ func (w *Worker) idle(ctx context.Context) {
 	}
 }
 
-// execute runs one granted tile end to end.
+// execute runs one granted batch of tiles end to end, sequentially.
+// Every tile keeps its own lease token: the shared heartbeat renews
+// all of them while any tile of the batch is still pending, so tile 3
+// stays covered while tiles 1 and 2 compute, and exactly-once
+// accounting is per tile exactly as with single grants.
 func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
+	tiles := grant.Granted
+	if len(tiles) == 0 {
+		tiles = []TileGrant{{Token: grant.Token, Tile: grant.Tile}}
+	}
 	sess, err := w.session(ctx, grant)
 	if err != nil {
 		// Dataset load failures are treated as transient (coordinator
-		// restarting, job finished meanwhile): abandon the lease and
-		// let expiry re-issue the tile — MaxAttempts brakes a
+		// restarting, job finished meanwhile): abandon the leases and
+		// let expiry re-issue the tiles — MaxAttempts brakes a
 		// persistent cause.
 		if ctx.Err() == nil {
-			w.Logf("tile %d of %s: loading dataset: %v; abandoning lease", grant.Tile, grant.Job, err)
+			w.Logf("tiles of %s: loading dataset: %v; abandoning leases", grant.Job, err)
 		}
 		return
 	}
@@ -129,69 +175,182 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 	if err != nil {
 		// The coordinator validated the spec at submit; a rebuild error
 		// here is deterministic (version skew), so fail the job loudly.
-		w.Logf("tile %d of %s: rebuilding spec: %v; failing the job", grant.Tile, grant.Job, err)
-		w.failJob(ctx, grant.Token, fmt.Sprintf("rebuilding spec: %v", err))
+		w.Logf("tile %d of %s: rebuilding spec: %v; failing the job", tiles[0].Tile, grant.Job, err)
+		w.failJob(ctx, tiles[0].Token, fmt.Sprintf("rebuilding spec: %v", err))
 		return
 	}
-	opts = append(opts, trigene.WithShard(grant.Tile, grant.Tiles))
 
-	// Heartbeat while the search runs: renew at TTL/3; a lost lease
-	// (expired and re-issued elsewhere) cancels the search so the
-	// worker stops burning cycles on a tile it no longer owns.
+	hb := w.startHeartbeats(ctx, grant, tiles)
+	defer hb.stop()
+	for _, tg := range tiles {
+		if ctx.Err() != nil {
+			// Shutdown: remaining leases expire and re-issue.
+			return
+		}
+		if hb.lost(tg.Token) {
+			w.Logf("tile %d of %s: lease lost before start; skipping", tg.Tile, grant.Job)
+			continue
+		}
+		if !w.executeTile(ctx, hb, grant, tg, sess, opts) {
+			return
+		}
+	}
+}
+
+// executeTile runs one tile of a batch; it reports false when the
+// whole batch should be abandoned (the job was failed deterministically).
+func (w *Worker) executeTile(ctx context.Context, hb *heartbeats, grant LeaseGrant, tg TileGrant, sess *trigene.Session, opts []trigene.Option) bool {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var leaseLost atomic.Bool
-	hbDone := make(chan struct{})
-	go func() {
-		defer close(hbDone)
-		interval := time.Duration(grant.TTLMillis) * time.Millisecond / 3
-		if interval <= 0 {
-			interval = time.Second
+	hb.setCurrent(tg.Token, cancel)
+	defer hb.clearCurrent()
+
+	topts := make([]trigene.Option, 0, len(opts)+1)
+	topts = append(topts, opts...)
+	topts = append(topts, trigene.WithShard(tg.Tile, grant.Tiles))
+
+	w.Logf("tile %d/%d of job %s", tg.Tile, grant.Tiles, grant.Job)
+	start := time.Now()
+	rep, err := sess.Search(sctx, topts...)
+
+	switch {
+	case err == nil:
+		w.observe(time.Since(start))
+		hb.finish(tg.Token)
+		accepted, cerr := w.complete(ctx, tg.Token, rep)
+		switch {
+		case errors.Is(cerr, errLeaseLost):
+			w.Logf("tile %d of %s: completed after lease loss; result discarded", tg.Tile, grant.Job)
+		case cerr != nil:
+			// The result is lost; the lease expires and the tile is
+			// re-issued. Nothing to clean up.
+			w.Logf("tile %d of %s: posting result: %v", tg.Tile, grant.Job, cerr)
+		case !accepted:
+			w.Logf("tile %d of %s: duplicate result discarded by coordinator", tg.Tile, grant.Job)
 		}
+	case hb.lost(tg.Token):
+		w.Logf("tile %d of %s: lease lost mid-search; abandoning", tg.Tile, grant.Job)
+	case ctx.Err() != nil:
+		// Shutdown: leave the leases to expire and be re-issued.
+	default:
+		// A deterministic execution error: retrying elsewhere cannot
+		// help, so fail the job loudly (and drop the rest of the batch
+		// — its leases die with the job).
+		w.Logf("tile %d of %s: %v; failing the job", tg.Tile, grant.Job, err)
+		w.failJob(ctx, tg.Token, err.Error())
+		return false
+	}
+	return true
+}
+
+// heartbeats renews every outstanding lease of one grant batch at
+// TTL/3 until stopped. A token whose renewal comes back "gone" is
+// marked lost, and if it belongs to the currently running tile, that
+// search is cancelled so the worker stops burning cycles on a tile it
+// no longer owns.
+type heartbeats struct {
+	w    *Worker
+	done chan struct{}
+	quit chan struct{}
+
+	mu        sync.Mutex
+	live      map[string]bool
+	lostSet   map[string]bool
+	curToken  string
+	curCancel context.CancelFunc
+}
+
+func (w *Worker) startHeartbeats(ctx context.Context, grant LeaseGrant, tiles []TileGrant) *heartbeats {
+	hb := &heartbeats{
+		w:       w,
+		done:    make(chan struct{}),
+		quit:    make(chan struct{}),
+		live:    make(map[string]bool, len(tiles)),
+		lostSet: make(map[string]bool),
+	}
+	for _, tg := range tiles {
+		hb.live[tg.Token] = true
+	}
+	interval := time.Duration(grant.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(hb.done)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-sctx.Done():
+			case <-ctx.Done():
+				return
+			case <-hb.quit:
 				return
 			case <-ticker.C:
-				if err := w.renewOnce(sctx, grant.Token); err != nil {
-					leaseLost.Store(true)
-					cancel()
-					return
-				}
+				hb.renewAll(ctx)
 			}
 		}
 	}()
+	return hb
+}
 
-	w.Logf("tile %d/%d of job %s", grant.Tile, grant.Tiles, grant.Job)
-	rep, err := sess.Search(sctx, opts...)
-	cancel()
-	<-hbDone
-
-	switch {
-	case err == nil:
-		accepted, cerr := w.complete(ctx, grant.Token, rep)
-		switch {
-		case errors.Is(cerr, errLeaseLost):
-			w.Logf("tile %d of %s: completed after lease loss; result discarded", grant.Tile, grant.Job)
-		case cerr != nil:
-			// The result is lost; the lease expires and the tile is
-			// re-issued. Nothing to clean up.
-			w.Logf("tile %d of %s: posting result: %v", grant.Tile, grant.Job, cerr)
-		case !accepted:
-			w.Logf("tile %d of %s: duplicate result discarded by coordinator", grant.Tile, grant.Job)
-		}
-	case leaseLost.Load():
-		w.Logf("tile %d of %s: lease lost mid-search; abandoning", grant.Tile, grant.Job)
-	case ctx.Err() != nil:
-		// Shutdown: leave the lease to expire and be re-issued.
-	default:
-		// A deterministic execution error: retrying elsewhere cannot
-		// help, so fail the job loudly.
-		w.Logf("tile %d of %s: %v; failing the job", grant.Tile, grant.Job, err)
-		w.failJob(ctx, grant.Token, err.Error())
+// renewAll heartbeats every live token once.
+func (hb *heartbeats) renewAll(ctx context.Context) {
+	hb.mu.Lock()
+	tokens := make([]string, 0, len(hb.live))
+	for tok := range hb.live {
+		tokens = append(tokens, tok)
 	}
+	hb.mu.Unlock()
+	for _, tok := range tokens {
+		if ctx.Err() != nil {
+			return
+		}
+		if err := hb.w.renewOnce(ctx, tok); err != nil {
+			hb.mu.Lock()
+			delete(hb.live, tok)
+			hb.lostSet[tok] = true
+			cancel := hb.curCancel
+			isCurrent := hb.curToken == tok
+			hb.mu.Unlock()
+			if isCurrent && cancel != nil {
+				cancel()
+			}
+		}
+	}
+}
+
+// setCurrent marks the tile now computing, so a lost lease can cancel
+// exactly that search.
+func (hb *heartbeats) setCurrent(token string, cancel context.CancelFunc) {
+	hb.mu.Lock()
+	hb.curToken, hb.curCancel = token, cancel
+	hb.mu.Unlock()
+}
+
+func (hb *heartbeats) clearCurrent() {
+	hb.mu.Lock()
+	hb.curToken, hb.curCancel = "", nil
+	hb.mu.Unlock()
+}
+
+// finish stops renewing a completed tile's token.
+func (hb *heartbeats) finish(token string) {
+	hb.mu.Lock()
+	delete(hb.live, token)
+	hb.mu.Unlock()
+}
+
+// lost reports whether the token's lease is gone.
+func (hb *heartbeats) lost(token string) bool {
+	hb.mu.Lock()
+	defer hb.mu.Unlock()
+	return hb.lostSet[token]
+}
+
+// stop terminates the heartbeat goroutine and waits for it.
+func (hb *heartbeats) stop() {
+	close(hb.quit)
+	<-hb.done
 }
 
 // session returns the cached Session for a grant's dataset, fetching,
@@ -222,10 +381,11 @@ func (w *Worker) session(ctx context.Context, grant LeaseGrant) (*trigene.Sessio
 	return s, nil
 }
 
-// renewOnce heartbeats the lease, tolerating transient transport
-// errors (only an authoritative "gone" loses the lease).
+// renewOnce heartbeats the lease, carrying the current capability
+// report, and tolerates transient transport errors (only an
+// authoritative "gone" loses the lease).
 func (w *Worker) renewOnce(ctx context.Context, token string) error {
-	err := w.Client.renew(ctx, token)
+	err := w.Client.renew(ctx, token, RenewRequest{Worker: w.ID, TilesPerSec: w.tilesPerSec()})
 	if errors.Is(err, errLeaseLost) {
 		return err
 	}

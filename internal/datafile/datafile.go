@@ -36,6 +36,18 @@ func Read(path, format, phenPath string) (*dataset.Matrix, error) {
 		defer f.Close()
 		r = f
 	}
+	mx, err := ReadFrom(r, format, phenPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return mx, nil
+}
+
+// ReadFrom decodes a dataset from r with the same format dispatch and
+// auto-detection as Read — the stream-level entry the fuzz targets
+// drive, so detection is exercised on arbitrary bytes without a
+// filesystem.
+func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 	br := bufio.NewReader(r)
 	switch format {
 	case "ped":
@@ -47,7 +59,7 @@ func Read(path, format, phenPath string) (*dataset.Matrix, error) {
 	case "auto":
 		magic, err := br.Peek(4)
 		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", path, err)
+			return nil, fmt.Errorf("detecting format: %w", err)
 		}
 		switch {
 		case bytes.Equal(magic, []byte("TGB1")):

@@ -1,0 +1,52 @@
+package datafile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom drives the format auto-detection and every text decoder
+// behind it with arbitrary bytes: whatever the input, the loader must
+// return a valid matrix or an error — never panic, never hang, never
+// hand back a matrix that fails its own validation.
+func FuzzReadFrom(f *testing.F) {
+	// One seed per detectable format, plus near-miss prefixes that
+	// exercise the detector's boundaries.
+	f.Add([]byte("2 3\n0 1 2\n1 0 1\n0 1\n"))              // trigene text
+	f.Add([]byte("TGB1\x00\x00\x00\x00"))                  // binary magic, truncated body
+	f.Add([]byte("FID IID PAT MAT SEX PHENOTYPE rs1_A\n")) // .raw header, no rows
+	f.Add([]byte("FID\tIID\tPAT\tMAT\tSEX\tPHENOTYPE\trs1_A\nf1\ti1\t0\t0\t1\t2\t1\n"))
+	f.Add([]byte("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n"))
+	f.Add([]byte("#CHROM\tPOS\n"))
+	f.Add([]byte("FID"))  // shorter than the 4-byte magic window
+	f.Add([]byte("TGB"))  // almost the binary magic
+	f.Add([]byte("##"))   // almost a VCF
+	f.Add([]byte("\x00")) // binary junk into the text path
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, format := range []string{"auto", "raw", "ped"} {
+			mx, err := ReadFrom(bytes.NewReader(data), format, "")
+			if err != nil {
+				continue
+			}
+			if mx == nil {
+				t.Fatalf("format %q: nil matrix with nil error", format)
+			}
+			// Decoder contract: every stored value is in range. (Class
+			// balance is a dataset property, checked at Session build,
+			// not a decoder one.)
+			for i := 0; i < mx.SNPs(); i++ {
+				for j, g := range mx.Row(i) {
+					if g > 2 {
+						t.Fatalf("format %q: SNP %d sample %d: genotype %d out of range", format, i, j, g)
+					}
+				}
+			}
+			for j, p := range mx.Phenotypes() {
+				if p > 1 {
+					t.Fatalf("format %q: sample %d: phenotype %d out of range", format, j, p)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRAW drives the PLINK .raw decoder with arbitrary bytes: it
+// must return a valid matrix or an error, never panic, and never emit
+// out-of-range genotypes or phenotypes.
+func FuzzReadRAW(f *testing.F) {
+	f.Add([]byte("FID IID PAT MAT SEX PHENOTYPE rs1_A rs2_C\n" +
+		"f1 i1 0 0 1 2 0 1\n" +
+		"f2 i2 0 0 2 1 2 0\n"))
+	f.Add([]byte("FID\tIID\tPAT\tMAT\tSEX\tPHENOTYPE\trs1_A\nf1\ti1\t0\t0\t1\t1\tNA\n")) // NA dosage
+	f.Add([]byte("FID IID PAT MAT SEX PHENOTYPE\n"))                                     // no SNP columns
+	f.Add([]byte("FID IID PAT MAT SEX PHENOTYPE rs1_A\nf1 i1 0 0 1 3 1\n"))              // bad phenotype code
+	f.Add([]byte("FID IID PAT MAT SEX PHENOTYPE rs1_A\nf1 i1 0 0 1 2\n"))                // truncated row
+	f.Add([]byte("not a raw header\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mx, err := ReadRAW(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if mx == nil {
+			t.Fatal("nil matrix with nil error")
+		}
+		if mx.SNPs() < 1 || mx.Samples() < 1 {
+			t.Fatalf("accepted empty matrix: %dx%d", mx.SNPs(), mx.Samples())
+		}
+		for i := 0; i < mx.SNPs(); i++ {
+			for j, g := range mx.Row(i) {
+				if g > 2 {
+					t.Fatalf("SNP %d sample %d: genotype %d out of range", i, j, g)
+				}
+			}
+		}
+		for j, p := range mx.Phenotypes() {
+			if p > 1 {
+				t.Fatalf("sample %d: phenotype %d out of range", j, p)
+			}
+		}
+	})
+}

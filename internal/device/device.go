@@ -9,7 +9,10 @@
 // used to shape modeled results, never presented as measurements.
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // CPU describes one CPU system from Table I.
 type CPU struct {
@@ -184,6 +187,25 @@ func AllCPUs() []CPU { return append([]CPU(nil), cpus...) }
 
 // AllGPUs returns the Table II systems in paper order.
 func AllGPUs() []GPU { return append([]GPU(nil), gpus...) }
+
+// Host synthesizes a CPU entry describing the live machine, the
+// planner's input when no catalog device is named. Only the core count
+// is probed (pure Go cannot read vector ISA or clocks portably); every
+// other parameter is a conservative contemporary default. The entry is
+// a planning model, never presented as a measurement.
+func Host() CPU {
+	cores := runtime.NumCPU()
+	if cores < 1 {
+		cores = 1
+	}
+	return CPU{
+		ID: "HOST", Name: "live host", Arch: "host",
+		Sockets: 1, CoresPerSocket: cores, BaseGHz: 2.5, VectorBits: 256,
+		ExtractsPerPopcnt: 1, VectorDownclock: 1.0,
+		L1dBytes: 32 << 10, L1dWays: 8, L2Bytes: 512 << 10, L3Bytes: 16 << 20,
+		DRAMGBs: 40, L3GBs: 250, TDPWatts: 15 + 6*float64(cores),
+	}
+}
 
 // CPUByID looks a CPU up by its paper label (e.g. "CI3").
 func CPUByID(id string) (CPU, error) {

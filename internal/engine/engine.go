@@ -178,6 +178,18 @@ type Options struct {
 	// approach and order supports it; mutually exclusive with
 	// RankRange.
 	Shard *sched.Shard
+	// Grain overrides the flat source's ranks-per-claim tile size
+	// (0 = the AutoGrain heuristic). The planner seeds it from the
+	// modeled per-worker throughput; it never affects results, only
+	// how the space is cut. Clamped to sched's [MinGrain, MaxGrain].
+	Grain int64
+	// Meter, when non-nil, receives per-consumer throughput samples as
+	// workers finish tiles: worker w records into consumer MeterBase+w.
+	// A heterogeneous run shares one meter between the CPU pool and
+	// the device consumer so the realized split is observable live.
+	Meter *sched.ThroughputMeter
+	// MeterBase offsets this run's worker indices inside Meter.
+	MeterBase int
 	// Tiles optionally supplies an externally shared claiming cursor:
 	// the run's workers then steal work from the same space as any
 	// other consumer of that cursor (the heterogeneous backend's CPU
@@ -255,6 +267,17 @@ func (o Options) withDefaults(maxSamples int) (Options, error) {
 	}
 	if o.Tiles != nil && o.Approach != V1Naive && o.Approach != V2Split {
 		return o, fmt.Errorf("engine: a shared tile cursor requires approach V1 or V2, have %v", o.Approach)
+	}
+	if o.Grain < 0 {
+		return o, fmt.Errorf("engine: negative grain %d", o.Grain)
+	}
+	if o.Grain > 0 {
+		if o.Grain < sched.MinGrain {
+			o.Grain = sched.MinGrain
+		}
+		if o.Grain > sched.MaxGrain {
+			o.Grain = sched.MaxGrain
+		}
 	}
 	return o, nil
 }

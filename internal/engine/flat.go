@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
 	"trigene/internal/sched"
@@ -31,7 +33,13 @@ func (s *Searcher) runFlat(o Options) (*Result, error) {
 		workers[w] = &flatWorker{s: s, o: &o, m: s.mx.SNPs(), a: getArena(o.Objective, o.TopK, 0)}
 	}
 	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
-		return workers[w].tile(t), nil
+		if o.Meter == nil {
+			return workers[w].tile(t), nil
+		}
+		start := time.Now()
+		n := workers[w].tile(t)
+		o.Meter.Record(o.MeterBase+w, n, time.Since(start))
+		return n, nil
 	})
 	if err != nil {
 		return nil, err
@@ -57,17 +65,24 @@ func flatSpace(total int64, o *Options) (sched.Source, *sched.Tile, error) {
 		}
 		space = &sched.Tile{Lo: lo, Hi: hi}
 	}
-	src := sched.NewSource(lo, hi, sched.AutoGrain(hi-lo, o.Workers))
+	src := sched.NewSource(lo, hi, flatGrain(hi-lo, o))
 	if o.Shard != nil {
 		sub, err := src.Shard(*o.Shard)
 		if err != nil {
 			return src, nil, err
 		}
-		src = sub.WithGrain(sched.AutoGrain(sub.Ranks(), o.Workers))
+		src = sub.WithGrain(flatGrain(sub.Ranks(), o))
 		b := src.Bounds()
 		space = &b
 	}
 	return src, space, nil
+}
+
+// flatGrain picks the ranks-per-claim for a flat run: the planner's
+// hint reconciled with the AutoGrain heuristic (sched.SeededGrain
+// owns that policy for every consumer of the scheduler).
+func flatGrain(ranks int64, o *Options) int64 {
+	return sched.SeededGrain(ranks, o.Workers, o.Grain)
 }
 
 // flatWorker is one consumer of the flat tile stream. Its arena holds

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"time"
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
@@ -119,6 +120,18 @@ type Options struct {
 	// guaranteed a share of a shared space before faster consumers
 	// start draining it.
 	Started func()
+	// ClaimGrains seeds the device's claim-span multiplier on a shared
+	// cursor: how many CPU-sized grains one device claim covers
+	// (0 = 4, the legacy default). The planner derives it from the
+	// modeled device/CPU throughput ratio.
+	ClaimGrains int64
+	// Meter, when non-nil, records this consumer's realized
+	// throughput under slot MeterConsumer, and — on a shared cursor —
+	// feeds it back: once the meter has warmed up, the measured
+	// relative rate refines the claim multiplier mid-search, so a
+	// mis-modeled seed converges instead of persisting.
+	Meter         *sched.ThroughputMeter
+	MeterConsumer int
 	// BSched is the per-dimension scheduling block: each kernel
 	// enqueue covers BSched^3 thread slots indexed by (i0, i1, i2), and
 	// slots violating the i0 < i1 < i2 guard idle (Algorithm 2). The
@@ -278,6 +291,7 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	// observed between tiles.
 	cur := opts.Tiles
 	claimGrains := int64(1)
+	shared := cur != nil
 	if cur == nil {
 		base, total := int64(0), combin.Triples(m)
 		if opts.RankLo != 0 || opts.RankHi != 0 {
@@ -290,8 +304,13 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	} else {
 		// On a shared cursor the grain was sized for CPU workers; the
 		// device claims larger spans to amortize its launch overhead,
-		// the way real kernel enqueues batch the space.
+		// the way real kernel enqueues batch the space. The planner
+		// seeds the multiplier from the modeled throughput ratio; the
+		// meter refines it below once measured rates exist.
 		claimGrains = 4
+		if opts.ClaimGrains > 0 {
+			claimGrains = opts.ClaimGrains
+		}
 	}
 	started := opts.Started
 	signalStarted := func() {
@@ -309,11 +328,20 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			signalStarted()
 			return nil, err
 		}
+		if shared && opts.Meter != nil {
+			// Mid-search refinement: once both sides have measured
+			// rates, claim spans proportional to the realized ratio
+			// rather than the seed.
+			if g := opts.Meter.SuggestGrains(opts.MeterConsumer, 64); g > 0 {
+				claimGrains = g
+			}
+		}
 		t, ok := cur.Claim(claimGrains)
 		signalStarted()
 		if !ok {
 			break
 		}
+		tileStart := time.Now()
 		for lo := t.Lo; lo < t.Hi; lo += int64(warp) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -325,6 +353,9 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			st.runWarp(m, lo, hi)
 		}
 		st.stats.Combinations += t.Len()
+		if opts.Meter != nil {
+			opts.Meter.Record(opts.MeterConsumer, t.Len(), time.Since(tileStart))
+		}
 		cur.Finish(t.Len())
 	}
 

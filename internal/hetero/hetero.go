@@ -29,6 +29,37 @@ import (
 	"trigene/internal/topk"
 )
 
+// Mode selects which sides of a heterogeneous run participate. It
+// replaces the old "CPUFraction: -1 means all-GPU" sentinel: one-sided
+// runs are first-class requests, not magic fraction values.
+type Mode int
+
+const (
+	// ModeAuto (the zero value) runs both sides: work-stealing from a
+	// shared cursor when CPUFraction is 0, a static split at
+	// CPUFraction in (0, 1]. This is the only mode that consults
+	// CPUFraction.
+	ModeAuto Mode = iota
+	// ModeAllCPU routes every rank to the CPU engine.
+	ModeAllCPU
+	// ModeAllGPU routes every rank to the simulated device.
+	ModeAllGPU
+)
+
+// String names the mode in errors and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeAllCPU:
+		return "all-cpu"
+	case ModeAllGPU:
+		return "all-gpu"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
 // Options configures a heterogeneous search.
 type Options struct {
 	// CPUDevice and GPUDevice select the modeled device pair for the
@@ -38,12 +69,27 @@ type Options struct {
 	CPUDevice device.CPU
 	GPUDevice device.GPU
 
+	// Mode selects the participating sides (default ModeAuto: both).
+	Mode Mode
+
 	// CPUFraction fixes the fraction of combination ranks evaluated on
-	// the CPU engine with a static split. Zero means work-stealing:
-	// both sides pull tiles from one shared cursor and the realized
-	// fraction is whatever the hardware delivers. Use a negative value
-	// for an all-GPU run and 1 for an all-CPU run.
+	// the CPU engine with a static split, and applies only in
+	// ModeAuto. Zero means work-stealing: both sides pull tiles from
+	// one shared cursor and the realized fraction is whatever the
+	// hardware delivers. Negative values are rejected — request a
+	// one-sided run with ModeAllGPU / ModeAllCPU instead.
 	CPUFraction float64
+
+	// Grain overrides the shared cursor's ranks-per-claim tile size on
+	// a work-stealing run (0 = the AutoGrain heuristic). The planner
+	// seeds it from the modeled per-consumer throughput.
+	Grain int64
+	// GPUGrains seeds the device consumer's claim-span multiplier on
+	// the shared cursor (0 = 4, the legacy default). The planner sets
+	// it to the modeled device/CPU-worker throughput ratio, and the
+	// run's throughput meter refines it mid-search from measured
+	// rates.
+	GPUGrains int64
 
 	// Searcher optionally supplies a prebuilt engine.Searcher over the
 	// same dataset, reusing its precomputed binarized forms (a Session
@@ -87,6 +133,15 @@ type Result struct {
 	// estimate.
 	ModeledCombinedGElems float64
 
+	// Grain is the shared cursor's ranks-per-claim on a work-stealing
+	// run (0 on static runs, which have no cursor).
+	Grain int64
+	// MeasuredCPUCombosPerSec and MeasuredGPUCombosPerSec are the
+	// throughput meter's realized per-side rates on a work-stealing
+	// run (combinations/sec of busy time; 0 when a side was idle or
+	// the run was static).
+	MeasuredCPUCombosPerSec, MeasuredGPUCombosPerSec float64
+
 	// Duration is the wall time of the heterogeneous run.
 	Duration time.Duration
 }
@@ -124,8 +179,17 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if opts.Context == nil {
 		opts.Context = context.Background()
 	}
+	if opts.Mode < ModeAuto || opts.Mode > ModeAllGPU {
+		return nil, fmt.Errorf("hetero: invalid mode %d", int(opts.Mode))
+	}
+	if opts.CPUFraction < 0 {
+		return nil, fmt.Errorf("hetero: negative CPUFraction %g (request a one-sided run with ModeAllGPU)", opts.CPUFraction)
+	}
 	if opts.CPUFraction > 1 {
 		return nil, fmt.Errorf("hetero: CPUFraction %g out of range", opts.CPUFraction)
+	}
+	if opts.Mode != ModeAuto && opts.CPUFraction != 0 {
+		return nil, fmt.Errorf("hetero: CPUFraction %g conflicts with mode %v (the mode owns the placement)", opts.CPUFraction, opts.Mode)
 	}
 	m, n := mx.SNPs(), mx.Samples()
 
@@ -158,10 +222,15 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	var cpuRes *engine.Result
 	var gpuRes *gpusim.Result
 	var err error
-	if opts.CPUFraction == 0 {
-		cpuRes, gpuRes, err = runStealing(mx, &opts, lo, hi)
-	} else {
-		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi)
+	switch {
+	case opts.Mode == ModeAllCPU:
+		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, 1)
+	case opts.Mode == ModeAllGPU:
+		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, 0)
+	case opts.CPUFraction == 0:
+		cpuRes, gpuRes, err = runStealing(mx, &opts, lo, hi, out)
+	default:
+		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, opts.CPUFraction)
 	}
 	if err != nil {
 		return nil, err
@@ -200,14 +269,20 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 // runStealing drains one shared tile cursor from both sides: the GPU
 // consumer claims first (Search waits for its opening claim before
 // unleashing the CPU pool), then each side pulls the next tile
-// whenever it finishes one.
-func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Result, *gpusim.Result, error) {
+// whenever it finishes one. The cursor's grain and the device's claim
+// multiplier come from the plan seeds when given; a shared throughput
+// meter measures both sides and refines the device's claim span
+// mid-search, recording the realized rates into out.
+func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64, out *Result) (*engine.Result, *gpusim.Result, error) {
 	workers := opts.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	src := sched.NewSource(lo, hi, sched.AutoGrain(hi-lo, workers+1))
+	grain := sched.SeededGrain(hi-lo, workers+1, opts.Grain)
+	src := sched.NewSource(lo, hi, grain)
 	cur := sched.NewCursor(src)
+	meter := sched.NewThroughputMeter(workers + 1)
+	out.Grain = grain
 
 	type gpuOut struct {
 		res *gpusim.Result
@@ -217,12 +292,15 @@ func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Resul
 	claimed := make(chan struct{})
 	go func() {
 		res, err := gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
-			Kernel:    gpusim.K4Tiled,
-			Objective: opts.Objective,
-			TopK:      opts.TopK,
-			Context:   opts.Context,
-			Tiles:     cur,
-			Started:   func() { close(claimed) },
+			Kernel:        gpusim.K4Tiled,
+			Objective:     opts.Objective,
+			TopK:          opts.TopK,
+			Context:       opts.Context,
+			Tiles:         cur,
+			Started:       func() { close(claimed) },
+			ClaimGrains:   opts.GPUGrains,
+			Meter:         meter,
+			MeterConsumer: workers,
 		})
 		gpuCh <- gpuOut{res: res, err: err}
 	}()
@@ -246,6 +324,7 @@ func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Resul
 		TopK:      opts.TopK,
 		Context:   opts.Context,
 		Tiles:     cur,
+		Meter:     meter,
 	})
 	if gpu == nil {
 		g := <-gpuCh
@@ -257,17 +336,18 @@ func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Resul
 	if gpu.err != nil {
 		return nil, nil, fmt.Errorf("hetero: GPU half: %w", gpu.err)
 	}
+	for c := 0; c < workers; c++ {
+		out.MeasuredCPUCombosPerSec += meter.Rate(c)
+	}
+	out.MeasuredGPUCombosPerSec = meter.Rate(workers)
 	return cpuRes, gpu.res, nil
 }
 
-// runStatic splits [lo, hi) at the configured fraction and runs the
-// halves concurrently — the paper's throughput-proportional static
-// split, kept for analytical comparisons and forced placements.
-func runStatic(mx *dataset.Matrix, opts *Options, lo, hi int64) (*engine.Result, *gpusim.Result, error) {
-	frac := opts.CPUFraction
-	if frac < 0 {
-		frac = 0
-	}
+// runStatic splits [lo, hi) at the given fraction and runs the halves
+// concurrently — the paper's throughput-proportional static split,
+// kept for analytical comparisons and forced placements (the one-
+// sided modes are its 0 and 1 endpoints).
+func runStatic(mx *dataset.Matrix, opts *Options, lo, hi int64, frac float64) (*engine.Result, *gpusim.Result, error) {
 	cut := lo + int64(frac*float64(hi-lo))
 	if cut > hi {
 		cut = hi

@@ -8,6 +8,7 @@ import (
 	"trigene/internal/dataset"
 	"trigene/internal/device"
 	"trigene/internal/engine"
+	"trigene/internal/sched"
 	"trigene/internal/score"
 )
 
@@ -54,19 +55,100 @@ func TestHeterogeneousEdgesAllCPUAllGPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	allCPU, err := Search(mx, Options{CPUFraction: 1})
+	allCPU, err := Search(mx, Options{Mode: ModeAllCPU})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if allCPU.Best != want.Best || allCPU.GPUStats.Combinations != 0 {
 		t.Errorf("all-CPU run wrong: %+v", allCPU.Best)
 	}
-	allGPU, err := Search(mx, Options{CPUFraction: -1})
+	if allCPU.CPUFraction != 1 {
+		t.Errorf("all-CPU realized fraction %g", allCPU.CPUFraction)
+	}
+	allGPU, err := Search(mx, Options{Mode: ModeAllGPU})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if allGPU.Best != want.Best || allGPU.CPUStats.Combinations != 0 {
 		t.Errorf("all-GPU run wrong: %+v", allGPU.Best)
+	}
+	if allGPU.CPUFraction != 0 {
+		t.Errorf("all-GPU realized fraction %g", allGPU.CPUFraction)
+	}
+}
+
+// TestModeSemantics pins the Options contract: ModeAuto with
+// CPUFraction 0 work-steals, a fraction in (0, 1] splits statically,
+// one-sided runs are requested through the mode (never a fraction
+// sentinel), negative fractions are rejected, and a mode does not
+// combine with a fraction.
+func TestModeSemantics(t *testing.T) {
+	mx := randomMatrix(127, 10, 100)
+	if _, err := Search(mx, Options{CPUFraction: -1}); err == nil {
+		t.Error("negative CPUFraction accepted; the all-GPU sentinel is gone")
+	}
+	if _, err := Search(mx, Options{CPUFraction: -0.25}); err == nil {
+		t.Error("negative CPUFraction accepted")
+	}
+	if _, err := Search(mx, Options{Mode: ModeAllGPU, CPUFraction: 0.5}); err == nil {
+		t.Error("mode + fraction combination accepted")
+	}
+	if _, err := Search(mx, Options{Mode: Mode(99)}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	// CPUFraction 0 still means auto (work-stealing): both sides run.
+	res, err := Search(mx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grain == 0 {
+		t.Error("work-stealing run reports no cursor grain")
+	}
+	if res.GPUStats.Combinations == 0 {
+		t.Error("auto mode gave the device no work")
+	}
+	// A static fraction has no shared cursor to report.
+	res, err = Search(mx, Options{CPUFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grain != 0 || res.MeasuredCPUCombosPerSec != 0 {
+		t.Errorf("static run reports work-stealing telemetry: grain=%d cpuRate=%g", res.Grain, res.MeasuredCPUCombosPerSec)
+	}
+}
+
+// TestPlanSeeds: a seeded grain and device claim multiplier change how
+// the space is cut, never what comes back. The seed applies when finer
+// than the AutoGrain heuristic; a coarser seed is capped so it cannot
+// starve the pool.
+func TestPlanSeeds(t *testing.T) {
+	mx := randomMatrix(128, 60, 60) // C(60,3) = 34220 ranks
+	want, err := engine.Search(mx, engine.Options{TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := combin.Triples(60)
+	for _, seed := range []int64{260, 1 << 30} {
+		res, err := Search(mx, Options{TopK: 4, Workers: 1, Grain: seed, GPUGrains: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best != want.Best || len(res.TopK) != len(want.TopK) {
+			t.Fatalf("seed %d: run diverged: %+v", seed, res.Best)
+		}
+		for i := range want.TopK {
+			if res.TopK[i] != want.TopK[i] {
+				t.Errorf("seed %d: TopK[%d] = %+v, want %+v", seed, i, res.TopK[i], want.TopK[i])
+			}
+		}
+		auto := sched.AutoGrain(total, 2) // 1 worker + 1 device consumer
+		wantGrain := auto
+		if seed < auto {
+			wantGrain = seed
+		}
+		if res.Grain != wantGrain {
+			t.Errorf("seed %d: grain %d, want %d", seed, res.Grain, wantGrain)
+		}
 	}
 }
 
@@ -197,5 +279,8 @@ func TestHeterogeneousBadFraction(t *testing.T) {
 	mx := randomMatrix(124, 8, 60)
 	if _, err := Search(mx, Options{CPUFraction: 1.5}); err == nil {
 		t.Error("fraction > 1 accepted")
+	}
+	if _, err := Search(mx, Options{CPUFraction: -0.5}); err == nil {
+		t.Error("negative fraction accepted")
 	}
 }

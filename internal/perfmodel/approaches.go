@@ -82,6 +82,30 @@ func CPUApproachGElemPerSec(c device.CPU, approach int, avx512 bool, snps, sampl
 	}
 }
 
+// GPUCost returns the op/byte accounting of the GPU split kernels
+// (66 ALU + 27 POPCNT ops per 32-sample word over six streamed words),
+// the GPU-side analogue of CostOf for roofline capping.
+func GPUCost() ApproachCost {
+	return ApproachCost{OpsPerWord: gpuALUPerWord + gpuPopPerWord, BytesPerWord: 24}
+}
+
+// BestCPUApproach returns the approach (1..4) with the highest modeled
+// throughput on the device at the given workload, and that throughput
+// in G elements/s — the planner's per-device kernel selection (the
+// paper's Figure 2 conclusion, computed instead of plotted).
+func BestCPUApproach(c device.CPU, avx512 bool, snps, samples int) (approach int, gElemPerSec float64) {
+	for a := 1; a <= 4; a++ {
+		rate, err := CPUApproachGElemPerSec(c, a, avx512, snps, samples)
+		if err != nil {
+			continue // unreachable for 1..4
+		}
+		if rate > gElemPerSec {
+			approach, gElemPerSec = a, rate
+		}
+	}
+	return approach, gElemPerSec
+}
+
 func minf(a, b float64) float64 {
 	if a < b {
 		return a

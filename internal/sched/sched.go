@@ -83,20 +83,49 @@ func Flat(total int64, consumers int) Source {
 	return NewSource(0, total, AutoGrain(total, consumers))
 }
 
+// MinGrain and MaxGrain bound every grain heuristic: below MinGrain
+// claim overhead dominates, above MaxGrain tiles get too coarse for
+// load balance and cancellation latency. The planner's model-derived
+// grains honor the same clamps.
+const (
+	MinGrain = 256
+	MaxGrain = 1 << 20
+)
+
 // AutoGrain is the flat-space grain heuristic: aim for ~64 claims per
-// consumer, clamped to [256, 1<<20] ranks.
+// consumer, clamped to [MinGrain, MaxGrain] ranks. It is total-order
+// safe: non-positive totals and absurd consumer counts clamp instead
+// of overflowing.
 func AutoGrain(total int64, consumers int) int64 {
 	if consumers < 1 {
 		consumers = 1
 	}
-	grain := total / (int64(consumers) * 64)
-	if grain < 256 {
-		grain = 256
+	// Divide before multiplying so total near MaxInt64 cannot overflow
+	// int64(consumers)*64.
+	grain := total / int64(consumers) / 64
+	if grain < MinGrain {
+		grain = MinGrain
 	}
-	if grain > 1<<20 {
-		grain = 1 << 20
+	if grain > MaxGrain {
+		grain = MaxGrain
 	}
 	return grain
+}
+
+// SeededGrain reconciles a planner grain hint with the AutoGrain
+// heuristic for a space of the given size: the hint wins only when it
+// is finer than AutoGrain's cut, so a model-seeded grain can tighten
+// tiles but never coarsen them into starving the consumer pool on a
+// small (or small-sharded) space. hint <= 0 means no hint.
+func SeededGrain(total int64, consumers int, hint int64) int64 {
+	auto := AutoGrain(total, consumers)
+	if hint > 0 && hint < auto {
+		if hint < MinGrain {
+			return MinGrain
+		}
+		return hint
+	}
+	return auto
 }
 
 // Bounds returns the rank range the source covers.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -42,6 +43,42 @@ func TestAutoGrainClamps(t *testing.T) {
 	}
 	if g := AutoGrain(1<<20, 0); g < 256 {
 		t.Errorf("zero consumers grain %d", g)
+	}
+}
+
+// TestAutoGrainBoundaries pins the heuristic at the edges of its
+// domain: degenerate totals, more consumers than ranks, and totals
+// near the int64 ceiling (where a naive consumers*64 multiplier would
+// overflow before the clamp could apply).
+func TestAutoGrainBoundaries(t *testing.T) {
+	cases := []struct {
+		name      string
+		total     int64
+		consumers int
+		want      int64
+	}{
+		{"zero total", 0, 8, MinGrain},
+		{"negative total", -100, 8, MinGrain},
+		{"total smaller than consumers", 7, 64, MinGrain},
+		{"one rank one consumer", 1, 1, MinGrain},
+		{"negative consumers clamp to one", 1 << 20, -3, 1 << 20 / 64},
+		{"max int64 total", math.MaxInt64, 1, MaxGrain},
+		{"max int64 total, max consumers", math.MaxInt64, math.MaxInt32, MaxGrain},
+		{"huge total huge pool stays clamped", math.MaxInt64 / 2, 1 << 20, MaxGrain},
+	}
+	for _, tc := range cases {
+		if g := AutoGrain(tc.total, tc.consumers); g != tc.want {
+			t.Errorf("%s: AutoGrain(%d, %d) = %d, want %d", tc.name, tc.total, tc.consumers, g, tc.want)
+		}
+	}
+	// Every possible output respects the exported clamps.
+	for _, total := range []int64{0, 1, MinGrain, 1 << 30, math.MaxInt64} {
+		for _, cons := range []int{0, 1, 7, 1 << 16, math.MaxInt32} {
+			g := AutoGrain(total, cons)
+			if g < MinGrain || g > MaxGrain {
+				t.Fatalf("AutoGrain(%d, %d) = %d escapes [%d, %d]", total, cons, g, MinGrain, MaxGrain)
+			}
+		}
 	}
 }
 

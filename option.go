@@ -20,12 +20,24 @@ type searchConfig struct {
 	topK        int
 	objName     string
 	backend     Backend
+	backendSet  bool
 	approach    Approach
 	approachSet bool
 	workers     int
 	shard       *shardSpec
 	progress    func(done, total int64)
 	remote      RemoteExecutor
+
+	// Autotuning (WithAutoTune / WithEnergyBudget).
+	autotune     bool
+	energyBudget float64
+	// Planner decisions, filled by Session.applyPlan: the approach to
+	// default to, the scheduler tile grain, the heterogeneous claim
+	// seeds, and the decision trace attached as Report.Plan.
+	plannedApproach Approach
+	planGrain       int64
+	planGPUGrains   int64
+	planInfo        *PlanInfo
 
 	// Permutation-test knobs (ignored by Search).
 	permutations int
@@ -108,13 +120,48 @@ func WithObjective(name string) Option {
 	}
 }
 
-// WithBackend selects the execution engine (default CPU()).
+// WithBackend selects the execution engine (default CPU()). Under
+// WithAutoTune an explicit backend is a constraint: the planner tunes
+// within it instead of choosing one.
 func WithBackend(b Backend) Option {
 	return func(c *searchConfig) error {
 		if b == nil {
 			return fmt.Errorf("trigene: nil Backend")
 		}
 		c.backend = b
+		c.backendSet = true
+		return nil
+	}
+}
+
+// WithAutoTune turns on model-driven planning: before the search
+// runs, the paper's analytical machinery (the CARM roofline, the
+// per-approach throughput models, the DVFS energy model) picks the
+// execution parameters — backend (unless pinned with WithBackend),
+// approach, scheduler tile grain, and the heterogeneous split seeds —
+// instead of the static defaults. The decision trace is returned as
+// Report.Plan. Autotuning steers execution only, never search
+// semantics: an autotuned Report is bit-exact with an untuned one.
+func WithAutoTune() Option {
+	return func(c *searchConfig) error {
+		c.autotune = true
+		return nil
+	}
+}
+
+// WithEnergyBudget caps the modeled power draw at the given watts and
+// implies WithAutoTune: the planner picks the highest DVFS operating
+// point within the budget and derates its throughput predictions
+// accordingly (Report.Plan records the chosen clocks and predicted
+// draw). This repo cannot set host frequencies; the budget shapes the
+// plan, and the trace is the contract a deployment would enforce.
+func WithEnergyBudget(watts float64) Option {
+	return func(c *searchConfig) error {
+		if watts <= 0 {
+			return fmt.Errorf("trigene: energy budget must be positive watts, got %g", watts)
+		}
+		c.autotune = true
+		c.energyBudget = watts
 		return nil
 	}
 }

@@ -30,6 +30,14 @@ type SearchSpec struct {
 	Approach string `json:"approach,omitempty"`
 	// Workers is the per-node host parallelism (0 = all cores).
 	Workers int `json:"workers,omitempty"`
+	// AutoTune asks every executing node to run the model-driven
+	// planner for its own host (WithAutoTune); with an empty Backend
+	// each worker places the work where its models say. Tile Reports
+	// then carry the plan trace (Report.Plan).
+	AutoTune bool `json:"autoTune,omitempty"`
+	// EnergyBudgetWatts carries WithEnergyBudget across the wire
+	// (implies AutoTune on the executing node).
+	EnergyBudgetWatts float64 `json:"energyBudgetWatts,omitempty"`
 }
 
 // ParseBackend rebuilds a Backend from its Name(): "cpu" (or ""),
@@ -57,13 +65,17 @@ func ParseBackend(name string) (Backend, error) {
 
 // Options rebuilds the Search options the spec describes. The caller
 // appends placement options (WithShard) that are not part of the wire
-// contract.
+// contract. An empty Backend stays unpinned (the call's default, or —
+// under AutoTune — the executing node's planner choice).
 func (sp SearchSpec) Options() ([]Option, error) {
-	be, err := ParseBackend(sp.Backend)
-	if err != nil {
-		return nil, err
+	var opts []Option
+	if sp.Backend != "" {
+		be, err := ParseBackend(sp.Backend)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithBackend(be))
 	}
-	opts := []Option{WithBackend(be)}
 	if sp.Order != 0 {
 		opts = append(opts, WithOrder(sp.Order))
 	}
@@ -81,13 +93,23 @@ func (sp SearchSpec) Options() ([]Option, error) {
 				return nil, err
 			}
 			ap = Approach(int(k))
-		} else if ap, err = ParseApproach(sp.Approach); err != nil {
-			return nil, err
+		} else {
+			a, err := ParseApproach(sp.Approach)
+			if err != nil {
+				return nil, err
+			}
+			ap = a
 		}
 		opts = append(opts, WithApproach(ap))
 	}
 	if sp.Workers != 0 {
 		opts = append(opts, WithWorkers(sp.Workers))
+	}
+	if sp.AutoTune {
+		opts = append(opts, WithAutoTune())
+	}
+	if sp.EnergyBudgetWatts > 0 {
+		opts = append(opts, WithEnergyBudget(sp.EnergyBudgetWatts))
 	}
 	return opts, nil
 }
@@ -96,11 +118,18 @@ func (sp SearchSpec) Options() ([]Option, error) {
 // fails on configuration that cannot cross the wire.
 func (c *searchConfig) spec() (SearchSpec, error) {
 	sp := SearchSpec{
-		Order:     c.order,
-		TopK:      c.topK,
-		Objective: c.objName,
-		Backend:   c.backend.Name(),
-		Workers:   c.workers,
+		Order:             c.order,
+		TopK:              c.topK,
+		Objective:         c.objName,
+		Backend:           c.backend.Name(),
+		Workers:           c.workers,
+		AutoTune:          c.autotune,
+		EnergyBudgetWatts: c.energyBudget,
+	}
+	if c.autotune && !c.backendSet {
+		// The caller left placement to the planner; keep it open on the
+		// wire so every worker plans for its own host.
+		sp.Backend = ""
 	}
 	if hb, ok := c.backend.(heteroBackend); ok && hb.opts != (hetero.Options{}) {
 		return SearchSpec{}, fmt.Errorf("trigene: custom HeteroOn configurations do not serialize; remote execution supports the default Hetero() pairing")

@@ -41,6 +41,45 @@ type ShardInfo struct {
 	Space string `json:"space"`
 }
 
+// PlanInfo is the decision trace of a model-driven autotuned search
+// (WithAutoTune / WithEnergyBudget): what the planner chose, what the
+// paper's models predicted, and — under an energy budget — the DVFS
+// operating point. It records the decisions actually taken by the run
+// that produced the Report; predictions are model outputs, never
+// measurements.
+type PlanInfo struct {
+	// Backend and Approach are the planned engine and pipeline.
+	Backend  string `json:"backend"`
+	Approach string `json:"approach,omitempty"`
+	// Workers is the CPU pool size the predictions assume.
+	Workers int `json:"workers,omitempty"`
+	// Grain is the scheduler tile size in ranks per claim.
+	Grain int64 `json:"grain,omitempty"`
+	// CPUFraction is the modeled CPU share (1 pure CPU, 0 pure GPU,
+	// the throughput-proportional split on hetero plans); GPUGrains is
+	// the device's seeded claim multiplier on a shared cursor.
+	CPUFraction float64 `json:"cpuFraction,omitempty"`
+	GPUGrains   int64   `json:"gpuGrains,omitempty"`
+	// Predicted* are the model's throughput projections: per side in
+	// G elements/s, and combined in scheduler currency.
+	PredictedCPUGElems    float64 `json:"predictedCpuGElems,omitempty"`
+	PredictedGPUGElems    float64 `json:"predictedGpuGElems,omitempty"`
+	PredictedCombosPerSec float64 `json:"predictedCombosPerSec,omitempty"`
+	PredictedTilesPerSec  float64 `json:"predictedTilesPerSec,omitempty"`
+	// EnergyBudgetWatts echoes WithEnergyBudget; TargetCPUGHz /
+	// TargetGPUGHz are the chosen DVFS clocks and PredictedWatts the
+	// modeled draw at that operating point.
+	EnergyBudgetWatts float64 `json:"energyBudgetWatts,omitempty"`
+	TargetCPUGHz      float64 `json:"targetCpuGHz,omitempty"`
+	TargetGPUGHz      float64 `json:"targetGpuGHz,omitempty"`
+	PredictedWatts    float64 `json:"predictedWatts,omitempty"`
+	// CPUDevice and GPUDevice name the device models consulted.
+	CPUDevice string `json:"cpuDevice,omitempty"`
+	GPUDevice string `json:"gpuDevice,omitempty"`
+	// Reason is the human-readable decision trace.
+	Reason string `json:"reason,omitempty"`
+}
+
 // HeteroInfo carries the heterogeneous backend's split accounting.
 type HeteroInfo struct {
 	// CPUFraction is the fraction of the evaluated ranks the CPU
@@ -91,6 +130,9 @@ type Report struct {
 	GPU *GPUStats
 	// Hetero is set by the heterogeneous backend.
 	Hetero *HeteroInfo
+	// Plan is the autotuner's decision trace on WithAutoTune /
+	// WithEnergyBudget runs; nil otherwise.
+	Plan *PlanInfo
 
 	// obj preserves the objective's ordering for MergeReports.
 	obj score.Objective
@@ -147,6 +189,7 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		obj = o
 	}
 	k := 0
+	space := ""
 	for _, r := range reports {
 		if r == nil {
 			return nil, fmt.Errorf("trigene: MergeReports got a nil report")
@@ -154,6 +197,21 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		if r.Order != base.Order || r.Objective != base.Objective {
 			return nil, fmt.Errorf("trigene: cannot merge order-%d %s report with order-%d %s",
 				r.Order, r.Objective, base.Order, base.Objective)
+		}
+		// Shards only union back to the full space when they sliced the
+		// SAME space: a rank shard (V2, gpusim, ...) and a block-triple
+		// shard (V3/V4) of the same (index, count) cover different
+		// triples, so mixing them would silently double-count some
+		// combinations and drop others. (One way to mix them by
+		// accident: autotuning one shard of a search but not another —
+		// the planner may repick the approach and with it the space.)
+		if r.Shard != nil && r.Shard.Space != "" {
+			if space == "" {
+				space = r.Shard.Space
+			} else if r.Shard.Space != space {
+				return nil, fmt.Errorf("trigene: cannot merge a %s shard with a %s shard (the shards sliced different spaces; run every shard with the same approach/autotune configuration)",
+					r.Shard.Space, space)
+			}
 		}
 		if r.topK > k {
 			k = r.topK
@@ -176,6 +234,14 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		Order:     base.Order,
 		obj:       obj,
 		topK:      k,
+	}
+	// Shards of one autotuned job plan identically (same models, same
+	// inputs); the first trace present speaks for the merge.
+	for _, r := range reports {
+		if r.Plan != nil {
+			out.Plan = r.Plan
+			break
+		}
 	}
 	cmp := candidateCmp(obj)
 	for _, r := range reports {

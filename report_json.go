@@ -34,6 +34,7 @@ type wireReport struct {
 	Shard          *ShardInfo        `json:"shard,omitempty"`
 	GPU            *GPUStats         `json:"gpu,omitempty"`
 	Hetero         *HeteroInfo       `json:"hetero,omitempty"`
+	Plan           *PlanInfo         `json:"plan,omitempty"`
 }
 
 // MarshalJSON implements the stable Report wire format.
@@ -53,6 +54,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Shard:          r.Shard,
 		GPU:            r.GPU,
 		Hetero:         r.Hetero,
+		Plan:           r.Plan,
 	})
 }
 
@@ -77,6 +79,7 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Shard:          w.Shard,
 		GPU:            w.GPU,
 		Hetero:         w.Hetero,
+		Plan:           w.Plan,
 	}
 	return nil
 }

@@ -83,6 +83,80 @@ func TestReportJSONGolden(t *testing.T) {
 	}
 }
 
+// goldenPlan is a fully populated autotune decision trace, as built
+// by a budgeted heterogeneous plan.
+func goldenPlan() *PlanInfo {
+	return &PlanInfo{
+		Backend:               "hetero",
+		Approach:              "V4",
+		Workers:               72,
+		Grain:                 4096,
+		CPUFraction:           0.25,
+		GPUGrains:             12,
+		PredictedCPUGElems:    822.5,
+		PredictedGPUGElems:    2467.5,
+		PredictedCombosPerSec: 200000,
+		PredictedTilesPerSec:  48.83,
+		EnergyBudgetWatts:     350,
+		TargetCPUGHz:          2.1,
+		TargetGPUGHz:          1.2,
+		PredictedWatts:        349.5,
+		CPUDevice:             "CI3",
+		GPUDevice:             "GN1",
+		Reason:                "split CI3:GN1 at 25% CPU by modeled throughput",
+	}
+}
+
+// goldenPlanJSON pins the "plan" key of the wire format.
+const goldenPlanJSON = `"plan":{"backend":"hetero","approach":"V4","workers":72,"grain":4096,` +
+	`"cpuFraction":0.25,"gpuGrains":12,"predictedCpuGElems":822.5,"predictedGpuGElems":2467.5,` +
+	`"predictedCombosPerSec":200000,"predictedTilesPerSec":48.83,"energyBudgetWatts":350,` +
+	`"targetCpuGHz":2.1,"targetGpuGHz":1.2,"predictedWatts":349.5,` +
+	`"cpuDevice":"CI3","gpuDevice":"GN1","reason":"split CI3:GN1 at 25% CPU by modeled throughput"}`
+
+// TestReportJSONPlanGolden: an autotuned Report carries its decision
+// trace on the wire, byte-stable and round-trip clean. (The plan-less
+// goldens above prove the key is absent when no planner ran.)
+func TestReportJSONPlanGolden(t *testing.T) {
+	rep := goldenReport()
+	rep.Plan = goldenPlan()
+	want := goldenReportJSON[:len(goldenReportJSON)-1] + "," + goldenPlanJSON + "}"
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != want {
+		t.Errorf("plan wire format drifted:\n got %s\nwant %s", raw, want)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, rep) {
+		t.Errorf("plan round trip changed the report:\n got %+v\nwant %+v", back, *rep)
+	}
+	if !reflect.DeepEqual(back.Plan, rep.Plan) {
+		t.Errorf("plan round trip: %+v != %+v", back.Plan, rep.Plan)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(raw) {
+		t.Errorf("plan re-marshal drifted:\n got %s", again)
+	}
+
+	// A merge of deserialized shard Reports keeps the trace.
+	merged, err := MergeReports(&back, &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Plan, rep.Plan) {
+		t.Errorf("merge dropped the plan: %+v", merged.Plan)
+	}
+}
+
 // TestReportJSONSparse: a minimal report (no shard/GPU/hetero, no
 // candidates) omits its optional keys and survives the round trip.
 func TestReportJSONSparse(t *testing.T) {

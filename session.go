@@ -51,9 +51,23 @@ func (s *Session) Search(ctx context.Context, opts ...Option) (*Report, error) {
 		return nil, err
 	}
 	if cfg.remote != nil {
+		// Autotune crosses the wire inside the SearchSpec: each worker
+		// plans for its own host rather than inheriting this machine's.
 		return s.searchRemote(ctx, cfg)
 	}
-	return cfg.backend.search(ctx, s, cfg)
+	if cfg.autotune {
+		if err := s.applyPlan(cfg); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := cfg.backend.search(ctx, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.planInfo != nil {
+		rep.Plan = cfg.planInfo
+	}
+	return rep, nil
 }
 
 // searchRemote ships a configured search to a WithCluster executor.
@@ -99,6 +113,9 @@ func (s *Session) PermutationTest(ctx context.Context, snps []int, opts ...Optio
 	}
 	if cfg.approachSet {
 		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithApproach does not apply")
+	}
+	if cfg.autotune {
+		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithAutoTune does not apply")
 	}
 	if cfg.topK != 1 {
 		return nil, fmt.Errorf("trigene: permutation tests score one candidate; WithTopK does not apply")

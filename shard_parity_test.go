@@ -83,6 +83,41 @@ func TestShardMergeParity(t *testing.T) {
 					t.Fatal(err)
 				}
 				reportsEqual(t, "work-stealing", ws, full)
+
+				// Autotuned paths: the planner may repick the approach,
+				// regrain the scheduler and reseed the hetero split, but
+				// single-node, 2-shard-merged and work-stealing Reports
+				// must all stay bit-exact with the untuned full run — and
+				// carry the decision trace.
+				tuned, err := s.Search(ctx, append(base, trigene.WithAutoTune())...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "autotuned", tuned, full)
+				if tuned.Plan == nil || tuned.Plan.Backend != tuned.Backend {
+					t.Errorf("autotuned plan trace: %+v (backend %q)", tuned.Plan, tuned.Backend)
+				}
+				var tunedParts []*trigene.Report
+				for i := 0; i < 2; i++ {
+					rep, err := s.Search(ctx, append(base, trigene.WithShard(i, 2), trigene.WithAutoTune())...)
+					if err != nil {
+						t.Fatalf("autotuned shard %d: %v", i, err)
+					}
+					tunedParts = append(tunedParts, rep)
+				}
+				tunedMerged, err := trigene.MergeReports(tunedParts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "autotuned 2-shard merge", tunedMerged, full)
+				if tunedMerged.Plan == nil {
+					t.Error("merge dropped the autotuned shards' plan trace")
+				}
+				tunedWS, err := s.Search(ctx, append(base, trigene.WithWorkers(3), trigene.WithAutoTune())...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "autotuned work-stealing", tunedWS, full)
 			})
 		}
 	}
