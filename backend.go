@@ -224,7 +224,7 @@ func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (
 		gopts.RankLo, gopts.RankHi = rg.Lo, rg.Hi
 	}
 	start := time.Now()
-	res, err := gpusim.New(b.dev).Search(s.Matrix(), gopts)
+	res, err := gpusim.New(b.dev).Search(s.store, gopts)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +290,7 @@ func (baselineBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 		bopts.Range = &rg
 		rep.Shard = shardInfo(cfg.shard, &rg, ShardSpaceRanks)
 	}
-	res, err := mpi3snp.Search(s.Matrix(), bopts)
+	res, err := mpi3snp.Search(s.store, bopts)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +378,7 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 			return rep, nil
 		}
 	}
-	res, err := hetero.Search(s.Matrix(), hopts)
+	res, err := hetero.Search(s.store, hopts)
 	if err != nil {
 		return nil, err
 	}

@@ -142,7 +142,7 @@ func BenchmarkFig2b_CARM_GPU(b *testing.B) {
 			var modelRate float64
 			var logged bool
 			for i := 0; i < b.N; i++ {
-				res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+				res, err := runner.Search(encStore(mx), gpusim.Options{Kernel: k})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -224,7 +224,7 @@ func BenchmarkFig4_GPUSimPerDevice(b *testing.B) {
 			runner := gpusim.New(mustGPU(b, id))
 			var perCU float64
 			for i := 0; i < b.N; i++ {
-				res, err := runner.Search(mx, gpusim.Options{Kernel: gpusim.K4Tiled})
+				res, err := runner.Search(encStore(mx), gpusim.Options{Kernel: gpusim.K4Tiled})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -262,7 +262,7 @@ func BenchmarkTable3_HostBaseline(b *testing.B) {
 	b.Run("MPI3SNP-style", func(b *testing.B) {
 		var elements float64
 		for i := 0; i < b.N; i++ {
-			res, err := mpi3snp.Search(mx, mpi3snp.Options{})
+			res, err := mpi3snp.Search(encStore(mx), mpi3snp.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -342,7 +342,7 @@ func BenchmarkAblation_GPULayout(b *testing.B) {
 		b.Run(k.String(), func(b *testing.B) {
 			var txPerLoad float64
 			for i := 0; i < b.N; i++ {
-				res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+				res, err := runner.Search(encStore(mx), gpusim.Options{Kernel: k})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -397,7 +397,7 @@ func BenchmarkExt_Heterogeneous(b *testing.B) {
 		frac := frac
 		b.Run(fmt.Sprintf("cpu%.0f%%", frac*100), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := hetero.Search(mx, hetero.Options{CPUFraction: frac}); err != nil {
+				if _, err := hetero.Search(encStore(mx), hetero.Options{CPUFraction: frac}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -18,7 +18,12 @@
 //	                         # tiles/sec per backend, plus the chosen grain and
 //	                         # split; exits nonzero if a plan is malformed or an
 //	                         # autotuned run diverges from the untuned Report
-//	benchsuite -exp all      # everything except snapshot, sched, cluster and plan
+//	benchsuite -exp store    # encoded-dataset store audit (BENCH_PR5.json):
+//	                         # cold parse+encode time vs .tpack load time per
+//	                         # representation, plus bytes on the wire raw vs
+//	                         # packed; exits nonzero if a packed load is not
+//	                         # faster than re-encoding or changes any result
+//	benchsuite -exp all      # everything except snapshot, sched, cluster, plan and store
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -26,6 +31,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -35,6 +41,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -42,6 +49,7 @@ import (
 	"trigene"
 	"trigene/internal/carm"
 	"trigene/internal/cluster"
+	"trigene/internal/dataset"
 	"trigene/internal/device"
 	"trigene/internal/energy"
 	"trigene/internal/engine"
@@ -49,6 +57,7 @@ import (
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
 	"trigene/internal/sched"
+	"trigene/internal/store"
 )
 
 var (
@@ -71,7 +80,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -100,6 +109,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"plan": func() error {
 			return planExp(orDefault(*snapOut, "BENCH_PR4.json"))
+		},
+		"store": func() error {
+			return storeExp(orDefault(*snapOut, "BENCH_PR5.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -181,11 +193,15 @@ func fig2b() error {
 	if err != nil {
 		return err
 	}
+	st, err := store.New(mx)
+	if err != nil {
+		return err
+	}
 	runner := gpusim.New(gi2)
 	pt := report.NewTable("kernels V1-V4 (simulated on 64 SNPs x 2048 samples)",
 		"point", "AI intop/B", "GINTOPS", "G elem/s", "transactions")
 	for k := gpusim.K1Naive; k <= gpusim.K4Tiled; k++ {
-		res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+		res, err := runner.Search(st, gpusim.Options{Kernel: k})
 		if err != nil {
 			return err
 		}
@@ -870,4 +886,239 @@ func energyExp() error {
 		st.AddRowf(p.GHz, p.Watts, p.GElems, p.Efficiency)
 	}
 	return render(st)
+}
+
+// ---------------------------------------------------------------------
+// encoded-dataset store audit (-exp store)
+
+// storeSnapshot is the BENCH_PR5.json schema: the cost of building
+// each representation from scratch vs loading it from a .tpack, and
+// the dataset's size in each wire form.
+type storeSnapshot struct {
+	Schema     string `json:"schema"`
+	SNPs       int    `json:"snps"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// ColdMs is the from-scratch cost per representation (text parse,
+	// then each encode over the parsed matrix).
+	ColdMs struct {
+		ParseText   float64 `json:"parseText"`
+		Binarize    float64 `json:"binarize"`
+		Split       float64 `json:"split"`
+		Words32     float64 `json:"words32"`
+		ClassPlanes float64 `json:"classPlanes"`
+	} `json:"coldMs"`
+
+	// PackMs is the pack path: one write, then loads that adopt the
+	// binarized and split planes with no re-encode.
+	PackMs struct {
+		Write    float64 `json:"write"`
+		ReadHeap float64 `json:"readHeap"`
+		OpenMmap float64 `json:"openMmap"`
+	} `json:"packMs"`
+	Mapped bool `json:"mapped"`
+
+	// WireBytes compares the dataset's size per format.
+	WireBytes struct {
+		Text   int `json:"text"`
+		Binary int `json:"binary"`
+		Pack   int `json:"pack"`
+	} `json:"wireBytes"`
+
+	// SpeedupVsReencode is (cold binarize + split) / pack load — the
+	// job-start saving a worker sees on a cache hit. The audit fails
+	// below 1.
+	SpeedupVsReencode struct {
+		ReadHeap float64 `json:"readHeap"`
+		OpenMmap float64 `json:"openMmap"`
+	} `json:"speedupVsReencode"`
+}
+
+// storeBenchReps is how many times each timed step runs; the median
+// lands in the snapshot so one scheduler hiccup cannot fail CI.
+const storeBenchReps = 5
+
+// medianMs times f storeBenchReps times and returns the median in ms.
+func medianMs(f func() error) (float64, error) {
+	var times []float64
+	for i := 0; i < storeBenchReps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		times = append(times, float64(time.Since(start))/float64(time.Millisecond))
+	}
+	sort.Float64s(times)
+	return times[len(times)/2], nil
+}
+
+func storeExp(outPath string) error {
+	const (
+		storeSNPs    = 384
+		storeSamples = 4096
+		storeSeed    = 23
+	)
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: storeSNPs, Samples: storeSamples, Seed: storeSeed})
+	if err != nil {
+		return err
+	}
+	snap := storeSnapshot{
+		Schema:     "trigene-store/1",
+		SNPs:       storeSNPs,
+		Samples:    storeSamples,
+		Seed:       storeSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	// Wire sizes.
+	var text, bin bytes.Buffer
+	if err := trigene.WriteText(&text, mx); err != nil {
+		return err
+	}
+	if err := trigene.WriteBinary(&bin, mx); err != nil {
+		return err
+	}
+	st, err := store.New(mx)
+	if err != nil {
+		return err
+	}
+	var pack bytes.Buffer
+	snap.PackMs.Write, err = medianMs(func() error {
+		pack.Reset()
+		return st.WritePack(&pack)
+	})
+	if err != nil {
+		return err
+	}
+	snap.WireBytes.Text = text.Len()
+	snap.WireBytes.Binary = bin.Len()
+	snap.WireBytes.Pack = pack.Len()
+
+	// Cold path: parse the text form, then build each encoding fresh.
+	snap.ColdMs.ParseText, err = medianMs(func() error {
+		_, err := trigene.ReadText(bytes.NewReader(text.Bytes()))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// Time the raw encodes alone — the exact work a pack load skips —
+	// not store.New's one-time validation walk.
+	if snap.ColdMs.Binarize, err = medianMs(func() error {
+		dataset.Binarize(mx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if snap.ColdMs.Split, err = medianMs(func() error {
+		dataset.SplitBinarize(mx)
+		return nil
+	}); err != nil {
+		return err
+	}
+	split := st.Split()
+	if snap.ColdMs.Words32, err = medianMs(func() error {
+		dataset.BuildWords32(split, dataset.LayoutTiled, 32)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if snap.ColdMs.ClassPlanes, err = medianMs(func() error {
+		dataset.BuildClassPlanes(mx)
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	// Packed path: heap decode (the wire form) and mmap open.
+	var loaded *store.Store
+	if snap.PackMs.ReadHeap, err = medianMs(func() error {
+		loaded, err = store.ReadPack(bytes.NewReader(pack.Bytes()))
+		return err
+	}); err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "trigene-store-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	packPath := dir + "/bench.tpack"
+	if err := os.WriteFile(packPath, pack.Bytes(), 0o644); err != nil {
+		return err
+	}
+	var mapped *store.Store
+	if snap.PackMs.OpenMmap, err = medianMs(func() error {
+		if mapped != nil {
+			mapped.Close()
+		}
+		mapped, err = store.Open(packPath)
+		return err
+	}); err != nil {
+		return err
+	}
+	defer mapped.Close()
+	snap.Mapped = mapped.Mapped()
+
+	// Correctness cross-check: the loaded stores carry the same content
+	// and adopt the encodings without rebuilding them.
+	if loaded.Hash() != st.Hash() || mapped.Hash() != st.Hash() {
+		return fmt.Errorf("pack load changed the dataset hash")
+	}
+	if b := loaded.Builds(); b.Binarized != 0 || b.Split != 0 {
+		return fmt.Errorf("heap pack load re-encoded: %+v", b)
+	}
+
+	reencode := snap.ColdMs.Binarize + snap.ColdMs.Split
+	if snap.PackMs.ReadHeap > 0 {
+		snap.SpeedupVsReencode.ReadHeap = reencode / snap.PackMs.ReadHeap
+	}
+	if snap.PackMs.OpenMmap > 0 {
+		snap.SpeedupVsReencode.OpenMmap = reencode / snap.PackMs.OpenMmap
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Encoded-dataset store audit (%d SNPs x %d samples) -> %s ==\n",
+		storeSNPs, storeSamples, outPath)
+	t := report.NewTable("", "step", "cold ms", "packed ms")
+	t.AddRowf("parse text", snap.ColdMs.ParseText, "-")
+	t.AddRowf("binarize (V1 planes)", snap.ColdMs.Binarize, "adopted")
+	t.AddRowf("split (V2+ planes)", snap.ColdMs.Split, "adopted")
+	t.AddRowf("words32 tiled", snap.ColdMs.Words32, "lazy")
+	t.AddRowf("class planes", snap.ColdMs.ClassPlanes, "lazy")
+	t.AddRowf("pack load (heap)", "-", snap.PackMs.ReadHeap)
+	t.AddRowf("pack load (mmap)", "-", snap.PackMs.OpenMmap)
+	if err := render(t); err != nil {
+		return err
+	}
+	w := report.NewTable("bytes on wire", "format", "bytes")
+	w.AddRowf("text", snap.WireBytes.Text)
+	w.AddRowf("binary", snap.WireBytes.Binary)
+	w.AddRowf("pack (.tpack)", snap.WireBytes.Pack)
+	if err := render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "packed load vs re-encode: %.1fx (heap), %.1fx (mmap, mapped=%v)\n",
+		snap.SpeedupVsReencode.ReadHeap, snap.SpeedupVsReencode.OpenMmap, snap.Mapped)
+
+	// The audit gate: loading prebuilt encodings must beat rebuilding
+	// them, on both load paths.
+	if snap.SpeedupVsReencode.ReadHeap <= 1 {
+		return fmt.Errorf("heap pack load (%.2f ms) is not faster than re-encoding (%.2f ms)",
+			snap.PackMs.ReadHeap, reencode)
+	}
+	if snap.SpeedupVsReencode.OpenMmap <= 1 {
+		return fmt.Errorf("mmap pack load (%.2f ms) is not faster than re-encoding (%.2f ms)",
+			snap.PackMs.OpenMmap, reencode)
+	}
+	return nil
 }

@@ -1,10 +1,12 @@
 // datagen generates synthetic case-control SNP datasets in the trigene
-// text or binary format, optionally planting a third-order interaction.
+// text, binary or packed .tpack format, optionally planting a
+// third-order interaction.
 //
 // Usage:
 //
 //	datagen -snps 1000 -samples 4000 -seed 1 -out data.tg
 //	datagen -snps 256 -samples 2048 -interact 10,70,200 -model xor -out planted.tgb -format binary
+//	datagen -snps 1000 -samples 4000 -out data.tpack -format pack   # pre-encoded; searches start in ms
 package main
 
 import (
@@ -43,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	low := fs.Float64("low", 0.1, "low case probability of the penetrance model")
 	high := fs.Float64("high", 0.9, "high case probability of the penetrance model")
 	out := fs.String("out", "", "output path (default stdout)")
-	format := fs.String("format", "text", "output format: text or binary")
+	format := fs.String("format", "text", "output format: text, binary or pack (pre-encoded .tpack)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,8 +92,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		err = trigene.WriteText(w, mx)
 	case "binary":
 		err = trigene.WriteBinary(w, mx)
+	case "pack":
+		var sess *trigene.Session
+		if sess, err = trigene.NewSession(mx); err == nil {
+			err = sess.WritePack(w)
+		}
 	default:
-		err = fmt.Errorf("unknown format %q (want text or binary)", *format)
+		err = fmt.Errorf("unknown format %q (want text, binary or pack)", *format)
 	}
 	if f != nil {
 		if cerr := f.Close(); err == nil {

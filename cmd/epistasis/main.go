@@ -1,6 +1,7 @@
 // epistasis runs an exhaustive epistasis search on a dataset file
-// (trigene text or binary format, PLINK .ped or VCF; the binary magic
-// is auto-detected) through the unified Session/Backend API.
+// (trigene text or binary format, packed .tpack, PLINK .ped or VCF;
+// magic bytes are auto-detected) through the unified Session/Backend
+// API.
 //
 // Usage:
 //
@@ -12,6 +13,8 @@
 //	epistasis -in data.tg -shard 0/4             # evaluate one shard of the space
 //	epistasis -in data.tg -auto                  # model-driven autotuning (prints the plan)
 //	epistasis -in data.tg -energy-budget 95      # autotune under a power cap
+//	epistasis -in data.tg -pack data.tpack       # pre-encode offline; later runs mmap it
+//	epistasis -in data.tpack                     # search a packed dataset (starts in ms)
 package main
 
 import (
@@ -57,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	auto := fs.Bool("auto", false, "model-driven autotuning: the planner picks backend/approach/grain/split from the paper's models and the chosen plan is printed")
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto; the plan records the DVFS operating point)")
 	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
+	packOut := fs.String("pack", "", "pre-encode the dataset into this .tpack file and exit (no search)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,19 +75,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("missing required -in")
 	}
-	mx, err := readDataset(*in, *informat, *phenPath)
+	sess, err := datafile.ReadSession(*in, *informat, *phenPath)
 	if err != nil {
 		return err
 	}
-	controls, cases := mx.ClassCounts()
+	defer sess.Close()
+	controls, cases := sess.ClassCounts()
+	if *packOut != "" {
+		return writePack(sess, *packOut, stderr)
+	}
 	if !*jsonOut {
 		fmt.Fprintf(stdout, "dataset: %d SNPs x %d samples (%d controls / %d cases)\n",
-			mx.SNPs(), mx.Samples(), controls, cases)
-	}
-
-	sess, err := trigene.NewSession(mx)
-	if err != nil {
-		return err
+			sess.SNPs(), sess.Samples(), controls, cases)
 	}
 
 	onGPU := *gpuID != ""
@@ -178,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		return writeJSON(stdout, summarize(mx, rep, pValue))
+		return writeJSON(stdout, summarize(sess, rep, pValue))
 	}
 	printPlan(stdout, rep)
 	printReport(stdout, rep)
@@ -290,8 +293,8 @@ type jsonSummary struct {
 	Report *trigene.Report   `json:"report"`
 }
 
-func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSummary {
-	controls, cases := mx.ClassCounts()
+func summarize(sess *trigene.Session, rep *trigene.Report, pValue *float64) jsonSummary {
+	controls, cases := sess.ClassCounts()
 	mode := fmt.Sprintf("%d-way", rep.Order)
 	if rep.Order == 3 {
 		mode += " " + rep.Approach
@@ -299,8 +302,8 @@ func summarize(mx *trigene.Matrix, rep *trigene.Report, pValue *float64) jsonSum
 	return jsonSummary{
 		Mode:         mode,
 		Backend:      rep.Backend,
-		SNPs:         mx.SNPs(),
-		Samples:      mx.Samples(),
+		SNPs:         sess.SNPs(),
+		Samples:      sess.Samples(),
 		Controls:     controls,
 		Cases:        cases,
 		Objective:    rep.Objective,
@@ -325,6 +328,27 @@ func printPValue(w io.Writer, p *float64, permutations int) {
 	}
 }
 
-func readDataset(path, format, phenPath string) (*trigene.Matrix, error) {
-	return datafile.Read(path, format, phenPath)
+// writePack pre-encodes the loaded dataset into a .tpack file, so a
+// later epistasis/trigened run (or a cluster worker's pack cache)
+// starts searching without re-parsing or re-binarizing.
+func writePack(sess *trigene.Session, path string, stderr io.Writer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = sess.WritePack(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fi, statErr := os.Stat(path)
+	size := int64(0)
+	if statErr == nil {
+		size = fi.Size()
+	}
+	fmt.Fprintf(stderr, "packed %d SNPs x %d samples into %s (%d bytes, hash %.12s…)\n",
+		sess.SNPs(), sess.Samples(), path, size, sess.DatasetHash())
+	return nil
 }

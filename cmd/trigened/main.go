@@ -4,6 +4,8 @@
 //	trigened serve  -addr :9321                 # run the coordinator
 //	trigened worker -coordinator http://c:9321  # contribute a worker
 //	trigened worker -coordinator http://c:9321 -capacity 8          # weighted leasing
+//	trigened worker -coordinator http://c:9321 -cache-entries 8 -cache-dir /var/cache/trigene
+//	trigened pack   -in data.tg -out data.tpack # pre-encode a dataset offline
 //	trigened submit -coordinator http://c:9321 -in data.tg -tiles 64 -name scan1
 //	trigened submit -coordinator http://c:9321 -in data.tg -auto    # plan-aware job
 //	trigened submit -coordinator http://c:9321 -in data.tg -wait    # block, print the Report
@@ -61,6 +63,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return runServe(ctx, rest, stdout, stderr)
 	case "worker":
 		return runWorker(ctx, rest, stdout, stderr)
+	case "pack":
+		return runPack(rest, stdout, stderr)
 	case "submit":
 		return runSubmit(ctx, rest, stdout, stderr)
 	case "status":
@@ -84,6 +88,7 @@ func usage(w io.Writer) {
 modes:
   serve    run the coordinator (job queue + tile leases)
   worker   lease and execute tiles against a coordinator
+  pack     pre-encode a dataset into the packed .tpack format
   submit   submit a dataset + search spec as a job
   status   show the job queue, or one job
   result   print a finished job's merged Report JSON
@@ -154,6 +159,8 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	id := fs.String("id", "", "worker name in coordinator logs (default host:pid)")
 	capacity := fs.Float64("capacity", 0, "advertised relative capability for weighted leasing (0 = this host's core count); fast workers get proportionally bigger tile batches")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
+	cacheEntries := fs.Int("cache-entries", 4, "bound of the in-memory per-dataset Session LRU")
+	cacheDir := fs.String("cache-dir", "", "directory persisting fetched datasets as <hash>.tpack (empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress per-tile logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,12 +179,17 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if *quiet {
 		logf = nil
 	}
+	if *cacheEntries < 1 {
+		return fmt.Errorf("cache-entries must be at least 1, got %d", *cacheEntries)
+	}
 	w := &cluster.Worker{
-		Client:   cluster.NewClient(*coord),
-		ID:       *id,
-		Capacity: *capacity,
-		Poll:     *poll,
-		Logf:     logf,
+		Client:       cluster.NewClient(*coord),
+		ID:           *id,
+		Capacity:     *capacity,
+		Poll:         *poll,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		Logf:         logf,
 	}
 	fmt.Fprintf(stdout, "worker polling %s\n", *coord)
 	if err := w.Run(ctx); err != nil && err != context.Canceled {
@@ -214,10 +226,11 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		fs.Usage()
 		return fmt.Errorf("missing required -coordinator / -in")
 	}
-	mx, err := datafile.Read(*in, *informat, *phenPath)
+	sess, err := datafile.ReadSession(*in, *informat, *phenPath)
 	if err != nil {
 		return err
 	}
+	defer sess.Close()
 	spec := trigene.SearchSpec{
 		Order:             *order,
 		TopK:              *topK,
@@ -229,7 +242,7 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		EnergyBudgetWatts: *energyBudget,
 	}
 	cl := cluster.NewClient(*coord)
-	id, err := cl.Submit(ctx, mx, spec, *tiles, *name)
+	id, err := cl.SubmitSession(ctx, sess, spec, *tiles, *name)
 	if err != nil {
 		return err
 	}
@@ -242,6 +255,44 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return err
 	}
 	return writeJSON(stdout, rep)
+}
+
+// ---------------------------------------------------------------------
+// pack
+
+func runPack(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trigened pack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input dataset path (required; '-' for stdin)")
+	informat := fs.String("informat", "auto", datafile.FormatsHelp)
+	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample)")
+	out := fs.String("out", "", "output .tpack path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return fmt.Errorf("missing required -in / -out")
+	}
+	sess, err := datafile.ReadSession(*in, *informat, *phenPath)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	err = sess.WritePack(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "packed %d SNPs x %d samples into %s (hash %.12s…)\n",
+		sess.SNPs(), sess.Samples(), *out, sess.DatasetHash())
+	return nil
 }
 
 // ---------------------------------------------------------------------

@@ -153,7 +153,7 @@ func TestGPUPointsFromSimulator(t *testing.T) {
 	model := GPUModel(gi2(t))
 	var pts []Point
 	for k := gpusim.K1Naive; k <= gpusim.K4Tiled; k++ {
-		res, err := runner.Search(mx, gpusim.Options{Kernel: k})
+		res, err := runner.Search(encStore(mx), gpusim.Options{Kernel: k})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,16 @@
+package carm
+
+import (
+	"trigene/internal/dataset"
+	"trigene/internal/store"
+)
+
+// encStore wraps a test matrix in an encoded-dataset store, panicking
+// on invalid fixtures (tests construct only valid matrices).
+func encStore(mx *dataset.Matrix) *store.Store {
+	st, err := store.New(mx)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}

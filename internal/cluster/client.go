@@ -76,6 +76,28 @@ func (c *Client) Submit(ctx context.Context, mx *trigene.Matrix, spec trigene.Se
 	return resp.ID, nil
 }
 
+// SubmitSession uploads a session's dataset in the packed .tpack form
+// — exact for sessions opened from a pack, and sparing the coordinator
+// the one-time encode either way — as a new job cut into the given
+// number of tiles, returning the job ID.
+func (c *Client) SubmitSession(ctx context.Context, sess *trigene.Session, spec trigene.SearchSpec, tiles int, name string) (string, error) {
+	var data bytes.Buffer
+	if err := sess.WritePack(&data); err != nil {
+		return "", fmt.Errorf("packing dataset: %w", err)
+	}
+	var resp SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", SubmitRequest{
+		Name:    name,
+		Spec:    spec,
+		Tiles:   tiles,
+		Dataset: data.Bytes(),
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
 // Jobs lists every job the coordinator retains, in submission order.
 func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	var list JobList

@@ -23,7 +23,7 @@
 //	POST /v1/jobs                  submit a job (spec + tiles + dataset)
 //	GET  /v1/jobs                  list job statuses
 //	GET  /v1/jobs/{id}             one job's status
-//	GET  /v1/jobs/{id}/dataset     the job's dataset (trigene binary format)
+//	GET  /v1/jobs/{id}/dataset     the job's dataset (packed .tpack bytes)
 //	GET  /v1/jobs/{id}/result      the merged Report (409 until done)
 //	POST /v1/jobs/{id}/cancel      cancel a running job
 //	POST /v1/lease                 acquire a tile lease (204 when none)
@@ -64,8 +64,10 @@ type SubmitRequest struct {
 	Spec trigene.SearchSpec `json:"spec"`
 	// Tiles is how many lease units the space is cut into (≥ 1).
 	Tiles int `json:"tiles"`
-	// Dataset is the dataset in the trigene binary format (base64 in
-	// JSON).
+	// Dataset is the dataset in the trigene binary format or the
+	// packed .tpack format (base64 in JSON). The coordinator holds and
+	// serves it packed either way, encoding a binary submission exactly
+	// once so workers never re-binarize.
 	Dataset []byte `json:"dataset"`
 }
 
@@ -126,10 +128,11 @@ type LeaseGrant struct {
 	// Job is the job the tile belongs to; its dataset is at
 	// /v1/jobs/{job}/dataset.
 	Job string `json:"job"`
-	// DatasetSHA256 is the hex SHA-256 of the job's dataset bytes.
-	// Workers key their per-job Session caches on it (job IDs restart
-	// from j1 with the coordinator, a fingerprint never aliases) and
-	// verify the fetched bytes against it.
+	// DatasetSHA256 is the hex SHA-256 content hash of the job's
+	// dataset (the encoded-dataset store's identity, format
+	// independent). Workers key their per-job Session caches on it (job
+	// IDs restart from j1 with the coordinator, a fingerprint never
+	// aliases) and verify the fetched dataset against it.
 	DatasetSHA256 string `json:"datasetSha256"`
 	// Spec is the job's search configuration.
 	Spec trigene.SearchSpec `json:"spec"`

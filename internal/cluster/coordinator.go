@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"bytes"
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +13,7 @@ import (
 
 	"trigene"
 	"trigene/internal/sched"
+	"trigene/internal/store"
 )
 
 // Config tunes a Coordinator. The zero value is usable.
@@ -95,8 +95,8 @@ type job struct {
 	state    string
 	err      string
 
-	dataset       []byte // released when the job leaves StateRunning
-	datasetSHA    string // hex SHA-256 of dataset
+	dataset       []byte // packed .tpack bytes; released when the job leaves StateRunning
+	datasetSHA    string // dataset content hash (Session.DatasetHash)
 	snps, samples int
 
 	leases  *sched.LeaseTable
@@ -167,14 +167,36 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
 		return
 	}
-	mx, err := trigene.ReadBinary(bytes.NewReader(req.Dataset))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
-		return
-	}
-	if _, err := trigene.NewSession(mx); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
-		return
+	// Accept the dataset as trigene binary or pre-encoded .tpack, and
+	// hold (and serve) it packed either way: the coordinator encodes a
+	// binary submission exactly once, so every worker that fetches the
+	// job starts from the shared encodings instead of re-binarizing.
+	var sess *trigene.Session
+	var packed []byte
+	if store.IsPack(req.Dataset) {
+		s, err := trigene.ReadPack(bytes.NewReader(req.Dataset))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
+			return
+		}
+		sess, packed = s, req.Dataset
+	} else {
+		mx, err := trigene.ReadBinary(bytes.NewReader(req.Dataset))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
+			return
+		}
+		s, err := trigene.NewSession(mx)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid dataset: %v", err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.WritePack(&buf); err != nil {
+			writeErr(w, http.StatusInternalServerError, "packing dataset: %v", err)
+			return
+		}
+		sess, packed = s, buf.Bytes()
 	}
 
 	c.mu.Lock()
@@ -185,10 +207,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		spec:       req.Spec,
 		tiles:      req.Tiles,
 		state:      StateRunning,
-		dataset:    req.Dataset,
-		datasetSHA: fmt.Sprintf("%x", sha256.Sum256(req.Dataset)),
-		snps:       mx.SNPs(),
-		samples:    mx.Samples(),
+		dataset:    packed,
+		datasetSHA: sess.DatasetHash(),
+		snps:       sess.SNPs(),
+		samples:    sess.Samples(),
 		leases:     sched.NewLeaseTable(req.Tiles),
 		reports:    make([]*trigene.Report, req.Tiles),
 		grantee:    make(map[int]string),

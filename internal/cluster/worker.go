@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"trigene"
+	"trigene/internal/store"
 )
 
 // Worker executes leased tiles against one coordinator: it acquires a
@@ -35,6 +37,15 @@ type Worker struct {
 	// Poll is the idle wait between lease attempts when the
 	// coordinator has no work or is unreachable (default 500ms).
 	Poll time.Duration
+	// CacheEntries bounds the in-memory LRU of per-dataset Sessions
+	// (default 4). Each entry holds a dataset's decoded encodings, so
+	// the bound is the worker's memory ceiling across job grants.
+	CacheEntries int
+	// CacheDir, when set, persists fetched datasets as
+	// <contentHash>.tpack files there and checks it before asking the
+	// coordinator, so a restarted worker (or several workers sharing a
+	// disk) skips both the fetch and the re-encode.
+	CacheDir string
 	// Logf receives worker events (default: discard).
 	Logf func(format string, args ...any)
 
@@ -42,12 +53,12 @@ type Worker struct {
 	// (the heartbeat goroutine reads it while the search loop writes).
 	rate atomic.Uint64
 
-	// sessions caches Sessions by dataset fingerprint so a worker
-	// binarizes each dataset once, not once per tile. The key is the
-	// grant's DatasetSHA256, never the job ID: job IDs restart from j1
-	// with the coordinator, and a long-lived worker must not execute a
-	// new job against a stale cached dataset (identical datasets across
-	// jobs dedupe for free instead).
+	// sessions caches Sessions by dataset content hash so a worker
+	// decodes each dataset once, not once per tile. The key is the
+	// grant's DatasetSHA256 (the store content hash), never the job ID:
+	// job IDs restart from j1 with the coordinator, and a long-lived
+	// worker must not execute a new job against a stale cached dataset
+	// (identical datasets across jobs dedupe for free instead).
 	sessions sessionCache
 }
 
@@ -70,30 +81,51 @@ func (w *Worker) observe(d time.Duration) {
 	w.rate.Store(math.Float64bits(next))
 }
 
-// sessionCache is a small insertion-ordered cache of per-dataset
-// Sessions.
+// sessionCache is a bounded LRU of per-dataset Sessions: keys is
+// recency-ordered (least recent first), and evicted sessions are
+// Closed so pack-mapped ones release their mappings.
 type sessionCache struct {
+	cap  int
 	keys []string
 	vals map[string]*trigene.Session
 }
 
-const sessionCacheCap = 4
+const defaultSessionCacheCap = 4
 
 func (sc *sessionCache) get(id string) (*trigene.Session, bool) {
 	s, ok := sc.vals[id]
+	if ok {
+		sc.touch(id)
+	}
 	return s, ok
+}
+
+// touch moves id to the most-recent end.
+func (sc *sessionCache) touch(id string) {
+	for i, k := range sc.keys {
+		if k == id {
+			sc.keys = append(append(sc.keys[:i:i], sc.keys[i+1:]...), id)
+			return
+		}
+	}
 }
 
 func (sc *sessionCache) put(id string, s *trigene.Session) {
 	if sc.vals == nil {
 		sc.vals = make(map[string]*trigene.Session)
 	}
+	if sc.cap <= 0 {
+		sc.cap = defaultSessionCacheCap
+	}
 	if _, ok := sc.vals[id]; ok {
 		sc.vals[id] = s
+		sc.touch(id)
 		return
 	}
-	if len(sc.keys) >= sessionCacheCap {
-		delete(sc.vals, sc.keys[0])
+	for len(sc.keys) >= sc.cap {
+		victim := sc.keys[0]
+		sc.vals[victim].Close()
+		delete(sc.vals, victim)
 		sc.keys = sc.keys[1:]
 	}
 	sc.keys = append(sc.keys, id)
@@ -116,6 +148,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	if w.Capacity <= 0 {
 		w.Capacity = 1
+	}
+	if w.CacheEntries > 0 {
+		w.sessions.cap = w.CacheEntries
 	}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -353,32 +388,110 @@ func (hb *heartbeats) stop() {
 	<-hb.done
 }
 
-// session returns the cached Session for a grant's dataset, fetching,
-// verifying and binarizing it on first use.
+// session returns the cached Session for a grant's dataset. On a cache
+// miss it tries the on-disk pack cache, then fetches from the
+// coordinator — packed .tpack bytes, decoded without re-binarizing —
+// and verifies the loaded dataset's content hash against the grant
+// before trusting it.
 func (w *Worker) session(ctx context.Context, grant LeaseGrant) (*trigene.Session, error) {
 	if s, ok := w.sessions.get(grant.DatasetSHA256); ok {
+		return s, nil
+	}
+	if s := w.sessionFromDisk(grant.DatasetSHA256); s != nil {
+		w.sessions.put(grant.DatasetSHA256, s)
 		return s, nil
 	}
 	raw, err := w.Client.dataset(ctx, grant.Job)
 	if err != nil {
 		return nil, err
 	}
-	if sum := fmt.Sprintf("%x", sha256.Sum256(raw)); sum != grant.DatasetSHA256 {
-		// The job behind this ID changed under us (coordinator restart
-		// between grant and fetch); abandon rather than compute on the
-		// wrong data.
-		return nil, fmt.Errorf("dataset fingerprint mismatch: fetched %.12s…, lease names %.12s…", sum, grant.DatasetSHA256)
+	var s *trigene.Session
+	if store.IsPack(raw) {
+		s, err = trigene.ReadPack(bytes.NewReader(raw))
+	} else {
+		// Compatibility: an old coordinator serving the raw binary form.
+		var mx *trigene.Matrix
+		if mx, err = trigene.ReadBinary(bytes.NewReader(raw)); err == nil {
+			s, err = trigene.NewSession(mx)
+		}
 	}
-	mx, err := trigene.ReadBinary(bytes.NewReader(raw))
 	if err != nil {
 		return nil, err
 	}
-	s, err := trigene.NewSession(mx)
-	if err != nil {
-		return nil, err
+	// Verify the fetched dataset against the grant: this coordinator
+	// names the content hash; an old one hashed the raw bytes, so the
+	// binary-compat path accepts that fingerprint too.
+	contentMatch := s.DatasetHash() == grant.DatasetSHA256
+	if !contentMatch {
+		if legacy := fmt.Sprintf("%x", sha256.Sum256(raw)); legacy != grant.DatasetSHA256 {
+			// The job behind this ID changed under us (coordinator
+			// restart between grant and fetch); abandon rather than
+			// compute on the wrong data.
+			return nil, fmt.Errorf("dataset fingerprint mismatch: fetched %.12s… (content %.12s…), lease names %.12s…",
+				legacy, s.DatasetHash(), grant.DatasetSHA256)
+		}
+	}
+	if contentMatch {
+		// Only content-hash-named packs go to disk: a legacy byte-hash
+		// key would fail sessionFromDisk's self-check on reload.
+		w.persistPack(grant.DatasetSHA256, raw, s)
 	}
 	w.sessions.put(grant.DatasetSHA256, s)
 	return s, nil
+}
+
+// sessionFromDisk loads <hash>.tpack from the worker's pack cache,
+// discarding entries that fail to load or hash to something else.
+func (w *Worker) sessionFromDisk(hash string) *trigene.Session {
+	if w.CacheDir == "" {
+		return nil
+	}
+	path := filepath.Join(w.CacheDir, hash+".tpack")
+	s, err := trigene.OpenPack(path)
+	if err != nil {
+		return nil
+	}
+	if s.DatasetHash() != hash {
+		s.Close()
+		w.Logf("pack cache: %s names the wrong dataset; removing", path)
+		os.Remove(path)
+		return nil
+	}
+	w.Logf("dataset %.12s…: loaded from pack cache", hash)
+	return s
+}
+
+// persistPack writes a verified dataset into the pack cache (atomic
+// rename so concurrent workers sharing the directory never read a
+// torn file). Failures only cost the cache, not the tile.
+func (w *Worker) persistPack(hash string, raw []byte, s *trigene.Session) {
+	if w.CacheDir == "" {
+		return
+	}
+	if err := os.MkdirAll(w.CacheDir, 0o755); err != nil {
+		w.Logf("pack cache: %v", err)
+		return
+	}
+	tmp, err := os.CreateTemp(w.CacheDir, hash+".*.tmp")
+	if err != nil {
+		w.Logf("pack cache: %v", err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if store.IsPack(raw) {
+		_, err = tmp.Write(raw)
+	} else {
+		err = s.WritePack(tmp)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(w.CacheDir, hash+".tpack"))
+	}
+	if err != nil {
+		w.Logf("pack cache: %v", err)
+	}
 }
 
 // renewOnce heartbeats the lease, carrying the current capability

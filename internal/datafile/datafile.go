@@ -2,9 +2,10 @@
 // for format dispatch and magic-byte auto-detection, so cmd/epistasis
 // and cmd/trigened cannot drift apart on which inputs they accept.
 //
-// Supported formats: the trigene text and binary formats, PLINK .ped,
-// PLINK additive-recode .raw, and the VCF subset (which needs a
-// phenotype sidecar file, since VCF carries no case-control status).
+// Supported formats: the trigene text and binary formats, the packed
+// encoded-dataset .tpack format, PLINK .ped, PLINK additive-recode
+// .raw, and the VCF subset (which needs a phenotype sidecar file,
+// since VCF carries no case-control status).
 package datafile
 
 import (
@@ -15,14 +16,18 @@ import (
 	"os"
 	"strings"
 
+	"trigene"
 	"trigene/internal/dataset"
+	"trigene/internal/store"
 )
 
 // Read loads the dataset at path ("-" for stdin). format is "auto",
-// "ped", "raw" or "vcf"; auto-detection distinguishes the trigene
-// binary format (TGB1 magic), .raw (a FID header, space- or
-// tab-delimited), VCF (## meta lines or a #CHROM header) and falls
-// back to the trigene text format. phenPath names the VCF phenotype
+// "ped", "raw", "vcf" or "pack"; auto-detection distinguishes the
+// trigene binary format (TGB1 magic), the packed .tpack format (TPK1
+// magic), .raw (a FID header, space- or tab-delimited), VCF (## meta
+// lines or a #CHROM header) and falls back to the trigene text
+// format. Tools that search should prefer ReadSession, which keeps a
+// pack's prebuilt encodings instead of just its matrix. phenPath names the VCF phenotype
 // sidecar (one 0/1 per sample, whitespace separated).
 func Read(path, format, phenPath string) (*dataset.Matrix, error) {
 	var r io.Reader
@@ -50,6 +55,12 @@ func Read(path, format, phenPath string) (*dataset.Matrix, error) {
 func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 	br := bufio.NewReader(r)
 	switch format {
+	case "pack":
+		st, err := store.ReadPack(br)
+		if err != nil {
+			return nil, err
+		}
+		return st.Matrix(), nil
 	case "ped":
 		return dataset.ReadPED(br)
 	case "raw":
@@ -64,6 +75,12 @@ func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 		switch {
 		case bytes.Equal(magic, []byte("TGB1")):
 			return dataset.ReadBinary(br)
+		case store.IsPack(magic):
+			st, err := store.ReadPack(br)
+			if err != nil {
+				return nil, err
+			}
+			return st.Matrix(), nil
 		case isRawHeader(magic):
 			return dataset.ReadRAW(br)
 		case magic[0] == '#' && magic[1] == '#', bytes.Equal(magic, []byte("#CHR")):
@@ -72,12 +89,78 @@ func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 			return dataset.ReadText(br)
 		}
 	default:
-		return nil, fmt.Errorf("unknown input format %q (want auto, ped, raw or vcf)", format)
+		return nil, fmt.Errorf("unknown input format %q (want auto, ped, raw, vcf or pack)", format)
 	}
 }
 
 // FormatsHelp is the shared -informat flag description.
-const FormatsHelp = "input format: auto (trigene text/binary, VCF or .raw), ped, raw, vcf"
+const FormatsHelp = "input format: auto (trigene text/binary, .tpack, VCF or .raw), ped, raw, vcf or pack"
+
+// ReadSession loads the dataset at path ("-" for stdin) as a
+// ready-to-search Session. A packed .tpack input (format "pack", or
+// auto-detected from the TPK1 magic) opens the encoded-dataset store
+// directly — memory-mapped for files, so no re-parse and no
+// re-binarization; every other format parses a matrix and builds a
+// fresh Session around it.
+func ReadSession(path, format, phenPath string) (*trigene.Session, error) {
+	if path != "-" && (format == "pack" || (format == "auto" && isPackFile(path))) {
+		sess, err := trigene.OpenPack(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return sess, nil
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	sess, err := ReadSessionFrom(r, format, phenPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return sess, nil
+}
+
+// ReadSessionFrom decodes a Session from a stream with the same
+// dispatch as ReadSession (heap-backed for packs; streams cannot be
+// memory-mapped).
+func ReadSessionFrom(r io.Reader, format, phenPath string) (*trigene.Session, error) {
+	br := bufio.NewReader(r)
+	if format == "pack" {
+		return trigene.ReadPack(br)
+	}
+	if format == "auto" {
+		if magic, err := br.Peek(4); err == nil && store.IsPack(magic) {
+			return trigene.ReadPack(br)
+		}
+	}
+	mx, err := ReadFrom(br, format, phenPath)
+	if err != nil {
+		return nil, err
+	}
+	return trigene.NewSession(mx)
+}
+
+// isPackFile sniffs a file's magic for the packed format.
+func isPackFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return store.IsPack(magic[:])
+}
 
 // isRawHeader detects a PLINK .raw header from the first four bytes:
 // "FID" followed by any field separator (plink emits spaces, plink2

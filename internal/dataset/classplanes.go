@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+
+	"trigene/internal/bitvec"
+)
+
+// ClassPlanes is the MPI3SNP-style data layout: per phenotype class,
+// all three genotype bit planes of every SNP are stored (no NOR
+// inference). The baseline backend consumes it; the encoded-dataset
+// store memoizes it so repeated baseline runs build it once.
+type ClassPlanes struct {
+	M      int
+	words  [2]int
+	planes [2][]uint64 // [class] -> (snp*3+g)*words
+}
+
+// BuildClassPlanes converts a genotype matrix into the per-class
+// three-plane form. Sample order within each class follows the
+// original sample order.
+func BuildClassPlanes(mx *Matrix) *ClassPlanes {
+	m := mx.SNPs()
+	controls, cases := mx.ClassCounts()
+	cp := &ClassPlanes{M: m}
+	sizes := [2]int{controls, cases}
+	for c := 0; c < 2; c++ {
+		cp.words[c] = bitvec.WordsFor(sizes[c])
+		cp.planes[c] = make([]uint64, m*3*cp.words[c])
+	}
+	var pos [2]int
+	for j := 0; j < mx.Samples(); j++ {
+		c := int(mx.Phen(j))
+		p := pos[c]
+		pos[c]++
+		for i := 0; i < m; i++ {
+			g := int(mx.Geno(i, j))
+			w := cp.words[c]
+			cp.planes[c][(i*3+g)*w+p/64] |= 1 << (uint(p) % 64)
+		}
+	}
+	return cp
+}
+
+// ClassWords returns the 64-bit words per plane for the given class.
+func (cp *ClassPlanes) ClassWords(class int) int { return cp.words[class] }
+
+// Plane returns the words of genotype plane g (0, 1 or 2) of the given
+// SNP for the given class. The slice aliases internal storage.
+func (cp *ClassPlanes) Plane(class, snp, g int) []uint64 {
+	if class < 0 || class > 1 || snp < 0 || snp >= cp.M || g < 0 || g > 2 {
+		panic(fmt.Sprintf("dataset: class plane (%d,%d,%d) out of range", class, snp, g))
+	}
+	w := cp.words[class]
+	off := (snp*3 + g) * w
+	return cp.planes[class][off : off+w]
+}

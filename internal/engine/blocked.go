@@ -20,7 +20,7 @@ import (
 // sub-search whose results merge bit-exactly — the property that makes
 // V3/V4 shardable at all.
 func (s *Searcher) runBlocked(o Options) (*Result, error) {
-	m := s.mx.SNPs()
+	m := s.st.SNPs()
 	bs := o.BlockSNPs
 	if bs > m {
 		bs = m
@@ -75,7 +75,7 @@ func (s *Searcher) runBlocked(o Options) (*Result, error) {
 func (s *Searcher) blockSpaceCombos(src sched.Source, bs, nb int) int64 {
 	b := src.Bounds()
 	if b.Lo == 0 && b.Hi == combin.Triples(nb+2) {
-		return combin.Triples(s.mx.SNPs())
+		return combin.Triples(s.st.SNPs())
 	}
 	var total int64
 	for rank := b.Lo; rank < b.Hi; rank++ {
@@ -88,7 +88,7 @@ func (s *Searcher) blockSpaceCombos(src sched.Source, bs, nb int) int64 {
 // blockTripleCombos counts the strict combinations (i0 < i1 < i2) with
 // i0 in block b0, i1 in block b1, i2 in block b2 (b0 <= b1 <= b2).
 func (s *Searcher) blockTripleCombos(b0, b1, b2, bs int) int64 {
-	m := s.mx.SNPs()
+	m := s.st.SNPs()
 	l0 := int64(blockLim(b0*bs, bs, m))
 	l1 := int64(blockLim(b1*bs, bs, m))
 	l2 := int64(blockLim(b2*bs, bs, m))
@@ -108,6 +108,7 @@ func (s *Searcher) blockTripleCombos(b0, b1, b2, bs int) int64 {
 type blockWorker struct {
 	s      *Searcher
 	o      *Options
+	split  *dataset.Split
 	bs     int
 	nb     int
 	a      *arena
@@ -129,6 +130,7 @@ func newBlockWorker(s *Searcher, o *Options, bs, nb int) *blockWorker {
 	return &blockWorker{
 		s:      s,
 		o:      o,
+		split:  s.st.Split(),
 		bs:     bs,
 		nb:     nb,
 		a:      getArena(o.Objective, o.TopK, bs*bs*bs),
@@ -154,7 +156,7 @@ func (w *blockWorker) tile(t sched.Tile) int64 {
 // with i0 in block b0, i1 in block b1, i2 in block b2, and returns how
 // many combinations it scored.
 func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
-	m := w.s.mx.SNPs()
+	m := w.s.st.SNPs()
 	bs := w.bs
 	base0, base1, base2 := b0*bs, b1*bs, b2*bs
 	lim0, lim1, lim2 := blockLim(base0, bs, m), blockLim(base1, bs, m), blockLim(base2, bs, m)
@@ -164,7 +166,7 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 		tables[i] = contingency.Table{}
 	}
 
-	split := w.s.split
+	split := w.split
 	bw := w.o.BlockWords
 	for class := 0; class < 2; class++ {
 		words := split.Words[class]

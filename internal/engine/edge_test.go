@@ -94,7 +94,7 @@ func TestExtremeClassImbalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := gpusim.New(gn1).Search(mx, gpusim.Options{})
+	g, err := gpusim.New(gn1).Search(encStore(mx), gpusim.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

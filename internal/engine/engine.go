@@ -34,6 +34,7 @@ import (
 	"trigene/internal/dataset"
 	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/store"
 )
 
 // Approach selects one of the paper's four CPU pipelines.
@@ -304,39 +305,52 @@ func TileParams(l1Bytes int) (blockSNPs, blockWords int) {
 	return bs, bw
 }
 
-// Searcher runs exhaustive searches over one dataset, reusing the
-// binarized forms across runs. It is safe for concurrent use once
-// constructed (runs themselves are internally parallel).
+// Searcher runs exhaustive searches over one dataset through its
+// encoded-dataset store, which builds each binarized form lazily and
+// memoizes it across runs: a V1 run materializes only the naive
+// three-plane form, every other approach only the phenotype-split
+// form. It is safe for concurrent use once constructed (runs
+// themselves are internally parallel).
 type Searcher struct {
-	mx    *dataset.Matrix
-	bin   *dataset.Binarized
-	split *dataset.Split
+	st *store.Store
 }
 
-// New validates the dataset and precomputes both binarized forms.
+// New validates the dataset and wraps it in a fresh encoded-dataset
+// store. No encoding is built until the first run needs it.
 func New(mx *dataset.Matrix) (*Searcher, error) {
 	if mx.SNPs() < 3 {
 		return nil, fmt.Errorf("engine: need at least 3 SNPs, have %d", mx.SNPs())
 	}
-	if err := mx.Validate(); err != nil {
+	st, err := store.New(mx)
+	if err != nil {
 		return nil, err
 	}
-	return &Searcher{
-		mx:    mx,
-		bin:   dataset.Binarize(mx),
-		split: dataset.SplitBinarize(mx),
-	}, nil
+	return NewFromStore(st)
 }
 
-// Matrix returns the dataset the searcher was built from.
-func (s *Searcher) Matrix() *dataset.Matrix { return s.mx }
+// NewFromStore wraps an existing encoded-dataset store (a Session's,
+// or one loaded from a .tpack) so its memoized encodings are shared
+// instead of rebuilt.
+func NewFromStore(st *store.Store) (*Searcher, error) {
+	if st.SNPs() < 3 {
+		return nil, fmt.Errorf("engine: need at least 3 SNPs, have %d", st.SNPs())
+	}
+	return &Searcher{st: st}, nil
+}
 
-// Split exposes the phenotype-split form (used by the GPU simulator to
-// avoid rebuilding it).
-func (s *Searcher) Split() *dataset.Split { return s.split }
+// Matrix returns the dataset the searcher was built from (decoding it
+// on stores loaded from a pack).
+func (s *Searcher) Matrix() *dataset.Matrix { return s.st.Matrix() }
 
-// Binarized exposes the naive three-plane form.
-func (s *Searcher) Binarized() *dataset.Binarized { return s.bin }
+// Store exposes the searcher's encoded-dataset store.
+func (s *Searcher) Store() *store.Store { return s.st }
+
+// Split exposes the phenotype-split form, building it on first use.
+func (s *Searcher) Split() *dataset.Split { return s.st.Split() }
+
+// Binarized exposes the naive three-plane form, building it on first
+// use.
+func (s *Searcher) Binarized() *dataset.Binarized { return s.st.Binarized() }
 
 // Search is a convenience wrapper: build a Searcher and run once.
 func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
@@ -349,7 +363,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 
 // Run executes an exhaustive search with the given options.
 func (s *Searcher) Run(opts Options) (*Result, error) {
-	o, err := opts.withDefaults(s.mx.Samples())
+	o, err := opts.withDefaults(s.st.Samples())
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +380,7 @@ func (s *Searcher) Run(opts Options) (*Result, error) {
 	}
 	// Combinations is the count the workers actually scored, which is
 	// the claimed share of the space on sharded and shared-cursor runs.
-	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.st.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / secs

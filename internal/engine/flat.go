@@ -5,6 +5,7 @@ import (
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
+	"trigene/internal/dataset"
 	"trigene/internal/sched"
 )
 
@@ -17,7 +18,7 @@ func (s *Searcher) runFlat(o Options) (*Result, error) {
 	res := &Result{}
 	cur := o.Tiles
 	if cur == nil {
-		src, space, err := flatSpace(combin.Triples(s.mx.SNPs()), &o)
+		src, space, err := flatSpace(combin.Triples(s.st.SNPs()), &o)
 		if err != nil {
 			return nil, err
 		}
@@ -28,9 +29,20 @@ func (s *Searcher) runFlat(o Options) (*Result, error) {
 		}
 	}
 
+	// Resolve exactly the encoding this approach consumes — V1 the
+	// naive three-plane form, V2 the phenotype-split form — once,
+	// before the pool starts; the store memoizes it for every later
+	// run.
+	var bin *dataset.Binarized
+	var split *dataset.Split
+	if o.Approach == V1Naive {
+		bin = s.st.Binarized()
+	} else {
+		split = s.st.Split()
+	}
 	workers := make([]*flatWorker, o.Workers)
 	for w := range workers {
-		workers[w] = &flatWorker{s: s, o: &o, m: s.mx.SNPs(), a: getArena(o.Objective, o.TopK, 0)}
+		workers[w] = &flatWorker{o: &o, m: s.st.SNPs(), bin: bin, split: split, a: getArena(o.Objective, o.TopK, 0)}
 	}
 	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
 		if o.Meter == nil {
@@ -89,10 +101,11 @@ func flatGrain(ranks int64, o *Options) int64 {
 // the reusable table and top-K, so the steady-state tile loop
 // allocates nothing.
 type flatWorker struct {
-	s *Searcher
-	o *Options
-	m int
-	a *arena
+	o     *Options
+	m     int
+	bin   *dataset.Binarized // V1 only
+	split *dataset.Split     // V2 only
+	a     *arena
 }
 
 // tile scores every combination rank in [t.Lo, t.Hi) and returns the
@@ -103,9 +116,9 @@ func (w *flatWorker) tile(t sched.Tile) int64 {
 	i, j, k := combin.UnrankTriple(t.Lo, w.m)
 	for r := t.Lo; r < t.Hi; r++ {
 		if naive {
-			w.a.tab = contingency.BuildNaive(w.s.bin, i, j, k)
+			w.a.tab = contingency.BuildNaive(w.bin, i, j, k)
 		} else {
-			w.a.tab = contingency.BuildSplit(w.s.split, i, j, k)
+			w.a.tab = contingency.BuildSplit(w.split, i, j, k)
 		}
 		w.a.top.offer(Candidate{
 			Triple: Triple{I: i, J: j, K: k},

@@ -23,18 +23,24 @@ type HotLoop struct {
 // tiles for V3/V4.
 func (s *Searcher) NewHotLoop(opts Options) (*HotLoop, error) {
 	opts.Workers = 1
-	o, err := opts.withDefaults(s.mx.Samples())
+	o, err := opts.withDefaults(s.st.Samples())
 	if err != nil {
 		return nil, err
 	}
 	if o.Shard != nil || o.RankRange != nil || o.Tiles != nil {
 		return nil, fmt.Errorf("engine: HotLoop probes the full space")
 	}
-	m := s.mx.SNPs()
+	m := s.st.SNPs()
 	switch o.Approach {
 	case V1Naive, V2Split:
+		fw := &flatWorker{o: &o, m: m, a: getArena(o.Objective, o.TopK, 0)}
+		if o.Approach == V1Naive {
+			fw.bin = s.st.Binarized()
+		} else {
+			fw.split = s.st.Split()
+		}
 		return &HotLoop{
-			flat: &flatWorker{s: s, o: &o, m: m, a: getArena(o.Objective, o.TopK, 0)},
+			flat: fw,
 			src:  sched.Flat(combin.Triples(m), 1),
 		}, nil
 	default:

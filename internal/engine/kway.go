@@ -6,6 +6,7 @@ import (
 
 	"trigene/internal/combin"
 	"trigene/internal/contingency"
+	"trigene/internal/dataset"
 	"trigene/internal/sched"
 	"trigene/internal/score"
 	"trigene/internal/topk"
@@ -40,22 +41,22 @@ type KResult struct {
 // score.CellScorer (all built-in objectives do). Shard slices the
 // colexicographic k-combination rank space.
 func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
-	o, err := opts.withDefaults(s.mx.Samples())
+	o, err := opts.withDefaults(s.st.Samples())
 	if err != nil {
 		return nil, err
 	}
 	if order < 2 || order > contingency.MaxOrder {
 		return nil, fmt.Errorf("engine: order %d out of [2,%d]", order, contingency.MaxOrder)
 	}
-	if order > s.mx.SNPs() {
-		return nil, fmt.Errorf("engine: order %d exceeds %d SNPs", order, s.mx.SNPs())
+	if order > s.st.SNPs() {
+		return nil, fmt.Errorf("engine: order %d exceeds %d SNPs", order, s.st.SNPs())
 	}
 	scorer, ok := o.Objective.(score.CellScorer)
 	if !ok {
 		return nil, fmt.Errorf("engine: objective %q cannot score %d-way tables", o.Objective.Name(), order)
 	}
 
-	m := s.mx.SNPs()
+	m := s.st.SNPs()
 	res := &KResult{Order: order}
 	src, space, err := flatSpace(combin.Binomial(m, order), &o)
 	if err != nil {
@@ -69,11 +70,12 @@ func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 	cells := contingency.CellsK(order)
 
 	start := time.Now()
+	split := s.st.Split()
 	workers := make([]*kWorker, o.Workers)
 	for w := range workers {
 		a := getArena(o.Objective, 0, 0)
 		a.sizeK(order, cells)
-		workers[w] = &kWorker{s: s, m: m, a: a, scorer: scorer,
+		workers[w] = &kWorker{split: split, m: m, a: a, scorer: scorer,
 			top: newKTopK(o.Objective, o.TopK)}
 	}
 	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
@@ -95,7 +97,7 @@ func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 	if len(merged.items) > 0 {
 		res.Best = merged.items[0]
 	}
-	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.st.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / secs
@@ -105,7 +107,7 @@ func (s *Searcher) RunK(order int, opts Options) (*KResult, error) {
 
 // kWorker is one consumer of the k-combination tile stream.
 type kWorker struct {
-	s      *Searcher
+	split  *dataset.Split
 	m      int
 	a      *arena
 	scorer score.CellScorer
@@ -120,7 +122,7 @@ func (w *kWorker) tile(t sched.Tile) (int64, error) {
 		for i := range ctrl {
 			ctrl[i], cases[i] = 0, 0
 		}
-		if err := contingency.BuildSplitK(w.s.split, comb, ctrl, cases); err != nil {
+		if err := contingency.BuildSplitK(w.split, comb, ctrl, cases); err != nil {
 			return 0, err
 		}
 		w.top.offer(comb, w.scorer.ScoreCells(ctrl, cases))

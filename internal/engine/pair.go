@@ -51,11 +51,11 @@ type PairResult struct {
 // always used — the pair table is too small for tiling to matter).
 // Shard slices the colexicographic pair-rank space.
 func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
-	o, err := opts.withDefaults(s.mx.Samples())
+	o, err := opts.withDefaults(s.st.Samples())
 	if err != nil {
 		return nil, err
 	}
-	m := s.mx.SNPs()
+	m := s.st.SNPs()
 	res := &PairResult{}
 	src, space, err := flatSpace(combin.Pairs(m), &o)
 	if err != nil {
@@ -68,9 +68,10 @@ func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
 	}
 
 	start := time.Now()
+	split := s.st.Split()
 	workers := make([]*pairWorker, o.Workers)
 	for w := range workers {
-		workers[w] = &pairWorker{s: s, o: &o, m: m, a: getArena(o.Objective, 0, 0),
+		workers[w] = &pairWorker{o: &o, split: split, m: m, a: getArena(o.Objective, 0, 0),
 			top: newPairTopK(o.Objective, o.TopK)}
 	}
 	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
@@ -92,7 +93,7 @@ func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
 	if len(merged.items) > 0 {
 		res.Best = merged.items[0]
 	}
-	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.mx.Samples())
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.st.Samples())
 	res.Stats.Duration = time.Since(start)
 	if secs := res.Stats.Duration.Seconds(); secs > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / secs
@@ -102,11 +103,11 @@ func (s *Searcher) RunPairs(opts Options) (*PairResult, error) {
 
 // pairWorker is one consumer of the pair tile stream.
 type pairWorker struct {
-	s   *Searcher
-	o   *Options
-	m   int
-	a   *arena
-	top *pairTopK
+	o     *Options
+	split *dataset.Split
+	m     int
+	a     *arena
+	top   *pairTopK
 }
 
 // tile scores every pair rank in [t.Lo, t.Hi) and returns the count.
@@ -114,7 +115,7 @@ func (w *pairWorker) tile(t sched.Tile) int64 {
 	obj := w.o.Objective
 	i, j := combin.UnrankPair(t.Lo, w.m)
 	for r := t.Lo; r < t.Hi; r++ {
-		w.a.tab = contingency.BuildSplitPair(w.s.split, i, j)
+		w.a.tab = contingency.BuildSplitPair(w.split, i, j)
 		w.top.offer(PairCandidate{
 			Pair:  Pair{I: i, J: j},
 			Score: obj.Score(&w.a.tab),

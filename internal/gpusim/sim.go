@@ -13,6 +13,7 @@ import (
 	"trigene/internal/device"
 	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/store"
 	"trigene/internal/topk"
 )
 
@@ -216,13 +217,12 @@ func (r *Runner) Device() device.GPU { return r.dev }
 
 // Search runs the exhaustive 3-way search on the simulated device and
 // returns the (bit-exact) best candidate together with the modeled
-// execution statistics.
-func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
-	if mx.SNPs() < 3 {
-		return nil, fmt.Errorf("gpusim: need at least 3 SNPs, have %d", mx.SNPs())
-	}
-	if err := mx.Validate(); err != nil {
-		return nil, err
+// execution statistics. The 32-bit word encodings come from the
+// encoded-dataset store, which builds each (kernel, layout, tile
+// width) form once and shares it across runs, layouts and devices.
+func (r *Runner) Search(st *store.Store, opts Options) (*Result, error) {
+	if st.SNPs() < 3 {
+		return nil, fmt.Errorf("gpusim: need at least 3 SNPs, have %d", st.SNPs())
 	}
 	if opts.Kernel == 0 {
 		opts.Kernel = K4Tiled
@@ -237,7 +237,7 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("gpusim: invalid tile width %d", opts.BS)
 	}
 	if opts.Objective == nil {
-		opts.Objective = score.NewK2(mx.Samples())
+		opts.Objective = score.NewK2(st.Samples())
 	}
 	if opts.TopK == 0 {
 		opts.TopK = 1
@@ -261,23 +261,23 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("gpusim: invalid BSched %d", opts.BSched)
 	}
 
-	st := &simState{
+	sim := &simState{
 		dev:  r.dev,
 		opts: opts,
 		l2:   newLRUCache(r.dev.L2Bytes, opts.L2Ways),
 	}
 	switch opts.Kernel {
 	case K1Naive:
-		st.naive = dataset.BuildNaive32(dataset.Binarize(mx))
+		sim.naive = st.Naive32()
 	case K2Split:
-		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutRowMajor, 0)
+		sim.words = st.Words32(dataset.LayoutRowMajor, 0)
 	case K3Transposed:
-		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutTransposed, 0)
+		sim.words = st.Words32(dataset.LayoutTransposed, 0)
 	case K4Tiled:
-		st.words = dataset.BuildWords32(dataset.SplitBinarize(mx), dataset.LayoutTiled, opts.BS)
+		sim.words = st.Words32(dataset.LayoutTiled, opts.BS)
 	}
 
-	m := mx.SNPs()
+	m := st.SNPs()
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
@@ -350,21 +350,21 @@ func (r *Runner) Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 			if hi > t.Hi {
 				hi = t.Hi
 			}
-			st.runWarp(m, lo, hi)
+			sim.runWarp(m, lo, hi)
 		}
-		st.stats.Combinations += t.Len()
+		sim.stats.Combinations += t.Len()
 		if opts.Meter != nil {
 			opts.Meter.Record(opts.MeterConsumer, t.Len(), time.Since(tileStart))
 		}
 		cur.Finish(t.Len())
 	}
 
-	st.stats.Elements = float64(st.stats.Combinations) * float64(mx.Samples())
-	st.accountScheduling(m)
-	st.finishTiming()
-	res := &Result{Stats: st.stats, TopK: st.top}
-	if len(st.top) > 0 {
-		res.Best = st.top[0]
+	sim.stats.Elements = float64(sim.stats.Combinations) * float64(st.Samples())
+	sim.accountScheduling(m)
+	sim.finishTiming()
+	res := &Result{Stats: sim.stats, TopK: sim.top}
+	if len(sim.top) > 0 {
+		res.Best = sim.top[0]
 	} else {
 		res.Best = Candidate{Score: opts.Objective.Worst()}
 	}

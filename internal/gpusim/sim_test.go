@@ -12,6 +12,7 @@ import (
 	"trigene/internal/device"
 	"trigene/internal/engine"
 	"trigene/internal/sched"
+	"trigene/internal/store"
 )
 
 func randomMatrix(seed int64, m, n int) *dataset.Matrix {
@@ -45,7 +46,7 @@ func TestAllKernelsMatchCPUEngine(t *testing.T) {
 	}
 	r := New(titan())
 	for k := K1Naive; k <= K4Tiled; k++ {
-		res, err := r.Search(mx, Options{Kernel: k})
+		res, err := r.Search(encStore(mx), Options{Kernel: k})
 		if err != nil {
 			t.Fatalf("%v: %v", k, err)
 		}
@@ -68,7 +69,7 @@ func TestOddSampleCountsMatchCPU(t *testing.T) {
 		}
 		r := New(titan())
 		for _, k := range []Kernel{K2Split, K3Transposed, K4Tiled} {
-			res, err := r.Search(mx, Options{Kernel: k})
+			res, err := r.Search(encStore(mx), Options{Kernel: k})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,11 +83,11 @@ func TestOddSampleCountsMatchCPU(t *testing.T) {
 func TestTransposedCoalescesBetterThanRowMajor(t *testing.T) {
 	mx := randomMatrix(82, 24, 512)
 	r := New(titan())
-	rm, err := r.Search(mx, Options{Kernel: K2Split})
+	rm, err := r.Search(encStore(mx), Options{Kernel: K2Split})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := r.Search(mx, Options{Kernel: K3Transposed})
+	tr, err := r.Search(encStore(mx), Options{Kernel: K3Transposed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestTransposedCoalescesBetterThanRowMajor(t *testing.T) {
 func TestSplitReducesOpsAndBytesVsNaive(t *testing.T) {
 	mx := randomMatrix(83, 16, 256)
 	r := New(titan())
-	naive, err := r.Search(mx, Options{Kernel: K1Naive})
+	naive, err := r.Search(encStore(mx), Options{Kernel: K1Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := r.Search(mx, Options{Kernel: K2Split})
+	split, err := r.Search(encStore(mx), Options{Kernel: K2Split})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestModeledPerformanceOrderingV1toV4(t *testing.T) {
 	r := New(titan())
 	var secs [5]float64
 	for k := K1Naive; k <= K4Tiled; k++ {
-		res, err := r.Search(mx, Options{Kernel: k})
+		res, err := r.Search(encStore(mx), Options{Kernel: k})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +161,11 @@ func TestPopcntThroughputDrivesComputeBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := New(gn1).Search(mx, Options{Kernel: K4Tiled})
+	a, err := New(gn1).Search(encStore(mx), Options{Kernel: K4Tiled})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := New(gn2).Search(mx, Options{Kernel: K4Tiled})
+	b, err := New(gn2).Search(encStore(mx), Options{Kernel: K4Tiled})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestPopcntThroughputDrivesComputeBound(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	mx := randomMatrix(86, 8, 128)
 	r := New(titan())
-	res, err := r.Search(mx, Options{Kernel: K3Transposed})
+	res, err := r.Search(encStore(mx), Options{Kernel: K3Transposed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,15 +213,17 @@ func TestOptionValidation(t *testing.T) {
 		{Kernel: K2Split, CoalesceBytes: 2},
 	}
 	for i, o := range bad {
-		if _, err := r.Search(mx, o); err == nil {
+		if _, err := r.Search(encStore(mx), o); err == nil {
 			t.Errorf("options %d accepted", i)
 		}
 	}
-	if _, err := r.Search(randomMatrix(88, 2, 10), Options{}); err == nil {
+	if _, err := r.Search(encStore(randomMatrix(88, 2, 10)), Options{}); err == nil {
 		t.Error("2-SNP dataset accepted")
 	}
+	// Degenerate datasets are rejected when the store is built, before
+	// any engine sees them.
 	oneClass := dataset.NewMatrix(5, 10)
-	if _, err := r.Search(oneClass, Options{}); err == nil {
+	if _, err := store.New(oneClass); err == nil {
 		t.Error("single-class dataset accepted")
 	}
 }
@@ -236,7 +239,7 @@ func TestWarp64DeviceMatchesCPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := New(ga2).Search(mx, Options{Kernel: K4Tiled})
+	res, err := New(ga2).Search(encStore(mx), Options{Kernel: K4Tiled})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +292,7 @@ func TestSchedulingUtilization(t *testing.T) {
 	r := New(titan())
 	// With BSched equal to M there is a single block triple and the
 	// cube holds M^3 slots: utilization = C(M,3)/M^3 ~ 1/6.
-	res, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 40})
+	res, err := r.Search(encStore(mx), Options{Kernel: K4Tiled, BSched: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +307,7 @@ func TestSchedulingUtilization(t *testing.T) {
 		t.Errorf("utilization %.3f, want ~1/6", st.Utilization)
 	}
 	// Smaller scheduling blocks waste fewer guard slots.
-	fine, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 8})
+	fine, err := r.Search(encStore(mx), Options{Kernel: K4Tiled, BSched: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,11 +320,11 @@ func TestSchedulingUtilization(t *testing.T) {
 func TestModelGuardWasteInflatesCycles(t *testing.T) {
 	mx := randomMatrix(91, 24, 256)
 	r := New(titan())
-	plain, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 24})
+	plain, err := r.Search(encStore(mx), Options{Kernel: K4Tiled, BSched: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wasted, err := r.Search(mx, Options{Kernel: K4Tiled, BSched: 24, ModelGuardWaste: true})
+	wasted, err := r.Search(encStore(mx), Options{Kernel: K4Tiled, BSched: 24, ModelGuardWaste: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +335,7 @@ func TestModelGuardWasteInflatesCycles(t *testing.T) {
 	if wasted.Best != plain.Best {
 		t.Error("guard-waste modeling changed results")
 	}
-	if _, err := r.Search(mx, Options{BSched: -2}); err == nil {
+	if _, err := r.Search(encStore(mx), Options{BSched: -2}); err == nil {
 		t.Error("negative BSched accepted")
 	}
 }
@@ -349,7 +352,7 @@ func TestCancelObservedWithinOneTile(t *testing.T) {
 	cur.OnProgress(total, func(done, _ int64) { finished.Store(done) })
 
 	ctx, cancel := context.WithCancel(context.Background())
-	_, err := New(titan()).Search(mx, Options{
+	_, err := New(titan()).Search(encStore(mx), Options{
 		Tiles:   cur,
 		Context: ctx,
 		// Started fires right after the first (whole-space) claim, so
@@ -370,7 +373,7 @@ func TestCancelBeforeStart(t *testing.T) {
 	mx := randomMatrix(8, 16, 128)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := New(titan()).Search(mx, Options{Context: ctx}); !errors.Is(err, context.Canceled) {
+	if _, err := New(titan()).Search(encStore(mx), Options{Context: ctx}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

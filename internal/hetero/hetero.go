@@ -19,13 +19,13 @@ import (
 	"time"
 
 	"trigene/internal/combin"
-	"trigene/internal/dataset"
 	"trigene/internal/device"
 	"trigene/internal/engine"
 	"trigene/internal/gpusim"
 	"trigene/internal/perfmodel"
 	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/store"
 	"trigene/internal/topk"
 )
 
@@ -152,7 +152,7 @@ type Result struct {
 // results. The merge is bit-exact: both halves compute the same
 // tables and scores, and the top-K ordering is the one every backend
 // shares.
-func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
+func Search(st *store.Store, opts Options) (*Result, error) {
 	if opts.CPUDevice.ID == "" {
 		c, err := device.CPUByID("CI3")
 		if err != nil {
@@ -168,7 +168,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		opts.GPUDevice = g
 	}
 	if opts.Objective == nil {
-		opts.Objective = score.NewK2(mx.Samples())
+		opts.Objective = score.NewK2(st.Samples())
 	}
 	if opts.TopK == 0 {
 		opts.TopK = 1
@@ -191,7 +191,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	if opts.Mode != ModeAuto && opts.CPUFraction != 0 {
 		return nil, fmt.Errorf("hetero: CPUFraction %g conflicts with mode %v (the mode owns the placement)", opts.CPUFraction, opts.Mode)
 	}
-	m, n := mx.SNPs(), mx.Samples()
+	m, n := st.SNPs(), st.Samples()
 
 	lo, hi := int64(0), combin.Triples(m)
 	if r := opts.Range; r != nil {
@@ -211,7 +211,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	}
 
 	if opts.Searcher == nil {
-		s, err := engine.New(mx)
+		s, err := engine.NewFromStore(st)
 		if err != nil {
 			return nil, err
 		}
@@ -224,13 +224,13 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	var err error
 	switch {
 	case opts.Mode == ModeAllCPU:
-		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, 1)
+		cpuRes, gpuRes, err = runStatic(st, &opts, lo, hi, 1)
 	case opts.Mode == ModeAllGPU:
-		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, 0)
+		cpuRes, gpuRes, err = runStatic(st, &opts, lo, hi, 0)
 	case opts.CPUFraction == 0:
-		cpuRes, gpuRes, err = runStealing(mx, &opts, lo, hi, out)
+		cpuRes, gpuRes, err = runStealing(st, &opts, lo, hi, out)
 	default:
-		cpuRes, gpuRes, err = runStatic(mx, &opts, lo, hi, opts.CPUFraction)
+		cpuRes, gpuRes, err = runStatic(st, &opts, lo, hi, opts.CPUFraction)
 	}
 	if err != nil {
 		return nil, err
@@ -273,7 +273,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 // multiplier come from the plan seeds when given; a shared throughput
 // meter measures both sides and refines the device's claim span
 // mid-search, recording the realized rates into out.
-func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64, out *Result) (*engine.Result, *gpusim.Result, error) {
+func runStealing(st *store.Store, opts *Options, lo, hi int64, out *Result) (*engine.Result, *gpusim.Result, error) {
 	workers := opts.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -291,7 +291,7 @@ func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64, out *Result) (
 	gpuCh := make(chan gpuOut, 1)
 	claimed := make(chan struct{})
 	go func() {
-		res, err := gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
+		res, err := gpusim.New(opts.GPUDevice).Search(st, gpusim.Options{
 			Kernel:        gpusim.K4Tiled,
 			Objective:     opts.Objective,
 			TopK:          opts.TopK,
@@ -347,7 +347,7 @@ func runStealing(mx *dataset.Matrix, opts *Options, lo, hi int64, out *Result) (
 // concurrently — the paper's throughput-proportional static split,
 // kept for analytical comparisons and forced placements (the one-
 // sided modes are its 0 and 1 endpoints).
-func runStatic(mx *dataset.Matrix, opts *Options, lo, hi int64, frac float64) (*engine.Result, *gpusim.Result, error) {
+func runStatic(st *store.Store, opts *Options, lo, hi int64, frac float64) (*engine.Result, *gpusim.Result, error) {
 	cut := lo + int64(frac*float64(hi-lo))
 	if cut > hi {
 		cut = hi
@@ -377,7 +377,7 @@ func runStatic(mx *dataset.Matrix, opts *Options, lo, hi int64, frac float64) (*
 	var gpuRes *gpusim.Result
 	var gpuErr error
 	if cut < hi {
-		gpuRes, gpuErr = gpusim.New(opts.GPUDevice).Search(mx, gpusim.Options{
+		gpuRes, gpuErr = gpusim.New(opts.GPUDevice).Search(st, gpusim.Options{
 			Kernel:    gpusim.K4Tiled,
 			Objective: opts.Objective,
 			TopK:      opts.TopK,

@@ -34,7 +34,7 @@ func TestHeterogeneousMatchesFullSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, frac := range []float64{0.001, 0.3, 0.5, 0.9, 0.999} {
-		res, err := Search(mx, Options{CPUFraction: frac})
+		res, err := Search(encStore(mx), Options{CPUFraction: frac})
 		if err != nil {
 			t.Fatalf("frac %g: %v", frac, err)
 		}
@@ -55,7 +55,7 @@ func TestHeterogeneousEdgesAllCPUAllGPU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	allCPU, err := Search(mx, Options{Mode: ModeAllCPU})
+	allCPU, err := Search(encStore(mx), Options{Mode: ModeAllCPU})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestHeterogeneousEdgesAllCPUAllGPU(t *testing.T) {
 	if allCPU.CPUFraction != 1 {
 		t.Errorf("all-CPU realized fraction %g", allCPU.CPUFraction)
 	}
-	allGPU, err := Search(mx, Options{Mode: ModeAllGPU})
+	allGPU, err := Search(encStore(mx), Options{Mode: ModeAllGPU})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,20 +84,20 @@ func TestHeterogeneousEdgesAllCPUAllGPU(t *testing.T) {
 // combine with a fraction.
 func TestModeSemantics(t *testing.T) {
 	mx := randomMatrix(127, 10, 100)
-	if _, err := Search(mx, Options{CPUFraction: -1}); err == nil {
+	if _, err := Search(encStore(mx), Options{CPUFraction: -1}); err == nil {
 		t.Error("negative CPUFraction accepted; the all-GPU sentinel is gone")
 	}
-	if _, err := Search(mx, Options{CPUFraction: -0.25}); err == nil {
+	if _, err := Search(encStore(mx), Options{CPUFraction: -0.25}); err == nil {
 		t.Error("negative CPUFraction accepted")
 	}
-	if _, err := Search(mx, Options{Mode: ModeAllGPU, CPUFraction: 0.5}); err == nil {
+	if _, err := Search(encStore(mx), Options{Mode: ModeAllGPU, CPUFraction: 0.5}); err == nil {
 		t.Error("mode + fraction combination accepted")
 	}
-	if _, err := Search(mx, Options{Mode: Mode(99)}); err == nil {
+	if _, err := Search(encStore(mx), Options{Mode: Mode(99)}); err == nil {
 		t.Error("invalid mode accepted")
 	}
 	// CPUFraction 0 still means auto (work-stealing): both sides run.
-	res, err := Search(mx, Options{})
+	res, err := Search(encStore(mx), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestModeSemantics(t *testing.T) {
 		t.Error("auto mode gave the device no work")
 	}
 	// A static fraction has no shared cursor to report.
-	res, err = Search(mx, Options{CPUFraction: 0.5})
+	res, err = Search(encStore(mx), Options{CPUFraction: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPlanSeeds(t *testing.T) {
 	}
 	total := combin.Triples(60)
 	for _, seed := range []int64{260, 1 << 30} {
-		res, err := Search(mx, Options{TopK: 4, Workers: 1, Grain: seed, GPUGrains: 8})
+		res, err := Search(encStore(mx), Options{TopK: 4, Workers: 1, Grain: seed, GPUGrains: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func TestHeterogeneousWorkStealing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Search(mx, Options{})
+	res, err := Search(encStore(mx), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestHeterogeneousTopKMerge(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, frac := range []float64{0, 0.5} {
-		res, err := Search(mx, Options{CPUFraction: frac, TopK: 8})
+		res, err := Search(encStore(mx), Options{CPUFraction: frac, TopK: 8})
 		if err != nil {
 			t.Fatalf("frac %g: %v", frac, err)
 		}
@@ -216,16 +216,16 @@ func TestHeterogeneousTopKMerge(t *testing.T) {
 func TestHeterogeneousShardRange(t *testing.T) {
 	mx := randomMatrix(126, 14, 120)
 	total := combin.Triples(14)
-	full, err := Search(mx, Options{TopK: 5})
+	full, err := Search(encStore(mx), Options{TopK: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	cut := total / 2
-	a, err := Search(mx, Options{TopK: 5, Range: &combin.Range{Lo: 0, Hi: cut}})
+	a, err := Search(encStore(mx), Options{TopK: 5, Range: &combin.Range{Lo: 0, Hi: cut}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Search(mx, Options{TopK: 5, Range: &combin.Range{Lo: cut, Hi: total}})
+	b, err := Search(encStore(mx), Options{TopK: 5, Range: &combin.Range{Lo: cut, Hi: total}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestHeterogeneousShardRange(t *testing.T) {
 			t.Errorf("TopK[%d] = %+v, full %+v", i, merged.items[i], full.TopK[i])
 		}
 	}
-	if _, err := Search(mx, Options{Range: &combin.Range{Lo: 5, Hi: total + 1}}); err == nil {
+	if _, err := Search(encStore(mx), Options{Range: &combin.Range{Lo: 5, Hi: total + 1}}); err == nil {
 		t.Error("out-of-bounds range accepted")
 	}
 }
@@ -262,7 +262,7 @@ func TestHeterogeneousCustomDevices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Search(mx, Options{CPUDevice: ca2, GPUDevice: gi2})
+	res, err := Search(encStore(mx), Options{CPUDevice: ca2, GPUDevice: gi2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,10 +277,10 @@ func TestHeterogeneousCustomDevices(t *testing.T) {
 
 func TestHeterogeneousBadFraction(t *testing.T) {
 	mx := randomMatrix(124, 8, 60)
-	if _, err := Search(mx, Options{CPUFraction: 1.5}); err == nil {
+	if _, err := Search(encStore(mx), Options{CPUFraction: 1.5}); err == nil {
 		t.Error("fraction > 1 accepted")
 	}
-	if _, err := Search(mx, Options{CPUFraction: -0.5}); err == nil {
+	if _, err := Search(encStore(mx), Options{CPUFraction: -0.5}); err == nil {
 		t.Error("negative fraction accepted")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"trigene/internal/dataset"
 	"trigene/internal/sched"
 	"trigene/internal/score"
+	"trigene/internal/store"
 	"trigene/internal/topk"
 )
 
@@ -69,49 +70,13 @@ type Result struct {
 	Stats Stats
 }
 
-// classPlanes is the MPI3SNP data layout: per class, three full genotype
-// bit planes per SNP.
-type classPlanes struct {
-	words  [2]int
-	planes [2][]uint64 // [class] -> (snp*3+g)*words
-}
-
-func buildPlanes(mx *dataset.Matrix) *classPlanes {
-	m := mx.SNPs()
-	controls, cases := mx.ClassCounts()
-	cp := &classPlanes{}
-	sizes := [2]int{controls, cases}
-	for c := 0; c < 2; c++ {
-		cp.words[c] = bitvec.WordsFor(sizes[c])
-		cp.planes[c] = make([]uint64, m*3*cp.words[c])
-	}
-	var pos [2]int
-	for j := 0; j < mx.Samples(); j++ {
-		c := int(mx.Phen(j))
-		p := pos[c]
-		pos[c]++
-		for i := 0; i < m; i++ {
-			g := int(mx.Geno(i, j))
-			w := cp.words[c]
-			cp.planes[c][(i*3+g)*w+p/64] |= 1 << (uint(p) % 64)
-		}
-	}
-	return cp
-}
-
-func (cp *classPlanes) plane(class, snp, g int) []uint64 {
-	w := cp.words[class]
-	off := (snp*3 + g) * w
-	return cp.planes[class][off : off+w]
-}
-
-// Search runs the exhaustive baseline search.
-func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
-	if mx.SNPs() < 3 {
-		return nil, fmt.Errorf("mpi3snp: need at least 3 SNPs, have %d", mx.SNPs())
-	}
-	if err := mx.Validate(); err != nil {
-		return nil, err
+// Search runs the exhaustive baseline search. The per-class
+// three-plane encoding (MPI3SNP's data layout) comes from the
+// encoded-dataset store, which builds it once and shares it across
+// runs.
+func Search(st *store.Store, opts Options) (*Result, error) {
+	if st.SNPs() < 3 {
+		return nil, fmt.Errorf("mpi3snp: need at least 3 SNPs, have %d", st.SNPs())
 	}
 	if opts.Ranks == 0 {
 		opts.Ranks = runtime.GOMAXPROCS(0)
@@ -131,8 +96,8 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	cp := buildPlanes(mx)
-	m := mx.SNPs()
+	cp := st.ClassPlanes()
+	m := st.SNPs()
 	lo, hi := int64(0), combin.Triples(m)
 	if r := opts.Range; r != nil {
 		if r.Lo < 0 || r.Hi < r.Lo || r.Hi > hi {
@@ -166,7 +131,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 		res.Best = merged[0]
 	}
 	res.Stats.Combinations = hi - lo
-	res.Stats.Elements = float64(hi-lo) * float64(mx.Samples())
+	res.Stats.Elements = float64(hi-lo) * float64(st.Samples())
 	res.Stats.Duration = time.Since(start)
 	if s := res.Stats.Duration.Seconds(); s > 0 {
 		res.Stats.ElementsPerSec = res.Stats.Elements / s
@@ -174,7 +139,7 @@ func Search(mx *dataset.Matrix, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func searchRange(ctx context.Context, cp *classPlanes, m int, rg combin.Range, topK int) []Candidate {
+func searchRange(ctx context.Context, cp *dataset.ClassPlanes, m int, rg combin.Range, topK int) []Candidate {
 	var top []Candidate
 	var tab contingency.Table // reused across combinations
 	i, j, k := combin.UnrankTriple(rg.Lo, m)
@@ -184,11 +149,11 @@ func searchRange(ctx context.Context, cp *classPlanes, m int, rg combin.Range, t
 		}
 		for class := 0; class < 2; class++ {
 			for gx := 0; gx < 3; gx++ {
-				x := cp.plane(class, i, gx)
+				x := cp.Plane(class, i, gx)
 				for gy := 0; gy < 3; gy++ {
-					y := cp.plane(class, j, gy)
+					y := cp.Plane(class, j, gy)
 					for gz := 0; gz < 3; gz++ {
-						z := cp.plane(class, k, gz)
+						z := cp.Plane(class, k, gz)
 						tab.Counts[class][contingency.ComboIndex(gx, gy, gz)] =
 							int32(bitvec.PopCountAnd3(x, y, z))
 					}

@@ -9,6 +9,7 @@ import (
 	"trigene/internal/dataset"
 	"trigene/internal/engine"
 	"trigene/internal/score"
+	"trigene/internal/store"
 )
 
 func randomMatrix(seed int64, m, n int) *dataset.Matrix {
@@ -28,7 +29,7 @@ func randomMatrix(seed int64, m, n int) *dataset.Matrix {
 
 func TestBaselineAgreesWithEngineOnMI(t *testing.T) {
 	mx := randomMatrix(100, 18, 230)
-	base, err := Search(mx, Options{Ranks: 3})
+	base, err := Search(encStore(mx), Options{Ranks: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestBaselineTablesMatchReference(t *testing.T) {
 	// The baseline builds tables from three stored planes; spot-check
 	// against the oracle through the MI score of a known triple.
 	mx := randomMatrix(101, 6, 97)
-	base, err := Search(mx, Options{TopK: int(combin.Triples(6))})
+	base, err := Search(encStore(mx), Options{TopK: int(combin.Triples(6))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,12 +73,12 @@ func TestBaselineTablesMatchReference(t *testing.T) {
 
 func TestBaselineRankInvariance(t *testing.T) {
 	mx := randomMatrix(102, 14, 150)
-	base1, err := Search(mx, Options{Ranks: 1, TopK: 5})
+	base1, err := Search(encStore(mx), Options{Ranks: 1, TopK: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, ranks := range []int{2, 5, 9} {
-		res, err := Search(mx, Options{Ranks: ranks, TopK: 5})
+		res, err := Search(encStore(mx), Options{Ranks: ranks, TopK: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestBaselineRankInvariance(t *testing.T) {
 
 func TestBaselineTopKSorted(t *testing.T) {
 	mx := randomMatrix(103, 12, 120)
-	res, err := Search(mx, Options{TopK: 8})
+	res, err := Search(encStore(mx), Options{TopK: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,24 +110,26 @@ func TestBaselineTopKSorted(t *testing.T) {
 }
 
 func TestBaselineValidation(t *testing.T) {
-	if _, err := Search(randomMatrix(104, 2, 10), Options{}); err == nil {
+	if _, err := Search(encStore(randomMatrix(104, 2, 10)), Options{}); err == nil {
 		t.Error("2-SNP dataset accepted")
 	}
-	if _, err := Search(randomMatrix(105, 5, 10), Options{Ranks: -1}); err == nil {
+	if _, err := Search(encStore(randomMatrix(105, 5, 10)), Options{Ranks: -1}); err == nil {
 		t.Error("negative ranks accepted")
 	}
-	if _, err := Search(randomMatrix(106, 5, 10), Options{TopK: -1}); err == nil {
+	if _, err := Search(encStore(randomMatrix(106, 5, 10)), Options{TopK: -1}); err == nil {
 		t.Error("negative TopK accepted")
 	}
+	// Degenerate datasets are rejected when the store is built, before
+	// any engine sees them.
 	oneClass := dataset.NewMatrix(5, 10)
-	if _, err := Search(oneClass, Options{}); err == nil {
+	if _, err := store.New(oneClass); err == nil {
 		t.Error("single-class dataset accepted")
 	}
 }
 
 func TestBaselineStats(t *testing.T) {
 	mx := randomMatrix(107, 10, 64)
-	res, err := Search(mx, Options{})
+	res, err := Search(encStore(mx), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +149,7 @@ func TestBaselinePlantedInteraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Search(mx, Options{})
+	res, err := Search(encStore(mx), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

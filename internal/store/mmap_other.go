@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Open falls back to reading
+// the pack into the heap.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+// munmapBytes matches the unix signature; nothing is ever mapped here.
+func munmapBytes(b []byte) error { return nil }

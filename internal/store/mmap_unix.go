@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. The caller releases the mapping
+// with munmapBytes.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("store: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+// munmapBytes releases a mapping created by mmapFile.
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

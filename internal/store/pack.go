@@ -1,0 +1,354 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"trigene/internal/bitvec"
+	"trigene/internal/dataset"
+)
+
+// The .tpack on-disk format, version 1 (all integers little endian):
+//
+//	offset  size  field
+//	0       4     magic "TPK1"
+//	4       2     format version (1)
+//	6       2     reserved (0)
+//	8       8     total file size in bytes
+//	16      4     M (SNPs)
+//	20      4     N (samples)
+//	24      4     controls
+//	28      4     cases
+//	32      32    SHA-256 content hash (canonical geno+phen sections)
+//	64      4     section count
+//	68      4     reserved (0)
+//	72      24*k  section table: {u32 id, u32 crc32c, u64 off, u64 len}
+//	...           sections, each 8-byte aligned
+//
+// Sections:
+//
+//	geno    packed 2-bit genotypes, row-major, (M*N+3)/4 bytes
+//	phen    packed 1-bit phenotypes, (N+7)/8 bytes
+//	bin     Binarized planes: M*3*WordsFor(N) u64 words
+//	split0  Split class-0 planes: M*2*WordsFor(controls) u64 words
+//	split1  Split class-1 planes: M*2*WordsFor(cases) u64 words
+//
+// The content hash covers the geno and phen sections — the dataset's
+// format-independent identity, derivable from the matrix alone. The
+// plane sections are cached derivations of exactly that content; each
+// section additionally carries a CRC32-C in its table entry, verified
+// on load, so a corrupted plane (disk bit rot, torn copy) is rejected
+// instead of silently changing search results.
+
+// PackMagic is the 4-byte .tpack signature; loaders sniff it to tell
+// packed datasets from raw matrix formats.
+const PackMagic = "TPK1"
+
+const packVersion = 1
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/
+// arm64) used for per-section integrity.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	secGeno = iota + 1
+	secPhen
+	secBin
+	secSplit0
+	secSplit1
+	numSections = 5
+)
+
+const (
+	packHeaderSize   = 72
+	sectionEntrySize = 24
+	tableEnd         = packHeaderSize + numSections*sectionEntrySize
+)
+
+// IsPack reports whether the given prefix (≥ 4 bytes) carries the
+// .tpack magic.
+func IsPack(prefix []byte) bool {
+	return len(prefix) >= 4 && string(prefix[:4]) == PackMagic
+}
+
+// WritePack serializes the store in the packed on-disk format,
+// building (and memoizing) the Binarized and Split encodings if they
+// do not exist yet.
+func (s *Store) WritePack(w io.Writer) error {
+	s.mu.Lock()
+	s.ensurePackedLocked()
+	geno, phen := s.packedGeno, s.packedPhen
+	hash := s.hashLocked()
+	bin := s.binarizedLocked()
+	split := s.splitLocked()
+	s.mu.Unlock()
+
+	var sections [numSections][]byte
+	sections[secGeno-1] = geno
+	sections[secPhen-1] = phen
+	sections[secBin-1] = wordsLEBytes(bin.PlaneData())
+	sections[secSplit0-1] = wordsLEBytes(split.ClassPlaneData(dataset.Control))
+	sections[secSplit1-1] = wordsLEBytes(split.ClassPlaneData(dataset.Case))
+
+	// Lay the sections out 8-byte aligned after the table.
+	offs := make([]uint64, numSections)
+	pos := uint64(tableEnd)
+	for i, sec := range sections {
+		pos = (pos + 7) &^ 7
+		offs[i] = pos
+		pos += uint64(len(sec))
+	}
+	total := (pos + 7) &^ 7
+
+	hdr := make([]byte, tableEnd)
+	copy(hdr[0:], PackMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], packVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], total)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(s.m))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(s.n))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(s.controls))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(s.cases))
+	if _, err := hex32(hash, hdr[32:64]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(hdr[64:], numSections)
+	for i := range sections {
+		e := hdr[packHeaderSize+i*sectionEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], uint32(i+1))
+		binary.LittleEndian.PutUint32(e[4:], crc32.Checksum(sections[i], castagnoli))
+		binary.LittleEndian.PutUint64(e[8:], offs[i])
+		binary.LittleEndian.PutUint64(e[16:], uint64(len(sections[i])))
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	written := uint64(tableEnd)
+	var pad [8]byte
+	for i, sec := range sections {
+		if offs[i] > written {
+			if _, err := bw.Write(pad[:offs[i]-written]); err != nil {
+				return err
+			}
+			written = offs[i]
+		}
+		if _, err := bw.Write(sec); err != nil {
+			return err
+		}
+		written += uint64(len(sec))
+	}
+	if total > written {
+		if _, err := bw.Write(pad[:total-written]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPack decodes a .tpack from a byte stream into a heap-backed
+// Store — the wire path (cluster workers receive pack bytes). Open is
+// the file path with mmap. The stream is buffered once; word sections
+// are viewed in place when the buffer happens to be 8-byte aligned
+// and decode-copied otherwise, so peak memory stays near the pack
+// size instead of a multiple of it.
+func ReadPack(r io.Reader) (*Store, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading pack: %w", err)
+	}
+	return parsePack(raw, nil)
+}
+
+// Open loads a .tpack file, mapping it into memory where the platform
+// supports mmap (the plane encodings then alias the page cache and
+// load in milliseconds) and falling back to a read into the heap. Call
+// Close on the returned Store when done with a mapped pack.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("store: pack %s too large (%d bytes)", path, size)
+	}
+	if hostLittleEndian() {
+		if data, merr := mmapFile(f, int(size)); merr == nil {
+			st, perr := parsePack(data, data)
+			if perr != nil {
+				munmapBytes(data)
+				return nil, fmt.Errorf("store: %s: %w", path, perr)
+			}
+			return st, nil
+		}
+	}
+	buf := alignedBuffer(int(size))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	st, perr := parsePack(buf, nil)
+	if perr != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, perr)
+	}
+	return st, nil
+}
+
+// parsePack validates a complete pack image and assembles a Store
+// whose encodings alias the image (zero copy on little-endian hosts).
+// mapped is the mmap region to release on Close, nil for heap images.
+func parsePack(data []byte, mapped []byte) (*Store, error) {
+	if len(data) < tableEnd {
+		return nil, fmt.Errorf("store: truncated pack: %d bytes, need at least %d", len(data), tableEnd)
+	}
+	if !IsPack(data) {
+		return nil, fmt.Errorf("store: bad magic %q (not a .tpack)", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != packVersion {
+		return nil, fmt.Errorf("store: unsupported pack version %d (this build reads version %d)", v, packVersion)
+	}
+	if sz := binary.LittleEndian.Uint64(data[8:]); sz != uint64(len(data)) {
+		return nil, fmt.Errorf("store: truncated pack: header says %d bytes, have %d", sz, len(data))
+	}
+	m := int(binary.LittleEndian.Uint32(data[16:]))
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	controls := int(binary.LittleEndian.Uint32(data[24:]))
+	cases := int(binary.LittleEndian.Uint32(data[28:]))
+	if m <= 0 || n <= 0 || m > 1<<24 || n > 1<<24 {
+		return nil, fmt.Errorf("store: unreasonable dimensions %dx%d", m, n)
+	}
+	if controls < 0 || cases < 0 || controls+cases != n {
+		return nil, fmt.Errorf("store: class counts %d+%d do not sum to %d samples", controls, cases, n)
+	}
+	if controls == 0 || cases == 0 {
+		return nil, fmt.Errorf("store: degenerate dataset: %d controls, %d cases", controls, cases)
+	}
+	if sc := binary.LittleEndian.Uint32(data[64:]); sc != numSections {
+		return nil, fmt.Errorf("store: pack has %d sections, want %d", sc, numSections)
+	}
+
+	var secs [numSections][]byte
+	for i := 0; i < numSections; i++ {
+		e := data[packHeaderSize+i*sectionEntrySize:]
+		id := binary.LittleEndian.Uint32(e[0:])
+		sum := binary.LittleEndian.Uint32(e[4:])
+		off := binary.LittleEndian.Uint64(e[8:])
+		ln := binary.LittleEndian.Uint64(e[16:])
+		if id != uint32(i+1) {
+			return nil, fmt.Errorf("store: section %d has id %d, want %d", i, id, i+1)
+		}
+		if off%8 != 0 || off < tableEnd || off > uint64(len(data)) || ln > uint64(len(data))-off {
+			return nil, fmt.Errorf("store: section %d [%d,+%d) out of bounds", id, off, ln)
+		}
+		secs[i] = data[off : off+ln]
+		if got := crc32.Checksum(secs[i], castagnoli); got != sum {
+			return nil, fmt.Errorf("store: section %d checksum mismatch (%08x vs %08x): the pack is corrupted", id, got, sum)
+		}
+	}
+
+	geno, phen := secs[secGeno-1], secs[secPhen-1]
+	if len(geno) != (m*n+3)/4 {
+		return nil, fmt.Errorf("store: genotype section holds %d bytes, want %d", len(geno), (m*n+3)/4)
+	}
+	if len(phen) != (n+7)/8 {
+		return nil, fmt.Errorf("store: phenotype section holds %d bytes, want %d", len(phen), (n+7)/8)
+	}
+	if err := validateGeno(geno, m*n); err != nil {
+		return nil, err
+	}
+	if tail := n % 8; tail != 0 && phen[len(phen)-1]>>uint(tail) != 0 {
+		return nil, fmt.Errorf("store: phenotype section has bits beyond sample %d", n)
+	}
+	if pc := popcountBytes(phen); pc != cases {
+		return nil, fmt.Errorf("store: phenotype section has %d cases, header says %d", pc, cases)
+	}
+	wantHash := hex.EncodeToString(data[32:64])
+	if got := contentHash(m, n, geno, phen); got != wantHash {
+		return nil, fmt.Errorf("store: content hash mismatch: header names %.12s…, sections hash to %.12s…", wantHash, got)
+	}
+
+	binWords, err := sectionWords(secs[secBin-1], m*3*bitvec.WordsFor(n), "bin")
+	if err != nil {
+		return nil, err
+	}
+	phenVec, err := phenVector(n, phen)
+	if err != nil {
+		return nil, err
+	}
+	bin, err := dataset.BinarizedFromPlanes(m, n, binWords, phenVec)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var splitPlanes [2][]uint64
+	counts := [2]int{controls, cases}
+	names := [2]string{"split0", "split1"}
+	for c := 0; c < 2; c++ {
+		splitPlanes[c], err = sectionWords(secs[secSplit0-1+c], m*2*bitvec.WordsFor(counts[c]), names[c])
+		if err != nil {
+			return nil, err
+		}
+	}
+	split, err := dataset.SplitFromPlanes(m, counts, splitPlanes)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	return &Store{
+		m: m, n: n, controls: controls, cases: cases,
+		hash:       wantHash,
+		packedGeno: geno,
+		packedPhen: phen,
+		bin:        bin,
+		split:      split,
+		words32:    make(map[words32Key]*dataset.Words32),
+		mapped:     mapped,
+	}, nil
+}
+
+// sectionWords views a section as 64-bit words, checking its length.
+func sectionWords(sec []byte, wantWords int, name string) ([]uint64, error) {
+	if len(sec) != wantWords*8 {
+		return nil, fmt.Errorf("store: %s section holds %d bytes, want %d", name, len(sec), wantWords*8)
+	}
+	return leWords(sec), nil
+}
+
+// validateGeno rejects genotype sections carrying the invalid 2-bit
+// code 3 or stray bits in the tail beyond the last genotype.
+func validateGeno(geno []byte, count int) error {
+	full := count / 4
+	for i := 0; i < full; i++ {
+		if b := geno[i]; (b>>1)&b&0x55 != 0 {
+			return fmt.Errorf("store: invalid packed genotype 3 near index %d", i*4)
+		}
+	}
+	if rem := count % 4; rem != 0 {
+		b := geno[full]
+		if b>>(uint(rem)*2) != 0 {
+			return fmt.Errorf("store: genotype section has bits beyond entry %d", count)
+		}
+		if (b>>1)&b&0x55 != 0 {
+			return fmt.Errorf("store: invalid packed genotype 3 near index %d", full*4)
+		}
+	}
+	return nil
+}
+
+// hex32 decodes a 64-char hex digest into dst (32 bytes).
+func hex32(s string, dst []byte) (int, error) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != 32 {
+		return 0, fmt.Errorf("store: malformed content hash %q", s)
+	}
+	return copy(dst, raw), nil
+}

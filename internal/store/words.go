@@ -1,0 +1,60 @@
+package store
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host stores words little
+// endian, in which case pack sections can be viewed as []uint64
+// without copying.
+func hostLittleEndian() bool {
+	var probe uint16 = 1
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}
+
+// alignedBuffer returns a byte slice of the given length whose backing
+// array is 8-byte aligned, so little-endian word sections inside it
+// can be reinterpreted as []uint64 without copying.
+func alignedBuffer(size int) []byte {
+	if size == 0 {
+		return nil
+	}
+	words := make([]uint64, (size+7)/8)
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), size)
+}
+
+// leWords views a little-endian word section as []uint64. The input
+// length must be a multiple of 8. On little-endian hosts with an
+// aligned base this is a zero-copy reinterpretation (the mmap fast
+// path); otherwise the words are decoded into a fresh slice.
+func leWords(b []byte) []uint64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian() && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// wordsLEBytes serializes words as little-endian bytes. On
+// little-endian hosts it is a zero-copy view of the input.
+func wordsLEBytes(w []uint64) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	if hostLittleEndian() {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*8)
+	}
+	out := make([]byte, len(w)*8)
+	for i, x := range w {
+		binary.LittleEndian.PutUint64(out[i*8:], x)
+	}
+	return out
+}

@@ -3,37 +3,100 @@ package trigene
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"trigene/internal/engine"
 	"trigene/internal/permtest"
+	"trigene/internal/store"
 )
 
 // Session is the unit of work a server holds per loaded dataset: it
-// validates the dataset once, precomputes both binarized forms, and is
-// safe for many concurrent Search and PermutationTest calls (each call
-// is itself internally parallel).
+// validates the dataset once, owns the dataset's encoded-dataset store
+// (every bit-plane encoding is built lazily, exactly once, and shared
+// by all backends), and is safe for many concurrent Search and
+// PermutationTest calls (each call is itself internally parallel).
 type Session struct {
+	store    *store.Store
 	searcher *engine.Searcher
 }
 
-// NewSession validates the dataset and precomputes its binarized
-// forms.
+// NewSession validates the dataset and wraps it in a fresh
+// encoded-dataset store. No encoding is built until a search needs it:
+// a V1-only session materializes just the naive three-plane form, a
+// V2+ session just the phenotype-split form.
 func NewSession(mx *Matrix) (*Session, error) {
 	s, err := engine.New(mx)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{searcher: s}, nil
+	return &Session{store: s.Store(), searcher: s}, nil
 }
 
-// Matrix returns the dataset the session was built from.
-func (s *Session) Matrix() *Matrix { return s.searcher.Matrix() }
+// OpenPack opens a pre-encoded .tpack dataset (see Session.WritePack
+// and the epistasis/trigened/datagen pack modes), memory-mapping it
+// where the platform allows so the session is ready to search in
+// milliseconds without re-parsing or re-binarizing the dataset. Call
+// Close when done with the session.
+func OpenPack(path string) (*Session, error) {
+	st, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := engine.NewFromStore(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Session{store: st, searcher: s}, nil
+}
+
+// ReadPack decodes a .tpack dataset from a byte stream (the wire form
+// cluster workers receive) into a heap-backed session.
+func ReadPack(r io.Reader) (*Session, error) {
+	st, err := store.ReadPack(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := engine.NewFromStore(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{store: st, searcher: s}, nil
+}
+
+// WritePack serializes the session's dataset in the packed .tpack
+// format, building (and memoizing) the hot encodings if they do not
+// exist yet. A pack round-trip preserves the dataset hash and every
+// search result bit for bit.
+func (s *Session) WritePack(w io.Writer) error { return s.store.WritePack(w) }
+
+// DatasetHash returns the hex SHA-256 content hash identifying the
+// session's dataset. Identical matrices hash identically regardless of
+// the format they were loaded from; caches (the cluster worker's
+// session cache, pack caches) key on it.
+func (s *Session) DatasetHash() string { return s.store.Hash() }
+
+// PackMapped reports whether the session's encodings are served from a
+// memory-mapped .tpack.
+func (s *Session) PackMapped() bool { return s.store.Mapped() }
+
+// Close releases the mmap region of a session opened from a .tpack
+// with OpenPack. The session must not be used afterwards. Sessions
+// built any other way need no Close; calling it is a no-op.
+func (s *Session) Close() error { return s.store.Close() }
+
+// Matrix returns the dataset the session was built from (decoding it
+// from the packed sections on pack-loaded sessions).
+func (s *Session) Matrix() *Matrix { return s.store.Matrix() }
 
 // SNPs returns the dataset's SNP count M.
-func (s *Session) SNPs() int { return s.searcher.Matrix().SNPs() }
+func (s *Session) SNPs() int { return s.store.SNPs() }
 
 // Samples returns the dataset's sample count N.
-func (s *Session) Samples() int { return s.searcher.Matrix().Samples() }
+func (s *Session) Samples() int { return s.store.Samples() }
+
+// ClassCounts returns the number of control and case samples.
+func (s *Session) ClassCounts() (controls, cases int) { return s.store.ClassCounts() }
 
 // Search runs one exhaustive interaction search. The zero
 // configuration searches order 3 on the CPU backend with approach V4,

@@ -1,0 +1,122 @@
+package trigene
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"trigene/internal/store"
+)
+
+func internalSession(t *testing.T) *Session {
+	t.Helper()
+	mx, err := Generate(GenConfig{SNPs: 18, Samples: 240, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionBuildsEachEncodingAtMostOnce is the store's core economic
+// guarantee: no matter how many searches a session serves, across
+// every backend, each representation is constructed at most once.
+func TestSessionBuildsEachEncodingAtMostOnce(t *testing.T) {
+	s := internalSession(t)
+	ctx := context.Background()
+	gn1, err := GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := s.store.Builds(); b != (store.Builds{}) {
+		t.Fatalf("NewSession built encodings eagerly: %+v", b)
+	}
+	runs := []struct {
+		name string
+		opts []Option
+	}{
+		{"V1", []Option{WithApproach(V1Naive)}},
+		{"V2", []Option{WithApproach(V2Split)}},
+		{"V4", []Option{WithApproach(V4Vector)}},
+		{"pairs", []Option{WithOrder(2)}},
+		{"4-way", []Option{WithOrder(4)}},
+		{"gpusim", []Option{WithBackend(GPUSim(gn1))}},
+		{"baseline", []Option{WithBackend(Baseline())}},
+		{"hetero", []Option{WithBackend(Hetero())}},
+	}
+	// Two passes: the second must add zero builds anywhere.
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range runs {
+			if _, err := s.Search(ctx, r.opts...); err != nil {
+				t.Fatalf("pass %d %s: %v", pass, r.name, err)
+			}
+		}
+		b := s.store.Builds()
+		// One Binarized (V1), one Split (everything else on the CPU),
+		// one ClassPlanes (baseline), one tiled Words32 (the gpusim and
+		// hetero device halves share GN1's tile width).
+		want := store.Builds{Binarized: 1, Split: 1, ClassPlanes: 1, Words32: 1}
+		if b != want {
+			t.Fatalf("pass %d: builds = %+v, want %+v", pass, b, want)
+		}
+	}
+}
+
+// TestSingleApproachBuildsOneEncoding asserts the lazy split: a
+// session serving only V1 searches never constructs the phenotype-
+// split form, and a V2-only session never constructs the naive
+// three-plane form.
+func TestSingleApproachBuildsOneEncoding(t *testing.T) {
+	ctx := context.Background()
+
+	v1 := internalSession(t)
+	if _, err := v1.Search(ctx, WithApproach(V1Naive)); err != nil {
+		t.Fatal(err)
+	}
+	if b := v1.store.Builds(); b.Binarized != 1 || b.Split != 0 {
+		t.Fatalf("V1-only session builds = %+v; the split form must never be constructed", b)
+	}
+
+	v2 := internalSession(t)
+	if _, err := v2.Search(ctx, WithApproach(V2Split)); err != nil {
+		t.Fatal(err)
+	}
+	if b := v2.store.Builds(); b.Split != 1 || b.Binarized != 0 {
+		t.Fatalf("V2-only session builds = %+v; the naive form must never be constructed", b)
+	}
+
+	v4 := internalSession(t)
+	if _, err := v4.Search(ctx, WithApproach(V4Vector)); err != nil {
+		t.Fatal(err)
+	}
+	if b := v4.store.Builds(); b.Split != 1 || b.Binarized != 0 {
+		t.Fatalf("V4-only session builds = %+v; the naive form must never be constructed", b)
+	}
+}
+
+// TestPackSessionAdoptsEncodings: a pack-loaded session starts with
+// both hot encodings adopted (zero builds) and only ever builds the
+// derived 32-bit forms.
+func TestPackSessionAdoptsEncodings(t *testing.T) {
+	s := internalSession(t)
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := s.WritePack(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range []Approach{V1Naive, V2Split, V4Vector} {
+		if _, err := loaded.Search(ctx, WithApproach(ap)); err != nil {
+			t.Fatalf("%v: %v", ap, err)
+		}
+	}
+	if b := loaded.store.Builds(); b.Binarized != 0 || b.Split != 0 {
+		t.Fatalf("pack-loaded session rebuilt adopted encodings: %+v", b)
+	}
+}

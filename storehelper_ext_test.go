@@ -1,0 +1,16 @@
+package trigene_test
+
+import (
+	"trigene"
+	"trigene/internal/store"
+)
+
+// encStore wraps a benchmark matrix in an encoded-dataset store,
+// panicking on invalid fixtures.
+func encStore(mx *trigene.Matrix) *store.Store {
+	st, err := store.New(mx)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
