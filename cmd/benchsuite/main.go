@@ -23,7 +23,14 @@
 //	                         # representation, plus bytes on the wire raw vs
 //	                         # packed; exits nonzero if a packed load is not
 //	                         # faster than re-encoding or changes any result
-//	benchsuite -exp all      # everything except snapshot, sched, cluster, plan and store
+//	benchsuite -exp durable  # durable-coordinator audit (BENCH_PR6.json):
+//	                         # journal append latency (buffered and fsynced),
+//	                         # snapshot size and recovery time vs job count,
+//	                         # and the lease-grant throughput of a journaling
+//	                         # coordinator vs an in-memory one; exits nonzero
+//	                         # if journaling costs more than 10% of the
+//	                         # grant rate
+//	benchsuite -exp all      # everything except the audit/snapshot experiments
 //
 // Cross-device rows are analytical-model projections (this is a
 // pure-Go, single-host reproduction — see DESIGN.md); host rows are
@@ -38,8 +45,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -58,6 +67,7 @@ import (
 	"trigene/internal/report"
 	"trigene/internal/sched"
 	"trigene/internal/store"
+	"trigene/internal/wal"
 )
 
 var (
@@ -80,7 +90,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -112,6 +122,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"store": func() error {
 			return storeExp(orDefault(*snapOut, "BENCH_PR5.json"))
+		},
+		"durable": func() error {
+			return durableExp(orDefault(*snapOut, "BENCH_PR6.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -1119,6 +1132,367 @@ func storeExp(outPath string) error {
 	if snap.SpeedupVsReencode.OpenMmap <= 1 {
 		return fmt.Errorf("mmap pack load (%.2f ms) is not faster than re-encoding (%.2f ms)",
 			snap.PackMs.OpenMmap, reencode)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// durable-coordinator audit (-exp durable)
+
+// durableRecoveryPoint is one restart measurement: a state directory
+// holding the given number of running jobs, recovered from scratch.
+type durableRecoveryPoint struct {
+	Jobs           int     `json:"jobs"`
+	TilesPerJob    int     `json:"tilesPerJob"`
+	JournalRecords int     `json:"journalRecords"`
+	SnapshotBytes  int64   `json:"snapshotBytes"`
+	RecoveryMs     float64 `json:"recoveryMs"`
+}
+
+// durableSnapshot is the BENCH_PR6.json schema: the raw journal's
+// append cost, recovery cost as the retained state grows, and the
+// lease-grant throughput a journaling coordinator sustains relative to
+// the in-memory one.
+type durableSnapshot struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// Journal is the internal/wal micro-benchmark: the per-record cost
+	// of a buffered Append (the grant path) and of an Append+Sync pair
+	// (the sync-on-ack path a submit or completion pays).
+	Journal struct {
+		PayloadBytes     int     `json:"payloadBytes"`
+		BufferedAppendUs float64 `json:"bufferedAppendUs"`
+		SyncedAppendUs   float64 `json:"syncedAppendUs"`
+	} `json:"journal"`
+
+	// Recovery is snapshot size and Recover() wall time vs job count.
+	Recovery []durableRecoveryPoint `json:"recovery"`
+
+	// LeaseThroughput compares grants/sec over loopback HTTP (the path
+	// workers drive) with journaling on vs off. The audit fails when
+	// Ratio drops below 0.9 — journaling must stay off the grant path's
+	// critical cost (grants are buffered, never fsynced).
+	LeaseThroughput struct {
+		Tiles               int     `json:"tiles"`
+		MemoryGrantsPerSec  float64 `json:"memoryGrantsPerSec"`
+		DurableGrantsPerSec float64 `json:"durableGrantsPerSec"`
+		Ratio               float64 `json:"ratio"`
+	} `json:"leaseThroughput"`
+}
+
+// callJSON drives an http.Handler directly (no sockets): one JSON
+// request in, the decoded JSON body out. Returns the status code; non-
+// 2xx answers come back as errors.
+func callJSON(h http.Handler, method, path string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req := httptest.NewRequest(method, path, body)
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code < 200 || rr.Code > 299 {
+		return rr.Code, fmt.Errorf("%s %s: HTTP %d: %s", method, path, rr.Code, bytes.TrimSpace(rr.Body.Bytes()))
+	}
+	if out != nil && rr.Code != http.StatusNoContent {
+		if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+			return rr.Code, err
+		}
+	}
+	return rr.Code, nil
+}
+
+// submitJob posts one job through the handler and returns its ID.
+func submitJob(h http.Handler, mx *trigene.Matrix, tiles int, name string) (string, error) {
+	var data bytes.Buffer
+	if err := trigene.WriteBinary(&data, mx); err != nil {
+		return "", err
+	}
+	var resp cluster.SubmitResponse
+	_, err := callJSON(h, http.MethodPost, "/v1/jobs", cluster.SubmitRequest{
+		Name:    name,
+		Spec:    trigene.SearchSpec{TopK: 4},
+		Tiles:   tiles,
+		Dataset: data.Bytes(),
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// postJSON posts one JSON request to a live coordinator and decodes
+// the body into out (nil discards it). Returns the status code; non-
+// 2xx answers come back as errors.
+func postJSON(hc *http.Client, url string, in, out any) (int, error) {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// grantRep submits one fresh job to a live coordinator and times
+// draining all its tiles through POST /v1/lease over loopback HTTP —
+// the path workers actually drive, so the measured rate includes the
+// wire cost a real deployment pays per grant. The submit stays outside
+// the timed window: its fsync is the sync-on-ack cost, not the grant
+// path under audit.
+func grantRep(base string, hc *http.Client, mx *trigene.Matrix, tiles int, label string) (float64, error) {
+	cl := cluster.NewClient(base)
+	cl.HTTPClient = hc
+	if _, err := cl.Submit(context.Background(), mx, trigene.SearchSpec{TopK: 4}, tiles, label); err != nil {
+		return 0, err
+	}
+	granted := 0
+	start := time.Now()
+	for granted < tiles {
+		var g cluster.LeaseGrant
+		code, err := postJSON(hc, base+"/v1/lease", cluster.LeaseRequest{Worker: label}, &g)
+		if err != nil {
+			return 0, err
+		}
+		if code == http.StatusNoContent {
+			return 0, fmt.Errorf("%s: coordinator ran dry after %d of %d grants", label, granted, tiles)
+		}
+		if n := len(g.Granted); n > 0 {
+			granted += n
+		} else {
+			granted++
+		}
+	}
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		return 0, fmt.Errorf("%s: no measurable grant rate", label)
+	}
+	return float64(tiles) / secs, nil
+}
+
+// median of a non-empty sample (sorts in place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// durableExp audits the durable coordinator (internal/wal + Recover):
+// raw journal append cost, snapshot size and recovery time as the
+// number of live jobs grows, and — the regression gate — the lease-
+// grant throughput of a journaling coordinator against the in-memory
+// one. Grants are journaled through the buffer only (sync-on-ack
+// covers submits, completions and finishes), so journaling must cost
+// the grant path less than 10%; the run exits nonzero otherwise.
+func durableExp(outPath string) error {
+	snap := durableSnapshot{
+		Schema:     "trigene-durable/1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	root, err := os.MkdirTemp("", "trigene-durable-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// Journal micro-benchmark. The payload is shaped like the grant
+	// record the coordinator journals most often.
+	payload := []byte(`{"t":"grant","job":"j1","tile":12,"seq":4096,"attempt":1,"worker":"bench-w0","ns":1700000000000000000}`)
+	l, err := wal.Open(filepath.Join(root, "journal"))
+	if err != nil {
+		return err
+	}
+	const bufferedAppends = 8192
+	start := time.Now()
+	for i := 0; i < bufferedAppends; i++ {
+		if err := l.Append(payload); err != nil {
+			return err
+		}
+	}
+	bufDur := time.Since(start)
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	const syncedAppends = 128
+	start = time.Now()
+	for i := 0; i < syncedAppends; i++ {
+		if err := l.Append(payload); err != nil {
+			return err
+		}
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	syncDur := time.Since(start)
+	if err := l.Close(); err != nil {
+		return err
+	}
+	snap.Journal.PayloadBytes = len(payload)
+	snap.Journal.BufferedAppendUs = float64(bufDur) / float64(time.Microsecond) / bufferedAppends
+	snap.Journal.SyncedAppendUs = float64(syncDur) / float64(time.Microsecond) / syncedAppends
+
+	// Recovery vs job count: J running jobs (distinct datasets, so the
+	// pack store holds J packs), coordinator closed, then Recover timed
+	// cold — replay, pack reload and the post-recovery compaction.
+	const recoveryTiles = 8
+	for _, jobs := range []int{1, 4, 16} {
+		cfg := cluster.Config{
+			LeaseTTL: time.Minute,
+			StateDir: filepath.Join(root, fmt.Sprintf("state-%d", jobs)),
+		}
+		co, err := cluster.Recover(cfg)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < jobs; i++ {
+			mx, err := trigene.Generate(trigene.GenConfig{
+				SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed + int64(1000*jobs+i),
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := submitJob(co, mx, recoveryTiles, fmt.Sprintf("recov-%d-%d", jobs, i)); err != nil {
+				return err
+			}
+		}
+		if err := co.Close(); err != nil {
+			return err
+		}
+		jl, err := wal.Open(cfg.StateDir)
+		if err != nil {
+			return err
+		}
+		records := len(jl.Records())
+		if err := jl.Close(); err != nil {
+			return err
+		}
+		start := time.Now()
+		co2, err := cluster.Recover(cfg)
+		if err != nil {
+			return err
+		}
+		recoveryMs := float64(time.Since(start)) / float64(time.Millisecond)
+		fi, err := os.Stat(filepath.Join(cfg.StateDir, "snapshot.snap"))
+		if err != nil {
+			return fmt.Errorf("recovery left no snapshot: %w", err)
+		}
+		if err := co2.Close(); err != nil {
+			return err
+		}
+		snap.Recovery = append(snap.Recovery, durableRecoveryPoint{
+			Jobs:           jobs,
+			TilesPerJob:    recoveryTiles,
+			JournalRecords: records,
+			SnapshotBytes:  fi.Size(),
+			RecoveryMs:     recoveryMs,
+		})
+	}
+
+	// Lease-grant throughput, journaling off vs on.
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	const leaseTiles = 512
+	hc := &http.Client{}
+	memCo := cluster.NewCoordinator(cluster.Config{LeaseTTL: 10 * time.Minute})
+	memSrv := httptest.NewServer(memCo)
+	defer memSrv.Close()
+	durCo, err := cluster.Recover(cluster.Config{
+		LeaseTTL: 10 * time.Minute,
+		StateDir: filepath.Join(root, "lease-state"),
+	})
+	if err != nil {
+		return err
+	}
+	defer durCo.Close()
+	durSrv := httptest.NewServer(durCo)
+	defer durSrv.Close()
+	// Warm-up: the first grants fault in the JSON machinery, connection
+	// pool and scheduler paths, and must not bill either side.
+	if _, err := grantRep(memSrv.URL, hc, mx, leaseTiles, "bench-warmup-mem"); err != nil {
+		return err
+	}
+	if _, err := grantRep(durSrv.URL, hc, mx, leaseTiles, "bench-warmup-durable"); err != nil {
+		return err
+	}
+	// Paired reps: each rep measures both coordinators back to back and
+	// contributes one durable/memory ratio, so clock-frequency drift and
+	// scheduler hiccups hit both sides of a pair alike; the gate is the
+	// median of the per-pair ratios.
+	var memRates, durRates, ratios []float64
+	for r := 0; r < storeBenchReps; r++ {
+		m, err := grantRep(memSrv.URL, hc, mx, leaseTiles, fmt.Sprintf("bench-mem-%d", r))
+		if err != nil {
+			return err
+		}
+		d, err := grantRep(durSrv.URL, hc, mx, leaseTiles, fmt.Sprintf("bench-durable-%d", r))
+		if err != nil {
+			return err
+		}
+		memRates = append(memRates, m)
+		durRates = append(durRates, d)
+		ratios = append(ratios, d/m)
+	}
+	memRate, durRate := median(memRates), median(durRates)
+	snap.LeaseThroughput.Tiles = leaseTiles
+	snap.LeaseThroughput.MemoryGrantsPerSec = memRate
+	snap.LeaseThroughput.DurableGrantsPerSec = durRate
+	snap.LeaseThroughput.Ratio = median(ratios)
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Durable coordinator audit -> %s ==\n", outPath)
+	jt := report.NewTable("journal append (payload "+fmt.Sprint(snap.Journal.PayloadBytes)+" B)",
+		"path", "µs/record")
+	jt.AddRowf("buffered (grant path)", snap.Journal.BufferedAppendUs)
+	jt.AddRowf("append+fsync (sync-on-ack)", snap.Journal.SyncedAppendUs)
+	if err := render(jt); err != nil {
+		return err
+	}
+	rt := report.NewTable("recovery vs job count", "jobs", "journal records", "snapshot bytes", "recovery ms")
+	for _, p := range snap.Recovery {
+		rt.AddRowf(p.Jobs, p.JournalRecords, p.SnapshotBytes, p.RecoveryMs)
+	}
+	if err := render(rt); err != nil {
+		return err
+	}
+	lt := report.NewTable(fmt.Sprintf("lease-grant throughput (%d tiles/job, median of %d)", leaseTiles, storeBenchReps),
+		"coordinator", "grants/s", "vs memory")
+	lt.AddRowf("in-memory", snap.LeaseThroughput.MemoryGrantsPerSec, report.Speedup(1))
+	lt.AddRowf("journaling", snap.LeaseThroughput.DurableGrantsPerSec, report.Speedup(snap.LeaseThroughput.Ratio))
+	if err := render(lt); err != nil {
+		return err
+	}
+
+	if snap.LeaseThroughput.Ratio < 0.9 {
+		return fmt.Errorf("journaling regresses lease-grant throughput beyond 10%%: %.0f/s vs %.0f/s (median paired ratio %.3f, want >= 0.9)",
+			durRate, memRate, snap.LeaseThroughput.Ratio)
 	}
 	return nil
 }

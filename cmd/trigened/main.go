@@ -2,6 +2,7 @@
 // role of the distributed tile-leasing deployment.
 //
 //	trigened serve  -addr :9321                 # run the coordinator
+//	trigened serve  -addr :9321 -state-dir /var/lib/trigene  # durable: journal + snapshots
 //	trigened worker -coordinator http://c:9321  # contribute a worker
 //	trigened worker -coordinator http://c:9321 -capacity 8          # weighted leasing
 //	trigened worker -coordinator http://c:9321 -cache-entries 8 -cache-dir /var/cache/trigene
@@ -19,6 +20,14 @@
 // merges their Reports bit-exactly (see the README's "Cluster
 // architecture" section). `trigened result` emits the same stable
 // Report JSON as `epistasis -json`.
+//
+// With -state-dir the coordinator is durable: every state transition
+// is journaled, and a crashed (even SIGKILLed) coordinator restarted
+// on the same directory resumes its jobs without re-executing
+// completed tiles. Workers drain elastically: the first SIGTERM lets
+// the current tile batch finish, hands remaining leases back for
+// immediate re-issue and exits 0; a second SIGTERM (or SIGINT)
+// cancels outright.
 package main
 
 import (
@@ -44,7 +53,13 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("trigened: ")
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Workers intercept SIGTERM themselves (first drains, second
+	// cancels — see runWorker); every other mode treats it as a stop.
+	sigs := []os.Signal{os.Interrupt, syscall.SIGTERM}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		sigs = []os.Signal{os.Interrupt}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), sigs...)
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
@@ -107,6 +122,8 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	ttl := fs.Duration("lease-ttl", 15*time.Second, "tile lease duration; workers renew at a third of it")
 	attempts := fs.Int("max-attempts", 5, "lease re-issues per tile before the job fails")
 	retain := fs.Int("retain", 64, "finished jobs kept (with results) before eviction")
+	stateDir := fs.String("state-dir", "", "durability root: journal every state transition there and recover from it on start (empty = in-memory)")
+	snapEvery := fs.Int("snapshot-every", 256, "journal records between state snapshots (with -state-dir)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,12 +132,24 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if *quiet {
 		logf = nil
 	}
-	co := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:    *ttl,
-		MaxAttempts: *attempts,
-		Retain:      *retain,
-		Logf:        logf,
-	})
+	cfg := cluster.Config{
+		LeaseTTL:      *ttl,
+		MaxAttempts:   *attempts,
+		Retain:        *retain,
+		Logf:          logf,
+		StateDir:      *stateDir,
+		SnapshotEvery: *snapEvery,
+	}
+	var co *cluster.Coordinator
+	if *stateDir != "" {
+		var err error
+		if co, err = cluster.Recover(cfg); err != nil {
+			return err
+		}
+		defer co.Close()
+	} else {
+		co = cluster.NewCoordinator(cfg)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -191,8 +220,31 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		CacheDir:     *cacheDir,
 		Logf:         logf,
 	}
+	// Elastic drain: the first SIGTERM lets the current tile batch
+	// finish, hands remaining leases back for immediate re-issue and
+	// exits 0; a second SIGTERM cancels outright (SIGINT always
+	// cancels, via ctx).
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	term := make(chan os.Signal, 2)
+	signal.Notify(term, syscall.SIGTERM)
+	defer signal.Stop(term)
+	go func() {
+		select {
+		case <-term:
+		case <-wctx.Done():
+			return
+		}
+		fmt.Fprintln(stderr, "trigened: SIGTERM: draining — finishing the current batch (SIGTERM again to cancel)")
+		w.Drain(wctx)
+		select {
+		case <-term:
+			cancel()
+		case <-wctx.Done():
+		}
+	}()
 	fmt.Fprintf(stdout, "worker polling %s\n", *coord)
-	if err := w.Run(ctx); err != nil && err != context.Canceled {
+	if err := w.Run(wctx); err != nil && err != context.Canceled {
 		return err
 	}
 	return nil
@@ -218,9 +270,14 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	workers := fs.Int("workers", 0, "per-worker host parallelism (0 = all cores)")
 	auto := fs.Bool("auto", false, "model-driven autotuning: every worker plans the tile for its own host; the merged Report records the plan")
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto)")
+	maxWorkers := fs.Int("max-workers", 0, "cap how many distinct workers may hold live leases on this job at once (0 = unlimited)")
+	deadline := fs.Duration("deadline", 0, "wall-clock budget from submission; the coordinator fails the job past it (0 = none)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its Report JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxWorkers < 0 || *deadline < 0 {
+		return fmt.Errorf("-max-workers and -deadline must be ≥ 0")
 	}
 	if *coord == "" || *in == "" {
 		fs.Usage()
@@ -240,6 +297,8 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		Workers:           *workers,
 		AutoTune:          *auto || *energyBudget > 0,
 		EnergyBudgetWatts: *energyBudget,
+		MaxWorkers:        *maxWorkers,
+		DeadlineMillis:    deadline.Milliseconds(),
 	}
 	cl := cluster.NewClient(*coord)
 	id, err := cl.SubmitSession(ctx, sess, spec, *tiles, *name)
@@ -330,8 +389,17 @@ func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) err
 			if w.TilesPerSec > 0 {
 				rate = fmt.Sprintf("%.2f tiles/s", w.TilesPerSec)
 			}
-			fmt.Fprintf(stdout, "%-24s cap %-6.4g %-14s %d/%d tiles done\n",
-				w.ID, w.Capacity, rate, w.Completed, w.Granted)
+			// Heartbeat age tells an operator at a glance which workers
+			// are live, which are presumed dead, and which are leaving.
+			health := fmt.Sprintf("seen %s ago", (time.Duration(w.AgeMs) * time.Millisecond).Round(time.Millisecond))
+			if w.Stale {
+				health += " STALE"
+			}
+			if w.Draining {
+				health += " draining"
+			}
+			fmt.Fprintf(stdout, "%-24s cap %-6.4g %-14s %d/%d tiles done  %s\n",
+				w.ID, w.Capacity, rate, w.Completed, w.Granted, health)
 		}
 		return nil
 	}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"trigene"
 )
@@ -218,5 +219,145 @@ func TestTrigenedErrors(t *testing.T) {
 	// help is not an error.
 	if err := run(ctx, []string{"help"}, io.Discard, io.Discard); err != nil {
 		t.Errorf("help: %v", err)
+	}
+}
+
+// startDurableDaemon runs `trigened serve -state-dir` on the given
+// address and returns the scraped base URL plus an explicit stop (also
+// registered as cleanup) so a test can restart the daemon mid-job.
+func startDurableDaemon(t *testing.T, addr, stateDir string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"serve", "-addr", addr, "-quiet", "-lease-ttl", "2s",
+			"-retain", "8", "-state-dir", stateDir}, pw, io.Discard)
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading serve banner: %v", err)
+	}
+	url, ok := strings.CutPrefix(strings.TrimSpace(line), "serving on ")
+	if !ok {
+		t.Fatalf("unexpected serve banner %q", line)
+	}
+	go io.Copy(io.Discard, pr)
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return url, stop
+}
+
+// TestTrigenedRestartRecovery is the CLI acceptance path for the
+// durable coordinator: a daemon with -state-dir goes down mid-job and
+// a fresh daemon on the same state dir (and address, so the CLI
+// workers reconnect on their own) finishes the job to a Report
+// bit-exact with the local run.
+func TestTrigenedRestartRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	path, mx := writeDataset(t)
+	ctx := context.Background()
+
+	url, stop := startDurableDaemon(t, "127.0.0.1:0", stateDir)
+	startCLIWorkers(t, url, 2)
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"submit", "-coordinator", url, "-in", path,
+		"-name", "durable", "-tiles", "6", "-topk", "4", "-workers", "2"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := strings.Fields(out.String())[1]
+
+	// Wait for partial progress, then take the daemon down mid-job.
+	waitStatus := func(url string, pred func(state string, done int) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			out.Reset()
+			err := run(ctx, []string{"status", "-coordinator", url, "-job", jobID, "-json"}, &out, io.Discard)
+			if err == nil {
+				var st struct {
+					State string `json:"state"`
+					Done  int    `json:"done"`
+				}
+				if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+					t.Fatal(err)
+				}
+				if st.State == "failed" || st.State == "cancelled" {
+					t.Fatalf("job %s %s while waiting for %s", jobID, st.State, what)
+				}
+				if pred(st.State, st.Done) {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitStatus(url, func(_ string, done int) bool { return done >= 1 }, "partial progress")
+	stop()
+
+	// Same address, same state dir: the workers' retry loops reconnect
+	// and the recovered queue finishes the job.
+	url2, _ := startDurableDaemon(t, strings.TrimPrefix(url, "http://"), stateDir)
+	if url2 != url {
+		t.Fatalf("restarted daemon at %s, want %s", url2, url)
+	}
+	waitStatus(url2, func(state string, _ int) bool { return state == "done" }, "completion after restart")
+
+	out.Reset()
+	if err := run(ctx, []string{"result", "-coordinator", url2, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var rep trigene.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("result output is not a Report: %v\n%s", err, out.String())
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, trigene.WithTopK(4), trigene.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TopK) != len(local.TopK) || rep.Combinations != local.Combinations {
+		t.Fatalf("recovered report %d combinations / top-%d, local %d / top-%d",
+			rep.Combinations, len(rep.TopK), local.Combinations, len(local.TopK))
+	}
+	for i := range local.TopK {
+		if rep.TopK[i].Score != local.TopK[i].Score {
+			t.Errorf("top-%d score %.12f != %.12f", i+1, rep.TopK[i].Score, local.TopK[i].Score)
+		}
+	}
+
+	// The state dir has the advertised layout.
+	if _, err := os.Stat(filepath.Join(stateDir, "snapshot.snap")); err != nil {
+		t.Errorf("snapshot missing from state dir: %v", err)
+	}
+	if matches, _ := filepath.Glob(filepath.Join(stateDir, "journal-*.wal")); len(matches) != 1 {
+		t.Errorf("journal files in state dir: %v", matches)
+	}
+
+	// status -workers reports heartbeat ages for the reconnected fleet.
+	out.Reset()
+	if err := run(ctx, []string{"status", "-coordinator", url2, "-workers"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "seen") || !strings.Contains(out.String(), "ago") {
+		t.Errorf("status -workers output lacks heartbeat ages:\n%s", out.String())
 	}
 }

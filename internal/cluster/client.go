@@ -169,6 +169,24 @@ func (c *Client) Workers(ctx context.Context) ([]WorkerStatus, error) {
 	return list.Workers, nil
 }
 
+// Drain marks a worker as draining: the coordinator grants it no new
+// leases while it finishes what it holds. Workers announce their own
+// drain; operators can also call it to take a worker out of rotation.
+func (c *Client) Drain(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers/"+workerID+"/drain", struct{}{}, nil)
+}
+
+// Leave deregisters a worker, releasing every lease it still holds so
+// its tiles re-issue immediately instead of idling until TTL expiry.
+// It returns how many leases were released.
+func (c *Client) Leave(ctx context.Context, workerID string) (int, error) {
+	var resp LeaveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workers/"+workerID+"/leave", struct{}{}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Released, nil
+}
+
 // dataset fetches a job's raw dataset bytes (workers verify them
 // against the lease grant's fingerprint before parsing).
 func (c *Client) dataset(ctx context.Context, id string) ([]byte, error) {

@@ -30,6 +30,15 @@
 //	POST /v1/lease/{token}/renew   heartbeat-extend the lease deadline
 //	POST /v1/lease/{token}/done    post the tile's Report
 //	POST /v1/lease/{token}/fail    report a deterministic execution error
+//	POST /v1/workers/{id}/drain    stop granting new leases to a worker
+//	POST /v1/workers/{id}/leave    release a worker's leases, deregister
+//
+// A Coordinator built by Recover additionally journals every state
+// transition to a write-ahead log under Config.StateDir (see
+// durable.go), so a crashed coordinator restarted on the same state
+// directory resumes its jobs with exactly-once semantics: completed
+// tiles are never re-executed and the merged Report is bit-exact with
+// an uninterrupted run.
 //
 // Client implements trigene.RemoteExecutor, so
 // Session.Search(ctx, trigene.WithCluster(client)) runs any search on
@@ -175,8 +184,17 @@ type WorkerStatus struct {
 	// Granted and Completed count tiles over the worker's lifetime.
 	Granted   int `json:"granted"`
 	Completed int `json:"completed"`
-	// LastSeenUnixMs is the instant of the worker's last request.
+	// LastSeenUnixMs is the instant of the worker's last request;
+	// AgeMs is how long ago that was at response time.
 	LastSeenUnixMs int64 `json:"lastSeenUnixMs"`
+	AgeMs          int64 `json:"ageMs"`
+	// Stale means the worker has been silent past the staleness window
+	// (4×LeaseTTL): it no longer influences weighted lease sizing and
+	// is presumed dead.
+	Stale bool `json:"stale,omitempty"`
+	// Draining means the worker announced it is leaving: it finishes
+	// the leases it holds but is granted nothing new.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // WorkerList is the body answering GET /v1/workers.
@@ -204,6 +222,12 @@ type CompleteResponse struct {
 // cannot fix, so it fails the whole job.
 type FailRequest struct {
 	Error string `json:"error"`
+}
+
+// LeaveResponse is the body answering POST /v1/workers/{id}/leave.
+type LeaveResponse struct {
+	// Released counts the leases freed for immediate re-issue.
+	Released int `json:"released"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.

@@ -14,6 +14,7 @@ import (
 	"trigene"
 	"trigene/internal/sched"
 	"trigene/internal/store"
+	"trigene/internal/wal"
 )
 
 // Config tunes a Coordinator. The zero value is usable.
@@ -35,11 +36,22 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Now supplies the clock (default time.Now); tests inject it.
 	Now func() time.Time
+	// StateDir is the durability root used by Recover: a write-ahead
+	// journal plus snapshots under it make every acknowledged state
+	// transition survive a coordinator crash. NewCoordinator ignores it
+	// (in-memory coordinator); Recover requires it.
+	StateDir string
+	// SnapshotEvery is how many journal records accumulate before the
+	// full state is compacted into a snapshot and the journal reset
+	// (default 256). Only meaningful with StateDir.
+	SnapshotEvery int
 }
 
 // Coordinator owns the job queue and the lease book of a cluster. It
-// is an http.Handler serving the /v1 wire contract; all state is
-// in-memory.
+// is an http.Handler serving the /v1 wire contract. State lives in
+// memory; a Coordinator built by Recover additionally journals every
+// state transition to a write-ahead log (see durable.go), so a
+// restart replays to exactly the acknowledged state.
 type Coordinator struct {
 	cfg Config
 	mux *http.ServeMux
@@ -49,6 +61,12 @@ type Coordinator struct {
 	order   []string // submission order; finished jobs stay until evicted
 	seq     int
 	workers map[string]*workerInfo
+
+	// log is the write-ahead journal (nil for an in-memory
+	// coordinator); replaying suppresses journaling while recovery
+	// re-applies the log to itself.
+	log       *wal.Log
+	replaying bool
 }
 
 // workerInfo is one worker's capability record, built from its lease
@@ -60,6 +78,7 @@ type workerInfo struct {
 	granted     int
 	completed   int
 	lastSeen    time.Time
+	draining    bool // announced drain: no new leases for this worker
 }
 
 // maxLeaseBatch caps how many tiles one grant bundles: enough for a
@@ -100,12 +119,20 @@ type job struct {
 	snps, samples int
 
 	leases  *sched.LeaseTable
-	reports []*trigene.Report // one slot per tile
-	grantee map[int]string    // tile -> worker holding its current lease
+	reports []*trigene.Report  // one slot per tile
+	grantee map[int]granteeRef // tile -> holder of its current lease
 	result  *trigene.Report
 
 	submitted time.Time
 	finished  time.Time
+}
+
+// granteeRef names the holder of one tile's current lease — worker ID
+// for accounting, grant seq so a draining worker's leases can be
+// released under exactly the coordinates it holds.
+type granteeRef struct {
+	worker string
+	seq    uint64
 }
 
 // NewCoordinator returns a Coordinator serving the /v1 wire contract.
@@ -118,6 +145,9 @@ func NewCoordinator(cfg Config) *Coordinator {
 	}
 	if cfg.Retain <= 0 {
 		cfg.Retain = 64
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 256
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -132,6 +162,8 @@ func NewCoordinator(cfg Config) *Coordinator {
 		mux:     http.NewServeMux(),
 	}
 	c.mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	c.mux.HandleFunc("POST /v1/workers/{id}/drain", c.handleDrain)
+	c.mux.HandleFunc("POST /v1/workers/{id}/leave", c.handleLeave)
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleList)
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
@@ -165,6 +197,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// first worker.
 	if _, err := req.Spec.Options(); err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+	if req.Spec.MaxWorkers < 0 || req.Spec.DeadlineMillis < 0 {
+		writeErr(w, http.StatusBadRequest, "invalid spec: maxWorkers and deadlineMillis must be ≥ 0")
 		return
 	}
 	// Accept the dataset as trigene binary or pre-encoded .tpack, and
@@ -213,11 +249,23 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		samples:    sess.Samples(),
 		leases:     sched.NewLeaseTable(req.Tiles),
 		reports:    make([]*trigene.Report, req.Tiles),
-		grantee:    make(map[int]string),
+		grantee:    make(map[int]granteeRef),
 		submitted:  c.cfg.Now(),
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
+	// The submission must be durable before it is acknowledged: the
+	// dataset goes to the pack store and the submit record is fsynced.
+	// On failure the job is rolled back — an unacknowledged submission
+	// must not run.
+	if err := c.journalSubmitLocked(j); err != nil {
+		delete(c.jobs, j.id)
+		c.order = c.order[:len(c.order)-1]
+		c.seq--
+		c.mu.Unlock()
+		writeErr(w, http.StatusInternalServerError, "journaling submission: %v", err)
+		return
+	}
 	c.mu.Unlock()
 	c.cfg.Logf("job %s (%q): %d tiles over %dx%d dataset, backend %q",
 		j.id, j.name, j.tiles, j.snps, j.samples, req.Spec.Backend)
@@ -227,7 +275,17 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
 	now := c.cfg.Now()
 	c.mu.Lock()
-	list := JobList{Jobs: make([]JobStatus, 0, len(c.order))}
+	// Deadlines are enforced lazily, on observation; iterate a copy
+	// because a tripped deadline can evict finished jobs from c.order.
+	order := append([]string(nil), c.order...)
+	list := JobList{Jobs: make([]JobStatus, 0, len(order))}
+	for _, id := range order {
+		j := c.jobs[id]
+		if j == nil {
+			continue
+		}
+		c.enforceDeadlineLocked(j, now)
+	}
 	for _, id := range c.order {
 		list.Jobs = append(list.Jobs, c.jobs[id].status(now))
 	}
@@ -236,6 +294,7 @@ func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
 	c.mu.Lock()
 	j, ok := c.jobs[r.PathValue("id")]
 	if !ok {
@@ -243,7 +302,8 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
 		return
 	}
-	st := j.status(c.cfg.Now())
+	c.enforceDeadlineLocked(j, now)
+	st := j.status(now)
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
@@ -296,6 +356,11 @@ func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := c.jobs[r.PathValue("id")]
 	if ok && j.state == StateRunning {
 		c.finishLocked(j, StateCancelled, "cancelled by request")
+		if err := c.commitLocked(); err != nil {
+			c.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "journaling cancel: %v", err)
+			return
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -321,13 +386,27 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if req.TilesPerSec > 0 {
 		wi.tilesPerSec = req.TilesPerSec
 	}
+	if wi.draining {
+		// A draining worker is finishing what it holds; granting it
+		// more would delay both the drain and the tiles.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	batch := c.leaseBatchLocked(wi, now)
 	// First running job (submission order) with an available tile: a
 	// FIFO queue in which later jobs still progress once earlier ones
-	// are fully leased. A batch never spans jobs.
-	for _, id := range c.order {
+	// are fully leased. A batch never spans jobs. Iterate a copy: a
+	// tripped deadline can evict finished jobs from c.order.
+	for _, id := range append([]string(nil), c.order...) {
 		j := c.jobs[id]
+		if j == nil {
+			continue
+		}
+		c.enforceDeadlineLocked(j, now)
 		if j.state != StateRunning {
+			continue
+		}
+		if !c.underWorkerCapLocked(j, req.Worker, now) {
 			continue
 		}
 		var grants []sched.TileLease
@@ -355,7 +434,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		granted := make([]TileGrant, len(grants))
 		for i, l := range grants {
 			granted[i] = TileGrant{Token: leaseToken(j.id, l), Tile: l.Tile}
-			j.grantee[l.Tile] = req.Worker
+			j.grantee[l.Tile] = granteeRef{worker: req.Worker, seq: l.Seq}
+			// Grants are journaled without an fsync: losing one in a
+			// crash is benign (the restored table's seq counter stays
+			// below the lost grant, so its holder's completion answers
+			// Unknown and the tile simply re-issues), and keeping the
+			// grant path buffer-only keeps lease throughput at
+			// in-memory speed.
+			c.journalLocked(walRecord{T: recGrant, Job: j.id, Tile: l.Tile,
+				Seq: l.Seq, Attempt: l.Attempt, Worker: req.Worker,
+				UnixNs: now.Add(c.cfg.LeaseTTL).UnixNano()})
 		}
 		wi.granted += len(grants)
 		if len(grants) > 1 {
@@ -437,6 +525,7 @@ func (c *Coordinator) leaseBatchLocked(wi *workerInfo, now time.Time) int {
 }
 
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	now := c.cfg.Now()
 	c.mu.Lock()
 	ids := make([]string, 0, len(c.workers))
 	for id := range c.workers {
@@ -453,10 +542,104 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 			Granted:        wi.granted,
 			Completed:      wi.completed,
 			LastSeenUnixMs: wi.lastSeen.UnixMilli(),
+			AgeMs:          now.Sub(wi.lastSeen).Milliseconds(),
+			Stale:          now.Sub(wi.lastSeen) > c.staleAfter(),
+			Draining:       wi.draining,
 		})
 	}
 	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, list)
+}
+
+// handleDrain marks a worker as draining: it keeps (and finishes) the
+// leases it holds, but is granted nothing new. Workers announce their
+// own drain on SIGTERM; operators may also call it directly.
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	now := c.cfg.Now()
+	c.mu.Lock()
+	wi := c.touchWorkerLocked(id, now)
+	wi.draining = true
+	c.mu.Unlock()
+	c.cfg.Logf("worker %q draining", id)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleLeave deregisters a worker and releases every lease it still
+// holds, so its tiles re-issue on the next lease request instead of
+// idling until TTL expiry. The releases are journaled and fsynced
+// before the worker is told it may exit.
+func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	now := c.cfg.Now()
+	c.mu.Lock()
+	released := c.releaseWorkerLeasesLocked(id, now)
+	delete(c.workers, id)
+	err := c.commitLocked()
+	c.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "journaling leave: %v", err)
+		return
+	}
+	c.cfg.Logf("worker %q left; %d leases released for immediate re-issue", id, released)
+	writeJSON(w, http.StatusOK, LeaveResponse{Released: released})
+}
+
+// releaseWorkerLeasesLocked frees every live lease the worker holds
+// across all running jobs, journaling each release.
+func (c *Coordinator) releaseWorkerLeasesLocked(worker string, now time.Time) int {
+	released := 0
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.state != StateRunning {
+			continue
+		}
+		for tile, g := range j.grantee {
+			if g.worker != worker {
+				continue
+			}
+			if j.leases.Release(tile, g.seq) {
+				delete(j.grantee, tile)
+				c.journalLocked(walRecord{T: recRelease, Job: j.id, Tile: tile, Seq: g.seq})
+				released++
+			}
+		}
+	}
+	return released
+}
+
+// underWorkerCapLocked enforces a job's MaxWorkers policy: when set,
+// only workers already holding a live lease on the job may take more
+// tiles once the cap many distinct holders exist.
+func (c *Coordinator) underWorkerCapLocked(j *job, worker string, now time.Time) bool {
+	if j.spec.MaxWorkers <= 0 {
+		return true
+	}
+	holders := make(map[string]bool)
+	for _, tile := range j.leases.Leased(now) {
+		if g, ok := j.grantee[tile]; ok {
+			holders[g.worker] = true
+		}
+	}
+	return holders[worker] || len(holders) < j.spec.MaxWorkers
+}
+
+// enforceDeadlineLocked fails a running job whose wall-clock budget
+// (SearchSpec.DeadlineMillis, measured from submission) has elapsed.
+// Deadlines are checked on observation — lease, renew, complete,
+// status — not by a timer, which keeps expiry deterministic under
+// injected clocks and replays identically after recovery (the
+// submission instant is durable).
+func (c *Coordinator) enforceDeadlineLocked(j *job, now time.Time) {
+	if j.state != StateRunning || j.spec.DeadlineMillis <= 0 {
+		return
+	}
+	budget := time.Duration(j.spec.DeadlineMillis) * time.Millisecond
+	if now.Sub(j.submitted) >= budget {
+		c.cfg.Logf("job %s: deadline of %v exceeded", j.id, budget)
+		c.finishLocked(j, StateFailed,
+			fmt.Sprintf("deadline of %dms exceeded with %d/%d tiles done", j.spec.DeadlineMillis, j.leases.Done(), j.tiles))
+	}
 }
 
 func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -477,6 +660,9 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	j, ok := c.jobs[jobID]
+	if ok {
+		c.enforceDeadlineLocked(j, now)
+	}
 	renewed := ok && j.state == StateRunning && j.leases.Renew(tile, seq, now, c.cfg.LeaseTTL)
 	c.mu.Unlock()
 	if !renewed {
@@ -503,9 +689,13 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	now := c.cfg.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	j, ok := c.jobs[jobID]
+	if ok {
+		c.enforceDeadlineLocked(j, now)
+	}
 	if !ok || j.state != StateRunning {
 		writeErr(w, http.StatusGone, "job %s is not running", jobID)
 		return
@@ -513,11 +703,20 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	switch st := j.leases.Complete(tile, seq); st {
 	case sched.CompleteAccepted:
 		j.reports[tile] = &rep
-		if wi := c.workers[j.grantee[tile]]; wi != nil {
+		if wi := c.workers[j.grantee[tile].worker]; wi != nil {
 			wi.completed++
 		}
+		// The completion — and, when it was the last tile, the finish
+		// record mergeLocked appends — must be durable before the
+		// worker is told its result counted, or a crash would lose an
+		// acknowledged tile and re-execute it.
+		c.journalLocked(walRecord{T: recComplete, Job: j.id, Tile: tile, Seq: seq, Report: req.Report})
 		if j.leases.Done() == j.tiles {
 			c.mergeLocked(j)
+		}
+		if err := c.commitLocked(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "journaling completion: %v", err)
+			return
 		}
 		writeJSON(w, http.StatusOK, CompleteResponse{Accepted: true})
 	case sched.CompleteDuplicate, sched.CompleteStale:
@@ -557,6 +756,10 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	}
 	c.cfg.Logf("job %s: tile %d failed deterministically: %s", jobID, tile, req.Error)
 	c.finishLocked(j, StateFailed, fmt.Sprintf("tile %d: %s", tile, req.Error))
+	if err := c.commitLocked(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "journaling failure: %v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -585,7 +788,14 @@ func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
 	j.reports = nil
 	j.grantee = nil
 	j.finished = c.cfg.Now()
+	c.journalFinishLocked(j)
+	c.evictFinishedLocked()
+}
 
+// evictFinishedLocked drops the oldest finished jobs beyond the
+// retention cap. It is shared by the live path (finishLocked) and
+// journal replay, so eviction reproduces identically on recovery.
+func (c *Coordinator) evictFinishedLocked() {
 	finished := 0
 	for _, id := range c.order {
 		if c.jobs[id].state != StateRunning {

@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"trigene"
+	"trigene/internal/sched"
+)
+
+// coordinatorProxy fronts a durable coordinator with a stable URL so a
+// test can crash and replace the backend without disturbing clients or
+// workers (which see the outage as transient transport errors, exactly
+// like a real restart).
+type coordinatorProxy struct {
+	mu sync.RWMutex
+	co *Coordinator
+}
+
+func (p *coordinatorProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The read lock is held for the whole request, so crash() (write
+	// lock) doubles as a barrier: once it returns, no request is still
+	// executing against the abandoned coordinator.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.co == nil {
+		http.Error(w, "coordinator down", http.StatusServiceUnavailable)
+		return
+	}
+	p.co.ServeHTTP(w, r)
+}
+
+// crash abandons the current coordinator WITHOUT Close — the SIGKILL
+// analog: journal records still sitting in the append buffer die with
+// the process, only fsynced state survives on disk.
+func (p *coordinatorProxy) crash() {
+	p.mu.Lock()
+	p.co = nil
+	p.mu.Unlock()
+}
+
+// resume recovers a fresh coordinator from cfg.StateDir and routes
+// traffic to it.
+func (p *coordinatorProxy) resume(t *testing.T, cfg Config) *Coordinator {
+	t.Helper()
+	co, err := Recover(cfg)
+	if err != nil {
+		t.Fatalf("recovering from %s: %v", cfg.StateDir, err)
+	}
+	p.mu.Lock()
+	p.co = co
+	p.mu.Unlock()
+	return co
+}
+
+// newDurableCluster recovers a coordinator from cfg.StateDir behind a
+// crashable proxy and returns a fast-polling client for it.
+func newDurableCluster(t *testing.T, cfg Config) (*Client, *coordinatorProxy, *Coordinator) {
+	t.Helper()
+	p := &coordinatorProxy{}
+	co := p.resume(t, cfg)
+	srv := httptest.NewServer(p)
+	t.Cleanup(func() {
+		srv.Close()
+		p.mu.Lock()
+		if p.co != nil {
+			p.co.Close()
+		}
+		p.mu.Unlock()
+	})
+	cl := NewClient(srv.URL)
+	cl.Poll = 5 * time.Millisecond
+	return cl, p, co
+}
+
+// completeTile computes one granted tile exactly as a worker would —
+// the grant's spec plus the tile shard — and posts the result.
+func completeTile(t *testing.T, ctx context.Context, cl *Client, sess *trigene.Session, g LeaseGrant, tg TileGrant) bool {
+	t.Helper()
+	opts, err := g.Spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Search(ctx, append(opts, trigene.WithShard(tg.Tile, g.Tiles))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := cl.complete(ctx, tg.Token, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// TestDurableRecoveryMidJob drives a crash deterministically with an
+// injected clock: a job with one completed tile, one live lease and a
+// queued second job is SIGKILLed and recovered. The completed tile
+// stays done (its duplicate is discarded), the surviving worker renews
+// and completes under its pre-crash token, the remaining tiles issue
+// fresh, the queued job re-queues, and both merged Reports are
+// bit-exact with uninterrupted runs — across a second restart too.
+func TestDurableRecoveryMidJob(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	now := time.Unix(2000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	ttl := 10 * time.Second
+	cfg := Config{LeaseTTL: ttl, Now: clock, StateDir: t.TempDir()}
+	cl, proxy, _ := newDurableCluster(t, cfg)
+
+	spec := trigene.SearchSpec{TopK: 4, Workers: 1}
+	const tiles = 4
+	id, err := cl.Submit(ctx, mx, spec, tiles, "crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := cl.Submit(ctx, mx, trigene.SearchSpec{Order: 2, TopK: 3, Workers: 1}, 2, "queued")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// survivor completes one tile (fsynced, durable); doomed holds a
+	// live lease the completion's sync also made durable.
+	gs, ok, err := cl.lease(ctx, LeaseRequest{Worker: "survivor"})
+	if err != nil || !ok {
+		t.Fatalf("survivor lease: ok=%v err=%v", ok, err)
+	}
+	gd, ok, err := cl.lease(ctx, LeaseRequest{Worker: "doomed"})
+	if err != nil || !ok {
+		t.Fatalf("doomed lease: ok=%v err=%v", ok, err)
+	}
+	if !completeTile(t, ctx, cl, sess, gs, gs.Granted[0]) {
+		t.Fatal("survivor completion discarded")
+	}
+
+	proxy.crash()
+	co2 := proxy.resume(t, cfg)
+
+	// The recovered job: the completed tile survived, the queued job is
+	// back in line, and the running job's dataset reloaded from the
+	// pack store bit-exactly.
+	st, err := cl.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateRunning || st.Done != 1 || st.Tiles != tiles || st.Leased != 1 {
+		t.Fatalf("recovered status: %+v", st)
+	}
+	if st, err := cl.Status(ctx, queued); err != nil || st.State != StateRunning || st.Done != 0 {
+		t.Fatalf("queued job after recovery: %+v, %v", st, err)
+	}
+	raw, err := cl.dataset(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := trigene.ReadPack(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.DatasetHash() != sess.DatasetHash() {
+		t.Fatalf("recovered dataset hash %.12s…, want %.12s…", reloaded.DatasetHash(), sess.DatasetHash())
+	}
+	if _, err := os.Stat(co2.packPath(sess.DatasetHash())); err != nil {
+		t.Fatalf("running job's pack missing after recovery: %v", err)
+	}
+
+	// Exactly-once across the restart: re-posting the already-counted
+	// tile is discarded, not re-merged.
+	if acc, err := cl.complete(ctx, gs.Token, &trigene.Report{}); err != nil || acc {
+		t.Fatalf("duplicate completion after recovery: accepted=%v err=%v", acc, err)
+	}
+	// The surviving holder's lease was restored: it renews and
+	// completes under the pre-crash token.
+	if err := cl.renew(ctx, gd.Token, RenewRequest{Worker: "doomed"}); err != nil {
+		t.Fatalf("renewing restored lease: %v", err)
+	}
+	if !completeTile(t, ctx, cl, sess, gd, gd.Granted[0]) {
+		t.Fatal("restored-lease completion discarded")
+	}
+
+	// The remaining two tiles issue fresh; the queued job follows FIFO
+	// (nothing from it until the first job is fully leased).
+	var fromFirst, fromSecond int
+	for {
+		g, ok, err := cl.lease(ctx, LeaseRequest{Worker: "survivor"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		switch g.Job {
+		case id:
+			if fromSecond > 0 {
+				t.Fatalf("FIFO violated: job %s granted after %s started", id, queued)
+			}
+			fromFirst += len(g.Granted)
+		case queued:
+			fromSecond += len(g.Granted)
+		default:
+			t.Fatalf("grant from unexpected job %s", g.Job)
+		}
+		for _, tg := range g.Granted {
+			if !completeTile(t, ctx, cl, sess, g, tg) {
+				t.Fatalf("tile %d of %s discarded", tg.Tile, g.Job)
+			}
+		}
+	}
+	if fromFirst != tiles-2 || fromSecond != 2 {
+		t.Errorf("post-recovery grants: %d from %s (want %d) and %d from %s (want 2)",
+			fromFirst, id, tiles-2, fromSecond, queued)
+	}
+
+	remote, err := cl.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "recovered job", remote, local)
+
+	remoteQ, err := cl.Wait(ctx, queued)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localQ, err := sess.Search(ctx, trigene.WithOrder(2), trigene.WithTopK(3), trigene.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "re-queued job", remoteQ, localQ)
+
+	// Finished results are durable too: a second crash loses nothing,
+	// and with no running jobs the recovered pack store is empty.
+	proxy.crash()
+	proxy.resume(t, cfg)
+	again, err := cl.Result(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "result after second restart", again, local)
+	if entries, err := os.ReadDir(filepath.Join(cfg.StateDir, "packs")); err == nil && len(entries) != 0 {
+		t.Errorf("pack store holds %d orphans after all jobs finished", len(entries))
+	}
+}
+
+// TestDurableRecoveryBackendParity is the acceptance gate for
+// durability: for every backend the shard-parity tests cover, a job
+// with one pre-crash completed tile finishes after a SIGKILL and
+// restart with a merged Report bit-exact with the uninterrupted local
+// run — the journaled tile report round-trips exactly.
+func TestDurableRecoveryBackendParity(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		spec trigene.SearchSpec
+	}{
+		{"cpu/order2", trigene.SearchSpec{Order: 2, TopK: 6, Workers: 2}},
+		{"cpu/order3", trigene.SearchSpec{Order: 3, TopK: 6, Workers: 2}},
+		{"cpu/order4", trigene.SearchSpec{Order: 4, TopK: 6, Workers: 2}},
+		{"cpu/order3-V1", trigene.SearchSpec{Order: 3, TopK: 6, Approach: "V1", Workers: 2}},
+		{"cpu/order3-V4", trigene.SearchSpec{Order: 3, TopK: 6, Approach: "V4", Workers: 2}},
+		{"gpusim/order3", trigene.SearchSpec{Backend: "gpusim:GN1", TopK: 6}},
+		{"baseline/order3", trigene.SearchSpec{Backend: "baseline", TopK: 6, Workers: 2}},
+		{"hetero/order3", trigene.SearchSpec{Backend: "hetero", TopK: 6, Workers: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{LeaseTTL: 10 * time.Second, StateDir: t.TempDir()}
+			cl, proxy, _ := newDurableCluster(t, cfg)
+			const tiles = 3
+			id, err := cl.Submit(ctx, mx, tc.spec, tiles, tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, ok, err := cl.lease(ctx, LeaseRequest{Worker: "pre"})
+			if err != nil || !ok {
+				t.Fatalf("pre-crash lease: ok=%v err=%v", ok, err)
+			}
+			doneTile := g.Granted[0].Tile
+			if !completeTile(t, ctx, cl, sess, g, g.Granted[0]) {
+				t.Fatal("pre-crash completion discarded")
+			}
+
+			proxy.crash()
+			proxy.resume(t, cfg)
+
+			for {
+				g, ok, err := cl.lease(ctx, LeaseRequest{Worker: "post"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				for _, tg := range g.Granted {
+					if tg.Tile == doneTile {
+						t.Fatalf("completed tile %d re-issued after recovery", tg.Tile)
+					}
+					completeTile(t, ctx, cl, sess, g, tg)
+				}
+			}
+			remote, err := cl.Wait(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts, err := tc.spec.Options()
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, err := sess.Search(ctx, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, tc.name, remote, local)
+		})
+	}
+}
+
+// TestDurableCrashWithWorkers is the integration path: live workers,
+// real clock, coordinator SIGKILLed mid-job and recovered while the
+// workers keep hammering the same URL. The job converges to the
+// bit-exact Report, and no tile completed before the crash is ever
+// granted again.
+func TestDurableCrashWithWorkers(t *testing.T) {
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: 120, Samples: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := trigene.SearchSpec{TopK: 5, Workers: 1}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{LeaseTTL: 250 * time.Millisecond, StateDir: t.TempDir()}
+	cl, proxy, co1 := newDurableCluster(t, cfg)
+	startWorkers(t, cl, 2)
+	const tiles = 4
+	id, err := cl.Submit(ctx, mx, spec, tiles, "crash-live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.Status(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no tile completed before the crash window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	proxy.crash()
+	// crash() barriers on in-flight requests, so co1 is quiescent: read
+	// which tiles its clients saw acknowledged (every acked completion
+	// was fsynced).
+	ackedDone := map[int]int{} // tile -> attempts
+	co1.mu.Lock()
+	if j := co1.jobs[id]; j != nil {
+		_, states := j.leases.Export()
+		for tile, ts := range states {
+			if ts.State == sched.TileStateDone {
+				ackedDone[tile] = ts.Attempts
+			}
+		}
+	}
+	co1.mu.Unlock()
+	if len(ackedDone) == 0 {
+		t.Fatal("status saw a completed tile but the lease table has none")
+	}
+
+	co2 := proxy.resume(t, cfg)
+	co2.mu.Lock()
+	j := co2.jobs[id]
+	if j == nil {
+		co2.mu.Unlock()
+		t.Fatal("job lost in recovery")
+	}
+	_, states := j.leases.Export()
+	co2.mu.Unlock()
+	for tile, attempts := range ackedDone {
+		if states[tile].State != sched.TileStateDone {
+			t.Errorf("tile %d was acked done before the crash but recovered %v", tile, states[tile].State)
+		}
+		if states[tile].Attempts != attempts {
+			t.Errorf("tile %d recovered with %d attempts, want %d", tile, states[tile].Attempts, attempts)
+		}
+	}
+
+	remote, err := cl.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "crash with live workers", remote, local)
+
+	// Completed-before-crash tiles were never re-executed: their
+	// attempt counters are untouched by the post-crash run.
+	co2.mu.Lock()
+	j = co2.jobs[id]
+	_, final := j.leases.Export()
+	co2.mu.Unlock()
+	for tile, attempts := range ackedDone {
+		if final[tile].Attempts != attempts {
+			t.Errorf("tile %d re-granted after recovery: %d attempts, want %d", tile, final[tile].Attempts, attempts)
+		}
+	}
+}
+
+// TestDurableSnapshotCompactionAndRetention: snapshots bound the
+// journal (generation advances), recovery reproduces the retention
+// eviction exactly, and retained results stay bit-exact.
+func TestDurableSnapshotCompactionAndRetention(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cfg := Config{LeaseTTL: 5 * time.Second, Retain: 2, SnapshotEvery: 4, StateDir: t.TempDir()}
+	cl, proxy, _ := newDurableCluster(t, cfg)
+	startWorkers(t, cl, 2)
+
+	spec := trigene.SearchSpec{TopK: 3, Workers: 1}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := cl.Submit(ctx, mx, spec, 2, "ret")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	proxy.crash()
+	co2 := proxy.resume(t, cfg)
+	if co2.log.Generation() == 0 {
+		t.Error("journal never compacted despite SnapshotEvery=4")
+	}
+	if matches, _ := filepath.Glob(filepath.Join(cfg.StateDir, "journal-*.wal")); len(matches) != 1 {
+		t.Errorf("journal files after compaction: %v", matches)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.StateDir, "snapshot.snap")); err != nil {
+		t.Errorf("snapshot missing: %v", err)
+	}
+
+	jobs, err := cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want the 2 retained", len(jobs))
+	}
+	if _, err := cl.Status(ctx, ids[0]); err == nil {
+		t.Error("evicted job resurrected by recovery")
+	}
+	local, err := sess.Search(ctx, trigene.WithTopK(3), trigene.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		rep, err := cl.Result(ctx, id)
+		if err != nil {
+			t.Fatalf("retained job %s lost its result: %v", id, err)
+		}
+		reportsEqual(t, "retained "+id, rep, local)
+	}
+
+	// A fresh submission on the recovered coordinator must not reuse a
+	// replayed job ID.
+	id, err := cl.Submit(ctx, mx, spec, 2, "after")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if id == old {
+			t.Fatalf("recovered coordinator re-minted job ID %s", id)
+		}
+	}
+	if _, err := cl.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableDeadlineSurvivesRestart: a job's wall-clock budget is
+// measured from its durable submission instant, so a restart does not
+// reset the deadline.
+func TestDurableDeadlineSurvivesRestart(t *testing.T) {
+	mx := plantedMatrix(t)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	now := time.Unix(3000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	cfg := Config{LeaseTTL: 10 * time.Second, Now: clock, StateDir: t.TempDir()}
+	cl, proxy, _ := newDurableCluster(t, cfg)
+	id, err := cl.Submit(ctx, mx, trigene.SearchSpec{TopK: 2, DeadlineMillis: 5000}, 2, "budgeted")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.crash()
+	mu.Lock()
+	now = now.Add(6 * time.Second)
+	mu.Unlock()
+	proxy.resume(t, cfg)
+
+	st, err := cl.Status(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("state after restart past deadline = %q, want failed", st.State)
+	}
+}

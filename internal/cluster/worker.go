@@ -53,6 +53,15 @@ type Worker struct {
 	// (the heartbeat goroutine reads it while the search loop writes).
 	rate atomic.Uint64
 
+	// Drain support: draining is set once by Drain, drainCh (built
+	// lazily under drainMu) wakes an idle Run loop immediately, and
+	// idOnce makes the default ID computable from any goroutine.
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainMu   sync.Mutex
+	drainCh   chan struct{}
+	idOnce    sync.Once
+
 	// sessions caches Sessions by dataset content hash so a worker
 	// decodes each dataset once, not once per tile. The key is the
 	// grant's DatasetSHA256 (the store content hash), never the job ID:
@@ -132,14 +141,57 @@ func (sc *sessionCache) put(id string, s *trigene.Session) {
 	sc.vals[id] = s
 }
 
-// Run leases and executes tiles until ctx is cancelled (its only
-// normal exit, returned as ctx's error). A Worker must not be shared
-// across goroutines; run several Workers for concurrent tiles.
-func (w *Worker) Run(ctx context.Context) error {
-	if w.ID == "" {
-		host, _ := os.Hostname()
-		w.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+// ensureID fills the default worker identity ("host:pid") exactly
+// once; Run and Drain both need it, from different goroutines.
+func (w *Worker) ensureID() {
+	w.idOnce.Do(func() {
+		if w.ID == "" {
+			host, _ := os.Hostname()
+			w.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+	})
+}
+
+// drainSignal returns the channel Drain closes, creating it on first
+// use so Drain may be called before or after Run starts.
+func (w *Worker) drainSignal() chan struct{} {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	if w.drainCh == nil {
+		w.drainCh = make(chan struct{})
 	}
+	return w.drainCh
+}
+
+// Drain asks the worker to leave the fleet cleanly: it finishes the
+// tile batch it is executing (completions still count), then
+// deregisters from the coordinator — which releases any lease still
+// charged to it for immediate re-issue — and Run returns nil. The
+// drain is announced to the coordinator right away so no further
+// leases are granted meanwhile. Safe to call from a signal handler
+// goroutine; subsequent calls are no-ops.
+func (w *Worker) Drain(ctx context.Context) {
+	w.drainOnce.Do(func() {
+		w.ensureID()
+		// Announce before tripping the flag: Run leaves (deregisters) as
+		// soon as it observes the flag, and a drain announcement landing
+		// after the leave would resurrect the worker in the registry.
+		if w.Client != nil {
+			if err := w.Client.Drain(ctx, w.ID); err != nil && ctx.Err() == nil && w.Logf != nil {
+				w.Logf("announcing drain: %v", err)
+			}
+		}
+		w.draining.Store(true)
+		close(w.drainSignal())
+	})
+}
+
+// Run leases and executes tiles until ctx is cancelled (returned as
+// ctx's error) or the worker is drained (Run returns nil after
+// deregistering). A Worker must not be shared across goroutines; run
+// several Workers for concurrent tiles.
+func (w *Worker) Run(ctx context.Context) error {
+	w.ensureID()
 	if w.Poll <= 0 {
 		w.Poll = 500 * time.Millisecond
 	}
@@ -153,6 +205,21 @@ func (w *Worker) Run(ctx context.Context) error {
 		w.sessions.cap = w.CacheEntries
 	}
 	for {
+		if w.draining.Load() {
+			// Between batches with nothing in flight: hand back
+			// whatever the coordinator still charges to this worker
+			// and leave the fleet.
+			if released, err := w.Client.Leave(ctx, w.ID); err != nil {
+				if ctx.Err() == nil {
+					w.Logf("drain: leave: %v (leases will expire by TTL)", err)
+				}
+			} else if released > 0 {
+				w.Logf("drained; %d abandoned leases released for re-issue", released)
+			} else {
+				w.Logf("drained cleanly")
+			}
+			return nil
+		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -177,10 +244,12 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-// idle sleeps one poll interval or until cancellation.
+// idle sleeps one poll interval, or until cancellation or a drain
+// request (a draining idle worker should leave now, not a poll later).
 func (w *Worker) idle(ctx context.Context) {
 	select {
 	case <-ctx.Done():
+	case <-w.drainSignal():
 	case <-time.After(w.Poll):
 	}
 }

@@ -183,3 +183,150 @@ func (lt *LeaseTable) Attempts(tile int) int {
 	}
 	return lt.tiles[tile].attempts
 }
+
+// Release gives up the live lease (tile, seq) before its deadline —
+// a holder draining out cleanly — so the next Acquire re-issues the
+// tile immediately instead of waiting for expiry. The surrendered
+// attempt is un-counted (a clean hand-back must not push the tile
+// toward an attempt cap). It reports false when the lease is not
+// current (completed, or superseded by a re-issue).
+func (lt *LeaseTable) Release(tile int, seq uint64) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return false
+	}
+	t := &lt.tiles[tile]
+	if t.state != tileLeased || t.seq != seq {
+		return false
+	}
+	t.state = tileFree
+	if t.attempts > 0 {
+		t.attempts--
+	}
+	return true
+}
+
+// Leased returns the tiles covered by an unexpired lease at the
+// given instant, in tile order.
+func (lt *LeaseTable) Leased(now time.Time) []int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var tiles []int
+	for i := range lt.tiles {
+		t := &lt.tiles[i]
+		if t.state == tileLeased && now.Before(t.deadline) {
+			tiles = append(tiles, i)
+		}
+	}
+	return tiles
+}
+
+// Exported tile states (TileState.State).
+const (
+	// TileStateFree: never granted, expired-and-not-yet-reissued, or
+	// released.
+	TileStateFree = iota
+	// TileStateLeased: covered by a grant (possibly past deadline).
+	TileStateLeased
+	// TileStateDone: completed exactly once.
+	TileStateDone
+)
+
+// TileState is one tile's serializable lease state — the unit of the
+// table's Export/Import round-trip, which a durable coordinator
+// snapshots and replays so a restart resumes the lease book exactly
+// where the crash left it.
+type TileState struct {
+	State          int    `json:"s"`
+	Seq            uint64 `json:"q,omitempty"`
+	DeadlineUnixNs int64  `json:"d,omitempty"`
+	Attempts       int    `json:"a,omitempty"`
+}
+
+// Export snapshots the table: the grant-sequence counter and every
+// tile's state. Import of the result reproduces the table exactly.
+func (lt *LeaseTable) Export() (seq uint64, tiles []TileState) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	tiles = make([]TileState, len(lt.tiles))
+	for i := range lt.tiles {
+		t := &lt.tiles[i]
+		ts := TileState{State: t.state, Seq: t.seq, Attempts: t.attempts}
+		if !t.deadline.IsZero() {
+			ts.DeadlineUnixNs = t.deadline.UnixNano()
+		}
+		tiles[i] = ts
+	}
+	return lt.seq, tiles
+}
+
+// ImportLeaseTable rebuilds a table from an Export. Unknown states
+// come back free; the sequence counter is raised to cover every
+// imported seq so re-granted tiles can never collide with
+// pre-snapshot tokens.
+func ImportLeaseTable(seq uint64, tiles []TileState) *LeaseTable {
+	lt := NewLeaseTable(len(tiles))
+	for i, ts := range tiles {
+		t := &lt.tiles[i]
+		switch ts.State {
+		case TileStateLeased:
+			t.state = tileLeased
+		case TileStateDone:
+			t.state = tileDone
+			lt.done++
+		default:
+			t.state = tileFree
+		}
+		t.seq = ts.Seq
+		t.attempts = ts.Attempts
+		if ts.DeadlineUnixNs != 0 {
+			t.deadline = time.Unix(0, ts.DeadlineUnixNs)
+		}
+		if ts.Seq > seq {
+			seq = ts.Seq
+		}
+	}
+	lt.seq = seq
+	return lt
+}
+
+// RestoreGrant re-applies a journaled grant during replay: the tile
+// becomes leased under exactly the recorded coordinates, so a worker
+// that survived the coordinator crash can still renew and complete
+// under its pre-crash token, and a dead worker's restored lease
+// re-issues when its recorded deadline passes. Completed tiles are
+// left alone (a grant record can precede the completion that
+// superseded it in the same journal).
+func (lt *LeaseTable) RestoreGrant(tile int, seq uint64, attempt int, deadline time.Time) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return
+	}
+	t := &lt.tiles[tile]
+	if t.state != tileDone {
+		t.state = tileLeased
+		t.seq = seq
+		t.deadline = deadline
+		t.attempts = attempt
+	}
+	if seq > lt.seq {
+		lt.seq = seq
+	}
+}
+
+// RestoreDone re-applies a journaled completion during replay,
+// marking the tile done regardless of its lease state.
+func (lt *LeaseTable) RestoreDone(tile int) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if tile < 0 || tile >= len(lt.tiles) {
+		return
+	}
+	t := &lt.tiles[tile]
+	if t.state != tileDone {
+		t.state = tileDone
+		lt.done++
+	}
+}

@@ -142,3 +142,138 @@ func TestLeaseTableEmpty(t *testing.T) {
 		t.Fatal("acquired from an empty table")
 	}
 }
+
+// TestLeaseTableRelease: a released live lease re-issues immediately,
+// without the surrendered attempt counting toward a cap, while stale
+// or completed coordinates refuse to release.
+func TestLeaseTableRelease(t *testing.T) {
+	now := time.Unix(0, 0)
+	ttl := time.Minute
+	lt := NewLeaseTable(2)
+
+	l0, _ := lt.Acquire(now, ttl)
+	if !lt.Release(l0.Tile, l0.Seq) {
+		t.Fatal("live lease refused to release")
+	}
+	if lt.Release(l0.Tile, l0.Seq) {
+		t.Fatal("released lease released twice")
+	}
+	// Immediate re-issue, well inside the original TTL, and the clean
+	// hand-back did not count as an attempt.
+	re, ok := lt.Acquire(now.Add(time.Second), ttl)
+	if !ok || re.Tile != l0.Tile {
+		t.Fatalf("re-acquire after release = %+v ok=%v", re, ok)
+	}
+	if re.Attempt != 1 {
+		t.Fatalf("re-acquire attempt = %d, want 1 (release un-counts)", re.Attempt)
+	}
+	if re.Seq == l0.Seq {
+		t.Fatal("re-issue reused the released seq")
+	}
+	// The released holder cannot complete the re-issued tile.
+	if st := lt.Complete(l0.Tile, l0.Seq); st == CompleteAccepted {
+		t.Fatalf("released holder's completion = %v", st)
+	}
+	// A completed tile refuses to release.
+	if st := lt.Complete(re.Tile, re.Seq); st != CompleteAccepted {
+		t.Fatalf("complete = %v", st)
+	}
+	if lt.Release(re.Tile, re.Seq) {
+		t.Fatal("completed tile released")
+	}
+}
+
+// TestLeaseTableLeased: Leased lists exactly the unexpired leases.
+func TestLeaseTableLeased(t *testing.T) {
+	now := time.Unix(0, 0)
+	lt := NewLeaseTable(3)
+	l0, _ := lt.Acquire(now, time.Second)
+	lt.Acquire(now, time.Hour) // tile 1, long-lived
+	lt.Complete(l0.Tile, l0.Seq)
+
+	got := lt.Leased(now.Add(2 * time.Second))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("leased = %v, want [1]", got)
+	}
+}
+
+// TestLeaseTableExportImport: the Export/Import round-trip reproduces
+// grants, completions, deadlines and the seq counter, so a restored
+// table continues exactly where the exported one stopped.
+func TestLeaseTableExportImport(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ttl := time.Minute
+	lt := NewLeaseTable(4)
+
+	l0, _ := lt.Acquire(now, ttl) // tile 0: will complete
+	l1, _ := lt.Acquire(now, ttl) // tile 1: stays leased
+	lt.Acquire(now, ttl)          // tile 2: expires, re-issues once
+	lt.Complete(l0.Tile, l0.Seq)
+	lt.Renew(l1.Tile, l1.Seq, now.Add(2*ttl), ttl) // tile 1 covered past the re-issue below
+	l2b, _ := lt.Acquire(now.Add(2*ttl), ttl)      // re-issue of tile 2
+	if l2b.Tile != 2 || l2b.Attempt != 2 {
+		t.Fatalf("re-issue = %+v", l2b)
+	}
+	// Tile 3 never granted.
+
+	seq, tiles := lt.Export()
+	restored := ImportLeaseTable(seq, tiles)
+
+	if restored.Done() != 1 || restored.Tiles() != 4 {
+		t.Fatalf("restored done=%d tiles=%d", restored.Done(), restored.Tiles())
+	}
+	// The surviving holders' leases are intact: renew and complete
+	// under the pre-export coordinates.
+	if !restored.Renew(l1.Tile, l1.Seq, now.Add(2*ttl), ttl) {
+		t.Fatal("restored lease refused renewal")
+	}
+	if st := restored.Complete(l2b.Tile, l2b.Seq); st != CompleteAccepted {
+		t.Fatalf("restored re-issue completion = %v", st)
+	}
+	// The next acquire takes the never-granted tile with a fresh seq
+	// above everything exported.
+	l3, ok := restored.Acquire(now.Add(2*ttl+ttl/2), ttl)
+	if !ok || l3.Tile != 3 || l3.Attempt != 1 {
+		t.Fatalf("post-import acquire = %+v ok=%v", l3, ok)
+	}
+	if l3.Seq <= l2b.Seq {
+		t.Fatalf("post-import seq %d did not advance past exported %d", l3.Seq, l2b.Seq)
+	}
+	// Tile 1's restored deadline is honored: past it, the tile
+	// re-issues with the attempt count carried over.
+	re1, ok := restored.Acquire(now.Add(10*ttl), ttl)
+	if !ok || re1.Tile != 1 || re1.Attempt != 2 {
+		t.Fatalf("expired restored lease re-issue = %+v ok=%v", re1, ok)
+	}
+}
+
+// TestLeaseTableRestoreReplay: RestoreGrant/RestoreDone re-apply a
+// journal tail on top of an imported snapshot — grants after a
+// completion leave the done tile alone, and the seq counter tracks
+// the replayed maximum.
+func TestLeaseTableRestoreReplay(t *testing.T) {
+	now := time.Unix(0, 0)
+	lt := NewLeaseTable(3)
+	lt.RestoreGrant(0, 7, 1, now.Add(time.Minute))
+	lt.RestoreGrant(1, 8, 2, now.Add(time.Minute))
+	lt.RestoreDone(1)
+	lt.RestoreGrant(1, 9, 3, now.Add(time.Minute)) // late record; tile 1 stays done
+	lt.RestoreDone(1)                              // idempotent
+
+	if lt.Done() != 1 {
+		t.Fatalf("done = %d, want 1", lt.Done())
+	}
+	if !lt.Current(0, 7) {
+		t.Fatal("restored grant not current")
+	}
+	if lt.Current(1, 9) {
+		t.Fatal("completed tile reports a current lease")
+	}
+	l, ok := lt.Acquire(now, time.Minute)
+	if !ok || l.Tile != 2 {
+		t.Fatalf("acquire = %+v ok=%v", l, ok)
+	}
+	if l.Seq <= 9 {
+		t.Fatalf("seq %d did not advance past the replayed 9", l.Seq)
+	}
+}

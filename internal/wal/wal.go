@@ -1,0 +1,383 @@
+// Package wal is the durability substrate of the cluster coordinator:
+// an append-only, length-prefixed, checksummed record journal with
+// periodic snapshots and deterministic replay.
+//
+// A Log owns one directory holding at most two files:
+//
+//	snapshot.snap    the latest compacted state (atomic rename)
+//	journal-<g>.wal  records appended since that snapshot
+//
+// Each snapshot carries a generation number g; the journal that
+// follows it is journal-<g>.wal, so a crash between writing a new
+// snapshot and resetting the journal can never replay a record twice:
+// Open loads the snapshot, opens exactly the journal of its
+// generation (creating it when the crash landed in between), and
+// deletes journals of any other generation.
+//
+// Records are opaque bytes framed as
+//
+//	[payload length  u32 LE][CRC-32C of payload  u32 LE][payload]
+//
+// and appended through a buffer: Append is cheap enough for the hot
+// path (a lease grant), Sync flushes and fsyncs before a state
+// transition is acknowledged to a client. Replay stops at the first
+// torn or corrupt record and truncates the file there — the tail a
+// crash interrupted mid-write is discarded, everything before it is
+// trusted by checksum.
+//
+// The Log is not safe for concurrent use; callers serialize (the
+// coordinator appends under its own mutex).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const (
+	journalMagic = "TWJ1"
+	snapMagic    = "TWS1"
+	// headerLen is the journal file header: magic + generation.
+	headerLen = 4 + 8
+	// recordOverhead frames every record: length + CRC.
+	recordOverhead = 4 + 4
+	// MaxRecord bounds one record's payload; a longer length prefix is
+	// treated as corruption (it is far beyond anything the coordinator
+	// journals, and it stops a flipped length bit from swallowing the
+	// rest of the file as one giant "record").
+	MaxRecord = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open write-ahead log: the recovered state (snapshot +
+// journal records) plus an append head.
+type Log struct {
+	dir string
+	gen uint64
+
+	f        *os.File
+	w        *bufio.Writer
+	appended int // records appended since the last snapshot (or open)
+
+	snapshot []byte
+	records  [][]byte
+}
+
+// Open opens (creating if needed) the log in dir and recovers it:
+// after Open, Snapshot and Records hold everything a deterministic
+// replay needs, in order.
+func Open(dir string) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir}
+	if err := l.readSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := l.openJournal(); err != nil {
+		return nil, err
+	}
+	l.dropStaleJournals()
+	return l, nil
+}
+
+// Snapshot returns the recovered snapshot payload (nil when none was
+// ever written). Valid until the next WriteSnapshot.
+func (l *Log) Snapshot() []byte { return l.snapshot }
+
+// Records returns the journal records recovered after the snapshot,
+// oldest first. Valid until the next WriteSnapshot.
+func (l *Log) Records() [][]byte { return l.records }
+
+// Generation returns the current snapshot/journal generation.
+func (l *Log) Generation() uint64 { return l.gen }
+
+// AppendedSinceSnapshot counts records appended (plus recovered) on
+// the current journal generation — the snapshot-trigger currency.
+func (l *Log) AppendedSinceSnapshot() int { return l.appended + len(l.records) }
+
+// Append frames and buffers one record. It does NOT reach the disk
+// until Sync (or the buffer fills): callers acknowledging a state
+// transition must Sync first; callers journaling transitions that are
+// safe to lose in a crash (a lease grant — the tile simply re-issues)
+// may leave the flush to the next critical record.
+func (l *Log) Append(rec []byte) error {
+	if len(rec) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(rec), MaxRecord)
+	}
+	var frame [recordOverhead]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, castagnoli))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(rec); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.appended++
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the journal: every record
+// appended before Sync survives a machine crash once it returns.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot with state and
+// starts a fresh journal generation: the records compacted into the
+// snapshot will not replay again. The recovered Snapshot/Records
+// views are reset accordingly.
+func (l *Log) WriteSnapshot(state []byte) error {
+	newGen := l.gen + 1
+
+	// Write the snapshot beside its final name and rename into place,
+	// fsyncing file then directory, so a crash leaves either the old or
+	// the new snapshot — never a torn one.
+	tmp, err := os.CreateTemp(l.dir, "snapshot.*.tmp")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [4 + 8 + 8]byte
+	copy(hdr[0:4], snapMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], newGen)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(state)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(state, castagnoli))
+	_, err = tmp.Write(hdr[:])
+	if err == nil {
+		_, err = tmp.Write(crc[:])
+	}
+	if err == nil {
+		_, err = tmp.Write(state)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(l.dir, "snapshot.snap"))
+	}
+	if err == nil {
+		err = syncDir(l.dir)
+	}
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+
+	// The snapshot is durable; cut over to the new journal generation
+	// and drop the compacted one.
+	old := l.f
+	l.gen = newGen
+	l.snapshot = append([]byte(nil), state...)
+	l.records = nil
+	l.appended = 0
+	if err := l.createJournal(); err != nil {
+		return err
+	}
+	if old != nil {
+		old.Close()
+		os.Remove(filepath.Join(l.dir, journalName(newGen-1)))
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. The recovered views stay
+// readable; appends after Close fail.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// readSnapshot loads and validates snapshot.snap, if present. A
+// corrupt snapshot is a hard error: it is written atomically, so
+// damage means the storage itself lied, and silently starting empty
+// would re-execute everything the snapshot recorded.
+func (l *Log) readSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(l.dir, "snapshot.snap"))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < 4+8+8+4 || string(raw[0:4]) != snapMagic {
+		return fmt.Errorf("wal: %s/snapshot.snap is not a snapshot", l.dir)
+	}
+	gen := binary.LittleEndian.Uint64(raw[4:12])
+	size := binary.LittleEndian.Uint64(raw[12:20])
+	sum := binary.LittleEndian.Uint32(raw[20:24])
+	body := raw[24:]
+	if uint64(len(body)) != size {
+		return fmt.Errorf("wal: snapshot: %d payload bytes, header says %d", len(body), size)
+	}
+	if crc32.Checksum(body, castagnoli) != sum {
+		return fmt.Errorf("wal: snapshot: checksum mismatch")
+	}
+	l.gen = gen
+	l.snapshot = body
+	return nil
+}
+
+// openJournal opens (creating) the current generation's journal and
+// recovers its records, truncating a torn tail.
+func (l *Log) openJournal() error {
+	path := filepath.Join(l.dir, journalName(l.gen))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		// Either a brand-new log, or a crash after WriteSnapshot renamed
+		// the snapshot but before the fresh journal existed.
+		return l.createJournal()
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if len(raw) < headerLen || string(raw[0:4]) != journalMagic ||
+		binary.LittleEndian.Uint64(raw[4:headerLen]) != l.gen {
+		f.Close()
+		return fmt.Errorf("wal: %s is not generation-%d journal", path, l.gen)
+	}
+	records, good := DecodeRecords(raw[headerLen:])
+	keep := int64(headerLen + good)
+	if keep < int64(len(raw)) {
+		// A crash tore the tail mid-append; everything after the last
+		// intact record is garbage and must not interleave with new
+		// appends.
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.records = records
+	return nil
+}
+
+// createJournal starts an empty journal for the current generation.
+func (l *Log) createJournal() error {
+	path := filepath.Join(l.dir, journalName(l.gen))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[0:4], journalMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], l.gen)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return nil
+}
+
+// dropStaleJournals deletes journal files of any generation other
+// than the current one (left behind by a crash inside WriteSnapshot's
+// cut-over; their records are all inside the snapshot).
+func (l *Log) dropStaleJournals() {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		if name != journalName(l.gen) {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+}
+
+func journalName(gen uint64) string {
+	return "journal-" + strconv.FormatUint(gen, 10) + ".wal"
+}
+
+// DecodeRecords parses a framed record stream, returning the intact
+// records and how many bytes they occupy. Parsing stops — without
+// error — at the first torn or corrupt frame: a short header, a
+// length beyond MaxRecord, a truncated payload, or a checksum
+// mismatch. The slice aliases data.
+func DecodeRecords(data []byte) (records [][]byte, consumed int) {
+	off := 0
+	for {
+		if len(data)-off < recordOverhead {
+			return records, off
+		}
+		size := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if size > MaxRecord || int(size) > len(data)-off-recordOverhead {
+			return records, off
+		}
+		payload := data[off+recordOverhead : off+recordOverhead+int(size)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return records, off
+		}
+		records = append(records, payload)
+		off += recordOverhead + int(size)
+	}
+}
+
+// EncodeRecord appends one framed record to buf — the exact bytes
+// Append writes — and returns the extended buffer. It is the codec's
+// encode half, exported so tests and fuzzers can pin the round-trip.
+func EncodeRecord(buf, rec []byte) []byte {
+	var frame [recordOverhead]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(rec, castagnoli))
+	buf = append(buf, frame[:]...)
+	return append(buf, rec...)
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -38,6 +38,15 @@ type SearchSpec struct {
 	// EnergyBudgetWatts carries WithEnergyBudget across the wire
 	// (implies AutoTune on the executing node).
 	EnergyBudgetWatts float64 `json:"energyBudgetWatts,omitempty"`
+	// MaxWorkers caps how many distinct workers may hold live leases
+	// on the job at once (0 = unlimited). Cluster scheduling policy
+	// enforced by the coordinator; local execution ignores it.
+	MaxWorkers int `json:"maxWorkers,omitempty"`
+	// DeadlineMillis is the job's wall-clock budget from submission; a
+	// cluster job still running past it is failed by the coordinator
+	// (0 = none). Local execution ignores it — use a context deadline
+	// there.
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 }
 
 // ParseBackend rebuilds a Backend from its Name(): "cpu" (or ""),
