@@ -29,7 +29,7 @@ func (s *Session) applyPlan(cfg *searchConfig) error {
 	}
 	if cfg.approachSet {
 		if _, isCPU := cfg.backend.(cpuBackend); isCPU {
-			cons.Approach = fmt.Sprintf("V%d", int(cfg.approach))
+			cons.Approach = cfg.approach.String()
 		}
 	}
 

@@ -119,10 +119,11 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 			case cfg.shard != nil:
 				// Unless the caller pinned an approach, a sharded search
 				// uses V2, whose shards are exact near-equal rank slices;
-				// V4's shards slice the coarser block-triple space.
+				// the blocked approaches shard the coarser block-triple
+				// space.
 				ap = V2Split
 			default:
-				ap = V4Vector
+				ap = V4Fused
 			}
 		}
 		eopts.Approach = ap
@@ -196,7 +197,13 @@ func (b gpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (
 	}
 	kernel := gpusim.K4Tiled
 	if cfg.approachSet {
-		kernel = gpusim.Kernel(cfg.approach)
+		if cfg.approach == V4Fused {
+			// The CPU numbering has two fused variants; the GPU has one
+			// fused kernel, so both map onto it.
+			kernel = gpusim.K5Fused
+		} else {
+			kernel = gpusim.Kernel(cfg.approach)
+		}
 	}
 	gopts := gpusim.Options{
 		Kernel:    kernel,

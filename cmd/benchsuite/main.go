@@ -30,6 +30,11 @@
 //	                         # coordinator vs an in-memory one; exits nonzero
 //	                         # if journaling costs more than 10% of the
 //	                         # grant rate
+//	benchsuite -exp kernels  # fused-kernel audit (BENCH_PR7.json): host-measured
+//	                         # G elements/s of the blocked pipelines V3/V3F and
+//	                         # V4/V4F at several tile shapes, plus the fused-vs-
+//	                         # unfused speedup; exits nonzero if the fused V4F
+//	                         # does not beat the unfused V4
 //	benchsuite -exp all      # everything except the audit/snapshot experiments
 //
 // Cross-device rows are analytical-model projections (this is a
@@ -90,7 +95,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -125,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"durable": func() error {
 			return durableExp(orDefault(*snapOut, "BENCH_PR6.json"))
+		},
+		"kernels": func() error {
+			return kernelsExp(orDefault(*snapOut, "BENCH_PR7.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -1495,4 +1503,159 @@ func durableExp(outPath string) error {
 			durRate, memRate, snap.LeaseThroughput.Ratio)
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// fused-kernel audit (-exp kernels)
+
+// kernelPoint is one measured (pipeline, tile shape) configuration.
+type kernelPoint struct {
+	Approach     string  `json:"approach"`
+	BlockSNPs    int     `json:"blockSnps"`
+	BlockWords   int     `json:"blockWords"`
+	DurationMs   float64 `json:"durationMs"`
+	GElemsPerSec float64 `json:"gigaElementsPerSec"`
+}
+
+// kernelsSnapshot is the BENCH_PR7.json schema: the blocked pipelines
+// and their fused variants across tile shapes, and the headline
+// fused-vs-unfused speedups (best tile shape on each side).
+type kernelsSnapshot struct {
+	Schema     string        `json:"schema"`
+	SNPs       int           `json:"snps"`
+	Samples    int           `json:"samples"`
+	Seed       int64         `json:"seed"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Reps       int           `json:"reps"`
+	Points     []kernelPoint `json:"points"`
+	SpeedupV3F float64       `json:"speedupV3FvsV3"`
+	SpeedupV4F float64       `json:"speedupV4FvsV4"`
+}
+
+// kernelsExp is the fused-kernel audit: on a fixed dataset it measures
+// the host G elements/s of the blocked scalar (V3/V3F) and unrolled
+// (V4/V4F) pipelines at several tile shapes — both pipelines of a pair
+// run the same tile so the only difference is the cached pair-AND
+// planes. Each rep runs the four pipelines back to back and
+// contributes one fused/unfused ratio per pair, so clock drift and
+// co-tenant noise hit both sides of a ratio alike; the headline
+// speedups are the medians of those paired ratios across reps and
+// tiles. Every run is cross-checked against the unfused result
+// bit-exactly, and the audit (and CI with it) fails if the fused V4F
+// does not beat the unfused V4.
+func kernelsExp(outPath string) error {
+	const (
+		kernSNPs    = 128
+		kernSamples = 4096
+		kernSeed    = 29
+		kernReps    = 3
+	)
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: kernSNPs, Samples: kernSamples, Seed: kernSeed})
+	if err != nil {
+		return err
+	}
+	searcher, err := engine.New(mx)
+	if err != nil {
+		return err
+	}
+	snap := kernelsSnapshot{
+		Schema:     "trigene-kernels/1",
+		SNPs:       kernSNPs,
+		Samples:    kernSamples,
+		Seed:       kernSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       kernReps,
+	}
+	tiles := []struct{ bs, bw int }{
+		{8, 64},
+		{16, 32},
+		{32, 16},
+	}
+	pipelines := []engine.Approach{engine.V3Blocked, engine.V3Fused, engine.V4Vector, engine.V4Fused}
+	// Reference result for the bit-exactness cross-check.
+	ref, err := searcher.Run(engine.Options{Approach: engine.V2Split})
+	if err != nil {
+		return err
+	}
+	best := map[engine.Approach]float64{}
+	durMs := map[engine.Approach]float64{}
+	var ratiosV3F, ratiosV4F []float64
+	for _, tl := range tiles {
+		rates := map[engine.Approach][]float64{}
+		for r := 0; r < kernReps; r++ {
+			rep := map[engine.Approach]float64{}
+			for _, a := range pipelines {
+				opts := engine.Options{Approach: a, BlockSNPs: tl.bs, BlockWords: tl.bw}
+				res, err := searcher.Run(opts)
+				if err != nil {
+					return fmt.Errorf("%v %dx%d: %w", a, tl.bs, tl.bw, err)
+				}
+				if res.Best.Triple != ref.Best.Triple || res.Best.Score != ref.Best.Score {
+					return fmt.Errorf("%v %dx%d: best diverged from V2 reference", a, tl.bs, tl.bw)
+				}
+				rep[a] = res.Stats.ElementsPerSec
+				rates[a] = append(rates[a], res.Stats.ElementsPerSec)
+				durMs[a] = float64(res.Stats.Duration) / float64(time.Millisecond)
+			}
+			ratiosV3F = append(ratiosV3F, rep[engine.V3Fused]/rep[engine.V3Blocked])
+			ratiosV4F = append(ratiosV4F, rep[engine.V4Fused]/rep[engine.V4Vector])
+		}
+		for _, a := range pipelines {
+			// Max, not median: throughput under scheduler interference
+			// only loses, so the best rep is the cleanest per-tile
+			// estimate (the gate uses the paired ratios, not these).
+			rate := maxRate(rates[a])
+			if rate > best[a] {
+				best[a] = rate
+			}
+			snap.Points = append(snap.Points, kernelPoint{
+				Approach:     a.String(),
+				BlockSNPs:    tl.bs,
+				BlockWords:   tl.bw,
+				DurationMs:   durMs[a],
+				GElemsPerSec: rate / 1e9,
+			})
+		}
+	}
+	snap.SpeedupV3F = median(ratiosV3F)
+	snap.SpeedupV4F = median(ratiosV4F)
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Fused-kernel audit (%d SNPs x %d samples, best of %d) -> %s ==\n",
+		kernSNPs, kernSamples, kernReps, outPath)
+	t := report.NewTable("", "approach", "tile", "G elem/s")
+	for _, p := range snap.Points {
+		t.AddRowf(p.Approach, fmt.Sprintf("%dx%d", p.BlockSNPs, p.BlockWords), p.GElemsPerSec)
+	}
+	if err := render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "median paired speedup: V3F %s vs V3, V4F %s vs V4\n",
+		report.Speedup(snap.SpeedupV3F), report.Speedup(snap.SpeedupV4F))
+
+	// The audit gate: caching the pair planes must pay off on the
+	// vector pipeline, the one the planner defaults to.
+	if snap.SpeedupV4F <= 1 {
+		return fmt.Errorf("fused V4F does not beat unfused V4: median paired speedup %.3f (best rates %.2f vs %.2f G elem/s)",
+			snap.SpeedupV4F, best[engine.V4Fused]/1e9, best[engine.V4Vector]/1e9)
+	}
+	return nil
+}
+
+// maxRate of a non-empty sample.
+func maxRate(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }

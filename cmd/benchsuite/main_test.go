@@ -158,3 +158,46 @@ func TestPlanOutput(t *testing.T) {
 		}
 	}
 }
+
+// TestKernelsOutput: the fused-kernel audit writes the snapshot and
+// passes its own fused-beats-unfused gate.
+func TestKernelsOutput(t *testing.T) {
+	if raceEnabled {
+		// Race instrumentation multiplies every pair-plane load, so the
+		// fused-vs-unfused timing gate measures the detector, not the
+		// kernels. The un-instrumented CI step "fused kernel audit"
+		// still enforces it.
+		t.Skip("fused-kernel timing gate is meaningless under -race")
+	}
+	outPath := filepath.Join(t.TempDir(), "kernels.json")
+	s := runExp(t, "-exp", "kernels", "-out", outPath)
+	if !strings.Contains(s, "Fused-kernel audit") {
+		t.Errorf("missing header:\n%s", s)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap kernelsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "trigene-kernels/1" || len(snap.Points) != 12 {
+		t.Errorf("snapshot: schema=%q points=%d", snap.Schema, len(snap.Points))
+	}
+	want := map[string]bool{"V3": false, "V3F": false, "V4": false, "V4F": false}
+	for _, p := range snap.Points {
+		want[p.Approach] = true
+		if p.GElemsPerSec <= 0 || p.BlockSNPs <= 0 || p.BlockWords <= 0 {
+			t.Errorf("point %+v not populated", p)
+		}
+	}
+	for ap, seen := range want {
+		if !seen {
+			t.Errorf("approach %s missing from snapshot", ap)
+		}
+	}
+	if snap.SpeedupV4F <= 1 {
+		t.Errorf("fused V4F speedup %.3f, want > 1", snap.SpeedupV4F)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; timing-sensitive gates skip themselves when it does.
+const raceEnabled = false

@@ -50,7 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	phenPath := fs.String("phen", "", "phenotype file for VCF input (one 0/1 per sample, whitespace separated)")
 	backend := fs.String("backend", "cpu", "execution backend: cpu, baseline or hetero")
 	gpuID := fs.String("gpu", "", "simulate on a Table II GPU (e.g. GN1); overrides -backend")
-	approach := fs.String("approach", "", "pipeline V1..V4 (or naive/split/blocked/vector; on -gpu: naive/split/transposed/tiled); default: the backend's best")
+	approach := fs.String("approach", "", "pipeline V1..V4, V3F, V4F (or naive/split/blocked/vector/fused; on -gpu: naive/split/transposed/tiled/fused); default: the backend's best")
 	workers := fs.Int("workers", 0, "worker count (0 = all cores)")
 	topK := fs.Int("topk", 5, "number of candidates to report")
 	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native objective)")

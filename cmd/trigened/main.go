@@ -266,7 +266,7 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	order := fs.Int("order", 0, "interaction order (0 = default 3)")
 	topK := fs.Int("topk", 5, "number of candidates to report")
 	objective := fs.String("objective", "", "objective: k2, mi or gini (default: the backend's native)")
-	approach := fs.String("approach", "", "pin pipeline V1..V4 (default: the backend's best)")
+	approach := fs.String("approach", "", "pin pipeline V1..V4, V3F or V4F (default: the backend's best)")
 	workers := fs.Int("workers", 0, "per-worker host parallelism (0 = all cores)")
 	auto := fs.Bool("auto", false, "model-driven autotuning: every worker plans the tile for its own host; the merged Report records the plan")
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto)")

@@ -34,7 +34,7 @@ func ExampleSession_Search() {
 	fmt.Println("best:", rep.Best.SNPs)
 	fmt.Println("candidates:", len(rep.TopK))
 	// Output:
-	// backend: cpu V4
+	// backend: cpu V4F
 	// best: [7 19 28]
 	// candidates: 3
 }

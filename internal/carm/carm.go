@@ -141,13 +141,31 @@ func CapElemRate(m Model, cost perfmodel.ApproachCost, gElemPerSec float64) floa
 	return gElemPerSec
 }
 
-// CPUPoints characterizes the four CPU approaches on a device: the
-// element rates come from the analytical models, converted to GINTOPS
-// with the paper's per-approach operation counts, at the paper's
-// per-approach arithmetic intensities.
+// FusedTileWords sizes the fused kernels' word-block from an L1 data
+// budget: the data third of the cache (the same split TileParams uses)
+// must hold the nine cached pair-AND planes plus the 2*xBatch stored x
+// planes streamed against them, all 64-bit words. This is the cache-
+// residency constraint that keeps the fused kernels on the L1 slope of
+// the roofline rather than spilling the pair planes to L2.
+func FusedTileWords(l1Bytes, xBatch int) int {
+	if xBatch < 1 {
+		xBatch = 1
+	}
+	sizeBlock := l1Bytes / 3
+	bw := sizeBlock / ((9 + 2*xBatch) * 8)
+	if bw < 1 {
+		bw = 1
+	}
+	return bw
+}
+
+// CPUPoints characterizes the CPU approaches on a device — the paper's
+// four plus the fused variants V3F/V4F: the element rates come from
+// the analytical models, converted to GINTOPS with the per-approach
+// operation counts, at the per-approach arithmetic intensities.
 func CPUPoints(c device.CPU, avx512 bool, snps, samples int) ([]Point, error) {
-	points := make([]Point, 0, 4)
-	for a := 1; a <= 4; a++ {
+	points := make([]Point, 0, 6)
+	for a := 1; a <= 6; a++ {
 		cost, err := perfmodel.CostOf(a)
 		if err != nil {
 			return nil, err
@@ -157,7 +175,7 @@ func CPUPoints(c device.CPU, avx512 bool, snps, samples int) ([]Point, error) {
 			return nil, err
 		}
 		points = append(points, Point{
-			Name:    fmt.Sprintf("V%d", a),
+			Name:    perfmodel.ApproachName(a),
 			AI:      cost.AI(),
 			GIntops: rate * cost.OpsPerElement(),
 		})

@@ -8,6 +8,7 @@ import (
 	"trigene/internal/dataset"
 	"trigene/internal/device"
 	"trigene/internal/gpusim"
+	"trigene/internal/perfmodel"
 )
 
 func ci3(t *testing.T) device.CPU {
@@ -112,10 +113,11 @@ func TestCPUPointsFigure2aShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 4 {
+	if len(pts) != 6 {
 		t.Fatalf("points = %d", len(pts))
 	}
 	v1, v2, v3, v4 := pts[0], pts[1], pts[2], pts[3]
+	v3f, v4f := pts[4], pts[5]
 	// Paper: AI drops from V1 to V2 and stays there.
 	if !(v2.AI < v1.AI) || v2.AI != v3.AI || v3.AI != v4.AI {
 		t.Errorf("AI progression wrong: %g %g %g %g", v1.AI, v2.AI, v3.AI, v4.AI)
@@ -129,11 +131,41 @@ func TestCPUPointsFigure2aShape(t *testing.T) {
 	if !(v3.GIntops > v2.GIntops) || !(v4.GIntops > v3.GIntops) {
 		t.Errorf("performance progression wrong: %.0f %.0f %.0f", v2.GIntops, v3.GIntops, v4.GIntops)
 	}
+	// The fused points sit at a lower AI (cached pair planes count as
+	// touched bytes) and each fused variant outpaces its unfused
+	// pipeline in element rate, which at 55 vs 57 ops/word still means
+	// more GINTOPS at the lower intensity is not guaranteed — compare
+	// element rates via ops/element instead.
+	if !(v3f.AI < v2.AI) || v3f.AI != v4f.AI {
+		t.Errorf("fused AI wrong: %g %g (V2 %g)", v3f.AI, v4f.AI, v2.AI)
+	}
+	cost2, _ := perfmodel.CostOf(3)
+	costF, _ := perfmodel.CostOf(5)
+	if v3f.GIntops/costF.OpsPerElement() <= v3.GIntops/cost2.OpsPerElement() {
+		t.Error("V3F element rate should exceed V3's")
+	}
+	if v4f.GIntops/costF.OpsPerElement() <= v4.GIntops/cost2.OpsPerElement() {
+		t.Error("V4F element rate should exceed V4's")
+	}
 	// No point exceeds its roofline ceiling.
 	for _, p := range pts {
 		if p.GIntops > m.Attainable(p.AI)*1.001 {
 			t.Errorf("%s at %.0f GINTOPS exceeds ceiling %.0f", p.Name, p.GIntops, m.Attainable(p.AI))
 		}
+	}
+}
+
+func TestFusedTileWords(t *testing.T) {
+	// 32 KiB: a third of the cache over 13 x 8-byte plane words.
+	if bw := FusedTileWords(32<<10, 2); bw != (32<<10)/3/104 {
+		t.Errorf("FusedTileWords(32Ki, 2) = %d", bw)
+	}
+	// More streamed x planes shrink the block; tiny budgets clamp to 1.
+	if FusedTileWords(32<<10, 4) >= FusedTileWords(32<<10, 1) {
+		t.Error("word block should shrink with the x batch")
+	}
+	if FusedTileWords(128, 2) != 1 {
+		t.Error("tiny budget should clamp to one word")
 	}
 }
 

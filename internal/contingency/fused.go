@@ -1,0 +1,166 @@
+package contingency
+
+import "math/bits"
+
+// PairPlanes is the number of cached (gy, gz) pair-AND planes a fused
+// kernel pass consumes: the 3x3 genotype products of the y and z bit
+// planes.
+const PairPlanes = 9
+
+// BuildPairPlanes fills dst with the nine pair-AND planes of the given
+// y/z word ranges: plane gy*3+gz holds ys[gy] & zs[gz] word by word,
+// with the genotype-2 planes derived by NOR. dst must hold
+// PairPlanes*len(y0s) words; plane p occupies dst[p*n : (p+1)*n] where
+// n = len(y0s). Building the planes once per (i1, i2) pair lets the
+// fused Accumulate* kernels drop the per-i0 y/z recomputation: the 2
+// NORs and 9 ANDs here are paid once instead of once per x plane.
+func BuildPairPlanes(dst []uint64, y0s, y1s, z0s, z1s []uint64) {
+	n := len(y0s)
+	if n == 0 {
+		return
+	}
+	_ = y1s[n-1]
+	_ = z0s[n-1]
+	_ = z1s[n-1]
+	_ = dst[PairPlanes*n-1]
+	for w := 0; w < n; w++ {
+		y0, y1 := y0s[w], y1s[w]
+		z0, z1 := z0s[w], z1s[w]
+		ys := [3]uint64{y0, y1, ^(y0 | y1)}
+		zs := [3]uint64{z0, z1, ^(z0 | z1)}
+		o := w
+		for gy := 0; gy < 3; gy++ {
+			y := ys[gy]
+			dst[o] = y & zs[0]
+			o += n
+			dst[o] = y & zs[1]
+			o += n
+			dst[o] = y & zs[2]
+			o += n
+		}
+	}
+}
+
+// AccumulateFused adds the genotype-combination counts of one x plane
+// pair against cached pair-AND planes: per word it derives the x
+// genotype-2 word by NOR (1 NOR + 27 AND + 27 POPCNT, versus the 3 NOR
+// + 36 AND of AccumulateSplit). pair must be laid out by
+// BuildPairPlanes over the same word range, so len(pair) ==
+// PairPlanes*len(x0s). Padding handling matches AccumulateSplit: the
+// caller subtracts the pad inflation from accumulator 26.
+func AccumulateFused(ft *[Cells]int32, x0s, x1s, pair []uint64) {
+	accumulateFusedFrom(ft, x0s, x1s, pair, 0)
+}
+
+// accumulateFusedFrom is AccumulateFused starting at word lo. The pair
+// stride stays len(x0s), so the unrolled kernels can reuse it for
+// their remainder words without re-slicing the plane-major buffer.
+func accumulateFusedFrom(ft *[Cells]int32, x0s, x1s, pair []uint64, lo int) {
+	n := len(x0s)
+	if lo >= n {
+		return
+	}
+	_ = x1s[n-1]
+	_ = pair[PairPlanes*n-1]
+	for w := lo; w < n; w++ {
+		x0, x1 := x0s[w], x1s[w]
+		x2 := ^(x0 | x1)
+		// Pair planes outer, x genotypes inner: each cached word is
+		// loaded once and charged against all three x planes (cell
+		// index for (gx, gy, gz) is gx*9 + p with p = gy*3+gz).
+		o := w
+		for p := 0; p < PairPlanes; p++ {
+			v := pair[o]
+			ft[p] += int32(bits.OnesCount64(x0 & v))
+			ft[p+9] += int32(bits.OnesCount64(x1 & v))
+			ft[p+18] += int32(bits.OnesCount64(x2 & v))
+			o += n
+		}
+	}
+}
+
+// AccumulateFusedLanes4 is AccumulateFused with the word loop unrolled
+// over independent pairs (the 256-bit analogue of the fused kernel):
+// two words' popcount chains interleave per pair-plane load.
+func AccumulateFusedLanes4(ft *[Cells]int32, x0s, x1s, pair []uint64) {
+	n := len(x0s)
+	w := 0
+	for ; w+2 <= n; w += 2 {
+		ax0, ax1 := x0s[w], x1s[w]
+		bx0, bx1 := x0s[w+1], x1s[w+1]
+		ax2 := ^(ax0 | ax1)
+		bx2 := ^(bx0 | bx1)
+		o := w
+		for p := 0; p < PairPlanes; p++ {
+			pa, pb := pair[o], pair[o+1]
+			ft[p] += int32(bits.OnesCount64(ax0&pa) + bits.OnesCount64(bx0&pb))
+			ft[p+9] += int32(bits.OnesCount64(ax1&pa) + bits.OnesCount64(bx1&pb))
+			ft[p+18] += int32(bits.OnesCount64(ax2&pa) + bits.OnesCount64(bx2&pb))
+			o += n
+		}
+	}
+	accumulateFusedFrom(ft, x0s, x1s, pair, w)
+}
+
+// AccumulateFusedLanes8 widens AccumulateFusedLanes4 to four
+// interleaved words per iteration (the 512-bit analogue): each cached
+// pair-plane load feeds a four-word unrolled bits.OnesCount64 chain.
+func AccumulateFusedLanes8(ft *[Cells]int32, x0s, x1s, pair []uint64) {
+	n := len(x0s)
+	w := 0
+	for ; w+4 <= n; w += 4 {
+		ax0, ax1 := x0s[w], x1s[w]
+		bx0, bx1 := x0s[w+1], x1s[w+1]
+		cx0, cx1 := x0s[w+2], x1s[w+2]
+		dx0, dx1 := x0s[w+3], x1s[w+3]
+		ax2 := ^(ax0 | ax1)
+		bx2 := ^(bx0 | bx1)
+		cx2 := ^(cx0 | cx1)
+		dx2 := ^(dx0 | dx1)
+		o := w
+		for p := 0; p < PairPlanes; p++ {
+			pa, pb, pc, pd := pair[o], pair[o+1], pair[o+2], pair[o+3]
+			ft[p] += int32(bits.OnesCount64(ax0&pa) + bits.OnesCount64(bx0&pb) +
+				bits.OnesCount64(cx0&pc) + bits.OnesCount64(dx0&pd))
+			ft[p+9] += int32(bits.OnesCount64(ax1&pa) + bits.OnesCount64(bx1&pb) +
+				bits.OnesCount64(cx1&pc) + bits.OnesCount64(dx1&pd))
+			ft[p+18] += int32(bits.OnesCount64(ax2&pa) + bits.OnesCount64(bx2&pb) +
+				bits.OnesCount64(cx2&pc) + bits.OnesCount64(dx2&pd))
+			o += n
+		}
+	}
+	accumulateFusedFrom(ft, x0s, x1s, pair, w)
+}
+
+// AccumulateFusedX2 accumulates two x plane pairs per pass over the
+// cached pair planes, two words at a time: each pair-plane word loaded
+// from cache is charged against both i0 candidates, halving the pair
+// traffic of two single-x passes while keeping four independent
+// popcount chains in flight.
+func AccumulateFusedX2(fta, ftb *[Cells]int32, xa0s, xa1s, xb0s, xb1s, pair []uint64) {
+	n := len(xa0s)
+	w := 0
+	for ; w+2 <= n; w += 2 {
+		a0, a1 := xa0s[w], xa1s[w]
+		c0, c1 := xa0s[w+1], xa1s[w+1]
+		b0, b1 := xb0s[w], xb1s[w]
+		d0, d1 := xb0s[w+1], xb1s[w+1]
+		a2 := ^(a0 | a1)
+		c2 := ^(c0 | c1)
+		b2 := ^(b0 | b1)
+		d2 := ^(d0 | d1)
+		o := w
+		for p := 0; p < PairPlanes; p++ {
+			p0, p1 := pair[o], pair[o+1]
+			fta[p] += int32(bits.OnesCount64(a0&p0) + bits.OnesCount64(c0&p1))
+			fta[p+9] += int32(bits.OnesCount64(a1&p0) + bits.OnesCount64(c1&p1))
+			fta[p+18] += int32(bits.OnesCount64(a2&p0) + bits.OnesCount64(c2&p1))
+			ftb[p] += int32(bits.OnesCount64(b0&p0) + bits.OnesCount64(d0&p1))
+			ftb[p+9] += int32(bits.OnesCount64(b1&p0) + bits.OnesCount64(d1&p1))
+			ftb[p+18] += int32(bits.OnesCount64(b2&p0) + bits.OnesCount64(d2&p1))
+			o += n
+		}
+	}
+	accumulateFusedFrom(fta, xa0s, xa1s, pair, w)
+	accumulateFusedFrom(ftb, xb0s, xb1s, pair, w)
+}

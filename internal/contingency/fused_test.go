@@ -1,0 +1,164 @@
+package contingency
+
+import (
+	"math/rand"
+	"testing"
+
+	"trigene/internal/dataset"
+)
+
+// randomPlanes fabricates n-word x/y/z plane pairs the way SplitBinarize
+// lays them out: plane 0 and plane 1 never share a bit, so the NOR-derived
+// genotype-2 plane is exact.
+func randomPlanes(r *rand.Rand, n int) (p0, p1 []uint64) {
+	p0 = make([]uint64, n)
+	p1 = make([]uint64, n)
+	for w := 0; w < n; w++ {
+		a := r.Uint64()
+		b := r.Uint64()
+		p0[w] = a &^ b
+		p1[w] = b &^ a
+	}
+	return p0, p1
+}
+
+// TestFusedKernelsMatchSplit drives every fused variant against
+// AccumulateSplit over ragged word counts, including the zero-word and
+// sub-unroll tails the Lanes/X2 remainder paths must handle.
+func TestFusedKernelsMatchSplit(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 31} {
+		x0, x1 := randomPlanes(r, n)
+		u0, u1 := randomPlanes(r, n) // second x for the X2 kernel
+		y0, y1 := randomPlanes(r, n)
+		z0, z1 := randomPlanes(r, n)
+
+		var wantA, wantB [Cells]int32
+		AccumulateSplit(&wantA, x0, x1, y0, y1, z0, z1)
+		AccumulateSplit(&wantB, u0, u1, y0, y1, z0, z1)
+
+		pair := make([]uint64, PairPlanes*n)
+		BuildPairPlanes(pair, y0, y1, z0, z1)
+
+		kernels := []struct {
+			name string
+			fn   func(*[Cells]int32, []uint64, []uint64, []uint64)
+		}{
+			{"AccumulateFused", AccumulateFused},
+			{"AccumulateFusedLanes4", AccumulateFusedLanes4},
+			{"AccumulateFusedLanes8", AccumulateFusedLanes8},
+		}
+		for _, k := range kernels {
+			var got [Cells]int32
+			k.fn(&got, x0, x1, pair)
+			if got != wantA {
+				t.Errorf("n=%d: %s differs from AccumulateSplit\ngot  %v\nwant %v", n, k.name, got, wantA)
+			}
+		}
+
+		var gotA, gotB [Cells]int32
+		AccumulateFusedX2(&gotA, &gotB, x0, x1, u0, u1, pair)
+		if gotA != wantA || gotB != wantB {
+			t.Errorf("n=%d: AccumulateFusedX2 differs from AccumulateSplit\ngotA  %v\nwantA %v\ngotB  %v\nwantB %v",
+				n, gotA, wantA, gotB, wantB)
+		}
+	}
+}
+
+// TestFusedAccumulateIsAdditive asserts the fused kernels accumulate
+// (+=) rather than overwrite, since the blocked engine calls them once
+// per word-block on the same table.
+func TestFusedAccumulateIsAdditive(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	n := 6
+	x0, x1 := randomPlanes(r, n)
+	y0, y1 := randomPlanes(r, n)
+	z0, z1 := randomPlanes(r, n)
+	pair := make([]uint64, PairPlanes*n)
+	BuildPairPlanes(pair, y0, y1, z0, z1)
+
+	var once, twice [Cells]int32
+	AccumulateFused(&once, x0, x1, pair)
+	AccumulateFused(&twice, x0, x1, pair)
+	AccumulateFused(&twice, x0, x1, pair)
+	for i := range once {
+		if twice[i] != 2*once[i] {
+			t.Fatalf("cell %d: two passes gave %d, want %d", i, twice[i], 2*once[i])
+		}
+	}
+}
+
+// buildSplitFused rebuilds BuildSplit on top of the fused kernels: pair
+// planes from (j, k), fused accumulation of i, pad correction on cell
+// 26. Used to verify the fused path against the sample-by-sample oracle
+// on real split encodings with pad bits.
+func buildSplitFused(s *dataset.Split, i, j, k int, fn func(*[Cells]int32, []uint64, []uint64, []uint64)) Table {
+	var t Table
+	for class := 0; class < 2; class++ {
+		n := s.Words[class]
+		pair := make([]uint64, PairPlanes*n)
+		BuildPairPlanes(pair,
+			s.Plane(class, j, 0), s.Plane(class, j, 1),
+			s.Plane(class, k, 0), s.Plane(class, k, 1))
+		fn(&t.Counts[class], s.Plane(class, i, 0), s.Plane(class, i, 1), pair)
+		t.Counts[class][Cells-1] -= int32(s.Pad[class])
+	}
+	return t
+}
+
+// TestFusedMatchesReferenceWithPadBits checks the fused pipeline end to
+// end on split encodings whose final words carry pad bits: the NOR-
+// derived planes inflate cell 26 and the standard correction must land
+// on exactly the oracle counts.
+func TestFusedMatchesReferenceWithPadBits(t *testing.T) {
+	// 173 and 64+1 samples exercise ragged and one-bit-over-word pads;
+	// 128 is the pad-free control.
+	for _, samples := range []int{173, 65, 128, 40} {
+		mx := randomMatrix(int64(100+samples), 8, samples)
+		s := dataset.SplitBinarize(mx)
+		controls, cases := mx.ClassCounts()
+		for _, tr := range [][3]int{{0, 1, 2}, {1, 3, 7}, {2, 5, 6}} {
+			want := BuildReference(mx, tr[0], tr[1], tr[2])
+			if err := want.Validate(controls, cases); err != nil {
+				t.Fatalf("reference table invalid: %v", err)
+			}
+			for _, k := range []struct {
+				name string
+				fn   func(*[Cells]int32, []uint64, []uint64, []uint64)
+			}{
+				{"AccumulateFused", AccumulateFused},
+				{"AccumulateFusedLanes4", AccumulateFusedLanes4},
+				{"AccumulateFusedLanes8", AccumulateFusedLanes8},
+			} {
+				got := buildSplitFused(s, tr[0], tr[1], tr[2], k.fn)
+				if !got.Equal(&want) {
+					t.Errorf("samples=%d triple %v: fused %s differs from reference\ngot:\n%swant:\n%s",
+						samples, tr, k.name, got.String(), want.String())
+				}
+			}
+		}
+	}
+}
+
+// TestBuildPairPlanesLayout pins the plane-major layout: plane gy*3+gz
+// lives at dst[(gy*3+gz)*n : +n].
+func TestBuildPairPlanesLayout(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	n := 5
+	y0, y1 := randomPlanes(r, n)
+	z0, z1 := randomPlanes(r, n)
+	dst := make([]uint64, PairPlanes*n)
+	BuildPairPlanes(dst, y0, y1, z0, z1)
+	for w := 0; w < n; w++ {
+		ys := [3]uint64{y0[w], y1[w], ^(y0[w] | y1[w])}
+		zs := [3]uint64{z0[w], z1[w], ^(z0[w] | z1[w])}
+		for gy := 0; gy < 3; gy++ {
+			for gz := 0; gz < 3; gz++ {
+				want := ys[gy] & zs[gz]
+				if got := dst[(gy*3+gz)*n+w]; got != want {
+					t.Fatalf("plane (%d,%d) word %d = %#x, want %#x", gy, gz, w, got, want)
+				}
+			}
+		}
+	}
+}

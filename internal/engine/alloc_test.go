@@ -8,17 +8,18 @@ import (
 )
 
 // TestHotPathAllocs proves the steady-state claim→score loop performs
-// zero heap allocations per scored combination on the two approaches
-// the paper's throughput story rests on: V2 (flat split kernel) and V4
-// (blocked lane-vectorized kernel). The per-consumer arenas (pooled
-// contingency tables, reused top-K heaps) are what make this hold.
+// zero heap allocations per scored combination on the approaches the
+// paper's throughput story rests on: V2 (flat split kernel), V4
+// (blocked lane-vectorized kernel) and the fused pair-AND variants.
+// The per-consumer arenas (pooled contingency tables, the pair-plane
+// buffer, reused top-K heaps) are what make this hold.
 func TestHotPathAllocs(t *testing.T) {
 	mx := randomMatrix(200, 32, 320)
 	s, err := New(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []Approach{V2Split, V4Vector} {
+	for _, a := range []Approach{V2Split, V4Vector, V3Fused, V4Fused} {
 		h, err := s.NewHotLoop(Options{Approach: a, TopK: 4})
 		if err != nil {
 			t.Fatal(err)
@@ -51,7 +52,7 @@ func TestHotLoopMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []Approach{V2Split, V4Vector} {
+	for _, a := range []Approach{V2Split, V4Vector, V4Fused} {
 		want, err := s.Run(Options{Approach: a, TopK: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -93,7 +94,7 @@ func TestShardedRunsMatchFull(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []Approach{V1Naive, V2Split, V3Blocked, V4Vector} {
+	for _, a := range []Approach{V1Naive, V2Split, V3Blocked, V4Vector, V3Fused, V4Fused} {
 		full, err := s.Run(Options{Approach: a, TopK: 7})
 		if err != nil {
 			t.Fatal(err)
@@ -111,7 +112,7 @@ func TestShardedRunsMatchFull(t *testing.T) {
 				if res.Space == nil {
 					t.Fatalf("%v shard %d/%d: no Space recorded", a, i, count)
 				}
-				blocked := a == V3Blocked || a == V4Vector
+				blocked := a.blocked()
 				if res.BlockSpace != blocked {
 					t.Errorf("%v shard: BlockSpace = %v", a, res.BlockSpace)
 				}

@@ -105,37 +105,61 @@ func (s *Searcher) blockTripleCombos(b0, b1, b2, bs int) int64 {
 }
 
 // blockWorker holds one worker's reusable state for the blocked paths.
+// The unfused approaches drive kernel; the fused approaches drive
+// fusedK (one x plane pair against the cached pair planes) and, for
+// V4F, fusedX2 (two x plane pairs per pass).
 type blockWorker struct {
-	s      *Searcher
-	o      *Options
-	split  *dataset.Split
-	bs     int
-	nb     int
-	a      *arena
-	kernel func(*[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64, []uint64)
+	s       *Searcher
+	o       *Options
+	split   *dataset.Split
+	bs      int
+	nb      int
+	a       *arena
+	kernel  func(*[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64, []uint64)
+	fusedK  func(*[contingency.Cells]int32, []uint64, []uint64, []uint64)
+	fusedX2 func(*[contingency.Cells]int32, *[contingency.Cells]int32, []uint64, []uint64, []uint64, []uint64, []uint64)
 }
 
 // newBlockWorker builds a consumer with a pooled arena sized for the
-// BS^3 table bank.
+// BS^3 table bank (plus the pair-plane buffer on the fused paths).
 func newBlockWorker(s *Searcher, o *Options, bs, nb int) *blockWorker {
-	kernel := contingency.AccumulateSplit
-	if o.Approach == V4Vector {
+	w := &blockWorker{
+		s:     s,
+		o:     o,
+		split: s.st.Split(),
+		bs:    bs,
+		nb:    nb,
+		a:     getArena(o.Objective, o.TopK, bs*bs*bs),
+	}
+	switch o.Approach {
+	case V3Fused:
+		w.fusedK = contingency.AccumulateFused
+	case V4Fused:
+		switch o.Lanes {
+		case 1:
+			w.fusedK = contingency.AccumulateFused
+		case 4:
+			w.fusedK = contingency.AccumulateFusedLanes4
+		default:
+			w.fusedK = contingency.AccumulateFusedLanes8
+		}
+		w.fusedX2 = contingency.AccumulateFusedX2
+	case V4Vector:
 		switch o.Lanes {
 		case 4:
-			kernel = contingency.AccumulateSplitLanes4
+			w.kernel = contingency.AccumulateSplitLanes4
 		case 8:
-			kernel = contingency.AccumulateSplitLanes8
+			w.kernel = contingency.AccumulateSplitLanes8
+		default:
+			w.kernel = contingency.AccumulateSplit
 		}
+	default:
+		w.kernel = contingency.AccumulateSplit
 	}
-	return &blockWorker{
-		s:      s,
-		o:      o,
-		split:  s.st.Split(),
-		bs:     bs,
-		nb:     nb,
-		a:      getArena(o.Objective, o.TopK, bs*bs*bs),
-		kernel: kernel,
+	if o.Approach.fused() {
+		w.a.sizePair(contingency.PairPlanes * o.BlockWords)
 	}
+	return w
 }
 
 // tile evaluates the block triples with ranks in [t.Lo, t.Hi) and
@@ -146,7 +170,11 @@ func (w *blockWorker) tile(t sched.Tile) int64 {
 		// Unrank the multiset triple: strict triple over nb+2 minus the
 		// staircase offsets.
 		a, b, c := combin.UnrankTriple(rank, w.nb+2)
-		scored += w.processBlockTriple(a, b-1, c-2)
+		if w.fusedK != nil {
+			scored += w.processBlockTripleFused(a, b-1, c-2)
+		} else {
+			scored += w.processBlockTriple(a, b-1, c-2)
+		}
 	}
 	w.a.scored += scored
 	return scored
@@ -162,9 +190,7 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 	lim0, lim1, lim2 := blockLim(base0, bs, m), blockLim(base1, bs, m), blockLim(base2, bs, m)
 
 	tables := w.a.tables
-	for i := range tables {
-		tables[i] = contingency.Table{}
-	}
+	w.zeroTables(lim0, lim1, lim2)
 
 	split := w.split
 	bw := w.o.BlockWords
@@ -201,7 +227,115 @@ func (w *blockWorker) processBlockTriple(b0, b1, b2 int) int64 {
 		}
 	}
 
-	// Pad correction and scoring for every valid combination.
+	return w.scoreTables(base0, base1, base2, lim0, lim1, lim2)
+}
+
+// processBlockTripleFused is processBlockTriple with the pair-AND
+// hoisting: for each (ii1, ii2) the nine genotype-pair products of the
+// y/z planes are built once into the arena's pair buffer, then the
+// whole ii0 run streams against the cached planes with the fused
+// kernels (two i0 per pass on V4F, single-x remainder otherwise). The
+// pair buffer is sized by FusedTileParams/carm.FusedTileWords so the
+// planes stay L1-resident across the run.
+func (w *blockWorker) processBlockTripleFused(b0, b1, b2 int) int64 {
+	m := w.s.st.SNPs()
+	bs := w.bs
+	base0, base1, base2 := b0*bs, b1*bs, b2*bs
+	lim0, lim1, lim2 := blockLim(base0, bs, m), blockLim(base1, bs, m), blockLim(base2, bs, m)
+
+	tables := w.a.tables
+	w.zeroTables(lim0, lim1, lim2)
+
+	split := w.split
+	bw := w.o.BlockWords
+	for class := 0; class < 2; class++ {
+		words := split.Words[class]
+		for w0 := 0; w0 < words; w0 += bw {
+			w1 := w0 + bw
+			if w1 > words {
+				w1 = words
+			}
+			for ii2 := 0; ii2 < lim2; ii2++ {
+				gi2 := base2 + ii2
+				z0 := split.PlaneRange(class, gi2, 0, w0, w1)
+				z1 := split.PlaneRange(class, gi2, 1, w0, w1)
+				for ii1 := 0; ii1 < lim1; ii1++ {
+					gi1 := base1 + ii1
+					if gi1 >= gi2 {
+						break
+					}
+					// Valid ii0 run: gi0 = base0+ii0 < gi1.
+					n0 := lim0
+					if v := gi1 - base0; v < n0 {
+						n0 = v
+					}
+					if n0 <= 0 {
+						continue
+					}
+					pair := w.a.pair[:contingency.PairPlanes*(w1-w0)]
+					contingency.BuildPairPlanes(pair,
+						split.PlaneRange(class, gi1, 0, w0, w1),
+						split.PlaneRange(class, gi1, 1, w0, w1),
+						z0, z1)
+					row := ii1*bs + ii2
+					ii0 := 0
+					if w.fusedX2 != nil {
+						for ; ii0+2 <= n0; ii0 += 2 {
+							gi0 := base0 + ii0
+							fta := &tables[ii0*bs*bs+row].Counts[class]
+							ftb := &tables[(ii0+1)*bs*bs+row].Counts[class]
+							w.fusedX2(fta, ftb,
+								split.PlaneRange(class, gi0, 0, w0, w1),
+								split.PlaneRange(class, gi0, 1, w0, w1),
+								split.PlaneRange(class, gi0+1, 0, w0, w1),
+								split.PlaneRange(class, gi0+1, 1, w0, w1),
+								pair)
+						}
+					}
+					for ; ii0 < n0; ii0++ {
+						gi0 := base0 + ii0
+						w.fusedK(&tables[ii0*bs*bs+row].Counts[class],
+							split.PlaneRange(class, gi0, 0, w0, w1),
+							split.PlaneRange(class, gi0, 1, w0, w1),
+							pair)
+					}
+				}
+			}
+		}
+	}
+
+	return w.scoreTables(base0, base1, base2, lim0, lim1, lim2)
+}
+
+// zeroTables clears the valid (lim0 x lim1 x lim2) slab of the arena's
+// BS^3 table bank — boundary triples only touch that slab, so the rest
+// of the bank (stale from earlier triples) is never read or written.
+func (w *blockWorker) zeroTables(lim0, lim1, lim2 int) {
+	bs := w.bs
+	tables := w.a.tables
+	if lim0 == bs && lim1 == bs && lim2 == bs {
+		for i := range tables {
+			tables[i] = contingency.Table{}
+		}
+		return
+	}
+	for ii0 := 0; ii0 < lim0; ii0++ {
+		for ii1 := 0; ii1 < lim1; ii1++ {
+			row := (ii0*bs + ii1) * bs
+			slab := tables[row : row+lim2]
+			for i := range slab {
+				slab[i] = contingency.Table{}
+			}
+		}
+	}
+}
+
+// scoreTables applies the pad correction and scores every valid
+// combination of the block triple, returning how many it scored.
+func (w *blockWorker) scoreTables(base0, base1, base2, lim0, lim1, lim2 int) int64 {
+	bs := w.bs
+	split := w.split
+	tables := w.a.tables
 	var scored int64
 	for ii0 := 0; ii0 < lim0; ii0++ {
 		gi0 := base0 + ii0

@@ -28,7 +28,7 @@ func TestMonomorphicSNPs(t *testing.T) {
 	if tab.Cell(dataset.Control, 0, 0, 0) != 50 || tab.Cell(dataset.Case, 0, 0, 0) != 50 {
 		t.Fatalf("monomorphic table wrong:\n%s", tab.String())
 	}
-	for a := V1Naive; a <= V4Vector; a++ {
+	for a := V1Naive; a <= V4Fused; a++ {
 		res, err := s.Run(Options{Approach: a})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)

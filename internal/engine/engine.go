@@ -14,6 +14,13 @@
 //	                data block fit in the L1 data cache (Algorithm 1).
 //	V4 (vector)     V3 with the multi-word lane kernels standing in for
 //	                the paper's AVX/AVX-512 intrinsics.
+//	V3F/V4F (fused) the blocked pipelines with the (i1, i2) pair-AND
+//	                planes hoisted out of the innermost loop: the nine
+//	                genotype-pair products are built once per word-block
+//	                into an arena buffer and every i0 pass is a fused
+//	                AND+POPCNT over the cached planes (V4F additionally
+//	                streams two i0 per pass with multi-word unrolled
+//	                popcounts, and is the default).
 //
 // Work is distributed over a pool of workers that claim chunks of the
 // combination space (or of the block-triple space for V3/V4) from an
@@ -30,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"trigene/internal/carm"
 	"trigene/internal/combin"
 	"trigene/internal/dataset"
 	"trigene/internal/sched"
@@ -49,6 +57,15 @@ const (
 	V3Blocked
 	// V4Vector adds the lane-vectorized kernels.
 	V4Vector
+	// V3Fused restructures V3 so the (i1, i2) pair-AND planes are built
+	// once per word-block into an arena buffer and reused across the
+	// whole ii0 loop (1 NOR + 27 AND per combination word instead of
+	// 3 NOR + 36 AND).
+	V3Fused
+	// V4Fused adds the multi-word unrolled popcount chains and the
+	// two-i0-per-pass kernel on top of the cached pair planes — the
+	// fused successor to V4 and the default pipeline.
+	V4Fused
 )
 
 // String returns the approach name used in reports ("V1".."V4").
@@ -62,13 +79,20 @@ func (a Approach) String() string {
 		return "V3"
 	case V4Vector:
 		return "V4"
+	case V3Fused:
+		return "V3F"
+	case V4Fused:
+		return "V4F"
 	default:
 		return fmt.Sprintf("Approach(%d)", int(a))
 	}
 }
 
-// ParseApproach accepts "V1".."V4", "1".."4" or the descriptive names
-// "naive", "split", "blocked" and "vector", all case-insensitively.
+// ParseApproach accepts "V1".."V4", the fused variants "V3F"/"V4F"
+// (also reachable as "V5"/"V6" for wire forms that serialize the
+// numeric value), plain digits, or the descriptive names "naive",
+// "split", "blocked", "vector", "fused-blocked" and "fused", all
+// case-insensitively.
 func ParseApproach(s string) (Approach, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "v1", "1", "naive":
@@ -79,10 +103,22 @@ func ParseApproach(s string) (Approach, error) {
 		return V3Blocked, nil
 	case "v4", "4", "vector", "vectorized":
 		return V4Vector, nil
+	case "v3f", "v5", "5", "fused-blocked", "fusedblocked", "blocked-fused":
+		return V3Fused, nil
+	case "v4f", "v6", "6", "fused", "fused-vector", "fusedvector", "vector-fused":
+		return V4Fused, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown approach %q (want V1..V4 or naive/split/blocked/vector)", s)
+		return 0, fmt.Errorf("engine: unknown approach %q (want V1..V4, V3F/V4F, or naive/split/blocked/vector/fused)", s)
 	}
 }
+
+// fused reports whether the approach drives the pair-AND-caching
+// kernels.
+func (a Approach) fused() bool { return a == V3Fused || a == V4Fused }
+
+// blocked reports whether the approach runs the block-tiled path
+// (anything past the flat V1/V2 pipelines).
+func (a Approach) blocked() bool { return a >= V3Blocked }
 
 // Triple identifies a SNP combination i < j < k.
 type Triple struct {
@@ -143,10 +179,10 @@ type Result struct {
 	BlockSpace bool
 }
 
-// Options configures a search. The zero value means: V4, all CPUs,
+// Options configures a search. The zero value means: V4F, all CPUs,
 // K2 objective, top-1, auto-tiled for a 32 KiB L1d, 8 lanes.
 type Options struct {
-	// Approach selects the pipeline (default V4Vector).
+	// Approach selects the pipeline (default V4Fused).
 	Approach Approach
 	// Workers is the pool size (default runtime.GOMAXPROCS(0)).
 	Workers int
@@ -206,9 +242,9 @@ type Options struct {
 
 func (o Options) withDefaults(maxSamples int) (Options, error) {
 	if o.Approach == 0 {
-		o.Approach = V4Vector
+		o.Approach = V4Fused
 	}
-	if o.Approach < V1Naive || o.Approach > V4Vector {
+	if o.Approach < V1Naive || o.Approach > V4Fused {
 		return o, fmt.Errorf("engine: invalid approach %d", int(o.Approach))
 	}
 	if o.Workers == 0 {
@@ -233,10 +269,14 @@ func (o Options) withDefaults(maxSamples int) (Options, error) {
 		return o, fmt.Errorf("engine: implausible L1 size %d bytes", o.L1DataBytes)
 	}
 	if o.BlockSNPs == 0 && o.BlockWords == 0 {
-		o.BlockSNPs, o.BlockWords = TileParams(o.L1DataBytes)
+		if o.Approach.fused() {
+			o.BlockSNPs, o.BlockWords = FusedTileParams(o.L1DataBytes)
+		} else {
+			o.BlockSNPs, o.BlockWords = TileParams(o.L1DataBytes)
+		}
 	}
 	if o.BlockSNPs < 1 || o.BlockWords < 1 {
-		if o.Approach == V3Blocked || o.Approach == V4Vector {
+		if o.Approach.blocked() {
 			return o, fmt.Errorf("engine: invalid tile %dx%d", o.BlockSNPs, o.BlockWords)
 		}
 		o.BlockSNPs, o.BlockWords = 1, 1
@@ -303,6 +343,20 @@ func TileParams(l1Bytes int) (blockSNPs, blockWords int) {
 		bw = 1
 	}
 	return bs, bw
+}
+
+// fusedXBatch is how many i0 candidates the fused V4 kernel streams
+// against one cached pair-plane pass (AccumulateFusedX2).
+const fusedXBatch = 2
+
+// FusedTileParams derives the fused kernels' tile from the same L1
+// budget split as TileParams, with the word-block resized by
+// carm.FusedTileWords: the data third of the cache must now hold the
+// nine cached pair-AND planes plus the streamed x planes instead of
+// six per-combination planes.
+func FusedTileParams(l1Bytes int) (blockSNPs, blockWords int) {
+	bs, _ := TileParams(l1Bytes)
+	return bs, carm.FusedTileWords(l1Bytes, fusedXBatch)
 }
 
 // Searcher runs exhaustive searches over one dataset through its
@@ -372,7 +426,7 @@ func (s *Searcher) Run(opts Options) (*Result, error) {
 	switch o.Approach {
 	case V1Naive, V2Split:
 		res, err = s.runFlat(o)
-	case V3Blocked, V4Vector:
+	default:
 		res, err = s.runBlocked(o)
 	}
 	if err != nil {

@@ -34,6 +34,9 @@ func TestApproachParseAndString(t *testing.T) {
 		want Approach
 	}{
 		{"V1", V1Naive}, {"v2", V2Split}, {"3", V3Blocked}, {"V4", V4Vector},
+		{"V3F", V3Fused}, {"v3f", V3Fused}, {"V5", V3Fused}, {"fused-blocked", V3Fused},
+		{"V4F", V4Fused}, {"v4f", V4Fused}, {"v6", V4Fused}, {"FUSED", V4Fused},
+		{"fused-vector", V4Fused}, {" Fused ", V4Fused},
 	} {
 		got, err := ParseApproach(c.in)
 		if err != nil || got != c.want {
@@ -45,6 +48,9 @@ func TestApproachParseAndString(t *testing.T) {
 	}
 	if V1Naive.String() != "V1" || V4Vector.String() != "V4" {
 		t.Error("approach names wrong")
+	}
+	if V3Fused.String() != "V3F" || V4Fused.String() != "V4F" {
+		t.Error("fused approach names wrong")
 	}
 	if Approach(9).String() == "" {
 		t.Error("unknown approach should render")
@@ -79,15 +85,15 @@ func TestAllApproachesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results [4]*Result
-	for a := V1Naive; a <= V4Vector; a++ {
+	var results [6]*Result
+	for a := V1Naive; a <= V4Fused; a++ {
 		res, err := s.Run(Options{Approach: a, Workers: 3, TopK: 5})
 		if err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
 		results[a-1] = res
 	}
-	for a := V2Split; a <= V4Vector; a++ {
+	for a := V2Split; a <= V4Fused; a++ {
 		got, want := results[a-1], results[0]
 		if got.Best != want.Best {
 			t.Errorf("%v best %v (%.6f) != V1 best %v (%.6f)",
@@ -241,12 +247,14 @@ func TestBlockParameterRobustness(t *testing.T) {
 	}
 	for _, bs := range []int{1, 2, 3, 5, 7, 23, 64} {
 		for _, bw := range []int{1, 2, 5} {
-			res, err := s.Run(Options{Approach: V3Blocked, BlockSNPs: bs, BlockWords: bw})
-			if err != nil {
-				t.Fatalf("bs=%d bw=%d: %v", bs, bw, err)
-			}
-			if res.Best != want.Best {
-				t.Errorf("bs=%d bw=%d: best %+v, want %+v", bs, bw, res.Best, want.Best)
+			for _, a := range []Approach{V3Blocked, V3Fused, V4Fused} {
+				res, err := s.Run(Options{Approach: a, BlockSNPs: bs, BlockWords: bw})
+				if err != nil {
+					t.Fatalf("%v bs=%d bw=%d: %v", a, bs, bw, err)
+				}
+				if res.Best != want.Best {
+					t.Errorf("%v bs=%d bw=%d: best %+v, want %+v", a, bs, bw, res.Best, want.Best)
+				}
 			}
 		}
 	}
@@ -263,12 +271,14 @@ func TestLaneVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, lanes := range []int{1, 4, 8} {
-		res, err := s.Run(Options{Approach: V4Vector, Lanes: lanes})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if res.Best != want.Best {
-			t.Errorf("lanes=%d best differs", lanes)
+		for _, a := range []Approach{V4Vector, V4Fused} {
+			res, err := s.Run(Options{Approach: a, Lanes: lanes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best != want.Best {
+				t.Errorf("%v lanes=%d best differs", a, lanes)
+			}
 		}
 	}
 }
@@ -332,7 +342,7 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
-// Property: V2 and V4 agree on arbitrary random datasets, including
+// Property: V2, V4 and V4F agree on arbitrary random datasets, including
 // awkward shapes (class imbalance, tiny N, N not a word multiple).
 func TestApproachEquivalenceProperty(t *testing.T) {
 	f := func(seed int64, mRaw uint8, nRaw uint16, imbalance bool) bool {
@@ -361,7 +371,9 @@ func TestApproachEquivalenceProperty(t *testing.T) {
 		}
 		r2, err2 := s.Run(Options{Approach: V2Split, Workers: 2})
 		r4, err4 := s.Run(Options{Approach: V4Vector, Workers: 2})
-		return err2 == nil && err4 == nil && r2.Best == r4.Best
+		rf, errf := s.Run(Options{Approach: V4Fused, Workers: 2})
+		return err2 == nil && err4 == nil && errf == nil &&
+			r2.Best == r4.Best && r2.Best == rf.Best
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)

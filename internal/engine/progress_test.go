@@ -14,7 +14,7 @@ func TestProgressReportingFlatAndBlocked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []Approach{V2Split, V4Vector} {
+	for _, a := range []Approach{V2Split, V4Vector, V4Fused} {
 		var mu sync.Mutex
 		var last, calls, reportedTotal int64
 		res, err := s.Run(Options{

@@ -31,6 +31,12 @@ const (
 	K3Transposed
 	// K4Tiled: K2 on the SNP-tiled layout with workgroup-sized tiles.
 	K4Tiled
+	// K5Fused: K4 with the (j, k) pair-AND products hoisted out of the
+	// per-thread loop — consecutive colex-ranked threads share (j, k),
+	// so one thread per group loads the y/z planes and builds the nine
+	// pair products for the whole group (shared-local-memory staging on
+	// a real device), leaving each thread 1 NOR + 27 AND + 27 POPCNT.
+	K5Fused
 )
 
 // String returns the kernel name used in reports.
@@ -44,13 +50,18 @@ func (k Kernel) String() string {
 		return "V3"
 	case K4Tiled:
 		return "V4"
+	case K5Fused:
+		return "V4F"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
 }
 
-// ParseKernel accepts "V1".."V4", "1".."4" or the descriptive names
-// "naive", "split", "transposed" and "tiled", all case-insensitively.
+// ParseKernel accepts "V1".."V4", the fused "V4F" (or its numeric
+// wire forms "V5"/"V6" — the CPU numbering has two fused variants,
+// both mapping onto the one fused GPU kernel), plain digits, or the
+// descriptive names "naive", "split", "transposed", "tiled" and
+// "fused", all case-insensitively.
 func ParseKernel(s string) (Kernel, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "v1", "1", "naive":
@@ -61,8 +72,10 @@ func ParseKernel(s string) (Kernel, error) {
 		return K3Transposed, nil
 	case "v4", "4", "tiled":
 		return K4Tiled, nil
+	case "v4f", "v5", "5", "v6", "6", "fused", "fused-tiled", "tiled-fused":
+		return K5Fused, nil
 	default:
-		return 0, fmt.Errorf("gpusim: unknown kernel %q (want V1..V4 or naive/split/transposed/tiled)", s)
+		return 0, fmt.Errorf("gpusim: unknown kernel %q (want V1..V4, V4F, or naive/split/transposed/tiled/fused)", s)
 	}
 }
 
@@ -85,11 +98,24 @@ const (
 	splitAddPerWord  = 27
 	splitPopPerWord  = 27
 	splitLoadPerWord = 6
+
+	// The fused kernel splits its accounting between per-thread work
+	// (the x plane against the nine cached pair products) and per-
+	// (j, k)-group work (loading y/z and building the products once
+	// for every thread that shares the pair).
+	fusedThreadALUPerWord  = 28 // 1 NOR + 27 AND
+	fusedAddPerWord        = 27
+	fusedPopPerWord        = 27
+	fusedPairALUPerWord    = 11 // 2 NOR + 9 AND, once per group
+	fusedThreadLoadPerWord = 2  // x planes
+	fusedPairLoadPerWord   = 4  // y/z planes, once per group
 )
 
 // Options configures a simulated search.
 type Options struct {
-	// Kernel selects the approach (default K4Tiled).
+	// Kernel selects the approach (default K4Tiled; K5Fused is the
+	// pair-AND-hoisted variant the CPU engine's fused approaches map
+	// to).
 	Kernel Kernel
 	// BS is the SNP tile width for K4Tiled; the paper sets it to a
 	// multiple of the warp width (default: the device warp size).
@@ -227,7 +253,7 @@ func (r *Runner) Search(st *store.Store, opts Options) (*Result, error) {
 	if opts.Kernel == 0 {
 		opts.Kernel = K4Tiled
 	}
-	if opts.Kernel < K1Naive || opts.Kernel > K4Tiled {
+	if opts.Kernel < K1Naive || opts.Kernel > K5Fused {
 		return nil, fmt.Errorf("gpusim: invalid kernel %d", int(opts.Kernel))
 	}
 	if opts.BS == 0 {
@@ -273,7 +299,7 @@ func (r *Runner) Search(st *store.Store, opts Options) (*Result, error) {
 		sim.words = st.Words32(dataset.LayoutRowMajor, 0)
 	case K3Transposed:
 		sim.words = st.Words32(dataset.LayoutTransposed, 0)
-	case K4Tiled:
+	case K4Tiled, K5Fused:
 		sim.words = st.Words32(dataset.LayoutTiled, opts.BS)
 	}
 
@@ -423,9 +449,12 @@ func (s *simState) runWarp(m int, lo, hi int64) {
 	for t := 0; t < tc; t++ {
 		s.ft[t] = [2][contingency.Cells]int32{}
 	}
-	if s.opts.Kernel == K1Naive {
+	switch s.opts.Kernel {
+	case K1Naive:
 		s.runWarpNaive(tc)
-	} else {
+	case K5Fused:
+		s.runWarpFused(tc)
+	default:
 		s.runWarpSplit(tc)
 	}
 	// Score each thread's table; the host-side reduction keeps the
@@ -505,6 +534,96 @@ func (s *simState) runWarpSplit(tc int) {
 		s.stats.PopcntOps += splitPopPerWord * wt
 		s.stats.Loads += splitLoadPerWord * wt
 		// NOR padding correction, as on the CPU side.
+		for t := 0; t < tc; t++ {
+			s.ft[t][class][contingency.Cells-1] -= int32(w32.Pad[class])
+		}
+	}
+}
+
+// runWarpFused executes one warp of the K5 kernel body: threads with
+// the same (j, k) form a group; the group's first thread loads the y/z
+// planes and derives the nine pair-AND products, which the rest of the
+// group reuses (shared-local-memory staging on a real device). Colex
+// rank order makes groups long: i varies fastest, so a warp typically
+// spans one or two (j, k) pairs.
+func (s *simState) runWarpFused(tc int) {
+	w32 := s.words
+	groups := 0
+	for t := 0; t < tc; t++ {
+		if t == 0 || s.tj[t] != s.tj[t-1] || s.tk[t] != s.tk[t-1] {
+			groups++
+		}
+	}
+	for class := 0; class < 2; class++ {
+		words := w32.W[class]
+		for w := 0; w < words; w++ {
+			// x planes: every thread loads its own words.
+			for g := 0; g < 2; g++ {
+				data := w32.Data(class, g)
+				base := uint64(class*2+g) << 40
+				for t := 0; t < tc; t++ {
+					idx := w32.Index(s.ti[t], w, class)
+					s.regs[0][g][t] = data[idx]
+					s.addrs[t] = base + uint64(idx)*4
+				}
+				s.coalesce(tc)
+			}
+			// y/z planes: one load per (j, k) group, broadcast within it.
+			for role := 1; role < 3; role++ {
+				snp := &s.tj
+				if role == 2 {
+					snp = &s.tk
+				}
+				for g := 0; g < 2; g++ {
+					data := w32.Data(class, g)
+					base := uint64(class*2+g) << 40
+					nl := 0
+					for t := 0; t < tc; t++ {
+						if t > 0 && s.tj[t] == s.tj[t-1] && s.tk[t] == s.tk[t-1] {
+							s.regs[role][g][t] = s.regs[role][g][t-1]
+							continue
+						}
+						idx := w32.Index(snp[t], w, class)
+						s.regs[role][g][t] = data[idx]
+						s.addrs[nl] = base + uint64(idx)*4
+						nl++
+					}
+					s.coalesce(nl)
+				}
+			}
+			var yz [9]uint32
+			for t := 0; t < tc; t++ {
+				if t == 0 || s.tj[t] != s.tj[t-1] || s.tk[t] != s.tk[t-1] {
+					y0, y1 := s.regs[1][0][t], s.regs[1][1][t]
+					z0, z1 := s.regs[2][0][t], s.regs[2][1][t]
+					ys := [3]uint32{y0, y1, ^(y0 | y1)}
+					zs := [3]uint32{z0, z1, ^(z0 | z1)}
+					p := 0
+					for gy := 0; gy < 3; gy++ {
+						yz[p] = ys[gy] & zs[0]
+						yz[p+1] = ys[gy] & zs[1]
+						yz[p+2] = ys[gy] & zs[2]
+						p += 3
+					}
+				}
+				x0, x1 := s.regs[0][0][t], s.regs[0][1][t]
+				xs := [3]uint32{x0, x1, ^(x0 | x1)}
+				ft := &s.ft[t][class]
+				idx := 0
+				for gx := 0; gx < 3; gx++ {
+					x := xs[gx]
+					for p := 0; p < 9; p++ {
+						ft[idx] += int32(bits.OnesCount32(x & yz[p]))
+						idx++
+					}
+				}
+			}
+		}
+		wt := int64(words) * int64(tc)
+		gw := int64(words) * int64(groups)
+		s.stats.ALUOps += (fusedThreadALUPerWord+fusedAddPerWord)*wt + fusedPairALUPerWord*gw
+		s.stats.PopcntOps += fusedPopPerWord * wt
+		s.stats.Loads += fusedThreadLoadPerWord*wt + fusedPairLoadPerWord*gw
 		for t := 0; t < tc; t++ {
 			s.ft[t][class][contingency.Cells-1] -= int32(w32.Pad[class])
 		}

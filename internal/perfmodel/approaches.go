@@ -30,17 +30,41 @@ func (a ApproachCost) AI() float64 { return a.OpsPerWord / a.BytesPerWord }
 // per word).
 func (a ApproachCost) OpsPerElement() float64 { return a.OpsPerWord / 32 }
 
-// CostOf returns the paper's op/byte accounting for approach 1..4
+// CostOf returns the paper's op/byte accounting for approach 1..6
 // (V3 and V4 move the same data and execute the same ops as V2; only
-// where the bytes are served from changes).
+// where the bytes are served from changes). The fused approaches
+// (5 = V3F, 6 = V4F) cache the nine (y, z) pair-AND planes across the
+// ii0 run: per combination word they execute 1 NOR + 27 AND + 27
+// POPCNT = 55 ops and touch 11 words (2 stored x planes + 9 cached
+// pair planes, all L1-resident by construction) — a lower arithmetic
+// intensity that still sits on the compute ceiling because the bytes
+// come off the L1 slope. The amortized pair-plane build (2 NOR + 9 AND
+// per BS-deep ii0 run) is folded away like the paper folds table
+// updates.
 func CostOf(approach int) (ApproachCost, error) {
 	switch approach {
 	case 1:
 		return ApproachCost{OpsPerWord: 162, BytesPerWord: 40}, nil
 	case 2, 3, 4:
 		return ApproachCost{OpsPerWord: 57, BytesPerWord: 24}, nil
+	case 5, 6:
+		return ApproachCost{OpsPerWord: 55, BytesPerWord: 44}, nil
 	default:
 		return ApproachCost{}, fmt.Errorf("perfmodel: unknown approach %d", approach)
+	}
+}
+
+// ApproachName maps the numeric approach (1..6) to its report name:
+// "V1".."V4" for the paper's four pipelines, "V3F"/"V4F" for the fused
+// variants.
+func ApproachName(approach int) string {
+	switch approach {
+	case 5:
+		return "V3F"
+	case 6:
+		return "V4F"
+	default:
+		return fmt.Sprintf("V%d", approach)
 	}
 }
 
@@ -48,13 +72,14 @@ func CostOf(approach int) (ApproachCost, error) {
 const (
 	naiveScalarOpsPerWord = 162.0 // per 64-bit word: same instruction count, 64 samples
 	splitScalarOpsPerWord = 93.0  // 3 NOR + 36 AND + 27 POPCNT + 27 ADD
+	fusedScalarOpsPerWord = 82.0  // 1 NOR + 27 AND + 27 POPCNT + 27 ADD (pair planes cached)
 	v2StreamStall         = 0.85  // L3-latency stall factor while streaming (no tiling)
 )
 
 // CPUApproachGElemPerSec returns the modeled whole-device element
-// throughput (Giga elements/s) of approach 1..4 on a CPU, at the given
-// workload. avx512 only affects approach 4 (V1-V3 are scalar in the
-// paper's progression).
+// throughput (Giga elements/s) of approach 1..6 on a CPU, at the given
+// workload. avx512 only affects the vector approaches 4 and 6 (V1-V3
+// and the fused scalar V3F are scalar in the paper's progression).
 func CPUApproachGElemPerSec(c device.CPU, approach int, avx512 bool, snps, samples int) (float64, error) {
 	eff := SNPEfficiency(snps) * CPUSampleEfficiency(samples)
 	cores := float64(c.TotalCores())
@@ -77,6 +102,13 @@ func CPUApproachGElemPerSec(c device.CPU, approach int, avx512 bool, snps, sampl
 		return compute * eff, nil
 	case 4:
 		return CPUOverallGElemPerSec(c, avx512, snps, samples), nil
+	case 5:
+		// Fused blocked scalar kernel: still L1-served and compute
+		// bound, with the pair-AND work hoisted out of the inner loop.
+		compute := 64 * cpuScalarIPC / fusedScalarOpsPerWord * c.BaseGHz * cores
+		return compute * eff, nil
+	case 6:
+		return CPUFusedOverallGElemPerSec(c, avx512, snps, samples), nil
 	default:
 		return 0, fmt.Errorf("perfmodel: unknown approach %d", approach)
 	}
@@ -89,15 +121,17 @@ func GPUCost() ApproachCost {
 	return ApproachCost{OpsPerWord: gpuALUPerWord + gpuPopPerWord, BytesPerWord: 24}
 }
 
-// BestCPUApproach returns the approach (1..4) with the highest modeled
-// throughput on the device at the given workload, and that throughput
-// in G elements/s — the planner's per-device kernel selection (the
-// paper's Figure 2 conclusion, computed instead of plotted).
+// BestCPUApproach returns the approach (1..6, including the fused
+// 5 = V3F and 6 = V4F) with the highest modeled throughput on the
+// device at the given workload, and that throughput in G elements/s —
+// the planner's per-device kernel selection (the paper's Figure 2
+// conclusion, computed instead of plotted, extended with the fused
+// kernels' arithmetic intensity).
 func BestCPUApproach(c device.CPU, avx512 bool, snps, samples int) (approach int, gElemPerSec float64) {
-	for a := 1; a <= 4; a++ {
+	for a := 1; a <= 6; a++ {
 		rate, err := CPUApproachGElemPerSec(c, a, avx512, snps, samples)
 		if err != nil {
-			continue // unreachable for 1..4
+			continue // unreachable for 1..6
 		}
 		if rate > gElemPerSec {
 			approach, gElemPerSec = a, rate

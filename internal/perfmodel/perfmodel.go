@@ -28,11 +28,17 @@ import (
 // (V4): 6 loads + 6 NOR halves (OR+XOR) + 36 AND, then the POPCNT path.
 const (
 	cpuVectorCycles = 24.0 // 48 vector uops at IPC 2
-	cpuScalarIPC    = 3.0  // extract/popcnt/add dispatch on 3 scalar ports
-	vpopcntReduce   = 2.0  // uops per _mm512_reduce_add_epi32 (amortized)
-	gpuALUPerWord   = 66.0 // 3 NOR + 36 AND + 27 table adds
-	gpuPopPerWord   = 27.0
-	gpuEfficiency   = 0.9 // occupancy/scheduling derate
+	// cpuFusedVectorCycles is the V4F pre-popcount budget: caching the
+	// nine (y, z) pair-AND planes replaces the 6 loads + 6 NOR halves +
+	// 36 AND of V4 with 11 loads + 2 NOR halves + 27 AND = 40 vector
+	// uops at IPC 2 (the pair-plane build amortizes over the BS-deep
+	// ii0 run and is folded away like the paper folds table updates).
+	cpuFusedVectorCycles = 20.0
+	cpuScalarIPC         = 3.0  // extract/popcnt/add dispatch on 3 scalar ports
+	vpopcntReduce        = 2.0  // uops per _mm512_reduce_add_epi32 (amortized)
+	gpuALUPerWord        = 66.0 // 3 NOR + 36 AND + 27 table adds
+	gpuPopPerWord        = 27.0
+	gpuEfficiency        = 0.9 // occupancy/scheduling derate
 )
 
 // CPUElementsPerCyclePerCore returns the modeled per-core, per-cycle
@@ -41,6 +47,16 @@ const (
 // build on devices that support it; others always run the 256-bit
 // build, as in Figure 3.
 func CPUElementsPerCyclePerCore(c device.CPU, avx512 bool) float64 {
+	return cpuElementsPerCyclePerCore(c, avx512, cpuVectorCycles)
+}
+
+// CPUFusedElementsPerCyclePerCore is the V4F analogue: same popcount
+// path, smaller pre-popcount budget thanks to the cached pair planes.
+func CPUFusedElementsPerCyclePerCore(c device.CPU, avx512 bool) float64 {
+	return cpuElementsPerCyclePerCore(c, avx512, cpuFusedVectorCycles)
+}
+
+func cpuElementsPerCyclePerCore(c device.CPU, avx512 bool, vectorCycles float64) float64 {
 	useAVX512 := avx512 && c.HasAVX512
 	v := 256.0
 	if useAVX512 {
@@ -63,7 +79,7 @@ func CPUElementsPerCyclePerCore(c device.CPU, avx512 bool) float64 {
 		lanes := v / 64
 		popCycles = 27 * lanes * (extracts + 2) / cpuScalarIPC
 	}
-	return v / (cpuVectorCycles + popCycles)
+	return v / (vectorCycles + popCycles)
 }
 
 // cpuGHz returns the effective clock for the chosen build.
@@ -125,6 +141,13 @@ func CPUPerCyclePerCoreVec(c device.CPU, avx512 bool, snps, samples int) float64
 // elements per second (Section V-D and Table III).
 func CPUOverallGElemPerSec(c device.CPU, avx512 bool, snps, samples int) float64 {
 	return CPUPerCoreGElemPerSec(c, avx512, snps, samples) * float64(c.TotalCores())
+}
+
+// CPUFusedOverallGElemPerSec returns the whole-device throughput of the
+// fused V4F pipeline in Giga elements per second.
+func CPUFusedOverallGElemPerSec(c device.CPU, avx512 bool, snps, samples int) float64 {
+	return CPUFusedElementsPerCyclePerCore(c, avx512) * cpuGHz(c, avx512) *
+		SNPEfficiency(snps) * CPUSampleEfficiency(samples) * float64(c.TotalCores())
 }
 
 // GPUElementsPerCyclePerCU returns the raw modeled per-CU, per-cycle

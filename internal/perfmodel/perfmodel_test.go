@@ -276,8 +276,8 @@ func TestCPUApproachProgression(t *testing.T) {
 	// V3 ~1.2x over V2, V4 well above V3, total near an order of
 	// magnitude.
 	ci3 := cpu(t, "CI3")
-	var rate [5]float64
-	for a := 1; a <= 4; a++ {
+	var rate [7]float64
+	for a := 1; a <= 6; a++ {
 		v, err := CPUApproachGElemPerSec(ci3, a, true, 2048, 16384)
 		if err != nil {
 			t.Fatal(err)
@@ -296,8 +296,17 @@ func TestCPUApproachProgression(t *testing.T) {
 	if r := rate[4] / rate[3]; r < 2 {
 		t.Errorf("V4/V3 = %.2f, paper ~7.5 (smaller without real SIMD)", r)
 	}
-	if _, err := CPUApproachGElemPerSec(ci3, 5, true, 2048, 16384); err == nil {
-		t.Error("approach 5 accepted")
+	// Fused variants: V3F modestly above V3 (fewer scalar ops), V4F
+	// modestly above V4 (smaller pre-popcount budget) — each the best
+	// of its pipeline class, so BestCPUApproach lands on V4F.
+	if r := rate[5] / rate[3]; r < 1.05 || r > 1.3 {
+		t.Errorf("V3F/V3 = %.2f, want the 93/82 scalar-op ratio", r)
+	}
+	if r := rate[6] / rate[4]; r <= 1 || r > 1.3 {
+		t.Errorf("V4F/V4 = %.2f, want a modest fused gain", r)
+	}
+	if _, err := CPUApproachGElemPerSec(ci3, 7, true, 2048, 16384); err == nil {
+		t.Error("approach 7 accepted")
 	}
 }
 
@@ -329,8 +338,24 @@ func TestApproachCosts(t *testing.T) {
 			t.Errorf("approach %d cost should equal V2's", a)
 		}
 	}
+	// The fused variants execute fewer ops per element but touch the
+	// nine cached pair planes, so their AI sits below V2's while the
+	// op count drops from 57 to 55.
+	vf, err := CostOf(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf.AI() != 55.0/44 || vf.AI() >= v2.AI() {
+		t.Errorf("V4F AI = %g, want 1.25 (below V2's %g)", vf.AI(), v2.AI())
+	}
+	if v3f, err := CostOf(5); err != nil || v3f != vf {
+		t.Error("approach 5 cost should equal V4F's")
+	}
 	if _, err := CostOf(9); err == nil {
 		t.Error("unknown approach accepted")
+	}
+	if ApproachName(4) != "V4" || ApproachName(5) != "V3F" || ApproachName(6) != "V4F" {
+		t.Error("approach names wrong")
 	}
 }
 

@@ -72,8 +72,9 @@ type Constraints struct {
 	// "baseline", "hetero", "gpusim:<ID>"). Empty lets the planner
 	// choose from the host description.
 	Backend string
-	// Approach pins the CPU pipeline ("V1".."V4"). Empty lets the
-	// model pick the winning kernel for the device.
+	// Approach pins the CPU pipeline ("V1".."V4", or the fused
+	// "V3F"/"V4F", also accepted as "V5"/"V6"). Empty lets the model
+	// pick the winning kernel for the device.
 	Approach string
 	// EnergyBudgetWatts caps the modeled power draw; the planner picks
 	// the highest DVFS operating point within it and derates the
@@ -284,7 +285,7 @@ func Decide(w Workload, h Host, c Constraints) (*Plan, error) {
 	switch {
 	case backend == "hetero":
 		p.CPUFraction = cpuRate / (cpuRate + gpuRate)
-		p.Approach = fmt.Sprintf("V%d", cpuApproach)
+		p.Approach = perfmodel.ApproachName(cpuApproach)
 		perWorker := cpuRate / float64(workers)
 		g := int64(gpuRate/perWorker + 0.5)
 		if g < 1 {
@@ -308,7 +309,7 @@ func Decide(w Workload, h Host, c Constraints) (*Plan, error) {
 		gpuRate = 0
 	default: // cpu
 		p.CPUFraction = 1
-		p.Approach = fmt.Sprintf("V%d", cpuApproach)
+		p.Approach = perfmodel.ApproachName(cpuApproach)
 		gpuRate = 0
 		reasons = append(reasons, fmt.Sprintf("%s picks %s at %.3g G elem/s modeled", h.CPU.ID, p.Approach, cpuRate))
 	}
@@ -345,12 +346,17 @@ func ratio(x, y float64) float64 {
 	return x / y
 }
 
-// parseApproach accepts "V1".."V4" (or bare digits) for Constraints.
+// parseApproach accepts "V1".."V4", the fused "V3F"/"V4F" (or their
+// numeric wire forms "V5"/"V6") and bare digits for Constraints.
 func parseApproach(s string) (int, error) {
 	t := strings.TrimPrefix(strings.ToUpper(strings.TrimSpace(s)), "V")
 	switch t {
-	case "1", "2", "3", "4":
+	case "1", "2", "3", "4", "5", "6":
 		return int(t[0] - '0'), nil
+	case "3F":
+		return 5, nil
+	case "4F":
+		return 6, nil
 	}
-	return 0, fmt.Errorf("plan: unknown approach %q (want V1..V4)", s)
+	return 0, fmt.Errorf("plan: unknown approach %q (want V1..V4 or V3F/V4F)", s)
 }

@@ -35,8 +35,8 @@ func TestDecideCPUOnlyPicksWinningKernel(t *testing.T) {
 	if p.Backend != "cpu" {
 		t.Errorf("backend = %q, want cpu (no accelerator on the host)", p.Backend)
 	}
-	if p.Approach != "V4" {
-		t.Errorf("approach = %q, want V4 (the paper's winning CPU kernel)", p.Approach)
+	if p.Approach != "V4F" {
+		t.Errorf("approach = %q, want V4F (the fused winning CPU kernel)", p.Approach)
 	}
 	if p.CPUFraction != 1 || p.PredictedGPUGElems != 0 {
 		t.Errorf("pure CPU plan carries a GPU share: frac=%g gpu=%g", p.CPUFraction, p.PredictedGPUGElems)
@@ -141,6 +141,20 @@ func TestDecideHonorsConstraints(t *testing.T) {
 
 	if _, err := Decide(wl, hostCI3(), Constraints{Backend: "gpusim:NOPE"}); err == nil {
 		t.Error("unknown gpusim device accepted")
+	}
+	p, err = Decide(wl, hostCI3(), Constraints{Approach: "V4F"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Approach != "V4F" {
+		t.Errorf("fused approach constraint: %q", p.Approach)
+	}
+	p, err = Decide(wl, hostCI3(), Constraints{Approach: "V5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Approach != "V3F" {
+		t.Errorf("numeric fused approach constraint: %q", p.Approach)
 	}
 	if _, err := Decide(wl, hostCI3(), Constraints{Approach: "V9"}); err == nil {
 		t.Error("unknown approach accepted")

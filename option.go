@@ -166,15 +166,16 @@ func WithEnergyBudget(watts float64) Option {
 	}
 }
 
-// WithApproach selects the paper's optimization stage V1..V4 on
+// WithApproach selects the paper's optimization stage V1..V4 — or a
+// fused pair-caching variant V3Fused/V4Fused ("V3F"/"V4F") — on
 // backends with selectable pipelines: the CPU approaches
-// (naive/split/blocked/vector) or the simulated GPU kernels
-// (naive/split/transposed/tiled). The default is each backend's best
-// (V4). Use ParseApproach or ParseGPUKernel to obtain the value from a
-// string.
+// (naive/split/blocked/vector/fused) or the simulated GPU kernels
+// (naive/split/transposed/tiled/fused). The default is each backend's
+// best (V4F on the CPU, V4 on the GPU). Use ParseApproach or
+// ParseGPUKernel to obtain the value from a string.
 func WithApproach(v Approach) Option {
 	return func(c *searchConfig) error {
-		if v < V1Naive || v > V4Vector {
+		if v < V1Naive || v > V4Fused {
 			return fmt.Errorf("trigene: invalid approach %d", int(v))
 		}
 		c.approach = v

@@ -58,6 +58,7 @@ func TestPackParityAllBackends(t *testing.T) {
 		{"cpu", []int{2, 3, 4}, nil},
 		{"cpu-V1", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V1Naive)}},
 		{"cpu-V4", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Vector)}},
+		{"cpu-V4F", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Fused)}},
 		{"gpusim", []int{3}, []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1))}},
 		{"baseline", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Baseline())}},
 		{"hetero", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Hetero())}},

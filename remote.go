@@ -25,7 +25,8 @@ type SearchSpec struct {
 	// "gpusim:<ID>", "baseline" or "hetero" ("" = cpu). ParseBackend
 	// rebuilds the Backend from it.
 	Backend string `json:"backend,omitempty"`
-	// Approach pins the pipeline variant "V1".."V4" ("" = backend
+	// Approach pins the pipeline variant "V1".."V4" — or, via the
+	// numeric wire forms "V5"/"V6", the fused "V3F"/"V4F" ("" = backend
 	// default).
 	Approach string `json:"approach,omitempty"`
 	// Workers is the per-node host parallelism (0 = all cores).

@@ -41,6 +41,7 @@ func TestSessionBuildsEachEncodingAtMostOnce(t *testing.T) {
 		{"V1", []Option{WithApproach(V1Naive)}},
 		{"V2", []Option{WithApproach(V2Split)}},
 		{"V4", []Option{WithApproach(V4Vector)}},
+		{"V4F", []Option{WithApproach(V4Fused)}},
 		{"pairs", []Option{WithOrder(2)}},
 		{"4-way", []Option{WithOrder(4)}},
 		{"gpusim", []Option{WithBackend(GPUSim(gn1))}},

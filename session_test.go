@@ -53,7 +53,7 @@ func TestSessionBackendsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantSNPs(t, cpu.Best.SNPs, 3, 9, 15)
-	if cpu.Backend != "cpu" || cpu.Approach != "V4" || cpu.Objective != "k2" || cpu.Order != 3 {
+	if cpu.Backend != "cpu" || cpu.Approach != "V4F" || cpu.Objective != "k2" || cpu.Order != 3 {
 		t.Errorf("cpu report metadata: %+v", cpu)
 	}
 
@@ -220,6 +220,8 @@ func TestSessionShardEverywhere(t *testing.T) {
 		{"cpu order 4", trigene.ShardSpaceRanks, []trigene.Option{trigene.WithOrder(4), trigene.WithShard(0, 2)}},
 		{"cpu V3 pinned", trigene.ShardSpaceBlocks, []trigene.Option{trigene.WithApproach(trigene.V3Blocked), trigene.WithShard(0, 2)}},
 		{"cpu V4 pinned", trigene.ShardSpaceBlocks, []trigene.Option{trigene.WithApproach(trigene.V4Vector), trigene.WithShard(0, 2)}},
+		{"cpu V3F pinned", trigene.ShardSpaceBlocks, []trigene.Option{trigene.WithApproach(trigene.V3Fused), trigene.WithShard(0, 2)}},
+		{"cpu V4F pinned", trigene.ShardSpaceBlocks, []trigene.Option{trigene.WithApproach(trigene.V4Fused), trigene.WithShard(0, 2)}},
 	}
 	for _, tc := range cases {
 		rep, err := s.Search(ctx, tc.opts...)

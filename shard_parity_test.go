@@ -36,6 +36,8 @@ func TestShardMergeParity(t *testing.T) {
 		{"cpu-V2", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V2Split)}},
 		{"cpu-V3", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V3Blocked)}},
 		{"cpu-V4", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Vector)}},
+		{"cpu-V3F", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V3Fused)}},
+		{"cpu-V4F", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Fused)}},
 		{"gpusim", []int{3}, []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1))}},
 		{"baseline", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Baseline())}},
 		{"hetero", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Hetero())}},

@@ -116,23 +116,31 @@ func ReadRAW(r io.Reader) (*Matrix, error) { return dataset.ReadRAW(r) }
 func ReadVCF(r io.Reader, phen []uint8) (*Matrix, error) { return dataset.ReadVCF(r, phen) }
 
 // Approach selects one of the paper's four CPU pipelines (V1Naive,
-// V2Split, V3Blocked, V4Vector).
+// V2Split, V3Blocked, V4Vector) or a fused pair-caching variant
+// (V3Fused, V4Fused) that hoists the nine (y, z) pair-AND planes out
+// of the blocked inner loop.
 type Approach = engine.Approach
 
-// The four CPU approaches, in the paper's optimization order.
+// The CPU approaches: the paper's four in optimization order, then
+// the fused variants of the two blocked pipelines.
 const (
 	V1Naive   = engine.V1Naive
 	V2Split   = engine.V2Split
 	V3Blocked = engine.V3Blocked
 	V4Vector  = engine.V4Vector
+	V3Fused   = engine.V3Fused
+	V4Fused   = engine.V4Fused
 )
 
-// ParseApproach accepts "V1".."V4", "1".."4" or the descriptive names
-// "naive", "split", "blocked" and "vector", case-insensitively.
+// ParseApproach accepts "V1".."V4", the fused "V3F"/"V4F" (or their
+// numeric wire forms "V5"/"V6"), plain digits, or the descriptive
+// names "naive", "split", "blocked", "vector", "fused-blocked" and
+// "fused", all case-insensitively.
 func ParseApproach(s string) (Approach, error) { return engine.ParseApproach(s) }
 
-// ParseGPUKernel accepts "V1".."V4", "1".."4" or the descriptive names
-// "naive", "split", "transposed" and "tiled", case-insensitively.
+// ParseGPUKernel accepts "V1".."V4", the fused "V4F" (or its numeric
+// wire form "V5"), plain digits, or the descriptive names "naive",
+// "split", "transposed", "tiled" and "fused", case-insensitively.
 func ParseGPUKernel(s string) (GPUKernel, error) { return gpusim.ParseKernel(s) }
 
 // Objective ranks contingency tables; see NewObjective.
