@@ -80,6 +80,7 @@ func (cpuBackend) search(ctx context.Context, s *Session, cfg *searchConfig) (*R
 		Context:   ctx,
 		Progress:  cfg.progress,
 		Grain:     cfg.planGrain,
+		Metrics:   cfg.metrics,
 	}
 	if cfg.shard != nil {
 		eopts.Shard = &sched.Shard{Index: cfg.shard.index, Count: cfg.shard.count}
@@ -369,6 +370,7 @@ func (b heteroBackend) search(ctx context.Context, s *Session, cfg *searchConfig
 	// multiplier; the run's throughput meter refines the latter.
 	hopts.Grain = cfg.planGrain
 	hopts.GPUGrains = cfg.planGPUGrains
+	hopts.Metrics = cfg.metrics
 	rep := &Report{
 		Backend:   "hetero",
 		Approach:  "V2+V4",

@@ -35,6 +35,12 @@
 //	                         # V4/V4F at several tile shapes, plus the fused-vs-
 //	                         # unfused speedup; exits nonzero if the fused V4F
 //	                         # does not beat the unfused V4
+//	benchsuite -exp obs      # observability-overhead audit (BENCH_PR8.json):
+//	                         # V4F hot-loop tiles/sec with a live metrics
+//	                         # registry vs without, time-paired median of
+//	                         # ratios, plus the allocations per tile with the
+//	                         # registry attached; exits nonzero if metrics
+//	                         # cost more than 2% or allocate on the hot path
 //	benchsuite -exp all      # everything except the audit/snapshot experiments
 //
 // Cross-device rows are analytical-model projections (this is a
@@ -68,6 +74,7 @@ import (
 	"trigene/internal/energy"
 	"trigene/internal/engine"
 	"trigene/internal/gpusim"
+	"trigene/internal/obs"
 	"trigene/internal/perfmodel"
 	"trigene/internal/report"
 	"trigene/internal/sched"
@@ -95,7 +102,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels, obs or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -133,6 +140,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"kernels": func() error {
 			return kernelsExp(orDefault(*snapOut, "BENCH_PR7.json"))
+		},
+		"obs": func() error {
+			return obsExp(orDefault(*snapOut, "BENCH_PR8.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -1645,6 +1655,176 @@ func kernelsExp(outPath string) error {
 	if snap.SpeedupV4F <= 1 {
 		return fmt.Errorf("fused V4F does not beat unfused V4: median paired speedup %.3f (best rates %.2f vs %.2f G elem/s)",
 			snap.SpeedupV4F, best[engine.V4Fused]/1e9, best[engine.V4Vector]/1e9)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// observability-overhead audit (-exp obs)
+
+// obsSnapshot is the BENCH_PR8.json schema: the V4F hot loop's
+// tiles/sec with a live metrics registry attached vs without, and the
+// steady-state allocations per tile with the registry on.
+type obsSnapshot struct {
+	Schema     string `json:"schema"`
+	SNPs       int    `json:"snps"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Approach   string `json:"approach"`
+	Tiles      int64  `json:"tiles"`
+	Reps       int    `json:"reps"`
+
+	PlainTilesPerSec        float64 `json:"plainTilesPerSec"`
+	MetricsTilesPerSec      float64 `json:"metricsTilesPerSec"`
+	MedianPairedRatio       float64 `json:"medianPairedRatio"` // metrics / plain
+	OverheadPct             float64 `json:"overheadPct"`
+	AllocsPerOpWithRegistry float64 `json:"allocsPerOpWithRegistry"`
+	ScrapedSeries           int     `json:"scrapedSeries"`
+}
+
+// obsPasses is how many full drains one rate measurement times: a
+// single drain of the fixed dataset is a few tens of milliseconds,
+// short enough for scheduler noise to swamp a 2% effect.
+const obsPasses = 8
+
+// obsHotLoopRate drains every tile of one fresh V4F hot loop
+// obsPasses times and returns tiles/sec (reg nil = uninstrumented).
+func obsHotLoopRate(searcher *engine.Searcher, reg *obs.Registry) (float64, int64, error) {
+	h, err := searcher.NewHotLoop(engine.Options{Approach: engine.V4Fused, TopK: 4, Metrics: reg})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer h.Close()
+	tiles := h.Tiles()
+	start := time.Now()
+	for p := 0; p < obsPasses; p++ {
+		for i := int64(0); i < tiles; i++ {
+			h.Process(h.Tile(i))
+		}
+	}
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		return 0, 0, fmt.Errorf("no measurable hot-loop rate")
+	}
+	return float64(obsPasses) * float64(tiles) / secs, tiles, nil
+}
+
+// obsExp audits the cost of the observability layer on the hottest
+// path in the repository: the V4F claim→score loop. Each rep runs the
+// loop uninstrumented and with a live registry back to back and
+// contributes one metrics/plain ratio, so clock drift and co-tenant
+// noise hit both sides of a pair alike; the headline overhead is the
+// median of the paired ratios. The audit (and CI with it) fails if
+// instrumentation costs more than 2% of tiles/sec or allocates on the
+// hot path, and cross-checks that a /metrics-style scrape of the live
+// registry actually carries the engine series.
+func obsExp(outPath string) error {
+	const obsReps = 7
+	mx, err := trigene.Generate(trigene.GenConfig{SNPs: snapSNPs, Samples: snapSamples, Seed: snapSeed})
+	if err != nil {
+		return err
+	}
+	searcher, err := engine.New(mx)
+	if err != nil {
+		return err
+	}
+	snap := obsSnapshot{
+		Schema:     "trigene-obs/1",
+		SNPs:       snapSNPs,
+		Samples:    snapSamples,
+		Seed:       snapSeed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Approach:   engine.V4Fused.String(),
+		Reps:       obsReps,
+	}
+	reg := obs.NewRegistry()
+
+	// Steady-state allocations per tile with the registry live.
+	h, err := searcher.NewHotLoop(engine.Options{Approach: engine.V4Fused, TopK: 4, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	tiles := h.Tiles()
+	for i := int64(0); i < tiles && i < 32; i++ {
+		h.Process(h.Tile(i))
+	}
+	var idx int64
+	snap.AllocsPerOpWithRegistry = testing.AllocsPerRun(64, func() {
+		h.Process(h.Tile(idx % tiles))
+		idx++
+	})
+	h.Close()
+
+	// Warm-up both sides, then paired reps.
+	if _, _, err := obsHotLoopRate(searcher, nil); err != nil {
+		return err
+	}
+	if _, _, err := obsHotLoopRate(searcher, reg); err != nil {
+		return err
+	}
+	var plainRates, metricRates, ratios []float64
+	for r := 0; r < obsReps; r++ {
+		plain, n, err := obsHotLoopRate(searcher, nil)
+		if err != nil {
+			return err
+		}
+		instr, _, err := obsHotLoopRate(searcher, reg)
+		if err != nil {
+			return err
+		}
+		snap.Tiles = n
+		plainRates = append(plainRates, plain)
+		metricRates = append(metricRates, instr)
+		ratios = append(ratios, instr/plain)
+	}
+	snap.PlainTilesPerSec = median(plainRates)
+	snap.MetricsTilesPerSec = median(metricRates)
+	snap.MedianPairedRatio = median(ratios)
+	snap.OverheadPct = (1 - snap.MedianPairedRatio) * 100
+
+	// Scrape cross-check: the registry the loops fed must expose the
+	// engine series in the Prometheus text format.
+	var expo bytes.Buffer
+	if _, err := reg.WriteTo(&expo); err != nil {
+		return err
+	}
+	if !bytes.Contains(expo.Bytes(), []byte("trigene_engine_tiles_total")) {
+		return fmt.Errorf("scrape of the live registry carries no trigene_engine_tiles_total series")
+	}
+	for _, line := range bytes.Split(expo.Bytes(), []byte("\n")) {
+		if len(line) > 0 && line[0] != '#' {
+			snap.ScrapedSeries++
+		}
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Observability-overhead audit (%d SNPs x %d samples, median of %d) -> %s ==\n",
+		snapSNPs, snapSamples, obsReps, outPath)
+	t := report.NewTable("", "hot loop", "tiles/s", "allocs/op")
+	t.AddRowf("uninstrumented", snap.PlainTilesPerSec, "-")
+	t.AddRowf("live registry", snap.MetricsTilesPerSec, snap.AllocsPerOpWithRegistry)
+	if err := render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "median paired ratio %.4f (overhead %.2f%%), %d series scraped\n",
+		snap.MedianPairedRatio, snap.OverheadPct, snap.ScrapedSeries)
+
+	// The audit gates: metrics must be free enough to leave on.
+	if snap.AllocsPerOpWithRegistry > 0 {
+		return fmt.Errorf("hot path allocates %.2f per tile with a live registry (want 0)",
+			snap.AllocsPerOpWithRegistry)
+	}
+	if snap.MedianPairedRatio < 0.98 {
+		return fmt.Errorf("metrics overhead beyond 2%%: median paired ratio %.4f (%.0f vs %.0f tiles/s)",
+			snap.MedianPairedRatio, snap.MetricsTilesPerSec, snap.PlainTilesPerSec)
 	}
 	return nil
 }

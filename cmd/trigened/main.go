@@ -37,17 +37,21 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"trigene"
 	"trigene/internal/cluster"
 	"trigene/internal/datafile"
+	"trigene/internal/obs"
 )
 
 func main() {
@@ -115,6 +119,70 @@ run "trigened <mode> -h" for that mode's flags.`)
 // ---------------------------------------------------------------------
 // serve
 
+// newLogger builds a structured daemon logger from the -log-level and
+// -log-format flag values.
+func newLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// discardLogger suppresses daemon logging (-quiet).
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// healthzHandler answers GET /v1/healthz from the probe callback:
+// 200 {"status":"ok"} when ready, 503 with the probe's status (e.g.
+// "starting", "draining") when not, so orchestrators can gate traffic
+// on readiness rather than on mere liveness.
+func healthzHandler(probe func() (status string, ready bool)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		status, ready := probe()
+		w.Header().Set("Content-Type", "application/json")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"status\":%q}\n", status)
+	})
+}
+
+// serveDebug exposes net/http/pprof on its own listener (empty addr =
+// off). Registration is explicit so the profiling surface never leaks
+// onto the service address.
+func serveDebug(addr string, logger *slog.Logger) error {
+	if addr == "" {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	logger.Info("pprof debug server listening", "addr", ln.Addr().String())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			logger.Warn("debug server exited", "error", err)
+		}
+	}()
+	return nil
+}
+
 func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("trigened serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -124,32 +192,32 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	retain := fs.Int("retain", 64, "finished jobs kept (with results) before eviction")
 	stateDir := fs.String("state-dir", "", "durability root: journal every state transition there and recover from it on start (empty = in-memory)")
 	snapEvery := fs.Int("snapshot-every", 256, "journal records between state snapshots (with -state-dir)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "trigened: "+format+"\n", a...) }
+	logger, err := newLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	if *quiet {
-		logf = nil
+		logger = discardLogger()
 	}
 	cfg := cluster.Config{
 		LeaseTTL:      *ttl,
 		MaxAttempts:   *attempts,
 		Retain:        *retain,
-		Logf:          logf,
+		Logger:        logger,
 		StateDir:      *stateDir,
 		SnapshotEvery: *snapEvery,
 	}
-	var co *cluster.Coordinator
-	if *stateDir != "" {
-		var err error
-		if co, err = cluster.Recover(cfg); err != nil {
-			return err
-		}
-		defer co.Close()
-	} else {
-		co = cluster.NewCoordinator(cfg)
-	}
+	reg := obs.NewRegistry()
+	// Listen (and answer health probes) before recovery: a durable
+	// coordinator replaying a long journal reports "starting" on
+	// /v1/healthz instead of refusing connections.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -157,9 +225,44 @@ func runServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	// The resolved address line is machine-readable (tests and scripts
 	// bind to port 0 and scrape it).
 	fmt.Fprintf(stdout, "serving on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: co}
+	var coord atomic.Pointer[cluster.Coordinator]
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/v1/healthz", healthzHandler(func() (string, bool) {
+		if coord.Load() == nil {
+			return "starting", false
+		}
+		return "ok", true
+	}))
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		co := coord.Load()
+		if co == nil {
+			http.Error(w, "coordinator recovering", http.StatusServiceUnavailable)
+			return
+		}
+		co.ServeHTTP(w, req)
+	})
+	srv := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	var co *cluster.Coordinator
+	if *stateDir != "" {
+		if co, err = cluster.Recover(cfg); err != nil {
+			srv.Close()
+			return err
+		}
+		defer co.Close()
+	} else {
+		co = cluster.NewCoordinator(cfg)
+	}
+	// Instrument after recovery so WAL replay does not count as live
+	// traffic; publishing the pointer flips /v1/healthz to ready.
+	co.Instrument(reg)
+	coord.Store(co)
+	if err := serveDebug(*debugAddr, logger); err != nil {
+		srv.Close()
+		return err
+	}
 	select {
 	case err := <-errc:
 		return err
@@ -190,6 +293,10 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle wait between lease attempts")
 	cacheEntries := fs.Int("cache-entries", 4, "bound of the in-memory per-dataset Session LRU")
 	cacheDir := fs.String("cache-dir", "", "directory persisting fetched datasets as <hash>.tpack (empty = off)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /v1/healthz on this address (empty = off)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress per-tile logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -204,9 +311,12 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if *capacity < 0 {
 		return fmt.Errorf("capacity must be positive, got %g", *capacity)
 	}
-	logf := func(format string, a ...any) { fmt.Fprintf(stderr, "trigened: "+format+"\n", a...) }
+	logger, err := newLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	if *quiet {
-		logf = nil
+		logger = discardLogger()
 	}
 	if *cacheEntries < 1 {
 		return fmt.Errorf("cache-entries must be at least 1, got %d", *cacheEntries)
@@ -218,7 +328,32 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		Poll:         *poll,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
-		Logf:         logf,
+		Logger:       logger,
+	}
+	reg := obs.NewRegistry()
+	w.Instrument(reg)
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/v1/healthz", healthzHandler(func() (string, bool) {
+			if w.Draining() {
+				return "draining", false
+			}
+			return "ok", true
+		}))
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics on http://%s\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				logger.Warn("metrics server exited", "error", err)
+			}
+		}()
+	}
+	if err := serveDebug(*debugAddr, logger); err != nil {
+		return err
 	}
 	// Elastic drain: the first SIGTERM lets the current tile batch
 	// finish, hands remaining leases back for immediate re-issue and
@@ -235,7 +370,7 @@ func runWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		case <-wctx.Done():
 			return
 		}
-		fmt.Fprintln(stderr, "trigened: SIGTERM: draining — finishing the current batch (SIGTERM again to cancel)")
+		logger.Info("SIGTERM: draining — finishing the current batch (SIGTERM again to cancel)")
 		w.Drain(wctx)
 		select {
 		case <-term:
@@ -425,6 +560,17 @@ func runStatus(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		fmt.Fprintln(stdout, "no jobs")
 		return nil
 	}
+	// The queue-depth header mirrors the coordinator's
+	// trigene_coord_queue_tiles gauge: unfinished tiles across running
+	// jobs.
+	running, pending := 0, 0
+	for _, st := range jobs {
+		if st.State == cluster.StateRunning {
+			running++
+			pending += st.Tiles - st.Done
+		}
+	}
+	fmt.Fprintf(stdout, "queue: %d running, %d tiles pending\n", running, pending)
 	for _, st := range jobs {
 		printStatus(stdout, st)
 	}
@@ -439,7 +585,8 @@ func printStatus(w io.Writer, st cluster.JobStatus) {
 	extra := ""
 	switch {
 	case st.State == cluster.StateRunning:
-		extra = fmt.Sprintf(", %d leased", st.Leased)
+		age := time.Since(time.UnixMilli(st.SubmittedUnixMs)).Round(time.Second)
+		extra = fmt.Sprintf(", %d leased, age %s", st.Leased, age)
 	case st.Error != "":
 		extra = ": " + st.Error
 	case st.DurationMs > 0:

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -16,6 +18,11 @@ import (
 	"trigene/internal/store"
 	"trigene/internal/wal"
 )
+
+// discardLogger is the default when no Logger is configured.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // Config tunes a Coordinator. The zero value is usable.
 type Config struct {
@@ -32,8 +39,10 @@ type Config struct {
 	// their status and merged result before the oldest are evicted
 	// (default 64).
 	Retain int
-	// Logf receives coordinator events (default: discard).
-	Logf func(format string, args ...any)
+	// Logger receives coordinator events as structured records; every
+	// line carries the IDs it concerns (job, worker, tile) as
+	// attributes. Default: discard.
+	Logger *slog.Logger
 	// Now supplies the clock (default time.Now); tests inject it.
 	Now func() time.Time
 	// StateDir is the durability root used by Recover: a write-ahead
@@ -67,6 +76,10 @@ type Coordinator struct {
 	// re-applies the log to itself.
 	log       *wal.Log
 	replaying bool
+
+	// cm holds the metric hooks installed by Instrument (zero value:
+	// every hook is a no-op).
+	cm coordMetrics
 }
 
 // workerInfo is one worker's capability record, built from its lease
@@ -149,8 +162,8 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 256
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -267,8 +280,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.mu.Unlock()
-	c.cfg.Logf("job %s (%q): %d tiles over %dx%d dataset, backend %q",
-		j.id, j.name, j.tiles, j.snps, j.samples, req.Spec.Backend)
+	c.cm.submitted.Inc()
+	c.cfg.Logger.Info("job submitted",
+		"job", j.id, "name", j.name, "tiles", j.tiles,
+		"snps", j.snps, "samples", j.samples, "backend", req.Spec.Backend)
 	writeJSON(w, http.StatusCreated, SubmitResponse{ID: j.id, Tiles: j.tiles})
 }
 
@@ -417,14 +432,17 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 			if l.Attempt > c.cfg.MaxAttempts {
-				c.cfg.Logf("job %s: tile %d exhausted %d attempts; failing the job", j.id, l.Tile, c.cfg.MaxAttempts)
+				c.cfg.Logger.Error("tile exhausted its attempts; failing the job",
+					"job", j.id, "tile", l.Tile, "maxAttempts", c.cfg.MaxAttempts)
 				c.finishLocked(j, StateFailed,
 					fmt.Sprintf("tile %d of %d was re-issued %d times without completing", l.Tile, j.tiles, c.cfg.MaxAttempts))
 				failed = true
 				break
 			}
 			if l.Attempt > 1 {
-				c.cfg.Logf("job %s: re-issuing tile %d (attempt %d) to %q", j.id, l.Tile, l.Attempt, req.Worker)
+				c.cm.reissued.Inc()
+				c.cfg.Logger.Warn("re-issuing tile",
+					"job", j.id, "tile", l.Tile, "attempt", l.Attempt, "worker", req.Worker)
 			}
 			grants = append(grants, l)
 		}
@@ -446,8 +464,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				UnixNs: now.Add(c.cfg.LeaseTTL).UnixNano()})
 		}
 		wi.granted += len(grants)
+		c.cm.leasesGranted.Add(int64(len(grants)))
 		if len(grants) > 1 {
-			c.cfg.Logf("job %s: weighted batch of %d tiles to %q", j.id, len(grants), req.Worker)
+			c.cfg.Logger.Debug("weighted tile batch granted",
+				"job", j.id, "tiles", len(grants), "worker", req.Worker)
 		}
 		writeJSON(w, http.StatusOK, LeaseGrant{
 			Token:         granted[0].Token,
@@ -561,7 +581,7 @@ func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
 	wi := c.touchWorkerLocked(id, now)
 	wi.draining = true
 	c.mu.Unlock()
-	c.cfg.Logf("worker %q draining", id)
+	c.cfg.Logger.Info("worker draining", "worker", id)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -581,7 +601,8 @@ func (c *Coordinator) handleLeave(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "journaling leave: %v", err)
 		return
 	}
-	c.cfg.Logf("worker %q left; %d leases released for immediate re-issue", id, released)
+	c.cfg.Logger.Info("worker left; leases released for immediate re-issue",
+		"worker", id, "released", released)
 	writeJSON(w, http.StatusOK, LeaveResponse{Released: released})
 }
 
@@ -601,6 +622,7 @@ func (c *Coordinator) releaseWorkerLeasesLocked(worker string, now time.Time) in
 			if j.leases.Release(tile, g.seq) {
 				delete(j.grantee, tile)
 				c.journalLocked(walRecord{T: recRelease, Job: j.id, Tile: tile, Seq: g.seq})
+				c.cm.released.Inc()
 				released++
 			}
 		}
@@ -636,7 +658,7 @@ func (c *Coordinator) enforceDeadlineLocked(j *job, now time.Time) {
 	}
 	budget := time.Duration(j.spec.DeadlineMillis) * time.Millisecond
 	if now.Sub(j.submitted) >= budget {
-		c.cfg.Logf("job %s: deadline of %v exceeded", j.id, budget)
+		c.cfg.Logger.Warn("job deadline exceeded", "job", j.id, "budget", budget)
 		c.finishLocked(j, StateFailed,
 			fmt.Sprintf("deadline of %dms exceeded with %d/%d tiles done", j.spec.DeadlineMillis, j.leases.Done(), j.tiles))
 	}
@@ -666,9 +688,13 @@ func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
 	renewed := ok && j.state == StateRunning && j.leases.Renew(tile, seq, now, c.cfg.LeaseTTL)
 	c.mu.Unlock()
 	if !renewed {
+		if ok {
+			c.cm.leasesExpired.Inc()
+		}
 		writeErr(w, http.StatusGone, "lease %s is no longer current", r.PathValue("token"))
 		return
 	}
+	c.cm.leasesRenewed.Inc()
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -718,11 +744,14 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "journaling completion: %v", err)
 			return
 		}
+		c.cm.completed.Inc()
 		writeJSON(w, http.StatusOK, CompleteResponse{Accepted: true})
 	case sched.CompleteDuplicate, sched.CompleteStale:
 		// Exactly-once accounting: the tile's first result already
 		// counted (or a re-issued lease owns it); this one is discarded.
-		c.cfg.Logf("job %s: discarding %v completion of tile %d", jobID, st, tile)
+		c.cm.discarded.Inc()
+		c.cfg.Logger.Debug("discarding completion",
+			"job", jobID, "tile", tile, "status", st.String())
 		writeJSON(w, http.StatusOK, CompleteResponse{Accepted: false})
 	default:
 		writeErr(w, http.StatusGone, "lease %s was never granted", r.PathValue("token"))
@@ -754,7 +783,8 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "lease %s is no longer current", r.PathValue("token"))
 		return
 	}
-	c.cfg.Logf("job %s: tile %d failed deterministically: %s", jobID, tile, req.Error)
+	c.cfg.Logger.Error("tile failed deterministically",
+		"job", jobID, "tile", tile, "error", req.Error)
 	c.finishLocked(j, StateFailed, fmt.Sprintf("tile %d: %s", tile, req.Error))
 	if err := c.commitLocked(); err != nil {
 		writeErr(w, http.StatusInternalServerError, "journaling failure: %v", err)
@@ -774,7 +804,8 @@ func (c *Coordinator) mergeLocked(j *job) {
 	}
 	j.result = merged
 	c.finishLocked(j, StateDone, "")
-	c.cfg.Logf("job %s done: %d combinations, best %v", j.id, merged.Combinations, merged.Best.SNPs)
+	c.cfg.Logger.Info("job done",
+		"job", j.id, "combinations", merged.Combinations, "best", fmt.Sprint(merged.Best.SNPs))
 }
 
 // finishLocked moves a job out of StateRunning: records the outcome,
@@ -782,6 +813,7 @@ func (c *Coordinator) mergeLocked(j *job) {
 // a finished job answer 410 Gone) and evicts the oldest finished jobs
 // beyond the retention cap.
 func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
+	c.cm.finishCount(state)
 	j.state = state
 	j.err = errMsg
 	j.dataset = nil

@@ -178,7 +178,7 @@ func (c *Coordinator) recoverLocked() error {
 			// Records are CRC-framed, so this is a version mismatch,
 			// not corruption; skipping one transition beats refusing
 			// every job in the log.
-			c.cfg.Logf("wal: skipping undecodable record: %v", err)
+			c.cfg.Logger.Warn("wal: skipping undecodable record", "error", err)
 			continue
 		}
 		c.applyLocked(rec)
@@ -200,7 +200,7 @@ func (c *Coordinator) recoverLocked() error {
 		}
 		data, err := os.ReadFile(c.packPath(j.datasetSHA))
 		if err != nil {
-			c.cfg.Logf("job %s: dataset pack lost: %v", j.id, err)
+			c.cfg.Logger.Error("dataset pack lost after recovery", "job", j.id, "error", err)
 			c.finishLocked(j, StateFailed, fmt.Sprintf("dataset missing after recovery: %v", err))
 			continue
 		}
@@ -216,7 +216,8 @@ func (c *Coordinator) recoverLocked() error {
 	if err := c.commitLocked(); err != nil {
 		return err
 	}
-	c.cfg.Logf("recovered %d jobs (%d running) from %s", len(c.order), running, c.cfg.StateDir)
+	c.cfg.Logger.Info("recovered durable state",
+		"jobs", len(c.order), "running", running, "stateDir", c.cfg.StateDir)
 	return nil
 }
 
@@ -263,7 +264,8 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 		}
 		var rep trigene.Report
 		if err := json.Unmarshal(rec.Report, &rep); err != nil {
-			c.cfg.Logf("wal: job %s tile %d: undecodable report: %v", rec.Job, rec.Tile, err)
+			c.cfg.Logger.Warn("wal: undecodable tile report",
+				"job", rec.Job, "tile", rec.Tile, "error", err)
 			return
 		}
 		j.leases.RestoreDone(rec.Tile)
@@ -295,7 +297,7 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 		}
 		c.evictFinishedLocked()
 	default:
-		c.cfg.Logf("wal: skipping record of unknown type %q", rec.T)
+		c.cfg.Logger.Warn("wal: skipping record of unknown type", "type", rec.T)
 	}
 }
 
@@ -410,7 +412,7 @@ func (c *Coordinator) journalLocked(rec walRecord) {
 		err = c.log.Append(raw)
 	}
 	if err != nil {
-		c.cfg.Logf("wal: journaling %s: %v", rec.T, err)
+		c.cfg.Logger.Error("wal: journaling failed", "type", rec.T, "error", err)
 	}
 }
 
@@ -429,7 +431,7 @@ func (c *Coordinator) commitLocked() error {
 		if err := c.snapshotLocked(); err != nil {
 			// The journal is intact and durable; a failed compaction
 			// only costs replay time.
-			c.cfg.Logf("wal: snapshot: %v", err)
+			c.cfg.Logger.Warn("wal: snapshot failed", "error", err)
 		}
 	}
 	return nil
@@ -532,7 +534,7 @@ func (c *Coordinator) gcPacksLocked() {
 	for _, e := range entries {
 		if strings.HasSuffix(e.Name(), ".tpack") && !needed[e.Name()] {
 			os.Remove(filepath.Join(dir, e.Name()))
-			c.cfg.Logf("pack store: collected orphan %s", e.Name())
+			c.cfg.Logger.Info("pack store: collected orphan", "pack", e.Name())
 		}
 	}
 }

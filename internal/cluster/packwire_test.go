@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -15,6 +16,18 @@ import (
 	"trigene"
 	"trigene/internal/store"
 )
+
+// testLogger routes slog records into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // sessionFor builds a Session over mx, failing the test on error.
 func sessionFor(t *testing.T, mx *trigene.Matrix) *trigene.Session {
@@ -161,7 +174,7 @@ func TestWorkerPackDiskCache(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	w := &Worker{Client: cl, ID: "cacher", Poll: 5 * time.Millisecond, CacheDir: dir, Logf: t.Logf}
+	w := &Worker{Client: cl, ID: "cacher", Poll: 5 * time.Millisecond, CacheDir: dir, Logger: testLogger(t)}
 	done := make(chan struct{})
 	go func() { defer close(done); w.Run(ctx) }()
 
@@ -182,7 +195,7 @@ func TestWorkerPackDiskCache(t *testing.T) {
 
 	// A fresh worker loads it from disk: point it at an unreachable
 	// coordinator so a fetch attempt would fail loudly.
-	w2 := &Worker{Client: NewClient("http://127.0.0.1:1"), CacheDir: dir, Logf: t.Logf}
+	w2 := &Worker{Client: NewClient("http://127.0.0.1:1"), CacheDir: dir, Logger: testLogger(t)}
 	s := w2.sessionFromDisk(sess.DatasetHash())
 	if s == nil {
 		t.Fatal("disk cache miss for a persisted pack")
@@ -210,7 +223,7 @@ func TestWorkerLegacyByteHashGrant(t *testing.T) {
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 
-	w := &Worker{Client: NewClient(srv.URL), Logf: t.Logf}
+	w := &Worker{Client: NewClient(srv.URL), Logger: testLogger(t)}
 	legacy := fmt.Sprintf("%x", sha256.Sum256(bin.Bytes()))
 	s, err := w.session(context.Background(), LeaseGrant{Job: "j1", DatasetSHA256: legacy})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"trigene"
+	"trigene/internal/obs"
 	"trigene/internal/store"
 )
 
@@ -46,8 +48,10 @@ type Worker struct {
 	// coordinator, so a restarted worker (or several workers sharing a
 	// disk) skips both the fetch and the re-encode.
 	CacheDir string
-	// Logf receives worker events (default: discard).
-	Logf func(format string, args ...any)
+	// Logger receives worker events as structured records; every line
+	// carries the worker ID, and tile-level lines carry the job ID,
+	// tile index and lease token (default: discard).
+	Logger *slog.Logger
 
 	// rate is the EWMA of measured tiles/sec, stored as float64 bits
 	// (the heartbeat goroutine reads it while the search loop writes).
@@ -62,6 +66,10 @@ type Worker struct {
 	drainCh   chan struct{}
 	idOnce    sync.Once
 
+	// logOnce/log cache the worker-tagged logger built from Logger.
+	logOnce sync.Once
+	log     *slog.Logger
+
 	// sessions caches Sessions by dataset content hash so a worker
 	// decodes each dataset once, not once per tile. The key is the
 	// grant's DatasetSHA256 (the store content hash), never the job ID:
@@ -69,6 +77,11 @@ type Worker struct {
 	// worker must not execute a new job against a stale cached dataset
 	// (identical datasets across jobs dedupe for free instead).
 	sessions sessionCache
+
+	// wm holds the metric hooks installed by Instrument (zero value:
+	// no-ops); reg is the registry handed to each tile's Search.
+	wm  workerMetrics
+	reg *obs.Registry
 }
 
 // tilesPerSec returns the current measured-throughput report.
@@ -152,6 +165,20 @@ func (w *Worker) ensureID() {
 	})
 }
 
+// logger returns the worker's structured logger, tagged once with the
+// worker ID (discard when Logger is unset). Safe from any goroutine.
+func (w *Worker) logger() *slog.Logger {
+	w.logOnce.Do(func() {
+		w.ensureID()
+		l := w.Logger
+		if l == nil {
+			l = discardLogger()
+		}
+		w.log = l.With("worker", w.ID)
+	})
+	return w.log
+}
+
 // drainSignal returns the channel Drain closes, creating it on first
 // use so Drain may be called before or after Run starts.
 func (w *Worker) drainSignal() chan struct{} {
@@ -177,14 +204,20 @@ func (w *Worker) Drain(ctx context.Context) {
 		// soon as it observes the flag, and a drain announcement landing
 		// after the leave would resurrect the worker in the registry.
 		if w.Client != nil {
-			if err := w.Client.Drain(ctx, w.ID); err != nil && ctx.Err() == nil && w.Logf != nil {
-				w.Logf("announcing drain: %v", err)
+			if err := w.Client.Drain(ctx, w.ID); err != nil && ctx.Err() == nil {
+				w.logger().Warn("announcing drain failed", "error", err)
 			}
 		}
 		w.draining.Store(true)
+		w.wm.draining.Set(1)
 		close(w.drainSignal())
 	})
 }
+
+// Draining reports whether Drain has been called: the worker is
+// finishing held leases and taking no new ones. Health endpoints use
+// it to flip readiness before the process exits.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // Run leases and executes tiles until ctx is cancelled (returned as
 // ctx's error) or the worker is drained (Run returns nil after
@@ -194,9 +227,6 @@ func (w *Worker) Run(ctx context.Context) error {
 	w.ensureID()
 	if w.Poll <= 0 {
 		w.Poll = 500 * time.Millisecond
-	}
-	if w.Logf == nil {
-		w.Logf = func(string, ...any) {}
 	}
 	if w.Capacity <= 0 {
 		w.Capacity = 1
@@ -211,12 +241,12 @@ func (w *Worker) Run(ctx context.Context) error {
 			// and leave the fleet.
 			if released, err := w.Client.Leave(ctx, w.ID); err != nil {
 				if ctx.Err() == nil {
-					w.Logf("drain: leave: %v (leases will expire by TTL)", err)
+					w.logger().Warn("drain: leave failed; leases will expire by TTL", "error", err)
 				}
 			} else if released > 0 {
-				w.Logf("drained; %d abandoned leases released for re-issue", released)
+				w.logger().Info("drained; abandoned leases released for re-issue", "released", released)
 			} else {
-				w.Logf("drained cleanly")
+				w.logger().Info("drained cleanly")
 			}
 			return nil
 		}
@@ -233,7 +263,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			// Coordinator unreachable (restart, network blip): idle and
 			// retry rather than dying.
 			if ctx.Err() == nil {
-				w.Logf("lease: %v; retrying in %v", err, w.Poll)
+				w.logger().Warn("lease request failed; retrying", "error", err, "retryIn", w.Poll)
 			}
 			w.idle(ctx)
 		case !ok:
@@ -271,7 +301,7 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 		// let expiry re-issue the tiles — MaxAttempts brakes a
 		// persistent cause.
 		if ctx.Err() == nil {
-			w.Logf("tiles of %s: loading dataset: %v; abandoning leases", grant.Job, err)
+			w.logger().Warn("loading dataset failed; abandoning leases", "job", grant.Job, "error", err)
 		}
 		return
 	}
@@ -279,7 +309,8 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 	if err != nil {
 		// The coordinator validated the spec at submit; a rebuild error
 		// here is deterministic (version skew), so fail the job loudly.
-		w.Logf("tile %d of %s: rebuilding spec: %v; failing the job", tiles[0].Tile, grant.Job, err)
+		w.logger().Error("rebuilding spec failed; failing the job",
+			"job", grant.Job, "tile", tiles[0].Tile, "token", tiles[0].Token, "error", err)
 		w.failJob(ctx, tiles[0].Token, fmt.Sprintf("rebuilding spec: %v", err))
 		return
 	}
@@ -292,7 +323,8 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 			return
 		}
 		if hb.lost(tg.Token) {
-			w.Logf("tile %d of %s: lease lost before start; skipping", tg.Tile, grant.Job)
+			w.logger().Info("lease lost before start; skipping tile",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
 			continue
 		}
 		if !w.executeTile(ctx, hb, grant, tg, sess, opts) {
@@ -309,38 +341,48 @@ func (w *Worker) executeTile(ctx context.Context, hb *heartbeats, grant LeaseGra
 	hb.setCurrent(tg.Token, cancel)
 	defer hb.clearCurrent()
 
-	topts := make([]trigene.Option, 0, len(opts)+1)
+	topts := make([]trigene.Option, 0, len(opts)+2)
 	topts = append(topts, opts...)
 	topts = append(topts, trigene.WithShard(tg.Tile, grant.Tiles))
+	topts = append(topts, trigene.WithMetrics(w.reg))
 
-	w.Logf("tile %d/%d of job %s", tg.Tile, grant.Tiles, grant.Job)
+	w.logger().Info("executing tile",
+		"job", grant.Job, "tile", tg.Tile, "tiles", grant.Tiles, "token", tg.Token)
 	start := time.Now()
 	rep, err := sess.Search(sctx, topts...)
 
 	switch {
 	case err == nil:
-		w.observe(time.Since(start))
+		elapsed := time.Since(start)
+		w.observe(elapsed)
+		w.wm.tiles.Inc()
+		w.wm.tileSeconds.Observe(elapsed.Seconds())
 		hb.finish(tg.Token)
 		accepted, cerr := w.complete(ctx, tg.Token, rep)
 		switch {
 		case errors.Is(cerr, errLeaseLost):
-			w.Logf("tile %d of %s: completed after lease loss; result discarded", tg.Tile, grant.Job)
+			w.logger().Info("completed after lease loss; result discarded",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
 		case cerr != nil:
 			// The result is lost; the lease expires and the tile is
 			// re-issued. Nothing to clean up.
-			w.Logf("tile %d of %s: posting result: %v", tg.Tile, grant.Job, cerr)
+			w.logger().Warn("posting result failed",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", cerr)
 		case !accepted:
-			w.Logf("tile %d of %s: duplicate result discarded by coordinator", tg.Tile, grant.Job)
+			w.logger().Info("duplicate result discarded by coordinator",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
 		}
 	case hb.lost(tg.Token):
-		w.Logf("tile %d of %s: lease lost mid-search; abandoning", tg.Tile, grant.Job)
+		w.logger().Info("lease lost mid-search; abandoning tile",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
 	case ctx.Err() != nil:
 		// Shutdown: leave the leases to expire and be re-issued.
 	default:
 		// A deterministic execution error: retrying elsewhere cannot
 		// help, so fail the job loudly (and drop the rest of the batch
 		// — its leases die with the job).
-		w.Logf("tile %d of %s: %v; failing the job", tg.Tile, grant.Job, err)
+		w.logger().Error("tile failed; failing the job",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", err)
 		w.failJob(ctx, tg.Token, err.Error())
 		return false
 	}
@@ -410,6 +452,7 @@ func (hb *heartbeats) renewAll(ctx context.Context) {
 			return
 		}
 		if err := hb.w.renewOnce(ctx, tok); err != nil {
+			hb.w.wm.leasesLost.Inc()
 			hb.mu.Lock()
 			delete(hb.live, tok)
 			hb.lostSet[tok] = true
@@ -464,9 +507,11 @@ func (hb *heartbeats) stop() {
 // before trusting it.
 func (w *Worker) session(ctx context.Context, grant LeaseGrant) (*trigene.Session, error) {
 	if s, ok := w.sessions.get(grant.DatasetSHA256); ok {
+		w.wm.datasetLoad("memory")
 		return s, nil
 	}
 	if s := w.sessionFromDisk(grant.DatasetSHA256); s != nil {
+		w.wm.datasetLoad("disk")
 		w.sessions.put(grant.DatasetSHA256, s)
 		return s, nil
 	}
@@ -474,6 +519,7 @@ func (w *Worker) session(ctx context.Context, grant LeaseGrant) (*trigene.Sessio
 	if err != nil {
 		return nil, err
 	}
+	w.wm.datasetLoad("fetch")
 	var s *trigene.Session
 	if store.IsPack(raw) {
 		s, err = trigene.ReadPack(bytes.NewReader(raw))
@@ -522,11 +568,11 @@ func (w *Worker) sessionFromDisk(hash string) *trigene.Session {
 	}
 	if s.DatasetHash() != hash {
 		s.Close()
-		w.Logf("pack cache: %s names the wrong dataset; removing", path)
+		w.logger().Warn("pack cache entry names the wrong dataset; removing", "path", path)
 		os.Remove(path)
 		return nil
 	}
-	w.Logf("dataset %.12s…: loaded from pack cache", hash)
+	w.logger().Info("dataset loaded from pack cache", "dataset", hash)
 	return s
 }
 
@@ -538,12 +584,12 @@ func (w *Worker) persistPack(hash string, raw []byte, s *trigene.Session) {
 		return
 	}
 	if err := os.MkdirAll(w.CacheDir, 0o755); err != nil {
-		w.Logf("pack cache: %v", err)
+		w.logger().Warn("pack cache write failed", "error", err)
 		return
 	}
 	tmp, err := os.CreateTemp(w.CacheDir, hash+".*.tmp")
 	if err != nil {
-		w.Logf("pack cache: %v", err)
+		w.logger().Warn("pack cache write failed", "error", err)
 		return
 	}
 	defer os.Remove(tmp.Name())
@@ -559,7 +605,7 @@ func (w *Worker) persistPack(hash string, raw []byte, s *trigene.Session) {
 		err = os.Rename(tmp.Name(), filepath.Join(w.CacheDir, hash+".tpack"))
 	}
 	if err != nil {
-		w.Logf("pack cache: %v", err)
+		w.logger().Warn("pack cache write failed", "error", err)
 	}
 }
 
@@ -572,7 +618,7 @@ func (w *Worker) renewOnce(ctx context.Context, token string) error {
 		return err
 	}
 	if err != nil && ctx.Err() == nil {
-		w.Logf("renew: %v (will retry)", err)
+		w.logger().Warn("renew failed; will retry", "token", token, "error", err)
 	}
 	return nil
 }
@@ -585,6 +631,6 @@ func (w *Worker) complete(ctx context.Context, token string, rep *trigene.Report
 // failJob reports a deterministic failure.
 func (w *Worker) failJob(ctx context.Context, token, msg string) {
 	if err := w.Client.fail(ctx, token, msg); err != nil && !errors.Is(err, errLeaseLost) && ctx.Err() == nil {
-		w.Logf("reporting failure: %v", err)
+		w.logger().Warn("reporting job failure failed", "token", token, "error", err)
 	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"trigene/internal/obs"
 	"trigene/internal/sched"
 	"trigene/internal/score"
 )
@@ -12,35 +13,41 @@ import (
 // paper's throughput story rests on: V2 (flat split kernel), V4
 // (blocked lane-vectorized kernel) and the fused pair-AND variants.
 // The per-consumer arenas (pooled contingency tables, the pair-plane
-// buffer, reused top-K heaps) are what make this hold.
+// buffer, reused top-K heaps) are what make this hold. The guarantee
+// must survive instrumentation, so every approach is probed twice:
+// without metrics and with a live registry attached (counters are
+// resolved at construction; the per-tile update is atomic adds only).
 func TestHotPathAllocs(t *testing.T) {
 	mx := randomMatrix(200, 32, 320)
 	s, err := New(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range []Approach{V2Split, V4Vector, V3Fused, V4Fused} {
-		h, err := s.NewHotLoop(Options{Approach: a, TopK: 4})
-		if err != nil {
-			t.Fatal(err)
+	for _, reg := range []*obs.Registry{nil, obs.NewRegistry()} {
+		for _, a := range []Approach{V2Split, V4Vector, V3Fused, V4Fused} {
+			h, err := s.NewHotLoop(Options{Approach: a, TopK: 4, Metrics: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tiles := h.Tiles()
+			if tiles < 2 {
+				t.Fatalf("%v: space too small to probe (%d tiles)", a, tiles)
+			}
+			// Warm-up: grow the top-K heap to depth and fault in the scratch.
+			for i := int64(0); i < tiles; i++ {
+				h.Process(h.Tile(i))
+			}
+			var idx int64
+			allocs := testing.AllocsPerRun(32, func() {
+				h.Process(h.Tile(idx % tiles))
+				idx++
+			})
+			if allocs != 0 {
+				t.Errorf("%v (metrics=%v): %.1f allocs per tile in steady state, want 0",
+					a, reg != nil, allocs)
+			}
+			h.Close()
 		}
-		tiles := h.Tiles()
-		if tiles < 2 {
-			t.Fatalf("%v: space too small to probe (%d tiles)", a, tiles)
-		}
-		// Warm-up: grow the top-K heap to depth and fault in the scratch.
-		for i := int64(0); i < tiles; i++ {
-			h.Process(h.Tile(i))
-		}
-		var idx int64
-		allocs := testing.AllocsPerRun(32, func() {
-			h.Process(h.Tile(idx % tiles))
-			idx++
-		})
-		if allocs != 0 {
-			t.Errorf("%v: %.1f allocs per tile in steady state, want 0", a, allocs)
-		}
-		h.Close()
 	}
 }
 

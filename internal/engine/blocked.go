@@ -49,8 +49,12 @@ func (s *Searcher) runBlocked(o Options) (*Result, error) {
 	for w := range workers {
 		workers[w] = newBlockWorker(s, &o, bs, nb)
 	}
+	cur.Instrument(o.Metrics, "blocked")
+	rm := resolveRunMetrics(o.Metrics, o.Approach)
 	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
-		return workers[w].tile(t), nil
+		n := workers[w].tile(t)
+		rm.observe(n)
+		return n, nil
 	})
 	if err != nil {
 		return nil, err

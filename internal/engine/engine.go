@@ -40,6 +40,7 @@ import (
 	"trigene/internal/carm"
 	"trigene/internal/combin"
 	"trigene/internal/dataset"
+	"trigene/internal/obs"
 	"trigene/internal/sched"
 	"trigene/internal/score"
 	"trigene/internal/store"
@@ -238,6 +239,12 @@ type Options struct {
 	// combinations and the total. It must be safe for concurrent use
 	// and should return quickly.
 	Progress func(done, total int64)
+	// Metrics, when non-nil, receives the run's counters: tiles and
+	// combinations scored per approach, plus the scheduler's claim
+	// series. Metric pointers are resolved before the pool starts and
+	// updated once per drained tile with plain atomic adds, so the hot
+	// path stays allocation-free with a live registry attached.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults(maxSamples int) (Options, error) {

@@ -44,13 +44,18 @@ func (s *Searcher) runFlat(o Options) (*Result, error) {
 	for w := range workers {
 		workers[w] = &flatWorker{o: &o, m: s.st.SNPs(), bin: bin, split: split, a: getArena(o.Objective, o.TopK, 0)}
 	}
+	cur.Instrument(o.Metrics, "flat")
+	rm := resolveRunMetrics(o.Metrics, o.Approach)
 	err := cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
 		if o.Meter == nil {
-			return workers[w].tile(t), nil
+			n := workers[w].tile(t)
+			rm.observe(n)
+			return n, nil
 		}
 		start := time.Now()
 		n := workers[w].tile(t)
 		o.Meter.Record(o.MeterBase+w, n, time.Since(start))
+		rm.observe(n)
 		return n, nil
 	})
 	if err != nil {

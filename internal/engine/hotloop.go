@@ -16,6 +16,7 @@ type HotLoop struct {
 	flat    *flatWorker
 	blocked *blockWorker
 	src     sched.Source
+	rm      runMetrics // resolved once; Process stays allocation-free
 }
 
 // NewHotLoop builds a single consumer for the configured approach over
@@ -31,6 +32,7 @@ func (s *Searcher) NewHotLoop(opts Options) (*HotLoop, error) {
 		return nil, fmt.Errorf("engine: HotLoop probes the full space")
 	}
 	m := s.st.SNPs()
+	rm := resolveRunMetrics(o.Metrics, o.Approach)
 	switch o.Approach {
 	case V1Naive, V2Split:
 		fw := &flatWorker{o: &o, m: m, a: getArena(o.Objective, o.TopK, 0)}
@@ -42,6 +44,7 @@ func (s *Searcher) NewHotLoop(opts Options) (*HotLoop, error) {
 		return &HotLoop{
 			flat: fw,
 			src:  sched.Flat(combin.Triples(m), 1),
+			rm:   rm,
 		}, nil
 	default:
 		bs := o.BlockSNPs
@@ -52,6 +55,7 @@ func (s *Searcher) NewHotLoop(opts Options) (*HotLoop, error) {
 		return &HotLoop{
 			blocked: newBlockWorker(s, &o, bs, nb),
 			src:     sched.NewSource(0, combin.Triples(nb+2), 1),
+			rm:      rm,
 		}, nil
 	}
 }
@@ -78,10 +82,14 @@ func (h *HotLoop) Tile(i int64) sched.Tile {
 // combinations it scored. After the first few tiles have warmed the
 // top-K heap, Process performs zero heap allocations.
 func (h *HotLoop) Process(t sched.Tile) int64 {
+	var n int64
 	if h.flat != nil {
-		return h.flat.tile(t)
+		n = h.flat.tile(t)
+	} else {
+		n = h.blocked.tile(t)
 	}
-	return h.blocked.tile(t)
+	h.rm.observe(n)
+	return n
 }
 
 // Scored returns the cumulative combinations processed.

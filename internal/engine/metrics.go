@@ -1,0 +1,28 @@
+package engine
+
+import "trigene/internal/obs"
+
+// runMetrics is one run's resolved series, looked up before the
+// worker pool starts so the drain callback does one nil check and two
+// atomic adds per tile — never a registry lookup, never an
+// allocation. The zero value is a no-op.
+type runMetrics struct {
+	tiles  *obs.Counter
+	combos *obs.Counter
+}
+
+// resolveRunMetrics registers (or finds) the engine's per-approach
+// series. A nil registry yields no-op metrics.
+func resolveRunMetrics(reg *obs.Registry, a Approach) runMetrics {
+	l := obs.L("approach", a.String())
+	return runMetrics{
+		tiles:  reg.Counter("trigene_engine_tiles_total", "Tiles scored by the search engine, by approach.", l),
+		combos: reg.Counter("trigene_engine_combinations_total", "SNP combinations scored, by approach.", l),
+	}
+}
+
+// observe records one drained tile.
+func (rm *runMetrics) observe(combos int64) {
+	rm.tiles.Inc()
+	rm.combos.Add(combos)
+}

@@ -22,6 +22,7 @@ import (
 	"trigene/internal/device"
 	"trigene/internal/engine"
 	"trigene/internal/gpusim"
+	"trigene/internal/obs"
 	"trigene/internal/perfmodel"
 	"trigene/internal/sched"
 	"trigene/internal/score"
@@ -108,6 +109,10 @@ type Options struct {
 	// Context optionally allows cancellation of both halves; nil means
 	// context.Background().
 	Context context.Context
+
+	// Metrics optionally instruments the CPU half's engine run (tile
+	// and combination counters, scheduler claim series); nil disables.
+	Metrics *obs.Registry
 }
 
 // Result is the outcome of a heterogeneous search.
@@ -325,6 +330,7 @@ func runStealing(st *store.Store, opts *Options, lo, hi int64, out *Result) (*en
 		Context:   opts.Context,
 		Tiles:     cur,
 		Meter:     meter,
+		Metrics:   opts.Metrics,
 	})
 	if gpu == nil {
 		g := <-gpuCh
@@ -370,6 +376,7 @@ func runStatic(st *store.Store, opts *Options, lo, hi int64, frac float64) (*eng
 			TopK:      opts.TopK,
 			Context:   opts.Context,
 			RankRange: &combin.Range{Lo: lo, Hi: cut},
+			Metrics:   opts.Metrics,
 		})
 		cpuCh <- cpuOut{res: res, err: err}
 	}()

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden locks the exact text-format output: HELP/TYPE
+// lines, counter/gauge/histogram rendering, cumulative buckets with
+// +Inf, label quoting, and deterministic ordering.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trigene_tiles_total", "Tiles scored.", L("approach", "V4F")).Add(7)
+	r.Counter("trigene_tiles_total", "Tiles scored.", L("approach", "V2")).Add(3)
+	r.Gauge("trigene_queue_depth", "Unleased tiles.").Set(4)
+	h := r.Histogram("trigene_fsync_seconds", "Fsync latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(2)
+	r.GaugeFunc("trigene_worker_staleness_seconds", "Seconds since last heartbeat.", func() []Sample {
+		return []Sample{
+			{Value: 1.5, Labels: []Label{L("worker", `w"1`)}},
+			{Value: 3, Labels: []Label{L("worker", "w2")}},
+		}
+	})
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP trigene_tiles_total Tiles scored.
+# TYPE trigene_tiles_total counter
+trigene_tiles_total{approach="V2"} 3
+trigene_tiles_total{approach="V4F"} 7
+# HELP trigene_queue_depth Unleased tiles.
+# TYPE trigene_queue_depth gauge
+trigene_queue_depth 4
+# HELP trigene_fsync_seconds Fsync latency.
+# TYPE trigene_fsync_seconds histogram
+trigene_fsync_seconds_bucket{le="0.001"} 2
+trigene_fsync_seconds_bucket{le="0.01"} 2
+trigene_fsync_seconds_bucket{le="0.1"} 3
+trigene_fsync_seconds_bucket{le="+Inf"} 4
+trigene_fsync_seconds_sum 2.051
+trigene_fsync_seconds_count 4
+# HELP trigene_worker_staleness_seconds Seconds since last heartbeat.
+# TYPE trigene_worker_staleness_seconds gauge
+trigene_worker_staleness_seconds{worker="w\"1"} 1.5
+trigene_worker_staleness_seconds{worker="w2"} 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1<<10)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Errorf("body missing series: %q", buf[:n])
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", L("k", "v"))
+	b := r.Counter("c_total", "help", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("c_total", "help", L("k", "other")); c == a {
+		t.Error("different label value returned the same series")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := map[string]func(r *Registry){
+		"bad metric name": func(r *Registry) { r.Counter("1bad", "h") },
+		"bad label name":  func(r *Registry) { r.Counter("ok_total", "h", L("0k", "v")) },
+		"duplicate label": func(r *Registry) { r.Counter("ok_total", "h", L("a", "1"), L("a", "2")) },
+		"kind conflict":   func(r *Registry) { r.Counter("m", "h"); r.Gauge("m", "h") },
+		"help conflict":   func(r *Registry) { r.Counter("m_total", "h1"); r.Counter("m_total", "h2") },
+		"label conflict":  func(r *Registry) { r.Counter("m_total", "h", L("a", "1")); r.Counter("m_total", "h", L("b", "1")) },
+		"bucket order":    func(r *Registry) { r.Histogram("h", "h", []float64{2, 1}) },
+		"bucket conflict": func(r *Registry) { r.Histogram("h", "h", []float64{1}); r.Histogram("h", "h", []float64{2}) },
+		"nil gaugefunc":   func(r *Registry) { r.GaugeFunc("g", "h", nil) },
+		"colon in label":  func(r *Registry) { r.Counter("ok_total", "h", L("a:b", "v")) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f(NewRegistry())
+		}()
+	}
+}
+
+// TestNilSafety exercises every mutator on nil metrics and a nil
+// registry — the contract instrumented code relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := r.Gauge("x", "h")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := r.Histogram("x_h", "h", DurationBuckets)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	r.GaugeFunc("f", "h", nil) // must not panic on nil registry
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Errorf("nil WriteTo = %d, %v", n, err)
+	}
+	var tr *Trace
+	tr.Start("x")()
+	tr.Add("y", 0, time.Second)
+	if tr.Spans() != nil {
+		t.Error("nil trace has spans")
+	}
+}
+
+// TestConcurrentScrape hammers registration, updates and scrapes
+// concurrently; run under -race this is the data-race gate for the
+// whole package.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("hot_total", "h", L("w", string(rune('a'+i))))
+			h := r.Histogram("lat_seconds", "h", DurationBuckets, L("w", string(rune('a'+i))))
+			g := r.Gauge("depth", "h")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(0.001)
+					g.Add(1)
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := r.WriteTo(&strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	done := tr.Start("plan")
+	time.Sleep(time.Millisecond)
+	done()
+	tr.Add("encode", tr.Since(), 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "plan" || spans[0].Duration <= 0 {
+		t.Errorf("plan span = %+v", spans[0])
+	}
+	if spans[1].Name != "encode" || spans[1].Duration != 5*time.Millisecond {
+		t.Errorf("encode span = %+v", spans[1])
+	}
+}

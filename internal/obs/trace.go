@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed phase of a traced operation: its name, when
+// it started relative to the trace's own start, and how long it ran.
+type Span struct {
+	Name     string
+	Start    time.Duration // offset from Trace start
+	Duration time.Duration
+}
+
+// Trace records the phase spans of one operation (one search): plan,
+// encode, search, merge. It is deliberately minimal — a handful of
+// appends behind a mutex, far off any hot path; per-tile work is the
+// metrics registry's job, not the trace's.
+//
+// The nil *Trace is valid: Start returns a no-op closer, Spans
+// returns nil — callers thread a trace through unconditionally.
+type Trace struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []Span
+}
+
+// NewTrace starts a trace; its clock zero is now.
+func NewTrace() *Trace {
+	return &Trace{base: time.Now()}
+}
+
+// Start opens a span and returns the closure that ends it. Typical
+// use:
+//
+//	done := tr.Start("search")
+//	... the phase ...
+//	done()
+//
+// Spans may overlap and nest freely; the trace records them in
+// completion order. Safe for concurrent use; no-op on a nil Trace.
+func (t *Trace) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:     name,
+			Start:    start.Sub(t.base),
+			Duration: end.Sub(start),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Add records an already-measured span (used when a phase's duration
+// is computed rather than clocked, e.g. the encode time a store
+// reports). No-op on a nil Trace.
+func (t *Trace) Add(name string, start, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Duration: d})
+	t.mu.Unlock()
+}
+
+// Since returns the offset of now from the trace's clock zero (0 on
+// nil), for pairing with Add.
+func (t *Trace) Since() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.base)
+}
+
+// Spans returns a copy of the recorded spans (nil on a nil Trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -61,6 +62,22 @@ const (
 	// CompleteUnknown: the coordinates identify no granted lease.
 	CompleteUnknown
 )
+
+// String names the status in logs.
+func (s CompleteStatus) String() string {
+	switch s {
+	case CompleteAccepted:
+		return "accepted"
+	case CompleteDuplicate:
+		return "duplicate"
+	case CompleteStale:
+		return "stale"
+	case CompleteUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("CompleteStatus(%d)", int(s))
+	}
+}
 
 // NewLeaseTable returns a table over n tiles, all unleased.
 func NewLeaseTable(n int) *LeaseTable {

@@ -198,6 +198,8 @@ type Cursor struct {
 
 	progressTotal int64
 	progress      func(done, total int64)
+
+	m cursorMetrics // resolved series; zero value is a no-op (see Instrument)
 }
 
 // NewCursor returns a claiming cursor over the source.
@@ -231,6 +233,8 @@ func (c *Cursor) Claim(grains int64) (Tile, bool) {
 	if hi > c.src.hi {
 		hi = c.src.hi
 	}
+	c.m.tiles.Inc()
+	c.m.ranks.Add(hi - lo)
 	return Tile{Lo: lo, Hi: hi}, true
 }
 
@@ -238,6 +242,7 @@ func (c *Cursor) Claim(grains int64) (Tile, bool) {
 // callback. Consume and Drain call it automatically; only consumers
 // hand-rolling their own claim loop need to.
 func (c *Cursor) Finish(items int64) {
+	c.m.items.Add(items)
 	done := c.done.Add(items)
 	if c.progress != nil {
 		c.progress(done, c.progressTotal)

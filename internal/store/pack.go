@@ -312,6 +312,7 @@ func parsePack(data []byte, mapped []byte) (*Store, error) {
 		split:      split,
 		words32:    make(map[words32Key]*dataset.Words32),
 		mapped:     mapped,
+		fromPack:   true,
 	}, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"trigene/internal/bitvec"
 	"trigene/internal/dataset"
@@ -80,10 +81,22 @@ type Store struct {
 	words32     map[words32Key]*dataset.Words32
 
 	builds Builds
+	om     storeMetrics // exported mirror of builds; see Instrument
+
+	// encodeSeconds accumulates the wall time of from-scratch encoding
+	// builds (outermost build only: a build that triggers a nested one,
+	// like Binarize decoding the matrix first, counts once). Sessions
+	// read the delta across a search as the "encode" trace span.
+	encodeSeconds float64
+	buildDepth    int
 
 	// mapped is the mmap region backing a pack-loaded store (nil when
 	// heap-backed); Close releases it.
 	mapped []byte
+
+	// fromPack marks stores adopted from a .tpack (heap or mmap), for
+	// the pack-load metrics.
+	fromPack bool
 }
 
 // New validates the matrix and returns a Store over it. No encoding is
@@ -115,6 +128,31 @@ func (s *Store) Builds() Builds {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.builds
+}
+
+// EncodeSeconds returns the cumulative wall time spent building
+// encodings from scratch over the Store's lifetime. Pack-adopted
+// representations cost nothing here; a traced search reports the delta
+// across the call as its "encode" span.
+func (s *Store) EncodeSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.encodeSeconds
+}
+
+// timedBuildLocked runs one from-scratch representation build and
+// charges its wall time to encodeSeconds. Only the outermost build of
+// a nested chain records (the inner time is already inside the outer
+// measurement).
+func (s *Store) timedBuildLocked(build func()) {
+	s.buildDepth++
+	start := time.Now()
+	build()
+	d := time.Since(start)
+	s.buildDepth--
+	if s.buildDepth == 0 {
+		s.encodeSeconds += d.Seconds()
+	}
 }
 
 // Mapped reports whether the store's encodings alias an mmap'd pack.
@@ -205,21 +243,24 @@ func (s *Store) Matrix() *dataset.Matrix {
 func (s *Store) matrixLocked() *dataset.Matrix {
 	if s.mx == nil {
 		s.builds.Matrix++
-		mx := dataset.NewMatrix(s.m, s.n)
-		for i := 0; i < s.m; i++ {
-			row := mx.Row(i)
-			base := i * s.n
-			for j := range row {
-				idx := base + j
-				row[j] = s.packedGeno[idx/4] >> (uint(idx%4) * 2) & 3
+		s.countBuild("matrix")
+		s.timedBuildLocked(func() {
+			mx := dataset.NewMatrix(s.m, s.n)
+			for i := 0; i < s.m; i++ {
+				row := mx.Row(i)
+				base := i * s.n
+				for j := range row {
+					idx := base + j
+					row[j] = s.packedGeno[idx/4] >> (uint(idx%4) * 2) & 3
+				}
 			}
-		}
-		for j := 0; j < s.n; j++ {
-			if s.packedPhen[j/8]>>(uint(j)%8)&1 != 0 {
-				mx.SetPhen(j, dataset.Case)
+			for j := 0; j < s.n; j++ {
+				if s.packedPhen[j/8]>>(uint(j)%8)&1 != 0 {
+					mx.SetPhen(j, dataset.Case)
+				}
 			}
-		}
-		s.mx = mx
+			s.mx = mx
+		})
 	}
 	return s.mx
 }
@@ -235,7 +276,8 @@ func (s *Store) Binarized() *dataset.Binarized {
 func (s *Store) binarizedLocked() *dataset.Binarized {
 	if s.bin == nil {
 		s.builds.Binarized++
-		s.bin = dataset.Binarize(s.matrixLocked())
+		s.countBuild("binarized")
+		s.timedBuildLocked(func() { s.bin = dataset.Binarize(s.matrixLocked()) })
 	}
 	return s.bin
 }
@@ -251,7 +293,8 @@ func (s *Store) Split() *dataset.Split {
 func (s *Store) splitLocked() *dataset.Split {
 	if s.split == nil {
 		s.builds.Split++
-		s.split = dataset.SplitBinarize(s.matrixLocked())
+		s.countBuild("split")
+		s.timedBuildLocked(func() { s.split = dataset.SplitBinarize(s.matrixLocked()) })
 	}
 	return s.split
 }
@@ -262,7 +305,8 @@ func (s *Store) Naive32() *dataset.Naive32 {
 	defer s.mu.Unlock()
 	if s.naive32 == nil {
 		s.builds.Naive32++
-		s.naive32 = dataset.BuildNaive32(s.binarizedLocked())
+		s.countBuild("naive32")
+		s.timedBuildLocked(func() { s.naive32 = dataset.BuildNaive32(s.binarizedLocked()) })
 	}
 	return s.naive32
 }
@@ -280,7 +324,8 @@ func (s *Store) Words32(layout dataset.Layout, bs int) *dataset.Words32 {
 	w, ok := s.words32[key]
 	if !ok {
 		s.builds.Words32++
-		w = dataset.BuildWords32(s.splitLocked(), layout, bs)
+		s.countBuild("words32")
+		s.timedBuildLocked(func() { w = dataset.BuildWords32(s.splitLocked(), layout, bs) })
 		s.words32[key] = w
 	}
 	return w
@@ -292,7 +337,8 @@ func (s *Store) ClassPlanes() *dataset.ClassPlanes {
 	defer s.mu.Unlock()
 	if s.classPlanes == nil {
 		s.builds.ClassPlanes++
-		s.classPlanes = dataset.BuildClassPlanes(s.matrixLocked())
+		s.countBuild("classplanes")
+		s.timedBuildLocked(func() { s.classPlanes = dataset.BuildClassPlanes(s.matrixLocked()) })
 	}
 	return s.classPlanes
 }

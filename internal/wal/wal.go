@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 )
 
 const (
@@ -69,6 +70,8 @@ type Log struct {
 
 	snapshot []byte
 	records  [][]byte
+
+	m metrics // resolved series; zero value is a no-op (see Instrument)
 }
 
 // Open opens (creating if needed) the log in dir and recovers it:
@@ -123,18 +126,22 @@ func (l *Log) Append(rec []byte) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.appended++
+	l.m.appends.Inc()
+	l.m.appendBytes.Add(int64(len(rec)))
 	return nil
 }
 
 // Sync flushes buffered appends and fsyncs the journal: every record
 // appended before Sync survives a machine crash once it returns.
 func (l *Log) Sync() error {
+	start := time.Now()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.observeSync(start)
 	return nil
 }
 
@@ -143,6 +150,7 @@ func (l *Log) Sync() error {
 // snapshot will not replay again. The recovered Snapshot/Records
 // views are reset accordingly.
 func (l *Log) WriteSnapshot(state []byte) error {
+	snapStart := time.Now()
 	newGen := l.gen + 1
 
 	// Write the snapshot beside its final name and rename into place,
@@ -196,6 +204,9 @@ func (l *Log) WriteSnapshot(state []byte) error {
 		old.Close()
 		os.Remove(filepath.Join(l.dir, journalName(newGen-1)))
 	}
+	l.m.snapshots.Inc()
+	l.m.snapshotBytes.Set(float64(len(state)))
+	l.m.snapSeconds.Observe(time.Since(snapStart).Seconds())
 	return nil
 }
 

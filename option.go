@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trigene/internal/contingency"
+	"trigene/internal/obs"
 	"trigene/internal/score"
 )
 
@@ -27,6 +28,8 @@ type searchConfig struct {
 	shard       *shardSpec
 	progress    func(done, total int64)
 	remote      RemoteExecutor
+	metrics     *obs.Registry
+	trace       bool
 
 	// Autotuning (WithAutoTune / WithEnergyBudget).
 	autotune     bool
@@ -210,6 +213,35 @@ func WithShard(index, count int) Option {
 func WithProgress(fn func(done, total int64)) Option {
 	return func(c *searchConfig) error {
 		c.progress = fn
+		return nil
+	}
+}
+
+// WithMetrics attaches a metrics registry to the call: the session
+// instruments the dataset store (encoding builds, pack load mode) and
+// the CPU engine (tiles and combinations scored per approach, the
+// scheduler's claim series) against it, all under "trigene_"-prefixed
+// names. The registry is typically shared with an HTTP /metrics
+// endpoint via obs.Handler. Instrumentation is allocation-free on the
+// hot path — metric pointers are resolved before the worker pool
+// starts and updated with atomic adds — so attaching a registry does
+// not perturb the throughput being measured. A nil registry is
+// allowed and equivalent to omitting the option.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *searchConfig) error {
+		c.metrics = reg
+		return nil
+	}
+}
+
+// WithTrace records the call's phase timeline — plan, encode, search,
+// and (after MergeReports) merge spans — and attaches it to the Report
+// as Trace. The trace travels with the Report through the JSON wire
+// format. Tracing costs a handful of clock reads per call; it never
+// touches the per-combination hot path.
+func WithTrace() Option {
+	return func(c *searchConfig) error {
+		c.trace = true
 		return nil
 	}
 }

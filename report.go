@@ -92,6 +92,31 @@ type HeteroInfo struct {
 	ModeledCombinedGElems float64 `json:"modeledCombinedGElems"`
 }
 
+// TraceSpan is one timed phase of a search, offset-based so spans
+// from one trace order and nest without wall-clock comparisons.
+type TraceSpan struct {
+	// Name identifies the phase: "plan", "encode", "search" or
+	// "merge".
+	Name string `json:"name"`
+	// StartNs is the span's start offset from the trace origin (the
+	// Search call's entry) in nanoseconds.
+	StartNs int64 `json:"startNs"`
+	// DurationNs is the span's length in nanoseconds.
+	DurationNs int64 `json:"durationNs"`
+}
+
+// TraceInfo is the per-search phase timeline attached to a Report by
+// WithTrace: where the wall time of the call went — planning (the
+// autotuner's model evaluation), encoding (building or loading the
+// bit-plane representations the approach consumes), the search itself,
+// and shard merging. Spans are recorded by the session around the
+// phases it drives; a backend's internal parallelism is summarized by
+// the single "search" span, not expanded.
+type TraceInfo struct {
+	// Spans holds the recorded phases in start order.
+	Spans []TraceSpan `json:"spans"`
+}
+
 // Report is the unified outcome of Session.Search: every backend and
 // every interaction order produces this one shape.
 type Report struct {
@@ -133,6 +158,9 @@ type Report struct {
 	// Plan is the autotuner's decision trace on WithAutoTune /
 	// WithEnergyBudget runs; nil otherwise.
 	Plan *PlanInfo
+	// Trace is the phase timeline recorded under WithTrace; nil
+	// otherwise.
+	Trace *TraceInfo
 
 	// obj preserves the objective's ordering for MergeReports.
 	obj score.Objective
@@ -171,6 +199,7 @@ func candidateCmp(obj score.Objective) func(a, b SearchCandidate) bool {
 // JSON from shard machines) merge too: the candidate ordering is
 // rebuilt from the Objective name.
 func MergeReports(reports ...*Report) (*Report, error) {
+	mergeStart := time.Now()
 	if len(reports) == 0 {
 		return nil, fmt.Errorf("trigene: MergeReports needs at least one report")
 	}
@@ -271,6 +300,27 @@ func MergeReports(reports ...*Report) (*Report, error) {
 		out.ElementsPerSec = out.Elements / modeled
 	case !allModeled && out.Duration > 0:
 		out.ElementsPerSec = out.Elements / out.Duration.Seconds()
+	}
+	// Like Plan, the first trace present carries over (shards of one
+	// traced job record the same phases); the merge's own cost is
+	// appended as a "merge" span starting where the last span ended.
+	for _, r := range reports {
+		if r.Trace != nil {
+			spans := append([]TraceSpan(nil), r.Trace.Spans...)
+			last := int64(0)
+			for _, sp := range spans {
+				if end := sp.StartNs + sp.DurationNs; end > last {
+					last = end
+				}
+			}
+			spans = append(spans, TraceSpan{
+				Name:       "merge",
+				StartNs:    last,
+				DurationNs: int64(time.Since(mergeStart)),
+			})
+			out.Trace = &TraceInfo{Spans: spans}
+			break
+		}
 	}
 	return out, nil
 }

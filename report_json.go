@@ -35,6 +35,7 @@ type wireReport struct {
 	GPU            *GPUStats         `json:"gpu,omitempty"`
 	Hetero         *HeteroInfo       `json:"hetero,omitempty"`
 	Plan           *PlanInfo         `json:"plan,omitempty"`
+	Trace          *TraceInfo        `json:"trace,omitempty"`
 }
 
 // MarshalJSON implements the stable Report wire format.
@@ -55,6 +56,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		GPU:            r.GPU,
 		Hetero:         r.Hetero,
 		Plan:           r.Plan,
+		Trace:          r.Trace,
 	})
 }
 
@@ -80,6 +82,7 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		GPU:            w.GPU,
 		Hetero:         w.Hetero,
 		Plan:           w.Plan,
+		Trace:          w.Trace,
 	}
 	return nil
 }

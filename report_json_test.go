@@ -157,6 +157,74 @@ func TestReportJSONPlanGolden(t *testing.T) {
 	}
 }
 
+// goldenTraceJSON pins the "trace" key of the wire format.
+const goldenTraceJSON = `"trace":{"spans":[` +
+	`{"name":"plan","startNs":0,"durationNs":2000000},` +
+	`{"name":"search","startNs":2000000,"durationNs":1498000000},` +
+	`{"name":"encode","startNs":2000000,"durationNs":40000000},` +
+	`{"name":"merge","startNs":1500000000,"durationNs":3000000}]}`
+
+// TestReportJSONTraceGolden: a traced Report (WithTrace) carries its
+// phase timeline on the wire, byte-stable and round-trip clean. (The
+// trace-less goldens above prove the key is absent when tracing is
+// off.)
+func TestReportJSONTraceGolden(t *testing.T) {
+	rep := goldenReport()
+	rep.Trace = &TraceInfo{Spans: []TraceSpan{
+		{Name: "plan", StartNs: 0, DurationNs: 2e6},
+		{Name: "search", StartNs: 2e6, DurationNs: 1498e6},
+		{Name: "encode", StartNs: 2e6, DurationNs: 40e6},
+		{Name: "merge", StartNs: 1500e6, DurationNs: 3e6},
+	}}
+	want := goldenReportJSON[:len(goldenReportJSON)-1] + "," + goldenTraceJSON + "}"
+
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != want {
+		t.Errorf("trace wire format drifted:\n got %s\nwant %s", raw, want)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, rep) {
+		t.Errorf("trace round trip changed the report:\n got %+v\nwant %+v", back, *rep)
+	}
+	if !reflect.DeepEqual(back.Trace, rep.Trace) {
+		t.Errorf("trace round trip: %+v != %+v", back.Trace, rep.Trace)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(raw) {
+		t.Errorf("trace re-marshal drifted:\n got %s", again)
+	}
+
+	// A merge of deserialized shard Reports keeps the timeline and
+	// appends its own "merge" span after the last recorded one.
+	merged, err := MergeReports(&back, &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Trace == nil {
+		t.Fatal("merge dropped the trace")
+	}
+	spans := merged.Trace.Spans
+	last := spans[len(spans)-1]
+	if last.Name != "merge" {
+		t.Errorf("merged trace does not end in a merge span: %+v", spans)
+	}
+	if len(spans) != len(rep.Trace.Spans)+1 {
+		t.Errorf("merged trace has %d spans, want %d", len(spans), len(rep.Trace.Spans)+1)
+	}
+	if want := int64(1503e6); last.StartNs != want {
+		t.Errorf("merge span starts at %d, want %d (end of the prior timeline)", last.StartNs, want)
+	}
+}
+
 // TestReportJSONSparse: a minimal report (no shard/GPU/hetero, no
 // candidates) omits its optional keys and survives the round trip.
 func TestReportJSONSparse(t *testing.T) {

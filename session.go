@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"trigene/internal/engine"
+	"trigene/internal/obs"
 	"trigene/internal/permtest"
 	"trigene/internal/store"
 )
@@ -118,19 +120,58 @@ func (s *Session) Search(ctx context.Context, opts ...Option) (*Report, error) {
 		// plans for its own host rather than inheriting this machine's.
 		return s.searchRemote(ctx, cfg)
 	}
+	s.store.Instrument(cfg.metrics)
+	var tr *obs.Trace
+	if cfg.trace {
+		tr = obs.NewTrace()
+	}
 	if cfg.autotune {
-		if err := s.applyPlan(cfg); err != nil {
+		planDone := tr.Start("plan")
+		err := s.applyPlan(cfg)
+		planDone()
+		if err != nil {
 			return nil, err
 		}
 	}
+	// The approach's encodings build lazily inside the backend, so the
+	// "encode" span is the store's build-time delta across the search,
+	// anchored at the search span's start (it nests inside "search").
+	var encodeBefore float64
+	if cfg.trace {
+		encodeBefore = s.store.EncodeSeconds()
+	}
+	searchStart := tr.Since()
+	searchDone := tr.Start("search")
 	rep, err := cfg.backend.search(ctx, s, cfg)
+	searchDone()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.planInfo != nil {
 		rep.Plan = cfg.planInfo
 	}
+	if cfg.trace {
+		if d := s.store.EncodeSeconds() - encodeBefore; d > 0 {
+			tr.Add("encode", searchStart, time.Duration(d*float64(time.Second)))
+		}
+		rep.Trace = traceInfo(tr)
+	}
 	return rep, nil
+}
+
+// traceInfo converts a recorded obs.Trace into the Report's exported
+// TraceInfo block.
+func traceInfo(tr *obs.Trace) *TraceInfo {
+	spans := tr.Spans()
+	out := &TraceInfo{Spans: make([]TraceSpan, len(spans))}
+	for i, sp := range spans {
+		out.Spans[i] = TraceSpan{
+			Name:       sp.Name,
+			StartNs:    sp.Start.Nanoseconds(),
+			DurationNs: sp.Duration.Nanoseconds(),
+		}
+	}
+	return out
 }
 
 // searchRemote ships a configured search to a WithCluster executor.
