@@ -87,6 +87,39 @@ func (s *Session) applyPlan(cfg *searchConfig) error {
 	return nil
 }
 
+// screenDecision is the session-side shape of the planner's two-stage
+// verdict (plan.ScreenDecision).
+type screenDecision struct {
+	Survivors int
+	Decline   bool
+	Reason    string
+}
+
+// planScreen consults the planner's two-stage cost model for a
+// budget-only screen: the largest survivor set whose stage-1 + stage-2
+// cost fits the budget, or a decline when screening loses.
+func planScreen(snps, samples int, cfg *searchConfig, budgetSec float64) (*screenDecision, error) {
+	w := plan.Workload{
+		SNPs:      snps,
+		Samples:   samples,
+		Order:     cfg.order,
+		Objective: cfg.objName,
+	}
+	cons := plan.Constraints{EnergyBudgetWatts: cfg.energyBudget}
+	if cfg.backendSet {
+		cons.Backend = cfg.backend.Name()
+	}
+	h := plan.LiveHost()
+	if cfg.workers > 0 {
+		h.Workers = cfg.workers
+	}
+	d, err := plan.DecideScreen(w, h, cons, budgetSec)
+	if err != nil {
+		return nil, fmt.Errorf("trigene: screen planning: %w", err)
+	}
+	return &screenDecision{Survivors: d.Survivors, Decline: d.Decline, Reason: d.Reason}, nil
+}
+
 // planInfoFrom copies a planner decision into the Report's wire shape.
 func planInfoFrom(p *plan.Plan) *PlanInfo {
 	return &PlanInfo{

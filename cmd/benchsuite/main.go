@@ -41,6 +41,14 @@
 //	                         # ratios, plus the allocations per tile with the
 //	                         # registry attached; exits nonzero if metrics
 //	                         # cost more than 2% or allocate on the hot path
+//	benchsuite -exp screen   # two-stage screened-search audit (BENCH_PR9.json):
+//	                         # exhaustive vs screened wall time (time-paired
+//	                         # median of ratios), the stage-1/stage-2 split,
+//	                         # and the survivor recall of a planted triple;
+//	                         # exits nonzero if screening is not at least 3x
+//	                         # faster, prunes a planted SNP, misses the
+//	                         # planted best, or allocates in the subset
+//	                         # hot loop
 //	benchsuite -exp all      # everything except the audit/snapshot experiments
 //
 // Cross-device rows are analytical-model projections (this is a
@@ -102,7 +110,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels, obs or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels, obs, screen or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -143,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"obs": func() error {
 			return obsExp(orDefault(*snapOut, "BENCH_PR8.json"))
+		},
+		"screen": func() error {
+			return screenExp(orDefault(*snapOut, "BENCH_PR9.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -1825,6 +1836,239 @@ func obsExp(outPath string) error {
 	if snap.MedianPairedRatio < 0.98 {
 		return fmt.Errorf("metrics overhead beyond 2%%: median paired ratio %.4f (%.0f vs %.0f tiles/s)",
 			snap.MedianPairedRatio, snap.MetricsTilesPerSec, snap.PlainTilesPerSec)
+	}
+	return nil
+}
+
+// screenSnapshot is the committed BENCH_PR9.json shape.
+type screenSnapshot struct {
+	Schema     string `json:"schema"`
+	SNPs       int    `json:"snps"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Approach   string `json:"approach"`
+	Reps       int    `json:"reps"`
+
+	PlantedSNPs    []int `json:"plantedSnps"`
+	SurvivorBudget int   `json:"survivorBudget"`
+	SeedPairs      int   `json:"seedPairs"`
+
+	ExhaustiveTriples int64 `json:"exhaustiveTriples"`
+	ScreenedTriples   int64 `json:"screenedTriples"`
+	PairsScanned      int64 `json:"pairsScanned"`
+
+	ExhaustiveMedianMs  float64 `json:"exhaustiveMedianMs"`
+	ScreenedMedianMs    float64 `json:"screenedMedianMs"`
+	MedianPairedSpeedup float64 `json:"medianPairedSpeedup"`
+	Stage1MedianMs      float64 `json:"stage1MedianMs"`
+	Stage2MedianMs      float64 `json:"stage2MedianMs"`
+
+	SurvivorRecall        float64 `json:"survivorRecall"`
+	BestMatchesExhaustive bool    `json:"bestMatchesExhaustive"`
+	AllocsPerOpSubset     float64 `json:"allocsPerOpSubset"`
+}
+
+// Screened-search audit shape: a planted third-order signal in a
+// dataset big enough that C(M,3) hurts, a survivor budget small enough
+// that C(S,3) does not.
+const (
+	screenAuditSNPs      = 112
+	screenAuditSamples   = 2048
+	screenAuditSeed      = 29
+	screenAuditSurvivors = 24
+	screenAuditSeedPairs = 8
+	screenAuditReps      = 5
+)
+
+// screenAuditPlanted is where the interaction is planted (spread across
+// the index range so survivor selection cannot luck into it).
+var screenAuditPlanted = []int{11, 47, 83}
+
+// screenExp audits the two-stage screened search end to end. Each rep
+// runs the exhaustive V4F search and the screened one (WithScreen,
+// survivor budget S, seeded extensions) back to back on the same
+// session and contributes one exhaustive/screened wall-time ratio, so
+// co-tenant noise hits both sides of a pair alike; the headline
+// speedup is the median of the paired ratios. The audit (and CI with
+// it) fails if screening is not at least 3x faster, if the stage-1
+// scan prunes any planted SNP (survivor recall below 100%), if the
+// screened best differs from the exhaustive best (both must be the
+// planted triple), or if the index-remapped subset hot loop allocates.
+func screenExp(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: screenAuditSNPs, Samples: screenAuditSamples, Seed: screenAuditSeed,
+		MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{screenAuditPlanted[0], screenAuditPlanted[1], screenAuditPlanted[2]},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	snap := screenSnapshot{
+		Schema:         "trigene-screen/1",
+		SNPs:           screenAuditSNPs,
+		Samples:        screenAuditSamples,
+		Seed:           screenAuditSeed,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Approach:       engine.V4Fused.String(),
+		Reps:           screenAuditReps,
+		PlantedSNPs:    screenAuditPlanted,
+		SurvivorBudget: screenAuditSurvivors,
+		SeedPairs:      screenAuditSeedPairs,
+	}
+
+	// Survivor recall: the stage-1 scan the screened runs below will
+	// execute, probed standalone so the audit can report exactly which
+	// planted SNPs the cut line keeps.
+	scores, err := sess.ScreenStage1(ctx, screenAuditSeedPairs)
+	if err != nil {
+		return err
+	}
+	survivors, _, err := scores.SelectSurvivors(screenAuditSurvivors)
+	if err != nil {
+		return err
+	}
+	inSurvivors := make(map[int]bool, len(survivors))
+	for _, c := range survivors {
+		inSurvivors[c] = true
+	}
+	kept := 0
+	for _, p := range screenAuditPlanted {
+		if inSurvivors[p] {
+			kept++
+		}
+	}
+	snap.SurvivorRecall = float64(kept) / float64(len(screenAuditPlanted))
+
+	// Steady-state allocations per tile of the index-remapped subset hot
+	// loop — the stage-2 engine the screened search runs.
+	searcher, err := engine.New(mx)
+	if err != nil {
+		return err
+	}
+	sub, err := searcher.Subset(survivors)
+	if err != nil {
+		return err
+	}
+	h, err := sub.NewHotLoop(engine.Options{Approach: engine.V4Fused, TopK: 4})
+	if err != nil {
+		return err
+	}
+	tiles := h.Tiles()
+	for i := int64(0); i < tiles && i < 32; i++ {
+		h.Process(h.Tile(i))
+	}
+	var idx int64
+	snap.AllocsPerOpSubset = testing.AllocsPerRun(64, func() {
+		h.Process(h.Tile(idx % tiles))
+		idx++
+	})
+	h.Close()
+
+	screened := []trigene.Option{
+		trigene.WithApproach(trigene.V4Fused),
+		trigene.WithTopK(4),
+		trigene.WithScreen(trigene.ScreenSpec{
+			MaxSurvivors: screenAuditSurvivors,
+			SeedPairs:    screenAuditSeedPairs,
+		}),
+	}
+	exhaustive := screened[:2]
+
+	// Warm-up both sides, then paired reps.
+	if _, err := sess.Search(ctx, exhaustive...); err != nil {
+		return err
+	}
+	if _, err := sess.Search(ctx, screened...); err != nil {
+		return err
+	}
+	var exhMs, scrMs, ratios, stage1Ms, stage2Ms []float64
+	snap.BestMatchesExhaustive = true
+	for r := 0; r < screenAuditReps; r++ {
+		t0 := time.Now()
+		exhRep, err := sess.Search(ctx, exhaustive...)
+		if err != nil {
+			return err
+		}
+		exhDur := time.Since(t0)
+		t1 := time.Now()
+		scrRep, err := sess.Search(ctx, screened...)
+		if err != nil {
+			return err
+		}
+		scrDur := time.Since(t1)
+
+		exhMs = append(exhMs, float64(exhDur.Microseconds())/1e3)
+		scrMs = append(scrMs, float64(scrDur.Microseconds())/1e3)
+		ratios = append(ratios, exhDur.Seconds()/scrDur.Seconds())
+		if scrRep.Screen == nil {
+			return fmt.Errorf("screened report carries no Screen audit record")
+		}
+		stage1Ms = append(stage1Ms, float64(scrRep.Screen.Stage1Ns)/1e6)
+		stage2Ms = append(stage2Ms, float64(scrRep.Screen.Stage2Ns)/1e6)
+		snap.ExhaustiveTriples = exhRep.Combinations
+		snap.ScreenedTriples = scrRep.Combinations
+		snap.PairsScanned = scrRep.Screen.PairsScanned
+
+		// Both sides must agree on the planted triple; a screened search
+		// that prunes its way to a different answer is not a speedup.
+		for i, p := range screenAuditPlanted {
+			if i >= len(exhRep.Best.SNPs) || exhRep.Best.SNPs[i] != p ||
+				i >= len(scrRep.Best.SNPs) || scrRep.Best.SNPs[i] != p {
+				snap.BestMatchesExhaustive = false
+			}
+		}
+	}
+	snap.ExhaustiveMedianMs = median(exhMs)
+	snap.ScreenedMedianMs = median(scrMs)
+	snap.MedianPairedSpeedup = median(ratios)
+	snap.Stage1MedianMs = median(stage1Ms)
+	snap.Stage2MedianMs = median(stage2Ms)
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Screened-search audit (%d SNPs x %d samples, S=%d, median of %d) -> %s ==\n",
+		screenAuditSNPs, screenAuditSamples, screenAuditSurvivors, screenAuditReps, outPath)
+	t := report.NewTable("", "search", "triples", "median ms")
+	t.AddRowf("exhaustive V4F", snap.ExhaustiveTriples, snap.ExhaustiveMedianMs)
+	t.AddRowf("screened V4F", snap.ScreenedTriples, snap.ScreenedMedianMs)
+	if err := render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "median paired speedup %.2fx; %d pairs scanned, stage split %.2f/%.2f ms; recall %.0f%%, %.2f allocs/op\n",
+		snap.MedianPairedSpeedup, snap.PairsScanned, snap.Stage1MedianMs, snap.Stage2MedianMs,
+		snap.SurvivorRecall*100, snap.AllocsPerOpSubset)
+
+	// The audit gates: the collapse must pay for the pair scan several
+	// times over without costing the answer.
+	if snap.SurvivorRecall < 1 {
+		return fmt.Errorf("stage-1 screen pruned a planted SNP: recall %.2f (survivors %v)",
+			snap.SurvivorRecall, survivors)
+	}
+	if !snap.BestMatchesExhaustive {
+		return fmt.Errorf("screened best disagrees with the exhaustive best at the planted triple %v",
+			screenAuditPlanted)
+	}
+	if snap.AllocsPerOpSubset > 0 {
+		return fmt.Errorf("subset hot path allocates %.2f per tile (want 0)", snap.AllocsPerOpSubset)
+	}
+	if snap.MedianPairedSpeedup < 3 {
+		return fmt.Errorf("screened search only %.2fx faster than exhaustive (want >= 3x: %.1f vs %.1f ms)",
+			snap.MedianPairedSpeedup, snap.ExhaustiveMedianMs, snap.ScreenedMedianMs)
 	}
 	return nil
 }

@@ -1,7 +1,7 @@
 // epistasis runs an exhaustive epistasis search on a dataset file
-// (trigene text or binary format, packed .tpack, PLINK .ped or VCF;
-// magic bytes are auto-detected) through the unified Session/Backend
-// API.
+// (trigene text or binary format, packed .tpack, PLINK .ped, PLINK
+// binary .bed with its .bim/.fam sidecars, or VCF; magic bytes are
+// auto-detected) through the unified Session/Backend API.
 //
 // Usage:
 //
@@ -13,6 +13,8 @@
 //	epistasis -in data.tg -shard 0/4             # evaluate one shard of the space
 //	epistasis -in data.tg -auto                  # model-driven autotuning (prints the plan)
 //	epistasis -in data.tg -energy-budget 95      # autotune under a power cap
+//	epistasis -in data.tg -screen-survivors 64   # two-stage: pair screen, then triples on survivors
+//	epistasis -in data.tg -screen-budget 2.5     # planner-sized screen under a 2.5 s budget
 //	epistasis -in data.tg -pack data.tpack       # pre-encode offline; later runs mmap it
 //	epistasis -in data.tpack                     # search a packed dataset (starts in ms)
 package main
@@ -60,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	auto := fs.Bool("auto", false, "model-driven autotuning: the planner picks backend/approach/grain/split from the paper's models and the chosen plan is printed")
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto; the plan records the DVFS operating point)")
 	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
+	screenSurvivors := fs.Int("screen-survivors", 0, "two-stage screening: keep the S best SNPs from a pairwise pre-scan and search triples only among them (0 = no screen)")
+	screenBudget := fs.Float64("screen-budget", 0, "two-stage screening under a time budget: the planner sizes the survivor set to fit this many seconds (0 = off; combinable with -screen-survivors as a cap)")
+	screenSeeds := fs.Int("screen-seeds", 0, "also extend the top-P screened pairs with every third SNP, guarding against survivors pruned by a marginal-free interaction (0 = default when screening)")
 	packOut := fs.String("pack", "", "pre-encode the dataset into this .tpack file and exit (no search)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
@@ -157,6 +162,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opts = append(opts, trigene.WithShard(idx, cnt))
 	}
+	if *screenSurvivors != 0 || *screenBudget != 0 || *screenSeeds != 0 {
+		sc := trigene.ScreenSpec{
+			MaxSurvivors:  *screenSurvivors,
+			BudgetSeconds: *screenBudget,
+			SeedPairs:     *screenSeeds,
+		}
+		if err := sc.Validate(sess.SNPs()); err != nil {
+			return err
+		}
+		opts = append(opts, trigene.WithScreen(sc))
+	}
 
 	ctx := context.Background()
 	rep, err := sess.Search(ctx, opts...)
@@ -184,9 +200,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return writeJSON(stdout, summarize(sess, rep, pValue))
 	}
 	printPlan(stdout, rep)
+	printScreen(stdout, rep)
 	printReport(stdout, rep)
 	printPValue(stdout, pValue, *permute)
 	return nil
+}
+
+// printScreen renders the two-stage screening audit trail.
+func printScreen(w io.Writer, rep *trigene.Report) {
+	s := rep.Screen
+	if s == nil {
+		return
+	}
+	if s.Declined {
+		fmt.Fprintf(w, "screen: declined (%s)\n", s.Reason)
+		return
+	}
+	fmt.Fprintf(w, "screen: %d pairs scanned -> %d survivors (threshold %.4f, %d seed pairs); stage 1 %v, stage 2 %v\n",
+		s.PairsScanned, s.Survivors, s.Threshold, s.SeedPairs,
+		time.Duration(s.Stage1Ns).Round(time.Millisecond),
+		time.Duration(s.Stage2Ns).Round(time.Millisecond))
 }
 
 // printPlan renders the autotuner's decision trace.
@@ -289,8 +322,11 @@ type jsonSummary struct {
 	PValue       *float64                  `json:"pValue,omitempty"`
 	// Plan surfaces the autotuner's decision trace (also embedded in
 	// Report) for -auto / -energy-budget runs.
-	Plan   *trigene.PlanInfo `json:"plan,omitempty"`
-	Report *trigene.Report   `json:"report"`
+	Plan *trigene.PlanInfo `json:"plan,omitempty"`
+	// Screen surfaces the two-stage screening audit trail (also
+	// embedded in Report) for -screen-* runs.
+	Screen *trigene.ScreenInfo `json:"screen,omitempty"`
+	Report *trigene.Report     `json:"report"`
 }
 
 func summarize(sess *trigene.Session, rep *trigene.Report, pValue *float64) jsonSummary {
@@ -312,6 +348,7 @@ func summarize(sess *trigene.Session, rep *trigene.Report, pValue *float64) json
 		Candidates:   rep.TopK,
 		PValue:       pValue,
 		Plan:         rep.Plan,
+		Screen:       rep.Screen,
 		Report:       rep,
 	}
 }

@@ -400,3 +400,53 @@ func TestRunEnergyBudget(t *testing.T) {
 		t.Error("negative budget accepted")
 	}
 }
+
+// TestRunScreened drives the two-stage screen flags end to end: the
+// screened run still surfaces the planted triple, prints the audit
+// line, embeds ScreenInfo in -json output, and rejects bad budgets
+// before searching.
+func TestRunScreened(t *testing.T) {
+	path := writeDataset(t, false)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-in", path, "-screen-survivors", "8", "-topk", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "screen: ") || !strings.Contains(s, "survivors") {
+		t.Errorf("missing screen audit line:\n%s", s)
+	}
+	if !strings.Contains(s, "(1,7,12)") {
+		t.Errorf("planted triple pruned by screen:\n%s", s)
+	}
+
+	out.Reset()
+	if err := run([]string{"-in", path, "-screen-survivors", "8", "-json"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Screen *trigene.ScreenInfo `json:"screen"`
+		Report struct {
+			Screen *trigene.ScreenInfo `json:"screen"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Screen == nil || summary.Report.Screen == nil {
+		t.Fatalf("screen info missing from -json output:\n%s", out.String())
+	}
+	if summary.Screen.Survivors != 8 {
+		t.Errorf("screen survivors %d, want 8", summary.Screen.Survivors)
+	}
+
+	for _, args := range [][]string{
+		{"-in", path, "-screen-survivors", "-3"},
+		{"-in", path, "-screen-survivors", "99"}, // > M=16
+		{"-in", path, "-screen-budget", "-1"},
+		{"-in", path, "-screen-seeds", "4"}, // seeds without a survivor budget
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v accepted", args[1:])
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	trigened submit -coordinator http://c:9321 -in data.tg -tiles 64 -name scan1
 //	trigened submit -coordinator http://c:9321 -in data.tg -auto    # plan-aware job
 //	trigened submit -coordinator http://c:9321 -in data.tg -wait    # block, print the Report
+//	trigened submit -coordinator http://c:9321 -in data.tg -screen-survivors 128  # two-stage screened job
 //	trigened status -coordinator http://c:9321 [-job j1]            # queue / one job
 //	trigened status -coordinator http://c:9321 -workers             # capability registry
 //	trigened result -coordinator http://c:9321 -job j1              # merged Report JSON
@@ -19,7 +20,11 @@
 // lease tiles under heartbeat-renewed deadlines and the coordinator
 // merges their Reports bit-exactly (see the README's "Cluster
 // architecture" section). `trigened result` emits the same stable
-// Report JSON as `epistasis -json`.
+// Report JSON as `epistasis -json`. A screened job
+// (-screen-survivors) runs as two phases: the pairwise pre-scan is
+// sharded across workers first, the coordinator merges the scan and
+// pins the survivor set, and only then do stage-2 triple tiles lease
+// out; the merged Report carries the audit trail under "screen".
 //
 // With -state-dir the coordinator is durable: every state transition
 // is journaled, and a crashed (even SIGKILLed) coordinator restarted
@@ -407,6 +412,8 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto)")
 	maxWorkers := fs.Int("max-workers", 0, "cap how many distinct workers may hold live leases on this job at once (0 = unlimited)")
 	deadline := fs.Duration("deadline", 0, "wall-clock budget from submission; the coordinator fails the job past it (0 = none)")
+	screenSurvivors := fs.Int("screen-survivors", 0, "two-stage screening: a sharded pairwise pre-scan keeps the S best SNPs and stage-2 triple tiles search only among them (0 = no screen)")
+	screenSeeds := fs.Int("screen-seeds", 0, "with -screen-survivors: also extend the top-P screened pairs with every third SNP (0 = engine default)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its Report JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -435,12 +442,26 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		MaxWorkers:        *maxWorkers,
 		DeadlineMillis:    deadline.Milliseconds(),
 	}
+	if *screenSurvivors != 0 || *screenSeeds != 0 {
+		// Validate client-side for a friendly error (the coordinator
+		// re-validates at the door): negative budgets and survivor sets
+		// larger than the dataset fail before any bytes are uploaded.
+		sc := trigene.ScreenSpec{MaxSurvivors: *screenSurvivors, SeedPairs: *screenSeeds}
+		if err := sc.Validate(sess.SNPs()); err != nil {
+			return err
+		}
+		spec.Screen = &sc
+	}
 	cl := cluster.NewClient(*coord)
 	id, err := cl.SubmitSession(ctx, sess, spec, *tiles, *name)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "submitted %s (%d tiles)\n", id, *tiles)
+	if spec.Screen != nil {
+		fmt.Fprintf(stdout, "submitted %s (%d screen tiles + %d search tiles)\n", id, *tiles, *tiles)
+	} else {
+		fmt.Fprintf(stdout, "submitted %s (%d tiles)\n", id, *tiles)
+	}
 	if !*wait {
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -243,6 +244,24 @@ func startDurableDaemon(t *testing.T, addr, stateDir string) (string, func()) {
 		t.Fatalf("unexpected serve banner %q", line)
 	}
 	go io.Copy(io.Discard, pr)
+	// The daemon listens (and answers health probes) before journal
+	// recovery finishes; wait for readiness so a submit right after the
+	// banner does not race the recovering coordinator's 503s.
+	readyDeadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/healthz")
+		if err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ready {
+				break
+			}
+		}
+		if time.Now().After(readyDeadline) {
+			t.Fatal("daemon never became ready on /v1/healthz")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	stopped := false
 	stop := func() {
 		if stopped {
@@ -359,5 +378,64 @@ func TestTrigenedRestartRecovery(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "seen") || !strings.Contains(out.String(), "ago") {
 		t.Errorf("status -workers output lacks heartbeat ages:\n%s", out.String())
+	}
+}
+
+// TestTrigenedScreenedSubmit: a -screen-survivors job runs as two
+// phases end to end against CLI workers, the merged Report carries
+// the screen audit trail, and bad screen specs fail loudly before
+// the dataset is uploaded.
+func TestTrigenedScreenedSubmit(t *testing.T) {
+	url := startDaemon(t)
+	startCLIWorkers(t, url, 2)
+	path, mx := writeDataset(t)
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"submit", "-coordinator", url, "-in", path,
+		"-name", "screened", "-tiles", "4", "-topk", "4", "-workers", "2",
+		"-screen-survivors", "10", "-wait"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(out.String(), "\n", 2)
+	if !strings.Contains(lines[0], "screen tiles") {
+		t.Errorf("submit banner %q lacks the screen phase", lines[0])
+	}
+	var rep trigene.Report
+	if err := json.Unmarshal([]byte(lines[1]), &rep); err != nil {
+		t.Fatalf("submit -wait output is not a Report: %v\n%s", err, lines[1])
+	}
+	if rep.Screen == nil {
+		t.Fatal("merged Report has no screen audit trail")
+	}
+	if rep.Screen.Survivors != 10 {
+		t.Errorf("screen survivors %d, want 10", rep.Screen.Survivors)
+	}
+
+	// The screened cluster run must agree with the screened local run.
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.Search(ctx, trigene.WithTopK(4), trigene.WithWorkers(2),
+		trigene.WithScreen(trigene.ScreenSpec{MaxSurvivors: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best.Score != local.Best.Score {
+		t.Errorf("cluster best %v (%.12f), local %v (%.12f)",
+			rep.Best.SNPs, rep.Best.Score, local.Best.SNPs, local.Best.Score)
+	}
+
+	// Loud client-side validation: nothing is uploaded for a bad spec.
+	for _, args := range [][]string{
+		{"submit", "-coordinator", url, "-in", path, "-screen-survivors", "-2"},
+		{"submit", "-coordinator", url, "-in", path, "-screen-survivors", "1000"},
+		{"submit", "-coordinator", url, "-in", path, "-screen-seeds", "3"},
+	} {
+		if err := run(ctx, args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args[5:])
+		}
 	}
 }

@@ -253,6 +253,19 @@ func (c *Client) complete(ctx context.Context, token string, rep *trigene.Report
 	return resp.Accepted, nil
 }
 
+// completeScreen posts a stage-1 tile's ScreenScores (screened jobs).
+func (c *Client) completeScreen(ctx context.Context, token string, sc *trigene.ScreenScores) (accepted bool, err error) {
+	raw, err := json.Marshal(sc)
+	if err != nil {
+		return false, err
+	}
+	var resp CompleteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/done", CompleteRequest{Screen: raw}, &resp); err != nil {
+		return false, leaseLostOr(err)
+	}
+	return resp.Accepted, nil
+}
+
 // fail reports a deterministic tile failure (fails the job).
 func (c *Client) fail(ctx context.Context, token, msg string) error {
 	err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/fail", FailRequest{Error: msg}, nil)

@@ -71,8 +71,15 @@ type SubmitRequest struct {
 	Name string `json:"name,omitempty"`
 	// Spec is the search configuration every tile executes.
 	Spec trigene.SearchSpec `json:"spec"`
-	// Tiles is how many lease units the space is cut into (≥ 1).
+	// Tiles is how many lease units the space is cut into (≥ 1). For a
+	// screened job (Spec.Screen set, survivors not pinned) this counts
+	// the stage-2 tiles; the stage-1 pair scan is leased as its own
+	// ScreenTiles units ahead of them.
 	Tiles int `json:"tiles"`
+	// ScreenTiles is how many shards the stage-1 pair scan of a screened
+	// job is cut into (0 = same as Tiles). Ignored for unscreened jobs
+	// and for specs with pinned survivors.
+	ScreenTiles int `json:"screenTiles,omitempty"`
 	// Dataset is the dataset in the trigene binary format or the
 	// packed .tpack format (base64 in JSON). The coordinator holds and
 	// serves it packed either way, encoding a binary submission exactly
@@ -96,10 +103,16 @@ type JobStatus struct {
 	SNPs    int `json:"snps"`
 	Samples int `json:"samples"`
 	// Tiles, Done and Leased count lease units: total, completed, and
-	// currently under an unexpired lease.
+	// currently under an unexpired lease. A screened job's units are its
+	// ScreenTiles stage-1 shards followed by the stage-2 tiles.
 	Tiles  int `json:"tiles"`
 	Done   int `json:"done"`
 	Leased int `json:"leased"`
+	// ScreenTiles and ScreenDone track the stage-1 phase of a screened
+	// job (both 0 for unscreened jobs); stage 2 is granted only once
+	// ScreenDone reaches ScreenTiles and the survivor set is pinned.
+	ScreenTiles int `json:"screenTiles,omitempty"`
+	ScreenDone  int `json:"screenDone,omitempty"`
 	// Error is set on failed jobs.
 	Error string `json:"error,omitempty"`
 	// SubmittedUnixMs and DurationMs time the job: submission instant
@@ -148,6 +161,17 @@ type LeaseGrant struct {
 	// Tile and Tiles are the shard coordinates to execute.
 	Tile  int `json:"tile"`
 	Tiles int `json:"tiles"`
+	// Stage marks the phase of a two-phase screened job: "screen" grants
+	// execute Session.ScreenStage1 over shard (Tile−StageBase) of
+	// StageCount and post ScreenScores; empty grants execute an ordinary
+	// sharded Search. A batch never mixes stages.
+	Stage string `json:"stage,omitempty"`
+	// StageBase and StageCount locate this grant's phase inside the
+	// job's lease-unit space: the phase's first tile index and its tile
+	// count. Zero StageCount means the whole space is one phase (every
+	// unscreened job) and Tile/Tiles are the shard coordinates directly.
+	StageBase  int `json:"stageBase,omitempty"`
+	StageCount int `json:"stageCount,omitempty"`
 	// Granted lists every tile of this grant (weighted leasing hands
 	// fast workers several tiles per round trip); Granted[0] always
 	// mirrors Token/Tile. Empty means the single Token/Tile lease.
@@ -204,8 +228,12 @@ type WorkerList struct {
 
 // CompleteRequest is the body of POST /v1/lease/{token}/done.
 type CompleteRequest struct {
-	// Report is the tile's Report in the stable wire format.
-	Report json.RawMessage `json:"report"`
+	// Report is the tile's Report in the stable wire format (search
+	// tiles).
+	Report json.RawMessage `json:"report,omitempty"`
+	// Screen is the tile's ScreenScores (stage-1 tiles of a screened
+	// job); exactly one of Report and Screen is set.
+	Screen json.RawMessage `json:"screen,omitempty"`
 }
 
 // CompleteResponse is the body answering a completion.

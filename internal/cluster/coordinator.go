@@ -136,8 +136,36 @@ type job struct {
 	grantee map[int]granteeRef // tile -> holder of its current lease
 	result  *trigene.Report
 
+	// Two-phase screened jobs (spec.Screen set, survivors not pinned):
+	// lease units [0, screenTiles) are the stage-1 pair-scan shards,
+	// units [screenTiles, tiles) the stage-2 search tiles. Stage-2 units
+	// are granted only once every stage-1 unit completed and the merged
+	// scores were pinned into stage2 (the spec stage-2 grants carry,
+	// with Survivors/Seeds filled). screenTiles is 0 for unscreened
+	// jobs, and everything below is nil/zero then.
+	screenTiles int
+	screens     []*trigene.ScreenScores // one slot per stage-1 tile
+	stage2      *trigene.SearchSpec
+	screenInfo  *trigene.ScreenInfo
+	pinnedAt    time.Time
+
 	submitted time.Time
 	finished  time.Time
+}
+
+// screened reports whether the job runs the two-phase screen protocol.
+func (j *job) screened() bool { return j.screenTiles > 0 }
+
+// screenDone reports whether every stage-1 shard completed.
+func (j *job) screenDone() bool { return j.leases.DoneBelow(j.screenTiles) == j.screenTiles }
+
+// acquire grants the next free lease unit, holding stage-2 units back
+// while a screened job's stage-1 phase is still open (un-pinned).
+func (j *job) acquire(now time.Time, ttl time.Duration) (sched.TileLease, bool) {
+	if j.screened() && j.stage2 == nil {
+		return j.leases.AcquireBelow(now, ttl, j.screenTiles)
+	}
+	return j.leases.Acquire(now, ttl)
 }
 
 // granteeRef names the holder of one tile's current lease — worker ID
@@ -216,6 +244,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid spec: maxWorkers and deadlineMillis must be ≥ 0")
 		return
 	}
+	if req.ScreenTiles < 0 {
+		writeErr(w, http.StatusBadRequest, "screenTiles must be ≥ 0, got %d", req.ScreenTiles)
+		return
+	}
 	// Accept the dataset as trigene binary or pre-encoded .tpack, and
 	// hold (and serve) it packed either way: the coordinator encodes a
 	// binary submission exactly once, so every worker that fetches the
@@ -248,22 +280,52 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		sess, packed = s, buf.Bytes()
 	}
 
+	// Screened submissions are validated loudly at the door — negative
+	// budgets, survivors exceeding the dataset's SNP count, malformed
+	// seeds — and sized as two phases: screenTiles stage-1 pair-scan
+	// shards ahead of the req.Tiles stage-2 search tiles. A spec with
+	// pinned survivors skips the stage-1 phase (each tile runs the
+	// pinned screened search directly).
+	screenTiles := 0
+	if sc := req.Spec.Screen; sc != nil {
+		if err := sc.Validate(sess.SNPs()); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+			return
+		}
+		if len(sc.Survivors) == 0 {
+			if sc.MaxSurvivors == 0 {
+				writeErr(w, http.StatusBadRequest,
+					"invalid spec: cluster screens need an explicit survivor budget (maxSurvivors); the planner's time budget is a single-host notion")
+				return
+			}
+			screenTiles = req.ScreenTiles
+			if screenTiles == 0 {
+				screenTiles = req.Tiles
+			}
+		}
+	}
+
 	c.mu.Lock()
 	c.seq++
+	units := req.Tiles + screenTiles
 	j := &job{
-		id:         "j" + strconv.Itoa(c.seq),
-		name:       req.Name,
-		spec:       req.Spec,
-		tiles:      req.Tiles,
-		state:      StateRunning,
-		dataset:    packed,
-		datasetSHA: sess.DatasetHash(),
-		snps:       sess.SNPs(),
-		samples:    sess.Samples(),
-		leases:     sched.NewLeaseTable(req.Tiles),
-		reports:    make([]*trigene.Report, req.Tiles),
-		grantee:    make(map[int]granteeRef),
-		submitted:  c.cfg.Now(),
+		id:          "j" + strconv.Itoa(c.seq),
+		name:        req.Name,
+		spec:        req.Spec,
+		tiles:       units,
+		state:       StateRunning,
+		dataset:     packed,
+		datasetSHA:  sess.DatasetHash(),
+		snps:        sess.SNPs(),
+		samples:     sess.Samples(),
+		leases:      sched.NewLeaseTable(units),
+		reports:     make([]*trigene.Report, units),
+		grantee:     make(map[int]granteeRef),
+		screenTiles: screenTiles,
+		submitted:   c.cfg.Now(),
+	}
+	if screenTiles > 0 {
+		j.screens = make([]*trigene.ScreenScores, screenTiles)
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
@@ -427,7 +489,10 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		var grants []sched.TileLease
 		failed := false
 		for len(grants) < batch {
-			l, ok := j.leases.Acquire(now, c.cfg.LeaseTTL)
+			// Screened jobs gate stage 2 behind the screen: while the
+			// stage-1 phase is open, only its shards are grantable, so a
+			// batch never mixes stages.
+			l, ok := j.acquire(now, c.cfg.LeaseTTL)
 			if !ok {
 				break
 			}
@@ -469,7 +534,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			c.cfg.Logger.Debug("weighted tile batch granted",
 				"job", j.id, "tiles", len(grants), "worker", req.Worker)
 		}
-		writeJSON(w, http.StatusOK, LeaseGrant{
+		resp := LeaseGrant{
 			Token:         granted[0].Token,
 			Job:           j.id,
 			DatasetSHA256: j.datasetSHA,
@@ -478,7 +543,19 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			Tiles:         j.tiles,
 			Granted:       granted,
 			TTLMillis:     c.cfg.LeaseTTL.Milliseconds(),
-		})
+		}
+		if j.screened() {
+			if granted[0].Tile < j.screenTiles {
+				resp.Stage = "screen"
+				resp.StageBase, resp.StageCount = 0, j.screenTiles
+			} else {
+				// Stage 2: the pinned spec, with the merged screen's
+				// survivors and seeds baked in.
+				resp.Spec = *j.stage2
+				resp.StageBase, resp.StageCount = j.screenTiles, j.tiles-j.screenTiles
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -709,11 +786,6 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "decoding completion: %v", err)
 		return
 	}
-	var rep trigene.Report
-	if err := json.Unmarshal(req.Report, &rep); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding tile report: %v", err)
-		return
-	}
 
 	now := c.cfg.Now()
 	c.mu.Lock()
@@ -726,9 +798,32 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusGone, "job %s is not running", jobID)
 		return
 	}
+	// Decode (and sanity-check) the payload the tile's stage expects
+	// before touching the lease table, so a malformed body never marks
+	// a tile done.
+	screenTile := j.screened() && tile < j.screenTiles
+	var rep trigene.Report
+	var scores trigene.ScreenScores
+	if screenTile {
+		if err := json.Unmarshal(req.Screen, &scores); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding stage-1 screen scores: %v", err)
+			return
+		}
+		if scores.SNPs != j.snps {
+			writeErr(w, http.StatusBadRequest, "stage-1 scores cover %d SNPs; the job's dataset has %d", scores.SNPs, j.snps)
+			return
+		}
+	} else if err := json.Unmarshal(req.Report, &rep); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding tile report: %v", err)
+		return
+	}
 	switch st := j.leases.Complete(tile, seq); st {
 	case sched.CompleteAccepted:
-		j.reports[tile] = &rep
+		if screenTile {
+			j.screens[tile] = &scores
+		} else {
+			j.reports[tile] = &rep
+		}
 		if wi := c.workers[j.grantee[tile].worker]; wi != nil {
 			wi.completed++
 		}
@@ -736,8 +831,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// record mergeLocked appends — must be durable before the
 		// worker is told its result counted, or a crash would lose an
 		// acknowledged tile and re-execute it.
-		c.journalLocked(walRecord{T: recComplete, Job: j.id, Tile: tile, Seq: seq, Report: req.Report})
-		if j.leases.Done() == j.tiles {
+		c.journalLocked(walRecord{T: recComplete, Job: j.id, Tile: tile, Seq: seq, Report: req.Report, Screen: req.Screen})
+		if screenTile && j.stage2 == nil && j.screenDone() {
+			// Last stage-1 shard: merge the scores, pin the survivor set,
+			// and open the stage-2 phase. Pinning is deterministic from
+			// the journaled per-shard scores, so recovery recomputes the
+			// identical stage-2 spec instead of journaling it.
+			c.pinStage2Locked(j)
+		}
+		if j.state == StateRunning && j.leases.Done() == j.tiles {
 			c.mergeLocked(j)
 		}
 		if err := c.commitLocked(); err != nil {
@@ -793,14 +895,71 @@ func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
+// pinStage2Locked closes a screened job's stage-1 phase: merge the
+// per-shard scores bit-exactly (MergeScreens), select the survivor set
+// under the submitted budget, and pin survivors and seeds into the
+// spec every stage-2 grant carries. Deterministic given the shard
+// scores, so journal replay recomputes the identical pin. Selection
+// failures (scores that cannot seat an order-k search) fail the job —
+// re-running stage 1 would reproduce them.
+func (c *Coordinator) pinStage2Locked(j *job) {
+	merged, err := trigene.MergeScreens(j.screens...)
+	if err != nil {
+		c.finishLocked(j, StateFailed, fmt.Sprintf("merging stage-1 scores: %v", err))
+		return
+	}
+	survivors, threshold, err := merged.SelectSurvivors(j.spec.Screen.MaxSurvivors)
+	if err != nil {
+		c.finishLocked(j, StateFailed, fmt.Sprintf("selecting screen survivors: %v", err))
+		return
+	}
+	order := j.spec.Order
+	if order == 0 {
+		order = 3
+	}
+	if len(survivors) < order {
+		c.finishLocked(j, StateFailed,
+			fmt.Sprintf("screen kept %d survivors, fewer than the order-%d search needs", len(survivors), order))
+		return
+	}
+	seeds := merged.SeedList(j.spec.Screen.SeedPairs)
+	sp := j.spec
+	sp.Screen = &trigene.ScreenSpec{Survivors: survivors, Seeds: seeds}
+	j.stage2 = &sp
+	j.screenInfo = &trigene.ScreenInfo{
+		PairsScanned: merged.Pairs,
+		Survivors:    len(survivors),
+		SeedPairs:    len(seeds),
+		Threshold:    threshold,
+		Stage1Ns:     merged.DurationNs,
+	}
+	j.pinnedAt = c.cfg.Now()
+	c.cfg.Logger.Info("screen stage 1 complete; stage 2 opened",
+		"job", j.id, "pairsScanned", merged.Pairs, "survivors", len(survivors), "seeds", len(seeds))
+}
+
 // mergeLocked assembles the final Report from the per-tile Reports (in
 // tile order — MergeReports' candidate ordering is order-independent,
-// but determinism is easier to audit this way).
+// but determinism is easier to audit this way). Screened jobs merge
+// only their stage-2 slots and carry the coordinator-assembled
+// ScreenInfo (the per-tile reports ran pinned and know nothing of the
+// stage-1 scan).
 func (c *Coordinator) mergeLocked(j *job) {
-	merged, err := trigene.MergeReports(j.reports...)
+	reports := j.reports
+	if j.screened() {
+		reports = j.reports[j.screenTiles:]
+	}
+	merged, err := trigene.MergeReports(reports...)
 	if err != nil {
 		c.finishLocked(j, StateFailed, fmt.Sprintf("merging tile reports: %v", err))
 		return
+	}
+	if j.screened() && j.screenInfo != nil {
+		info := *j.screenInfo
+		if !j.pinnedAt.IsZero() {
+			info.Stage2Ns = c.cfg.Now().Sub(j.pinnedAt).Nanoseconds()
+		}
+		merged.Screen = &info
 	}
 	j.result = merged
 	c.finishLocked(j, StateDone, "")
@@ -818,6 +977,7 @@ func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
 	j.err = errMsg
 	j.dataset = nil
 	j.reports = nil
+	j.screens = nil
 	j.grantee = nil
 	j.finished = c.cfg.Now()
 	c.journalFinishLocked(j)
@@ -860,6 +1020,10 @@ func (j *job) status(now time.Time) JobStatus {
 		Leased:          j.leases.Outstanding(now),
 		Error:           j.err,
 		SubmittedUnixMs: j.submitted.UnixMilli(),
+	}
+	if j.screened() {
+		st.ScreenTiles = j.screenTiles
+		st.ScreenDone = j.leases.DoneBelow(j.screenTiles)
 	}
 	if !j.finished.IsZero() {
 		st.DurationMs = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)

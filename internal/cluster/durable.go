@@ -53,12 +53,13 @@ type walRecord struct {
 	Job string `json:"job,omitempty"`
 
 	// submit
-	Name    string              `json:"name,omitempty"`
-	Spec    *trigene.SearchSpec `json:"spec,omitempty"`
-	Tiles   int                 `json:"tiles,omitempty"`
-	SHA     string              `json:"sha,omitempty"`
-	SNPs    int                 `json:"snps,omitempty"`
-	Samples int                 `json:"samples,omitempty"`
+	Name        string              `json:"name,omitempty"`
+	Spec        *trigene.SearchSpec `json:"spec,omitempty"`
+	Tiles       int                 `json:"tiles,omitempty"`
+	ScreenTiles int                 `json:"screenTiles,omitempty"`
+	SHA         string              `json:"sha,omitempty"`
+	SNPs        int                 `json:"snps,omitempty"`
+	Samples     int                 `json:"samples,omitempty"`
 
 	// grant / complete / release
 	Tile    int    `json:"tile,omitempty"`
@@ -66,8 +67,11 @@ type walRecord struct {
 	Attempt int    `json:"attempt,omitempty"`
 	Worker  string `json:"worker,omitempty"`
 
-	// complete
+	// complete: Report for search tiles, Screen for a screened job's
+	// stage-1 tiles. The stage-2 pin is deliberately not journaled —
+	// recovery recomputes it deterministically from the replayed scores.
 	Report json.RawMessage `json:"report,omitempty"`
+	Screen json.RawMessage `json:"screen,omitempty"`
 
 	// finish
 	State  string          `json:"state,omitempty"`
@@ -101,6 +105,8 @@ type walJob struct {
 	TileStates      []sched.TileState  `json:"tileStates,omitempty"`
 	Grantees        []walGrantee       `json:"grantees,omitempty"`
 	Reports         []json.RawMessage  `json:"reports,omitempty"`
+	ScreenTiles     int                `json:"screenTiles,omitempty"`
+	Screens         []json.RawMessage  `json:"screens,omitempty"`
 	Result          json.RawMessage    `json:"result,omitempty"`
 	SubmittedUnixNs int64              `json:"sub"`
 	FinishedUnixNs  int64              `json:"fin,omitempty"`
@@ -191,6 +197,16 @@ func (c *Coordinator) recoverLocked() error {
 		if j == nil || j.state != StateRunning {
 			continue
 		}
+		if j.screened() && j.stage2 == nil && j.screenDone() {
+			// The stage-1 phase finished but the crash swallowed the pin:
+			// recompute it from the replayed scores — MergeScreens and
+			// SelectSurvivors are deterministic, so the stage-2 spec is
+			// identical to the one pre-crash grants carried.
+			c.pinStage2Locked(j)
+			if j.state != StateRunning {
+				continue
+			}
+		}
 		if j.leases.Done() == j.tiles {
 			// Every tile completed but the finish record was lost with
 			// the crash: merge now, exactly as the uninterrupted run
@@ -228,17 +244,21 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 	switch rec.T {
 	case recSubmit:
 		j := &job{
-			id:         rec.Job,
-			name:       rec.Name,
-			tiles:      rec.Tiles,
-			state:      StateRunning,
-			datasetSHA: rec.SHA,
-			snps:       rec.SNPs,
-			samples:    rec.Samples,
-			leases:     sched.NewLeaseTable(rec.Tiles),
-			reports:    make([]*trigene.Report, rec.Tiles),
-			grantee:    make(map[int]granteeRef),
-			submitted:  time.Unix(0, rec.UnixNs),
+			id:          rec.Job,
+			name:        rec.Name,
+			tiles:       rec.Tiles,
+			state:       StateRunning,
+			datasetSHA:  rec.SHA,
+			snps:        rec.SNPs,
+			samples:     rec.Samples,
+			leases:      sched.NewLeaseTable(rec.Tiles),
+			reports:     make([]*trigene.Report, rec.Tiles),
+			grantee:     make(map[int]granteeRef),
+			screenTiles: rec.ScreenTiles,
+			submitted:   time.Unix(0, rec.UnixNs),
+		}
+		if rec.ScreenTiles > 0 {
+			j.screens = make([]*trigene.ScreenScores, rec.ScreenTiles)
 		}
 		if rec.Spec != nil {
 			j.spec = *rec.Spec
@@ -260,6 +280,17 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 	case recComplete:
 		j := c.jobs[rec.Job]
 		if j == nil || j.state != StateRunning {
+			return
+		}
+		if j.screened() && rec.Tile < j.screenTiles {
+			var scores trigene.ScreenScores
+			if err := json.Unmarshal(rec.Screen, &scores); err != nil {
+				c.cfg.Logger.Warn("wal: undecodable stage-1 scores",
+					"job", rec.Job, "tile", rec.Tile, "error", err)
+				return
+			}
+			j.leases.RestoreDone(rec.Tile)
+			j.screens[rec.Tile] = &scores
 			return
 		}
 		var rep trigene.Report
@@ -345,6 +376,19 @@ func (c *Coordinator) importSnapshotLocked(data []byte) error {
 					j.reports[i] = &rep
 				}
 			}
+			j.screenTiles = wj.ScreenTiles
+			if wj.ScreenTiles > 0 {
+				j.screens = make([]*trigene.ScreenScores, wj.ScreenTiles)
+				for i, raw := range wj.Screens {
+					if i >= wj.ScreenTiles || len(raw) == 0 {
+						continue
+					}
+					var sc trigene.ScreenScores
+					if err := json.Unmarshal(raw, &sc); err == nil {
+						j.screens[i] = &sc
+					}
+				}
+			}
 			j.grantee = make(map[int]granteeRef, len(wj.Grantees))
 			for _, g := range wj.Grantees {
 				j.grantee[g.Tile] = granteeRef{worker: g.Worker, seq: g.Seq}
@@ -385,6 +429,15 @@ func (c *Coordinator) exportLocked() walSnapshot {
 			for i, rep := range j.reports {
 				if rep != nil {
 					wj.Reports[i], _ = json.Marshal(rep)
+				}
+			}
+			wj.ScreenTiles = j.screenTiles
+			if j.screenTiles > 0 {
+				wj.Screens = make([]json.RawMessage, j.screenTiles)
+				for i, sc := range j.screens {
+					if sc != nil {
+						wj.Screens[i], _ = json.Marshal(sc)
+					}
 				}
 			}
 			wj.Grantees = make([]walGrantee, 0, len(j.grantee))
@@ -473,7 +526,8 @@ func (c *Coordinator) journalSubmitLocked(j *job) error {
 		return err
 	}
 	c.journalLocked(walRecord{T: recSubmit, Job: j.id, Name: j.name, Spec: &j.spec,
-		Tiles: j.tiles, SHA: j.datasetSHA, SNPs: j.snps, Samples: j.samples,
+		Tiles: j.tiles, ScreenTiles: j.screenTiles,
+		SHA: j.datasetSHA, SNPs: j.snps, Samples: j.samples,
 		UnixNs: j.submitted.UnixNano()})
 	return c.commitLocked()
 }

@@ -305,14 +305,19 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 		}
 		return
 	}
-	opts, err := grant.Spec.Options()
-	if err != nil {
-		// The coordinator validated the spec at submit; a rebuild error
-		// here is deterministic (version skew), so fail the job loudly.
-		w.logger().Error("rebuilding spec failed; failing the job",
-			"job", grant.Job, "tile", tiles[0].Tile, "token", tiles[0].Token, "error", err)
-		w.failJob(ctx, tiles[0].Token, fmt.Sprintf("rebuilding spec: %v", err))
-		return
+	var opts []trigene.Option
+	if grant.Stage != "screen" {
+		// Stage-1 grants run ScreenStage1, which takes its own narrow
+		// option set; only search grants rebuild the full spec.
+		opts, err = grant.Spec.Options()
+		if err != nil {
+			// The coordinator validated the spec at submit; a rebuild error
+			// here is deterministic (version skew), so fail the job loudly.
+			w.logger().Error("rebuilding spec failed; failing the job",
+				"job", grant.Job, "tile", tiles[0].Tile, "token", tiles[0].Token, "error", err)
+			w.failJob(ctx, tiles[0].Token, fmt.Sprintf("rebuilding spec: %v", err))
+			return
+		}
 	}
 
 	hb := w.startHeartbeats(ctx, grant, tiles)
@@ -327,10 +332,88 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
 			continue
 		}
-		if !w.executeTile(ctx, hb, grant, tg, sess, opts) {
+		ok := false
+		if grant.Stage == "screen" {
+			ok = w.executeScreenTile(ctx, hb, grant, tg, sess)
+		} else {
+			ok = w.executeTile(ctx, hb, grant, tg, sess, opts)
+		}
+		if !ok {
 			return
 		}
 	}
+}
+
+// shardCoords maps a lease-unit index onto the shard the tile's phase
+// covers: unscreened jobs shard the whole space (Tile of Tiles), a
+// two-phase job's grants shard within their stage.
+func shardCoords(grant LeaseGrant, tg TileGrant) (index, count int) {
+	if grant.StageCount > 0 {
+		return tg.Tile - grant.StageBase, grant.StageCount
+	}
+	return tg.Tile, grant.Tiles
+}
+
+// executeScreenTile runs one stage-1 shard of a screened job — the
+// pairwise scan over shard (Tile−StageBase) of StageCount — and posts
+// its ScreenScores; the coordinator merges the shards and pins the
+// survivor set when the last one lands. Reports false when the whole
+// batch should be abandoned.
+func (w *Worker) executeScreenTile(ctx context.Context, hb *heartbeats, grant LeaseGrant, tg TileGrant, sess *trigene.Session) bool {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hb.setCurrent(tg.Token, cancel)
+	defer hb.clearCurrent()
+
+	index, count := shardCoords(grant, tg)
+	opts := []trigene.Option{trigene.WithShard(index, count), trigene.WithMetrics(w.reg)}
+	if grant.Spec.Objective != "" {
+		opts = append(opts, trigene.WithObjective(grant.Spec.Objective))
+	}
+	if grant.Spec.Workers != 0 {
+		opts = append(opts, trigene.WithWorkers(grant.Spec.Workers))
+	}
+	seedPairs := 0
+	if grant.Spec.Screen != nil {
+		seedPairs = grant.Spec.Screen.SeedPairs
+	}
+
+	w.logger().Info("executing screen tile",
+		"job", grant.Job, "tile", tg.Tile, "shard", index, "shards", count, "token", tg.Token)
+	start := time.Now()
+	scores, err := sess.ScreenStage1(sctx, seedPairs, opts...)
+
+	switch {
+	case err == nil:
+		elapsed := time.Since(start)
+		w.observe(elapsed)
+		w.wm.tiles.Inc()
+		w.wm.tileSeconds.Observe(elapsed.Seconds())
+		hb.finish(tg.Token)
+		accepted, cerr := w.Client.completeScreen(ctx, tg.Token, scores)
+		switch {
+		case errors.Is(cerr, errLeaseLost):
+			w.logger().Info("completed after lease loss; result discarded",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+		case cerr != nil:
+			w.logger().Warn("posting screen scores failed",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", cerr)
+		case !accepted:
+			w.logger().Info("duplicate result discarded by coordinator",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+		}
+	case hb.lost(tg.Token):
+		w.logger().Info("lease lost mid-scan; abandoning tile",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+	case ctx.Err() != nil:
+		// Shutdown: leave the leases to expire and be re-issued.
+	default:
+		w.logger().Error("screen tile failed; failing the job",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", err)
+		w.failJob(ctx, tg.Token, err.Error())
+		return false
+	}
+	return true
 }
 
 // executeTile runs one tile of a batch; it reports false when the
@@ -341,9 +424,10 @@ func (w *Worker) executeTile(ctx context.Context, hb *heartbeats, grant LeaseGra
 	hb.setCurrent(tg.Token, cancel)
 	defer hb.clearCurrent()
 
+	index, count := shardCoords(grant, tg)
 	topts := make([]trigene.Option, 0, len(opts)+2)
 	topts = append(topts, opts...)
-	topts = append(topts, trigene.WithShard(tg.Tile, grant.Tiles))
+	topts = append(topts, trigene.WithShard(index, count))
 	topts = append(topts, trigene.WithMetrics(w.reg))
 
 	w.logger().Info("executing tile",

@@ -3,9 +3,10 @@
 // and cmd/trigened cannot drift apart on which inputs they accept.
 //
 // Supported formats: the trigene text and binary formats, the packed
-// encoded-dataset .tpack format, PLINK .ped, PLINK additive-recode
-// .raw, and the VCF subset (which needs a phenotype sidecar file,
-// since VCF carries no case-control status).
+// encoded-dataset .tpack format, PLINK .ped, PLINK binary .bed (with
+// its .bim/.fam sidecars), PLINK additive-recode .raw, and the VCF
+// subset (which needs a phenotype sidecar file, since VCF carries no
+// case-control status).
 package datafile
 
 import (
@@ -22,14 +23,23 @@ import (
 )
 
 // Read loads the dataset at path ("-" for stdin). format is "auto",
-// "ped", "raw", "vcf" or "pack"; auto-detection distinguishes the
-// trigene binary format (TGB1 magic), the packed .tpack format (TPK1
-// magic), .raw (a FID header, space- or tab-delimited), VCF (## meta
-// lines or a #CHROM header) and falls back to the trigene text
-// format. Tools that search should prefer ReadSession, which keeps a
-// pack's prebuilt encodings instead of just its matrix. phenPath names the VCF phenotype
-// sidecar (one 0/1 per sample, whitespace separated).
+// "ped", "raw", "vcf", "bed" or "pack"; auto-detection distinguishes
+// the trigene binary format (TGB1 magic), the packed .tpack format
+// (TPK1 magic), PLINK binary .bed (0x6c 0x1b 0x01 magic; needs .bim
+// and .fam sidecars next to the .bed), .raw (a FID header, space- or
+// tab-delimited), VCF (## meta lines or a #CHROM header) and falls
+// back to the trigene text format. Tools that search should prefer
+// ReadSession, which keeps a pack's prebuilt encodings instead of
+// just its matrix. phenPath names the VCF phenotype sidecar (one 0/1
+// per sample, whitespace separated).
 func Read(path, format, phenPath string) (*dataset.Matrix, error) {
+	if format == "bed" || (format == "auto" && path != "-" && isBEDFile(path)) {
+		mx, err := readBEDPath(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return mx, nil
+	}
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -67,6 +77,8 @@ func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 		return dataset.ReadRAW(br)
 	case "vcf":
 		return readVCFWithPhen(br, phenPath)
+	case "bed":
+		return nil, errBEDStream
 	case "auto":
 		magic, err := br.Peek(4)
 		if err != nil {
@@ -81,6 +93,8 @@ func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 				return nil, err
 			}
 			return st.Matrix(), nil
+		case dataset.IsBED(magic):
+			return nil, errBEDStream
 		case isRawHeader(magic):
 			return dataset.ReadRAW(br)
 		case magic[0] == '#' && magic[1] == '#', bytes.Equal(magic, []byte("#CHR")):
@@ -89,12 +103,17 @@ func ReadFrom(r io.Reader, format, phenPath string) (*dataset.Matrix, error) {
 			return dataset.ReadText(br)
 		}
 	default:
-		return nil, fmt.Errorf("unknown input format %q (want auto, ped, raw, vcf or pack)", format)
+		return nil, fmt.Errorf("unknown input format %q (want auto, ped, raw, vcf, bed or pack)", format)
 	}
 }
 
+// errBEDStream rejects .bed input arriving as a bare stream: the
+// genotype blob is useless without the .bim/.fam sidecars, which only
+// a filesystem path can locate.
+var errBEDStream = fmt.Errorf("bed input needs its .bim and .fam sidecars next to the .bed file; pass the .bed path directly instead of streaming it")
+
 // FormatsHelp is the shared -informat flag description.
-const FormatsHelp = "input format: auto (trigene text/binary, .tpack, VCF or .raw), ped, raw, vcf or pack"
+const FormatsHelp = "input format: auto (trigene text/binary, .tpack, .bed, VCF or .raw), ped, raw, vcf, bed or pack"
 
 // ReadSession loads the dataset at path ("-" for stdin) as a
 // ready-to-search Session. A packed .tpack input (format "pack", or
@@ -103,6 +122,13 @@ const FormatsHelp = "input format: auto (trigene text/binary, .tpack, VCF or .ra
 // re-binarization; every other format parses a matrix and builds a
 // fresh Session around it.
 func ReadSession(path, format, phenPath string) (*trigene.Session, error) {
+	if format == "bed" || (format == "auto" && path != "-" && isBEDFile(path)) {
+		mx, err := readBEDPath(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return trigene.NewSession(mx)
+	}
 	if path != "-" && (format == "pack" || (format == "auto" && isPackFile(path))) {
 		sess, err := trigene.OpenPack(path)
 		if err != nil {
@@ -146,6 +172,45 @@ func ReadSessionFrom(r io.Reader, format, phenPath string) (*trigene.Session, er
 		return nil, err
 	}
 	return trigene.NewSession(mx)
+}
+
+// readBEDPath opens a PLINK binary fileset by its .bed path,
+// resolving the .bim and .fam sidecars by swapping the extension.
+func readBEDPath(path string) (*dataset.Matrix, error) {
+	if path == "-" {
+		return nil, errBEDStream
+	}
+	base := strings.TrimSuffix(path, ".bed")
+	bed, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer bed.Close()
+	bim, err := os.Open(base + ".bim")
+	if err != nil {
+		return nil, fmt.Errorf("bed sidecar: %w", err)
+	}
+	defer bim.Close()
+	fam, err := os.Open(base + ".fam")
+	if err != nil {
+		return nil, fmt.Errorf("bed sidecar: %w", err)
+	}
+	defer fam.Close()
+	return dataset.ReadBED(bed, bim, fam)
+}
+
+// isBEDFile sniffs a file's magic for the PLINK binary format.
+func isBEDFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [3]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return dataset.IsBED(magic[:])
 }
 
 // isPackFile sniffs a file's magic for the packed format.

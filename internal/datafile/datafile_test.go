@@ -100,3 +100,57 @@ func TestReadErrors(t *testing.T) {
 		t.Error("too-short input accepted")
 	}
 }
+
+// TestBEDPaths: a .bed path resolves its .bim/.fam sidecars under
+// both the explicit format and magic-byte auto-detection, missing
+// sidecars fail loudly, and stream input is rejected with a pointer
+// at the path-based entry.
+func TestBEDPaths(t *testing.T) {
+	dir := t.TempDir()
+	// Three SNPs x three samples: rows {2,0,1}, {0,1,2}, {1,1,0},
+	// two-bit codes packed low bits first (00=2, 10=1, 11=0).
+	bed := []byte{0x6c, 0x1b, 0x01, 0b10_11_00, 0b00_10_11, 0b11_10_10}
+	bim := "1 rs0 0 1 A G\n1 rs1 0 2 A G\n1 rs2 0 3 A G\n"
+	fam := "f a 0 0 1 1\nf b 0 0 1 2\nf c 0 0 2 2\n"
+	bedPath := filepath.Join(dir, "x.bed")
+	for name, content := range map[string][]byte{"x.bed": bed, "x.bim": []byte(bim), "x.fam": []byte(fam)} {
+		if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, format := range []string{"bed", "auto"} {
+		mx, err := Read(bedPath, format, "")
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if mx.SNPs() != 3 || mx.Samples() != 3 {
+			t.Fatalf("format %q: dims %dx%d, want 3x3", format, mx.SNPs(), mx.Samples())
+		}
+		if got := mx.Row(0); got[0] != 2 || got[1] != 0 || got[2] != 1 {
+			t.Fatalf("format %q: SNP 0 = %v, want [2 0 1]", format, got)
+		}
+	}
+	sess, err := ReadSession(bedPath, "auto", "")
+	if err != nil {
+		t.Fatalf("ReadSession: %v", err)
+	}
+	if sess.SNPs() != 3 {
+		t.Fatalf("session SNPs %d, want 3", sess.SNPs())
+	}
+
+	if err := os.Remove(filepath.Join(dir, "x.fam")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bedPath, "bed", ""); err == nil || !strings.Contains(err.Error(), "bed sidecar") {
+		t.Errorf("missing .fam: %v", err)
+	}
+
+	f, err := os.Open(bedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadFrom(f, "auto", ""); err == nil || !strings.Contains(err.Error(), "sidecars") {
+		t.Errorf("streamed .bed: %v", err)
+	}
+}

@@ -43,3 +43,42 @@ func FuzzReadRAW(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadBED drives the PLINK .bed decoder with arbitrary triplets:
+// it must return a valid matrix or an error, never panic, and never
+// emit out-of-range genotypes or phenotypes. The sidecars are fuzzed
+// too, since they fix the dimensions the blob is decoded against.
+func FuzzReadBED(f *testing.F) {
+	f.Add([]byte{0x6c, 0x1b, 0x01, 0b11_10_00_11, 0b10_11_00_10},
+		[]byte("1 rs0 0 1 A G\n1 rs1 0 2 A G\n"),
+		[]byte("f a 0 0 1 1\nf b 0 0 1 2\nf c 0 0 2 2\nf d 0 0 2 1\n"))
+	f.Add([]byte{0x6c, 0x1b, 0x00, 0xff}, []byte("1 r 0 1 A G\n"), []byte("f a 0 0 1 1\n")) // sample-major
+	f.Add([]byte{0x6c, 0x1b, 0x01}, []byte("1 r 0 1 A G\n"), []byte("f a 0 0 1 1\n"))       // truncated
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00}, []byte("1 r 0 1 A G\n"), []byte("f a 0 0 1 2\n")) // bad magic
+	f.Add([]byte{0x6c, 0x1b, 0x01, 0b01}, []byte("1 r 0 1 A G\n"), []byte("f a 0 0 1 2\n")) // missing genotype
+	f.Add([]byte{}, []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, bed, bim, fam []byte) {
+		mx, err := ReadBED(bytes.NewReader(bed), bytes.NewReader(bim), bytes.NewReader(fam))
+		if err != nil {
+			return
+		}
+		if mx == nil {
+			t.Fatal("nil matrix with nil error")
+		}
+		if mx.SNPs() < 1 || mx.Samples() < 1 {
+			t.Fatalf("accepted empty matrix: %dx%d", mx.SNPs(), mx.Samples())
+		}
+		for i := 0; i < mx.SNPs(); i++ {
+			for j, g := range mx.Row(i) {
+				if g > 2 {
+					t.Fatalf("SNP %d sample %d: genotype %d out of range", i, j, g)
+				}
+			}
+		}
+		for j, p := range mx.Phenotypes() {
+			if p > 1 {
+				t.Fatalf("sample %d: phenotype %d out of range", j, p)
+			}
+		}
+	})
+}

@@ -17,36 +17,55 @@ import (
 // must survive instrumentation, so every approach is probed twice:
 // without metrics and with a live registry attached (counters are
 // resolved at construction; the per-tile update is atomic adds only).
+// The screened search's index-remap layer (Searcher.Subset) must
+// preserve the guarantee — its sub-searcher is probed alongside the
+// full one, since stage 2 runs the same hot loops over survivors.
 func TestHotPathAllocs(t *testing.T) {
 	mx := randomMatrix(200, 32, 320)
 	s, err := New(mx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, reg := range []*obs.Registry{nil, obs.NewRegistry()} {
-		for _, a := range []Approach{V2Split, V4Vector, V3Fused, V4Fused} {
-			h, err := s.NewHotLoop(Options{Approach: a, TopK: 4, Metrics: reg})
-			if err != nil {
-				t.Fatal(err)
+	survivors := make([]int, 0, 24)
+	for c := 0; c < 32; c++ {
+		if c%4 != 1 { // 24 survivors of 32, with gaps to exercise the remap
+			survivors = append(survivors, c)
+		}
+	}
+	sub, err := s.Subset(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searchers := []struct {
+		name string
+		s    *Searcher
+	}{{"full", s}, {"subset", sub}}
+	for _, probe := range searchers {
+		for _, reg := range []*obs.Registry{nil, obs.NewRegistry()} {
+			for _, a := range []Approach{V2Split, V4Vector, V3Fused, V4Fused} {
+				h, err := probe.s.NewHotLoop(Options{Approach: a, TopK: 4, Metrics: reg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				tiles := h.Tiles()
+				if tiles < 2 {
+					t.Fatalf("%s/%v: space too small to probe (%d tiles)", probe.name, a, tiles)
+				}
+				// Warm-up: grow the top-K heap to depth and fault in the scratch.
+				for i := int64(0); i < tiles; i++ {
+					h.Process(h.Tile(i))
+				}
+				var idx int64
+				allocs := testing.AllocsPerRun(32, func() {
+					h.Process(h.Tile(idx % tiles))
+					idx++
+				})
+				if allocs != 0 {
+					t.Errorf("%s/%v (metrics=%v): %.1f allocs per tile in steady state, want 0",
+						probe.name, a, reg != nil, allocs)
+				}
+				h.Close()
 			}
-			tiles := h.Tiles()
-			if tiles < 2 {
-				t.Fatalf("%v: space too small to probe (%d tiles)", a, tiles)
-			}
-			// Warm-up: grow the top-K heap to depth and fault in the scratch.
-			for i := int64(0); i < tiles; i++ {
-				h.Process(h.Tile(i))
-			}
-			var idx int64
-			allocs := testing.AllocsPerRun(32, func() {
-				h.Process(h.Tile(idx % tiles))
-				idx++
-			})
-			if allocs != 0 {
-				t.Errorf("%v (metrics=%v): %.1f allocs per tile in steady state, want 0",
-					a, reg != nil, allocs)
-			}
-			h.Close()
 		}
 	}
 }

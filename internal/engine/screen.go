@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"time"
+
+	"trigene/internal/combin"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/sched"
+)
+
+// Stage 1 of the two-stage screened search: an exhaustive pairwise
+// scan that charges every pair's score to both participating SNPs, so
+// the survivor selection ("top-S SNPs by best participating pair
+// score") and the seed list ("top pairs") fall out of one pass over
+// C(M,2). The scan reuses the pair engine's split kernel, scheduler
+// and sharding; only the accumulator differs.
+
+// ScreenResult is the outcome of a stage-1 pairwise screen.
+type ScreenResult struct {
+	// SNPs is M, the length of Best/Seen.
+	SNPs int
+	// Best[i] is the best score of any scanned pair containing SNP i,
+	// valid only where Seen[i] is true (a sharded scan may never touch
+	// some SNPs; NaN cannot ride the JSON wire, so presence is a
+	// separate plane).
+	Best []float64
+	Seen []bool
+	// TopPairs holds the best pairs seen, up to Options.TopK entries,
+	// best first — the seed list of the seeded stage-2 mode.
+	TopPairs []PairCandidate
+	// Stats describes the scan (Combinations counts pairs).
+	Stats Stats
+	// Space is the covered slice of pair ranks when Shard restricted
+	// the scan; nil means the full space.
+	Space *sched.Tile
+}
+
+// RunPairScreen executes the stage-1 screen scan. Options are
+// interpreted as for RunPairs: TopK bounds the seed pair list, Shard
+// slices the colexicographic pair-rank space (each shard charges only
+// the pairs it scanned, and sharded results merge with MergeScreens).
+func (s *Searcher) RunPairScreen(opts Options) (*ScreenResult, error) {
+	o, err := opts.withDefaults(s.st.Samples())
+	if err != nil {
+		return nil, err
+	}
+	m := s.st.SNPs()
+	res := &ScreenResult{SNPs: m}
+	src, space, err := flatSpace(combin.Pairs(m), &o)
+	if err != nil {
+		return nil, err
+	}
+	res.Space = space
+	cur := sched.NewCursor(src)
+	if o.Progress != nil {
+		cur.OnProgress(src.Ranks(), o.Progress)
+	}
+
+	start := time.Now()
+	split := s.st.Split()
+	workers := make([]*screenWorker, o.Workers)
+	for w := range workers {
+		workers[w] = &screenWorker{o: &o, split: split, m: m,
+			a:    getArena(o.Objective, 0, 0),
+			best: make([]float64, m), seen: make([]bool, m),
+			top: newPairTopK(o.Objective, o.TopK)}
+	}
+	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Best = make([]float64, m)
+	res.Seen = make([]bool, m)
+	merged := newPairTopK(o.Objective, o.TopK)
+	for _, w := range workers {
+		for i := 0; i < m; i++ {
+			if !w.seen[i] {
+				continue
+			}
+			if !res.Seen[i] || o.Objective.Better(w.best[i], res.Best[i]) {
+				res.Best[i], res.Seen[i] = w.best[i], true
+			}
+		}
+		for _, c := range w.top.items {
+			merged.offer(c)
+		}
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
+	}
+	res.TopPairs = merged.items
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.st.Samples())
+	res.Stats.Duration = time.Since(start)
+	if secs := res.Stats.Duration.Seconds(); secs > 0 {
+		res.Stats.ElementsPerSec = res.Stats.Elements / secs
+	}
+	return res, nil
+}
+
+// screenWorker is one consumer of the screen's pair tile stream. Its
+// best/seen planes are private, so the scan has no synchronization in
+// the hot loop; they merge once at the end.
+type screenWorker struct {
+	o     *Options
+	split *dataset.Split
+	m     int
+	a     *arena
+	best  []float64
+	seen  []bool
+	top   *pairTopK
+}
+
+// tile scores every pair rank in [t.Lo, t.Hi), charging each score to
+// both SNPs, and returns the pair count.
+func (w *screenWorker) tile(t sched.Tile) int64 {
+	obj := w.o.Objective
+	i, j := combin.UnrankPair(t.Lo, w.m)
+	for r := t.Lo; r < t.Hi; r++ {
+		w.a.tab = contingency.BuildSplitPair(w.split, i, j)
+		sc := obj.Score(&w.a.tab)
+		if !w.seen[i] || obj.Better(sc, w.best[i]) {
+			w.best[i], w.seen[i] = sc, true
+		}
+		if !w.seen[j] || obj.Better(sc, w.best[j]) {
+			w.best[j], w.seen[j] = sc, true
+		}
+		w.top.offer(PairCandidate{Pair: Pair{I: i, J: j}, Score: sc})
+		if i+1 < j {
+			i++
+		} else {
+			i, j = 0, j+1
+		}
+	}
+	w.a.scored += t.Len()
+	return t.Len()
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/sched"
+)
+
+// Seeded stage-2 mode: instead of (or alongside) the C(S,3) subset
+// space, enumerate the (pair, third-SNP) extensions of a seed list of
+// top pairs — every triple containing a seed pair. Each rank of the
+// sched.SeededExtensions space is one (seed, third) candidate; the
+// skip rules below are rank-local and deterministic, so the space
+// shards exactly like any flat space.
+
+// RunSeeded scores every extension of the seed pairs by a third SNP.
+// Triples whose three SNPs all fall inside the survivor subset are
+// skipped when inSubset is non-nil (the subset search already covers
+// them), and a triple containing several seed pairs is charged to the
+// earliest seed only, so no triple is scored twice. Candidates come
+// back in original SNP indices. Options are interpreted as for Run;
+// Shard slices the seeds×M extension-rank space.
+func (s *Searcher) RunSeeded(seeds []Pair, inSubset []bool, opts Options) (*Result, error) {
+	o, err := opts.withDefaults(s.st.Samples())
+	if err != nil {
+		return nil, err
+	}
+	m := s.st.SNPs()
+	if inSubset != nil && len(inSubset) != m {
+		return nil, fmt.Errorf("engine: subset mask covers %d SNPs, dataset has %d", len(inSubset), m)
+	}
+	for _, p := range seeds {
+		if !(0 <= p.I && p.I < p.J && p.J < m) {
+			return nil, fmt.Errorf("engine: invalid seed pair (%d,%d) for %d SNPs", p.I, p.J, m)
+		}
+	}
+	// The seed-rank map resolves each of a triple's pairs to the
+	// earliest seed that generates it; built once, read-only across
+	// workers.
+	seedRank := make(map[int64]int, len(seeds))
+	for idx, p := range seeds {
+		key := int64(p.I)*int64(m) + int64(p.J)
+		if _, dup := seedRank[key]; !dup {
+			seedRank[key] = idx
+		}
+	}
+
+	res := &Result{}
+	src, space, err := flatSpace(sched.SeededExtensions(len(seeds), m, o.Workers).Ranks(), &o)
+	if err != nil {
+		return nil, err
+	}
+	res.Space = space
+	cur := sched.NewCursor(src)
+	if o.Progress != nil {
+		cur.OnProgress(src.Ranks(), o.Progress)
+	}
+
+	start := time.Now()
+	split := s.st.Split()
+	workers := make([]*seededWorker, o.Workers)
+	for w := range workers {
+		workers[w] = &seededWorker{o: &o, split: split, m: m,
+			seeds: seeds, seedRank: seedRank, inSubset: inSubset,
+			a: getArena(o.Objective, o.TopK, 0)}
+	}
+	err = cur.Drain(o.Context, o.Workers, func(w int, t sched.Tile) (int64, error) {
+		return workers[w].tile(t), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	assembleSeeded(res, &o, workers)
+	res.Stats.Elements = float64(res.Stats.Combinations) * float64(s.st.Samples())
+	res.Stats.Duration = time.Since(start)
+	if secs := res.Stats.Duration.Seconds(); secs > 0 {
+		res.Stats.ElementsPerSec = res.Stats.Elements / secs
+	}
+	return res, nil
+}
+
+// seededWorker is one consumer of the extension tile stream.
+type seededWorker struct {
+	o        *Options
+	split    *dataset.Split
+	m        int
+	seeds    []Pair
+	seedRank map[int64]int
+	inSubset []bool
+	a        *arena
+}
+
+// tile scores the extensions with ranks in [t.Lo, t.Hi) and returns
+// the number of triples actually scored (skipped ranks do not count as
+// combinations).
+func (w *seededWorker) tile(t sched.Tile) int64 {
+	obj := w.o.Objective
+	span := int64(w.m)
+	var scored int64
+	for r := t.Lo; r < t.Hi; r++ {
+		sIdx := int(r / span)
+		third := int(r % span)
+		p := w.seeds[sIdx]
+		if third == p.I || third == p.J {
+			continue
+		}
+		i, j, k := sortTriple(p.I, p.J, third)
+		if w.inSubset != nil && w.inSubset[i] && w.inSubset[j] && w.inSubset[k] {
+			continue
+		}
+		if w.ownedByEarlierSeed(i, j, k, sIdx) {
+			continue
+		}
+		w.a.tab = contingency.BuildSplit(w.split, i, j, k)
+		w.a.top.offer(Candidate{
+			Triple: Triple{I: i, J: j, K: k},
+			Score:  obj.Score(&w.a.tab),
+		})
+		scored++
+	}
+	w.a.scored += scored
+	return t.Len()
+}
+
+// ownedByEarlierSeed reports whether another of the triple's pairs is
+// a seed with a smaller index than cur — the canonical-owner dedup
+// that keeps each triple scored exactly once across the seed list.
+func (w *seededWorker) ownedByEarlierSeed(i, j, k, cur int) bool {
+	span := int64(w.m)
+	for _, key := range [3]int64{
+		int64(i)*span + int64(j),
+		int64(i)*span + int64(k),
+		int64(j)*span + int64(k),
+	} {
+		if idx, ok := w.seedRank[key]; ok && idx < cur {
+			return true
+		}
+	}
+	return false
+}
+
+// sortTriple orders three distinct indices ascending.
+func sortTriple(a, b, c int) (int, int, int) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// assembleSeeded merges the workers' accumulators into res and returns
+// their arenas to the pool.
+func assembleSeeded(res *Result, o *Options, workers []*seededWorker) {
+	merged := newTopK(o.Objective, o.TopK)
+	for _, w := range workers {
+		merged.merge(w.a.top)
+		res.Stats.Combinations += w.a.scored
+		w.a.release()
+	}
+	res.TopK = merged.list()
+	if len(res.TopK) > 0 {
+		res.Best = res.TopK[0]
+	}
+}

@@ -109,6 +109,49 @@ func (lt *LeaseTable) Acquire(now time.Time, ttl time.Duration) (TileLease, bool
 	return TileLease{}, false
 }
 
+// AcquireBelow is Acquire restricted to tiles with index < limit: the
+// phase gate of a two-stage job, where tiles [0, limit) are the
+// stage-1 screen shards and nothing past them may be granted until
+// every stage-1 tile completes. A limit at or above the table size
+// behaves exactly like Acquire.
+func (lt *LeaseTable) AcquireBelow(now time.Time, ttl time.Duration, limit int) (TileLease, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if limit > len(lt.tiles) {
+		limit = len(lt.tiles)
+	}
+	for i := 0; i < limit; i++ {
+		t := &lt.tiles[i]
+		if t.state == tileDone || (t.state == tileLeased && now.Before(t.deadline)) {
+			continue
+		}
+		lt.seq++
+		t.state = tileLeased
+		t.seq = lt.seq
+		t.deadline = now.Add(ttl)
+		t.attempts++
+		return TileLease{Tile: i, Seq: t.seq, Attempt: t.attempts}, true
+	}
+	return TileLease{}, false
+}
+
+// DoneBelow returns how many tiles with index < limit have completed
+// (the stage-1 completion check of a two-stage job).
+func (lt *LeaseTable) DoneBelow(limit int) int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if limit > len(lt.tiles) {
+		limit = len(lt.tiles)
+	}
+	n := 0
+	for i := 0; i < limit; i++ {
+		if lt.tiles[i].state == tileDone {
+			n++
+		}
+	}
+	return n
+}
+
 // Renew extends the lease (tile, seq) to now+ttl. It reports false
 // when the lease is no longer current — the tile completed, or the
 // lease expired and was re-issued — telling the holder to abandon the

@@ -1,0 +1,42 @@
+package sched
+
+import "trigene/internal/combin"
+
+// Screened-search spaces. Stage 2 of a two-stage screened search runs
+// over the survivors of a pairwise screen, not the raw SNP axis, so
+// its spaces get their own named constructors: the rank math is the
+// ordinary colexicographic machinery, but the ranks index *survivor
+// positions* (or seed extensions), and every consumer of these sources
+// must remap back to original SNP indices after scoring.
+
+// SubsetTriples returns the stage-2 source of a screened search: the
+// C(survivors, 3) triple space over a survivor index subset, tiled for
+// the given consumer count. Ranks are colexicographic triple ranks
+// over survivor positions 0..survivors-1; callers translate positions
+// back through their survivor list.
+func SubsetTriples(survivors, consumers int) Source {
+	if survivors < 0 {
+		survivors = 0
+	}
+	return Flat(combin.Triples(survivors), consumers)
+}
+
+// SeededExtensions returns the seeded stage-2 source: for each of
+// seeds seed pairs, every third SNP in [0, span) is one candidate
+// extension, so the space is seeds×span ranks with
+//
+//	seed  = rank / span
+//	third = rank % span
+//
+// Consumers skip ranks whose third SNP collides with the seed pair
+// (and whatever triples another stage already covers); the space is
+// deliberately dense so tiles stay contiguous and claimable.
+func SeededExtensions(seeds, span, consumers int) Source {
+	if seeds < 0 {
+		seeds = 0
+	}
+	if span < 0 {
+		span = 0
+	}
+	return Flat(int64(seeds)*int64(span), consumers)
+}

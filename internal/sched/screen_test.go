@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"trigene/internal/combin"
+)
+
+// TestSubsetTriplesSpace: the stage-2 source spans exactly the
+// C(survivors, 3) triple ranks over survivor positions, with
+// degenerate survivor counts clamped to an empty space.
+func TestSubsetTriplesSpace(t *testing.T) {
+	s := SubsetTriples(12, 4)
+	if s.Ranks() != combin.Triples(12) {
+		t.Errorf("ranks = %d, want C(12,3) = %d", s.Ranks(), combin.Triples(12))
+	}
+	if b := s.Bounds(); b.Lo != 0 || b.Hi != combin.Triples(12) {
+		t.Errorf("bounds %+v", b)
+	}
+	if g := s.Grain(); g <= 0 {
+		t.Errorf("grain = %d", g)
+	}
+	for _, survivors := range []int{-5, 0, 2} {
+		if r := SubsetTriples(survivors, 2).Ranks(); r != 0 {
+			t.Errorf("SubsetTriples(%d) spans %d ranks, want 0", survivors, r)
+		}
+	}
+}
+
+// TestSeededExtensionsSpace: the seeded source is the dense
+// seeds×span rank grid (consumers skip collisions rank-locally), with
+// negative inputs clamped to an empty space.
+func TestSeededExtensionsSpace(t *testing.T) {
+	s := SeededExtensions(3, 20, 2)
+	if s.Ranks() != 60 {
+		t.Errorf("ranks = %d, want 3*20", s.Ranks())
+	}
+	if b := s.Bounds(); b.Lo != 0 || b.Hi != 60 {
+		t.Errorf("bounds %+v", b)
+	}
+	for _, dims := range [][2]int{{-1, 20}, {3, -7}, {0, 20}, {3, 0}} {
+		if r := SeededExtensions(dims[0], dims[1], 2).Ranks(); r != 0 {
+			t.Errorf("SeededExtensions(%d,%d) spans %d ranks, want 0", dims[0], dims[1], r)
+		}
+	}
+}
+
+// TestAcquireBelowPhaseGate: the two-stage lease gate. Tiles below
+// the limit (the stage-1 screen shards) grant, expire and re-issue
+// exactly like plain Acquire; tiles at or past the limit are
+// untouchable until the caller raises it, and DoneBelow reports
+// stage-1 completion so a coordinator knows when to open the gate.
+func TestAcquireBelowPhaseGate(t *testing.T) {
+	now := time.Unix(0, 0)
+	ttl := time.Second
+	lt := NewLeaseTable(5)
+
+	l0, ok := lt.AcquireBelow(now, ttl, 2)
+	if !ok || l0.Tile != 0 || l0.Attempt != 1 {
+		t.Fatalf("first grant = %+v, %v", l0, ok)
+	}
+	l1, ok := lt.AcquireBelow(now, ttl, 2)
+	if !ok || l1.Tile != 1 {
+		t.Fatalf("second grant = %+v, %v", l1, ok)
+	}
+	// Tiles 2-4 are free, but the gate holds them back.
+	if l, ok := lt.AcquireBelow(now, ttl, 2); ok {
+		t.Fatalf("gated table granted tile %d", l.Tile)
+	}
+	if got := lt.DoneBelow(2); got != 0 {
+		t.Fatalf("DoneBelow = %d before any completion", got)
+	}
+
+	if st := lt.Complete(l0.Tile, l0.Seq); st != CompleteAccepted {
+		t.Fatalf("complete tile 0 = %v", st)
+	}
+	if got := lt.DoneBelow(2); got != 1 {
+		t.Fatalf("DoneBelow = %d, want 1", got)
+	}
+
+	// An expired stage-1 lease re-issues inside the gate; the stale
+	// holder's completion is discarded and the re-issue's counts.
+	later := now.Add(2 * ttl)
+	r1, ok := lt.AcquireBelow(later, ttl, 2)
+	if !ok || r1.Tile != 1 || r1.Attempt != 2 {
+		t.Fatalf("re-issue = %+v, %v", r1, ok)
+	}
+	if st := lt.Complete(l1.Tile, l1.Seq); st != CompleteStale {
+		t.Fatalf("stale complete = %v", st)
+	}
+	if st := lt.Complete(r1.Tile, r1.Seq); st != CompleteAccepted {
+		t.Fatalf("re-issued complete = %v", st)
+	}
+	if got := lt.DoneBelow(2); got != 2 {
+		t.Fatalf("DoneBelow = %d, want 2 (stage 1 drained)", got)
+	}
+
+	// Stage 1 drained: a limit at or past the table size behaves like
+	// Acquire and hands out the stage-2 tiles in order.
+	for want := 2; want < 5; want++ {
+		l, ok := lt.AcquireBelow(later, ttl, 99)
+		if !ok || l.Tile != want {
+			t.Fatalf("post-gate grant = %+v, %v (want tile %d)", l, ok, want)
+		}
+	}
+	if _, ok := lt.AcquireBelow(later, ttl, 99); ok {
+		t.Fatal("granted a sixth lease from a 5-tile table")
+	}
+	// DoneBelow clamps its limit to the table size.
+	if got := lt.DoneBelow(99); got != 2 {
+		t.Fatalf("DoneBelow(99) = %d, want 2", got)
+	}
+}

@@ -30,6 +30,7 @@ type searchConfig struct {
 	remote      RemoteExecutor
 	metrics     *obs.Registry
 	trace       bool
+	screen      *ScreenSpec
 
 	// Autotuning (WithAutoTune / WithEnergyBudget).
 	autotune     bool

@@ -48,6 +48,11 @@ type SearchSpec struct {
 	// (0 = none). Local execution ignores it — use a context deadline
 	// there.
 	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
+	// Screen carries WithScreen across the wire. A screened cluster job
+	// runs stage 1 as its own sharded phase; the coordinator merges the
+	// shard scores, selects survivors, and pins them (Survivors/Seeds)
+	// into the stage-2 grants.
+	Screen *ScreenSpec `json:"screen,omitempty"`
 }
 
 // ParseBackend rebuilds a Backend from its Name(): "cpu" (or ""),
@@ -121,6 +126,9 @@ func (sp SearchSpec) Options() ([]Option, error) {
 	if sp.EnergyBudgetWatts > 0 {
 		opts = append(opts, WithEnergyBudget(sp.EnergyBudgetWatts))
 	}
+	if sp.Screen != nil {
+		opts = append(opts, WithScreen(*sp.Screen))
+	}
 	return opts, nil
 }
 
@@ -146,6 +154,10 @@ func (c *searchConfig) spec() (SearchSpec, error) {
 	}
 	if c.approachSet {
 		sp.Approach = fmt.Sprintf("V%d", int(c.approach))
+	}
+	if c.screen != nil {
+		sc := *c.screen
+		sp.Screen = &sc
 	}
 	return sp, nil
 }

@@ -158,6 +158,11 @@ type Report struct {
 	// Plan is the autotuner's decision trace on WithAutoTune /
 	// WithEnergyBudget runs; nil otherwise.
 	Plan *PlanInfo
+	// Screen is the audit record of a screened search (WithScreen):
+	// what stage 1 scanned, what survived, the cut line, and the stage
+	// timings — or the planner's decision to decline; nil on unscreened
+	// runs.
+	Screen *ScreenInfo
 	// Trace is the phase timeline recorded under WithTrace; nil
 	// otherwise.
 	Trace *TraceInfo
@@ -269,6 +274,15 @@ func MergeReports(reports ...*Report) (*Report, error) {
 	for _, r := range reports {
 		if r.Plan != nil {
 			out.Plan = r.Plan
+			break
+		}
+	}
+	// Likewise for the screen audit: shards of one screened job run the
+	// identical deterministic stage 1 (or carry the coordinator's
+	// assembled record), so the first record present speaks for all.
+	for _, r := range reports {
+		if r.Screen != nil {
+			out.Screen = r.Screen
 			break
 		}
 	}

@@ -35,6 +35,7 @@ type wireReport struct {
 	GPU            *GPUStats         `json:"gpu,omitempty"`
 	Hetero         *HeteroInfo       `json:"hetero,omitempty"`
 	Plan           *PlanInfo         `json:"plan,omitempty"`
+	Screen         *ScreenInfo       `json:"screen,omitempty"`
 	Trace          *TraceInfo        `json:"trace,omitempty"`
 }
 
@@ -56,6 +57,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		GPU:            r.GPU,
 		Hetero:         r.Hetero,
 		Plan:           r.Plan,
+		Screen:         r.Screen,
 		Trace:          r.Trace,
 	})
 }
@@ -82,6 +84,7 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		GPU:            w.GPU,
 		Hetero:         w.Hetero,
 		Plan:           w.Plan,
+		Screen:         w.Screen,
 		Trace:          w.Trace,
 	}
 	return nil

@@ -3,6 +3,7 @@ package trigene
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -36,6 +37,14 @@ func goldenReport() *Report {
 		Shard:          &ShardInfo{Index: 1, Count: 4, Lo: 30, Hi: 60, Space: ShardSpaceRanks},
 		GPU:            &gpu,
 		Hetero:         &HeteroInfo{CPUFraction: 0.375, ModeledCombinedGElems: 3300},
+		Screen: &ScreenInfo{
+			PairsScanned: 276,
+			Survivors:    12,
+			SeedPairs:    4,
+			Threshold:    987.125,
+			Stage1Ns:     25000000,
+			Stage2Ns:     75000000,
+		},
 	}
 }
 
@@ -52,7 +61,9 @@ const goldenReportJSON = `{"backend":"gpusim:GN1","approach":"V4","objective":"k
 	`"scheduledThreads":0,"activeThreads":0,"utilization":0,` +
 	`"computeCycles":0,"memoryCycles":0,"cycles":0,"modelSeconds":0.25,` +
 	`"elementsPerSec":1920000,"elementsPerCyclePer":{"cu":1.5,"streamCore":0.25}},` +
-	`"hetero":{"cpuFraction":0.375,"modeledCombinedGElems":3300}}`
+	`"hetero":{"cpuFraction":0.375,"modeledCombinedGElems":3300},` +
+	`"screen":{"pairsScanned":276,"survivors":12,"seedPairs":4,"threshold":987.125,` +
+	`"stage1Ns":25000000,"stage2Ns":75000000}}`
 
 // TestReportJSONGolden pins the serialized bytes and the round trip:
 // marshal matches the golden string, unmarshal reproduces the exported
@@ -120,7 +131,9 @@ const goldenPlanJSON = `"plan":{"backend":"hetero","approach":"V4","workers":72,
 func TestReportJSONPlanGolden(t *testing.T) {
 	rep := goldenReport()
 	rep.Plan = goldenPlan()
-	want := goldenReportJSON[:len(goldenReportJSON)-1] + "," + goldenPlanJSON + "}"
+	// The wire struct orders "plan" before "screen".
+	at := strings.Index(goldenReportJSON, `"screen":`)
+	want := goldenReportJSON[:at] + goldenPlanJSON + "," + goldenReportJSON[at:]
 
 	raw, err := json.Marshal(rep)
 	if err != nil {

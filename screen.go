@@ -1,0 +1,550 @@
+package trigene
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"trigene/internal/engine"
+	"trigene/internal/obs"
+	"trigene/internal/sched"
+	"trigene/internal/score"
+	"trigene/internal/topk"
+)
+
+// Two-stage screened search. Stage 1 scans all C(M,2) pairs with the
+// cheap 9-cell pair kernel, charging each pair's score to both
+// participating SNPs; the top-S SNPs by best participating pair score
+// survive (optionally with a seed list of top pairs). Stage 2 runs the
+// full triple engine only over the survivors — a C(S,3) space instead
+// of C(M,3) — plus, in seeded mode, every (seed pair, third SNP)
+// extension outside it. The pruning decision is recorded as
+// Report.Screen so results stay auditable.
+
+// ScreenSpec configures the screen (WithScreen). Exactly how the
+// survivor budget is set:
+//
+//   - MaxSurvivors > 0 keeps the top-S SNPs deterministically;
+//   - BudgetSeconds > 0 (with MaxSurvivors 0) lets the planner derive
+//     S from its cost models under the time budget — and decline the
+//     screen entirely when exhaustive search fits the budget
+//     (Report.Screen.Declined records why);
+//   - Survivors/Seeds pin the stage-2 space outright, skipping stage 1
+//     (the form cluster coordinators use for stage-2 grants).
+//
+// SeedPairs additionally keeps the top pairs of the scan as seeds and
+// extends each by every third SNP, so a strong pair whose partners
+// were pruned still surfaces (order-3 searches only).
+type ScreenSpec struct {
+	// MaxSurvivors is the survivor budget S (0 = planner-derived from
+	// BudgetSeconds).
+	MaxSurvivors int `json:"maxSurvivors,omitempty"`
+	// SeedPairs is how many top pairs to keep as stage-2 seeds (0 =
+	// none).
+	SeedPairs int `json:"seedPairs,omitempty"`
+	// BudgetSeconds is the end-to-end time budget the planner sizes the
+	// screen for when MaxSurvivors is 0.
+	BudgetSeconds float64 `json:"budgetSeconds,omitempty"`
+	// Survivors pins the survivor set directly (strictly increasing SNP
+	// indices); stage 1 is skipped. Set by cluster stage-2 grants.
+	Survivors []int `json:"survivors,omitempty"`
+	// Seeds pins the seed pair list (each {i, j} with i < j), used with
+	// Survivors.
+	Seeds [][2]int `json:"seeds,omitempty"`
+}
+
+// pinned reports whether the spec carries a pre-computed stage-2 space.
+func (sp *ScreenSpec) pinned() bool { return len(sp.Survivors) > 0 }
+
+// validate checks the m-independent invariants (WithScreen and submit
+// validation share it).
+func (sp *ScreenSpec) validate() error {
+	if sp.MaxSurvivors < 0 {
+		return fmt.Errorf("trigene: negative screen survivor budget %d", sp.MaxSurvivors)
+	}
+	if sp.SeedPairs < 0 {
+		return fmt.Errorf("trigene: negative screen seed count %d", sp.SeedPairs)
+	}
+	if sp.BudgetSeconds < 0 {
+		return fmt.Errorf("trigene: negative screen budget %gs", sp.BudgetSeconds)
+	}
+	if sp.MaxSurvivors == 0 && sp.BudgetSeconds == 0 && !sp.pinned() {
+		return fmt.Errorf("trigene: empty ScreenSpec: set MaxSurvivors, BudgetSeconds or Survivors")
+	}
+	for i, p := range sp.Seeds {
+		if p[0] < 0 || p[0] >= p[1] {
+			return fmt.Errorf("trigene: invalid screen seed pair (%d,%d)", p[0], p[1])
+		}
+		_ = i
+	}
+	return nil
+}
+
+// validateFor checks the spec against a concrete dataset of m SNPs.
+func (sp *ScreenSpec) validateFor(m int) error {
+	if err := sp.validate(); err != nil {
+		return err
+	}
+	if sp.MaxSurvivors > m {
+		return fmt.Errorf("trigene: screen survivor budget %d exceeds the dataset's %d SNPs", sp.MaxSurvivors, m)
+	}
+	for i, c := range sp.Survivors {
+		if c < 0 || c >= m {
+			return fmt.Errorf("trigene: pinned survivor %d out of range [0,%d)", c, m)
+		}
+		if i > 0 && sp.Survivors[i-1] >= c {
+			return fmt.Errorf("trigene: pinned survivors must be strictly increasing (%d after %d)", c, sp.Survivors[i-1])
+		}
+	}
+	for _, p := range sp.Seeds {
+		if p[1] >= m {
+			return fmt.Errorf("trigene: screen seed pair (%d,%d) out of range for %d SNPs", p[0], p[1], m)
+		}
+	}
+	return nil
+}
+
+// Validate checks the spec loudly against a dataset of the given SNP
+// count — the submit-time validation cluster coordinators and the CLIs
+// run so a bad screen fails at the door, not on the first worker. A
+// snps of 0 checks only the dataset-independent invariants (negative
+// budgets, malformed seed pairs, an empty spec).
+func (sp ScreenSpec) Validate(snps int) error {
+	if snps > 0 {
+		return sp.validateFor(snps)
+	}
+	return sp.validate()
+}
+
+// WithScreen turns Session.Search into a two-stage screened search
+// under the given spec. A permissive screen (MaxSurvivors = M) keeps
+// every SNP and reproduces the unscreened result bit-exactly; smaller
+// budgets trade exhaustiveness for the C(M,3)→C(S,3) collapse, with
+// the decision audited in Report.Screen.
+func WithScreen(spec ScreenSpec) Option {
+	return func(c *searchConfig) error {
+		if err := spec.validate(); err != nil {
+			return err
+		}
+		sc := spec
+		sc.Survivors = append([]int(nil), spec.Survivors...)
+		sc.Seeds = append([][2]int(nil), spec.Seeds...)
+		c.screen = &sc
+		return nil
+	}
+}
+
+// ScreenInfo is the Report's record of a screened search: what stage 1
+// scanned, what survived, and where the time went. It travels the JSON
+// wire under the stable "screen" key and is carried through
+// MergeReports (shards of one screened job run the identical
+// deterministic stage 1).
+type ScreenInfo struct {
+	// PairsScanned is the number of pairs stage 1 scored (0 when the
+	// screen was declined or the stage-2 space was pinned).
+	PairsScanned int64 `json:"pairsScanned"`
+	// Survivors is the survivor count S.
+	Survivors int `json:"survivors"`
+	// SeedPairs is the seed list length of the seeded mode.
+	SeedPairs int `json:"seedPairs,omitempty"`
+	// Threshold is the best-participating-pair score of the weakest
+	// survivor — the pruning cut line.
+	Threshold float64 `json:"threshold"`
+	// Stage1Ns and Stage2Ns split the wall time between the pair scan
+	// and the triple search.
+	Stage1Ns int64 `json:"stage1Ns"`
+	Stage2Ns int64 `json:"stage2Ns"`
+	// Declined records a planner decision not to screen (the search ran
+	// exhaustively); Reason says why.
+	Declined bool   `json:"declined,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ScreenScores is the wire-safe outcome of a stage-1 scan: per-SNP
+// best participating pair scores (Seen gates entries a sharded scan
+// never touched — JSON cannot carry NaN), the scanned pair count, and
+// the seed candidates. Cluster coordinators merge the per-shard scores
+// elementwise and select survivors exactly like a local run.
+type ScreenScores struct {
+	// SNPs is M; Best and Seen have this length.
+	SNPs int       `json:"snps"`
+	Best []float64 `json:"best"`
+	Seen []bool    `json:"seen"`
+	// Objective names the ranking criterion the scores were computed
+	// under; Merge and SelectSurvivors rebuild the ordering from it.
+	Objective string `json:"objective"`
+	// Pairs is how many pairs this scan scored.
+	Pairs int64 `json:"pairs"`
+	// TopPairs holds the scan's best pairs, best first (seed
+	// candidates).
+	TopPairs []SearchCandidate `json:"topPairs,omitempty"`
+	// TopPairLimit is the requested seed depth (so merges of short
+	// shard lists still fill it).
+	TopPairLimit int `json:"topPairLimit,omitempty"`
+	// DurationNs is the scan's wall time.
+	DurationNs int64 `json:"durationNs"`
+}
+
+// MergeScreens combines sharded stage-1 scans into the full scan's
+// scores: per-SNP bests merge elementwise under the shared objective,
+// pair counts sum, and the seed lists re-rank. The result is bit-exact
+// with an unsharded scan.
+func MergeScreens(scores ...*ScreenScores) (*ScreenScores, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("trigene: MergeScreens needs at least one scan")
+	}
+	base := scores[0]
+	if base == nil {
+		return nil, fmt.Errorf("trigene: MergeScreens got a nil scan")
+	}
+	obj, err := score.New(base.Objective, 1)
+	if err != nil {
+		return nil, fmt.Errorf("trigene: MergeScreens: scan carries no usable objective: %w", err)
+	}
+	out := &ScreenScores{
+		SNPs:      base.SNPs,
+		Best:      make([]float64, base.SNPs),
+		Seen:      make([]bool, base.SNPs),
+		Objective: base.Objective,
+	}
+	cmp := candidateCmp(obj)
+	k := 0
+	for _, sc := range scores {
+		if sc == nil {
+			return nil, fmt.Errorf("trigene: MergeScreens got a nil scan")
+		}
+		if sc.SNPs != base.SNPs || sc.Objective != base.Objective {
+			return nil, fmt.Errorf("trigene: cannot merge a %d-SNP %s scan with a %d-SNP %s scan",
+				sc.SNPs, sc.Objective, base.SNPs, base.Objective)
+		}
+		if sc.TopPairLimit > k {
+			k = sc.TopPairLimit
+		}
+	}
+	if k == 0 {
+		for _, sc := range scores {
+			if len(sc.TopPairs) > k {
+				k = len(sc.TopPairs)
+			}
+		}
+	}
+	out.TopPairLimit = k
+	for _, sc := range scores {
+		for i := 0; i < base.SNPs; i++ {
+			if i >= len(sc.Seen) || !sc.Seen[i] {
+				continue
+			}
+			if !out.Seen[i] || obj.Better(sc.Best[i], out.Best[i]) {
+				out.Best[i], out.Seen[i] = sc.Best[i], true
+			}
+		}
+		for _, c := range sc.TopPairs {
+			out.TopPairs = topk.Insert(out.TopPairs, c, k, cmp)
+		}
+		out.Pairs += sc.Pairs
+		out.DurationNs += sc.DurationNs
+	}
+	return out, nil
+}
+
+// SelectSurvivors picks the top-S SNPs by best participating pair
+// score, deterministically (objective order, SNP index as tie-break),
+// and returns them in ascending index order with the cut-line score.
+// Fewer than S scored SNPs returns them all.
+func (sc *ScreenScores) SelectSurvivors(s int) (survivors []int, threshold float64, err error) {
+	obj, err := score.New(sc.Objective, 1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trigene: scan carries no usable objective: %w", err)
+	}
+	idx := make([]int, 0, sc.SNPs)
+	for i := 0; i < sc.SNPs && i < len(sc.Seen); i++ {
+		if sc.Seen[i] {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if sc.Best[ia] != sc.Best[ib] {
+			return obj.Better(sc.Best[ia], sc.Best[ib])
+		}
+		return ia < ib
+	})
+	if s < len(idx) {
+		idx = idx[:s]
+	}
+	if len(idx) > 0 {
+		threshold = sc.Best[idx[len(idx)-1]]
+	}
+	sort.Ints(idx)
+	return idx, threshold, nil
+}
+
+// SeedList converts the scan's top pairs into a pinned seed list for a
+// ScreenSpec, capped at n.
+func (sc *ScreenScores) SeedList(n int) [][2]int {
+	if n > len(sc.TopPairs) {
+		n = len(sc.TopPairs)
+	}
+	seeds := make([][2]int, 0, n)
+	for _, c := range sc.TopPairs[:n] {
+		if len(c.SNPs) == 2 {
+			seeds = append(seeds, [2]int{c.SNPs[0], c.SNPs[1]})
+		}
+	}
+	return seeds
+}
+
+// ScreenStage1 runs the stage-1 pairwise scan by itself and returns
+// its wire-safe scores — the entry point cluster workers execute for a
+// screened job's stage-1 tiles. Relevant options: WithObjective (must
+// match the job), WithWorkers, WithShard (slices the pair-rank space;
+// per-shard scores merge with MergeScreens), WithMetrics. seedPairs
+// bounds the scan's seed-candidate list (0 = none).
+func (s *Session) ScreenStage1(ctx context.Context, seedPairs int, opts ...Option) (*ScreenScores, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := newSearchConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if seedPairs < 0 {
+		return nil, fmt.Errorf("trigene: negative screen seed count %d", seedPairs)
+	}
+	obj, objName, err := cfg.objective(s.Samples())
+	if err != nil {
+		return nil, err
+	}
+	eopts := engine.Options{
+		Workers:   cfg.workers,
+		Objective: obj,
+		TopK:      seedPairs,
+		Context:   ctx,
+		Metrics:   cfg.metrics,
+	}
+	if cfg.shard != nil {
+		eopts.Shard = &sched.Shard{Index: cfg.shard.index, Count: cfg.shard.count}
+	}
+	res, err := s.searcher.RunPairScreen(eopts)
+	if err != nil {
+		return nil, err
+	}
+	return screenScores(res, objName, seedPairs), nil
+}
+
+// screenScores converts an engine ScreenResult into the wire shape.
+func screenScores(res *engine.ScreenResult, objName string, seedPairs int) *ScreenScores {
+	sc := &ScreenScores{
+		SNPs:         res.SNPs,
+		Best:         res.Best,
+		Seen:         res.Seen,
+		Objective:    objName,
+		Pairs:        res.Stats.Combinations,
+		TopPairLimit: seedPairs,
+		DurationNs:   res.Stats.Duration.Nanoseconds(),
+	}
+	for _, c := range res.TopPairs {
+		sc.TopPairs = append(sc.TopPairs, SearchCandidate{SNPs: []int{c.Pair.I, c.Pair.J}, Score: c.Score})
+	}
+	return sc
+}
+
+// searchScreened orchestrates the two-stage pipeline inside a Search
+// call: decide (or accept) the survivor budget, run stage 1, gather
+// the survivors into a compact sub-session, run the configured backend
+// unchanged over it, remap candidate indices back, fold in the seeded
+// extensions, and attach the audit record.
+func (s *Session) searchScreened(ctx context.Context, cfg *searchConfig, tr *obs.Trace) (*Report, error) {
+	spec := cfg.screen
+	m := s.SNPs()
+	if err := spec.validateFor(m); err != nil {
+		return nil, err
+	}
+	if spec.SeedPairs > 0 && cfg.order != 3 {
+		return nil, fmt.Errorf("trigene: screen seed pairs extend to triples; they require order 3, have %d", cfg.order)
+	}
+	info := &ScreenInfo{}
+
+	// Resolve the survivor set: pinned, user-budgeted, or
+	// planner-derived (which may decline the screen).
+	var survivors []int
+	var seeds [][2]int
+	switch {
+	case spec.pinned():
+		survivors = spec.Survivors
+		seeds = spec.Seeds
+		info.Survivors = len(survivors)
+		info.SeedPairs = len(seeds)
+	default:
+		budget := spec.MaxSurvivors
+		if budget == 0 {
+			dec, err := s.decideScreen(cfg, spec.BudgetSeconds)
+			if err != nil {
+				return nil, err
+			}
+			if dec.Decline {
+				info.Declined = true
+				info.Reason = dec.Reason
+				rep, err := cfg.backend.search(ctx, s, cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep.Screen = info
+				return rep, nil
+			}
+			info.Reason = dec.Reason
+			budget = dec.Survivors
+			if budget > m {
+				budget = m
+			}
+		}
+		screenDone := tr.Start("screen")
+		stage1 := time.Now()
+		scores, err := s.ScreenStage1(ctx, spec.SeedPairs,
+			screenStage1Options(cfg)...)
+		if err != nil {
+			screenDone()
+			return nil, err
+		}
+		survivors, info.Threshold, err = scores.SelectSurvivors(budget)
+		if err != nil {
+			screenDone()
+			return nil, err
+		}
+		seeds = scores.SeedList(spec.SeedPairs)
+		screenDone()
+		info.PairsScanned = scores.Pairs
+		info.Survivors = len(survivors)
+		info.SeedPairs = len(seeds)
+		info.Stage1Ns = time.Since(stage1).Nanoseconds()
+		observeScreen(cfg.metrics, scores.Pairs, len(survivors), time.Duration(info.Stage1Ns))
+	}
+	if len(survivors) < cfg.order {
+		return nil, fmt.Errorf("trigene: screen kept %d survivors, fewer than the order-%d search needs", len(survivors), cfg.order)
+	}
+
+	// Stage 2: the configured backend runs unchanged over the gathered
+	// survivor columns; candidates come back in subset positions.
+	stage2 := time.Now()
+	sub, err := s.searcher.Subset(survivors)
+	if err != nil {
+		return nil, err
+	}
+	subSession := &Session{store: sub.Store(), searcher: sub}
+	rep, err := cfg.backend.search(ctx, subSession, cfg)
+	if err != nil {
+		return nil, err
+	}
+	remapCandidates(rep, survivors)
+
+	// Seeded extensions run over the original indices and fold into the
+	// ranked list; triples fully inside the survivor set are skipped
+	// (stage 2 already scored them).
+	if len(seeds) > 0 {
+		if err := s.runSeeded(ctx, cfg, rep, survivors, seeds); err != nil {
+			return nil, err
+		}
+	}
+	info.Stage2Ns = time.Since(stage2).Nanoseconds()
+	rep.Screen = info
+	return rep, nil
+}
+
+// screenStage1Options derives the stage-1 option list from the
+// configured call. A locally sharded screened search (WithShard +
+// WithScreen) runs the FULL deterministic stage 1 on every shard —
+// identical survivor sets — and shards only stage 2, so shard merges
+// stay bit-exact; cluster deployments shard stage 1 as its own phase
+// through ScreenStage1 instead.
+func screenStage1Options(cfg *searchConfig) []Option {
+	opts := []Option{WithMetrics(cfg.metrics)}
+	if cfg.workers > 0 {
+		opts = append(opts, WithWorkers(cfg.workers))
+	}
+	if cfg.objName != "" {
+		opts = append(opts, WithObjective(cfg.objName))
+	}
+	return opts
+}
+
+// runSeeded executes the seeded extension scan and merges it into the
+// stage-2 report.
+func (s *Session) runSeeded(ctx context.Context, cfg *searchConfig, rep *Report, survivors []int, seeds [][2]int) error {
+	obj, _, err := cfg.objective(s.Samples())
+	if err != nil {
+		return err
+	}
+	inSubset := make([]bool, s.SNPs())
+	for _, c := range survivors {
+		inSubset[c] = true
+	}
+	eseeds := make([]engine.Pair, len(seeds))
+	for i, p := range seeds {
+		eseeds[i] = engine.Pair{I: p[0], J: p[1]}
+	}
+	eopts := engine.Options{
+		Workers:   cfg.workers,
+		Objective: obj,
+		TopK:      cfg.topK,
+		Context:   ctx,
+		Metrics:   cfg.metrics,
+	}
+	if cfg.shard != nil {
+		eopts.Shard = &sched.Shard{Index: cfg.shard.index, Count: cfg.shard.count}
+	}
+	res, err := s.searcher.RunSeeded(eseeds, inSubset, eopts)
+	if err != nil {
+		return err
+	}
+	cmp := candidateCmp(obj)
+	for _, c := range res.TopK {
+		rep.TopK = topk.Insert(rep.TopK, SearchCandidate{
+			SNPs:  []int{c.Triple.I, c.Triple.J, c.Triple.K},
+			Score: c.Score,
+		}, cfg.topK, cmp)
+	}
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	}
+	rep.Combinations += res.Stats.Combinations
+	rep.Elements += res.Stats.Elements
+	return nil
+}
+
+// remapCandidates translates subset-position candidate indices back to
+// original SNP indices through the ascending survivor list (which
+// preserves order, so tie-breaks agree with an unscreened run).
+func remapCandidates(rep *Report, survivors []int) {
+	remap := func(c *SearchCandidate) {
+		for i, p := range c.SNPs {
+			if p >= 0 && p < len(survivors) {
+				c.SNPs[i] = survivors[p]
+			}
+		}
+	}
+	for i := range rep.TopK {
+		remap(&rep.TopK[i])
+	}
+	// Best aliases TopK[0]'s SNP slice on every backend; reassign rather
+	// than remap it a second time through the survivor list.
+	if len(rep.TopK) > 0 {
+		rep.Best = rep.TopK[0]
+	} else {
+		remap(&rep.Best)
+	}
+}
+
+// decideScreen consults the planner's two-stage cost model for a
+// budget-only spec.
+func (s *Session) decideScreen(cfg *searchConfig, budgetSec float64) (*screenDecision, error) {
+	return planScreen(s.SNPs(), s.Samples(), cfg, budgetSec)
+}
+
+// observeScreen records the stage-1 counters: pairs scanned, survivors
+// kept, and the scan's wall time. A nil registry is a no-op.
+func observeScreen(reg *obs.Registry, pairs int64, survivors int, d time.Duration) {
+	reg.Counter("trigene_screen_pairs_total", "Pairs scanned by stage-1 screens.").Add(pairs)
+	reg.Gauge("trigene_screen_survivors", "Survivor count of the most recent stage-1 screen.").Set(float64(survivors))
+	reg.Histogram("trigene_screen_seconds", "Stage-1 screen wall time in seconds.", obs.DurationBuckets).Observe(d.Seconds())
+}

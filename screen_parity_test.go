@@ -1,0 +1,160 @@
+package trigene_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"trigene"
+)
+
+// Screened-search parity is the tentpole guarantee of the two-stage
+// pipeline: pruning must only ever remove work, never change what the
+// surviving work computes.
+
+// TestScreenPermissiveParity: a permissive screen (keep every SNP)
+// must be bit-exact with an unscreened run on every backend and every
+// order — same candidates, same scores, same tie-breaks — because
+// stage 2 then runs over the identity survivor set.
+func TestScreenPermissiveParity(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	gn1, err := trigene.GPUByID("GN1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		orders []int
+		opts   []trigene.Option
+	}{
+		{"cpu", []int{2, 3, 4}, nil},
+		{"cpu-V3F", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V3Fused)}},
+		{"cpu-V4F", []int{3}, []trigene.Option{trigene.WithApproach(trigene.V4Fused)}},
+		{"gpusim", []int{3}, []trigene.Option{trigene.WithBackend(trigene.GPUSim(gn1))}},
+		{"baseline", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Baseline())}},
+		{"hetero", []int{3}, []trigene.Option{trigene.WithBackend(trigene.Hetero())}},
+	}
+	for _, tc := range cases {
+		for _, order := range tc.orders {
+			t.Run(fmt.Sprintf("%s/order%d", tc.name, order), func(t *testing.T) {
+				base := append([]trigene.Option{trigene.WithOrder(order), trigene.WithTopK(6)}, tc.opts...)
+				plain, err := s.Search(ctx, base...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				screened, err := s.Search(ctx, append(base,
+					trigene.WithScreen(trigene.ScreenSpec{MaxSurvivors: s.SNPs()}))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				reportsEqual(t, "permissive screen", screened, plain)
+				if screened.Screen == nil {
+					t.Fatal("screened run carries no ScreenInfo")
+				}
+				if screened.Screen.Survivors != s.SNPs() {
+					t.Errorf("permissive screen kept %d of %d SNPs", screened.Screen.Survivors, s.SNPs())
+				}
+				if screened.Screen.PairsScanned == 0 || screened.Screen.Stage1Ns <= 0 {
+					t.Errorf("stage-1 audit trail empty: %+v", screened.Screen)
+				}
+				if plain.Screen != nil {
+					t.Error("unscreened run carries a ScreenInfo")
+				}
+			})
+		}
+	}
+}
+
+// TestScreenTightRecall: a tight screen still surfaces the planted
+// triple — its SNPs rank high in the pairwise pre-scan by
+// construction of ThresholdPenetrance — and the audit trail records
+// the pruning.
+func TestScreenTightRecall(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	rep, err := s.Search(ctx, trigene.WithTopK(3),
+		trigene.WithScreen(trigene.ScreenSpec{MaxSurvivors: 10, SeedPairs: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSNPs(t, rep.Best.SNPs, 3, 9, 15)
+	sc := rep.Screen
+	if sc == nil {
+		t.Fatal("no ScreenInfo")
+	}
+	if sc.Survivors != 10 || sc.SeedPairs != 3 {
+		t.Errorf("screen kept %d survivors / %d seeds, want 10 / 3", sc.Survivors, sc.SeedPairs)
+	}
+	m := int64(s.SNPs())
+	if sc.PairsScanned != m*(m-1)/2 {
+		t.Errorf("scanned %d pairs, want C(%d,2) = %d", sc.PairsScanned, m, m*(m-1)/2)
+	}
+}
+
+// TestScreenShardedMergeParity: a screened 2-shard run merged with
+// MergeReports must equal the screened single-node run, and the merge
+// must keep the screen audit trail. Locally each shard repeats the
+// deterministic stage-1 scan and shards only stage 2, so the survivor
+// sets agree by construction.
+func TestScreenShardedMergeParity(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	for _, spec := range []trigene.ScreenSpec{
+		{MaxSurvivors: 12},
+		{MaxSurvivors: 10, SeedPairs: 3},
+	} {
+		t.Run(fmt.Sprintf("S%d_P%d", spec.MaxSurvivors, spec.SeedPairs), func(t *testing.T) {
+			base := []trigene.Option{trigene.WithTopK(6), trigene.WithScreen(spec)}
+			single, err := s.Search(ctx, base...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var parts []*trigene.Report
+			for i := 0; i < 2; i++ {
+				rep, err := s.Search(ctx, append(base, trigene.WithShard(i, 2))...)
+				if err != nil {
+					t.Fatalf("shard %d: %v", i, err)
+				}
+				parts = append(parts, rep)
+			}
+			merged, err := trigene.MergeReports(parts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, "screened 2-shard merge", merged, single)
+			if merged.Screen == nil {
+				t.Fatal("merge dropped the ScreenInfo")
+			}
+			if merged.Screen.Survivors != single.Screen.Survivors ||
+				merged.Screen.Threshold != single.Screen.Threshold {
+				t.Errorf("merged screen trail %+v, single-node %+v", merged.Screen, single.Screen)
+			}
+		})
+	}
+}
+
+// TestScreenRejections: screening composes with neither permutation
+// tests nor empty specs, and budgets are validated before any work.
+func TestScreenRejections(t *testing.T) {
+	s := plantedSession(t)
+	ctx := context.Background()
+	for _, spec := range []trigene.ScreenSpec{
+		{},
+		{MaxSurvivors: -1},
+		{MaxSurvivors: 4, SeedPairs: -2},
+		{BudgetSeconds: -0.5},
+		{MaxSurvivors: s.SNPs() + 1},
+		{MaxSurvivors: 2}, // fewer survivors than an order-3 search needs
+	} {
+		if _, err := s.Search(ctx, trigene.WithScreen(spec)); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+	// Seed pairs extend to triples only.
+	if _, err := s.Search(ctx, trigene.WithOrder(4),
+		trigene.WithScreen(trigene.ScreenSpec{MaxSurvivors: 12, SeedPairs: 2})); err == nil {
+		t.Error("order-4 seeded screen accepted")
+	}
+}

@@ -142,7 +142,12 @@ func (s *Session) Search(ctx context.Context, opts ...Option) (*Report, error) {
 	}
 	searchStart := tr.Since()
 	searchDone := tr.Start("search")
-	rep, err := cfg.backend.search(ctx, s, cfg)
+	var rep *Report
+	if cfg.screen != nil {
+		rep, err = s.searchScreened(ctx, cfg, tr)
+	} else {
+		rep, err = cfg.backend.search(ctx, s, cfg)
+	}
 	searchDone()
 	if err != nil {
 		return nil, err
@@ -220,6 +225,9 @@ func (s *Session) PermutationTest(ctx context.Context, snps []int, opts ...Optio
 	}
 	if cfg.autotune {
 		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithAutoTune does not apply")
+	}
+	if cfg.screen != nil {
+		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithScreen does not apply")
 	}
 	if cfg.topK != 1 {
 		return nil, fmt.Errorf("trigene: permutation tests score one candidate; WithTopK does not apply")
