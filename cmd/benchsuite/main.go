@@ -49,6 +49,15 @@
 //	                         # faster, prunes a planted SNP, misses the
 //	                         # planted best, or allocates in the subset
 //	                         # hot loop
+//	benchsuite -exp perm     # permutation-kernel audit (BENCH_PR10.json):
+//	                         # scalar vs bit-plane significance testing
+//	                         # (time-paired median of ratios), a batch-size
+//	                         # sweep, and a loopback-cluster fan-out check;
+//	                         # exits nonzero if the bit-plane kernel is not
+//	                         # at least 5x faster, if any p-value diverges
+//	                         # from the scalar reference (single-node or
+//	                         # cluster-merged), or if the steady-state
+//	                         # kernel allocates per permutation
 //	benchsuite -exp all      # everything except the audit/snapshot experiments
 //
 // Cross-device rows are analytical-model projections (this is a
@@ -84,6 +93,7 @@ import (
 	"trigene/internal/gpusim"
 	"trigene/internal/obs"
 	"trigene/internal/perfmodel"
+	"trigene/internal/permtest"
 	"trigene/internal/report"
 	"trigene/internal/sched"
 	"trigene/internal/store"
@@ -110,7 +120,7 @@ var out io.Writer = os.Stdout
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchsuite", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels, obs, screen or all")
+	exp := fs.String("exp", "all", "experiment: fig2a, fig2b, fig3, fig4, table3, overall, energy, host, snapshot, sched, cluster, plan, store, durable, kernels, obs, screen, perm or all")
 	hostSNPs := fs.Int("host-snps", 160, "SNP count for the host-measured experiments")
 	hostSamples := fs.Int("host-samples", 4096, "sample count for the host-measured experiments")
 	snapOut := fs.String("out", "", "output path of the -exp snapshot/sched JSON (defaults: BENCH_PR1.json / BENCH_PR2.json)")
@@ -154,6 +164,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		},
 		"screen": func() error {
 			return screenExp(orDefault(*snapOut, "BENCH_PR9.json"))
+		},
+		"perm": func() error {
+			return permExp(orDefault(*snapOut, "BENCH_PR10.json"))
 		},
 	}
 	order := []string{"fig2a", "fig2b", "fig3", "fig4", "table3", "overall", "energy", "host"}
@@ -2069,6 +2082,292 @@ func screenExp(outPath string) error {
 	if snap.MedianPairedSpeedup < 3 {
 		return fmt.Errorf("screened search only %.2fx faster than exhaustive (want >= 3x: %.1f vs %.1f ms)",
 			snap.MedianPairedSpeedup, snap.ExhaustiveMedianMs, snap.ScreenedMedianMs)
+	}
+	return nil
+}
+
+// permBatchPoint is one batch size in the sweep: the wall time of the
+// full multi-candidate test with that many perm planes per kernel pass.
+type permBatchPoint struct {
+	Batch    int     `json:"batch"`
+	MedianMs float64 `json:"medianMs"`
+}
+
+// permSnapshot is the committed BENCH_PR10.json shape.
+type permSnapshot struct {
+	Schema     string `json:"schema"`
+	SNPs       int    `json:"snps"`
+	Samples    int    `json:"samples"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Reps       int    `json:"reps"`
+
+	Candidates   int   `json:"candidates"`
+	Orders       []int `json:"orders"`
+	Permutations int   `json:"permutations"`
+	PermSeed     int64 `json:"permSeed"`
+
+	ScalarMedianMs      float64 `json:"scalarMedianMs"`
+	BitPlaneMedianMs    float64 `json:"bitPlaneMedianMs"`
+	MedianPairedSpeedup float64 `json:"medianPairedSpeedup"`
+
+	BatchSweep []permBatchPoint `json:"batchSweep"`
+
+	PValuesBitExact      bool    `json:"pValuesBitExact"`
+	ClusterWorkers       int     `json:"clusterWorkers"`
+	ClusterTiles         int     `json:"clusterTiles"`
+	ClusterBitExact      bool    `json:"clusterBitExact"`
+	AllocsPerPermutation float64 `json:"allocsPerPermutation"`
+}
+
+// Permutation-kernel audit shape: enough samples that the scalar
+// per-permutation table fill hurts, enough candidates that the shared
+// shuffle amortizes, and mixed orders so both the Table path (2–3) and
+// the CellScorer path (4+) are on the clock.
+const (
+	permAuditSNPs    = 96
+	permAuditSamples = 4096
+	permAuditSeed    = 37
+	permAuditPerms   = 200
+	permAuditReps    = 5
+	permAuditSeedRNG = 101
+)
+
+// permAuditCandidates mixes orders 2 through 5; the first triple is the
+// planted interaction.
+var permAuditCandidates = [][]int{
+	{11, 47, 83},
+	{0, 1, 2}, {3, 20, 70}, {5, 40, 90}, {12, 48, 84}, {30, 31, 32},
+	{7, 9}, {25, 60}, {44, 71},
+	{2, 18, 39, 77}, {6, 28, 55, 91},
+	{1, 23, 45, 67, 89},
+}
+
+// permExp audits the bit-plane permutation kernel end to end. Each rep
+// runs the scalar reference path (permtest.K per candidate, the
+// pre-bit-plane implementation retained as the oracle) and the batched
+// multi-candidate kernel (permtest.KAll) back to back and contributes
+// one scalar/bit-plane wall-time ratio; the headline speedup is the
+// median of the paired ratios. Around the timing the audit checks the
+// determinism contract from three angles: every bit-plane p-value must
+// equal its scalar reference exactly, a loopback cluster fanning the
+// permutation range over several workers must merge to the same
+// numbers, and the steady-state kernel must not allocate per
+// permutation (measured as the marginal allocations between a short and
+// a long KAllRange call, so per-call setup cancels). The audit (and CI
+// with it) fails if the kernel is not at least 5x faster, if any
+// p-value diverges, or if the margin allocates.
+func permExp(outPath string) error {
+	mx, err := trigene.Generate(trigene.GenConfig{
+		SNPs: permAuditSNPs, Samples: permAuditSamples, Seed: permAuditSeed,
+		MAFMin: 0.3, MAFMax: 0.5,
+		Interaction: &trigene.Interaction{
+			SNPs:       [3]int{11, 47, 83},
+			Penetrance: trigene.ThresholdPenetrance(3, 0.05, 0.95),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	orders := make([]int, len(permAuditCandidates))
+	for i, c := range permAuditCandidates {
+		orders[i] = len(c)
+	}
+	snap := permSnapshot{
+		Schema:       "trigene-perm/1",
+		SNPs:         permAuditSNPs,
+		Samples:      permAuditSamples,
+		Seed:         permAuditSeed,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Reps:         permAuditReps,
+		Candidates:   len(permAuditCandidates),
+		Orders:       orders,
+		Permutations: permAuditPerms,
+		PermSeed:     permAuditSeedRNG,
+	}
+	// Prebuilt genotype planes, as the session API wires them in from
+	// the store cache; the scalar path ignores the field.
+	bin := dataset.Binarize(mx)
+	cfg := permtest.Config{Permutations: permAuditPerms, Seed: permAuditSeedRNG, Planes: bin}
+
+	scalarAll := func() ([]*permtest.Result, error) {
+		res := make([]*permtest.Result, len(permAuditCandidates))
+		for i, snps := range permAuditCandidates {
+			r, err := permtest.K(mx, snps, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = r
+		}
+		return res, nil
+	}
+
+	// Warm-up both sides, then paired reps; the scalar results double as
+	// the bit-exactness oracle for every other check below.
+	if _, err := scalarAll(); err != nil {
+		return err
+	}
+	if _, err := permtest.KAll(mx, permAuditCandidates, cfg); err != nil {
+		return err
+	}
+	snap.PValuesBitExact = true
+	var scalarMs, planeMs, ratios []float64
+	var oracle []*permtest.Result
+	for r := 0; r < permAuditReps; r++ {
+		t0 := time.Now()
+		sres, err := scalarAll()
+		if err != nil {
+			return err
+		}
+		scalarDur := time.Since(t0)
+		t1 := time.Now()
+		pres, err := permtest.KAll(mx, permAuditCandidates, cfg)
+		if err != nil {
+			return err
+		}
+		planeDur := time.Since(t1)
+
+		scalarMs = append(scalarMs, float64(scalarDur.Microseconds())/1e3)
+		planeMs = append(planeMs, float64(planeDur.Microseconds())/1e3)
+		ratios = append(ratios, scalarDur.Seconds()/planeDur.Seconds())
+		oracle = sres
+		for i := range sres {
+			if *pres[i] != *sres[i] {
+				snap.PValuesBitExact = false
+			}
+		}
+	}
+	snap.ScalarMedianMs = median(scalarMs)
+	snap.BitPlaneMedianMs = median(planeMs)
+	snap.MedianPairedSpeedup = median(ratios)
+
+	// Batch-size sweep: the same test at pinned batch widths (0 is the
+	// L1-sized default). Hit counts must not move — batch size is a
+	// cache-shaping knob, not a semantic one.
+	for _, b := range []int{0, 4, 8, 16, 32, 64} {
+		bcfg := cfg
+		bcfg.Batch = b
+		var ms []float64
+		for r := 0; r < 3; r++ {
+			t0 := time.Now()
+			res, err := permtest.KAll(mx, permAuditCandidates, bcfg)
+			if err != nil {
+				return err
+			}
+			ms = append(ms, float64(time.Since(t0).Microseconds())/1e3)
+			for i := range res {
+				if *res[i] != *oracle[i] {
+					snap.PValuesBitExact = false
+				}
+			}
+		}
+		snap.BatchSweep = append(snap.BatchSweep, permBatchPoint{Batch: b, MedianMs: median(ms)})
+	}
+
+	// Marginal allocations per permutation: KAllRange pays a fixed
+	// per-call setup (combo planes, worker scratch), so the difference
+	// between a long and a short range isolates the steady-state loop.
+	probe := cfg
+	probe.Workers = 1
+	allocsAt := func(count int) (float64, error) {
+		var perr error
+		a := testing.AllocsPerRun(4, func() {
+			if _, err := permtest.KAllRange(mx, permAuditCandidates, 0, count, probe); err != nil {
+				perr = err
+			}
+		})
+		return a, perr
+	}
+	aShort, err := allocsAt(64)
+	if err != nil {
+		return err
+	}
+	aLong, err := allocsAt(192)
+	if err != nil {
+		return err
+	}
+	snap.AllocsPerPermutation = (aLong - aShort) / 128
+
+	// Cluster fan-out: a loopback coordinator splits the permutation
+	// range over an odd tile count (uneven ranges) and several workers;
+	// the merged Report must reproduce the scalar oracle bit for bit.
+	co := cluster.NewCoordinator(cluster.Config{LeaseTTL: 10 * time.Second})
+	srv := httptest.NewServer(co)
+	defer srv.Close()
+	cl := cluster.NewClient(srv.URL)
+	cl.Poll = 5 * time.Millisecond
+	snap.ClusterWorkers, snap.ClusterTiles = 3, 7
+	cl.Tiles = snap.ClusterTiles
+	wctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < snap.ClusterWorkers; i++ {
+		w := &cluster.Worker{Client: cl, ID: fmt.Sprintf("perm-w%d", i), Poll: 5 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(wctx)
+		}()
+	}
+	spec := trigene.SearchSpec{Perm: &trigene.PermSpec{
+		SNPs: permAuditCandidates, Permutations: permAuditPerms, Seed: permAuditSeedRNG,
+	}}
+	rep, err := cl.ExecutePerm(context.Background(), mx, spec)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	snap.ClusterBitExact = rep.Perm != nil && len(rep.Perm.Results) == len(oracle)
+	if snap.ClusterBitExact {
+		for i, pc := range rep.Perm.Results {
+			want := oracle[i]
+			if pc.Observed != want.Observed || pc.AsGoodOrBetter != want.AsGoodOrBetter || pc.PValue != want.PValue {
+				snap.ClusterBitExact = false
+			}
+		}
+	}
+
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "== Permutation-kernel audit (%d candidates x %d perms, %d SNPs x %d samples, median of %d) -> %s ==\n",
+		len(permAuditCandidates), permAuditPerms, permAuditSNPs, permAuditSamples, permAuditReps, outPath)
+	t := report.NewTable("", "path", "median ms")
+	t.AddRowf("scalar reference", snap.ScalarMedianMs)
+	t.AddRowf("bit-plane batched", snap.BitPlaneMedianMs)
+	for _, p := range snap.BatchSweep {
+		label := fmt.Sprintf("bit-plane B=%d", p.Batch)
+		if p.Batch == 0 {
+			label = "bit-plane B=auto"
+		}
+		t.AddRowf(label, p.MedianMs)
+	}
+	if err := render(t); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "median paired speedup %.2fx; p-values bit-exact %v, cluster (%d workers, %d tiles) bit-exact %v, %.4f allocs/permutation\n",
+		snap.MedianPairedSpeedup, snap.PValuesBitExact,
+		snap.ClusterWorkers, snap.ClusterTiles, snap.ClusterBitExact, snap.AllocsPerPermutation)
+
+	// The audit gates: the kernel must be much faster than the scalar
+	// path without changing a single p-value or allocating to get there.
+	if !snap.PValuesBitExact {
+		return fmt.Errorf("bit-plane p-values diverge from the scalar reference")
+	}
+	if !snap.ClusterBitExact {
+		return fmt.Errorf("cluster-merged p-values diverge from the scalar reference")
+	}
+	if snap.AllocsPerPermutation > 0.01 {
+		return fmt.Errorf("steady-state kernel allocates %.4f per permutation (want 0)", snap.AllocsPerPermutation)
+	}
+	if snap.MedianPairedSpeedup < 5 {
+		return fmt.Errorf("bit-plane kernel only %.2fx faster than scalar (want >= 5x: %.1f vs %.1f ms)",
+			snap.MedianPairedSpeedup, snap.ScalarMedianMs, snap.BitPlaneMedianMs)
 	}
 	return nil
 }

@@ -15,6 +15,8 @@
 //	epistasis -in data.tg -energy-budget 95      # autotune under a power cap
 //	epistasis -in data.tg -screen-survivors 64   # two-stage: pair screen, then triples on survivors
 //	epistasis -in data.tg -screen-budget 2.5     # planner-sized screen under a 2.5 s budget
+//	epistasis -in data.tg -permute 10000         # permutation-test the best candidate (bit-plane kernel)
+//	epistasis -in data.tg -permute 10000 -perm-cluster http://c:9321  # fan the test out over the cluster
 //	epistasis -in data.tg -pack data.tpack       # pre-encode offline; later runs mmap it
 //	epistasis -in data.tpack                     # search a packed dataset (starts in ms)
 package main
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"trigene"
+	"trigene/internal/cluster"
 	"trigene/internal/datafile"
 )
 
@@ -62,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	auto := fs.Bool("auto", false, "model-driven autotuning: the planner picks backend/approach/grain/split from the paper's models and the chosen plan is printed")
 	energyBudget := fs.Float64("energy-budget", 0, "cap the modeled power draw at this many watts (implies -auto; the plan records the DVFS operating point)")
 	permute := fs.Int("permute", 0, "permutation count for a significance test of the best candidate (0 = off)")
+	permCluster := fs.String("perm-cluster", "", "with -permute: fan the permutation test out over the cluster at this coordinator URL (the search itself stays local); merged p-values are bit-exact with the local run")
+	permBatch := fs.Int("perm-batch", 0, "with -permute: permuted phenotype planes counted per kernel pass (0 = L1-sized)")
 	screenSurvivors := fs.Int("screen-survivors", 0, "two-stage screening: keep the S best SNPs from a pairwise pre-scan and search triples only among them (0 = no screen)")
 	screenBudget := fs.Float64("screen-budget", 0, "two-stage screening under a time budget: the planner sizes the survivor set to fit this many seconds (0 = off; combinable with -screen-survivors as a cap)")
 	screenSeeds := fs.Int("screen-seeds", 0, "also extend the top-P screened pairs with every third SNP, guarding against survivors pruned by a marginal-free interaction (0 = default when screening)")
@@ -188,6 +193,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *workers > 0 {
 			permOpts = append(permOpts, trigene.WithWorkers(*workers))
+		}
+		if *permBatch > 0 {
+			permOpts = append(permOpts, trigene.WithPermBatch(*permBatch))
+		}
+		if *permCluster != "" {
+			permOpts = append(permOpts, trigene.WithCluster(cluster.NewClient(*permCluster)))
 		}
 		sig, err := sess.PermutationTest(ctx, rep.Best.SNPs, permOpts...)
 		if err != nil {

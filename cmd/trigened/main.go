@@ -11,6 +11,7 @@
 //	trigened submit -coordinator http://c:9321 -in data.tg -auto    # plan-aware job
 //	trigened submit -coordinator http://c:9321 -in data.tg -wait    # block, print the Report
 //	trigened submit -coordinator http://c:9321 -in data.tg -screen-survivors 128  # two-stage screened job
+//	trigened submit -coordinator http://c:9321 -in data.tg -perm "3,9,15;0,1" -perms 10000  # distributed permutation test
 //	trigened status -coordinator http://c:9321 [-job j1]            # queue / one job
 //	trigened status -coordinator http://c:9321 -workers             # capability registry
 //	trigened result -coordinator http://c:9321 -job j1              # merged Report JSON
@@ -24,7 +25,11 @@
 // (-screen-survivors) runs as two phases: the pairwise pre-scan is
 // sharded across workers first, the coordinator merges the scan and
 // pins the survivor set, and only then do stage-2 triple tiles lease
-// out; the merged Report carries the audit trail under "screen".
+// out; the merged Report carries the audit trail under "screen". A
+// permutation job (-perm) shards the permutation index range instead:
+// workers evaluate contiguous relabeling ranges with the bit-plane
+// kernel and the coordinator sums their hit counts into p-values
+// bit-exact with a single-node run (the result's "perm" block).
 //
 // With -state-dir the coordinator is durable: every state transition
 // is journaled, and a crashed (even SIGKILLed) coordinator restarted
@@ -49,6 +54,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -414,6 +421,9 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	deadline := fs.Duration("deadline", 0, "wall-clock budget from submission; the coordinator fails the job past it (0 = none)")
 	screenSurvivors := fs.Int("screen-survivors", 0, "two-stage screening: a sharded pairwise pre-scan keeps the S best SNPs and stage-2 triple tiles search only among them (0 = no screen)")
 	screenSeeds := fs.Int("screen-seeds", 0, "with -screen-survivors: also extend the top-P screened pairs with every third SNP (0 = engine default)")
+	perm := fs.String("perm", "", "submit a permutation test instead of a search: candidate combinations as 'i,j,k[;i,j...]' (SNP indices); tiles shard the permutation range")
+	perms := fs.Int("perms", 0, "with -perm: number of phenotype relabelings (0 = default 1000)")
+	permSeed := fs.Int64("perm-seed", 0, "with -perm: RNG seed behind the permutation stream")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its Report JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -452,14 +462,40 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		}
 		spec.Screen = &sc
 	}
+	if *perm != "" {
+		// A permutation job re-scores fixed candidates; the search-shaping
+		// flags do not combine with it (the coordinator re-rejects at the
+		// door, this just fails before any bytes are uploaded).
+		if spec.Screen != nil || spec.AutoTune || *order != 0 || *approach != "" ||
+			(*backend != "" && *backend != "cpu") {
+			return fmt.Errorf("-perm does not combine with -screen-survivors/-auto/-order/-approach or a non-cpu -backend")
+		}
+		snps, err := parsePermCandidates(*perm)
+		if err != nil {
+			return err
+		}
+		ps := trigene.PermSpec{SNPs: snps, Permutations: *perms, Seed: *permSeed}
+		if err := ps.Validate(sess.SNPs()); err != nil {
+			return err
+		}
+		spec.Perm = &ps
+		spec.Order, spec.TopK = 0, 0
+		if *tiles > ps.PermutationCount() {
+			*tiles = ps.PermutationCount()
+		}
+	}
 	cl := cluster.NewClient(*coord)
 	id, err := cl.SubmitSession(ctx, sess, spec, *tiles, *name)
 	if err != nil {
 		return err
 	}
-	if spec.Screen != nil {
+	switch {
+	case spec.Perm != nil:
+		fmt.Fprintf(stdout, "submitted %s (%d candidates, %d permutations over %d tiles)\n",
+			id, len(spec.Perm.SNPs), spec.Perm.PermutationCount(), *tiles)
+	case spec.Screen != nil:
 		fmt.Fprintf(stdout, "submitted %s (%d screen tiles + %d search tiles)\n", id, *tiles, *tiles)
-	} else {
+	default:
 		fmt.Fprintf(stdout, "submitted %s (%d tiles)\n", id, *tiles)
 	}
 	if !*wait {
@@ -470,6 +506,32 @@ func runSubmit(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return err
 	}
 	return writeJSON(stdout, rep)
+}
+
+// parsePermCandidates parses the -perm flag value: candidate
+// combinations separated by ';', SNP indices within one separated by
+// ',' — e.g. "3,9,15;0,1".
+func parsePermCandidates(s string) ([][]int, error) {
+	var out [][]int
+	for _, combo := range strings.Split(s, ";") {
+		combo = strings.TrimSpace(combo)
+		if combo == "" {
+			continue
+		}
+		var snps []int
+		for _, tok := range strings.Split(combo, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				return nil, fmt.Errorf("bad -perm candidate %q: %v", combo, err)
+			}
+			snps = append(snps, n)
+		}
+		out = append(out, snps)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-perm names no candidate combinations")
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------

@@ -381,6 +381,179 @@ func TestTrigenedRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestTrigenedPermSubmit: a -perm job runs end to end against CLI
+// workers — submit prints the permutation banner, status sees the job
+// through, and the result's perm block is bit-exact with the local
+// bit-plane kernel. Bad perm specs fail loudly before upload.
+func TestTrigenedPermSubmit(t *testing.T) {
+	url := startDaemon(t)
+	startCLIWorkers(t, url, 2)
+	path, mx := writeDataset(t)
+	ctx := context.Background()
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"submit", "-coordinator", url, "-in", path,
+		"-name", "perm", "-tiles", "5", "-workers", "2",
+		"-perm", "3,9,15;0,1", "-perms", "200", "-perm-seed", "17", "-wait"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(out.String(), "\n", 2)
+	if !strings.Contains(lines[0], "2 candidates, 200 permutations over 5 tiles") {
+		t.Errorf("submit banner %q", lines[0])
+	}
+	jobID := strings.Fields(lines[0])[1]
+	var rep trigene.Report
+	if err := json.Unmarshal([]byte(lines[1]), &rep); err != nil {
+		t.Fatalf("submit -wait output is not a Report: %v\n%s", err, lines[1])
+	}
+	if rep.Perm == nil {
+		t.Fatal("merged Report has no perm block")
+	}
+	if rep.Perm.Permutations != 200 || rep.Perm.Seed != 17 || rep.Perm.Tiles != 5 {
+		t.Errorf("perm block %d permutations seed %d over %d tiles, want 200/17/5",
+			rep.Perm.Permutations, rep.Perm.Seed, rep.Perm.Tiles)
+	}
+
+	// Bit-exact with the local batched kernel under the same seed.
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.PermutationTestAll(ctx, [][]int{{3, 9, 15}, {0, 1}},
+		trigene.WithPermutations(200), trigene.WithSeed(17), trigene.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Perm.Results) != len(local) {
+		t.Fatalf("perm block carries %d results, want %d", len(rep.Perm.Results), len(local))
+	}
+	for i, pc := range rep.Perm.Results {
+		if pc.Observed != local[i].Observed || pc.AsGoodOrBetter != local[i].AsGoodOrBetter || pc.PValue != local[i].PValue {
+			t.Errorf("candidate %v: cluster %+v != local %+v", pc.SNPs, pc, *local[i])
+		}
+	}
+
+	// status and result agree on the finished job.
+	out.Reset()
+	if err := run(ctx, []string{"status", "-coordinator", url, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Errorf("status output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run(ctx, []string{"result", "-coordinator", url, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != lines[1] {
+		t.Errorf("result output differs from submit -wait output:\n%s\n%s", out.String(), lines[1])
+	}
+
+	// Loud client-side validation: nothing is uploaded for a bad spec.
+	for _, args := range [][]string{
+		{"submit", "-coordinator", url, "-in", path, "-perm", " ; "},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "9,3"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3,900"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3;9"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3,x"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3,9", "-screen-survivors", "10"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3,9", "-order", "4"},
+		{"submit", "-coordinator", url, "-in", path, "-perm", "3,9", "-backend", "hetero"},
+	} {
+		if err := run(ctx, args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args[5:])
+		}
+	}
+}
+
+// TestTrigenedPermRestartRecovery: a durable coordinator goes down with
+// a permutation job in flight; a fresh daemon on the same state dir and
+// address recovers the journaled per-range scores and finishes the job
+// to p-values bit-exact with the local run.
+func TestTrigenedPermRestartRecovery(t *testing.T) {
+	stateDir := t.TempDir()
+	path, mx := writeDataset(t)
+	ctx := context.Background()
+
+	url, stop := startDurableDaemon(t, "127.0.0.1:0", stateDir)
+	startCLIWorkers(t, url, 2)
+
+	var out bytes.Buffer
+	err := run(ctx, []string{"submit", "-coordinator", url, "-in", path,
+		"-name", "perm-durable", "-tiles", "8", "-workers", "2",
+		"-perm", "3,9,15;2,5,7,11", "-perms", "400", "-perm-seed", "5"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := strings.Fields(out.String())[1]
+
+	waitStatus := func(url string, pred func(state string, done int) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			out.Reset()
+			err := run(ctx, []string{"status", "-coordinator", url, "-job", jobID, "-json"}, &out, io.Discard)
+			if err == nil {
+				var st struct {
+					State string `json:"state"`
+					Done  int    `json:"done"`
+				}
+				if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+					t.Fatal(err)
+				}
+				if st.State == "failed" || st.State == "cancelled" {
+					t.Fatalf("job %s %s while waiting for %s", jobID, st.State, what)
+				}
+				if pred(st.State, st.Done) {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitStatus(url, func(_ string, done int) bool { return done >= 1 }, "partial progress")
+	stop()
+
+	url2, _ := startDurableDaemon(t, strings.TrimPrefix(url, "http://"), stateDir)
+	if url2 != url {
+		t.Fatalf("restarted daemon at %s, want %s", url2, url)
+	}
+	waitStatus(url2, func(state string, _ int) bool { return state == "done" }, "completion after restart")
+
+	out.Reset()
+	if err := run(ctx, []string{"result", "-coordinator", url2, "-job", jobID}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var rep trigene.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("result output is not a Report: %v\n%s", err, out.String())
+	}
+	if rep.Perm == nil {
+		t.Fatal("recovered Report has no perm block")
+	}
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sess.PermutationTestAll(ctx, [][]int{{3, 9, 15}, {2, 5, 7, 11}},
+		trigene.WithPermutations(400), trigene.WithSeed(5), trigene.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Perm.Results) != len(local) {
+		t.Fatalf("perm block carries %d results, want %d", len(rep.Perm.Results), len(local))
+	}
+	for i, pc := range rep.Perm.Results {
+		if pc.Observed != local[i].Observed || pc.AsGoodOrBetter != local[i].AsGoodOrBetter || pc.PValue != local[i].PValue {
+			t.Errorf("candidate %v: recovered %+v != local %+v", pc.SNPs, pc, *local[i])
+		}
+	}
+}
+
 // TestTrigenedScreenedSubmit: a -screen-survivors job runs as two
 // phases end to end against CLI workers, the merged Report carries
 // the screen audit trail, and bad screen specs fail loudly before

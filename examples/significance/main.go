@@ -1,7 +1,8 @@
 // significance: the full analysis workflow a study would run — a 2-way
 // scan, a 3-way scan on the heterogeneous CPU+GPU backend, and
-// phenotype-permutation significance testing of the winners — all
-// through one Session and its unified Search/PermutationTest surface.
+// phenotype-permutation significance testing of all the winners in one
+// batched bit-plane pass — all through one Session and its unified
+// Search/PermutationTestAll surface.
 package main
 
 import (
@@ -43,14 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("2-way scan: best pair %v  K2 = %.2f\n", pairs.Best.SNPs, pairs.Best.Score)
-	pp, err := sess.PermutationTest(ctx, pairs.Best.SNPs,
-		trigene.WithPermutations(200), trigene.WithSeed(1))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  permutation test: p = %.4f (%d/%d permutations as good)\n\n",
-		pp.PValue, pp.AsGoodOrBetter, pp.Permutations)
+	fmt.Printf("2-way scan: best pair %v  K2 = %.2f\n\n", pairs.Best.SNPs, pairs.Best.Score)
 
 	// Stage 2: exhaustive 3-way scan, split between the CPU engine and
 	// a simulated GPU as in the paper's Section V-D — just a backend
@@ -64,14 +58,27 @@ func main() {
 	fmt.Printf("  %d combinations; GPU half modeled stats available; modeled pair throughput %.0f G elem/s\n",
 		het.Combinations, het.Hetero.ModeledCombinedGElems)
 
-	// Stage 3: significance of the 3-way winner.
-	pt, err := sess.PermutationTest(ctx, het.Best.SNPs,
+	// Stage 3: significance of every winner at once. The pairwise top-3
+	// and the 3-way winner go through one PermutationTestAll call, so
+	// each permuted phenotype (the dominant per-permutation cost) is
+	// shuffled once and shared across all four candidates.
+	candidates := make([][]int, 0, len(pairs.TopK)+1)
+	for _, c := range pairs.TopK {
+		candidates = append(candidates, c.SNPs)
+	}
+	candidates = append(candidates, het.Best.SNPs)
+	sig, err := sess.PermutationTestAll(ctx, candidates,
 		trigene.WithPermutations(500), trigene.WithSeed(2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  permutation test: p = %.4f (%d/%d permutations as good)\n\n",
-		pt.PValue, pt.AsGoodOrBetter, pt.Permutations)
+	fmt.Println("batched permutation test (500 relabelings shared across all candidates):")
+	for i, r := range sig {
+		fmt.Printf("  %v: p = %.4f (%d/%d permutations as good)\n",
+			candidates[i], r.PValue, r.AsGoodOrBetter, r.Permutations)
+	}
+	fmt.Println()
+	pt := sig[len(sig)-1]
 
 	recovered := slices.Equal(het.Best.SNPs, target)
 	switch {

@@ -56,6 +56,28 @@ func (c *Client) ExecuteSearch(ctx context.Context, mx *trigene.Matrix, spec tri
 	return c.Wait(ctx, id)
 }
 
+// ExecutePerm implements trigene.PermExecutor: submit the permutation
+// job (spec.Perm set), wait, fetch the Report whose Perm block carries
+// the merged hit counts. The tile count is clamped to the permutation
+// count so every leased range is non-empty.
+func (c *Client) ExecutePerm(ctx context.Context, mx *trigene.Matrix, spec trigene.SearchSpec) (*trigene.Report, error) {
+	if spec.Perm == nil {
+		return nil, fmt.Errorf("cluster: ExecutePerm requires a spec with Perm set")
+	}
+	tiles := c.Tiles
+	if tiles <= 0 {
+		tiles = 16
+	}
+	if p := spec.Perm.PermutationCount(); tiles > p {
+		tiles = p
+	}
+	id, err := c.Submit(ctx, mx, spec, tiles, "")
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(ctx, id)
+}
+
 // Submit uploads a dataset and a search spec as a new job cut into the
 // given number of tiles, returning the job ID.
 func (c *Client) Submit(ctx context.Context, mx *trigene.Matrix, spec trigene.SearchSpec, tiles int, name string) (string, error) {
@@ -261,6 +283,19 @@ func (c *Client) completeScreen(ctx context.Context, token string, sc *trigene.S
 	}
 	var resp CompleteResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/done", CompleteRequest{Screen: raw}, &resp); err != nil {
+		return false, leaseLostOr(err)
+	}
+	return resp.Accepted, nil
+}
+
+// completePerm posts a permutation tile's PermScores (permutation jobs).
+func (c *Client) completePerm(ctx context.Context, token string, ps *trigene.PermScores) (accepted bool, err error) {
+	raw, err := json.Marshal(ps)
+	if err != nil {
+		return false, err
+	}
+	var resp CompleteResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease/"+token+"/done", CompleteRequest{Perm: raw}, &resp); err != nil {
 		return false, leaseLostOr(err)
 	}
 	return resp.Accepted, nil

@@ -232,8 +232,10 @@ type CompleteRequest struct {
 	// tiles).
 	Report json.RawMessage `json:"report,omitempty"`
 	// Screen is the tile's ScreenScores (stage-1 tiles of a screened
-	// job); exactly one of Report and Screen is set.
+	// job); Perm the tile's PermScores (permutation jobs). Exactly one
+	// of Report, Screen and Perm is set.
 	Screen json.RawMessage `json:"screen,omitempty"`
+	Perm   json.RawMessage `json:"perm,omitempty"`
 }
 
 // CompleteResponse is the body answering a completion.

@@ -149,12 +149,19 @@ type job struct {
 	screenInfo  *trigene.ScreenInfo
 	pinnedAt    time.Time
 
+	// Permutation jobs (spec.Perm set): tiles shard the permutation
+	// index range and complete with PermScores instead of Reports.
+	perms []*trigene.PermScores // one slot per tile
+
 	submitted time.Time
 	finished  time.Time
 }
 
 // screened reports whether the job runs the two-phase screen protocol.
 func (j *job) screened() bool { return j.screenTiles > 0 }
+
+// perm reports whether the job is a permutation test.
+func (j *job) perm() bool { return j.spec.Perm != nil }
 
 // screenDone reports whether every stage-1 shard completed.
 func (j *job) screenDone() bool { return j.leases.DoneBelow(j.screenTiles) == j.screenTiles }
@@ -280,6 +287,29 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		sess, packed = s, buf.Bytes()
 	}
 
+	// Permutation submissions are validated loudly at the door: the
+	// candidates against the dataset, and the search-shaping fields —
+	// which a permutation job cannot honor — rejected rather than
+	// silently ignored. Tiles shard the permutation index range, so
+	// there must be at least one permutation per tile.
+	if pm := req.Spec.Perm; pm != nil {
+		if err := pm.Validate(sess.SNPs()); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid spec: %v", err)
+			return
+		}
+		if req.Spec.Screen != nil || req.Spec.AutoTune || req.Spec.EnergyBudgetWatts > 0 ||
+			req.Spec.Approach != "" || req.Spec.Order != 0 || req.Spec.TopK > 1 {
+			writeErr(w, http.StatusBadRequest,
+				"invalid spec: permutation jobs do not combine with screen/autoTune/approach/order/topK")
+			return
+		}
+		if perms := pm.PermutationCount(); req.Tiles > perms {
+			writeErr(w, http.StatusBadRequest,
+				"tiles (%d) must not exceed the permutation count (%d)", req.Tiles, perms)
+			return
+		}
+	}
+
 	// Screened submissions are validated loudly at the door — negative
 	// budgets, survivors exceeding the dataset's SNP count, malformed
 	// seeds — and sized as two phases: screenTiles stage-1 pair-scan
@@ -326,6 +356,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if screenTiles > 0 {
 		j.screens = make([]*trigene.ScreenScores, screenTiles)
+	}
+	if j.perm() {
+		j.perms = make([]*trigene.PermScores, units)
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
@@ -804,7 +837,9 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	screenTile := j.screened() && tile < j.screenTiles
 	var rep trigene.Report
 	var scores trigene.ScreenScores
-	if screenTile {
+	var perm trigene.PermScores
+	switch {
+	case screenTile:
 		if err := json.Unmarshal(req.Screen, &scores); err != nil {
 			writeErr(w, http.StatusBadRequest, "decoding stage-1 screen scores: %v", err)
 			return
@@ -813,15 +848,34 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "stage-1 scores cover %d SNPs; the job's dataset has %d", scores.SNPs, j.snps)
 			return
 		}
-	} else if err := json.Unmarshal(req.Report, &rep); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding tile report: %v", err)
-		return
+	case j.perm():
+		if err := json.Unmarshal(req.Perm, &perm); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding tile perm scores: %v", err)
+			return
+		}
+		if err := perm.ValidateShape(); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid tile perm scores: %v", err)
+			return
+		}
+		if len(perm.SNPs) != len(j.spec.Perm.SNPs) {
+			writeErr(w, http.StatusBadRequest, "tile perm scores cover %d candidates; the job tests %d",
+				len(perm.SNPs), len(j.spec.Perm.SNPs))
+			return
+		}
+	default:
+		if err := json.Unmarshal(req.Report, &rep); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding tile report: %v", err)
+			return
+		}
 	}
 	switch st := j.leases.Complete(tile, seq); st {
 	case sched.CompleteAccepted:
-		if screenTile {
+		switch {
+		case screenTile:
 			j.screens[tile] = &scores
-		} else {
+		case j.perm():
+			j.perms[tile] = &perm
+		default:
 			j.reports[tile] = &rep
 		}
 		if wi := c.workers[j.grantee[tile].worker]; wi != nil {
@@ -831,7 +885,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// record mergeLocked appends — must be durable before the
 		// worker is told its result counted, or a crash would lose an
 		// acknowledged tile and re-execute it.
-		c.journalLocked(walRecord{T: recComplete, Job: j.id, Tile: tile, Seq: seq, Report: req.Report, Screen: req.Screen})
+		c.journalLocked(walRecord{T: recComplete, Job: j.id, Tile: tile, Seq: seq, Report: req.Report, Screen: req.Screen, Perm: req.Perm})
 		if screenTile && j.stage2 == nil && j.screenDone() {
 			// Last stage-1 shard: merge the scores, pin the survivor set,
 			// and open the stage-2 phase. Pinning is deterministic from
@@ -943,8 +997,28 @@ func (c *Coordinator) pinStage2Locked(j *job) {
 // but determinism is easier to audit this way). Screened jobs merge
 // only their stage-2 slots and carry the coordinator-assembled
 // ScreenInfo (the per-tile reports ran pinned and know nothing of the
-// stage-1 scan).
+// stage-1 scan). Permutation jobs sum per-range hit counts instead
+// (MergePerms) and answer with a Report whose Perm block carries the
+// finalized p-values — bit-exact with a single-node run because every
+// range seeded its shuffles by absolute permutation index.
 func (c *Coordinator) mergeLocked(j *job) {
+	if j.perm() {
+		merged, err := trigene.MergePerms(j.perms...)
+		if err != nil {
+			c.finishLocked(j, StateFailed, fmt.Sprintf("merging permutation ranges: %v", err))
+			return
+		}
+		rep, err := trigene.FinalizePerms(j.spec.Perm, merged, j.tiles)
+		if err != nil {
+			c.finishLocked(j, StateFailed, fmt.Sprintf("finalizing permutation test: %v", err))
+			return
+		}
+		j.result = rep
+		c.finishLocked(j, StateDone, "")
+		c.cfg.Logger.Info("permutation job done",
+			"job", j.id, "candidates", len(merged.SNPs), "permutations", merged.Count)
+		return
+	}
 	reports := j.reports
 	if j.screened() {
 		reports = j.reports[j.screenTiles:]
@@ -978,6 +1052,7 @@ func (c *Coordinator) finishLocked(j *job, state, errMsg string) {
 	j.dataset = nil
 	j.reports = nil
 	j.screens = nil
+	j.perms = nil
 	j.grantee = nil
 	j.finished = c.cfg.Now()
 	c.journalFinishLocked(j)

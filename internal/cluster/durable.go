@@ -68,10 +68,12 @@ type walRecord struct {
 	Worker  string `json:"worker,omitempty"`
 
 	// complete: Report for search tiles, Screen for a screened job's
-	// stage-1 tiles. The stage-2 pin is deliberately not journaled —
-	// recovery recomputes it deterministically from the replayed scores.
+	// stage-1 tiles, Perm for a permutation job's range tiles. The
+	// stage-2 pin is deliberately not journaled — recovery recomputes it
+	// deterministically from the replayed scores.
 	Report json.RawMessage `json:"report,omitempty"`
 	Screen json.RawMessage `json:"screen,omitempty"`
+	Perm   json.RawMessage `json:"perm,omitempty"`
 
 	// finish
 	State  string          `json:"state,omitempty"`
@@ -107,6 +109,7 @@ type walJob struct {
 	Reports         []json.RawMessage  `json:"reports,omitempty"`
 	ScreenTiles     int                `json:"screenTiles,omitempty"`
 	Screens         []json.RawMessage  `json:"screens,omitempty"`
+	Perms           []json.RawMessage  `json:"perms,omitempty"`
 	Result          json.RawMessage    `json:"result,omitempty"`
 	SubmittedUnixNs int64              `json:"sub"`
 	FinishedUnixNs  int64              `json:"fin,omitempty"`
@@ -263,6 +266,9 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 		if rec.Spec != nil {
 			j.spec = *rec.Spec
 		}
+		if j.perm() {
+			j.perms = make([]*trigene.PermScores, rec.Tiles)
+		}
 		c.jobs[j.id] = j
 		c.order = append(c.order, j.id)
 		// Job IDs are "j<n>"; the counter resumes past every replayed
@@ -293,6 +299,17 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 			j.screens[rec.Tile] = &scores
 			return
 		}
+		if j.perm() {
+			var perm trigene.PermScores
+			if err := json.Unmarshal(rec.Perm, &perm); err != nil {
+				c.cfg.Logger.Warn("wal: undecodable tile perm scores",
+					"job", rec.Job, "tile", rec.Tile, "error", err)
+				return
+			}
+			j.leases.RestoreDone(rec.Tile)
+			j.perms[rec.Tile] = &perm
+			return
+		}
 		var rep trigene.Report
 		if err := json.Unmarshal(rec.Report, &rep); err != nil {
 			c.cfg.Logger.Warn("wal: undecodable tile report",
@@ -318,6 +335,7 @@ func (c *Coordinator) applyLocked(rec walRecord) {
 		j.err = rec.Err
 		j.dataset = nil
 		j.reports = nil
+		j.perms = nil
 		j.grantee = nil
 		j.finished = time.Unix(0, rec.UnixNs)
 		if len(rec.Result) > 0 {
@@ -389,6 +407,18 @@ func (c *Coordinator) importSnapshotLocked(data []byte) error {
 					}
 				}
 			}
+			if j.perm() {
+				j.perms = make([]*trigene.PermScores, wj.Tiles)
+				for i, raw := range wj.Perms {
+					if i >= wj.Tiles || len(raw) == 0 {
+						continue
+					}
+					var ps trigene.PermScores
+					if err := json.Unmarshal(raw, &ps); err == nil {
+						j.perms[i] = &ps
+					}
+				}
+			}
 			j.grantee = make(map[int]granteeRef, len(wj.Grantees))
 			for _, g := range wj.Grantees {
 				j.grantee[g.Tile] = granteeRef{worker: g.Worker, seq: g.Seq}
@@ -437,6 +467,14 @@ func (c *Coordinator) exportLocked() walSnapshot {
 				for i, sc := range j.screens {
 					if sc != nil {
 						wj.Screens[i], _ = json.Marshal(sc)
+					}
+				}
+			}
+			if j.perm() {
+				wj.Perms = make([]json.RawMessage, j.tiles)
+				for i, ps := range j.perms {
+					if ps != nil {
+						wj.Perms[i], _ = json.Marshal(ps)
 					}
 				}
 			}

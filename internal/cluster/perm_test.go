@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"trigene"
+)
+
+// TestClusterPermParity is the permutation-job acceptance gate: a
+// coordinator and loopback workers produce per-candidate hit counts and
+// p-values bit-exact with the single-node bit-plane kernel, through
+// both the PermExecutor surface and the public WithCluster option. The
+// odd tile count exercises uneven permutation ranges.
+func TestClusterPermParity(t *testing.T) {
+	mx := plantedMatrix(t)
+	sess, err := trigene.NewSession(mx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	cl.Tiles = 7
+	startWorkers(t, cl, 3)
+	ctx := context.Background()
+
+	candidates := [][]int{{3, 9, 15}, {0, 1}, {2, 5, 7, 11}}
+	opts := []trigene.Option{trigene.WithPermutations(120), trigene.WithSeed(42), trigene.WithWorkers(2)}
+
+	local, err := sess.PermutationTestAll(ctx, candidates, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := sess.PermutationTestAll(ctx, candidates, append(opts, trigene.WithCluster(cl))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("cluster returned %d results, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		if *remote[i] != *local[i] {
+			t.Errorf("candidate %v: cluster %+v != local %+v", candidates[i], *remote[i], *local[i])
+		}
+	}
+
+	// The executor surface directly: the Report's Perm block carries the
+	// same merged counts.
+	spec := trigene.SearchSpec{
+		Perm: &trigene.PermSpec{SNPs: candidates, Permutations: 120, Seed: 42},
+	}
+	rep, err := cl.ExecutePerm(ctx, mx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Perm == nil {
+		t.Fatal("perm job Report carries no Perm block")
+	}
+	if rep.Perm.Permutations != 120 || rep.Perm.Seed != 42 {
+		t.Errorf("Perm block = %d permutations seed %d, want 120/42", rep.Perm.Permutations, rep.Perm.Seed)
+	}
+	if rep.Perm.Tiles != 7 {
+		t.Errorf("Perm block merged %d tiles, want 7", rep.Perm.Tiles)
+	}
+	if len(rep.Perm.Results) != len(local) {
+		t.Fatalf("Perm block carries %d results, want %d", len(rep.Perm.Results), len(local))
+	}
+	for i, pc := range rep.Perm.Results {
+		want := local[i]
+		if pc.Observed != want.Observed || pc.AsGoodOrBetter != want.AsGoodOrBetter || pc.PValue != want.PValue {
+			t.Errorf("candidate %v: cluster %+v != local %+v", candidates[i], pc, *want)
+		}
+	}
+}
+
+// TestClusterPermJSONRoundTrip: the Perm block survives the stable
+// Report wire format (the same codec `trigened result` emits).
+func TestClusterPermJSONRoundTrip(t *testing.T) {
+	mx := plantedMatrix(t)
+	cl, _ := newTestCluster(t, Config{LeaseTTL: 5 * time.Second})
+	cl.Tiles = 4
+	startWorkers(t, cl, 2)
+
+	spec := trigene.SearchSpec{Perm: &trigene.PermSpec{SNPs: [][]int{{3, 9, 15}}, Permutations: 60, Seed: 7}}
+	rep, err := cl.ExecutePerm(context.Background(), mx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back trigene.Report
+	if err := back.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	if back.Perm == nil || len(back.Perm.Results) != 1 {
+		t.Fatalf("Perm block lost in round trip: %+v", back.Perm)
+	}
+	got, want := back.Perm.Results[0], rep.Perm.Results[0]
+	if got.Observed != want.Observed || got.AsGoodOrBetter != want.AsGoodOrBetter || got.PValue != want.PValue {
+		t.Errorf("round-tripped result %+v != %+v", got, want)
+	}
+}
+
+// TestClusterPermSubmitValidation: malformed permutation submissions
+// are rejected at the door, not discovered by workers.
+func TestClusterPermSubmitValidation(t *testing.T) {
+	mx := plantedMatrix(t)
+	cl, _ := newTestCluster(t, Config{LeaseTTL: time.Second})
+	ctx := context.Background()
+
+	cases := []struct {
+		name  string
+		spec  trigene.SearchSpec
+		tiles int
+		want  string
+	}{
+		{"no candidates", trigene.SearchSpec{Perm: &trigene.PermSpec{}}, 2, "no candidate combinations"},
+		{"order 1", trigene.SearchSpec{Perm: &trigene.PermSpec{SNPs: [][]int{{5}}}}, 2, "order"},
+		{"unsorted", trigene.SearchSpec{Perm: &trigene.PermSpec{SNPs: [][]int{{9, 3}}}}, 2, "increasing"},
+		{"out of range", trigene.SearchSpec{Perm: &trigene.PermSpec{SNPs: [][]int{{3, 900}}}}, 2, "out of range"},
+		{"with screen", trigene.SearchSpec{
+			Perm:   &trigene.PermSpec{SNPs: [][]int{{3, 9}}},
+			Screen: &trigene.ScreenSpec{MaxSurvivors: 8},
+		}, 2, "do not combine"},
+		{"with order", trigene.SearchSpec{Order: 3, Perm: &trigene.PermSpec{SNPs: [][]int{{3, 9}}}}, 2, "do not combine"},
+		{"too many tiles", trigene.SearchSpec{Perm: &trigene.PermSpec{SNPs: [][]int{{3, 9}}, Permutations: 4}}, 5, "must not exceed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := cl.Submit(ctx, mx, tc.spec, tc.tiles, "")
+			if err == nil {
+				t.Fatal("submit accepted, want rejection")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"trigene"
 	"trigene/internal/obs"
+	"trigene/internal/sched"
 	"trigene/internal/store"
 )
 
@@ -333,9 +334,12 @@ func (w *Worker) execute(ctx context.Context, grant LeaseGrant) {
 			continue
 		}
 		ok := false
-		if grant.Stage == "screen" {
+		switch {
+		case grant.Stage == "screen":
 			ok = w.executeScreenTile(ctx, hb, grant, tg, sess)
-		} else {
+		case grant.Spec.Perm != nil:
+			ok = w.executePermTile(ctx, hb, grant, tg, sess, opts)
+		default:
 			ok = w.executeTile(ctx, hb, grant, tg, sess, opts)
 		}
 		if !ok {
@@ -409,6 +413,74 @@ func (w *Worker) executeScreenTile(ctx context.Context, hb *heartbeats, grant Le
 		// Shutdown: leave the leases to expire and be re-issued.
 	default:
 		w.logger().Error("screen tile failed; failing the job",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", err)
+		w.failJob(ctx, tg.Token, err.Error())
+		return false
+	}
+	return true
+}
+
+// executePermTile runs one permutation-range tile of a permutation job:
+// the grant's shard of the [0, P) permutation index space, evaluated
+// with Session.PermutationSlice and posted back as PermScores. Because
+// every permutation seeds its shuffle by absolute index, the range the
+// shard covers is bit-exact regardless of which worker runs it or how
+// the space was cut. Reports false when the whole batch should be
+// abandoned (the job was failed deterministically).
+func (w *Worker) executePermTile(ctx context.Context, hb *heartbeats, grant LeaseGrant, tg TileGrant, sess *trigene.Session, opts []trigene.Option) bool {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hb.setCurrent(tg.Token, cancel)
+	defer hb.clearCurrent()
+
+	index, count := shardCoords(grant, tg)
+	src, serr := sched.Permutations(grant.Spec.Perm.PermutationCount(), count).Shard(sched.Shard{Index: index, Count: count})
+	if serr != nil {
+		// The coordinator sized the space at submit; a shard error here
+		// is deterministic, so fail the job loudly.
+		w.logger().Error("sharding permutation space failed; failing the job",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", serr)
+		w.failJob(ctx, tg.Token, fmt.Sprintf("sharding permutation space: %v", serr))
+		return false
+	}
+	b := src.Bounds()
+	offset, n := int(b.Lo), int(b.Hi-b.Lo)
+
+	topts := make([]trigene.Option, 0, len(opts)+1)
+	topts = append(topts, opts...)
+	topts = append(topts, trigene.WithMetrics(w.reg))
+
+	w.logger().Info("executing perm tile",
+		"job", grant.Job, "tile", tg.Tile, "offset", offset, "count", n, "token", tg.Token)
+	start := time.Now()
+	scores, err := sess.PermutationSlice(sctx, grant.Spec.Perm.SNPs, offset, n, topts...)
+
+	switch {
+	case err == nil:
+		elapsed := time.Since(start)
+		w.observe(elapsed)
+		w.wm.tiles.Inc()
+		w.wm.tileSeconds.Observe(elapsed.Seconds())
+		hb.finish(tg.Token)
+		accepted, cerr := w.Client.completePerm(ctx, tg.Token, scores)
+		switch {
+		case errors.Is(cerr, errLeaseLost):
+			w.logger().Info("completed after lease loss; result discarded",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+		case cerr != nil:
+			w.logger().Warn("posting perm scores failed",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", cerr)
+		case !accepted:
+			w.logger().Info("duplicate result discarded by coordinator",
+				"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+		}
+	case hb.lost(tg.Token):
+		w.logger().Info("lease lost mid-test; abandoning tile",
+			"job", grant.Job, "tile", tg.Tile, "token", tg.Token)
+	case ctx.Err() != nil:
+		// Shutdown: leave the leases to expire and be re-issued.
+	default:
+		w.logger().Error("perm tile failed; failing the job",
 			"job", grant.Job, "tile", tg.Tile, "token", tg.Token, "error", err)
 		w.failJob(ctx, tg.Token, err.Error())
 		return false

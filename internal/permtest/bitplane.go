@@ -1,0 +1,366 @@
+// Bit-plane permutation kernel: the batched, allocation-free engine
+// behind KAll/KAllRange. A candidate's 3^k genotype-combination cells
+// are materialized once as combo bit planes (the AND of its per-SNP
+// genotype planes), so re-scoring under a permuted phenotype reduces to
+// one popcount per cell: cases = popcount(comboPlane AND permPlane),
+// controls = cellTotal − cases. Permuted phenotypes are packed into
+// case bit planes in batches of B, and the counting loop runs cells
+// outer / batch inner so each combo plane is loaded once per B
+// permutations while the whole batch stays L1-resident.
+//
+// Determinism contract: permutation p draws its shuffle from a source
+// seeded with Seed + p*7919 — exactly the scalar reference path — so
+// hit counts are bit-identical to run/runCells for any worker count,
+// any batch size, and any decomposition of the permutation range
+// (which is what lets the cluster merge KAllRange tiles into p-values
+// bit-exact with a single-node run).
+package permtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"trigene/internal/bitvec"
+	"trigene/internal/contingency"
+	"trigene/internal/dataset"
+	"trigene/internal/score"
+)
+
+// l1PermBudget is the cache footprint the batched counting loop aims
+// for: one combo plane streaming against B resident perm planes plus
+// the B×cells count matrix. A third of a typical 32 KiB L1D goes to
+// each, mirroring the CARM sizing used by carm.FusedTileWords; the
+// constant is local so the kernel does not drag the planner in.
+const l1PermBudget = 24 << 10
+
+// Batch size bounds: below minPermBatch the per-batch bookkeeping
+// dominates, above maxPermBatch the batch spills L1 on wide samples.
+const (
+	minPermBatch = 4
+	maxPermBatch = 64
+)
+
+// batchSize picks how many permuted phenotype planes to count per
+// kernel pass for the given plane width and cell count.
+func batchSize(words, cells int) int {
+	b := l1PermBudget / (words*8 + cells*4)
+	if b < minPermBatch {
+		b = minPermBatch
+	}
+	if b > maxPermBatch {
+		b = maxPermBatch
+	}
+	return b
+}
+
+// RangeResult is the raw outcome of KAllRange over a permutation index
+// range: per-candidate observed scores and as-good-or-better hit counts
+// for Count permutations. Ranges over disjoint index sets sum: the
+// cluster coordinator adds Hits and Count across tiles and the result
+// is bit-exact with a single-node run over the union.
+type RangeResult struct {
+	// Observed holds each candidate's score on the real phenotypes,
+	// in candidate order.
+	Observed []float64
+	// Hits counts, per candidate, the permutations in the range whose
+	// score ties or beats Observed.
+	Hits []int
+	// Count is the number of permutations evaluated (the range size).
+	Count int
+}
+
+// planeCand is one candidate's prebuilt kernel state.
+type planeCand struct {
+	cells  int
+	planes []uint64 // cells combo planes, words each, contiguous
+	totals []int32  // popcount per combo plane (cell sample totals)
+	obs    float64
+	table  bool // score through contingency.Table (orders 2–3)
+}
+
+// KAll permutation-tests every candidate at once, sharing each permuted
+// phenotype across all of them: the Fisher–Yates shuffle and the plane
+// packing — the dominant per-permutation cost — are paid once per
+// permutation instead of once per permutation per candidate. Results
+// are bit-identical to calling K on each candidate separately with the
+// same Config. Candidates may mix orders 2 through contingency.MaxOrder.
+func KAll(mx *dataset.Matrix, candidates [][]int, cfg Config) ([]*Result, error) {
+	c, err := cfg.withDefaults(mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	rr, err := KAllRange(mx, candidates, 0, c.Permutations, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(candidates))
+	for i := range out {
+		out[i] = &Result{
+			Observed:       rr.Observed[i],
+			AsGoodOrBetter: rr.Hits[i],
+			Permutations:   c.Permutations,
+			PValue:         float64(rr.Hits[i]+1) / float64(c.Permutations+1),
+		}
+	}
+	return out, nil
+}
+
+// KAllRange runs the bit-plane kernel over permutation indices
+// [offset, offset+count) only — the primitive a cluster tile executes.
+// Config.Permutations is ignored; the range arguments govern. Because
+// permutation p is seeded by its absolute index, any partition of an
+// index range yields Hits that sum to the single-range result exactly.
+func KAllRange(mx *dataset.Matrix, candidates [][]int, offset, count int, cfg Config) (*RangeResult, error) {
+	c, err := cfg.withDefaults(mx.Samples())
+	if err != nil {
+		return nil, err
+	}
+	if offset < 0 || count < 1 {
+		return nil, fmt.Errorf("permtest: invalid permutation range [%d,%d)", offset, offset+count)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("permtest: no candidates")
+	}
+	if c.Batch < 0 {
+		return nil, fmt.Errorf("permtest: invalid batch size %d", c.Batch)
+	}
+	bin := c.Planes
+	if bin == nil {
+		bin = dataset.Binarize(mx)
+	}
+	if bin.M != mx.SNPs() || bin.N != mx.Samples() {
+		return nil, fmt.Errorf("permtest: planes are %d×%d, matrix is %d×%d",
+			bin.M, bin.N, mx.SNPs(), mx.Samples())
+	}
+
+	scorer, _ := c.Objective.(score.CellScorer)
+	cands := make([]planeCand, len(candidates))
+	maxCells := 0
+	for i, snps := range candidates {
+		if err := buildCand(mx, bin, snps, c.Objective, scorer, &cands[i]); err != nil {
+			return nil, err
+		}
+		if cands[i].cells > maxCells {
+			maxCells = cands[i].cells
+		}
+	}
+
+	words := bin.Words
+	n := mx.Samples()
+	batch := c.Batch
+	if batch == 0 {
+		batch = batchSize(words, maxCells)
+	}
+	phen := mx.Phenotypes()
+
+	hitsPer := make([][]int, c.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps := newPermScratch(c.Objective, len(cands), words, n, batch, maxCells)
+			hitsPer[w] = ps.permWorker(c, cands, phen, words, n, batch, offset, count, w)
+		}()
+	}
+	wg.Wait()
+	if err := c.Context.Err(); err != nil {
+		return nil, err
+	}
+
+	rr := &RangeResult{
+		Observed: make([]float64, len(cands)),
+		Hits:     make([]int, len(cands)),
+		Count:    count,
+	}
+	for i := range cands {
+		rr.Observed[i] = cands[i].obs
+	}
+	for _, hits := range hitsPer {
+		for i, h := range hits {
+			rr.Hits[i] += h
+		}
+	}
+	return rr, nil
+}
+
+// buildCand validates one candidate and materializes its kernel state:
+// combo planes, cell totals, and the observed score computed through
+// the same oracle as the scalar reference path (Table scoring for
+// orders 2–3, CellScorer beyond), so observed-vs-permuted comparisons
+// are bit-identical to K.
+func buildCand(mx *dataset.Matrix, bin *dataset.Binarized, snps []int, obj score.Objective, scorer score.CellScorer, out *planeCand) error {
+	k := len(snps)
+	if k < 2 || k > contingency.MaxOrder {
+		return fmt.Errorf("permtest: order %d out of [2,%d]", k, contingency.MaxOrder)
+	}
+	for i, v := range snps {
+		if v < 0 || v >= mx.SNPs() || (i > 0 && snps[i-1] >= v) {
+			return fmt.Errorf("permtest: invalid combination %v", snps)
+		}
+	}
+	cells := contingency.CellsK(k)
+	words := bin.Words
+	out.cells = cells
+	out.table = k <= 3
+	out.planes = make([]uint64, cells*words)
+	out.totals = make([]int32, cells)
+	if !out.table && scorer == nil {
+		return fmt.Errorf("permtest: objective %q cannot score %d-way tables", obj.Name(), k)
+	}
+
+	// Cell c's combo plane is the AND of one genotype plane per SNP;
+	// the digit order matches contingency.ComboIndex/PairComboIndex
+	// (first SNP is the most significant base-3 digit). Genotype
+	// planes are tail-clean, so the ANDs are too.
+	pow := 1
+	for i := 0; i < k-1; i++ {
+		pow *= 3
+	}
+	for cell := 0; cell < cells; cell++ {
+		dst := out.planes[cell*words : (cell+1)*words]
+		copy(dst, bin.Plane(snps[0], cell/pow))
+		rem, div := cell%pow, pow/3
+		for d := 1; d < k; d++ {
+			p := bin.Plane(snps[d], rem/div)
+			for i := range dst {
+				dst[i] &= p[i]
+			}
+			rem, div = rem%div, div/3
+		}
+		out.totals[cell] = int32(bitvec.PopCount(dst))
+	}
+
+	switch k {
+	case 2:
+		obs := contingency.BuildReferencePair(mx, snps[0], snps[1])
+		out.obs = obj.Score(&obs)
+	case 3:
+		obs := contingency.BuildReference(mx, snps[0], snps[1], snps[2])
+		out.obs = obj.Score(&obs)
+	default:
+		ctrl, cases := make([]int32, cells), make([]int32, cells)
+		if err := contingency.BuildReferenceK(mx, snps, ctrl, cases); err != nil {
+			return err
+		}
+		out.obs = scorer.ScoreCells(ctrl, cases)
+	}
+	return nil
+}
+
+// permScratch is one worker's preallocated state: label buffer, the
+// B-plane batch, the B×cells count matrix, scoring slices, and the
+// reseedable RNG. Everything the steady-state loop touches lives here,
+// so the loop itself is allocation-free.
+type permScratch struct {
+	local  []uint8
+	planes []uint64 // batch perm planes, words each
+	cnt    []int32  // batch × maxCells count matrix
+	ctrl   []int32
+	cases  []int32
+	hits   []int
+	tab    contingency.Table
+	scorer score.CellScorer
+	// Reseeding a single source per permutation reproduces the scalar
+	// path's rand.New(rand.NewSource(...)) stream without its per-
+	// permutation allocations.
+	src rand.Source
+	rng *rand.Rand
+}
+
+func newPermScratch(obj score.Objective, nCands, words, n, batch, maxCells int) *permScratch {
+	ps := &permScratch{
+		local:  make([]uint8, n),
+		planes: make([]uint64, batch*words),
+		cnt:    make([]int32, batch*maxCells),
+		ctrl:   make([]int32, maxCells),
+		cases:  make([]int32, maxCells),
+		hits:   make([]int, nCands),
+		src:    rand.NewSource(0),
+	}
+	ps.scorer, _ = obj.(score.CellScorer)
+	ps.rng = rand.New(ps.src)
+	return ps
+}
+
+// permWorker runs one worker's strided share of the permutation range:
+// shuffle, pack, and once batch planes accumulate, count and score the
+// whole batch against every candidate. The returned slice is
+// ps.hits — per-candidate as-good-or-better counts for this worker's
+// stride.
+func (ps *permScratch) permWorker(c Config, cands []planeCand, phen []uint8, words, n, batch, offset, count, w int) []int {
+	for i := range ps.hits {
+		ps.hits[i] = 0
+	}
+	nb := 0
+	for p := offset + w; p < offset+count; p += c.Workers {
+		if c.Context.Err() != nil {
+			return ps.hits
+		}
+		copy(ps.local, phen)
+		ps.src.Seed(c.Seed + int64(p)*7919)
+		for s := n - 1; s > 0; s-- {
+			t := ps.rng.Intn(s + 1)
+			ps.local[s], ps.local[t] = ps.local[t], ps.local[s]
+		}
+		// The shuffled labels become a case bit plane. Unwritten tail
+		// words stay zero, so the AND results are tail-clean.
+		plane := ps.planes[nb*words : (nb+1)*words]
+		for i := range plane {
+			plane[i] = 0
+		}
+		for s, v := range ps.local {
+			plane[s>>6] |= uint64(v) << (uint(s) & 63)
+		}
+		nb++
+		if nb == batch {
+			ps.flush(c, cands, words, nb)
+			nb = 0
+		}
+	}
+	if nb > 0 {
+		ps.flush(c, cands, words, nb)
+	}
+	return ps.hits
+}
+
+// flush counts and scores the nb accumulated perm planes against every
+// candidate.
+func (ps *permScratch) flush(c Config, cands []planeCand, words, nb int) {
+	for ci := range cands {
+		cand := &cands[ci]
+		cells := cand.cells
+		// Cells outer, batch inner: one combo plane streams against
+		// the resident batch, loading each combo word once per nb
+		// permutations.
+		for cell := 0; cell < cells; cell++ {
+			combo := cand.planes[cell*words : (cell+1)*words]
+			for b := 0; b < nb; b++ {
+				ps.cnt[b*cells+cell] = int32(bitvec.PopCountAnd2(combo, ps.planes[b*words:(b+1)*words]))
+			}
+		}
+		for b := 0; b < nb; b++ {
+			row := ps.cnt[b*cells : (b+1)*cells]
+			var sc float64
+			if cand.table {
+				ps.tab = contingency.Table{}
+				for cell, cs := range row {
+					ps.tab.Counts[dataset.Case][cell] = cs
+					ps.tab.Counts[dataset.Control][cell] = cand.totals[cell] - cs
+				}
+				sc = c.Objective.Score(&ps.tab)
+			} else {
+				for cell, cs := range row {
+					ps.cases[cell] = cs
+					ps.ctrl[cell] = cand.totals[cell] - cs
+				}
+				sc = ps.scorer.ScoreCells(ps.ctrl[:cells], ps.cases[:cells])
+			}
+			if sc == cand.obs || c.Objective.Better(sc, cand.obs) {
+				ps.hits[ci]++
+			}
+		}
+	}
+}

@@ -37,6 +37,13 @@ type Config struct {
 	// context.Background(). Cancellation is observed between
 	// permutations and returns the context error.
 	Context context.Context
+	// Planes optionally supplies prebuilt genotype bit planes for the
+	// bit-plane kernel (KAll/KAllRange); nil binarizes the matrix on
+	// first use. Scalar paths ignore it.
+	Planes *dataset.Binarized
+	// Batch is the number of permuted phenotype planes counted per
+	// kernel pass (0 picks an L1-sized batch). Scalar paths ignore it.
+	Batch int
 }
 
 // Result summarizes a permutation test.
@@ -159,10 +166,14 @@ func comboRow2(mx *dataset.Matrix, i, j int) []uint8 {
 func comboRowK(mx *dataset.Matrix, snps []int) []uint16 {
 	n := mx.Samples()
 	out := make([]uint16, n)
+	rows := make([][]uint8, len(snps))
+	for d, snp := range snps {
+		rows[d] = mx.Row(snp)
+	}
 	for s := 0; s < n; s++ {
 		cell := 0
-		for _, snp := range snps {
-			cell = cell*3 + int(mx.Geno(snp, s))
+		for _, row := range rows {
+			cell = cell*3 + int(row[s])
 		}
 		out[s] = uint16(cell)
 	}
@@ -185,13 +196,19 @@ func runCells(mx *dataset.Matrix, combos []uint16, cells int, obsScore float64, 
 			local := append([]uint8(nil), phen...)
 			ctrl := make([]int32, cells)
 			cases := make([]int32, cells)
+			// One RNG per worker, reseeded per permutation: Seed resets
+			// the source to the exact state rand.NewSource would mint, so
+			// the shuffle order is bit-identical to the historical
+			// per-permutation rand.New at zero steady-state allocations.
+			src := rand.NewSource(0)
+			rng := rand.New(src)
 			hits := 0
 			for p := w; p < c.Permutations; p += c.Workers {
 				if c.Context.Err() != nil {
 					return
 				}
 				copy(local, phen)
-				rng := rand.New(rand.NewSource(c.Seed + int64(p)*7919))
+				src.Seed(c.Seed + int64(p)*7919)
 				for s := n - 1; s > 0; s-- {
 					t := rng.Intn(s + 1)
 					local[s], local[t] = local[t], local[s]
@@ -251,15 +268,18 @@ func run(mx *dataset.Matrix, combos []uint8, observed *contingency.Table, cfg Co
 		go func() {
 			defer wg.Done()
 			local := append([]uint8(nil), phen...)
+			// Per-permutation reseeding of a reused source: deterministic
+			// under any worker count, allocation-free in steady state
+			// (Seed restores the exact rand.NewSource state).
+			src := rand.NewSource(0)
+			rng := rand.New(src)
 			hits := 0
 			for p := w; p < c.Permutations; p += c.Workers {
 				if c.Context.Err() != nil {
 					return
 				}
-				// Per-permutation RNG and a fresh copy of the labels:
-				// deterministic under any worker count.
 				copy(local, phen)
-				rng := rand.New(rand.NewSource(c.Seed + int64(p)*7919))
+				src.Seed(c.Seed + int64(p)*7919)
 				for s := n - 1; s > 0; s-- {
 					t := rng.Intn(s + 1)
 					local[s], local[t] = local[t], local[s]

@@ -1,0 +1,43 @@
+package sched
+
+import "testing"
+
+// TestPermutationsSpace: the permutation source spans exactly the
+// permutation count and shards into contiguous ranges that tile the
+// whole space, with degenerate counts clamped to an empty space.
+func TestPermutationsSpace(t *testing.T) {
+	s := Permutations(1000, 4)
+	if s.Ranks() != 1000 {
+		t.Errorf("ranks = %d, want 1000", s.Ranks())
+	}
+	if b := s.Bounds(); b.Lo != 0 || b.Hi != 1000 {
+		t.Errorf("bounds %+v", b)
+	}
+	if g := s.Grain(); g <= 0 {
+		t.Errorf("grain = %d", g)
+	}
+	for _, count := range []int{-3, 0} {
+		if r := Permutations(count, 2).Ranks(); r != 0 {
+			t.Errorf("Permutations(%d) spans %d ranks, want 0", count, r)
+		}
+	}
+
+	// Shards partition [0, count) contiguously and exhaustively — the
+	// property the cluster's hit-count merge relies on.
+	const shards = 7
+	next := int64(0)
+	for i := 0; i < shards; i++ {
+		sub, err := s.Shard(Shard{Index: i, Count: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := sub.Bounds()
+		if b.Lo != next {
+			t.Errorf("shard %d starts at %d, want %d", i, b.Lo, next)
+		}
+		next = b.Hi
+	}
+	if next != 1000 {
+		t.Errorf("shards cover [0,%d), want [0,1000)", next)
+	}
+}

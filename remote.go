@@ -53,6 +53,14 @@ type SearchSpec struct {
 	// shard scores, selects survivors, and pins them (Survivors/Seeds)
 	// into the stage-2 grants.
 	Screen *ScreenSpec `json:"screen,omitempty"`
+	// Perm marks the job as a permutation test over the given
+	// candidates: tiles shard the permutation index range instead of a
+	// combination space, workers run Session.PermutationSlice, and the
+	// coordinator merges hit counts (MergePerms) into Report.Perm.
+	// Objective and Workers keep their meaning; the search-shaping
+	// fields (Order, TopK, Approach, Screen, AutoTune) do not combine
+	// with it.
+	Perm *PermSpec `json:"perm,omitempty"`
 }
 
 // ParseBackend rebuilds a Backend from its Name(): "cpu" (or ""),
@@ -129,6 +137,9 @@ func (sp SearchSpec) Options() ([]Option, error) {
 	if sp.Screen != nil {
 		opts = append(opts, WithScreen(*sp.Screen))
 	}
+	if sp.Perm != nil {
+		opts = append(opts, WithPermutations(sp.Perm.permutations()), WithSeed(sp.Perm.Seed))
+	}
 	return opts, nil
 }
 
@@ -175,4 +186,18 @@ type RemoteExecutor interface {
 	// the merged Report. The Report must be bit-exact with a local
 	// Session.Search of the same spec.
 	ExecuteSearch(ctx context.Context, mx *Matrix, spec SearchSpec) (*Report, error)
+}
+
+// PermExecutor extends RemoteExecutor with distributed permutation
+// testing — what PermutationTest/PermutationTestAll under WithCluster
+// require. The cluster client implements it by sharding the
+// permutation index range into tiles; any executor whose merged hit
+// counts are bit-exact with a local run of the same spec plugs in the
+// same way.
+type PermExecutor interface {
+	RemoteExecutor
+	// ExecutePerm runs the permutation job (spec.Perm is set) against
+	// the given dataset and returns a Report whose Perm block carries
+	// the merged per-candidate results.
+	ExecutePerm(ctx context.Context, mx *Matrix, spec SearchSpec) (*Report, error)
 }

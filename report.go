@@ -163,6 +163,10 @@ type Report struct {
 	// timings — or the planner's decision to decline; nil on unscreened
 	// runs.
 	Screen *ScreenInfo
+	// Perm is the merged outcome of a cluster permutation-test job
+	// (per-candidate observed scores, hit counts and p-values); nil on
+	// search Reports.
+	Perm *PermInfo
 	// Trace is the phase timeline recorded under WithTrace; nil
 	// otherwise.
 	Trace *TraceInfo
@@ -283,6 +287,15 @@ func MergeReports(reports ...*Report) (*Report, error) {
 	for _, r := range reports {
 		if r.Screen != nil {
 			out.Screen = r.Screen
+			break
+		}
+	}
+	// And for permutation results: the block is assembled once by the
+	// coordinator from already-merged hit counts, so the first present
+	// carries over.
+	for _, r := range reports {
+		if r.Perm != nil {
+			out.Perm = r.Perm
 			break
 		}
 	}

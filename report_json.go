@@ -36,6 +36,7 @@ type wireReport struct {
 	Hetero         *HeteroInfo       `json:"hetero,omitempty"`
 	Plan           *PlanInfo         `json:"plan,omitempty"`
 	Screen         *ScreenInfo       `json:"screen,omitempty"`
+	Perm           *PermInfo         `json:"perm,omitempty"`
 	Trace          *TraceInfo        `json:"trace,omitempty"`
 }
 
@@ -58,6 +59,7 @@ func (r Report) MarshalJSON() ([]byte, error) {
 		Hetero:         r.Hetero,
 		Plan:           r.Plan,
 		Screen:         r.Screen,
+		Perm:           r.Perm,
 		Trace:          r.Trace,
 	})
 }
@@ -85,6 +87,7 @@ func (r *Report) UnmarshalJSON(data []byte) error {
 		Hetero:         w.Hetero,
 		Plan:           w.Plan,
 		Screen:         w.Screen,
+		Perm:           w.Perm,
 		Trace:          w.Trace,
 	}
 	return nil

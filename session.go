@@ -8,7 +8,6 @@ import (
 
 	"trigene/internal/engine"
 	"trigene/internal/obs"
-	"trigene/internal/permtest"
 	"trigene/internal/store"
 )
 
@@ -200,50 +199,17 @@ func (s *Session) searchRemote(ctx context.Context, cfg *searchConfig) (*Report,
 
 // PermutationTest estimates the p-value of a candidate combination
 // (any order in [2, 7], strictly increasing SNP indices — typically a
-// Report's Best.SNPs) by phenotype permutation. Relevant options:
-// WithPermutations, WithSeed, WithObjective (which must match the scan
-// that produced the candidate) and WithWorkers.
+// Report's Best.SNPs) by phenotype permutation, on the bit-plane
+// kernel. Relevant options: WithPermutations, WithSeed, WithObjective
+// (which must match the scan that produced the candidate), WithWorkers,
+// WithPermBatch and WithCluster (which fans the permutation range out
+// over a cluster; merged p-values are bit-exact with a local run). Use
+// PermutationTestAll to test a whole top-K sharing the permutation
+// work.
 func (s *Session) PermutationTest(ctx context.Context, snps []int, opts ...Option) (*PermResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	cfg, err := newSearchConfig(opts)
+	res, err := s.PermutationTestAll(ctx, [][]int{snps}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.shard != nil {
-		return nil, fmt.Errorf("trigene: permutation tests cannot shard")
-	}
-	if cfg.remote != nil {
-		return nil, fmt.Errorf("trigene: permutation tests run locally; WithCluster does not apply")
-	}
-	if _, isCPU := cfg.backend.(cpuBackend); !isCPU {
-		return nil, fmt.Errorf("trigene: permutation tests run on the host; WithBackend does not apply")
-	}
-	if cfg.approachSet {
-		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithApproach does not apply")
-	}
-	if cfg.autotune {
-		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithAutoTune does not apply")
-	}
-	if cfg.screen != nil {
-		return nil, fmt.Errorf("trigene: permutation tests re-score one candidate; WithScreen does not apply")
-	}
-	if cfg.topK != 1 {
-		return nil, fmt.Errorf("trigene: permutation tests score one candidate; WithTopK does not apply")
-	}
-	if cfg.orderSet && cfg.order != len(snps) {
-		return nil, fmt.Errorf("trigene: order %d conflicts with the %d-SNP candidate (the order is inferred from snps)", cfg.order, len(snps))
-	}
-	obj, _, err := cfg.objective(s.Samples())
-	if err != nil {
-		return nil, err
-	}
-	return permtest.K(s.Matrix(), snps, permtest.Config{
-		Permutations: cfg.permutations,
-		Seed:         cfg.seed,
-		Workers:      cfg.workers,
-		Objective:    obj,
-		Context:      ctx,
-	})
+	return res[0], nil
 }
